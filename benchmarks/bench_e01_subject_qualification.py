@@ -1,0 +1,14 @@
+"""Benchmark wrapper for E1 (subject qualification at web scale)."""
+
+
+def test_e01_subject_qualification(record):
+    result = record("E1")
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    # Identity-based policy counts grow with the population...
+    assert by_key[(2000, "identity")][2] > by_key[(100, "identity")][2] * 5
+    # ...role/credential-based stay flat.
+    assert by_key[(2000, "role")][2] == by_key[(100, "role")][2]
+    assert by_key[(2000, "credential")][2] == \
+        by_key[(100, "credential")][2]
+    # Decision latency for the identity basis grows too.
+    assert by_key[(2000, "identity")][3] > by_key[(2000, "role")][3]

@@ -1,0 +1,14 @@
+"""Benchmark wrapper for E2 (XML access control granularity)."""
+
+
+def test_e02_xml_granularity(record):
+    result = record("E2")
+    by_granularity = {row[0]: row for row in result.rows}
+    # No granularity leaks sensitive content.
+    assert all(row[3] == 0 for row in result.rows)
+    # Content-dependent policies over-restrict the least; whole-document
+    # protection over-restricts the most.
+    over = {name: row[4] for name, row in by_granularity.items()}
+    assert over["content"] == min(over.values())
+    assert over["document"] == max(over.values())
+    assert over["document"] > over["content"] * 5

@@ -1,0 +1,14 @@
+"""Benchmark wrapper for E3 (dissemination key scaling)."""
+
+
+def test_e03_dissemination_keys(record):
+    result = record("E3")
+    first, last = result.rows[0], result.rows[-1]
+    # Author-X key count does not grow with subscribers.
+    assert first[1] == last[1]
+    # Naive key count grows with subscribers.
+    assert last[2] > first[2] * 5
+    # At scale, the single packet costs less to prepare than the
+    # per-subscriber views, in bytes and in time.
+    assert last[3] < last[4]
+    assert last[5] < last[6]

@@ -1,0 +1,17 @@
+"""Benchmark wrapper for E4 (third-party publishing verification)."""
+
+
+def test_e04_third_party_publishing(record):
+    result = record("E4")
+    # Every attack detected.
+    detection = next(o for o in result.observations
+                     if o.startswith("attack detection"))
+    assert "tamper 3/3" in detection
+    assert "omit 3/3" in detection
+    assert "swap 3/3" in detection
+    # Proof size (filler hashes) grows with corpus size for partial
+    # views (nurse sees a small slice of a growing document).
+    nurse_rows = [row for row in result.rows if row[1] == "nurse"]
+    assert nurse_rows[-1][2] > nurse_rows[0][2]
+    # Verification stays in the milliseconds range.
+    assert all(row[3] < 1000 for row in result.rows)

@@ -1,0 +1,13 @@
+"""Benchmark wrapper for E5 (Merkle-authenticated UDDI answers)."""
+
+
+def test_e05_uddi_authentication(record):
+    result = record("E5")
+    for row in result.rows:
+        businesses, merkle_sigs, baseline_sigs = row[0], row[1], row[2]
+        # One summary signature per entry...
+        assert merkle_sigs == businesses
+        # ...vs one per view for the baseline (strictly more).
+        assert baseline_sigs > merkle_sigs
+    # Provider-side signing cost follows the signature counts.
+    assert all(row[3] < row[4] for row in result.rows)

@@ -1,0 +1,13 @@
+"""Benchmark wrapper for E6 (two-party vs third-party registries)."""
+
+
+def test_e06_registry_architectures(record):
+    result = record("E6")
+    by_regime = {(row[0], row[1]): row for row in result.rows}
+    # Honest deployments leak nothing.
+    assert by_regime[("two-party", "honest")][2] == 0
+    assert by_regime[("third-party", "honest")][2] == 0
+    # A compromised agency leaks confidentiality...
+    assert by_regime[("third-party", "compromised")][2] > 0
+    # ...but integrity survives: zero forgeries accepted anywhere.
+    assert all(row[3] == 0 for row in result.rows)

@@ -1,0 +1,16 @@
+"""Benchmark wrapper for E7 (randomization-based PPDM)."""
+
+
+def test_e07_ppdm_randomization(record):
+    result = record("E7")
+    noisy_rows = [row for row in result.rows if row[0] > 0]
+    # Reconstruction beats the naive histogram at every noise level.
+    assert all(row[3] < row[4] for row in noisy_rows)
+    # Privacy (interval width and attacker error) grows with the noise.
+    intervals = [row[1] for row in result.rows]
+    errors = [row[2] for row in result.rows]
+    assert intervals == sorted(intervals)
+    assert errors == sorted(errors)
+    # Even at a 76-unit privacy interval the aggregate error stays small.
+    big_noise = next(row for row in result.rows if row[0] == 40.0)
+    assert big_noise[3] < 0.2

@@ -1,0 +1,17 @@
+"""Benchmark wrapper for E8 (the inference controller)."""
+
+
+def test_e08_inference_controller(record):
+    result = record("E8")
+    for row in result.rows:
+        raw, stateless, tracked, refusals = (row[1], row[2], row[3],
+                                             row[4])
+        # The two-step attack links every target without history
+        # tracking...
+        assert raw == 40
+        assert stateless == 40
+        # ...and none with it; every second step refused.
+        assert tracked == 0
+        assert refusals == 40
+    # Overhead stays in the sub-10ms-per-query range.
+    assert all(row[6] < 10 for row in result.rows)

@@ -1,0 +1,21 @@
+"""Benchmark wrapper for E9 (RDF semantic-level enforcement)."""
+
+
+def test_e09_rdf_semantic_security(record):
+    result = record("E9")
+    for row in result.rows:
+        naive_visible, semantic_visible = row[2], row[3]
+        derived_leaks, reified_leaks = row[4], row[5]
+        # The syntactic strawman leaks derived facts and reifications.
+        assert derived_leaks > 0
+        assert reified_leaks > 0
+        # Semantic enforcement shows strictly less than the leaky mode.
+        assert semantic_visible < naive_visible
+    # Leakage grows with the graph.
+    leaks = [row[4] for row in result.rows]
+    assert leaks == sorted(leaks)
+    # The §5 declassification example worked.
+    context_line = next(o for o in result.observations
+                        if "declassification" in o)
+    assert "hidden during wartime=True" in context_line
+    assert "visible after=True" in context_line

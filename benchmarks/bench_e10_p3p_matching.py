@@ -1,0 +1,19 @@
+"""Benchmark wrapper for E10 (P3P matching and propagation)."""
+
+
+def test_e10_p3p_matching(record):
+    result = record("E10")
+    accepted = [row[2] for row in result.rows]
+    # Acceptance falls monotonically with consumer strictness.
+    assert accepted == sorted(accepted, reverse=True)
+    assert accepted[0] == 80  # anything-goes accepts all
+    assert accepted[-1] < accepted[0]
+    # Propagation checking catches broadening chains the entry-only
+    # check accepts.
+    chain_lines = [o for o in result.observations if o.startswith("len=")]
+    assert chain_lines
+    for line in chain_lines:
+        caught = int(line.rsplit("broadening caught ", 1)[1])
+        assert caught > 0
+    audit_line = next(o for o in result.observations if "audit" in o)
+    assert "passes 5/5" in audit_line

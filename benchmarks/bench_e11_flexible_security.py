@@ -1,0 +1,18 @@
+"""Benchmark wrapper for E11 (the flexible security dial)."""
+
+
+def test_e11_flexible_security(record):
+    result = record("E11")
+    dials = [row[0] for row in result.rows]
+    throughputs = [row[3] for row in result.rows]
+    risks = [row[4] for row in result.rows]
+    assert dials == sorted(dials)
+    # Monotone frontier: more security, less throughput, less risk.
+    assert throughputs == sorted(throughputs, reverse=True)
+    assert risks == sorted(risks, reverse=True)
+    # The endpoints the paper names: 100% security exists and costs.
+    assert risks[-1] == 0.0
+    assert throughputs[-1] < throughputs[0]
+    # And "thirty percent security" is a real operating point.
+    thirty = next(row for row in result.rows if row[0] == 30)
+    assert 0 < thirty[4] < 1

@@ -1,0 +1,16 @@
+"""Benchmark wrapper for E12 (secure-sum multiparty mining)."""
+
+
+def test_e12_multiparty_mining(record):
+    result = record("E12")
+    # Exactness at every party count.
+    assert all(row[2] is True for row in result.rows)
+    # Same frequent itemsets regardless of partitioning.
+    itemset_counts = {row[1] for row in result.rows}
+    assert len(itemset_counts) == 1
+    # Message cost linear in K at fixed rounds.
+    rounds = {row[3] for row in result.rows}
+    assert len(rounds) == 1
+    messages = [row[4] for row in result.rows]
+    parties = [row[0] for row in result.rows]
+    assert messages[-1] / messages[0] == parties[-1] / parties[0]

@@ -1,0 +1,20 @@
+"""Benchmark wrapper for E13 (layered end-to-end security)."""
+
+
+def test_e13_layered_security(record):
+    result = record("E13")
+    by_regime = {row[0]: row for row in result.rows}
+    # Only the full stack is end-to-end secure with breach rate 0.
+    assert by_regime["all layers"][4] is True
+    assert by_regime["all layers"][2] == "0.00"
+    assert all(row[4] is False for name, row in by_regime.items()
+               if name != "all layers")
+    # Breach rate falls as layers are secured bottom-up.
+    ladder = ["none", "network only", "up to XML", "up to RDF",
+              "up to ontology", "all layers"]
+    rates = [float(by_regime[name][2]) for name in ladder]
+    assert rates == sorted(rates, reverse=True)
+    # Skipping the bottom layer undermines everything above it.
+    assert by_regime["all but network"][3] == 4
+    wire = next(o for o in result.observations if "wire demo" in o)
+    assert "secured message layer 0/3" in wire

@@ -1,0 +1,17 @@
+"""Benchmark wrapper for E14 (web transaction models)."""
+
+
+def test_e14_web_transactions(record):
+    result = record("E14")
+    for row in result.rows:
+        lock_rejected, open_rejected = row[1], row[2]
+        lock_revenue, open_revenue = row[7], row[8]
+        # Open bidding never rejects a bid on an open item; locking
+        # rejects everything after the first.
+        assert open_rejected == 0
+        assert lock_rejected > 0
+        # Open bidding extracts at least as much revenue.
+        assert open_revenue >= lock_revenue
+    # The revenue gap widens with contention.
+    gaps = [row[8] - row[7] for row in result.rows]
+    assert gaps == sorted(gaps)

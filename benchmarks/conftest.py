@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_eXX`` module runs one registered experiment through
+pytest-benchmark, saves its rendered table under ``benchmarks/results/``
+(the rows EXPERIMENTS.md records) and asserts the experiment's headline
+shape.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+import repro.bench.experiments  # noqa: F401  (registers all experiments)
+from repro.bench.harness import ExperimentResult, get_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_and_record(benchmark, experiment_id: str) -> ExperimentResult:
+    """Run one experiment under pytest-benchmark and persist its table."""
+    experiment = get_experiment(experiment_id)
+    result = benchmark.pedantic(experiment.runner, rounds=1,
+                                iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    output = RESULTS_DIR / f"{experiment_id}.txt"
+    output.write_text(f"claim: {experiment.claim}\n\n"
+                      + result.render() + "\n", encoding="utf-8")
+    return result
+
+
+@pytest.fixture
+def record(benchmark):
+    def runner(experiment_id: str) -> ExperimentResult:
+        return run_and_record(benchmark, experiment_id)
+
+    return runner

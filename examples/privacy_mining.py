@@ -1,0 +1,103 @@
+"""Privacy-preserving analytics over medical data (§3.3).
+
+Three instruments from the paper, on one synthetic patient database:
+
+1. the inference controller blocks a quasi-identifier linkage attack
+   that per-query checks miss;
+2. Agrawal–Srikant randomization lets an analyst recover the age
+   distribution without seeing any true age;
+3. secure-sum multiparty mining finds association rules across four
+   hospitals without pooling their records.
+
+Run:  python examples/privacy_mining.py
+"""
+
+import numpy as np
+
+from repro.core.errors import InferenceViolation
+from repro.datagen.tabular import load_patients, market_baskets, numeric_column
+from repro.privacy import (
+    InferenceController,
+    NoiseModel,
+    PrivacyConstraintSet,
+    PrivacyController,
+    PrivacyLevel,
+    centralized_apriori,
+    distributed_apriori,
+    histogram_distance,
+    partition_transactions,
+    privacy_interval,
+    randomize,
+    reconstruct_distribution,
+    true_distribution,
+)
+from repro.relational import Database, Privilege
+
+
+def inference_demo() -> None:
+    print("=== 1. the inference controller ===")
+    database = Database()
+    load_patients(database, 150, seed=201)
+    database.authorization.grant("dba", "analyst", "patients",
+                                 Privilege.SELECT)
+    constraints = PrivacyConstraintSet()
+    constraints.protect_together(
+        "patients", ["zip", "age", "diagnosis"], PrivacyLevel.PRIVATE,
+        name="quasi-identifier-linkage")
+    controller = InferenceController(
+        PrivacyController(database, constraints))
+
+    result = controller.select("analyst", "patients",
+                               ["id", "zip", "age"])
+    print(f"step 1 (zip+age for {len(result)} rows): answered")
+    try:
+        controller.select("analyst", "patients", ["id", "diagnosis"])
+        print("step 2 (diagnosis): answered — linkage completed!")
+    except InferenceViolation as error:
+        print(f"step 2 (diagnosis): REFUSED — {error}")
+
+
+def randomization_demo() -> None:
+    print("\n=== 2. randomization + reconstruction ===")
+    ages = numeric_column(4000, seed=202)
+    noise = NoiseModel("uniform", 25.0)
+    released = randomize(ages, noise, seed=203)
+    print(f"each patient adds U(-25, 25) noise before release; 95% "
+          f"privacy interval = {privacy_interval(noise):.0f} years")
+    bins = np.linspace(15, 100, 18)
+    estimated = reconstruct_distribution(released, noise, bins)
+    actual = true_distribution(ages, bins)
+    naive = true_distribution(released, bins)
+    print(f"distribution error: reconstructed "
+          f"{histogram_distance(estimated, actual):.3f} vs naive "
+          f"{histogram_distance(naive, actual):.3f} (total variation)")
+    bars = (estimated / max(estimated.max(), 1e-9) * 30).astype(int)
+    centers = (bins[:-1] + bins[1:]) / 2
+    print("reconstructed age distribution:")
+    for center, bar in zip(centers, bars):
+        print(f"  {center:5.1f} | {'#' * bar}")
+
+
+def multiparty_demo() -> None:
+    print("\n=== 3. multiparty mining without pooling ===")
+    baskets = market_baskets(800, seed=204)
+    hospitals = partition_transactions(baskets, 4, seed=205)
+    sizes = [len(h.transactions) for h in hospitals]
+    print(f"four hospitals hold {sizes} transactions each")
+    outcome = distributed_apriori(hospitals, 0.15, seed=206)
+    central = centralized_apriori(hospitals, 0.15)
+    print(f"secure-sum mining: {len(outcome.frequent)} frequent "
+          f"itemsets in {outcome.secure_sum_rounds} rounds / "
+          f"{outcome.messages} messages")
+    print(f"identical to centralized mining: "
+          f"{outcome.frequent == central}")
+    top = sorted(outcome.frequent.items(), key=lambda kv: -kv[1])[:3]
+    for itemset, support in top:
+        print(f"  {{{', '.join(sorted(itemset))}}} "
+              f"support={support:.2f}")
+
+
+if __name__ == "__main__":
+    inference_demo()
+    randomization_demo()
+    multiparty_demo()

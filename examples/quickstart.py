@@ -1,0 +1,67 @@
+"""Quickstart: the policy framework and XML views in ~60 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    Action,
+    PolicyBase,
+    PolicyEvaluator,
+    Role,
+    Subject,
+    anyone,
+    deny,
+    grant,
+    has_role,
+)
+from repro.xmldb import parse, pretty
+from repro.xmlsec import XmlPolicyBase, compute_view, xml_deny, xml_grant
+
+
+def main() -> None:
+    # 1. Subjects are qualified by roles/credentials, not just identity.
+    doctor = Subject("dr-grey", roles={Role("doctor")})
+    visitor = Subject("web-visitor")
+
+    # 2. Path-level access control with explicit conflict resolution.
+    evaluator = PolicyEvaluator(PolicyBase([
+        grant(has_role("doctor"), Action.READ, "hospital/records/**"),
+        deny(anyone(), Action.READ, "hospital/records/*/ssn"),
+    ]))
+    print("doctor reads a diagnosis:",
+          evaluator.check(doctor, Action.READ,
+                          "hospital/records/r1/diagnosis"))
+    print("doctor reads an SSN:    ",
+          evaluator.check(doctor, Action.READ,
+                          "hospital/records/r1/ssn"))
+    print("visitor reads anything: ",
+          evaluator.check(visitor, Action.READ,
+                          "hospital/records/r1/diagnosis"))
+
+    # 3. The same ideas inside documents: Author-X policies over XML.
+    document = parse("""
+        <hospital>
+          <record id="r1">
+            <name>Alice</name><diagnosis>flu</diagnosis><ssn>123</ssn>
+          </record>
+          <record id="r2">
+            <name>Bob</name><diagnosis>cold</diagnosis><ssn>456</ssn>
+          </record>
+        </hospital>""", name="records")
+    xml_policies = XmlPolicyBase([
+        xml_grant(has_role("doctor"), "/hospital"),
+        xml_deny(anyone(), "//ssn"),
+        xml_grant(has_role("nurse"), "//record/name"),
+    ])
+
+    for subject in (doctor, Subject("nurse-joy", roles={Role("nurse")}),
+                    visitor):
+        view, stats = compute_view(xml_policies, subject, "records",
+                                   document)
+        print(f"\n--- view for {subject.identity.name} "
+              f"({stats.read_elements} readable elements) ---")
+        print(pretty(view) if view is not None else "(nothing)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""The secure semantic web of §5, layer by layer.
+
+Walks the paper's closing vision: the layer stack and its end-to-end
+argument, semantic RDF security with the "once the war is over"
+declassification, labelled ontologies driving secure information
+integration, and the flexible security dial reacting to an incident.
+
+Run:  python examples/semantic_web_stack.py
+"""
+
+from repro.core.errors import AuthenticationError
+from repro.core.mls import Label, Level
+from repro.crypto.rsa import generate_keypair
+from repro.rdfdb import RDFS, Namespace, SecureRdfStore, triple
+from repro.semweb import (
+    ATTACK_CORPUS,
+    FlexiblePolicy,
+    LayerName,
+    LayerStack,
+    Ontology,
+    ProofEngine,
+    Rule,
+    SecureIntegrator,
+    SituationalPolicy,
+    SourceBinding,
+    TrustPolicy,
+    atom,
+    check_proof,
+    sign_fact,
+)
+
+EX = Namespace("http://gov.example/")
+SECRET = Label(Level.SECRET)
+PUBLIC_READER = Label(Level.UNCLASSIFIED)
+
+
+def layers_demo() -> None:
+    print("=== the layer stack (§5) ===")
+    stack = LayerStack.none_secured()
+    print(f"{'securing':<18} breach-rate  end-to-end")
+    print(f"{'(nothing)':<18} "
+          f"{stack.breach_rate(ATTACK_CORPUS):10.2f}  "
+          f"{stack.end_to_end_secure()}")
+    for layer in LayerName:
+        stack.secure(layer)
+        print(f"+ {layer.value:<16} "
+              f"{stack.breach_rate(ATTACK_CORPUS):10.2f}  "
+              f"{stack.end_to_end_secure()}")
+
+
+def rdf_demo() -> None:
+    print("\n=== semantic RDF security ===")
+    store = SecureRdfStore()
+    report = triple(EX.report17, EX.describes, EX.troopMovements)
+    store.add(report)
+    store.add_context_rule(report, "wartime", SECRET)
+    store.add(triple(EX.describes, RDFS.domain, EX.ClassifiedDoc))
+
+    def about_report(clearance):
+        return store.query(clearance, subject=EX.report17, infer=True,
+                           semantic=True)
+
+    store.set_context("wartime", True)
+    print(f"during the war, a public reader sees "
+          f"{len(about_report(PUBLIC_READER))} triples about report17")
+    store.set_context("wartime", False)
+    after = about_report(PUBLIC_READER)
+    print(f"'once the war is over' it is declassified: {len(after)} "
+          f"triples visible, including the derived ClassifiedDoc "
+          f"typing")
+
+
+def integration_demo() -> None:
+    print("\n=== ontology-driven secure integration ===")
+    ontology = Ontology("shared")
+    ontology.add_term("intel")
+    ontology.add_term("field-report", parents=["intel"])
+    hospital = SecureRdfStore()
+    hospital.add(triple(EX.unitA, EX.reportsOn, "border-crossing"))
+    allied = SecureRdfStore()
+    allied.add(triple(EX.unitB, EX.observes, "convoy"))
+    integrator = SecureIntegrator(ontology)
+    integrator.add_source(SourceBinding(
+        "domestic", hospital, {"field-report": EX.reportsOn}))
+    integrator.add_source(SourceBinding(
+        "allied", allied, {"field-report": EX.observes},
+        trust=SECRET))
+    for clearance, label in ((PUBLIC_READER, "uncleared analyst"),
+                             (SECRET, "cleared analyst")):
+        results = integrator.query_term(clearance, "intel")
+        print(f"{label}: {len(results)} integrated facts "
+              f"(sources: {sorted({r.source for r in results})})")
+
+
+def flexible_demo() -> None:
+    print("\n=== the flexible security dial ===")
+    situational = SituationalPolicy(FlexiblePolicy())
+    for situation in ("relaxed", "under-attack", "normal"):
+        point = situational.escalate_to(situation)
+        print(f"{situation:>12}: dial={situational.dial():3d} "
+              f"throughput={point.throughput:.2f} "
+              f"residual-risk={point.residual_risk:.2f} "
+              f"active={', '.join(point.active_measures[-2:]) or '-'}")
+
+
+def trust_demo() -> None:
+    print("\n=== logic, proof and trust (the top layer) ===")
+    board = generate_keypair(bits=256, seed=99)
+    rules = [Rule(atom("canRead", "?u", "?d"),
+                  (atom("doctor", "?u"), atom("record", "?d")),
+                  name="doctors-read-records")]
+    engine = ProofEngine(rules, [
+        sign_fact(atom("doctor", "grey"), "board", board.private),
+        sign_fact(atom("record", "r17"), "board", board.private),
+    ])
+    trust = TrustPolicy()
+    trust.trust("board", board.public, ["doctor", "record"])
+    proof = engine.prove(atom("canRead", "grey", "r17"))
+    check_proof(proof, trust, rules)
+    print(f"proved {proof.conclusion} with a {proof.size()}-node proof; "
+          f"checker accepted it (leaves signed by the medical board)")
+    bogus = Rule(atom("canRead", "?u", "?d"), (), name="everything-goes")
+    forged = ProofEngine([bogus], []).prove(
+        atom("canRead", "mallory", "r17"))
+    try:
+        check_proof(forged, trust, rules)
+        print("forged proof ACCEPTED — must not happen")
+    except AuthenticationError:
+        print("forged proof (invented rule) rejected by the checker")
+
+
+if __name__ == "__main__":
+    layers_demo()
+    rdf_demo()
+    integration_demo()
+    flexible_demo()
+    trust_demo()

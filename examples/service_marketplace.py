@@ -1,0 +1,101 @@
+"""A web-service marketplace on a third-party discovery agency (§2.2/§4).
+
+Providers publish Merkle-signed entries to a UDDI registry run by a
+discovery agency; a requestor browses, drills down with client-side
+verification, checks the provider's P3P policy against her preferences,
+and finally invokes the service over the signed/encrypted message bus.
+Then the agency is compromised — and the requestor notices.
+
+Run:  python examples/service_marketplace.py
+"""
+
+from repro.core import Subject, anyone, grant
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.policy import Action, PolicyBase
+from repro.core.errors import AuthenticationError
+from repro.p3p import (
+    DataCategory,
+    P3PPolicy,
+    Purpose,
+    Recipient,
+    Retention,
+    match,
+    statement,
+    strictness_profile,
+)
+from repro.uddi import ThirdPartyDeployment, make_business, make_service
+from repro.wsa import (
+    DiscoveryAgencyActor,
+    MessageBus,
+    ServiceProvider,
+    ServiceRequestor,
+    describe,
+)
+
+ALICE = Subject("alice")
+
+
+def main() -> None:
+    evaluator = PolicyEvaluator(PolicyBase([
+        grant(anyone(), Action.READ, "uddi/**"),
+        grant(anyone(), Action.WRITE, "uddi/**"),
+    ]))
+    deployment = ThirdPartyDeployment(evaluator)
+    agency = DiscoveryAgencyActor("discovery", deployment)
+
+    # Provider publishes a signed entry.
+    weatherco_key = deployment.register_provider("weatherco",
+                                                 key_seed=111)
+    entity = make_business("WeatherCo", "forecasts as a service")
+    entity = entity.with_service(make_service(
+        "city forecast", category="weather", access_point="weather-ws"))
+    deployment.publish("weatherco", entity)
+    print("WeatherCo published a Merkle-signed registry entry")
+
+    # Requestor discovers and verifies the answer locally.
+    bus = MessageBus()
+    requestor = ServiceRequestor("alice", bus, key_seed=112)
+    rows = requestor.discover(agency, ALICE, category="weather")
+    print(f"browse found: {[r.service_name for r in rows]}")
+    answer = requestor.verified_service_detail(
+        agency, ALICE, rows[0].service_key, "weatherco")
+    endpoint = next(n.text for n in answer.view.iter()
+                    if n.tag == "accessPoint")
+    print(f"drill-down verified against WeatherCo's summary signature; "
+          f"endpoint = {endpoint}")
+
+    # P3P gate before invoking.
+    weather_policy = P3PPolicy("weatherco", (statement(
+        [DataCategory.LOCATION], [Purpose.CURRENT], [Recipient.OURS],
+        Retention.NO_RETENTION),))
+    preferences = strictness_profile(3, "alice-minimal")
+    verdict = match(weather_policy, preferences)
+    print(f"P3P check against {preferences.name!r}: "
+          f"acceptable={verdict.acceptable}")
+
+    # Secure invocation.
+    provider = ServiceProvider(
+        "weather-ws", describe("Weather",
+                               forecast=(("city",), ("temp",))),
+        bus, key_seed=113, require_signatures=True)
+    provider.implement("forecast",
+                       lambda s, p: {"temp": f"21C in {p['city']}"})
+    provider.trust_requestor("alice", requestor.public_key)
+    requestor.trust_provider("weather-ws", provider.public_key)
+    output = requestor.invoke(endpoint, "forecast", {"city": "Como"},
+                              sign_request=True, encrypt=["city"])
+    print(f"invocation (signed + encrypted city): {output['temp']}")
+
+    # The agency goes rogue.
+    deployment.compromise()
+    print("\ndiscovery agency compromised; it now rewrites answers...")
+    try:
+        requestor.verified_service_detail(
+            agency, ALICE, rows[0].service_key, "weatherco")
+        print("  forged answer ACCEPTED — this must not happen")
+    except AuthenticationError as error:
+        print(f"  forged answer rejected: {error}")
+
+
+if __name__ == "__main__":
+    main()

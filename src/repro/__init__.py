@@ -1,0 +1,28 @@
+"""repro — reproduction of Ferrari & Thuraisingham, *Security and Privacy
+for Web Databases and Services* (EDBT 2004).
+
+The paper is a vision paper; this library builds every system it describes:
+
+- :mod:`repro.core` — the unified policy framework (subjects, credentials,
+  hierarchical objects, signed policies, conflict resolution, MLS, audit);
+- :mod:`repro.crypto` — educational-strength crypto substrate (RSA,
+  hashing, stream cipher, key management);
+- :mod:`repro.xmldb` / :mod:`repro.xmlsec` — XML database and Author-X
+  style fine-grained access control, views and secure dissemination;
+- :mod:`repro.merkle` / :mod:`repro.pubsub` — Merkle trees and secure
+  third-party publishing with authenticity + completeness proofs;
+- :mod:`repro.uddi` / :mod:`repro.wsa` — UDDI registries (two- and
+  third-party) and the Web Service Architecture with message security;
+- :mod:`repro.rdfdb` — RDF store with semantic-level access control;
+- :mod:`repro.relational` — relational substrate with System R
+  authorization and web transaction models;
+- :mod:`repro.privacy` — privacy constraints, inference controller and
+  privacy-preserving data mining;
+- :mod:`repro.p3p` — P3P policies, preferences, and the W3C WSA privacy
+  requirements;
+- :mod:`repro.semweb` — the layered secure semantic web of §5;
+- :mod:`repro.datagen` / :mod:`repro.bench` — synthetic workloads and the
+  experiment harness.
+"""
+
+__version__ = "1.0.0"

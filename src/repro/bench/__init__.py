@@ -1,0 +1,19 @@
+"""Benchmark harness: experiment registry, timers, table rendering."""
+
+from repro.bench.harness import (
+    Experiment,
+    ExperimentResult,
+    Timer,
+    all_experiments,
+    get_experiment,
+    register,
+    run_all,
+    time_callable,
+)
+from repro.bench.tables import format_cell, render_table
+
+__all__ = [
+    "Experiment", "ExperimentResult", "Timer", "all_experiments",
+    "format_cell", "get_experiment", "register", "render_table",
+    "run_all", "time_callable",
+]

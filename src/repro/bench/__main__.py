@@ -1,0 +1,21 @@
+"""CLI: ``python -m repro.bench [E1 E2 ...]`` runs experiments and
+prints their tables (all of them by default)."""
+
+from __future__ import annotations
+
+import sys
+
+import repro.bench.experiments  # noqa: F401  (registers everything)
+from repro.bench.harness import run_all
+
+
+def main(argv: list[str]) -> int:
+    ids = argv or None
+    for result in run_all(ids):
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

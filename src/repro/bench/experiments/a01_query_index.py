@@ -1,0 +1,64 @@
+"""A1 (ablation) — path indexes and the §2.1 cost model.
+
+DESIGN.md design choice: XPath evaluation is naive tree-walking; hot
+query shapes get an inverted path index behind a cost model.  This
+ablation measures what the index buys on the hospital corpus and shows
+the cost model routing each query to the cheaper strategy.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult, register, time_callable
+from repro.datagen.documents import hospital_corpus
+from repro.xmldb.index import PathIndex, QueryCostModel, indexed_select
+from repro.xmldb.xpath import select_elements
+
+INDEXABLE = ["//record", "//diagnosis",
+             "//record[@id='r7']", "//record[diagnosis='influenza']"]
+NON_INDEXABLE = ["//record/name", "/hospital/record[3]",
+                 "//record[diagnosis='influenza']/name"]
+
+
+@register("A1", "ablation: inverted path indexes + cost model vs naive "
+               "tree-walking XPath (§2.1 'index strategies' and 'cost "
+               "models')")
+def run() -> ExperimentResult:
+    rows = []
+    for record_count in (50, 200, 800):
+        document = hospital_corpus(record_count, seed=41)
+        build_time, index = time_callable(
+            lambda: PathIndex(document.root), repeats=1)
+        model = QueryCostModel(index, document.size())
+
+        def scan_all() -> int:
+            return sum(len(select_elements(q, document))
+                       for q in INDEXABLE)
+
+        def probe_all() -> int:
+            return sum(len(indexed_select(index, q, document))
+                       for q in INDEXABLE)
+
+        scan_time, scan_hits = time_callable(scan_all, repeats=3)
+        probe_time, probe_hits = time_callable(probe_all, repeats=3)
+        assert scan_hits == probe_hits  # identical answers
+        for query in INDEXABLE + NON_INDEXABLE:
+            model.run(query, document)
+        rows.append([record_count, document.size(),
+                     build_time * 1e3, scan_time * 1e3,
+                     probe_time * 1e3,
+                     scan_time / max(probe_time, 1e-9),
+                     f"{model.decisions['index']}/{model.decisions['scan']}"])
+    observations = [
+        "index probes answer the hot shapes orders of magnitude faster "
+        "and the gap widens with document size",
+        "the cost model routes indexable shapes to the index and "
+        "everything else to the (always-correct) scan",
+        "answers are asserted identical between strategies",
+    ]
+    return ExperimentResult(
+        "A1", "Ablation: path index vs naive scan "
+              f"({len(INDEXABLE)} indexable + {len(NON_INDEXABLE)} "
+              "fallback queries)",
+        ["records", "elements", "build ms", "scan ms", "index ms",
+         "speedup", "index/scan decisions"],
+        rows, observations)

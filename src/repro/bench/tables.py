@@ -1,0 +1,58 @@
+"""Fixed-width table rendering for benchmark output.
+
+Every benchmark prints its results through :func:`render_table` so the
+rows EXPERIMENTS.md records look identical run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an ASCII table; numeric columns right-aligned."""
+    text_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    numeric = [
+        all(isinstance(row[index], (int, float)) and
+            not isinstance(row[index], bool)
+            for row in rows) if rows else False
+        for index in range(len(headers))]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    output: list[str] = []
+    if title:
+        output.append(title)
+    output.append(line(list(headers)))
+    output.append(separator)
+    for row in text_rows:
+        output.append(line(row))
+    return "\n".join(output)

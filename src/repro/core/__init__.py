@@ -1,0 +1,97 @@
+"""Unified security & privacy policy framework — the paper's core concepts.
+
+The EDBT 2004 paper argues that web databases and services need subject
+qualification beyond identities (roles, credentials), fine-grained
+hierarchical protection objects, positive and negative content-dependent
+policies with explicit conflict resolution, multilevel labels with
+context-dependent (de)classification, and an audit trail.  This package is
+that framework; every other subpackage builds on it.
+"""
+
+from repro.core.audit import AuditLog, AuditRecord
+from repro.core.credentials import (
+    Credential,
+    CredentialExpression,
+    CredentialType,
+    anyone,
+    attribute_at_least,
+    attribute_equals,
+    attribute_in,
+    has_credential,
+    has_role,
+    is_identity,
+    issued_by,
+    nobody,
+)
+from repro.core.errors import (
+    AccessDenied,
+    AuthenticationError,
+    CompletenessError,
+    ConfigurationError,
+    InferenceViolation,
+    IntegrityError,
+    KeyManagementError,
+    ParseError,
+    PolicyConflict,
+    PrivacyViolation,
+    QueryError,
+    RegistryError,
+    ReproError,
+    SecurityError,
+    ServiceFault,
+    TransactionError,
+)
+from repro.core.evaluator import (
+    ConflictResolution,
+    Decision,
+    DefaultDecision,
+    PolicyEvaluator,
+)
+from repro.core.mls import (
+    PUBLIC,
+    ClassificationMap,
+    Label,
+    Level,
+    can_read,
+    can_write,
+)
+from repro.core.objects import (
+    ObjectHierarchy,
+    ProtectionObject,
+    ResourcePath,
+    ResourcePattern,
+)
+from repro.core.policy import (
+    Action,
+    Policy,
+    PolicyBase,
+    Propagation,
+    Sign,
+    deny,
+    grant,
+)
+from repro.core.subjects import (
+    Identity,
+    Role,
+    RoleHierarchy,
+    Subject,
+    SubjectDirectory,
+)
+
+__all__ = [
+    "AccessDenied", "Action", "AuditLog", "AuditRecord",
+    "AuthenticationError", "ClassificationMap", "CompletenessError",
+    "ConfigurationError", "ConflictResolution", "Credential",
+    "CredentialExpression", "CredentialType", "Decision", "DefaultDecision",
+    "Identity", "InferenceViolation", "IntegrityError",
+    "KeyManagementError", "Label", "Level", "ObjectHierarchy", "PUBLIC",
+    "ParseError", "Policy", "PolicyBase", "PolicyConflict",
+    "PolicyEvaluator", "PrivacyViolation", "Propagation",
+    "ProtectionObject", "QueryError", "RegistryError", "ReproError",
+    "ResourcePath", "ResourcePattern", "Role", "RoleHierarchy",
+    "SecurityError", "ServiceFault", "Sign", "Subject",
+    "SubjectDirectory", "TransactionError", "anyone",
+    "attribute_at_least", "attribute_equals", "attribute_in", "can_read",
+    "can_write", "deny", "grant", "has_credential", "has_role",
+    "is_identity", "issued_by", "nobody",
+]

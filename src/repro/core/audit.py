@@ -1,0 +1,114 @@
+"""Tamper-evident audit log.
+
+Every security decision in the library can be recorded here.  Records are
+hash-chained (each record's digest covers the previous digest), so
+truncation or in-place modification of history is detectable — the
+"malicious corruption" the paper's introduction worries about, applied to
+the security subsystem's own trail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.errors import IntegrityError
+
+#: Monotonic logical clock; injectable for deterministic tests.
+Clock = Callable[[], int]
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One immutable entry in the chain."""
+
+    sequence: int
+    timestamp: int
+    subject: str
+    action: str
+    resource: str
+    granted: bool
+    detail: str
+    previous_digest: str
+    digest: str
+
+    @staticmethod
+    def compute_digest(sequence: int, timestamp: int, subject: str,
+                       action: str, resource: str, granted: bool,
+                       detail: str, previous_digest: str) -> str:
+        body = json.dumps(
+            [sequence, timestamp, subject, action, resource, granted,
+             detail, previous_digest],
+            separators=(",", ":"), ensure_ascii=True)
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+GENESIS_DIGEST = "0" * 64
+
+
+class AuditLog:
+    """Append-only, hash-chained log of security decisions."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._records: list[AuditRecord] = []
+        self._counter = 0
+        if clock is None:
+            clock = self._logical_clock
+        self._clock = clock
+
+    def _logical_clock(self) -> int:
+        return self._counter
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)
+
+    def record(self, subject: str, action: str, resource: str,
+               granted: bool, detail: str = "") -> AuditRecord:
+        """Append one decision to the chain."""
+        previous = self._records[-1].digest if self._records else GENESIS_DIGEST
+        sequence = self._counter
+        self._counter += 1
+        timestamp = self._clock()
+        digest = AuditRecord.compute_digest(
+            sequence, timestamp, subject, action, resource, granted,
+            detail, previous)
+        entry = AuditRecord(sequence, timestamp, subject, action, resource,
+                            granted, detail, previous, digest)
+        self._records.append(entry)
+        return entry
+
+    def verify(self) -> bool:
+        """Recompute the whole chain; raise IntegrityError on any break."""
+        previous = GENESIS_DIGEST
+        for index, entry in enumerate(self._records):
+            if entry.sequence != index:
+                raise IntegrityError(
+                    f"audit record {index}: sequence gap "
+                    f"(found {entry.sequence})")
+            if entry.previous_digest != previous:
+                raise IntegrityError(
+                    f"audit record {index}: broken chain link")
+            expected = AuditRecord.compute_digest(
+                entry.sequence, entry.timestamp, entry.subject,
+                entry.action, entry.resource, entry.granted, entry.detail,
+                entry.previous_digest)
+            if expected != entry.digest:
+                raise IntegrityError(
+                    f"audit record {index}: digest mismatch")
+            previous = entry.digest
+        return True
+
+    def denials(self) -> list[AuditRecord]:
+        return [r for r in self._records if not r.granted]
+
+    def for_subject(self, subject: str) -> list[AuditRecord]:
+        return [r for r in self._records if r.subject == subject]
+
+    def tail_digest(self) -> str:
+        """Digest committing to the entire history so far."""
+        return self._records[-1].digest if self._records else GENESIS_DIGEST

@@ -1,0 +1,200 @@
+"""Credentials: attribute bundles that qualify subjects (Author-X style).
+
+The paper (§3.1, §3.2) repeatedly points at *credentials* as the web-scale
+replacement for identity lists: "a more flexible way of qualifying subjects
+is needed, for instance based on the notion of role or credential".  In the
+Author-X model [5] credentials are typed attribute sets specified in XML;
+policies then select subjects with *credential expressions* over those
+attributes.
+
+This module provides:
+
+* :class:`CredentialType` — a named schema: which attributes a credential of
+  this type carries, and which are mandatory;
+* :class:`Credential` — an instance: type + attribute values + issuer;
+* :class:`CredentialExpression` — a small, composable predicate language
+  (``attr("age") >= 18 AND has_type("physician")``) evaluated against a
+  subject's credential set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, TYPE_CHECKING
+
+from repro.core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.subjects import Subject
+
+
+@dataclass(frozen=True)
+class CredentialType:
+    """Schema for a family of credentials.
+
+    Parameters
+    ----------
+    name:
+        Type name, e.g. ``"physician"``.
+    attributes:
+        All attribute names a credential of this type may carry.
+    mandatory:
+        Subset of ``attributes`` that every instance must provide.
+    """
+
+    name: str
+    attributes: frozenset[str] = frozenset()
+    mandatory: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        missing = self.mandatory - self.attributes
+        if missing:
+            raise ConfigurationError(
+                f"credential type {self.name!r}: mandatory attributes "
+                f"{sorted(missing)} not declared")
+
+    def issue(self, issuer: str = "self",
+              **attribute_values: object) -> "Credential":
+        """Create a validated credential instance of this type."""
+        unknown = set(attribute_values) - set(self.attributes)
+        if unknown:
+            raise ConfigurationError(
+                f"credential type {self.name!r}: unknown attributes "
+                f"{sorted(unknown)}")
+        absent = self.mandatory - set(attribute_values)
+        if absent:
+            raise ConfigurationError(
+                f"credential type {self.name!r}: missing mandatory "
+                f"attributes {sorted(absent)}")
+        return Credential(self.name, dict(attribute_values), issuer)
+
+
+@dataclass(frozen=True)
+class Credential:
+    """An issued credential: a typed, immutable attribute bundle."""
+
+    type_name: str
+    attributes: Mapping[str, object]
+    issuer: str = "self"
+
+    def __post_init__(self) -> None:
+        # Freeze the mapping so credentials are safely hashable by identity
+        # of content.
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def __hash__(self) -> int:
+        return hash((self.type_name, self.issuer,
+                     tuple(sorted(self.attributes.items()))))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Credential):
+            return NotImplemented
+        return (self.type_name == other.type_name
+                and self.issuer == other.issuer
+                and dict(self.attributes) == dict(other.attributes))
+
+
+class CredentialExpression:
+    """A predicate over a subject's credentials.
+
+    Expressions compose with ``&`` (and), ``|`` (or) and ``~`` (not), and
+    are built from the factory functions below.  ``evaluate(subject)``
+    returns a bool; expressions never raise on missing attributes — a
+    comparison against an absent attribute is simply false.
+    """
+
+    def __init__(self, predicate: Callable[["Subject"], bool],
+                 description: str) -> None:
+        self._predicate = predicate
+        self.description = description
+
+    def evaluate(self, subject: "Subject") -> bool:
+        return bool(self._predicate(subject))
+
+    def __call__(self, subject: "Subject") -> bool:
+        return self.evaluate(subject)
+
+    def __and__(self, other: "CredentialExpression") -> "CredentialExpression":
+        return CredentialExpression(
+            lambda s: self.evaluate(s) and other.evaluate(s),
+            f"({self.description} AND {other.description})")
+
+    def __or__(self, other: "CredentialExpression") -> "CredentialExpression":
+        return CredentialExpression(
+            lambda s: self.evaluate(s) or other.evaluate(s),
+            f"({self.description} OR {other.description})")
+
+    def __invert__(self) -> "CredentialExpression":
+        return CredentialExpression(
+            lambda s: not self.evaluate(s),
+            f"(NOT {self.description})")
+
+    def __repr__(self) -> str:
+        return f"CredentialExpression({self.description})"
+
+
+def anyone() -> CredentialExpression:
+    """Matches every subject (the open-world 'public' qualifier)."""
+    return CredentialExpression(lambda s: True, "anyone")
+
+
+def nobody() -> CredentialExpression:
+    """Matches no subject; useful as an explicit lock."""
+    return CredentialExpression(lambda s: False, "nobody")
+
+
+def is_identity(name: str) -> CredentialExpression:
+    """Matches the single subject whose identity is *name*."""
+    return CredentialExpression(
+        lambda s: s.identity.name == name, f"identity={name}")
+
+
+def has_role(role_name: str) -> CredentialExpression:
+    """Matches subjects holding a role named *role_name* (no hierarchy)."""
+    return CredentialExpression(
+        lambda s: any(r.name == role_name for r in s.roles),
+        f"role={role_name}")
+
+
+def has_credential(type_name: str) -> CredentialExpression:
+    """Matches subjects holding any credential of the given type."""
+    return CredentialExpression(
+        lambda s: s.credential_of_type(type_name) is not None,
+        f"credential={type_name}")
+
+
+def issued_by(type_name: str, issuer: str) -> CredentialExpression:
+    """Matches subjects holding a *type_name* credential from *issuer*."""
+    return CredentialExpression(
+        lambda s: any(c.type_name == type_name and c.issuer == issuer
+                      for c in s.credentials),
+        f"credential={type_name} issuer={issuer}")
+
+
+def attribute_equals(type_name: str, attribute: str,
+                     value: object) -> CredentialExpression:
+    """Matches subjects whose credential attribute equals *value*."""
+    return CredentialExpression(
+        lambda s: s.attribute(type_name, attribute) == value,
+        f"{type_name}.{attribute}=={value!r}")
+
+
+def attribute_at_least(type_name: str, attribute: str,
+                       threshold: float) -> CredentialExpression:
+    """Matches subjects whose numeric attribute is >= *threshold*."""
+
+    def check(subject: "Subject") -> bool:
+        value = subject.attribute(type_name, attribute)
+        return isinstance(value, (int, float)) and value >= threshold
+
+    return CredentialExpression(
+        check, f"{type_name}.{attribute}>={threshold}")
+
+
+def attribute_in(type_name: str, attribute: str,
+                 values: Iterable[object]) -> CredentialExpression:
+    """Matches subjects whose attribute is one of *values*."""
+    allowed = frozenset(values)
+    return CredentialExpression(
+        lambda s: s.attribute(type_name, attribute) in allowed,
+        f"{type_name}.{attribute} in {sorted(map(repr, allowed))}")

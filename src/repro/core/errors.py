@@ -1,0 +1,100 @@
+"""Exception hierarchy shared by every subsystem of the library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+caller can catch a single base class.  Security-relevant failures form their
+own branch under :class:`SecurityError` so that audit hooks can distinguish
+"the request was malformed" from "the request was denied or forged".
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was assembled with inconsistent or missing parameters."""
+
+
+class SecurityError(ReproError):
+    """Base class for security-relevant failures."""
+
+
+class AccessDenied(SecurityError):
+    """An access request was evaluated and denied.
+
+    Attributes
+    ----------
+    subject, action, resource:
+        Echo of the request, useful for audit records and error messages.
+    """
+
+    def __init__(self, subject: object, action: object, resource: object,
+                 reason: str = "") -> None:
+        self.subject = subject
+        self.action = action
+        self.resource = resource
+        self.reason = reason
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"access denied: subject={subject!r} action={action!r} "
+            f"resource={resource!r}{detail}")
+
+
+class AuthenticationError(SecurityError):
+    """A claimed identity or signature could not be verified."""
+
+
+class IntegrityError(SecurityError):
+    """Data failed an integrity (tamper-evidence) check."""
+
+
+class CompletenessError(SecurityError):
+    """A third party returned fewer results than the owner authorized."""
+
+
+class PrivacyViolation(SecurityError):
+    """Releasing a value or pattern would violate a privacy constraint."""
+
+
+class InferenceViolation(PrivacyViolation):
+    """A query is individually safe but completes a forbidden inference."""
+
+
+class PolicyConflict(SecurityError):
+    """Two applicable policies disagree and no resolution rule applies."""
+
+
+class KeyManagementError(SecurityError):
+    """A cryptographic key was missing, duplicated or malformed."""
+
+
+class ParseError(ReproError):
+    """Input text could not be parsed (XML, XPath, policy syntax...)."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class QueryError(ReproError):
+    """A structurally valid query referenced unknown tables/columns etc."""
+
+
+class TransactionError(ReproError):
+    """A transaction could not commit (conflict, constraint violation)."""
+
+
+class RegistryError(ReproError):
+    """A UDDI registry operation failed (unknown key, duplicate entry)."""
+
+
+class ServiceFault(ReproError):
+    """A web-service invocation returned a SOAP fault."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(f"[{code}] {message}")

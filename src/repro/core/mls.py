@@ -1,0 +1,139 @@
+"""Multilevel security (MLS) lattice and Bell–LaPadula checks.
+
+Section 5 of the paper speaks the MLS vocabulary directly: "under certain
+contexts, portions of the document may be Unclassified while under certain
+other context the document may be Classified ... one could declassify an
+RDF document, once the war is over".  This module provides the classical
+four-level lattice with optional compartments (categories), dominance,
+and the Bell–LaPadula simple-security / *-property checks used by
+:mod:`repro.rdfdb.security` and :mod:`repro.semweb`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+
+
+class Level(enum.IntEnum):
+    """Hierarchical sensitivity levels, totally ordered."""
+
+    UNCLASSIFIED = 0
+    CONFIDENTIAL = 1
+    SECRET = 2
+    TOP_SECRET = 3
+
+    @classmethod
+    def parse(cls, text: "Level | str") -> "Level":
+        if isinstance(text, Level):
+            return text
+        try:
+            return cls[text.strip().upper().replace(" ", "_")]
+        except KeyError:
+            raise ConfigurationError(f"unknown security level {text!r}") from None
+
+    def __str__(self) -> str:
+        return self.name.title().replace("_", " ")
+
+
+@dataclass(frozen=True)
+class Label:
+    """A security label: hierarchical level plus a compartment set.
+
+    ``Label(Level.SECRET, {"nuclear"})`` dominates
+    ``Label(Level.CONFIDENTIAL, {"nuclear"})`` but is incomparable with
+    ``Label(Level.SECRET, {"crypto"})``.
+    """
+
+    level: Level
+    compartments: frozenset[str] = frozenset()
+
+    def __init__(self, level: "Level | str",
+                 compartments: Iterable[str] = ()) -> None:
+        object.__setattr__(self, "level", Level.parse(level))
+        object.__setattr__(self, "compartments", frozenset(compartments))
+
+    def dominates(self, other: "Label") -> bool:
+        """Lattice order: level >= and compartments superset."""
+        return (self.level >= other.level
+                and self.compartments >= other.compartments)
+
+    def join(self, other: "Label") -> "Label":
+        """Least upper bound, the label of combined information."""
+        return Label(max(self.level, other.level),
+                     self.compartments | other.compartments)
+
+    def meet(self, other: "Label") -> "Label":
+        """Greatest lower bound."""
+        return Label(min(self.level, other.level),
+                     self.compartments & other.compartments)
+
+    def __str__(self) -> str:
+        if self.compartments:
+            return f"{self.level} [{','.join(sorted(self.compartments))}]"
+        return str(self.level)
+
+
+#: The public label, bottom of the lattice.
+PUBLIC = Label(Level.UNCLASSIFIED)
+
+
+def can_read(clearance: Label, object_label: Label) -> bool:
+    """Bell–LaPadula simple-security property: no read up."""
+    return clearance.dominates(object_label)
+
+
+def can_write(clearance: Label, object_label: Label) -> bool:
+    """Bell–LaPadula *-property: no write down."""
+    return object_label.dominates(clearance)
+
+
+class ClassificationMap:
+    """Labels for a set of named items, with a default.
+
+    This is the piece the RDF/ontology security layers reuse: stores map
+    item keys (triple ids, ontology terms, layer names) to labels and ask
+    dominance questions.  It also implements *context-dependent*
+    classification: :meth:`declassify` and :meth:`reclassify` move items
+    between levels when the world changes ("once the war is over").
+    """
+
+    def __init__(self, default: Label = PUBLIC) -> None:
+        self.default = default
+        self._labels: dict[object, Label] = {}
+
+    def classify(self, item: object, label: Label | Level | str) -> None:
+        if not isinstance(label, Label):
+            label = Label(label)
+        self._labels[item] = label
+
+    def label_of(self, item: object) -> Label:
+        return self._labels.get(item, self.default)
+
+    def declassify(self, item: object, to: Label | Level | str = PUBLIC) -> Label:
+        """Lower an item's label; raises if the move is an upgrade."""
+        new = to if isinstance(to, Label) else Label(to)
+        current = self.label_of(item)
+        if not current.dominates(new):
+            raise ConfigurationError(
+                f"declassify must lower the label: {current} -> {new}")
+        self._labels[item] = new
+        return new
+
+    def reclassify(self, item: object, to: Label | Level | str) -> Label:
+        """Raise (or arbitrarily move) an item's label."""
+        new = to if isinstance(to, Label) else Label(to)
+        self._labels[item] = new
+        return new
+
+    def readable_by(self, clearance: Label,
+                    items: Iterable[object]) -> list[object]:
+        """Filter *items* to those the clearance may read."""
+        return [item for item in items
+                if can_read(clearance, self.label_of(item))]
+
+    def items(self) -> dict[object, Label]:
+        return dict(self._labels)

@@ -1,0 +1,194 @@
+"""Subjects: the *who* of an access request.
+
+The paper's §3.1 observes that the population accessing web databases is
+"greater and more dynamic than the one accessing conventional DBMSs", so
+identity-based access control alone is not enough and subjects must be
+qualifiable by *roles* and *credentials*.  This module provides the three
+subject-qualification mechanisms side by side so that the rest of the
+library — and benchmark E1 — can compare them:
+
+* :class:`Identity` — a bare user id, the conventional-DBMS model;
+* :class:`Role` / :class:`RoleHierarchy` — named functions with seniority
+  (RBAC-style), a role implies every role it dominates;
+* credentials — attribute bundles, defined in :mod:`repro.core.credentials`
+  and attached to subjects here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.credentials import Credential
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Identity:
+    """A bare user identity.
+
+    Identities compare by ``name`` only; two ``Identity("alice")`` objects
+    are the same subject.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Role:
+    """A named role, e.g. ``Role("doctor")``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class RoleHierarchy:
+    """A partial order over roles: senior roles inherit junior permissions.
+
+    ``add_seniority(senior, junior)`` records that *senior* dominates
+    *junior*.  :meth:`dominated_by` returns the downward closure — every
+    role a given role may act as, including itself.  Cycles are rejected,
+    keeping the hierarchy a DAG.
+    """
+
+    def __init__(self) -> None:
+        self._juniors: dict[Role, set[Role]] = {}
+
+    def add_role(self, role: Role) -> None:
+        """Register *role* with no seniority edges (idempotent)."""
+        self._juniors.setdefault(role, set())
+
+    def add_seniority(self, senior: Role, junior: Role) -> None:
+        """Record that *senior* dominates *junior*."""
+        if senior == junior:
+            raise ConfigurationError(f"role {senior} cannot dominate itself")
+        if senior in self.dominated_by(junior):
+            raise ConfigurationError(
+                f"adding {senior} > {junior} would create a cycle")
+        self.add_role(senior)
+        self.add_role(junior)
+        self._juniors[senior].add(junior)
+
+    def roles(self) -> Iterator[Role]:
+        return iter(self._juniors)
+
+    def dominated_by(self, role: Role) -> set[Role]:
+        """Every role *role* may act as (reflexive, transitive closure)."""
+        closure: set[Role] = set()
+        stack = [role]
+        while stack:
+            current = stack.pop()
+            if current in closure:
+                continue
+            closure.add(current)
+            stack.extend(self._juniors.get(current, ()))
+        return closure
+
+    def dominates(self, senior: Role, junior: Role) -> bool:
+        """True if *senior* may act as *junior* (reflexively)."""
+        return junior in self.dominated_by(senior)
+
+
+class Subject:
+    """A fully qualified subject: identity + roles + credentials.
+
+    This is the object handed to :class:`repro.core.evaluator.PolicyEvaluator`
+    when checking a request.  ``effective_roles`` expands the directly
+    assigned roles through an optional :class:`RoleHierarchy`.
+    """
+
+    def __init__(self, identity: Identity | str,
+                 roles: Iterable[Role] = (),
+                 credentials: Iterable[Credential] = ()) -> None:
+        if isinstance(identity, str):
+            identity = Identity(identity)
+        self.identity = identity
+        self.roles: frozenset[Role] = frozenset(roles)
+        self.credentials: tuple[Credential, ...] = tuple(credentials)
+
+    def __repr__(self) -> str:
+        return (f"Subject({self.identity.name!r}, roles={sorted(r.name for r in self.roles)}, "
+                f"credentials={[c.type_name for c in self.credentials]})")
+
+    def effective_roles(self, hierarchy: RoleHierarchy | None = None
+                        ) -> frozenset[Role]:
+        """Directly assigned roles plus everything they dominate."""
+        if hierarchy is None:
+            return self.roles
+        expanded: set[Role] = set()
+        for role in self.roles:
+            expanded |= hierarchy.dominated_by(role)
+        return frozenset(expanded)
+
+    def credential_of_type(self, type_name: str) -> Credential | None:
+        """The first credential of the given type, or None."""
+        for credential in self.credentials:
+            if credential.type_name == type_name:
+                return credential
+        return None
+
+    def attribute(self, type_name: str, attribute: str) -> object | None:
+        """Look up ``attribute`` on the first credential of ``type_name``."""
+        credential = self.credential_of_type(type_name)
+        if credential is None:
+            return None
+        return credential.attributes.get(attribute)
+
+
+class SubjectDirectory:
+    """A registry of known subjects keyed by identity name.
+
+    Plays the part of the web site's user store.  Role assignment and
+    credential issuance go through the directory so tests and benchmarks
+    have one mutation point.
+    """
+
+    def __init__(self, hierarchy: RoleHierarchy | None = None) -> None:
+        self.hierarchy = hierarchy or RoleHierarchy()
+        self._subjects: dict[str, Subject] = {}
+
+    def __len__(self) -> int:
+        return len(self._subjects)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._subjects
+
+    def register(self, subject: Subject) -> Subject:
+        name = subject.identity.name
+        if name in self._subjects:
+            raise ConfigurationError(f"subject {name!r} already registered")
+        self._subjects[name] = subject
+        return subject
+
+    def create(self, name: str, roles: Iterable[Role] = (),
+               credentials: Iterable[Credential] = ()) -> Subject:
+        return self.register(Subject(name, roles, credentials))
+
+    def get(self, name: str) -> Subject:
+        try:
+            return self._subjects[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown subject {name!r}") from None
+
+    def assign_role(self, name: str, role: Role) -> Subject:
+        """Return a new Subject with *role* added (directory is updated)."""
+        old = self.get(name)
+        new = Subject(old.identity, old.roles | {role}, old.credentials)
+        self._subjects[name] = new
+        return new
+
+    def issue_credential(self, name: str, credential: Credential) -> Subject:
+        """Return a new Subject with *credential* attached."""
+        old = self.get(name)
+        new = Subject(old.identity, old.roles,
+                      old.credentials + (credential,))
+        self._subjects[name] = new
+        return new
+
+    def subjects(self) -> Iterator[Subject]:
+        return iter(self._subjects.values())

@@ -1,0 +1,37 @@
+"""Cryptographic substrate: hashing, RSA, symmetric encryption, key stores.
+
+Educational-strength but semantically honest: signatures really require
+the private key, wrong symmetric keys really fail, Merkle commitments
+really bind.  See each module's docstring for the fidelity notes.
+"""
+
+from repro.crypto.hashing import chain, combine, keystream, sha256_hex, sha256_int
+from repro.crypto.keys import KeyDistributor, KeyGrant, KeyStore
+from repro.crypto.rsa import (
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    decrypt_int,
+    encrypt_int,
+    generate_keypair,
+    hybrid_decrypt,
+    hybrid_encrypt,
+    sign,
+    verify,
+    verify_or_raise,
+)
+from repro.crypto.symmetric import (
+    Ciphertext,
+    SymmetricKey,
+    decrypt,
+    decrypt_text,
+    encrypt,
+)
+
+__all__ = [
+    "Ciphertext", "KeyDistributor", "KeyGrant", "KeyPair", "KeyStore",
+    "PrivateKey", "PublicKey", "SymmetricKey", "chain", "combine",
+    "decrypt", "decrypt_int", "decrypt_text", "encrypt", "encrypt_int",
+    "generate_keypair", "hybrid_decrypt", "hybrid_encrypt", "keystream",
+    "sha256_hex", "sha256_int", "sign", "verify", "verify_or_raise",
+]

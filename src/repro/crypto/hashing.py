@@ -1,0 +1,66 @@
+"""Hashing helpers used across the library.
+
+All content addressed by the security machinery (Merkle nodes, audit
+chains, signatures) flows through these functions so the digest algorithm
+is fixed in exactly one place.  SHA-256 from :mod:`hashlib` is used — the
+paper assumes standard cryptographic hashing (Stallings [10]) and SHA-256
+is available offline and deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+
+def sha256_hex(data: bytes | str) -> str:
+    """Hex digest of *data* (str is UTF-8 encoded)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_int(data: bytes | str) -> int:
+    """Digest as an integer, convenient for RSA signing."""
+    return int(sha256_hex(data), 16)
+
+
+def combine(*parts: bytes | str) -> str:
+    """Digest of a length-prefixed concatenation of *parts*.
+
+    Length prefixing prevents ambiguity attacks where ``("ab", "c")`` and
+    ``("a", "bc")`` would otherwise hash identically.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, str):
+            part = part.encode("utf-8")
+        hasher.update(len(part).to_bytes(8, "big"))
+        hasher.update(part)
+    return hasher.hexdigest()
+
+
+def chain(digests: Iterable[str]) -> str:
+    """Fold a sequence of hex digests into one commitment."""
+    running = sha256_hex(b"chain-genesis")
+    for digest in digests:
+        running = combine(running, digest)
+    return running
+
+
+def keystream(key: bytes, length: int, nonce: bytes = b"") -> bytes:
+    """Deterministic SHA-256-counter keystream of *length* bytes.
+
+    Used by :mod:`repro.crypto.symmetric`; exported here because tests
+    for both modules exercise it.
+    """
+    blocks: list[bytes] = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        hasher = hashlib.sha256()
+        hasher.update(key)
+        hasher.update(nonce)
+        hasher.update(counter.to_bytes(8, "big"))
+        blocks.append(hasher.digest())
+        counter += 1
+    return b"".join(blocks)[:length]

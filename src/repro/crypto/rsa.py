@@ -1,0 +1,187 @@
+"""Textbook RSA: key generation, signing and encryption.
+
+The paper's mechanisms ([3], [4], §4.1) need *real* asymmetric semantics —
+anyone can verify a signature with the public key, only the private key
+can produce it — but not production-grade strength.  We therefore
+implement honest textbook RSA over primes found with Miller–Rabin, with a
+deterministic key generator seeded per caller so tests and benchmarks are
+reproducible.  Default modulus size is 512 bits: large enough that
+accidental collisions are impossible, small enough that keygen is fast on
+a laptop.
+
+Signatures sign the SHA-256 digest of the message (hash-then-sign).
+Encryption is raw RSA on integers smaller than the modulus; for bulk data
+use :mod:`repro.crypto.symmetric` with an RSA-wrapped key (the classical
+hybrid scheme, provided as :func:`hybrid_encrypt` / :func:`hybrid_decrypt`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import AuthenticationError, KeyManagementError
+from repro.crypto.hashing import keystream, sha256_int
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 24) -> bool:
+    """Miller–Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key (n, e)."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for key stores and audit records."""
+        from repro.crypto.hashing import sha256_hex
+        return sha256_hex(f"{self.n:x}:{self.e:x}")[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """RSA private key; carries the matching public part."""
+
+    n: int
+    d: int
+    public: PublicKey
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    public: PublicKey
+    private: PrivateKey
+
+
+def generate_keypair(bits: int = 512, seed: int | None = None) -> KeyPair:
+    """Generate an RSA key pair.
+
+    Parameters
+    ----------
+    bits:
+        Modulus size.  512 by default (educational strength; see module
+        docstring).
+    seed:
+        Seed for the deterministic RNG; pass distinct seeds for distinct
+        actors in tests.
+    """
+    if bits < 64:
+        raise KeyManagementError(f"modulus too small: {bits} bits")
+    rng = random.Random(seed)
+    e = 65537
+    while True:
+        p = _random_prime(bits // 2, rng)
+        q = _random_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        n = p * q
+        d = pow(e, -1, phi)
+        public = PublicKey(n, e)
+        return KeyPair(public, PrivateKey(n, d, public))
+
+
+# -- signatures ---------------------------------------------------------
+
+def sign(private: PrivateKey, message: bytes | str) -> int:
+    """Hash-then-sign: signature = H(m)^d mod n."""
+    digest = sha256_int(message) % private.n
+    return pow(digest, private.d, private.n)
+
+
+def verify(public: PublicKey, message: bytes | str, signature: int) -> bool:
+    """True if *signature* is a valid signature of *message*."""
+    digest = sha256_int(message) % public.n
+    return pow(signature, public.e, public.n) == digest
+
+
+def verify_or_raise(public: PublicKey, message: bytes | str,
+                    signature: int, context: str = "") -> None:
+    """Raise :class:`AuthenticationError` when verification fails."""
+    if not verify(public, message, signature):
+        suffix = f" ({context})" if context else ""
+        raise AuthenticationError(f"signature verification failed{suffix}")
+
+
+# -- encryption ---------------------------------------------------------
+
+def encrypt_int(public: PublicKey, plaintext: int) -> int:
+    if not 0 <= plaintext < public.n:
+        raise KeyManagementError(
+            "plaintext integer out of range for this modulus")
+    return pow(plaintext, public.e, public.n)
+
+
+def decrypt_int(private: PrivateKey, ciphertext: int) -> int:
+    if not 0 <= ciphertext < private.n:
+        raise KeyManagementError(
+            "ciphertext integer out of range for this modulus")
+    return pow(ciphertext, private.d, private.n)
+
+
+def hybrid_encrypt(public: PublicKey, plaintext: bytes,
+                   seed: int = 0) -> tuple[int, bytes]:
+    """Encrypt arbitrary-length data: random session key wrapped with RSA.
+
+    Returns ``(wrapped_key, ciphertext)``.  *seed* makes the session key
+    deterministic for reproducible tests; vary it per message.
+    """
+    rng = random.Random(f"hybrid:{seed}:{len(plaintext)}")
+    session_key = rng.getrandbits(128).to_bytes(16, "big")
+    wrapped = encrypt_int(public, int.from_bytes(session_key, "big"))
+    stream = keystream(session_key, len(plaintext))
+    ciphertext = bytes(a ^ b for a, b in zip(plaintext, stream))
+    return wrapped, ciphertext
+
+
+def hybrid_decrypt(private: PrivateKey, wrapped_key: int,
+                   ciphertext: bytes) -> bytes:
+    session_int = decrypt_int(private, wrapped_key)
+    # A wrong key yields an arbitrary residue; keep the low 128 bits so
+    # decryption proceeds (to garbage) rather than crashing.
+    session_key = (session_int & ((1 << 128) - 1)).to_bytes(16, "big")
+    stream = keystream(session_key, len(ciphertext))
+    return bytes(a ^ b for a, b in zip(ciphertext, stream))

@@ -1,0 +1,97 @@
+"""Symmetric encryption with integrity protection.
+
+Secure dissemination (Author-X [5], §4.1) encrypts different document
+portions with different keys, one per *policy configuration*.  What the
+semantics requires is (a) the right key decrypts, (b) a wrong key fails
+loudly rather than yielding garbage, and (c) ciphertext reveals nothing
+obvious.  We provide a SHA-256-counter stream cipher plus an
+encrypt-then-MAC tag; wrong-key decryption raises
+:class:`~repro.core.errors.IntegrityError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.core.errors import IntegrityError, KeyManagementError
+from repro.crypto.hashing import keystream
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A named symmetric key.
+
+    ``key_id`` travels with ciphertexts so receivers know which key to
+    use — this mirrors how Author-X labels encrypted portions with the
+    policy configuration they belong to.
+    """
+
+    key_id: str
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.material) < 16:
+            raise KeyManagementError(
+                f"key {self.key_id!r}: need >=16 bytes of material")
+
+    @classmethod
+    def derive(cls, key_id: str, secret: str) -> "SymmetricKey":
+        """Derive a key deterministically from a string secret."""
+        material = hashlib.sha256(
+            f"symmetric:{key_id}:{secret}".encode("utf-8")).digest()
+        return cls(key_id, material)
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """Encrypted payload: key id + nonce + body + MAC tag."""
+
+    key_id: str
+    nonce: bytes
+    body: bytes
+    tag: str
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+
+def _mac(key: SymmetricKey, nonce: bytes, body: bytes) -> str:
+    return hmac.new(key.material, nonce + body, hashlib.sha256).hexdigest()
+
+
+def encrypt(key: SymmetricKey, plaintext: bytes | str,
+            nonce: bytes | int = 0) -> Ciphertext:
+    """Encrypt-then-MAC under *key*.
+
+    *nonce* may be an int (converted to 8 bytes) — callers must use a
+    fresh nonce per message under the same key; the key store in
+    :mod:`repro.crypto.keys` automates that.
+    """
+    if isinstance(plaintext, str):
+        plaintext = plaintext.encode("utf-8")
+    if isinstance(nonce, int):
+        nonce = nonce.to_bytes(8, "big")
+    stream = keystream(key.material, len(plaintext), nonce)
+    body = bytes(a ^ b for a, b in zip(plaintext, stream))
+    return Ciphertext(key.key_id, nonce, body, _mac(key, nonce, body))
+
+
+def decrypt(key: SymmetricKey, ciphertext: Ciphertext) -> bytes:
+    """Verify the MAC then decrypt; raises IntegrityError on any mismatch."""
+    if key.key_id != ciphertext.key_id:
+        raise KeyManagementError(
+            f"ciphertext was encrypted under key {ciphertext.key_id!r}, "
+            f"got {key.key_id!r}")
+    expected = _mac(key, ciphertext.nonce, ciphertext.body)
+    if not hmac.compare_digest(expected, ciphertext.tag):
+        raise IntegrityError(
+            f"MAC check failed for ciphertext under key "
+            f"{ciphertext.key_id!r}")
+    stream = keystream(key.material, len(ciphertext.body), ciphertext.nonce)
+    return bytes(a ^ b for a, b in zip(ciphertext.body, stream))
+
+
+def decrypt_text(key: SymmetricKey, ciphertext: Ciphertext) -> str:
+    return decrypt(key, ciphertext).decode("utf-8")

@@ -1,0 +1,53 @@
+"""Seeded synthetic workloads: documents, populations, registries,
+tabular data and query mixes (the data-substitution layer of DESIGN.md).
+"""
+
+from repro.datagen.documents import (
+    catalog_document,
+    hospital_corpus,
+    hospital_documents,
+    hospital_record,
+)
+from repro.datagen.population import (
+    CREDENTIAL_TYPES,
+    INSURANCE_TYPE,
+    PHYSICIAN_TYPE,
+    RESEARCHER_TYPE,
+    ROLE_NAMES,
+    NamedSubjects,
+    generate_population,
+    hospital_role_hierarchy,
+    named_cast,
+    random_credential,
+)
+from repro.datagen.registry_gen import (
+    generate_businesses,
+    random_business,
+    random_service,
+    standard_tmodels,
+)
+from repro.datagen.tabular import (
+    BASKET_ITEMS,
+    PLANTED_PATTERNS,
+    load_patients,
+    market_baskets,
+    numeric_column,
+    patients_schema,
+)
+from repro.datagen.workload import (
+    XPathWorkload,
+    hospital_xpath_workload,
+    subject_qualification_policies,
+)
+
+__all__ = [
+    "BASKET_ITEMS", "CREDENTIAL_TYPES", "INSURANCE_TYPE",
+    "NamedSubjects", "PHYSICIAN_TYPE", "PLANTED_PATTERNS",
+    "RESEARCHER_TYPE", "ROLE_NAMES", "XPathWorkload", "catalog_document",
+    "generate_businesses", "generate_population", "hospital_corpus",
+    "hospital_documents", "hospital_record", "hospital_role_hierarchy",
+    "hospital_xpath_workload", "load_patients", "market_baskets",
+    "named_cast", "numeric_column", "patients_schema",
+    "random_business", "random_credential", "random_service",
+    "standard_tmodels", "subject_qualification_policies",
+]

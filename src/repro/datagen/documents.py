@@ -1,0 +1,91 @@
+"""Synthetic XML corpora (the proprietary-data substitution of DESIGN.md).
+
+Seeded generators for the two document families the paper's scenarios
+need: hospital patient records (the privacy-sensitive workload of §3.3)
+and product catalogs (the commercial workload of §2.1).  Shapes —
+element fan-out, text sizes, value skew — are fixed by the seed so every
+benchmark run regenerates identical corpora.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmldb.model import Document, Element, element
+
+FIRST_NAMES = ["Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace",
+               "Heidi", "Ivan", "Judy", "Mallory", "Niaj", "Olivia",
+               "Peggy", "Rupert", "Sybil", "Trent", "Victor", "Wendy"]
+SURNAMES = ["Rossi", "Smith", "Garcia", "Chen", "Kumar", "Okafor",
+            "Novak", "Silva", "Dubois", "Yamada", "Larsen", "Kowalski"]
+DIAGNOSES = ["influenza", "hypertension", "diabetes", "asthma",
+             "migraine", "fracture", "anemia", "bronchitis",
+             "dermatitis", "arrhythmia"]
+DEPARTMENTS = ["oncology", "cardiology", "pediatrics", "neurology",
+               "radiology", "emergency"]
+TREATMENTS = ["rest", "antibiotics", "physiotherapy", "surgery",
+              "monitoring", "medication"]
+PRODUCT_WORDS = ["widget", "gadget", "sprocket", "flange", "gear",
+                 "valve", "sensor", "actuator", "bracket", "coupling"]
+
+
+def hospital_record(rng: random.Random, record_id: str) -> Element:
+    """One patient record with identifying, medical and billing parts."""
+    name = f"{rng.choice(FIRST_NAMES)} {rng.choice(SURNAMES)}"
+    ssn = f"{rng.randrange(100, 999)}-{rng.randrange(10, 99)}-{rng.randrange(1000, 9999)}"
+    record = element(
+        "record", None, {"id": record_id},
+        element("name", name),
+        element("ssn", ssn),
+        element("department", rng.choice(DEPARTMENTS)),
+        element("diagnosis", rng.choice(DIAGNOSES)),
+        element("treatment", rng.choice(TREATMENTS)),
+        element("billing", None, None,
+                element("amount", str(rng.randrange(100, 5000))),
+                element("insurer", f"insurer-{rng.randrange(1, 6)}")),
+    )
+    for visit_number in range(rng.randrange(0, 4)):
+        record.append(element(
+            "visit", None, {"n": str(visit_number + 1)},
+            element("date", f"2003-{rng.randrange(1, 13):02d}-"
+                            f"{rng.randrange(1, 29):02d}"),
+            element("notes", f"visit note {visit_number + 1}")))
+    return record
+
+
+def hospital_corpus(record_count: int, seed: int = 0,
+                    name: str = "hospital") -> Document:
+    """A hospital document with *record_count* patient records."""
+    rng = random.Random(seed)
+    root = Element("hospital", {"name": name})
+    for index in range(record_count):
+        root.append(hospital_record(rng, f"r{index + 1}"))
+    return Document(root, name=name)
+
+
+def hospital_documents(document_count: int, records_each: int,
+                       seed: int = 0) -> dict[str, Document]:
+    """Several hospital documents keyed by document id."""
+    return {
+        f"hospital-{index + 1}": hospital_corpus(
+            records_each, seed=seed + index, name=f"hospital-{index + 1}")
+        for index in range(document_count)}
+
+
+def catalog_document(product_count: int, seed: int = 0,
+                     name: str = "catalog") -> Document:
+    """A product catalog with public and wholesale (sensitive) prices."""
+    rng = random.Random(seed)
+    root = Element("catalog", {"vendor": name})
+    for index in range(product_count):
+        word = rng.choice(PRODUCT_WORDS)
+        list_price = rng.randrange(10, 500)
+        root.append(element(
+            "product", None, {"sku": f"sku-{index + 1:05d}"},
+            element("title", f"{word} model {index + 1}"),
+            element("category", word),
+            element("listPrice", str(list_price)),
+            element("wholesalePrice",
+                    str(round(list_price * rng.uniform(0.4, 0.7)))),
+            element("stock", str(rng.randrange(0, 1000)))))
+    return Document(root, name=name)

@@ -1,0 +1,127 @@
+"""Synthetic user populations: subjects with roles and credentials.
+
+§3.1's point is that web populations are large and dynamic — these
+generators produce them.  Role assignment is Zipf-skewed (a few roles are
+common, many are rare) and credential attributes are drawn from seeded
+distributions so benchmark E1's populations are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.credentials import Credential, CredentialType
+from repro.core.subjects import Role, RoleHierarchy, Subject, SubjectDirectory
+
+ROLE_NAMES = ["patient", "nurse", "doctor", "chief-physician",
+              "researcher", "administrator", "auditor", "pharmacist"]
+
+PHYSICIAN_TYPE = CredentialType(
+    "physician",
+    frozenset({"department", "years_experience", "board_certified"}),
+    frozenset({"department"}))
+RESEARCHER_TYPE = CredentialType(
+    "researcher",
+    frozenset({"institution", "irb_approved"}),
+    frozenset({"institution"}))
+INSURANCE_TYPE = CredentialType(
+    "insurer",
+    frozenset({"company", "contract_tier"}),
+    frozenset({"company"}))
+
+CREDENTIAL_TYPES = (PHYSICIAN_TYPE, RESEARCHER_TYPE, INSURANCE_TYPE)
+
+DEPARTMENTS = ["oncology", "cardiology", "pediatrics", "neurology",
+               "radiology", "emergency"]
+
+
+def hospital_role_hierarchy() -> RoleHierarchy:
+    """chief-physician > doctor > nurse; administrator > auditor."""
+    hierarchy = RoleHierarchy()
+    for name in ROLE_NAMES:
+        hierarchy.add_role(Role(name))
+    hierarchy.add_seniority(Role("doctor"), Role("nurse"))
+    hierarchy.add_seniority(Role("chief-physician"), Role("doctor"))
+    hierarchy.add_seniority(Role("administrator"), Role("auditor"))
+    return hierarchy
+
+
+def _zipf_choice(rng: random.Random, options: list[str]) -> str:
+    """Zipf-ish pick: option i with weight 1/(i+1)."""
+    weights = [1.0 / (index + 1) for index in range(len(options))]
+    total = sum(weights)
+    point = rng.random() * total
+    cumulative = 0.0
+    for option, weight in zip(options, weights):
+        cumulative += weight
+        if point <= cumulative:
+            return option
+    return options[-1]
+
+
+def random_credential(rng: random.Random) -> Credential:
+    credential_type = rng.choice(CREDENTIAL_TYPES)
+    if credential_type is PHYSICIAN_TYPE:
+        return credential_type.issue(
+            issuer="medical-board",
+            department=rng.choice(DEPARTMENTS),
+            years_experience=rng.randrange(1, 35),
+            board_certified=rng.random() < 0.7)
+    if credential_type is RESEARCHER_TYPE:
+        return credential_type.issue(
+            issuer=f"university-{rng.randrange(1, 9)}",
+            institution=f"university-{rng.randrange(1, 9)}",
+            irb_approved=rng.random() < 0.6)
+    return credential_type.issue(
+        issuer="insurance-registry",
+        company=f"insurer-{rng.randrange(1, 6)}",
+        contract_tier=rng.choice(["basic", "silver", "gold"]))
+
+
+def generate_population(user_count: int, seed: int = 0,
+                        roles_per_user: int = 2,
+                        credentials_per_user: int = 1
+                        ) -> SubjectDirectory:
+    """A directory of *user_count* subjects with skewed roles."""
+    rng = random.Random(seed)
+    directory = SubjectDirectory(hospital_role_hierarchy())
+    for index in range(user_count):
+        role_names = {_zipf_choice(rng, ROLE_NAMES)
+                      for _ in range(roles_per_user)}
+        credentials = [random_credential(rng)
+                       for _ in range(credentials_per_user)]
+        directory.create(f"user{index:05d}",
+                         roles={Role(r) for r in role_names},
+                         credentials=credentials)
+    return directory
+
+
+@dataclass(frozen=True)
+class NamedSubjects:
+    """The fixed cast used by examples and integration tests."""
+
+    doctor: Subject
+    nurse: Subject
+    researcher: Subject
+    administrator: Subject
+    stranger: Subject
+
+
+def named_cast() -> NamedSubjects:
+    return NamedSubjects(
+        doctor=Subject("dr-grey", roles={Role("doctor")},
+                       credentials=[PHYSICIAN_TYPE.issue(
+                           issuer="medical-board",
+                           department="oncology",
+                           years_experience=12,
+                           board_certified=True)]),
+        nurse=Subject("nurse-joy", roles={Role("nurse")}),
+        researcher=Subject("prof-oak", roles={Role("researcher")},
+                           credentials=[RESEARCHER_TYPE.issue(
+                               issuer="university-1",
+                               institution="university-1",
+                               irb_approved=True)]),
+        administrator=Subject("admin-ada", roles={Role("administrator")}),
+        stranger=Subject("randy-random"),
+    )

@@ -1,0 +1,67 @@
+"""Synthetic UDDI registry populations for benchmarks E5/E6."""
+
+from __future__ import annotations
+
+import random
+
+from repro.uddi.model import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    TModel,
+    fresh_key,
+)
+
+SECTORS = ["logistics", "payments", "catalog", "weather", "translation",
+           "booking", "analytics", "identity"]
+COMPANY_WORDS = ["Acme", "Globex", "Initech", "Umbrella", "Hooli",
+                 "Stark", "Wayne", "Tyrell", "Cyberdyne", "Wonka"]
+
+
+def random_service(rng: random.Random, sector: str,
+                   company: str) -> BusinessService:
+    operation = rng.choice(["lookup", "submit", "query", "stream"])
+    bindings = tuple(
+        BindingTemplate(
+            fresh_key("bind"),
+            f"http://{company.lower()}.example/{sector}/{operation}/{n}",
+            description=f"{operation} endpoint {n}")
+        for n in range(rng.randrange(1, 3)))
+    return BusinessService(
+        fresh_key("svc"), f"{company} {sector} {operation}",
+        description=f"{sector} service by {company}",
+        category=sector, bindings=bindings)
+
+
+def random_business(rng: random.Random,
+                    services_range: tuple[int, int] = (1, 5)
+                    ) -> BusinessEntity:
+    company = (f"{rng.choice(COMPANY_WORDS)}"
+               f"-{rng.randrange(100, 999)}")
+    service_count = rng.randrange(*services_range)
+    services = tuple(
+        random_service(rng, rng.choice(SECTORS), company)
+        for _ in range(max(service_count, 1)))
+    return BusinessEntity(
+        fresh_key("biz"), company,
+        description=f"{company} provides {len(services)} services",
+        contact=f"ops@{company.lower()}.example",
+        services=services)
+
+
+def generate_businesses(count: int, seed: int = 0,
+                        services_range: tuple[int, int] = (1, 5)
+                        ) -> list[BusinessEntity]:
+    rng = random.Random(seed)
+    return [random_business(rng, services_range) for _ in range(count)]
+
+
+def standard_tmodels() -> list[TModel]:
+    return [
+        TModel("uddi:tmodel:soap", "SOAP 1.1 binding",
+               "standard SOAP over HTTP"),
+        TModel("uddi:tmodel:wsdl", "WSDL 1.1 description",
+               "interface described in WSDL"),
+        TModel("uddi:tmodel:p3p", "P3P policy attached",
+               "service advertises a P3P privacy policy"),
+    ]

@@ -1,0 +1,105 @@
+"""Synthetic tabular datasets for the privacy experiments (E7, E8, E12).
+
+The medical dataset mirrors the paper's running example ("names and
+healthcare records are private"): correlated age/salary/diagnosis columns
+with realistic skew, loadable straight into a
+:class:`repro.relational.database.Database`, plus market-basket
+transaction generators for the association-mining benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.relational.database import Database
+from repro.relational.table import TableSchema, schema
+
+DIAGNOSES = ["influenza", "hypertension", "diabetes", "asthma",
+             "migraine", "fracture", "anemia", "bronchitis"]
+FIRST_NAMES = ["Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace",
+               "Heidi", "Ivan", "Judy"]
+SURNAMES = ["Rossi", "Smith", "Garcia", "Chen", "Kumar", "Okafor"]
+ZIP_CODES = [f"2{n:04d}" for n in range(10, 60)]
+
+
+def patients_schema() -> TableSchema:
+    return schema("patients", primary_key="id",
+                  id="int", name="text", zip="text", age="int",
+                  salary="float", diagnosis="text", insurer="text")
+
+
+def load_patients(database: Database, row_count: int, seed: int = 0,
+                  owner: str = "dba") -> None:
+    """Create and fill the patients table.
+
+    Age is bimodal (young outpatients + elderly chronic patients);
+    salary correlates with age; diagnosis correlates with age band —
+    the correlations give the mining benchmarks something to find.
+    """
+    rng = random.Random(seed)
+    database.create_table(patients_schema(), owner=owner)
+    for index in range(row_count):
+        if rng.random() < 0.6:
+            age = int(max(18, rng.gauss(32, 6)))
+        else:
+            age = int(min(95, rng.gauss(68, 9)))
+        salary = max(8_000.0, rng.gauss(18_000 + 600 * age, 8_000))
+        if age >= 55:
+            diagnosis = rng.choice(
+                ["hypertension", "diabetes", "arrhythmia", "fracture"]
+                if rng.random() < 0.8 else DIAGNOSES)
+        else:
+            diagnosis = rng.choice(
+                ["influenza", "asthma", "migraine", "bronchitis"]
+                if rng.random() < 0.8 else DIAGNOSES)
+        database.insert(
+            owner, "patients",
+            id=index + 1,
+            name=f"{rng.choice(FIRST_NAMES)} {rng.choice(SURNAMES)}",
+            zip=rng.choice(ZIP_CODES),
+            age=age,
+            salary=round(salary, 2),
+            diagnosis=diagnosis,
+            insurer=f"insurer-{rng.randrange(1, 6)}")
+
+
+def numeric_column(row_count: int, seed: int = 0) -> np.ndarray:
+    """The bimodal age column alone, as a numpy array (for E7)."""
+    rng = np.random.default_rng(seed)
+    young = rng.normal(32, 6, int(row_count * 0.6))
+    old = rng.normal(68, 9, row_count - len(young))
+    values = np.clip(np.concatenate([young, old]), 18, 95)
+    rng.shuffle(values)
+    return values
+
+
+BASKET_ITEMS = ["bread", "milk", "butter", "cheese", "apples", "coffee",
+                "tea", "sugar", "pasta", "rice", "beans", "salt"]
+
+#: Planted co-occurrence patterns the miners should find.
+PLANTED_PATTERNS = [
+    (frozenset({"bread", "milk"}), 0.35),
+    (frozenset({"coffee", "sugar"}), 0.25),
+    (frozenset({"pasta", "cheese"}), 0.20),
+]
+
+
+def market_baskets(basket_count: int, seed: int = 0
+                   ) -> list[frozenset[str]]:
+    """Transactions with planted frequent pairs plus background noise."""
+    rng = random.Random(seed)
+    baskets: list[frozenset[str]] = []
+    for _ in range(basket_count):
+        basket: set[str] = set()
+        for pattern, probability in PLANTED_PATTERNS:
+            if rng.random() < probability:
+                basket |= pattern
+        for item in BASKET_ITEMS:
+            if rng.random() < 0.08:
+                basket.add(item)
+        if not basket:
+            basket.add(rng.choice(BASKET_ITEMS))
+        baskets.append(frozenset(basket))
+    return baskets

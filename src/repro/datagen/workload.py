@@ -1,0 +1,80 @@
+"""Query workload generators: seeded XPath and policy workloads."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.credentials import (
+    CredentialExpression,
+    attribute_equals,
+    has_credential,
+    has_role,
+    is_identity,
+)
+from repro.core.policy import Action, Policy, PolicyBase, deny, grant
+from repro.datagen.documents import DEPARTMENTS, DIAGNOSES
+from repro.datagen.population import ROLE_NAMES
+
+
+@dataclass(frozen=True)
+class XPathWorkload:
+    """A named mix of XPath-lite queries over the hospital corpus."""
+
+    name: str
+    queries: tuple[str, ...]
+
+
+def hospital_xpath_workload(seed: int = 0,
+                            query_count: int = 20) -> XPathWorkload:
+    rng = random.Random(seed)
+    templates = [
+        lambda: "/hospital/record",
+        lambda: "//record/name",
+        lambda: f"//record[diagnosis='{rng.choice(DIAGNOSES)}']/name",
+        lambda: f"//record[department='{rng.choice(DEPARTMENTS)}']",
+        lambda: f"//record[{rng.randrange(1, 10)}]",
+        lambda: "//billing/amount",
+        lambda: "//record/@id",
+        lambda: "//visit/date",
+    ]
+    queries = tuple(rng.choice(templates)() for _ in range(query_count))
+    return XPathWorkload(f"hospital-{seed}", queries)
+
+
+def subject_qualification_policies(policy_count: int, basis: str,
+                                   user_count: int,
+                                   seed: int = 0) -> PolicyBase:
+    """Policy bases for benchmark E1.
+
+    ``basis`` selects how subjects are qualified:
+
+    * ``identity`` — each policy names individual users; covering a
+      population takes O(users) policies;
+    * ``role`` — policies name roles; a handful covers everyone;
+    * ``credential`` — policies select on credential attributes.
+    """
+    rng = random.Random(seed)
+    base = PolicyBase()
+    for index in range(policy_count):
+        resource = f"hospital/records/r{rng.randrange(1, 500)}/**"
+        expression: CredentialExpression
+        if basis == "identity":
+            expression = is_identity(
+                f"user{rng.randrange(user_count):05d}")
+        elif basis == "role":
+            expression = has_role(rng.choice(ROLE_NAMES))
+        elif basis == "credential":
+            if rng.random() < 0.5:
+                expression = attribute_equals(
+                    "physician", "department", rng.choice(DEPARTMENTS))
+            else:
+                expression = has_credential(
+                    rng.choice(["physician", "researcher", "insurer"]))
+        else:
+            raise ValueError(f"unknown basis {basis!r}")
+        if rng.random() < 0.15:
+            base.add(deny(expression, Action.READ, resource))
+        else:
+            base.add(grant(expression, Action.READ, resource))
+    return base

@@ -1,0 +1,38 @@
+"""Merkle hash trees: the authentication backbone of [3] and [4].
+
+:mod:`repro.merkle.tree` — binary trees over flat leaf sequences (UDDI
+entries); :mod:`repro.merkle.xml_merkle` — structure-preserving hashing of
+XML documents with filler hashes for pruned views.
+"""
+
+from repro.merkle.tree import (
+    MerkleProof,
+    MerkleTree,
+    ProofStep,
+    hash_children,
+    hash_leaf,
+    verify_subset,
+)
+from repro.merkle.xml_merkle import (
+    PRUNED_MARKER_TAG,
+    PRUNED_PATH_ATTR,
+    FillerHashes,
+    build_partial_view,
+    content_hash,
+    document_hash,
+    is_pruned_marker,
+    make_pruned_marker,
+    merkle_hash,
+    original_paths_of_view,
+    verify_view,
+    view_hash,
+)
+
+__all__ = [
+    "FillerHashes", "MerkleProof", "MerkleTree", "PRUNED_MARKER_TAG",
+    "PRUNED_PATH_ATTR", "ProofStep", "build_partial_view",
+    "content_hash", "document_hash",
+    "hash_children", "hash_leaf", "is_pruned_marker",
+    "make_pruned_marker", "merkle_hash", "original_paths_of_view",
+    "verify_subset", "verify_view", "view_hash",
+]

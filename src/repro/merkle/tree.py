@@ -1,0 +1,139 @@
+"""Generic Merkle hash trees over ordered leaf sequences.
+
+The authentication mechanism of [4] rests on Merkle trees: the owner signs
+a single *summary signature* (the root hash); a third party can later
+prove that any subset of leaves belongs to the signed whole by supplying
+the missing sibling hashes.  This module provides the binary-tree variant
+used for UDDI entries and flat leaf lists; :mod:`repro.merkle.xml_merkle`
+provides the structure-preserving variant for XML documents.
+
+Leaves are hashed with a domain separator distinct from internal nodes,
+preventing the classical second-preimage trick where an internal node is
+presented as a leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.errors import ConfigurationError, IntegrityError
+from repro.crypto.hashing import combine, sha256_hex
+
+_LEAF_PREFIX = "leaf:"
+_NODE_PREFIX = "node:"
+
+
+def hash_leaf(data: bytes | str) -> str:
+    if isinstance(data, bytes):
+        data = data.decode("utf-8", errors="replace")
+    return sha256_hex(_LEAF_PREFIX + data)
+
+
+def hash_children(left: str, right: str) -> str:
+    return combine(_NODE_PREFIX, left, right)
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One sibling hash on the leaf-to-root path."""
+
+    sibling: str
+    sibling_on_left: bool
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf at a given index."""
+
+    leaf_index: int
+    steps: tuple[ProofStep, ...]
+
+    def compute_root(self, leaf_data: bytes | str) -> str:
+        digest = hash_leaf(leaf_data)
+        for step in self.steps:
+            if step.sibling_on_left:
+                digest = hash_children(step.sibling, digest)
+            else:
+                digest = hash_children(digest, step.sibling)
+        return digest
+
+    def verify(self, leaf_data: bytes | str, root: str) -> bool:
+        return self.compute_root(leaf_data) == root
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class MerkleTree:
+    """Binary Merkle tree over an ordered sequence of leaf payloads.
+
+    With an odd number of nodes at a level the last node is promoted
+    (Bitcoin-style duplication is avoided because it admits ambiguity).
+    """
+
+    def __init__(self, leaves: Sequence[bytes | str]) -> None:
+        if not leaves:
+            raise ConfigurationError("a Merkle tree needs at least one leaf")
+        self._leaf_data = [l if isinstance(l, str) else
+                           l.decode("utf-8", errors="replace")
+                           for l in leaves]
+        self._levels: list[list[str]] = [
+            [hash_leaf(l) for l in self._leaf_data]]
+        while len(self._levels[-1]) > 1:
+            current = self._levels[-1]
+            next_level: list[str] = []
+            for i in range(0, len(current) - 1, 2):
+                next_level.append(hash_children(current[i], current[i + 1]))
+            if len(current) % 2 == 1:
+                next_level.append(current[-1])
+            self._levels.append(next_level)
+
+    @property
+    def root(self) -> str:
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._levels[0])
+
+    def leaf_hash(self, index: int) -> str:
+        return self._levels[0][index]
+
+    def proof(self, index: int) -> MerkleProof:
+        """Inclusion proof for the leaf at *index*."""
+        if not 0 <= index < self.leaf_count:
+            raise ConfigurationError(
+                f"leaf index {index} out of range 0..{self.leaf_count - 1}")
+        steps: list[ProofStep] = []
+        position = index
+        for level in self._levels[:-1]:
+            size = len(level)
+            if position == size - 1 and size % 2 == 1:
+                # Promoted node: carried to the next level unchanged, where
+                # it sits after the size//2 pair hashes.
+                position = size // 2
+                continue
+            if position % 2 == 0:
+                steps.append(ProofStep(level[position + 1],
+                                       sibling_on_left=False))
+            else:
+                steps.append(ProofStep(level[position - 1],
+                                       sibling_on_left=True))
+            position //= 2
+        return MerkleProof(index, tuple(steps))
+
+    def verify_leaf(self, index: int, data: bytes | str) -> bool:
+        return self.proof(index).verify(data, self.root)
+
+
+def verify_subset(root: str, leaves: Iterable[tuple[int, bytes | str]],
+                  proofs: Iterable[MerkleProof]) -> bool:
+    """Verify several (index, data) leaves against one signed root."""
+    for (index, data), proof in zip(leaves, proofs):
+        if proof.leaf_index != index:
+            raise IntegrityError(
+                f"proof is for leaf {proof.leaf_index}, data is for {index}")
+        if not proof.verify(data, root):
+            return False
+    return True

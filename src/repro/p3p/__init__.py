@@ -1,0 +1,47 @@
+"""Privacy for web services (§4.2): P3P policies, APPEL-style user
+preferences, matching + delegation propagation, and the five W3C WSA
+privacy requirements as an auditable checklist.
+"""
+
+from repro.p3p.matching import (
+    MatchResult,
+    Mismatch,
+    chain_acceptable,
+    match,
+    propagation_violations,
+    statement_at_most,
+)
+from repro.p3p.policy import (
+    OPERATIONAL_PURPOSES,
+    THIRD_PARTY_RECIPIENTS,
+    DataCategory,
+    P3PPolicy,
+    Purpose,
+    Recipient,
+    Retention,
+    Statement,
+    statement,
+)
+from repro.p3p.preferences import (
+    RETENTION_ORDER,
+    CategoryRule,
+    PreferenceSet,
+    rule,
+    strictness_profile,
+)
+from repro.p3p.wsa_requirements import (
+    AuditReport,
+    RequirementResult,
+    ServiceRegistration,
+    WsaPrivacyAudit,
+)
+
+__all__ = [
+    "AuditReport", "CategoryRule", "DataCategory", "MatchResult",
+    "Mismatch", "OPERATIONAL_PURPOSES", "P3PPolicy", "PreferenceSet",
+    "Purpose", "RETENTION_ORDER", "Recipient", "RequirementResult",
+    "Retention", "ServiceRegistration", "Statement",
+    "THIRD_PARTY_RECIPIENTS", "WsaPrivacyAudit", "chain_acceptable",
+    "match", "propagation_violations", "rule", "statement",
+    "statement_at_most", "strictness_profile",
+]

@@ -1,0 +1,124 @@
+"""Policy/preference matching and cross-service propagation.
+
+The matcher answers "may I use this service?" for a consumer; the
+propagation checker covers §4.2's fourth requirement: "the WSA must
+enable delegation and propagation of privacy policy" — when service A
+passes collected data to service B, B's policy must be at least as
+protective for the delegated categories, or the chain is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.p3p.policy import DataCategory, P3PPolicy, Statement
+from repro.p3p.preferences import PreferenceSet, RETENTION_ORDER
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One reason a policy fails a preference set."""
+
+    category: DataCategory
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.category.value}: {self.reason}"
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    acceptable: bool
+    mismatches: tuple[Mismatch, ...]
+
+    def __bool__(self) -> bool:
+        return self.acceptable
+
+
+def match(policy: P3PPolicy, preferences: PreferenceSet) -> MatchResult:
+    """Evaluate a service policy against user preferences."""
+    mismatches: list[Mismatch] = []
+    for category in DataCategory:
+        statements = policy.statements_for(category)
+        if not statements:
+            continue  # the service does not collect this category
+        preference = preferences.rule_for(category)
+        if preference is None:
+            if preferences.default_refuse:
+                mismatches.append(Mismatch(
+                    category, "collected but no preference rule allows it"))
+            continue
+        for stmt in statements:
+            bad_purposes = stmt.purposes - preference.allowed_purposes
+            if bad_purposes:
+                names = sorted(p.value for p in bad_purposes)
+                mismatches.append(Mismatch(
+                    category, f"purposes {names} not allowed"))
+            bad_recipients = (stmt.recipients
+                              - preference.allowed_recipients)
+            if bad_recipients:
+                names = sorted(r.value for r in bad_recipients)
+                mismatches.append(Mismatch(
+                    category, f"recipients {names} not allowed"))
+            if not preference.retention_acceptable(stmt.retention):
+                mismatches.append(Mismatch(
+                    category,
+                    f"retention {stmt.retention.value} exceeds "
+                    f"{preference.max_retention.value}"))
+        if preference.require_access and not policy.access_offered:
+            mismatches.append(Mismatch(category, "no access offered"))
+    return MatchResult(not mismatches, tuple(mismatches))
+
+
+# -- delegation / propagation (§4.2 requirement 4) --------------------------
+
+
+def statement_at_most(delegate: Statement, origin: Statement) -> bool:
+    """Is the delegate's practice no more invasive than the origin's?"""
+    if not delegate.purposes <= origin.purposes:
+        return False
+    if not delegate.recipients <= origin.recipients:
+        return False
+    return (RETENTION_ORDER[delegate.retention]
+            <= RETENTION_ORDER[origin.retention])
+
+
+def propagation_violations(chain: Sequence[P3PPolicy],
+                           categories: Sequence[DataCategory]
+                           ) -> list[str]:
+    """Check a delegation chain: service i passes the categories to
+    service i+1; every downstream policy must be at most as invasive as
+    its upstream for each delegated category."""
+    problems: list[str] = []
+    for index in range(len(chain) - 1):
+        upstream, downstream = chain[index], chain[index + 1]
+        for category in categories:
+            upstream_statements = upstream.statements_for(category)
+            downstream_statements = downstream.statements_for(category)
+            if not upstream_statements:
+                if downstream_statements:
+                    problems.append(
+                        f"hop {index}->{index + 1}: {category.value} "
+                        f"appears downstream but was never collected "
+                        f"upstream")
+                continue
+            for down_stmt in downstream_statements:
+                if not any(statement_at_most(down_stmt, up_stmt)
+                           for up_stmt in upstream_statements):
+                    problems.append(
+                        f"hop {index}->{index + 1}: {category.value} "
+                        f"practice broadens downstream")
+    return problems
+
+
+def chain_acceptable(chain: Sequence[P3PPolicy],
+                     categories: Sequence[DataCategory],
+                     preferences: PreferenceSet) -> bool:
+    """A consumer accepts a delegation chain when the entry policy
+    matches their preferences and no hop broadens the practices."""
+    if not chain:
+        return True
+    if not match(chain[0], preferences):
+        return False
+    return not propagation_violations(chain, categories)

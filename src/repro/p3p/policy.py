@@ -1,0 +1,137 @@
+"""P3P privacy policies (§4.2: "advertised web service privacy policies
+must be expressed in P3P").
+
+A :class:`P3PPolicy` is a set of :class:`Statement` s, each declaring —
+for a group of data categories — the purposes of collection, the
+recipients, and the retention policy, plus whether consent is required.
+The vocabularies are the core P3P 1.0 ones (trimmed to the values the
+paper's scenarios exercise).
+
+The W3C task-force baseline of §4.2 is captured by
+:meth:`P3PPolicy.baseline_violations`: "collected personal information
+must not be used or disclosed for purposes other than performing the
+operations for which it was collected, except with the consent of the
+subject or as required by law.  Additionally, such information must be
+retained only as long as necessary."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class Purpose(enum.Enum):
+    CURRENT = "current"              # the service's own operation
+    ADMIN = "admin"                  # site administration
+    DEVELOP = "develop"              # research & development
+    TAILORING = "tailoring"          # one-session customization
+    PSEUDO_ANALYSIS = "pseudo-analysis"
+    INDIVIDUAL_ANALYSIS = "individual-analysis"
+    CONTACT = "contact"              # marketing contact
+    TELEMARKETING = "telemarketing"
+
+
+class Recipient(enum.Enum):
+    OURS = "ours"                    # the service itself
+    DELIVERY = "delivery"            # delivery services
+    SAME = "same"                    # agents under the same practices
+    OTHER_RECIPIENT = "other-recipient"
+    UNRELATED = "unrelated"
+    PUBLIC = "public"
+
+
+class Retention(enum.Enum):
+    NO_RETENTION = "no-retention"
+    STATED_PURPOSE = "stated-purpose"
+    LEGAL_REQUIREMENT = "legal-requirement"
+    BUSINESS_PRACTICES = "business-practices"
+    INDEFINITELY = "indefinitely"
+
+
+class DataCategory(enum.Enum):
+    PHYSICAL = "physical"            # name, address
+    ONLINE = "online"                # email, identifiers
+    DEMOGRAPHIC = "demographic"
+    FINANCIAL = "financial"
+    HEALTH = "health"
+    LOCATION = "location"
+    PURCHASE = "purchase"
+    NAVIGATION = "navigation"
+
+
+#: Purposes the baseline treats as the operation data was collected for.
+OPERATIONAL_PURPOSES = frozenset({Purpose.CURRENT, Purpose.ADMIN,
+                                  Purpose.TAILORING})
+#: Recipients beyond the collecting service and its delivery agents.
+THIRD_PARTY_RECIPIENTS = frozenset({Recipient.OTHER_RECIPIENT,
+                                    Recipient.UNRELATED, Recipient.PUBLIC})
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One P3P statement covering some data categories."""
+
+    categories: frozenset[DataCategory]
+    purposes: frozenset[Purpose]
+    recipients: frozenset[Recipient]
+    retention: Retention
+    consent_obtained: bool = False
+    legally_required: bool = False
+
+    def covers(self, category: DataCategory) -> bool:
+        return category in self.categories
+
+
+def statement(categories: Iterable[DataCategory],
+              purposes: Iterable[Purpose],
+              recipients: Iterable[Recipient] = (Recipient.OURS,),
+              retention: Retention = Retention.STATED_PURPOSE,
+              consent_obtained: bool = False,
+              legally_required: bool = False) -> Statement:
+    return Statement(frozenset(categories), frozenset(purposes),
+                     frozenset(recipients), retention,
+                     consent_obtained, legally_required)
+
+
+@dataclass(frozen=True)
+class P3PPolicy:
+    """A service's advertised privacy policy."""
+
+    entity: str
+    statements: tuple[Statement, ...]
+    access_offered: bool = True      # P3P ACCESS element, simplified
+    disputes_url: str = ""
+
+    def statements_for(self, category: DataCategory) -> list[Statement]:
+        return [s for s in self.statements if s.covers(category)]
+
+    def collects(self, category: DataCategory) -> bool:
+        return bool(self.statements_for(category))
+
+    def baseline_violations(self) -> list[str]:
+        """Violations of the §4.2 W3C task-force baseline."""
+        problems: list[str] = []
+        for index, stmt in enumerate(self.statements):
+            beyond = stmt.purposes - OPERATIONAL_PURPOSES
+            if beyond and not (stmt.consent_obtained
+                               or stmt.legally_required):
+                names = sorted(p.value for p in beyond)
+                problems.append(
+                    f"statement {index}: non-operational purposes "
+                    f"{names} without consent")
+            shared = stmt.recipients & THIRD_PARTY_RECIPIENTS
+            if shared and not (stmt.consent_obtained
+                               or stmt.legally_required):
+                names = sorted(r.value for r in shared)
+                problems.append(
+                    f"statement {index}: third-party recipients {names} "
+                    f"without consent")
+            if stmt.retention is Retention.INDEFINITELY:
+                problems.append(
+                    f"statement {index}: indefinite retention")
+        return problems
+
+    def conforms_to_baseline(self) -> bool:
+        return not self.baseline_violations()

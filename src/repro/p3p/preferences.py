@@ -1,0 +1,113 @@
+"""User privacy preferences (APPEL-style rules).
+
+A consumer expresses, per data category, the purposes and recipients they
+tolerate and the worst retention they accept; the matcher
+(:mod:`repro.p3p.matching`) evaluates a service's policy against them —
+the §4.2 requirement that "the WSA must enable a consumer to access a web
+service's advertised privacy policy statement" only matters if the
+consumer can then *decide*, which is what these rules encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.p3p.policy import (
+    DataCategory,
+    Purpose,
+    Recipient,
+    Retention,
+)
+
+#: Retention orderings from least to most invasive.
+RETENTION_ORDER = {
+    Retention.NO_RETENTION: 0,
+    Retention.STATED_PURPOSE: 1,
+    Retention.LEGAL_REQUIREMENT: 2,
+    Retention.BUSINESS_PRACTICES: 3,
+    Retention.INDEFINITELY: 4,
+}
+
+
+@dataclass(frozen=True)
+class CategoryRule:
+    """What the user tolerates for one data category."""
+
+    category: DataCategory
+    allowed_purposes: frozenset[Purpose]
+    allowed_recipients: frozenset[Recipient]
+    max_retention: Retention = Retention.STATED_PURPOSE
+    require_access: bool = False
+
+    def retention_acceptable(self, retention: Retention) -> bool:
+        return (RETENTION_ORDER[retention]
+                <= RETENTION_ORDER[self.max_retention])
+
+
+@dataclass(frozen=True)
+class PreferenceSet:
+    """A user's complete preference profile.
+
+    ``default_refuse`` controls categories with no explicit rule: True
+    (refuse collection of anything unmentioned) is the strict profile;
+    False accepts unmentioned categories with any practice.
+    """
+
+    name: str
+    rules: tuple[CategoryRule, ...]
+    default_refuse: bool = True
+
+    def rule_for(self, category: DataCategory) -> CategoryRule | None:
+        for rule in self.rules:
+            if rule.category == category:
+                return rule
+        return None
+
+
+def rule(category: DataCategory,
+         purposes: Iterable[Purpose],
+         recipients: Iterable[Recipient] = (Recipient.OURS,),
+         max_retention: Retention = Retention.STATED_PURPOSE,
+         require_access: bool = False) -> CategoryRule:
+    return CategoryRule(category, frozenset(purposes),
+                        frozenset(recipients), max_retention,
+                        require_access)
+
+
+def strictness_profile(level: int, name: str = "") -> PreferenceSet:
+    """Preference profiles of increasing strictness for benchmark E10.
+
+    Level 0 — accept anything; 1 — no third-party sharing of identity or
+    money; 2 — operational purposes only for all sensitive categories;
+    3 — minimal collection, no retention beyond purpose, access required.
+    """
+    from repro.p3p.policy import OPERATIONAL_PURPOSES
+
+    if level <= 0:
+        return PreferenceSet(name or "anything-goes", (),
+                             default_refuse=False)
+    safe_recipients = frozenset({Recipient.OURS, Recipient.DELIVERY,
+                                 Recipient.SAME})
+    sensitive = (DataCategory.PHYSICAL, DataCategory.ONLINE,
+                 DataCategory.FINANCIAL, DataCategory.HEALTH)
+    if level == 1:
+        rules = tuple(
+            CategoryRule(category, frozenset(Purpose),
+                         safe_recipients, Retention.BUSINESS_PRACTICES)
+            for category in sensitive)
+        return PreferenceSet(name or "no-third-parties", rules,
+                             default_refuse=False)
+    if level == 2:
+        rules = tuple(
+            CategoryRule(category, frozenset(OPERATIONAL_PURPOSES),
+                         safe_recipients, Retention.STATED_PURPOSE)
+            for category in sensitive)
+        return PreferenceSet(name or "operational-only", rules,
+                             default_refuse=False)
+    rules = tuple(
+        CategoryRule(category, frozenset({Purpose.CURRENT}),
+                     frozenset({Recipient.OURS}),
+                     Retention.STATED_PURPOSE, require_access=True)
+        for category in DataCategory)
+    return PreferenceSet(name or "minimal", rules, default_refuse=True)

@@ -1,0 +1,130 @@
+"""The five W3C WSA privacy requirements (§4.2) as checkable predicates.
+
+"The working draft specifies five privacy requirements for enabling
+privacy protection for the consumer of a web service across multiple
+domains and services":
+
+R1. the WSA must enable privacy policy statements to be expressed about
+    web services;
+R2. advertised web service privacy policies must be expressed in P3P;
+R3. the WSA must enable a consumer to access a web service's advertised
+    privacy policy statement;
+R4. the WSA must enable delegation and propagation of privacy policy;
+R5. web services must not be precluded from supporting interactions
+    where one or more parties of the interaction are anonymous.
+
+:class:`WsaPrivacyAudit` evaluates a deployment description against all
+five and produces the compliance report benchmark E10 prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.p3p.matching import propagation_violations
+from repro.p3p.policy import DataCategory, P3PPolicy
+
+
+@dataclass(frozen=True)
+class ServiceRegistration:
+    """How one service presents itself to the audit."""
+
+    name: str
+    policy: P3PPolicy | None            # None = no advertised policy (R1/R2)
+    policy_retrievable: bool = True     # can consumers fetch it? (R3)
+    supports_anonymous: bool = True     # anonymous interactions (R5)
+    delegates_to: tuple[str, ...] = ()
+    delegated_categories: tuple[DataCategory, ...] = ()
+
+
+@dataclass(frozen=True)
+class RequirementResult:
+    requirement: str
+    passed: bool
+    details: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    results: tuple[RequirementResult, ...]
+
+    @property
+    def compliant(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def failed(self) -> list[RequirementResult]:
+        return [r for r in self.results if not r.passed]
+
+
+class WsaPrivacyAudit:
+    """Audits a set of service registrations against R1–R5."""
+
+    def __init__(self, services: Sequence[ServiceRegistration]) -> None:
+        self.services = list(services)
+        self._by_name: Mapping[str, ServiceRegistration] = {
+            s.name: s for s in services}
+
+    def check_r1_policies_expressible(self) -> RequirementResult:
+        missing = tuple(s.name for s in self.services if s.policy is None)
+        return RequirementResult(
+            "R1: privacy policy statements expressed", not missing,
+            tuple(f"{name} advertises no policy" for name in missing))
+
+    def check_r2_policies_in_p3p(self) -> RequirementResult:
+        # In this model a policy object *is* P3P; the check is that every
+        # advertised policy passes the task-force baseline.
+        bad: list[str] = []
+        for service in self.services:
+            if service.policy is None:
+                continue
+            for violation in service.policy.baseline_violations():
+                bad.append(f"{service.name}: {violation}")
+        return RequirementResult(
+            "R2: P3P policies meet the task-force baseline", not bad,
+            tuple(bad))
+
+    def check_r3_policies_accessible(self) -> RequirementResult:
+        hidden = tuple(
+            s.name for s in self.services
+            if s.policy is not None and not s.policy_retrievable)
+        return RequirementResult(
+            "R3: consumers can access advertised policies", not hidden,
+            tuple(f"{name} hides its policy" for name in hidden))
+
+    def check_r4_delegation_propagates(self) -> RequirementResult:
+        problems: list[str] = []
+        for service in self.services:
+            if not service.delegates_to or service.policy is None:
+                continue
+            for target_name in service.delegates_to:
+                target = self._by_name.get(target_name)
+                if target is None or target.policy is None:
+                    problems.append(
+                        f"{service.name} delegates to {target_name} "
+                        f"which has no policy")
+                    continue
+                chain = [service.policy, target.policy]
+                for violation in propagation_violations(
+                        chain, service.delegated_categories):
+                    problems.append(
+                        f"{service.name}->{target_name}: {violation}")
+        return RequirementResult(
+            "R4: delegation propagates privacy policy", not problems,
+            tuple(problems))
+
+    def check_r5_anonymity_supported(self) -> RequirementResult:
+        blocking = tuple(s.name for s in self.services
+                         if not s.supports_anonymous)
+        return RequirementResult(
+            "R5: anonymous interactions not precluded", not blocking,
+            tuple(f"{name} requires identification" for name in blocking))
+
+    def run(self) -> AuditReport:
+        return AuditReport((
+            self.check_r1_policies_expressible(),
+            self.check_r2_policies_in_p3p(),
+            self.check_r3_policies_accessible(),
+            self.check_r4_delegation_propagates(),
+            self.check_r5_anonymity_supported(),
+        ))

@@ -1,0 +1,70 @@
+"""Privacy for web databases (§3.3): privacy constraints, the privacy and
+inference controllers [13,14], randomization-based PPDM [1], association
+mining, and multiparty secure-sum mining [7].
+"""
+
+from repro.privacy.association import (
+    Rule,
+    apriori,
+    association_rules,
+    estimated_supports,
+    itemset_f1,
+    mine_randomized,
+    randomize_transactions,
+    support_counts,
+)
+from repro.privacy.constraints import (
+    AssociationConstraint,
+    PrivacyConstraint,
+    PrivacyConstraintSet,
+    PrivacyLevel,
+)
+from repro.privacy.controller import PrivacyController, ReleaseStats
+from repro.privacy.patterns import (
+    PatternConstraint,
+    PatternSanitizer,
+    SanitizationReport,
+    tabular_transactions,
+)
+from repro.privacy.inference import InferenceController, InferenceStats
+from repro.privacy.multiparty import (
+    MODULUS,
+    MiningOutcome,
+    Party,
+    SecureSumTrace,
+    centralized_apriori,
+    collusion_reconstructs,
+    distributed_apriori,
+    partition_transactions,
+    secure_sum,
+)
+from repro.privacy.webmining import (
+    document_transactions,
+    mine_corpus,
+    term_constraint,
+    terms_of,
+)
+from repro.privacy.ppdm import (
+    NoiseModel,
+    histogram_distance,
+    individual_error,
+    privacy_interval,
+    randomize,
+    reconstruct_distribution,
+    true_distribution,
+)
+
+__all__ = [
+    "AssociationConstraint", "InferenceController", "InferenceStats",
+    "MODULUS", "MiningOutcome", "NoiseModel", "Party",
+    "PatternConstraint", "PatternSanitizer", "PrivacyConstraint",
+    "PrivacyConstraintSet", "PrivacyController", "PrivacyLevel",
+    "ReleaseStats", "Rule", "SanitizationReport", "SecureSumTrace",
+    "apriori", "document_transactions", "mine_corpus", "tabular_transactions", "term_constraint", "terms_of",
+    "association_rules", "centralized_apriori", "collusion_reconstructs",
+    "distributed_apriori", "estimated_supports", "histogram_distance",
+    "individual_error", "itemset_f1", "mine_randomized",
+    "partition_transactions", "privacy_interval", "randomize",
+    "randomize_transactions", "reconstruct_distribution", "secure_sum",
+    "support_counts", "true_distribution",
+]

@@ -1,0 +1,226 @@
+"""Association-rule mining: Apriori baseline plus a privacy-preserving
+variant over randomized transactions (MASK-style bit flipping).
+
+Data mining "is an important tool in making the web more intelligent"
+(§3.3) — and the thing privacy constraints must tame.  This module
+provides the miner both E7's and E12's pipelines use:
+
+* :func:`apriori` — frequent itemsets by level-wise candidate generation;
+* :func:`association_rules` — rules with support/confidence;
+* :func:`randomize_transactions` / :func:`estimated_supports` — each item
+  flag is flipped with probability ``1 - p`` before release; true
+  supports are estimated from flipped data by inverting the distortion
+  matrix, so the miner finds (approximately) the same frequent itemsets
+  without seeing any true basket.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+Transaction = frozenset[str]
+
+
+def _as_transactions(transactions: Iterable[Iterable[str]]
+                     ) -> list[Transaction]:
+    return [frozenset(t) for t in transactions]
+
+
+def support_counts(transactions: Sequence[Transaction],
+                   itemsets: Sequence[frozenset[str]]) -> dict[frozenset[str], int]:
+    counts: dict[frozenset[str], int] = {s: 0 for s in itemsets}
+    for basket in transactions:
+        for itemset in itemsets:
+            if itemset <= basket:
+                counts[itemset] += 1
+    return counts
+
+
+def apriori(transactions: Iterable[Iterable[str]],
+            min_support: float,
+            max_size: int = 4) -> dict[frozenset[str], float]:
+    """Frequent itemsets with support >= *min_support* (a fraction).
+
+    Classic level-wise Apriori with prefix-join candidate generation and
+    subset pruning.
+    """
+    baskets = _as_transactions(transactions)
+    if not baskets:
+        return {}
+    total = len(baskets)
+    threshold = min_support * total
+
+    items = sorted({item for basket in baskets for item in basket})
+    current = [frozenset([item]) for item in items]
+    frequent: dict[frozenset[str], float] = {}
+    size = 1
+    while current and size <= max_size:
+        counts = support_counts(baskets, current)
+        level = {itemset: count for itemset, count in counts.items()
+                 if count >= threshold}
+        for itemset, count in level.items():
+            frequent[itemset] = count / total
+        # Candidate generation: join frequent k-sets sharing a (k-1)-prefix.
+        survivors = sorted(level, key=lambda s: sorted(s))
+        candidates: set[frozenset[str]] = set()
+        for first, second in itertools.combinations(survivors, 2):
+            union = first | second
+            if len(union) != size + 1:
+                continue
+            if all(frozenset(sub) in level
+                   for sub in itertools.combinations(union, size)):
+                candidates.add(union)
+        current = sorted(candidates, key=lambda s: sorted(s))
+        size += 1
+    return frequent
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An association rule antecedent -> consequent."""
+
+    antecedent: frozenset[str]
+    consequent: frozenset[str]
+    support: float
+    confidence: float
+
+    def __str__(self) -> str:
+        lhs = ",".join(sorted(self.antecedent))
+        rhs = ",".join(sorted(self.consequent))
+        return (f"{{{lhs}}} -> {{{rhs}}} "
+                f"(sup={self.support:.3f}, conf={self.confidence:.3f})")
+
+
+def association_rules(frequent: dict[frozenset[str], float],
+                      min_confidence: float) -> list[Rule]:
+    """Rules from frequent itemsets meeting the confidence bar."""
+    rules: list[Rule] = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for size in range(1, len(itemset)):
+            for antecedent_items in itertools.combinations(
+                    sorted(itemset), size):
+                antecedent = frozenset(antecedent_items)
+                antecedent_support = frequent.get(antecedent)
+                if not antecedent_support:
+                    continue
+                confidence = support / antecedent_support
+                if confidence >= min_confidence:
+                    rules.append(Rule(antecedent, itemset - antecedent,
+                                      support, confidence))
+    rules.sort(key=lambda r: (-r.confidence, -r.support,
+                              sorted(r.antecedent)))
+    return rules
+
+
+# -- privacy-preserving variant (randomized response / MASK) ---------------
+
+
+def randomize_transactions(transactions: Iterable[Iterable[str]],
+                           items: Sequence[str], keep_probability: float,
+                           seed: int = 0) -> list[Transaction]:
+    """Flip each item's presence bit with probability 1 - keep_probability.
+
+    ``keep_probability = 1`` releases true baskets; ``0.5`` releases pure
+    noise.  Items outside *items* are dropped (the item universe must be
+    public for estimation).
+    """
+    if not 0.0 <= keep_probability <= 1.0:
+        raise ValueError("keep_probability must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    universe = list(items)
+    released: list[Transaction] = []
+    for basket in _as_transactions(transactions):
+        bits = np.array([item in basket for item in universe])
+        keep = rng.random(len(universe)) < keep_probability
+        flipped = np.where(keep, bits, ~bits)
+        released.append(frozenset(
+            item for item, present in zip(universe, flipped) if present))
+    return released
+
+
+def estimated_supports(randomized: Sequence[Transaction],
+                       itemsets: Sequence[frozenset[str]],
+                       keep_probability: float) -> dict[frozenset[str], float]:
+    """Estimate true supports from flipped data by distortion inversion.
+
+    For an itemset of size k, the observed count vector over the 2^k
+    presence patterns relates to the true one by a kron power of the
+    2x2 flip matrix; we invert it (MASK's estimation step).
+    """
+    p = keep_probability
+    flip = np.array([[p, 1 - p], [1 - p, p]])  # observed-bit x true-bit
+    total = len(randomized)
+    estimates: dict[frozenset[str], float] = {}
+    for itemset in itemsets:
+        members = sorted(itemset)
+        k = len(members)
+        matrix = np.array([[1.0]])
+        for _ in range(k):
+            matrix = np.kron(matrix, flip)
+        observed = np.zeros(2 ** k)
+        for basket in randomized:
+            index = 0
+            for member in members:
+                index = (index << 1) | (1 if member in basket else 0)
+            observed[index] += 1
+        try:
+            true_counts = np.linalg.solve(matrix, observed)
+        except np.linalg.LinAlgError:
+            estimates[itemset] = 0.0
+            continue
+        all_present = 2 ** k - 1
+        estimates[itemset] = (max(true_counts[all_present], 0.0) / total
+                              if total else 0.0)
+    return estimates
+
+
+def mine_randomized(transactions: Iterable[Iterable[str]],
+                    items: Sequence[str], keep_probability: float,
+                    min_support: float, max_size: int = 3,
+                    seed: int = 0) -> dict[frozenset[str], float]:
+    """The full privacy-preserving pipeline: randomize then mine.
+
+    Candidate generation runs level-wise like Apriori but with estimated
+    supports instead of exact counts.
+    """
+    released = randomize_transactions(transactions, items,
+                                      keep_probability, seed)
+    current = [frozenset([item]) for item in items]
+    frequent: dict[frozenset[str], float] = {}
+    size = 1
+    while current and size <= max_size:
+        supports = estimated_supports(released, current, keep_probability)
+        level = {s: v for s, v in supports.items() if v >= min_support}
+        frequent.update(level)
+        survivors = sorted(level, key=lambda s: sorted(s))
+        candidates: set[frozenset[str]] = set()
+        for first, second in itertools.combinations(survivors, 2):
+            union = first | second
+            if len(union) == size + 1:
+                candidates.add(union)
+        current = sorted(candidates, key=lambda s: sorted(s))
+        size += 1
+    return frequent
+
+
+def itemset_f1(mined: Iterable[frozenset[str]],
+               reference: Iterable[frozenset[str]]) -> float:
+    """F1 of mined frequent itemsets vs the true ones (E7's utility)."""
+    mined_set = set(mined)
+    reference_set = set(reference)
+    if not mined_set and not reference_set:
+        return 1.0
+    if not mined_set or not reference_set:
+        return 0.0
+    true_positives = len(mined_set & reference_set)
+    precision = true_positives / len(mined_set)
+    recall = true_positives / len(reference_set)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,155 @@
+"""Privacy constraints (Thuraisingham [13, 14], §3.3).
+
+"The idea is that privacy constraints determine which patterns are
+private and to what extent.  For example ... if we have a privacy
+constraint that states that names and healthcare records are private then
+this information is not released to the general public.  If the
+information is semi-private, then it is released to those who have a need
+to know."
+
+Three privacy levels over (table, column) targets, plus optional content
+conditions and *association constraints* — pairs of columns that are only
+sensitive when released *together* (name alone is fine, diagnosis alone
+is fine, name+diagnosis identifies a patient's condition).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.core.errors import ConfigurationError
+
+
+class PrivacyLevel(enum.IntEnum):
+    """How restricted a piece of information is."""
+
+    PUBLIC = 0        # released to anyone
+    SEMI_PRIVATE = 1  # released only to need-to-know subjects
+    PRIVATE = 2       # never released
+
+    def releasable_to(self, need_to_know: bool) -> bool:
+        if self is PrivacyLevel.PUBLIC:
+            return True
+        if self is PrivacyLevel.SEMI_PRIVATE:
+            return need_to_know
+        return False
+
+
+RowCondition = Callable[[Mapping[str, object]], bool]
+
+
+@dataclass(frozen=True)
+class PrivacyConstraint:
+    """One constraint: (table, column) is *level*, maybe conditionally.
+
+    ``condition`` narrows the constraint to matching rows — "records of
+    VIP patients are private" — a content-based privacy constraint in
+    [13]'s terminology.
+    """
+
+    table: str
+    column: str
+    level: PrivacyLevel
+    condition: RowCondition | None = None
+    name: str = ""
+
+    def applies_to_row(self, row: Mapping[str, object]) -> bool:
+        if self.condition is None:
+            return True
+        try:
+            return bool(self.condition(row))
+        except Exception:
+            return True  # fail closed: a broken condition still protects
+
+    def __repr__(self) -> str:
+        label = self.name or f"{self.table}.{self.column}"
+        cond = " (conditional)" if self.condition else ""
+        return f"PrivacyConstraint({label}={self.level.name}{cond})"
+
+
+@dataclass(frozen=True)
+class AssociationConstraint:
+    """Columns that are sensitive only in combination.
+
+    Releasing any proper subset of ``columns`` (for one row / one query
+    context) is fine; releasing all of them together violates privacy at
+    ``level``.  This is the "inference problem" primitive: individually
+    safe queries that *together* complete the association are what the
+    inference controller must catch.
+    """
+
+    table: str
+    columns: frozenset[str]
+    level: PrivacyLevel
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.columns) < 2:
+            raise ConfigurationError(
+                "association constraints need at least two columns")
+
+    def completed_by(self, released_columns: Iterable[str]) -> bool:
+        return self.columns <= set(released_columns)
+
+    def __repr__(self) -> str:
+        label = self.name or "+".join(sorted(self.columns))
+        return (f"AssociationConstraint({self.table}:{label}="
+                f"{self.level.name})")
+
+
+class PrivacyConstraintSet:
+    """The constraint catalog consulted by the privacy controller."""
+
+    def __init__(self) -> None:
+        self._column: dict[str, list[PrivacyConstraint]] = {}
+        self._association: dict[str, list[AssociationConstraint]] = {}
+
+    def add(self, constraint: PrivacyConstraint) -> PrivacyConstraint:
+        self._column.setdefault(constraint.table, []).append(constraint)
+        return constraint
+
+    def add_association(self, constraint: AssociationConstraint
+                        ) -> AssociationConstraint:
+        self._association.setdefault(constraint.table, []).append(constraint)
+        return constraint
+
+    def protect(self, table: str, column: str, level: PrivacyLevel,
+                condition: RowCondition | None = None,
+                name: str = "") -> PrivacyConstraint:
+        return self.add(PrivacyConstraint(table, column, level,
+                                          condition, name))
+
+    def protect_together(self, table: str, columns: Iterable[str],
+                         level: PrivacyLevel = PrivacyLevel.PRIVATE,
+                         name: str = "") -> AssociationConstraint:
+        return self.add_association(AssociationConstraint(
+            table, frozenset(columns), level, name))
+
+    def column_constraints(self, table: str) -> list[PrivacyConstraint]:
+        return list(self._column.get(table, ()))
+
+    def association_constraints(self, table: str
+                                ) -> list[AssociationConstraint]:
+        return list(self._association.get(table, ()))
+
+    def level_for(self, table: str, column: str,
+                  row: Mapping[str, object] | None = None) -> PrivacyLevel:
+        """The strictest applicable level for one cell."""
+        level = PrivacyLevel.PUBLIC
+        for constraint in self._column.get(table, ()):
+            if constraint.column != column:
+                continue
+            if row is not None and not constraint.applies_to_row(row):
+                continue
+            if row is None and constraint.condition is not None:
+                # Without row context a conditional constraint must be
+                # assumed to apply (fail closed).
+                pass
+            level = max(level, constraint.level)
+        return level
+
+    def constraint_count(self) -> int:
+        return (sum(len(v) for v in self._column.values())
+                + sum(len(v) for v in self._association.values()))

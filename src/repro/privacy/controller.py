@@ -1,0 +1,121 @@
+"""The privacy controller: gates query answers by privacy constraints.
+
+"Essentially, the inference controller approach we have proposed in [14]
+is one solution to achieve some level of privacy" (§3.3).  This module is
+the *release-time* half: given a query result, suppress cells whose
+privacy level the requester does not meet.  The *query-time* half — the
+inference controller that reasons about what a sequence of queries
+jointly reveals — lives in :mod:`repro.privacy.inference` and builds on
+this one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.errors import PrivacyViolation
+from repro.privacy.constraints import (
+    PrivacyConstraintSet,
+    PrivacyLevel,
+)
+from repro.relational.database import Database
+from repro.relational.query import ResultSet
+
+RowPredicate = Callable[[Mapping[str, object]], bool]
+
+
+@dataclass
+class ReleaseStats:
+    """What the controller did, for audits and benchmarks."""
+
+    queries: int = 0
+    cells_released: int = 0
+    cells_suppressed: int = 0
+    queries_refused: int = 0
+
+
+class PrivacyController:
+    """Wraps a Database with privacy-constraint enforcement.
+
+    ``need_to_know`` names the subjects entitled to SEMI_PRIVATE data
+    (the paper's "released to those who have a need to know").
+    """
+
+    def __init__(self, database: Database,
+                 constraints: PrivacyConstraintSet,
+                 need_to_know: set[str] | None = None,
+                 strict: bool = False) -> None:
+        self.database = database
+        self.constraints = constraints
+        self.need_to_know = set(need_to_know or ())
+        #: strict mode refuses the whole query when any cell must be
+        #: suppressed, instead of returning a redacted answer.
+        self.strict = strict
+        self.stats = ReleaseStats()
+
+    def grant_need_to_know(self, user: str) -> None:
+        self.need_to_know.add(user)
+
+    def _row_level(self, table: str, column: str,
+                   row: Mapping[str, object]) -> PrivacyLevel:
+        return self.constraints.level_for(table, column, row)
+
+    def select(self, user: str, table: str,
+               columns: Sequence[str] | None = None,
+               where: RowPredicate | None = None,
+               order_by: str | None = None,
+               limit: int | None = None) -> ResultSet:
+        """SELECT with per-cell privacy suppression.
+
+        Access control (System R grants) still applies first via the
+        underlying database; privacy constraints then redact on top —
+        the two mechanisms are complementary, as §3.3 argues.
+
+        Conditional constraints are evaluated against the *full* row
+        (all columns), not the requested projection — otherwise a query
+        that omits the condition column ("vip") would dodge the
+        constraint that depends on it.
+        """
+        self.stats.queries += 1
+        all_columns = self.database.table(table).schema.column_names()
+        wanted = tuple(columns) if columns is not None else all_columns
+        full = self.database.select(user, table, None, where,
+                                    order_by=order_by, limit=limit)
+        for column in wanted:
+            self.database.table(table).schema.column(column)
+        need = user in self.need_to_know
+        redacted_rows: list[tuple] = []
+        suppressed_here = 0
+        for row in full.rows:
+            record = dict(zip(full.columns, row))
+            output: list[object] = []
+            for column in wanted:
+                level = self._row_level(table, column, record)
+                if level.releasable_to(need):
+                    output.append(record[column])
+                    self.stats.cells_released += 1
+                else:
+                    output.append(None)
+                    suppressed_here += 1
+            redacted_rows.append(tuple(output))
+        self.stats.cells_suppressed += suppressed_here
+        if self.strict and suppressed_here:
+            self.stats.queries_refused += 1
+            raise PrivacyViolation(
+                f"query would release {suppressed_here} protected cell(s) "
+                f"from {table!r}")
+        return ResultSet(wanted, tuple(redacted_rows))
+
+    def released_association_columns(self, table: str,
+                                     columns: Sequence[str],
+                                     user: str) -> list[str]:
+        """Which association constraints a release would complete."""
+        violated: list[str] = []
+        need = user in self.need_to_know
+        for constraint in self.constraints.association_constraints(table):
+            if (constraint.completed_by(columns)
+                    and not constraint.level.releasable_to(need)):
+                violated.append(constraint.name
+                                or "+".join(sorted(constraint.columns)))
+        return violated

@@ -1,0 +1,153 @@
+"""The inference controller ([13, 14], §3.3 and §5).
+
+"Inference is the process of posing queries and deducing new information.
+It becomes a problem when the deduced information is something the user
+is unauthorized to know."
+
+The controller sits in front of the privacy controller and tracks, per
+user, the *column combinations already released per row population*.  A
+new query is refused when the union of what the user has already seen and
+what this query would add completes a forbidden association — even though
+each query alone is innocuous.  This is the classical query-history
+inference channel; benchmark E8 measures leakage with and without it.
+
+Two modes:
+
+* ``history`` (default) — per-user release ledger over row keys;
+* ``stateless`` — only the current query is checked (the weaker control
+  the ledger is compared against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.errors import InferenceViolation
+from repro.privacy.constraints import PrivacyConstraintSet
+from repro.privacy.controller import PrivacyController
+from repro.relational.query import ResultSet
+
+RowPredicate = Callable[[Mapping[str, object]], bool]
+
+
+@dataclass
+class InferenceStats:
+    queries: int = 0
+    refused: int = 0
+    associations_blocked: int = 0
+
+
+class InferenceController:
+    """Query-history-aware privacy enforcement."""
+
+    def __init__(self, controller: PrivacyController,
+                 track_history: bool = True) -> None:
+        self.controller = controller
+        self.track_history = track_history
+        # user -> table -> row_key -> set of released columns
+        self._ledger: dict[str, dict[str, dict[object, set[str]]]] = {}
+        self.stats = InferenceStats()
+
+    @property
+    def constraints(self) -> PrivacyConstraintSet:
+        return self.controller.constraints
+
+    # -- internals ---------------------------------------------------------
+
+    def _row_keys(self, user: str, table: str, where,
+                  order_by, limit) -> list[object]:
+        """Stable per-row identities for the rows a query returns.
+
+        Keys come from the *full* underlying rows (same filters, same
+        order as the privacy controller's select), so two queries over
+        the same row combine in the ledger even when neither selects the
+        primary key — otherwise projecting away the key would blind the
+        history tracking.
+        """
+        full = self.controller.database.select(user, table, None, where,
+                                               order_by=order_by,
+                                               limit=limit)
+        table_obj = self.controller.database.table(table)
+        pk = table_obj.schema.primary_key
+        keys: list[object] = []
+        for row in full.rows:
+            record = dict(zip(full.columns, row))
+            if pk is not None and record.get(pk) is not None:
+                keys.append(record[pk])
+            else:
+                keys.append(tuple(sorted(record.items())))
+        return keys
+
+    def _released(self, user: str, table: str,
+                  row_key: object) -> set[str]:
+        return (self._ledger.get(user, {}).get(table, {})
+                .get(row_key, set()))
+
+    def _record_release(self, user: str, table: str, row_key: object,
+                        columns: set[str]) -> None:
+        (self._ledger.setdefault(user, {}).setdefault(table, {})
+         .setdefault(row_key, set())).update(columns)
+
+    # -- the guarded query ----------------------------------------------------
+
+    def select(self, user: str, table: str,
+               columns: Sequence[str] | None = None,
+               where: RowPredicate | None = None,
+               order_by: str | None = None,
+               limit: int | None = None) -> ResultSet:
+        """SELECT refused when it would complete a forbidden association.
+
+        The check runs per returned row: (columns already released for
+        this row) ∪ (non-null columns this query returns for it) must not
+        cover any unreleasable association constraint.
+        """
+        self.stats.queries += 1
+        result = self.controller.select(user, table, columns, where,
+                                        order_by=order_by, limit=limit)
+        association_constraints = (
+            self.constraints.association_constraints(table))
+        if not association_constraints:
+            return result
+        need = user in self.controller.need_to_know
+        row_keys = self._row_keys(user, table, where, order_by, limit)
+
+        violating: list[str] = []
+        per_row_new: list[tuple[object, set[str]]] = []
+        for row, row_key in zip(result.rows, row_keys):
+            record = dict(zip(result.columns, row))
+            revealed = {c for c, v in record.items() if v is not None}
+            if self.track_history:
+                combined = self._released(user, table, row_key) | revealed
+            else:
+                combined = revealed
+            for constraint in association_constraints:
+                if (constraint.completed_by(combined)
+                        and not constraint.level.releasable_to(need)):
+                    label = (constraint.name
+                             or "+".join(sorted(constraint.columns)))
+                    violating.append(label)
+            per_row_new.append((row_key, revealed))
+
+        if violating:
+            self.stats.refused += 1
+            self.stats.associations_blocked += len(set(violating))
+            raise InferenceViolation(
+                f"query by {user!r} on {table!r} would complete "
+                f"association(s): {sorted(set(violating))}")
+
+        if self.track_history:
+            for row_key, revealed in per_row_new:
+                self._record_release(user, table, row_key, revealed)
+        return result
+
+    def history_size(self, user: str) -> int:
+        """How many (table, row) entries the ledger holds for a user."""
+        return sum(len(rows) for rows in
+                   self._ledger.get(user, {}).values())
+
+    def reset_history(self, user: str | None = None) -> None:
+        if user is None:
+            self._ledger.clear()
+        else:
+            self._ledger.pop(user, None)

@@ -1,0 +1,174 @@
+"""Multiparty privacy-preserving mining (Clifton et al. [7], §3.3).
+
+"Clifton has proposed the use of the multiparty security policy approach
+for carrying out privacy sensitive data mining."  The canonical
+primitive is the *secure sum*: K parties each hold a private count; they
+compute the total without any party learning another's value.
+
+Protocol (the classic ring scheme):
+
+1. The initiator adds a random mask r to its value and passes the sum on;
+2. each party adds its own value and forwards;
+3. the initiator subtracts r from what comes back — the exact total.
+
+Every message a party sees is value + r + (partial sums), uniformly
+distributed mod M, so nothing about individual inputs leaks (collusion
+of a party's two neighbours defeats it, as in the literature —
+documented, and testable via :func:`collusion_reconstructs`).
+
+On top of secure sum, :func:`distributed_apriori` mines association
+rules over *horizontally partitioned* data: each party counts candidate
+itemsets locally; global supports come from secure sums; results equal
+centralized mining exactly — with message cost O(K) per itemset, which
+benchmark E12 reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.privacy.association import (
+    Transaction,
+    apriori,
+    support_counts,
+)
+
+#: Modulus for masked sums; must exceed any real total.
+MODULUS = 2 ** 61 - 1
+
+
+@dataclass
+class Party:
+    """One data holder in the ring."""
+
+    name: str
+    transactions: list[Transaction]
+    messages_seen: list[int] = field(default_factory=list)
+
+    def local_count(self, itemset: frozenset[str]) -> int:
+        return sum(1 for basket in self.transactions if itemset <= basket)
+
+
+@dataclass
+class SecureSumTrace:
+    """The result of one secure-sum round, with audit info."""
+
+    total: int
+    messages: int
+    observed_by_party: dict[str, int]
+
+
+def secure_sum(values: Sequence[int], party_names: Sequence[str],
+               rng: random.Random) -> SecureSumTrace:
+    """Ring secure sum over the given per-party values."""
+    if len(values) != len(party_names) or not values:
+        raise ValueError("need one value per party, at least one party")
+    if any(v < 0 or v >= MODULUS for v in values):
+        raise ValueError("values must be in [0, MODULUS)")
+    mask = rng.randrange(MODULUS)
+    observed: dict[str, int] = {}
+    running = (values[0] + mask) % MODULUS
+    messages = 1
+    for name, value in zip(party_names[1:], values[1:]):
+        observed[name] = running  # what this party receives
+        running = (running + value) % MODULUS
+        messages += 1
+    observed[party_names[0]] = running  # initiator receives the loop back
+    total = (running - mask) % MODULUS
+    return SecureSumTrace(total, messages, observed)
+
+
+def collusion_reconstructs(trace: SecureSumTrace, values: Sequence[int],
+                           party_names: Sequence[str],
+                           target_index: int) -> bool:
+    """Can the two ring neighbours of party *target_index* recover its
+    value by subtracting what they saw?  (They can — the documented
+    collusion weakness; the test asserts both directions.)"""
+    if not 0 < target_index < len(party_names) - 1:
+        return False  # initiator and last party have different views
+    before = trace.observed_by_party[party_names[target_index]]
+    after = trace.observed_by_party[party_names[target_index + 1]]
+    recovered = (after - before) % MODULUS
+    return recovered == values[target_index] % MODULUS
+
+
+@dataclass
+class MiningOutcome:
+    """What distributed mining produced, plus its cost."""
+
+    frequent: dict[frozenset[str], float]
+    secure_sum_rounds: int
+    messages: int
+
+
+def distributed_apriori(parties: Sequence[Party], min_support: float,
+                        max_size: int = 3,
+                        seed: int = 0) -> MiningOutcome:
+    """Apriori over horizontally partitioned data via secure sums.
+
+    Global support(S) = Σ_k local_count_k(S), computed with one secure
+    sum per candidate itemset per level, so no party reveals its local
+    counts.  The result is *identical* to centralized Apriori over the
+    union — that exactness is what E12 asserts.
+    """
+    rng = random.Random(seed)
+    names = [p.name for p in parties]
+    total_rows = sum(len(p.transactions) for p in parties)
+    if total_rows == 0:
+        return MiningOutcome({}, 0, 0)
+    threshold = min_support * total_rows
+
+    items = sorted({item for party in parties
+                    for basket in party.transactions for item in basket})
+    current = [frozenset([item]) for item in items]
+    frequent: dict[frozenset[str], float] = {}
+    rounds = 0
+    messages = 0
+    size = 1
+    while current and size <= max_size:
+        level: dict[frozenset[str], int] = {}
+        for itemset in current:
+            values = [party.local_count(itemset) for party in parties]
+            trace = secure_sum(values, names, rng)
+            rounds += 1
+            messages += trace.messages
+            if trace.total >= threshold:
+                level[itemset] = trace.total
+        for itemset, count in level.items():
+            frequent[itemset] = count / total_rows
+        survivors = sorted(level, key=lambda s: sorted(s))
+        candidates: set[frozenset[str]] = set()
+        for first, second in itertools.combinations(survivors, 2):
+            union = first | second
+            if len(union) != size + 1:
+                continue
+            if all(frozenset(sub) in level
+                   for sub in itertools.combinations(union, size)):
+                candidates.add(union)
+        current = sorted(candidates, key=lambda s: sorted(s))
+        size += 1
+    return MiningOutcome(frequent, rounds, messages)
+
+
+def centralized_apriori(parties: Sequence[Party], min_support: float,
+                        max_size: int = 3) -> dict[frozenset[str], float]:
+    """The baseline that pools everything — what [7] wants to avoid."""
+    pooled: list[Transaction] = []
+    for party in parties:
+        pooled.extend(party.transactions)
+    return apriori(pooled, min_support, max_size)
+
+
+def partition_transactions(transactions: Iterable[Iterable[str]],
+                           party_count: int,
+                           seed: int = 0) -> list[Party]:
+    """Horizontally partition a transaction list across K parties."""
+    rng = random.Random(seed)
+    baskets = [frozenset(t) for t in transactions]
+    parties = [Party(f"party{i}", []) for i in range(party_count)]
+    for basket in baskets:
+        parties[rng.randrange(party_count)].transactions.append(basket)
+    return parties

@@ -1,0 +1,147 @@
+"""Pattern-level privacy: gating *mining output* (§3.3).
+
+"The idea is that privacy constraints determine which patterns are
+private and to what extent" — not only raw cells but the *patterns* a
+miner extracts can violate privacy: a high-confidence rule
+``{zip=22101, age=67} -> {diagnosis=hiv}`` effectively re-identifies an
+individual even though it is an aggregate.
+
+:class:`PatternConstraint` declares which item combinations are private
+(at a :class:`~repro.privacy.constraints.PrivacyLevel`), optionally only
+when the pattern is *identifying* (support below a k-anonymity-style
+floor).  :class:`PatternSanitizer` filters mined itemsets/rules before
+release and reports what it suppressed — the paper's privacy controller
+applied at the mining layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+from repro.privacy.association import Rule
+from repro.privacy.constraints import PrivacyLevel
+
+
+def _item_attribute(item: str) -> str:
+    """The attribute of an 'attr=value' item ('bread' -> 'bread')."""
+    return item.split("=", 1)[0]
+
+
+@dataclass(frozen=True)
+class PatternConstraint:
+    """Item-attribute combinations whose joint patterns are private.
+
+    ``attributes``: the attribute names that, appearing together in one
+    pattern (itemset, or a rule's antecedent ∪ consequent), make it
+    sensitive.  ``level`` gives the release rule.  ``min_support``: when
+    > 0, only patterns *below* this support are suppressed — frequent
+    patterns describe populations, rare ones describe individuals (the
+    k-anonymity intuition).
+    """
+
+    attributes: frozenset[str]
+    level: PrivacyLevel = PrivacyLevel.PRIVATE
+    min_support: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ConfigurationError(
+                "a pattern constraint needs at least one attribute")
+        if not 0.0 <= self.min_support <= 1.0:
+            raise ConfigurationError("min_support must be in [0, 1]")
+
+    def matches(self, items: frozenset[str], support: float) -> bool:
+        attributes = {_item_attribute(item) for item in items}
+        if not self.attributes <= attributes:
+            return False
+        if self.min_support and support >= self.min_support:
+            return False  # population-level pattern: allowed
+        return True
+
+
+@dataclass
+class SanitizationReport:
+    """What the sanitizer did."""
+
+    released: int = 0
+    suppressed: int = 0
+    suppressed_by: dict[str, int] = field(default_factory=dict)
+
+    def record_suppression(self, constraint: PatternConstraint) -> None:
+        self.suppressed += 1
+        label = constraint.name or "+".join(sorted(constraint.attributes))
+        self.suppressed_by[label] = self.suppressed_by.get(label, 0) + 1
+
+
+class PatternSanitizer:
+    """Filters mined patterns by the registered constraints."""
+
+    def __init__(self, constraints: Iterable[PatternConstraint] = (),
+                 need_to_know: bool = False) -> None:
+        self.constraints = list(constraints)
+        self.need_to_know = need_to_know
+
+    def add(self, constraint: PatternConstraint) -> PatternConstraint:
+        self.constraints.append(constraint)
+        return constraint
+
+    def _suppressing_constraint(self, items: frozenset[str],
+                                support: float
+                                ) -> PatternConstraint | None:
+        for constraint in self.constraints:
+            if not constraint.matches(items, support):
+                continue
+            if not constraint.level.releasable_to(self.need_to_know):
+                return constraint
+        return None
+
+    def sanitize_itemsets(self, frequent: dict[frozenset[str], float]
+                          ) -> tuple[dict[frozenset[str], float],
+                                     SanitizationReport]:
+        """Release only itemsets no constraint suppresses."""
+        report = SanitizationReport()
+        released: dict[frozenset[str], float] = {}
+        for itemset, support in frequent.items():
+            constraint = self._suppressing_constraint(itemset, support)
+            if constraint is None:
+                released[itemset] = support
+                report.released += 1
+            else:
+                report.record_suppression(constraint)
+        return released, report
+
+    def sanitize_rules(self, rules: Iterable[Rule]
+                       ) -> tuple[list[Rule], SanitizationReport]:
+        """Release only rules whose combined items pass every
+        constraint (a rule reveals its antecedent AND consequent)."""
+        report = SanitizationReport()
+        released: list[Rule] = []
+        for rule in rules:
+            items = rule.antecedent | rule.consequent
+            constraint = self._suppressing_constraint(items,
+                                                      rule.support)
+            if constraint is None:
+                released.append(rule)
+                report.released += 1
+            else:
+                report.record_suppression(constraint)
+        return released, report
+
+
+def tabular_transactions(records: Iterable[dict[str, object]],
+                         attributes: Iterable[str]
+                         ) -> list[frozenset[str]]:
+    """Encode table rows as 'attr=value' transactions so the association
+    miner (and the sanitizer's attribute logic) can run on tabular data
+    — the bridge between §3.3's relational world and basket mining."""
+    chosen = list(attributes)
+    transactions: list[frozenset[str]] = []
+    for record in records:
+        items = {f"{name}={record[name]}" for name in chosen
+                 if record.get(name) is not None}
+        if items:
+            transactions.append(frozenset(items))
+    return transactions

@@ -1,0 +1,24 @@
+"""Secure third-party publishing of XML documents ([3], §3.2/§4.1):
+owner → untrusted publisher → subject, with Merkle-based authenticity and
+policy-map-based completeness verification.
+"""
+
+from repro.pubsub.owner import (
+    Owner,
+    PolicyMap,
+    SubscriptionTicket,
+    SummarySignature,
+    credential_digest,
+)
+from repro.pubsub.publisher import (
+    MaliciousPublisher,
+    Publisher,
+    VerifiableAnswer,
+)
+from repro.pubsub.subject import SubjectVerifier, VerificationReport
+
+__all__ = [
+    "MaliciousPublisher", "Owner", "PolicyMap", "Publisher",
+    "SubjectVerifier", "SubscriptionTicket", "SummarySignature",
+    "VerifiableAnswer", "VerificationReport", "credential_digest",
+]

@@ -1,0 +1,154 @@
+"""The document owner in the third-party publishing protocol [3].
+
+The owner holds the documents and the access control policies, but does
+*not* answer queries — an untrusted :class:`~repro.pubsub.publisher.Publisher`
+does.  The owner's job is to make the publisher's answers *verifiable*:
+
+* it signs, once per document, the Merkle hash of the whole document (the
+  *summary signature*);
+* it hands the publisher the documents, the policy base and the summary
+  signatures;
+* it issues each subject a :class:`SubscriptionTicket` binding the
+  subject's credentials to the owner's signature, so the publisher cannot
+  invent subjects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.subjects import Subject
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.rsa import KeyPair, PublicKey, generate_keypair, sign
+from repro.merkle.xml_merkle import document_hash
+from repro.xmldb.model import Document
+from repro.xmlsec.authorx import XmlPolicyBase
+from repro.xmlsec.dissemination import Configuration, configurations_by_path
+
+
+@dataclass(frozen=True)
+class SummarySignature:
+    """The owner's signature over one document's Merkle root hash."""
+
+    doc_id: str
+    root_hash: str
+    signature: int
+
+    def verify(self, owner_key: PublicKey) -> bool:
+        from repro.crypto.rsa import verify
+        return verify(owner_key, f"{self.doc_id}:{self.root_hash}",
+                      self.signature)
+
+
+@dataclass(frozen=True)
+class SubscriptionTicket:
+    """Owner-signed statement that a subject (and its credential digest)
+    is registered; presented by subjects to the publisher."""
+
+    subject_name: str
+    credential_digest: str
+    signature: int
+
+    def verify(self, owner_key: PublicKey) -> bool:
+        from repro.crypto.rsa import verify
+        return verify(owner_key,
+                      f"{self.subject_name}:{self.credential_digest}",
+                      self.signature)
+
+
+@dataclass(frozen=True)
+class PolicyMap:
+    """Owner-signed record of which policy configuration protects each
+    node of a document.
+
+    This is the "security-enhanced structure" of [3] that makes
+    *completeness* verifiable: a subject who knows the (public) policy
+    base can compute, from the map, exactly which node paths it is
+    entitled to, and detect a publisher that silently omitted some.
+    The map reveals node paths (tags/structure) — the same structural
+    disclosure connectors make, documented in DESIGN.md.
+    """
+
+    doc_id: str
+    entries: dict[str, Configuration]
+    signature: int
+
+    @staticmethod
+    def digest(doc_id: str, entries: dict[str, Configuration]) -> str:
+        canonical = sorted(
+            (path, sorted((g, tuple(sorted(d))) for g, d in configuration))
+            for path, configuration in entries.items())
+        return sha256_hex(f"{doc_id}:{canonical!r}")
+
+    def verify(self, owner_key: PublicKey) -> bool:
+        from repro.crypto.rsa import verify
+        return verify(owner_key, self.digest(self.doc_id, self.entries),
+                      self.signature)
+
+
+def credential_digest(subject: Subject) -> str:
+    """Stable digest of a subject's role and credential set."""
+    from repro.crypto.hashing import sha256_hex
+    parts = sorted(r.name for r in subject.roles)
+    parts += sorted(
+        f"{c.type_name}:{c.issuer}:{sorted(c.attributes.items())!r}"
+        for c in subject.credentials)
+    return sha256_hex("|".join(parts))
+
+
+class Owner:
+    """The information owner: documents, policies, signing keys."""
+
+    def __init__(self, name: str, policy_base: XmlPolicyBase,
+                 key_seed: int = 1) -> None:
+        self.name = name
+        self.policy_base = policy_base
+        self._keys: KeyPair = generate_keypair(seed=key_seed)
+        self._documents: dict[str, Document] = {}
+        self._signatures: dict[str, SummarySignature] = {}
+        self._policy_maps: dict[str, PolicyMap] = {}
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._keys.public
+
+    def add_document(self, doc_id: str, document: Document) -> SummarySignature:
+        """Register a document: summary-sign it and sign its policy map."""
+        root_hash = document_hash(document)
+        signature = SummarySignature(
+            doc_id, root_hash,
+            sign(self._keys.private, f"{doc_id}:{root_hash}"))
+        entries = configurations_by_path(self.policy_base, doc_id, document)
+        policy_map = PolicyMap(
+            doc_id, entries,
+            sign(self._keys.private, PolicyMap.digest(doc_id, entries)))
+        self._documents[doc_id] = document
+        self._signatures[doc_id] = signature
+        self._policy_maps[doc_id] = policy_map
+        return signature
+
+    def issue_ticket(self, subject: Subject) -> SubscriptionTicket:
+        digest = credential_digest(subject)
+        return SubscriptionTicket(
+            subject.identity.name, digest,
+            sign(self._keys.private,
+                 f"{subject.identity.name}:{digest}"))
+
+    def publish_to(self, publisher: "Publisher") -> None:  # noqa: F821
+        """Hand everything the publisher needs (it is untrusted: it gets
+        documents and policies but never the owner's private key)."""
+        for doc_id, document in self._documents.items():
+            publisher.receive_document(
+                doc_id, document, self._signatures[doc_id],
+                self._policy_maps[doc_id])
+        publisher.receive_policies(self.policy_base)
+        publisher.receive_owner_key(self.public_key)
+
+    def documents(self) -> dict[str, Document]:
+        return dict(self._documents)
+
+    def summary_signature(self, doc_id: str) -> SummarySignature:
+        return self._signatures[doc_id]
+
+    def policy_map(self, doc_id: str) -> PolicyMap:
+        return self._policy_maps[doc_id]

@@ -1,0 +1,179 @@
+"""The untrusted publisher in the third-party publishing protocol [3].
+
+"The idea is for owners to publish documents, subjects to request access
+to the documents, and untrusted publishers to give the subjects the views
+of the documents they are authorized to see, making at the same time the
+subjects able to verify the authenticity and completeness of the received
+answer" (§3.2).
+
+The publisher computes authorized views *with pruned-subtree markers*,
+attaches the Merkle filler hashes for the pruned parts and the owner's
+summary signature.  A :class:`MaliciousPublisher` subclass implements the
+tampering behaviours the tests and benchmark E4 must detect: altering
+content, omitting authorized elements (incompleteness) and replaying
+another document's signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import RegistryError
+from repro.core.subjects import Subject
+from repro.crypto.rsa import PublicKey
+from repro.merkle.xml_merkle import (
+    FillerHashes,
+    content_hash,
+    is_pruned_marker,
+    merkle_hash,
+    original_paths_of_view,
+)
+from repro.pubsub.owner import PolicyMap, SummarySignature
+from repro.xmldb.model import Document, Element
+from repro.xmlsec.authorx import XmlPolicyBase
+from repro.xmlsec.views import compute_view
+
+
+@dataclass(frozen=True)
+class VerifiableAnswer:
+    """What a subject receives for one document request."""
+
+    doc_id: str
+    view: Document | None
+    fillers: FillerHashes
+    summary: SummarySignature
+    policy_map: PolicyMap
+
+    def proof_hash_count(self) -> int:
+        return len(self.fillers)
+
+
+class Publisher:
+    """Answers subject queries over the owner's documents."""
+
+    def __init__(self, name: str = "publisher") -> None:
+        self.name = name
+        self._documents: dict[str, Document] = {}
+        self._signatures: dict[str, SummarySignature] = {}
+        self._policy_maps: dict[str, PolicyMap] = {}
+        self._policy_base: XmlPolicyBase | None = None
+        self._owner_key: PublicKey | None = None
+        self.answers_served = 0
+
+    # -- owner-side feed --------------------------------------------------
+
+    def receive_document(self, doc_id: str, document: Document,
+                         summary: SummarySignature,
+                         policy_map: PolicyMap) -> None:
+        self._documents[doc_id] = document
+        self._signatures[doc_id] = summary
+        self._policy_maps[doc_id] = policy_map
+
+    def receive_policies(self, policy_base: XmlPolicyBase) -> None:
+        self._policy_base = policy_base
+
+    def receive_owner_key(self, key: PublicKey) -> None:
+        self._owner_key = key
+
+    # -- subject-side API ---------------------------------------------------
+
+    def doc_ids(self) -> list[str]:
+        return sorted(self._documents)
+
+    def request(self, subject: Subject, doc_id: str) -> VerifiableAnswer:
+        """Compute the subject's authorized view plus verification data."""
+        if self._policy_base is None:
+            raise RegistryError("publisher has not received policies yet")
+        if doc_id not in self._documents:
+            raise RegistryError(f"unknown document {doc_id!r}")
+        document = self._documents[doc_id]
+        view, _stats = compute_view(
+            self._policy_base, subject, doc_id, document, with_markers=True)
+        fillers = self._filler_hashes(document, view)
+        self.answers_served += 1
+        return self._package(doc_id, view, fillers)
+
+    def _package(self, doc_id: str, view: Document | None,
+                 fillers: FillerHashes) -> VerifiableAnswer:
+        return VerifiableAnswer(doc_id, view, fillers,
+                                self._signatures[doc_id],
+                                self._policy_maps[doc_id])
+
+    def _filler_hashes(self, original: Document,
+                       view: Document | None) -> FillerHashes:
+        """Fillers: Merkle hashes of pruned subtrees plus content hashes
+        of elements whose local content was stripped (connectors and
+        NAVIGATE nodes)."""
+        if view is None:
+            return FillerHashes()
+        by_path = {node.node_path(): node for node in original.iter()}
+        subtrees: dict[str, str] = {}
+        contents: dict[str, str] = {}
+        original_paths = original_paths_of_view(view.root)
+        for node in view.iter():
+            path = original_paths[id(node)]
+            if is_pruned_marker(node):
+                pruned = by_path.get(path)
+                if pruned is not None:
+                    subtrees[path] = merkle_hash(pruned)
+                continue
+            source = by_path.get(path)
+            if source is None:
+                continue
+            stripped = not node.attributes and not node.text
+            had_content = bool(source.attributes) or bool(source.text)
+            if stripped and had_content:
+                contents[path] = content_hash(source)
+        return FillerHashes(subtrees, contents)
+
+
+class MaliciousPublisher(Publisher):
+    """A publisher that misbehaves in controlled ways.
+
+    ``mode`` selects the attack:
+
+    * ``"tamper"`` — alters the text of the first content-bearing element
+      in every answer (authenticity violation);
+    * ``"omit"`` — silently drops the last authorized child of the view
+      root, replacing nothing (completeness violation);
+    * ``"swap"`` — serves answers with a summary signature replayed from
+      a different document (authenticity violation).
+    """
+
+    def __init__(self, mode: str, name: str = "malicious") -> None:
+        super().__init__(name)
+        if mode not in ("tamper", "omit", "swap"):
+            raise RegistryError(f"unknown attack mode {mode!r}")
+        self.mode = mode
+
+    def request(self, subject: Subject, doc_id: str) -> VerifiableAnswer:
+        answer = super().request(subject, doc_id)
+        if answer.view is None:
+            return answer
+        view = answer.view.deep_copy()
+        if self.mode == "tamper":
+            self._tamper(view.root)
+        elif self.mode == "omit":
+            self._omit(view.root)
+        elif self.mode == "swap":
+            other_ids = [d for d in self._signatures if d != doc_id]
+            if other_ids:
+                return VerifiableAnswer(doc_id, view, answer.fillers,
+                                        self._signatures[other_ids[0]],
+                                        answer.policy_map)
+        return VerifiableAnswer(doc_id, view, answer.fillers,
+                                answer.summary, answer.policy_map)
+
+    @staticmethod
+    def _tamper(root: Element) -> None:
+        for node in root.iter():
+            if node.text and not is_pruned_marker(node):
+                node.set_text(node.text + "-forged")
+                return
+
+    @staticmethod
+    def _omit(root: Element) -> None:
+        visible = [c for c in root.element_children
+                   if not is_pruned_marker(c)]
+        if visible:
+            root.remove(visible[-1])

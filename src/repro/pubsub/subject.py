@@ -1,0 +1,157 @@
+"""The subject (consumer) side of third-party publishing [3].
+
+The verifier checks three properties of every answer, without trusting
+the publisher:
+
+* **authenticity** — the view plus the filler hashes recompute the Merkle
+  root hash the owner signed; the summary signature verifies under the
+  owner's public key and is bound to the requested document id;
+* **completeness** — from the owner-signed policy map, the subject
+  derives exactly which node paths it is entitled to and checks each is
+  present in the view (not pruned, not a bare connector);
+* **minimality** (no over-delivery) — the view contains no content the
+  policy map says the subject is not entitled to.  Over-delivery is the
+  publisher leaking, which the subject reports but benefits from; we
+  surface it for the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import (
+    AuthenticationError,
+    CompletenessError,
+    IntegrityError,
+)
+from repro.core.subjects import Subject
+from repro.crypto.rsa import PublicKey
+from repro.merkle.xml_merkle import (
+    is_pruned_marker,
+    original_paths_of_view,
+    view_hash,
+)
+from repro.pubsub.publisher import VerifiableAnswer
+from repro.xmlsec.authorx import XmlPolicyBase
+from repro.xmlsec.dissemination import subject_can_unlock
+
+
+@dataclass
+class VerificationReport:
+    """The outcome of verifying one answer."""
+
+    authentic: bool
+    complete: bool
+    over_delivered_paths: list[str] = field(default_factory=list)
+    missing_paths: list[str] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.authentic and self.complete
+
+
+class SubjectVerifier:
+    """Client-side verifier bound to one subject and one owner."""
+
+    def __init__(self, subject: Subject, owner_key: PublicKey,
+                 policy_base: XmlPolicyBase) -> None:
+        self.subject = subject
+        self.owner_key = owner_key
+        self.policy_base = policy_base
+
+    # -- individual checks -------------------------------------------------
+
+    def check_authenticity(self, answer: VerifiableAnswer) -> None:
+        """Raise AuthenticationError/IntegrityError if the answer is forged."""
+        if answer.summary.doc_id != answer.doc_id:
+            raise AuthenticationError(
+                f"summary signature is for document "
+                f"{answer.summary.doc_id!r}, answer claims "
+                f"{answer.doc_id!r}")
+        if not answer.summary.verify(self.owner_key):
+            raise AuthenticationError(
+                "summary signature does not verify under the owner key")
+        if answer.view is not None:
+            recomputed = view_hash(answer.view.root, answer.fillers)
+            if recomputed != answer.summary.root_hash:
+                raise IntegrityError(
+                    "view + filler hashes do not reproduce the signed "
+                    "Merkle root (content was altered or omitted)")
+
+    def entitled_paths(self, answer: VerifiableAnswer) -> set[str]:
+        """Node paths of the original document this subject may read."""
+        if not answer.policy_map.verify(self.owner_key):
+            raise AuthenticationError(
+                "policy map signature does not verify under the owner key")
+        return {
+            path for path, configuration in answer.policy_map.entries.items()
+            if subject_can_unlock(self.policy_base, self.subject,
+                                  configuration)}
+
+    def check_completeness(self, answer: VerifiableAnswer) -> None:
+        """Raise CompletenessError if an entitled node is missing or was
+        delivered stripped of its content (masked behind a content
+        filler)."""
+        entitled = self.entitled_paths(answer)
+        delivered = self._delivered_paths(answer)
+        missing = set(entitled) - delivered
+        masked = {path for path in entitled
+                  if path in answer.fillers.contents}
+        problems = sorted(missing | masked)
+        if problems:
+            raise CompletenessError(
+                f"publisher withheld {len(problems)} authorized node(s), "
+                f"first: {problems[0]}")
+
+    def _delivered_paths(self, answer: VerifiableAnswer) -> set[str]:
+        """Original-document paths of non-marker view nodes."""
+        if answer.view is None:
+            return set()
+        paths = original_paths_of_view(answer.view.root)
+        return {paths[id(node)] for node in answer.view.iter()
+                if not is_pruned_marker(node)}
+
+    def over_delivered(self, answer: VerifiableAnswer) -> list[str]:
+        """Paths delivered with content despite no entitlement."""
+        entitled = self.entitled_paths(answer)
+        if answer.view is None:
+            return []
+        paths = original_paths_of_view(answer.view.root)
+        leaked: list[str] = []
+        for node in answer.view.iter():
+            if is_pruned_marker(node):
+                continue
+            has_content = bool(node.attributes) or bool(node.text)
+            if has_content and paths[id(node)] not in entitled:
+                leaked.append(paths[id(node)])
+        return sorted(leaked)
+
+    # -- the full protocol ---------------------------------------------------
+
+    def verify(self, answer: VerifiableAnswer) -> VerificationReport:
+        """Run all checks, returning a report instead of raising."""
+        report = VerificationReport(authentic=True, complete=True)
+        try:
+            self.check_authenticity(answer)
+        except (AuthenticationError, IntegrityError) as exc:
+            report.authentic = False
+            report.detail = str(exc)
+        try:
+            self.check_completeness(answer)
+        except CompletenessError as exc:
+            report.complete = False
+            entitled = self.entitled_paths(answer)
+            report.missing_paths = sorted(
+                entitled - self._delivered_paths(answer))
+            if report.detail:
+                report.detail += "; "
+            report.detail += str(exc)
+        except AuthenticationError as exc:
+            report.complete = False
+            report.detail += ("; " if report.detail else "") + str(exc)
+        try:
+            report.over_delivered_paths = self.over_delivered(answer)
+        except AuthenticationError:
+            pass
+        return report

@@ -1,0 +1,45 @@
+"""RDF substrate and semantic-level security (§3.2): triple store,
+containers, reification, RDFS inference, and a secure store answering
+every security question the paper raises about RDF.
+"""
+
+from repro.rdfdb.containers import (
+    CONTAINER_TYPES,
+    ContainerView,
+    container_nodes,
+    create_container,
+    membership_index,
+    membership_property,
+    read_container,
+)
+from repro.rdfdb.model import (
+    RDF,
+    RDFS,
+    IRI,
+    BlankNode,
+    Literal,
+    Namespace,
+    Triple,
+    blank,
+    triple,
+)
+from repro.rdfdb.reification import (
+    described_statement,
+    is_reification_node,
+    reification_triples,
+    reifications_of,
+    reify,
+)
+from repro.rdfdb.schema import derivation_supports, rdfs_closure
+from repro.rdfdb.security import ContextRule, SecureRdfStore
+from repro.rdfdb.store import TripleStore
+
+__all__ = [
+    "BlankNode", "CONTAINER_TYPES", "ContainerView", "ContextRule", "IRI",
+    "Literal", "Namespace", "RDF", "RDFS", "SecureRdfStore", "Triple",
+    "TripleStore", "blank", "container_nodes", "create_container",
+    "derivation_supports", "described_statement", "is_reification_node",
+    "membership_index", "membership_property", "rdfs_closure",
+    "read_container", "reification_triples", "reifications_of", "reify",
+    "triple",
+]

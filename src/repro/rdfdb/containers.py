@@ -1,0 +1,101 @@
+"""RDF containers: Bag, Seq, Alt (§3.2: "What are the security properties
+of the container model? How can bags, lists and alternatives be
+protected?").
+
+A container is a resource typed ``rdf:Bag`` / ``rdf:Seq`` / ``rdf:Alt``
+whose members hang off the numbered membership properties ``rdf:_1``,
+``rdf:_2``, ...  These helpers create containers in a store and read them
+back; the security layer treats membership triples like any other triple,
+which is exactly what makes containers a *semantic* protection problem:
+hiding ``rdf:_2`` from a Seq silently renumbers nothing, so a reader can
+*detect* the gap — :func:`members` reports gaps for that reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+from repro.rdfdb.model import (
+    RDF,
+    IRI,
+    ObjectTerm,
+    SubjectTerm,
+    Triple,
+    blank,
+)
+from repro.rdfdb.store import TripleStore
+
+CONTAINER_TYPES = ("Bag", "Seq", "Alt")
+
+
+def membership_property(index: int) -> IRI:
+    if index < 1:
+        raise ConfigurationError("membership indexes are 1-based")
+    return RDF[f"_{index}"]
+
+
+def membership_index(predicate: IRI) -> int | None:
+    """The n of rdf:_n, or None for non-membership predicates."""
+    name = predicate.local_name
+    if name.startswith("_") and name[1:].isdigit():
+        return int(name[1:])
+    return None
+
+
+def create_container(store: TripleStore, kind: str,
+                     members: Iterable[ObjectTerm],
+                     node: SubjectTerm | None = None) -> SubjectTerm:
+    """Create a Bag/Seq/Alt with the given members; returns its node."""
+    if kind not in CONTAINER_TYPES:
+        raise ConfigurationError(
+            f"container kind must be one of {CONTAINER_TYPES}, got {kind!r}")
+    if node is None:
+        node = blank("container")
+    store.add(Triple(node, RDF.type, RDF[kind]))
+    for index, member in enumerate(members, start=1):
+        store.add(Triple(node, membership_property(index), member))
+    return node
+
+
+@dataclass(frozen=True)
+class ContainerView:
+    """What a reader sees of a container."""
+
+    node: SubjectTerm
+    kind: str
+    members: tuple[ObjectTerm, ...]
+    gaps: tuple[int, ...]
+
+    @property
+    def intact(self) -> bool:
+        return not self.gaps
+
+
+def read_container(store: TripleStore, node: SubjectTerm) -> ContainerView:
+    """Read a container, reporting membership gaps (hidden members)."""
+    kind_term = store.value(node, RDF.type)
+    kind = ""
+    if isinstance(kind_term, IRI) and kind_term.local_name in CONTAINER_TYPES:
+        kind = kind_term.local_name
+    indexed: dict[int, ObjectTerm] = {}
+    for item in store.match(node, None, None):
+        index = membership_index(item.predicate)
+        if index is not None:
+            indexed[index] = item.object
+    members = tuple(indexed[i] for i in sorted(indexed))
+    gaps: tuple[int, ...] = ()
+    if indexed:
+        expected = range(1, max(indexed) + 1)
+        gaps = tuple(i for i in expected if i not in indexed)
+    return ContainerView(node, kind, members, gaps)
+
+
+def container_nodes(store: TripleStore) -> list[SubjectTerm]:
+    """All container nodes in the store."""
+    nodes: dict[SubjectTerm, None] = {}
+    for kind in CONTAINER_TYPES:
+        for item in store.match(None, RDF.type, RDF[kind]):
+            nodes.setdefault(item.subject)
+    return list(nodes)

@@ -1,0 +1,143 @@
+"""RDF data model: IRIs, literals, blank nodes, triples.
+
+"RDF is fundamental to the semantic web ... it also describes contents of
+documents as well as relationships between various entities" (§3.2).
+We model the RDF abstract syntax: a triple is (subject, predicate,
+object) where subjects are IRIs or blank nodes, predicates are IRIs, and
+objects may also be literals.  Terms are small frozen dataclasses so
+triples are hashable and sets of triples behave like graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IRI:
+    """An IRI reference, optionally built from a namespace + local name."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value or any(c.isspace() for c in self.value):
+            raise ConfigurationError(f"invalid IRI {self.value!r}")
+
+    def __str__(self) -> str:
+        return f"<{self.value}>"
+
+    @property
+    def local_name(self) -> str:
+        for separator in ("#", "/"):
+            if separator in self.value:
+                return self.value.rsplit(separator, 1)[1]
+        return self.value
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal value with an optional datatype tag."""
+
+    value: str
+    datatype: str = "string"
+
+    def __str__(self) -> str:
+        if self.datatype != "string":
+            return f'"{self.value}"^^{self.datatype}'
+        return f'"{self.value}"'
+
+    @classmethod
+    def number(cls, value: "int | float") -> "Literal":
+        return cls(str(value), "number")
+
+    def as_number(self) -> float:
+        if self.datatype != "number":
+            raise ConfigurationError(f"literal {self} is not numeric")
+        return float(self.value)
+
+
+_blank_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class BlankNode:
+    """An anonymous node; fresh ids come from :func:`blank`."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+
+def blank(prefix: str = "b") -> BlankNode:
+    return BlankNode(f"{prefix}{next(_blank_ids)}")
+
+
+#: Types usable in each triple position.
+SubjectTerm = IRI | BlankNode
+ObjectTerm = IRI | BlankNode | Literal
+
+
+class Namespace:
+    """Factory for IRIs sharing a prefix: ``EX = Namespace("http://ex/")``;
+    ``EX.alice`` and ``EX["alice"]`` both give ``IRI("http://ex/alice")``."""
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return IRI(self._prefix + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return IRI(self._prefix + name)
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+
+# The RDF / RDFS core vocabulary used across the package.
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One RDF statement."""
+
+    subject: SubjectTerm
+    predicate: IRI
+    object: ObjectTerm
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.subject, (IRI, BlankNode)):
+            raise ConfigurationError(
+                f"triple subject must be IRI or blank node, got "
+                f"{type(self.subject).__name__}")
+        if not isinstance(self.predicate, IRI):
+            raise ConfigurationError("triple predicate must be an IRI")
+        if not isinstance(self.object, (IRI, BlankNode, Literal)):
+            raise ConfigurationError(
+                f"triple object must be IRI, blank node or literal, got "
+                f"{type(self.object).__name__}")
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.predicate} {self.object} ."
+
+    def with_object(self, obj: ObjectTerm) -> "Triple":
+        return Triple(self.subject, self.predicate, obj)
+
+
+def triple(subject: SubjectTerm, predicate: IRI,
+           obj: "ObjectTerm | str | int | float") -> Triple:
+    """Builder that coerces plain strings/numbers to literals."""
+    if isinstance(obj, str):
+        obj = Literal(obj)
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        obj = Literal.number(obj)
+    return Triple(subject, predicate, obj)

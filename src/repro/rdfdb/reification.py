@@ -1,0 +1,80 @@
+"""Reification: statements about statements (§3.2: "What are the security
+implications of statements about statements?").
+
+Reifying a triple creates a statement node with ``rdf:subject`` /
+``rdf:predicate`` / ``rdf:object`` triples plus a type triple; other
+triples can then talk *about* the statement (who asserted it, how
+confident we are...).
+
+The security implication the paper points at: the reification quadruple
+*re-encodes the content of the base triple*.  Protecting the base triple
+while leaving its reification readable leaks everything.
+:func:`reifications_of` is the hook the security layer uses to find and
+co-protect reifications (see :mod:`repro.rdfdb.security`).
+"""
+
+from __future__ import annotations
+
+from repro.rdfdb.model import (
+    RDF,
+    SubjectTerm,
+    Triple,
+    blank,
+)
+from repro.rdfdb.store import TripleStore
+
+
+def reify(store: TripleStore, statement: Triple,
+          node: SubjectTerm | None = None) -> SubjectTerm:
+    """Add the reification quadruple for *statement*; returns its node.
+
+    The base statement itself is *not* added — RDF semantics: reifying
+    does not assert.
+    """
+    if node is None:
+        node = blank("stmt")
+    store.add(Triple(node, RDF.type, RDF.Statement))
+    store.add(Triple(node, RDF.subject, statement.subject))
+    store.add(Triple(node, RDF.predicate, statement.predicate))
+    store.add(Triple(node, RDF.object, statement.object))
+    return node
+
+
+def is_reification_node(store: TripleStore, node: SubjectTerm) -> bool:
+    return bool(store.match(node, RDF.type, RDF.Statement))
+
+
+def described_statement(store: TripleStore,
+                        node: SubjectTerm) -> Triple | None:
+    """Reconstruct the base triple a reification node describes."""
+    subject = store.value(node, RDF.subject)
+    predicate = store.value(node, RDF.predicate)
+    obj = store.value(node, RDF.object)
+    if subject is None or predicate is None or obj is None:
+        return None
+    from repro.rdfdb.model import IRI, BlankNode
+    if not isinstance(subject, (IRI, BlankNode)):
+        return None
+    if not isinstance(predicate, IRI):
+        return None
+    return Triple(subject, predicate, obj)
+
+
+def reifications_of(store: TripleStore,
+                    statement: Triple) -> list[SubjectTerm]:
+    """All reification nodes describing *statement*."""
+    nodes: list[SubjectTerm] = []
+    for item in store.match(None, RDF.subject, statement.subject):
+        node = item.subject
+        if not is_reification_node(store, node):
+            continue
+        if (store.value(node, RDF.predicate) == statement.predicate
+                and store.value(node, RDF.object) == statement.object):
+            nodes.append(node)
+    return nodes
+
+
+def reification_triples(store: TripleStore,
+                        node: SubjectTerm) -> list[Triple]:
+    """The quadruple (and any annotations) hanging off a statement node."""
+    return store.match(node, None, None)

@@ -1,0 +1,128 @@
+"""RDFS inference: subClassOf / subPropertyOf / domain / range closure.
+
+"While XML provides syntax and notations, RDF supplements this by
+providing semantic information in a standardized way" (§3.2).  The
+*semantics* is what makes RDF security harder than XML security: a triple
+you never stored can still be *derivable*.  :func:`rdfs_closure` computes
+the classic RDFS entailments:
+
+* rdfs9  — (x type C), (C subClassOf D) ⇒ (x type D)
+* rdfs7  — (x p y), (p subPropertyOf q) ⇒ (x q y)
+* rdfs5  — subPropertyOf transitivity
+* rdfs11 — subClassOf transitivity
+* rdfs2  — (p domain C), (x p y) ⇒ (x type C)
+* rdfs3  — (p range C), (x p y), y a resource ⇒ (y type C)
+
+The security layer must label the *closure*, not just the stored graph —
+benchmark E9 shows what leaks when it doesn't.
+"""
+
+from __future__ import annotations
+
+from repro.rdfdb.model import RDF, RDFS, IRI, BlankNode, Triple
+from repro.rdfdb.store import TripleStore
+
+
+def rdfs_closure(store: TripleStore,
+                 max_rounds: int = 50) -> tuple[TripleStore, list[Triple]]:
+    """Return ``(closed_store, derived)`` — the store plus entailments.
+
+    The input store is not modified.  ``derived`` lists only triples that
+    were not already present, in derivation order (deterministic).
+    """
+    closed = store.copy()
+    derived: list[Triple] = []
+
+    def add(item: Triple) -> None:
+        if closed.add(item):
+            derived.append(item)
+
+    for _ in range(max_rounds):
+        before = len(closed)
+
+        # Transitivity of the two schema relations (rdfs5, rdfs11).
+        for relation in (RDFS.subClassOf, RDFS.subPropertyOf):
+            edges = closed.match(None, relation, None)
+            successors: dict[object, list[object]] = {}
+            for edge in edges:
+                successors.setdefault(edge.subject, []).append(edge.object)
+            for edge in edges:
+                for next_object in successors.get(edge.object, ()):
+                    if isinstance(edge.object, (IRI, BlankNode)):
+                        add(Triple(edge.subject, relation, next_object))
+
+        # rdfs9: type propagation up the class hierarchy.
+        for class_edge in closed.match(None, RDFS.subClassOf, None):
+            for typed in closed.match(None, RDF.type, class_edge.subject):
+                add(Triple(typed.subject, RDF.type, class_edge.object))
+
+        # rdfs7: property propagation up the property hierarchy.
+        for property_edge in closed.match(None, RDFS.subPropertyOf, None):
+            if not isinstance(property_edge.object, IRI):
+                continue
+            if not isinstance(property_edge.subject, IRI):
+                continue
+            for used in closed.match(None, property_edge.subject, None):
+                add(Triple(used.subject, property_edge.object, used.object))
+
+        # rdfs2 / rdfs3: domain and range typing.
+        for domain_edge in closed.match(None, RDFS.domain, None):
+            if not isinstance(domain_edge.subject, IRI):
+                continue
+            for used in closed.match(None, domain_edge.subject, None):
+                add(Triple(used.subject, RDF.type, domain_edge.object))
+        for range_edge in closed.match(None, RDFS.range, None):
+            if not isinstance(range_edge.subject, IRI):
+                continue
+            for used in closed.match(None, range_edge.subject, None):
+                if isinstance(used.object, (IRI, BlankNode)):
+                    add(Triple(used.object, RDF.type, range_edge.object))
+
+        if len(closed) == before:
+            break
+    return closed, derived
+
+
+def derivation_supports(store: TripleStore,
+                        derived_triple: Triple) -> list[list[Triple]]:
+    """All one-step derivations of *derived_triple* from *store*.
+
+    Each support is the list of premise triples of one rule instance.
+    Used by the security layer: a derived triple is only as public as its
+    most sensitive support chain, and hiding a derived fact requires
+    breaking *every* support.
+    """
+    supports: list[list[Triple]] = []
+    subject, predicate, obj = (derived_triple.subject,
+                               derived_triple.predicate,
+                               derived_triple.object)
+    # rdfs9 / rdfs11 / rdfs2 / rdfs3 for type triples
+    if predicate == RDF.type:
+        for class_edge in store.match(None, RDFS.subClassOf, obj):
+            premise = Triple(subject, RDF.type, class_edge.subject)
+            if premise in store:
+                supports.append([premise, class_edge])
+        for domain_edge in store.match(None, RDFS.domain, obj):
+            if isinstance(domain_edge.subject, IRI):
+                for used in store.match(subject, domain_edge.subject, None):
+                    supports.append([used, domain_edge])
+        for range_edge in store.match(None, RDFS.range, obj):
+            if isinstance(range_edge.subject, IRI):
+                for used in store.match(None, range_edge.subject, subject):
+                    supports.append([used, range_edge])
+    # rdfs7
+    for property_edge in store.match(None, RDFS.subPropertyOf, predicate):
+        if isinstance(property_edge.subject, IRI):
+            premise = Triple(subject, property_edge.subject, obj)
+            if premise in store:
+                supports.append([premise, property_edge])
+    # transitivity
+    if predicate in (RDFS.subClassOf, RDFS.subPropertyOf):
+        for middle_edge in store.match(subject, predicate, None):
+            if middle_edge.object == obj:
+                continue
+            if isinstance(middle_edge.object, (IRI, BlankNode)):
+                closing = Triple(middle_edge.object, predicate, obj)
+                if closing in store:
+                    supports.append([middle_edge, closing])
+    return supports

@@ -1,0 +1,235 @@
+"""Semantic-level access control for RDF (§3.2).
+
+"With RDF we also need to ensure that security is preserved at the
+semantic level."  This module answers, mechanism by mechanism, the
+questions §3.2 raises:
+
+* *How is access control ensured, at fine granularity?* — per-triple MLS
+  labels (:meth:`SecureRdfStore.classify`), pattern classification, and
+  clearance-filtered queries.
+* *What about statements about statements?* — classifying a triple
+  co-classifies its reification quadruples, which re-encode the same
+  content (:meth:`SecureRdfStore.classify`, ``protect_reifications``).
+* *How can bags, lists and alternatives be protected?* — containers can
+  be classified atomically (:meth:`classify_container`).
+* *What about inference?* — the secure query path computes RDFS closure
+  over the *reader-visible subgraph only*, so entailments of hidden
+  triples stay hidden.  The naive path (``semantic=False``) labels only
+  stored triples and serves the full closure — the leaky strawman that
+  benchmark E9 measures.
+* *Context-dependent classification?* — labels may depend on named
+  contexts ("wartime"), and :meth:`set_context` re-labels the world:
+  "one could declassify an RDF document, once the war is over" (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mls import PUBLIC, Label, can_read
+from repro.rdfdb.model import IRI, ObjectTerm, SubjectTerm, Triple
+from repro.rdfdb.reification import reification_triples, reifications_of
+from repro.rdfdb.schema import rdfs_closure
+from repro.rdfdb.store import TripleStore
+
+
+@dataclass(frozen=True)
+class ContextRule:
+    """A context-dependent label: applies while the named context is
+    active; the base label applies otherwise."""
+
+    context: str
+    label_when_active: Label
+
+
+class SecureRdfStore:
+    """A triple store with per-triple labels and semantic enforcement."""
+
+    def __init__(self, store: TripleStore | None = None,
+                 default: Label = PUBLIC) -> None:
+        self.store = store if store is not None else TripleStore()
+        self.default = default
+        self._labels: dict[Triple, Label] = {}
+        self._context_rules: dict[Triple, list[ContextRule]] = {}
+        self._active_contexts: set[str] = set()
+
+    # -- data -----------------------------------------------------------
+
+    def add(self, item: Triple, label: Label | None = None) -> None:
+        self.store.add(item)
+        if label is not None:
+            self._labels[item] = label
+
+    # -- classification ----------------------------------------------------
+
+    def classify(self, item: Triple, label: Label,
+                 protect_reifications: bool = True) -> int:
+        """Label one triple; returns how many triples were (re)labelled.
+
+        With ``protect_reifications`` the quadruples of every reification
+        node describing *item* are raised to at least *label* — hiding a
+        statement while exposing its reification hides nothing.
+        """
+        self._labels[item] = label
+        touched = 1
+        if protect_reifications:
+            for node in reifications_of(self.store, item):
+                for quad in reification_triples(self.store, node):
+                    current = self._labels.get(quad, self.default)
+                    if not current.dominates(label):
+                        self._labels[quad] = current.join(label)
+                        touched += 1
+        return touched
+
+    def classify_pattern(self, label: Label,
+                         subject: SubjectTerm | None = None,
+                         predicate: IRI | None = None,
+                         obj: ObjectTerm | None = None,
+                         protect_reifications: bool = True) -> int:
+        """Classify every stored triple matching the pattern."""
+        touched = 0
+        for item in self.store.match(subject, predicate, obj):
+            touched += self.classify(item, label, protect_reifications)
+        return touched
+
+    def classify_container(self, node: SubjectTerm, label: Label) -> int:
+        """Classify a container atomically: its type triple and every
+        membership triple get the same label."""
+        touched = 0
+        for item in self.store.match(node, None, None):
+            touched += self.classify(item, label,
+                                     protect_reifications=False)
+        return touched
+
+    # -- contexts ----------------------------------------------------------
+
+    def add_context_rule(self, item: Triple, context: str,
+                         label_when_active: Label) -> None:
+        self._context_rules.setdefault(item, []).append(
+            ContextRule(context, label_when_active))
+
+    def set_context(self, context: str, active: bool) -> None:
+        """Activate or deactivate a context ("the war is over")."""
+        if active:
+            self._active_contexts.add(context)
+        else:
+            self._active_contexts.discard(context)
+
+    def active_contexts(self) -> frozenset[str]:
+        return frozenset(self._active_contexts)
+
+    def label_of(self, item: Triple) -> Label:
+        """Effective label: context rules override while active."""
+        for rule in self._context_rules.get(item, ()):
+            if rule.context in self._active_contexts:
+                return rule.label_when_active
+        return self._labels.get(item, self.default)
+
+    # -- enforcement -----------------------------------------------------------
+
+    def readable_store(self, clearance: Label) -> TripleStore:
+        """The stored triples this clearance may read."""
+        visible = TripleStore()
+        for item in self.store:
+            if can_read(clearance, self.label_of(item)):
+                visible.add(item)
+        return visible
+
+    def query(self, clearance: Label,
+              subject: SubjectTerm | None = None,
+              predicate: IRI | None = None,
+              obj: ObjectTerm | None = None,
+              infer: bool = False,
+              semantic: bool = True) -> list[Triple]:
+        """Clearance-filtered pattern query.
+
+        With ``infer=True`` the query runs over the RDFS closure.
+        ``semantic=True`` (the secure mode) closes over the visible
+        subgraph; ``semantic=False`` closes over everything and filters
+        only stored triples by label — the syntactic-only enforcement
+        whose leakage E9 quantifies.
+        """
+        if not infer:
+            return [t for t in self.store.match(subject, predicate, obj)
+                    if can_read(clearance, self.label_of(t))]
+        if semantic:
+            closed, _ = rdfs_closure(self.readable_store(clearance))
+            return closed.match(subject, predicate, obj)
+        closed, derived = rdfs_closure(self.store)
+        derived_set = set(derived)
+        results = []
+        for item in closed.match(subject, predicate, obj):
+            if item in derived_set:
+                results.append(item)  # unlabeled derivations slip through
+            elif can_read(clearance, self.label_of(item)):
+                results.append(item)
+        return results
+
+    # -- analysis helpers (for tests and benchmarks) -------------------------
+
+    def semantic_labels(self) -> dict[Triple, Label]:
+        """Fixpoint labels over the closure: a derived triple's label is
+        the minimum over its one-step supports of the join of premise
+        labels — i.e. the cheapest clearance that can re-derive it."""
+        from repro.rdfdb.schema import derivation_supports
+
+        closed, derived = rdfs_closure(self.store)
+        labels: dict[Triple, Label] = {
+            t: self.label_of(t) for t in self.store}
+        # Initialize derived triples pessimistically at TOP.
+        from repro.core.mls import Level
+        top = Label(Level.TOP_SECRET,
+                    frozenset({"__unreachable__"}))
+        for item in derived:
+            labels[item] = top
+        changed = True
+        while changed:
+            changed = False
+            for item in derived:
+                best = labels[item]
+                for support in derivation_supports(closed, item):
+                    joined = PUBLIC
+                    for premise in support:
+                        joined = joined.join(labels.get(premise, top))
+                    if best.dominates(joined) and joined != best:
+                        best = joined
+                        changed = True
+                labels[item] = best
+        return labels
+
+    def leaked_by_syntactic_enforcement(self, clearance: Label
+                                        ) -> list[Triple]:
+        """Derived triples the naive mode serves but the semantic labels
+        say this clearance should not see."""
+        naive = set(self.query(clearance, infer=True, semantic=False))
+        labels = self.semantic_labels()
+        return sorted(
+            (t for t in naive
+             if not can_read(clearance, labels.get(t, self.default))),
+            key=str)
+
+    def reification_leaks(self, clearance: Label) -> list[Triple]:
+        """Reification quadruples readable at *clearance* whose described
+        base triple is not — the 'statements about statements' leak."""
+        from repro.rdfdb.model import RDF
+        from repro.rdfdb.reification import described_statement
+
+        leaks: list[Triple] = []
+        for type_triple in self.store.match(None, RDF.type, RDF.Statement):
+            node = type_triple.subject
+            base = described_statement(self.store, node)
+            if base is None or base not in self.store:
+                continue
+            if can_read(clearance, self.label_of(base)):
+                continue
+            quads = reification_triples(self.store, node)
+            readable = [q for q in quads
+                        if can_read(clearance, self.label_of(q))]
+            # The quadruple re-encodes the base triple only if the
+            # subject/predicate/object triples are all readable.
+            encoding = [q for q in readable
+                        if q.predicate in (RDF.subject, RDF.predicate,
+                                           RDF.object)]
+            if len(encoding) >= 3:
+                leaks.extend(encoding)
+        return leaks

@@ -1,0 +1,106 @@
+"""Triple store with pattern-matching queries.
+
+Indexes by subject, predicate and object so pattern queries touch only
+candidate triples.  ``None`` in a pattern position is a wildcard; query
+results are deterministic (insertion order preserved).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.rdfdb.model import (
+    IRI,
+    ObjectTerm,
+    SubjectTerm,
+    Triple,
+)
+
+
+class TripleStore:
+    """An indexed set of triples."""
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: dict[Triple, int] = {}
+        self._order = 0
+        self._by_subject: dict[SubjectTerm, set[Triple]] = {}
+        self._by_predicate: dict[IRI, set[Triple]] = {}
+        self._by_object: dict[ObjectTerm, set[Triple]] = {}
+        for item in triples:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, item: Triple) -> bool:
+        return item in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(sorted(self._triples, key=self._triples.__getitem__))
+
+    def add(self, item: Triple) -> bool:
+        """Insert; returns False when the triple was already present."""
+        if item in self._triples:
+            return False
+        self._triples[item] = self._order
+        self._order += 1
+        self._by_subject.setdefault(item.subject, set()).add(item)
+        self._by_predicate.setdefault(item.predicate, set()).add(item)
+        self._by_object.setdefault(item.object, set()).add(item)
+        return True
+
+    def add_all(self, items: Iterable[Triple]) -> int:
+        return sum(1 for item in items if self.add(item))
+
+    def remove(self, item: Triple) -> bool:
+        if item not in self._triples:
+            return False
+        del self._triples[item]
+        self._by_subject[item.subject].discard(item)
+        self._by_predicate[item.predicate].discard(item)
+        self._by_object[item.object].discard(item)
+        return True
+
+    def match(self, subject: SubjectTerm | None = None,
+              predicate: IRI | None = None,
+              obj: ObjectTerm | None = None) -> list[Triple]:
+        """All triples matching the pattern, in insertion order."""
+        candidate_sets = []
+        if subject is not None:
+            candidate_sets.append(self._by_subject.get(subject, set()))
+        if predicate is not None:
+            candidate_sets.append(self._by_predicate.get(predicate, set()))
+        if obj is not None:
+            candidate_sets.append(self._by_object.get(obj, set()))
+        if not candidate_sets:
+            return list(self)
+        smallest = min(candidate_sets, key=len)
+        result = [t for t in smallest
+                  if (subject is None or t.subject == subject)
+                  and (predicate is None or t.predicate == predicate)
+                  and (obj is None or t.object == obj)]
+        result.sort(key=self._triples.__getitem__)
+        return result
+
+    def subjects(self, predicate: IRI | None = None,
+                 obj: ObjectTerm | None = None) -> list[SubjectTerm]:
+        seen: dict[SubjectTerm, None] = {}
+        for item in self.match(None, predicate, obj):
+            seen.setdefault(item.subject)
+        return list(seen)
+
+    def objects(self, subject: SubjectTerm | None = None,
+                predicate: IRI | None = None) -> list[ObjectTerm]:
+        seen: dict[ObjectTerm, None] = {}
+        for item in self.match(subject, predicate, None):
+            seen.setdefault(item.object)
+        return list(seen)
+
+    def value(self, subject: SubjectTerm,
+              predicate: IRI) -> ObjectTerm | None:
+        """The single object for (subject, predicate), or None."""
+        matches = self.match(subject, predicate, None)
+        return matches[0].object if matches else None
+
+    def copy(self) -> "TripleStore":
+        return TripleStore(self)

@@ -1,0 +1,160 @@
+"""Web transaction models: immediate-lock vs open bidding (§2.1).
+
+"Various items may be sold through the Internet.  In this case, the item
+should not be locked immediately when a potential buyer makes a bid.  It
+has to be left open until several bids are received and the item is sold.
+That is, special transaction models are needed."
+
+Two auction engines over the same item table:
+
+* :class:`ImmediateLockAuction` — the conventional model: the first bid
+  exclusively locks the item; later bids are rejected until the holder
+  completes or releases.  Simple, but starves concurrent bidders.
+* :class:`OpenBidAuction` — the web model the paper calls for: bids
+  accumulate during a bidding window; closing the item atomically sells
+  to the best bid.
+
+Benchmark E14 drives both with the same bid stream and compares
+throughput, rejected bids, and sale prices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import TransactionError
+
+
+class ItemState(enum.Enum):
+    OPEN = "open"
+    LOCKED = "locked"
+    SOLD = "sold"
+
+
+@dataclass
+class Item:
+    item_id: str
+    reserve_price: float
+    state: ItemState = ItemState.OPEN
+    winner: str | None = None
+    sale_price: float | None = None
+
+
+@dataclass(frozen=True)
+class Bid:
+    bidder: str
+    item_id: str
+    amount: float
+
+
+@dataclass
+class AuctionStats:
+    bids_received: int = 0
+    bids_rejected: int = 0
+    items_sold: int = 0
+    revenue: float = 0.0
+
+
+class ImmediateLockAuction:
+    """First bid locks the item exclusively (conventional 2PL thinking)."""
+
+    def __init__(self) -> None:
+        self._items: dict[str, Item] = {}
+        self._locks: dict[str, tuple[str, float]] = {}
+        self.stats = AuctionStats()
+
+    def list_item(self, item_id: str, reserve_price: float) -> Item:
+        if item_id in self._items:
+            raise TransactionError(f"item {item_id!r} already listed")
+        item = Item(item_id, reserve_price)
+        self._items[item_id] = item
+        return item
+
+    def place_bid(self, bid: Bid) -> bool:
+        """True if the bid took the lock; False if rejected."""
+        self.stats.bids_received += 1
+        item = self._items[bid.item_id]
+        if item.state is not ItemState.OPEN:
+            self.stats.bids_rejected += 1
+            return False
+        if bid.amount < item.reserve_price:
+            self.stats.bids_rejected += 1
+            return False
+        item.state = ItemState.LOCKED
+        self._locks[bid.item_id] = (bid.bidder, bid.amount)
+        return True
+
+    def complete_sale(self, item_id: str) -> Item:
+        item = self._items[item_id]
+        if item.state is not ItemState.LOCKED:
+            raise TransactionError(f"item {item_id!r} is not locked")
+        bidder, amount = self._locks.pop(item_id)
+        item.state = ItemState.SOLD
+        item.winner = bidder
+        item.sale_price = amount
+        self.stats.items_sold += 1
+        self.stats.revenue += amount
+        return item
+
+    def release(self, item_id: str) -> None:
+        """Lock holder walks away; item reopens."""
+        item = self._items[item_id]
+        if item.state is ItemState.LOCKED:
+            self._locks.pop(item_id, None)
+            item.state = ItemState.OPEN
+
+    def item(self, item_id: str) -> Item:
+        return self._items[item_id]
+
+
+class OpenBidAuction:
+    """Bids accumulate; closing sells to the best one (the §2.1 model)."""
+
+    def __init__(self) -> None:
+        self._items: dict[str, Item] = {}
+        self._bids: dict[str, list[Bid]] = {}
+        self.stats = AuctionStats()
+
+    def list_item(self, item_id: str, reserve_price: float) -> Item:
+        if item_id in self._items:
+            raise TransactionError(f"item {item_id!r} already listed")
+        item = Item(item_id, reserve_price)
+        self._items[item_id] = item
+        self._bids[item_id] = []
+        return item
+
+    def place_bid(self, bid: Bid) -> bool:
+        """Bids are accepted while the item is open — never locked out."""
+        self.stats.bids_received += 1
+        item = self._items[bid.item_id]
+        if item.state is not ItemState.OPEN:
+            self.stats.bids_rejected += 1
+            return False
+        self._bids[bid.item_id].append(bid)
+        return True
+
+    def bid_count(self, item_id: str) -> int:
+        return len(self._bids[item_id])
+
+    def close(self, item_id: str) -> Item:
+        """Atomically sell to the best bid meeting the reserve."""
+        item = self._items[item_id]
+        if item.state is not ItemState.OPEN:
+            raise TransactionError(f"item {item_id!r} is not open")
+        valid = [b for b in self._bids[item_id]
+                 if b.amount >= item.reserve_price]
+        if not valid:
+            item.state = ItemState.SOLD  # closed unsold
+            item.sale_price = None
+            return item
+        best = max(valid, key=lambda b: (b.amount, b.bidder))
+        item.state = ItemState.SOLD
+        item.winner = best.bidder
+        item.sale_price = best.amount
+        self.stats.items_sold += 1
+        self.stats.revenue += best.amount
+        return item
+
+    def item(self, item_id: str) -> Item:
+        return self._items[item_id]

@@ -1,0 +1,108 @@
+"""The relational database: catalog, metadata manager, secure facade.
+
+Combines tables (:mod:`repro.relational.table`), the query engine and the
+System R authorization manager into one object with a user-facing secure
+API: ``db.select(user, ...)`` enforces privileges and injects the
+grant-derived row filters / column masks automatically.
+
+Also hosts the *metadata manager* of §2.1: "Metadata describes all of the
+information pertaining to a data source ... the types of users, access
+control issues, and policies enforced" — per-table metadata records that
+the inference controller and benchmarks read.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.core.errors import QueryError
+from repro.relational.authorization import AuthorizationManager, Privilege
+from repro.relational.query import ResultSet, join, select
+from repro.relational.table import Table, TableSchema
+
+RowPredicate = Callable[[Mapping[str, object]], bool]
+
+
+class Database:
+    """Catalog of tables with integrated authorization."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self.authorization = AuthorizationManager()
+        self._tables: dict[str, Table] = {}
+        self._metadata: dict[str, dict[str, object]] = {}
+
+    # -- catalog ------------------------------------------------------------
+
+    def create_table(self, table_schema: TableSchema,
+                     owner: str) -> Table:
+        if table_schema.name in self._tables:
+            raise QueryError(f"table {table_schema.name!r} already exists")
+        table = Table(table_schema)
+        self._tables[table_schema.name] = table
+        self._metadata[table_schema.name] = {}
+        self.authorization.set_owner(table_schema.name, owner)
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"no table {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- metadata manager ------------------------------------------------------
+
+    def set_metadata(self, table: str, key: str, value: object) -> None:
+        self.table(table)
+        self._metadata[table][key] = value
+
+    def get_metadata(self, table: str, key: str,
+                     default: object = None) -> object:
+        self.table(table)
+        return self._metadata[table].get(key, default)
+
+    # -- secure data access ------------------------------------------------------
+
+    def insert(self, user: str, table_name: str, **values: object) -> None:
+        self.authorization.enforce(user, table_name, Privilege.INSERT)
+        self.table(table_name).insert_dict(**values)
+
+    def select(self, user: str, table_name: str,
+               columns: Sequence[str] | None = None,
+               where: RowPredicate | None = None,
+               order_by: str | None = None,
+               limit: int | None = None) -> ResultSet:
+        """SELECT with grant-derived restriction injection."""
+        self.authorization.enforce(user, table_name, Privilege.SELECT)
+        row_filter, column_mask = self.authorization.restriction(
+            user, table_name, Privilege.SELECT)
+        return select(self.table(table_name), columns, where,
+                      row_filter=row_filter, column_mask=column_mask,
+                      order_by=order_by, limit=limit)
+
+    def join(self, user: str, left_name: str, right_name: str,
+             on: tuple[str, str],
+             columns: Sequence[str] | None = None,
+             where: RowPredicate | None = None) -> ResultSet:
+        self.authorization.enforce(user, left_name, Privilege.SELECT)
+        self.authorization.enforce(user, right_name, Privilege.SELECT)
+        left_filter, _ = self.authorization.restriction(
+            user, left_name, Privilege.SELECT)
+        right_filter, _ = self.authorization.restriction(
+            user, right_name, Privilege.SELECT)
+        return join(self.table(left_name), self.table(right_name), on,
+                    columns, where,
+                    left_filter=left_filter, right_filter=right_filter)
+
+    def update(self, user: str, table_name: str,
+               where: RowPredicate, changes: Mapping[str, object]) -> int:
+        self.authorization.enforce(user, table_name, Privilege.UPDATE)
+        return self.table(table_name).update_where(where, changes)
+
+    def delete(self, user: str, table_name: str,
+               where: RowPredicate) -> int:
+        self.authorization.enforce(user, table_name, Privilege.DELETE)
+        return self.table(table_name).delete_where(where)

@@ -1,0 +1,154 @@
+"""Query engine: select / project / join with security filter hooks.
+
+"Query processing algorithms may need to take into consideration the
+access control policies" (§3.1).  The engine therefore accepts optional
+*row filters* and *column masks* injected by the authorization layer
+(:mod:`repro.relational.authorization`) — queries never see what the
+filters remove, which is the view-based enforcement conventional DBMSs
+use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.errors import QueryError
+from repro.relational.table import Table
+
+RowPredicate = Callable[[Mapping[str, object]], bool]
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """Query output: named columns + rows."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[object]:
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise QueryError(f"result has no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+
+def select(table: Table,
+           columns: Sequence[str] | None = None,
+           where: RowPredicate | None = None,
+           row_filter: RowPredicate | None = None,
+           column_mask: Sequence[str] | None = None,
+           order_by: str | None = None,
+           limit: int | None = None) -> ResultSet:
+    """Project *columns* from rows satisfying *where*.
+
+    ``row_filter`` and ``column_mask`` are the security hooks: the filter
+    drops rows before *where* even sees them; the mask silently replaces
+    masked column values with None (column-level confidentiality).
+    """
+    names = table.schema.column_names()
+    wanted = tuple(columns) if columns is not None else names
+    for name in wanted:
+        table.schema.column(name)
+    masked = set(column_mask or ())
+    for name in masked:
+        table.schema.column(name)
+
+    out_rows: list[tuple] = []
+    for row in table:
+        record = table.as_dict(row)
+        if row_filter is not None and not row_filter(record):
+            continue
+        if masked:
+            record = {k: (None if k in masked else v)
+                      for k, v in record.items()}
+        if where is not None and not where(record):
+            continue
+        out_rows.append(tuple(record[name] for name in wanted))
+
+    if order_by is not None:
+        if order_by not in wanted:
+            raise QueryError(
+                f"order_by column {order_by!r} must be selected")
+        index = wanted.index(order_by)
+        out_rows.sort(key=lambda r: (r[index] is None, r[index]))
+    if limit is not None:
+        out_rows = out_rows[:limit]
+    return ResultSet(wanted, tuple(out_rows))
+
+
+def join(left: Table, right: Table, on: tuple[str, str],
+         columns: Sequence[str] | None = None,
+         where: RowPredicate | None = None,
+         left_filter: RowPredicate | None = None,
+         right_filter: RowPredicate | None = None) -> ResultSet:
+    """Equi-join (hash join) with per-side security filters.
+
+    Output columns are prefixed ``left.col`` / ``right.col``; *columns*
+    selects among those, defaulting to all.
+    """
+    left_key, right_key = on
+    left.schema.column(left_key)
+    right.schema.column(right_key)
+
+    build: dict[object, list[Mapping[str, object]]] = {}
+    for row in right:
+        record = right.as_dict(row)
+        if right_filter is not None and not right_filter(record):
+            continue
+        build.setdefault(record[right_key], []).append(record)
+
+    left_names = [f"{left.schema.name}.{c}"
+                  for c in left.schema.column_names()]
+    right_names = [f"{right.schema.name}.{c}"
+                   for c in right.schema.column_names()]
+    all_names = tuple(left_names + right_names)
+    wanted = tuple(columns) if columns is not None else all_names
+    for name in wanted:
+        if name not in all_names:
+            raise QueryError(f"join result has no column {name!r}")
+
+    out_rows: list[tuple] = []
+    for row in left:
+        record = left.as_dict(row)
+        if left_filter is not None and not left_filter(record):
+            continue
+        for match in build.get(record[left_key], ()):
+            combined = {f"{left.schema.name}.{k}": v
+                        for k, v in record.items()}
+            combined.update({f"{right.schema.name}.{k}": v
+                             for k, v in match.items()})
+            if where is not None and not where(combined):
+                continue
+            out_rows.append(tuple(combined[name] for name in wanted))
+    return ResultSet(wanted, tuple(out_rows))
+
+
+def aggregate(result: ResultSet, column: str,
+              function: str) -> float | int | None:
+    """COUNT / SUM / AVG / MIN / MAX over a result column."""
+    if function == "count":
+        return len(result)
+    values = [v for v in result.column(column) if v is not None]
+    if not values:
+        return None
+    numbers = [float(v) for v in values]  # type: ignore[arg-type]
+    if function == "sum":
+        return sum(numbers)
+    if function == "avg":
+        return sum(numbers) / len(numbers)
+    if function == "min":
+        return min(numbers)
+    if function == "max":
+        return max(numbers)
+    raise QueryError(f"unknown aggregate {function!r}")

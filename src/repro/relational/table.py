@@ -1,0 +1,205 @@
+"""Relational tables: typed schemas and row storage.
+
+The conventional-DBMS substrate the paper contrasts the web with (§3.1).
+Tables have a declared schema (column names + types), enforce types on
+insert, and support a primary key for identity.  Rows are plain tuples;
+a :class:`Row`-as-dict view is provided for ergonomic predicates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.core.errors import QueryError
+
+
+class ColumnType(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+
+    def accepts(self, value: object) -> bool:
+        if value is None:
+            return True
+        if self is ColumnType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(
+                value, bool)
+        if self is ColumnType.TEXT:
+            return isinstance(value, str)
+        return isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema: ordered columns plus an optional primary key column."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: str | None = None
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise QueryError(f"table {self.name!r}: duplicate column names")
+        if self.primary_key is not None and self.primary_key not in names:
+            raise QueryError(
+                f"table {self.name!r}: primary key {self.primary_key!r} "
+                f"is not a column")
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise QueryError(f"table {self.name!r} has no column {name!r}")
+
+    def index_of(self, name: str) -> int:
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise QueryError(f"table {self.name!r} has no column {name!r}")
+
+
+def schema(name: str, /, primary_key: str | None = None,
+           **columns: str) -> TableSchema:
+    """Terse schema builder: ``schema("t", id="int", name="text")``.
+
+    The table name is positional-only so columns named ``name`` work.
+    """
+    cols = tuple(Column(cname, ColumnType(ctype))
+                 for cname, ctype in columns.items())
+    return TableSchema(name, cols, primary_key)
+
+
+Row = tuple
+
+
+class Table:
+    """Row storage with type and primary-key enforcement."""
+
+    def __init__(self, table_schema: TableSchema) -> None:
+        self.schema = table_schema
+        self._rows: list[Row] = []
+        self._pk_index: dict[object, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def _validate(self, row: Row) -> None:
+        if len(row) != len(self.schema.columns):
+            raise QueryError(
+                f"table {self.schema.name!r}: expected "
+                f"{len(self.schema.columns)} values, got {len(row)}")
+        for value, column in zip(row, self.schema.columns):
+            if value is None and not column.nullable:
+                raise QueryError(
+                    f"column {column.name!r} is not nullable")
+            if not column.type.accepts(value):
+                raise QueryError(
+                    f"column {column.name!r} expects {column.type.value}, "
+                    f"got {value!r}")
+
+    def insert(self, *values: object) -> Row:
+        row = tuple(values)
+        self._validate(row)
+        if self.schema.primary_key is not None:
+            key = row[self.schema.index_of(self.schema.primary_key)]
+            if key in self._pk_index:
+                raise QueryError(
+                    f"duplicate primary key {key!r} in table "
+                    f"{self.schema.name!r}")
+            self._pk_index[key] = len(self._rows)
+        self._rows.append(row)
+        return row
+
+    def insert_dict(self, **values: object) -> Row:
+        ordered = tuple(values.get(c.name) for c in self.schema.columns)
+        unknown = set(values) - set(self.schema.column_names())
+        if unknown:
+            raise QueryError(f"unknown columns {sorted(unknown)}")
+        return self.insert(*ordered)
+
+    def get(self, key: object) -> Row | None:
+        """Primary-key lookup."""
+        if self.schema.primary_key is None:
+            raise QueryError(
+                f"table {self.schema.name!r} has no primary key")
+        index = self._pk_index.get(key)
+        return self._rows[index] if index is not None else None
+
+    def delete_where(self, predicate: Callable[[Mapping[str, object]], bool]
+                     ) -> int:
+        """Delete rows matching a dict-predicate; returns count removed."""
+        keep: list[Row] = []
+        removed = 0
+        for row in self._rows:
+            if predicate(self.as_dict(row)):
+                removed += 1
+            else:
+                keep.append(row)
+        if removed:
+            self._rows = keep
+            self._rebuild_pk()
+        return removed
+
+    def update_where(self, predicate: Callable[[Mapping[str, object]], bool],
+                     changes: Mapping[str, object]) -> int:
+        """Update matching rows; returns count changed."""
+        for name in changes:
+            self.schema.column(name)
+        count = 0
+        for index, row in enumerate(self._rows):
+            if not predicate(self.as_dict(row)):
+                continue
+            updated = list(row)
+            for name, value in changes.items():
+                updated[self.schema.index_of(name)] = value
+            candidate = tuple(updated)
+            self._validate(candidate)
+            self._rows[index] = candidate
+            count += 1
+        if count and self.schema.primary_key is not None:
+            self._rebuild_pk()
+        return count
+
+    def _rebuild_pk(self) -> None:
+        if self.schema.primary_key is None:
+            return
+        pk = self.schema.index_of(self.schema.primary_key)
+        self._pk_index = {row[pk]: i for i, row in enumerate(self._rows)}
+        if len(self._pk_index) != len(self._rows):
+            raise QueryError(
+                f"update created duplicate primary keys in "
+                f"{self.schema.name!r}")
+
+    def as_dict(self, row: Row) -> dict[str, object]:
+        return dict(zip(self.schema.column_names(), row))
+
+    def rows_as_dicts(self) -> Iterator[dict[str, object]]:
+        for row in self._rows:
+            yield self.as_dict(row)
+
+    def snapshot(self) -> list[Row]:
+        return list(self._rows)
+
+    def restore(self, rows: Iterable[Row]) -> None:
+        """Transaction rollback support."""
+        self._rows = list(rows)
+        self._rebuild_pk()

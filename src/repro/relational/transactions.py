@@ -1,0 +1,139 @@
+"""Transactions with integrity *and* security constraint checking.
+
+"Transaction management algorithms may also need to consider the security
+policies.  For example, the transaction will have to ensure that the
+integrity as well as security constraints are satisfied" (§3.1).
+
+A :class:`TransactionManager` runs transactions against a
+:class:`~repro.relational.database.Database` with snapshot-based rollback
+and two families of commit-time checks:
+
+* *integrity constraints* — predicates over table contents;
+* *security constraints* — predicates over (user, table, staged changes),
+  e.g. "user X may not move salary values above 100k in one transaction".
+
+Either kind failing aborts the transaction atomically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.errors import TransactionError
+from repro.relational.database import Database
+from repro.relational.table import Row, Table
+
+IntegrityConstraint = Callable[[Table], bool]
+SecurityConstraint = Callable[[str, str, list[Row]], bool]
+
+_txn_ids = itertools.count(1)
+
+
+@dataclass
+class Transaction:
+    """One open transaction: staged table snapshots + touched tables."""
+
+    txn_id: int
+    user: str
+    snapshots: dict[str, list[Row]] = field(default_factory=dict)
+    touched: set[str] = field(default_factory=set)
+    active: bool = True
+
+
+class TransactionManager:
+    """Begin/commit/abort over a Database, with constraint enforcement."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._integrity: dict[str, list[tuple[str, IntegrityConstraint]]] = {}
+        self._security: dict[str, list[tuple[str, SecurityConstraint]]] = {}
+        self.committed = 0
+        self.aborted = 0
+
+    # -- constraint registration ---------------------------------------------
+
+    def add_integrity_constraint(self, table: str, name: str,
+                                 constraint: IntegrityConstraint) -> None:
+        self._integrity.setdefault(table, []).append((name, constraint))
+
+    def add_security_constraint(self, table: str, name: str,
+                                constraint: SecurityConstraint) -> None:
+        self._security.setdefault(table, []).append((name, constraint))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin(self, user: str) -> Transaction:
+        return Transaction(next(_txn_ids), user)
+
+    def _snapshot(self, txn: Transaction, table_name: str) -> None:
+        if table_name not in txn.snapshots:
+            txn.snapshots[table_name] = (
+                self.database.table(table_name).snapshot())
+        txn.touched.add(table_name)
+
+    # -- operations within a transaction ----------------------------------------
+
+    def insert(self, txn: Transaction, table_name: str,
+               **values: object) -> None:
+        self._require_active(txn)
+        self._snapshot(txn, table_name)
+        self.database.insert(txn.user, table_name, **values)
+
+    def update(self, txn: Transaction, table_name: str,
+               where: Callable[[Mapping[str, object]], bool],
+               changes: Mapping[str, object]) -> int:
+        self._require_active(txn)
+        self._snapshot(txn, table_name)
+        return self.database.update(txn.user, table_name, where, changes)
+
+    def delete(self, txn: Transaction, table_name: str,
+               where: Callable[[Mapping[str, object]], bool]) -> int:
+        self._require_active(txn)
+        self._snapshot(txn, table_name)
+        return self.database.delete(txn.user, table_name, where)
+
+    # -- commit / abort ------------------------------------------------------------
+
+    def commit(self, txn: Transaction) -> None:
+        """Check every constraint on touched tables; abort on failure."""
+        self._require_active(txn)
+        for table_name in sorted(txn.touched):
+            table = self.database.table(table_name)
+            for name, constraint in self._integrity.get(table_name, ()):
+                if not constraint(table):
+                    self.abort(txn)
+                    raise TransactionError(
+                        f"txn {txn.txn_id}: integrity constraint "
+                        f"{name!r} violated on {table_name!r}")
+            staged = self._staged_changes(txn, table_name)
+            for name, constraint in self._security.get(table_name, ()):
+                if not constraint(txn.user, table_name, staged):
+                    self.abort(txn)
+                    raise TransactionError(
+                        f"txn {txn.txn_id}: security constraint "
+                        f"{name!r} violated on {table_name!r}")
+        txn.active = False
+        self.committed += 1
+
+    def abort(self, txn: Transaction) -> None:
+        if not txn.active:
+            return
+        for table_name, rows in txn.snapshots.items():
+            self.database.table(table_name).restore(rows)
+        txn.active = False
+        self.aborted += 1
+
+    def _staged_changes(self, txn: Transaction,
+                        table_name: str) -> list[Row]:
+        """Rows present now but not in the pre-transaction snapshot."""
+        before = set(txn.snapshots.get(table_name, []))
+        return [row for row in self.database.table(table_name)
+                if row not in before]
+
+    @staticmethod
+    def _require_active(txn: Transaction) -> None:
+        if not txn.active:
+            raise TransactionError(
+                f"transaction {txn.txn_id} is no longer active")

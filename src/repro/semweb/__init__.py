@@ -1,0 +1,51 @@
+"""Towards a secure semantic web (§5): the layered stack, labelled
+ontologies (and ontology-derived policies), secure information
+integration, and the flexible security dial.
+"""
+
+from repro.semweb.flexible import (
+    ALL_ATTACK_CLASSES,
+    DEFAULT_MEASURES,
+    FlexiblePolicy,
+    Measure,
+    OperatingPoint,
+    SituationalPolicy,
+)
+from repro.semweb.integration import (
+    IntegratedTriple,
+    SecureIntegrator,
+    SourceBinding,
+)
+from repro.semweb.layers import (
+    ATTACK_CORPUS,
+    Attack,
+    LayerName,
+    LayerStack,
+)
+from repro.semweb.ontology import (
+    Ontology,
+    OntologyPolicyRule,
+    Term,
+    policy_from_ontology,
+)
+from repro.semweb.trust import (
+    Atom,
+    Proof,
+    ProofEngine,
+    Rule,
+    SignedFact,
+    TrustPolicy,
+    atom,
+    check_proof,
+    sign_fact,
+)
+
+__all__ = [
+    "ALL_ATTACK_CLASSES", "ATTACK_CORPUS", "Atom", "Attack",
+    "DEFAULT_MEASURES", "FlexiblePolicy", "IntegratedTriple",
+    "LayerName", "LayerStack", "Measure", "Ontology",
+    "OntologyPolicyRule", "OperatingPoint", "Proof", "ProofEngine",
+    "Rule", "SecureIntegrator", "SignedFact", "SituationalPolicy",
+    "SourceBinding", "Term", "TrustPolicy", "atom", "check_proof",
+    "policy_from_ontology", "sign_fact",
+]

@@ -1,0 +1,153 @@
+"""Flexible security policies (§5).
+
+"We cannot also make the system inefficient if we must guarantee one
+hundred percent security at all times.  What is needed is a flexible
+security policy.  During some situations we may need one hundred percent
+security while during some other situations say thirty percent security
+(whatever that means) may be sufficient."
+
+This module gives "whatever that means" a concrete, measurable meaning:
+a :class:`FlexiblePolicy` maps a dial in [0, 100] to a set of enforcement
+*measures*, each with a unit processing cost and a coverage over attack
+classes.  Raising the dial turns on more measures: throughput drops,
+residual risk drops.  :class:`SituationalPolicy` switches the dial by
+named situation ("peacetime" → 30, "under-attack" → 100) — the paper's
+flexibility.  Benchmark E11 sweeps the dial and prints the
+security/efficiency frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Measure:
+    """One enforcement measure.
+
+    ``threshold`` — the dial value at which the measure activates;
+    ``cost`` — added processing units per request when active;
+    ``mitigates`` — attack-class names this measure stops.
+    """
+
+    name: str
+    threshold: int
+    cost: float
+    mitigates: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.threshold <= 100:
+            raise ConfigurationError("threshold must be in [0, 100]")
+        if self.cost < 0:
+            raise ConfigurationError("cost must be non-negative")
+
+
+#: A default measure catalogue shaped after the paper's layer stack.
+DEFAULT_MEASURES: tuple[Measure, ...] = (
+    Measure("transport-encryption", 10, 0.10,
+            frozenset({"eavesdropping"})),
+    Measure("authentication", 25, 0.15,
+            frozenset({"impersonation"})),
+    Measure("access-control", 40, 0.25,
+            frozenset({"unauthorized-read", "unauthorized-write"})),
+    Measure("message-signing", 55, 0.30,
+            frozenset({"tampering", "repudiation"})),
+    Measure("audit-logging", 70, 0.20,
+            frozenset({"undetected-abuse"})),
+    Measure("inference-control", 85, 0.60,
+            frozenset({"inference", "linkage"})),
+    Measure("end-to-end-verification", 95, 0.80,
+            frozenset({"third-party-forgery", "incompleteness"})),
+)
+
+#: Every attack class the default catalogue knows about.
+ALL_ATTACK_CLASSES: frozenset[str] = frozenset(
+    c for m in DEFAULT_MEASURES for c in m.mitigates)
+
+
+@dataclass
+class OperatingPoint:
+    """The measured consequences of one dial setting."""
+
+    dial: int
+    active_measures: tuple[str, ...]
+    cost_per_request: float
+    throughput: float          # requests per unit time (normalized)
+    covered_classes: frozenset[str]
+    residual_risk: float       # fraction of attack classes uncovered
+
+
+class FlexiblePolicy:
+    """Maps the 0–100 dial to measures, cost, and residual risk."""
+
+    def __init__(self, measures: Iterable[Measure] = DEFAULT_MEASURES,
+                 base_cost: float = 1.0) -> None:
+        self.measures = tuple(sorted(measures, key=lambda m: m.threshold))
+        if base_cost <= 0:
+            raise ConfigurationError("base cost must be positive")
+        self.base_cost = base_cost
+        self._attack_classes = frozenset(
+            c for m in self.measures for c in m.mitigates)
+
+    def active_measures(self, dial: int) -> list[Measure]:
+        if not 0 <= dial <= 100:
+            raise ConfigurationError("dial must be in [0, 100]")
+        return [m for m in self.measures if m.threshold <= dial]
+
+    def operating_point(self, dial: int) -> OperatingPoint:
+        active = self.active_measures(dial)
+        cost = self.base_cost + sum(m.cost for m in active)
+        covered = frozenset(c for m in active for c in m.mitigates)
+        total = len(self._attack_classes)
+        residual = (len(self._attack_classes - covered) / total
+                    if total else 0.0)
+        return OperatingPoint(
+            dial, tuple(m.name for m in active), cost,
+            self.base_cost / cost, covered, residual)
+
+    def frontier(self, dials: Iterable[int] = range(0, 101, 10)
+                 ) -> list[OperatingPoint]:
+        return [self.operating_point(d) for d in dials]
+
+    def minimal_dial_covering(self, attack_classes: Iterable[str]) -> int:
+        """The lowest dial whose measures cover the given classes."""
+        needed = set(attack_classes)
+        unknown = needed - self._attack_classes
+        if unknown:
+            raise ConfigurationError(
+                f"no measure covers attack classes {sorted(unknown)}")
+        for dial in range(0, 101):
+            point = self.operating_point(dial)
+            if needed <= point.covered_classes:
+                return dial
+        return 100
+
+
+class SituationalPolicy:
+    """Dial presets per named situation — §5's 30%/100% example."""
+
+    def __init__(self, policy: FlexiblePolicy,
+                 situations: dict[str, int] | None = None,
+                 initial: str = "normal") -> None:
+        self.policy = policy
+        self.situations = dict(situations or {
+            "relaxed": 30, "normal": 55, "elevated": 85,
+            "under-attack": 100})
+        if initial not in self.situations:
+            raise ConfigurationError(f"unknown situation {initial!r}")
+        self.current = initial
+
+    def escalate_to(self, situation: str) -> OperatingPoint:
+        if situation not in self.situations:
+            raise ConfigurationError(f"unknown situation {situation!r}")
+        self.current = situation
+        return self.operating_point()
+
+    def operating_point(self) -> OperatingPoint:
+        return self.policy.operating_point(self.situations[self.current])
+
+    def dial(self) -> int:
+        return self.situations[self.current]

@@ -1,0 +1,127 @@
+"""Secure information integration across sources (§5).
+
+"Researchers have done some work on the secure interoperability of
+databases ... the challenge is how does one use these ontologies for
+secure information integration."
+
+A :class:`SecureIntegrator` federates several :class:`SourceBinding` s —
+each a secure RDF store with its own labels plus a *term mapping* into a
+shared ontology.  Queries are posed in shared-ontology terms; the
+integrator translates per source, collects triples the requester's
+clearance may read *under each source's own policy*, and relabels
+results with the join of (triple label, source trust label) — crossing a
+less-trusted source can only lower, never raise, what the requester
+gets back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.core.mls import PUBLIC, Label, can_read
+from repro.rdfdb.model import IRI, Triple
+from repro.rdfdb.security import SecureRdfStore
+from repro.semweb.ontology import Ontology
+
+
+@dataclass
+class SourceBinding:
+    """One federated source: a secure store + its mapping + trust label.
+
+    ``term_mapping`` maps shared-ontology term names to the source's
+    local predicate IRIs.  ``trust`` is the integrator's label for the
+    source itself: data from a SECRET-rated source stays SECRET even if
+    the source labelled it public (the source may be honest but its
+    channel is not).
+    """
+
+    name: str
+    store: SecureRdfStore
+    term_mapping: dict[str, IRI]
+    trust: Label = PUBLIC
+
+
+@dataclass(frozen=True)
+class IntegratedTriple:
+    """A result with provenance and its effective (joined) label."""
+
+    source: str
+    triple: Triple
+    effective_label: Label
+
+
+class SecureIntegrator:
+    """Federated querying in shared-ontology terms."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+        self._sources: dict[str, SourceBinding] = {}
+
+    def add_source(self, binding: SourceBinding) -> None:
+        if binding.name in self._sources:
+            raise ConfigurationError(
+                f"source {binding.name!r} already bound")
+        for term_name in binding.term_mapping:
+            if term_name not in self.ontology:
+                raise ConfigurationError(
+                    f"source {binding.name!r} maps unknown term "
+                    f"{term_name!r}")
+        self._sources[binding.name] = binding
+
+    def sources(self) -> list[str]:
+        return sorted(self._sources)
+
+    def query_term(self, clearance: Label, term_name: str,
+                   include_descendants: bool = True
+                   ) -> list[IntegratedTriple]:
+        """All readable triples whose predicate maps to *term_name* (or a
+        descendant term, by default) across every source."""
+        if term_name not in self.ontology:
+            raise ConfigurationError(f"unknown term {term_name!r}")
+        wanted_terms = {term_name}
+        if include_descendants:
+            wanted_terms |= {t.name for t in
+                             self.ontology.descendants(term_name)}
+        results: list[IntegratedTriple] = []
+        for source_name in self.sources():
+            binding = self._sources[source_name]
+            for mapped_term, predicate in sorted(
+                    binding.term_mapping.items()):
+                if mapped_term not in wanted_terms:
+                    continue
+                for item in binding.store.store.match(None, predicate,
+                                                      None):
+                    source_label = binding.store.label_of(item)
+                    effective = source_label.join(binding.trust)
+                    if can_read(clearance, effective):
+                        results.append(IntegratedTriple(
+                            source_name, item, effective))
+        return results
+
+    def leakage_without_trust_join(self, clearance: Label,
+                                   term_name: str) -> list[IntegratedTriple]:
+        """Triples a naive integrator (ignoring source trust labels)
+        would release to *clearance* but the secure one withholds —
+        the integration-layer leak E13's ontology attacks model."""
+        secure = {(r.source, r.triple)
+                  for r in self.query_term(clearance, term_name)}
+        leaked: list[IntegratedTriple] = []
+        for source_name in self.sources():
+            binding = self._sources[source_name]
+            wanted_terms = {term_name} | {
+                t.name for t in self.ontology.descendants(term_name)}
+            for mapped_term, predicate in sorted(
+                    binding.term_mapping.items()):
+                if mapped_term not in wanted_terms:
+                    continue
+                for item in binding.store.store.match(None, predicate,
+                                                      None):
+                    if not can_read(clearance,
+                                    binding.store.label_of(item)):
+                        continue  # even the naive one respects this
+                    if (source_name, item) not in secure:
+                        leaked.append(IntegratedTriple(
+                            source_name, item,
+                            binding.store.label_of(item)))
+        return leaked

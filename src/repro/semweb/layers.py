@@ -1,0 +1,141 @@
+"""The layered secure semantic web of §5.
+
+"Security cuts across all layers and this is a challenge ... one cannot
+just have secure TCP/IP built on untrusted communication layers."
+
+A :class:`LayerStack` models the paper's stack — network → XML → RDF →
+ontology → logic/proof/trust — where each layer can have its security
+enabled or disabled.  :meth:`LayerStack.end_to_end_secure` holds only
+when *every* layer is secured (the paper's end-to-end argument), and
+:meth:`attack_surface` runs a canned attack corpus: each attack targets
+one layer and succeeds iff that layer is unsecured, letting benchmark
+E13 produce the breach-rate-vs-secured-layers table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class LayerName(enum.Enum):
+    NETWORK = "network"          # TCP/IP, sockets, HTTP
+    XML = "xml"                  # document syntax
+    RDF = "rdf"                  # semantics
+    ONTOLOGY = "ontology"        # shared vocabularies, integration
+    LOGIC = "logic"              # logic, proof and trust
+
+    @property
+    def order(self) -> int:
+        return _LAYER_ORDER[self]
+
+
+_LAYER_ORDER = {
+    LayerName.NETWORK: 0,
+    LayerName.XML: 1,
+    LayerName.RDF: 2,
+    LayerName.ONTOLOGY: 3,
+    LayerName.LOGIC: 4,
+}
+
+
+@dataclass(frozen=True)
+class Attack:
+    """One attack in the corpus: targets a single layer."""
+
+    name: str
+    target: LayerName
+    description: str = ""
+
+
+#: The canned corpus used by tests and benchmark E13: three attacks per
+#: layer, shapes taken from the paper's examples.
+ATTACK_CORPUS: tuple[Attack, ...] = (
+    Attack("packet-sniffing", LayerName.NETWORK,
+           "read cleartext HTTP traffic"),
+    Attack("tcp-hijack", LayerName.NETWORK, "take over a session"),
+    Attack("dns-spoof", LayerName.NETWORK, "redirect to a rogue host"),
+    Attack("xml-injection", LayerName.XML,
+           "inject elements into a document"),
+    Attack("doc-tampering", LayerName.XML,
+           "modify document portions in transit"),
+    Attack("unauthorized-read", LayerName.XML,
+           "browse portions without authorization"),
+    Attack("semantic-inference", LayerName.RDF,
+           "derive classified facts from public triples"),
+    Attack("reification-leak", LayerName.RDF,
+           "read statements about protected statements"),
+    Attack("context-abuse", LayerName.RDF,
+           "read wartime-classified data as if declassified"),
+    Attack("ontology-poisoning", LayerName.ONTOLOGY,
+           "alter shared vocabulary to change meanings"),
+    Attack("mapping-leak", LayerName.ONTOLOGY,
+           "exploit integration mappings to reach hidden sources"),
+    Attack("term-escalation", LayerName.ONTOLOGY,
+           "use a low-level term mapped to a high-level one"),
+    Attack("forged-proof", LayerName.LOGIC,
+           "present an unverifiable proof as trusted"),
+    Attack("trust-spoofing", LayerName.LOGIC,
+           "claim an identity without verifiable credentials"),
+    Attack("inference-chaining", LayerName.LOGIC,
+           "combine proofs to deduce unauthorized conclusions"),
+)
+
+
+@dataclass
+class LayerStack:
+    """Which layers are secured, and what that implies."""
+
+    secured: set[LayerName] = field(default_factory=set)
+
+    @classmethod
+    def all_secured(cls) -> "LayerStack":
+        return cls(set(LayerName))
+
+    @classmethod
+    def none_secured(cls) -> "LayerStack":
+        return cls(set())
+
+    def secure(self, layer: LayerName) -> None:
+        self.secured.add(layer)
+
+    def unsecure(self, layer: LayerName) -> None:
+        self.secured.discard(layer)
+
+    def is_secured(self, layer: LayerName) -> bool:
+        return layer in self.secured
+
+    def end_to_end_secure(self) -> bool:
+        """§5: end-to-end security requires *every* layer secured."""
+        return self.secured == set(LayerName)
+
+    def weakest_unsecured(self) -> LayerName | None:
+        """The lowest unsecured layer — where an attacker goes first."""
+        missing = [l for l in LayerName if l not in self.secured]
+        return min(missing, key=lambda l: l.order) if missing else None
+
+    def attack_surface(self, corpus: Iterable[Attack] = ATTACK_CORPUS
+                       ) -> list[Attack]:
+        """Attacks from the corpus that succeed against this stack."""
+        return [a for a in corpus if a.target not in self.secured]
+
+    def breach_rate(self, corpus: Iterable[Attack] = ATTACK_CORPUS
+                    ) -> float:
+        attacks = list(corpus)
+        if not attacks:
+            return 0.0
+        return len(self.attack_surface(attacks)) / len(attacks)
+
+    def undermined_layers(self) -> list[LayerName]:
+        """Secured layers sitting on an unsecured one — "secure TCP/IP
+        built on untrusted communication layers" generalized: a layer's
+        guarantees are undermined when any layer below it is open."""
+        undermined: list[LayerName] = []
+        for layer in LayerName:
+            if layer not in self.secured:
+                continue
+            if any(below not in self.secured
+                   for below in LayerName if below.order < layer.order):
+                undermined.append(layer)
+        return undermined

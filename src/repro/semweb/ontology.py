@@ -1,0 +1,150 @@
+"""Ontologies with security levels (§3.2/§5).
+
+Two directions, both from the paper:
+
+* *securing ontologies* — "ontologies may have security levels attached
+  to them"; an :class:`Ontology` is a term hierarchy (is-a DAG) whose
+  terms carry MLS labels; reading a term requires clearance for it *and
+  its ancestors* (a term's position in the hierarchy reveals its
+  ancestors' existence);
+* *ontologies for security* — "one could use ontologies to specify
+  security policies"; :func:`policy_from_ontology` derives credential-
+  based access policies from an ontology annotation ("everything under
+  `medical-record` requires the physician credential").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.credentials import CredentialExpression, has_credential
+from repro.core.errors import ConfigurationError
+from repro.core.mls import PUBLIC, ClassificationMap, Label, can_read
+
+
+@dataclass(frozen=True)
+class Term:
+    """One ontology term."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Ontology:
+    """A labelled is-a hierarchy of terms."""
+
+    def __init__(self, name: str, default: Label = PUBLIC) -> None:
+        self.name = name
+        self._parents: dict[Term, set[Term]] = {}
+        self.labels = ClassificationMap(default)
+
+    def add_term(self, name: str, parents: Iterable[str] = (),
+                 label: Label | None = None) -> Term:
+        term = Term(name)
+        if term in self._parents:
+            raise ConfigurationError(f"term {name!r} already defined")
+        parent_terms = set()
+        for parent_name in parents:
+            parent = Term(parent_name)
+            if parent not in self._parents:
+                raise ConfigurationError(
+                    f"unknown parent term {parent_name!r}")
+            parent_terms.add(parent)
+        self._parents[term] = parent_terms
+        if label is not None:
+            self.labels.classify(term, label)
+        return term
+
+    def terms(self) -> list[Term]:
+        return sorted(self._parents, key=lambda t: t.name)
+
+    def __contains__(self, name: str) -> bool:
+        return Term(name) in self._parents
+
+    def ancestors(self, name: str) -> set[Term]:
+        """All (proper) ancestors via is-a."""
+        term = Term(name)
+        if term not in self._parents:
+            raise ConfigurationError(f"unknown term {name!r}")
+        closure: set[Term] = set()
+        stack = list(self._parents[term])
+        while stack:
+            current = stack.pop()
+            if current in closure:
+                continue
+            closure.add(current)
+            stack.extend(self._parents[current])
+        return closure
+
+    def descendants(self, name: str) -> set[Term]:
+        root = Term(name)
+        if root not in self._parents:
+            raise ConfigurationError(f"unknown term {name!r}")
+        result: set[Term] = set()
+        for term in self._parents:
+            if term != root and root in self.ancestors(term.name):
+                result.add(term)
+        return result
+
+    def is_a(self, name: str, ancestor_name: str) -> bool:
+        return (name == ancestor_name
+                or Term(ancestor_name) in self.ancestors(name))
+
+    def effective_label(self, name: str) -> Label:
+        """A term's label joined with its ancestors' — you cannot know
+        of 'nuclear-submarine-reactor' without knowing of 'reactor'."""
+        label = self.labels.label_of(Term(name))
+        for ancestor in self.ancestors(name):
+            label = label.join(self.labels.label_of(ancestor))
+        return label
+
+    def readable_terms(self, clearance: Label) -> list[Term]:
+        return [t for t in self.terms()
+                if can_read(clearance, self.effective_label(t.name))]
+
+    def visible_subtree(self, clearance: Label,
+                        root_name: str) -> list[Term]:
+        """The descendants of *root_name* the clearance may see."""
+        return sorted(
+            (t for t in self.descendants(root_name)
+             if can_read(clearance, self.effective_label(t.name))),
+            key=lambda t: t.name)
+
+
+# -- ontologies *for* security ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OntologyPolicyRule:
+    """An annotation: accessing data typed by *term* (or any descendant)
+    requires the given credential type."""
+
+    term: str
+    required_credential: str
+
+
+def policy_from_ontology(ontology: Ontology,
+                         rules: Iterable[OntologyPolicyRule]
+                         ) -> dict[str, CredentialExpression]:
+    """Expand annotations down the hierarchy: each term maps to the
+    conjunction of every credential required by its ancestors' rules.
+
+    Returns term name -> credential expression; terms with no applicable
+    rule are absent (publicly accessible).
+    """
+    rule_list = list(rules)
+    expressions: dict[str, CredentialExpression] = {}
+    for term in ontology.terms():
+        applicable = [r for r in rule_list
+                      if ontology.is_a(term.name, r.term)]
+        if not applicable:
+            continue
+        expression = has_credential(applicable[0].required_credential)
+        for extra in applicable[1:]:
+            expression = expression & has_credential(
+                extra.required_credential)
+        expressions[term.name] = expression
+    return expressions

@@ -1,0 +1,281 @@
+"""Logic, proof and trust — the top of the §5 stack.
+
+"Note that logic, proof and trust are at the highest layers of the
+semantic web."  This module makes those layers concrete:
+
+* **logic** — Horn rules over ground atoms
+  (:class:`Rule`, :class:`Atom`), with a backward-chaining prover
+  (:meth:`ProofEngine.prove`) that produces explicit *proof objects*;
+* **proof** — a :class:`Proof` is a tree whose internal nodes are rule
+  applications and whose leaves are asserted facts; proofs are
+  *checkable* independently of the prover (:func:`check_proof`), so a
+  consumer never has to trust the producer's reasoning;
+* **trust** — leaves must be **signed facts**: a :class:`TrustPolicy`
+  names which signers are authoritative for which predicates, and proof
+  checking verifies every leaf signature against it.  A forged proof
+  step, an unsigned leaf, or a leaf signed by a non-authoritative party
+  all fail the check — the "forged-proof" and "trust-spoofing" attacks
+  of the E13 corpus, defeated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.errors import AuthenticationError, ConfigurationError
+from repro.crypto.rsa import PrivateKey, PublicKey, sign, verify
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A ground atom: predicate(arg1, ..., argN)."""
+
+    predicate: str
+    arguments: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(self.arguments)})"
+
+
+def atom(predicate: str, *arguments: str) -> Atom:
+    return Atom(predicate, tuple(arguments))
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn rule: head :- body.  Variables are '?x'-style strings.
+
+    Example: canRead(?u, ?d) :- doctor(?u), record(?d).
+    """
+
+    head: Atom
+    body: tuple[Atom, ...]
+    name: str = ""
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        if not self.body:
+            return f"{label}{self.head}."
+        return (f"{label}{self.head} :- "
+                f"{', '.join(str(a) for a in self.body)}.")
+
+
+def _is_variable(term: str) -> bool:
+    return term.startswith("?")
+
+
+def _unify(pattern: Atom, fact: Atom,
+           bindings: Mapping[str, str]) -> dict[str, str] | None:
+    if pattern.predicate != fact.predicate or \
+            len(pattern.arguments) != len(fact.arguments):
+        return None
+    result = dict(bindings)
+    for pattern_term, fact_term in zip(pattern.arguments,
+                                       fact.arguments):
+        if _is_variable(pattern_term):
+            bound = result.get(pattern_term)
+            if bound is None:
+                result[pattern_term] = fact_term
+            elif bound != fact_term:
+                return None
+        elif pattern_term != fact_term:
+            return None
+    return result
+
+
+def _substitute(pattern: Atom, bindings: Mapping[str, str]) -> Atom:
+    return Atom(pattern.predicate, tuple(
+        bindings.get(term, term) for term in pattern.arguments))
+
+
+# -- signed facts (the trust layer) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class SignedFact:
+    """An atom asserted and signed by a named authority."""
+
+    fact: Atom
+    signer: str
+    signature: int
+
+    def verify(self, key: PublicKey) -> bool:
+        return verify(key, f"fact:{self.fact}", self.signature)
+
+
+def sign_fact(fact: Atom, signer: str,
+              private_key: PrivateKey) -> SignedFact:
+    return SignedFact(fact, signer, sign(private_key, f"fact:{fact}"))
+
+
+class TrustPolicy:
+    """Which signers are authoritative for which predicates."""
+
+    def __init__(self) -> None:
+        self._keys: dict[str, PublicKey] = {}
+        self._authority: dict[str, set[str]] = {}
+
+    def trust(self, signer: str, key: PublicKey,
+              predicates: Iterable[str]) -> None:
+        existing = self._keys.get(signer)
+        if existing is not None and existing != key:
+            raise ConfigurationError(
+                f"conflicting key registered for signer {signer!r}")
+        self._keys[signer] = key
+        self._authority.setdefault(signer, set()).update(predicates)
+
+    def authoritative(self, signer: str, predicate: str) -> bool:
+        return predicate in self._authority.get(signer, ())
+
+    def key_of(self, signer: str) -> PublicKey | None:
+        return self._keys.get(signer)
+
+
+# -- proofs -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Proof:
+    """A proof tree: ``rule is None`` marks a leaf backed by a signed
+    fact; otherwise the node derives ``conclusion`` by applying ``rule``
+    to the children's conclusions."""
+
+    conclusion: Atom
+    rule: Rule | None
+    children: tuple["Proof", ...]
+    evidence: SignedFact | None = None
+
+    def leaves(self) -> list["Proof"]:
+        if self.rule is None:
+            return [self]
+        result: list[Proof] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+
+class ProofEngine:
+    """Backward chaining over signed facts and Horn rules."""
+
+    def __init__(self, rules: Iterable[Rule] = (),
+                 facts: Iterable[SignedFact] = ()) -> None:
+        self.rules = list(rules)
+        self._facts: dict[str, list[SignedFact]] = {}
+        for fact in facts:
+            self.add_fact(fact)
+
+    def add_rule(self, rule: Rule) -> Rule:
+        self.rules.append(rule)
+        return rule
+
+    def add_fact(self, fact: SignedFact) -> SignedFact:
+        self._facts.setdefault(fact.fact.predicate, []).append(fact)
+        return fact
+
+    def prove(self, goal: Atom, _depth: int = 0) -> Proof | None:
+        """A proof of *goal*, or None.  Goals must be ground."""
+        if _depth > 32:
+            return None
+        if any(_is_variable(term) for term in goal.arguments):
+            raise ConfigurationError(f"goal {goal} must be ground")
+        for fact in self._facts.get(goal.predicate, ()):
+            if fact.fact == goal:
+                return Proof(goal, None, (), fact)
+        for rule in self.rules:
+            bindings = _unify(rule.head, goal, {})
+            if bindings is None:
+                continue
+            children = self._prove_body(rule.body, bindings, _depth)
+            if children is not None:
+                return Proof(goal, rule, tuple(children))
+        return None
+
+    def _prove_body(self, body: tuple[Atom, ...],
+                    bindings: dict[str, str],
+                    depth: int) -> list[Proof] | None:
+        if not body:
+            return []
+        first, rest = body[0], body[1:]
+        # Enumerate candidate bindings from facts and rule heads.
+        candidates: list[dict[str, str]] = []
+        for fact in self._facts.get(first.predicate, ()):
+            unified = _unify(first, fact.fact, bindings)
+            if unified is not None:
+                candidates.append(unified)
+        for rule in self.rules:
+            if rule.head.predicate != first.predicate:
+                continue
+            # Try to close the subgoal via the rule with current
+            # bindings; only ground instantiations are attempted.
+            grounded = _substitute(first, bindings)
+            if not any(_is_variable(t) for t in grounded.arguments):
+                candidates.append(dict(bindings))
+        seen: set[tuple] = set()
+        for candidate in candidates:
+            key = tuple(sorted(candidate.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            grounded = _substitute(first, candidate)
+            if any(_is_variable(t) for t in grounded.arguments):
+                continue
+            subproof = self.prove(grounded, depth + 1)
+            if subproof is None:
+                continue
+            remaining = self._prove_body(rest, candidate, depth)
+            if remaining is not None:
+                return [subproof] + remaining
+        return None
+
+
+def check_proof(proof: Proof, trust: TrustPolicy,
+                known_rules: Iterable[Rule]) -> None:
+    """Independently verify a proof; raises AuthenticationError on any
+    defect.  Checks: (a) every leaf carries a signature that verifies
+    under a signer the policy deems authoritative for that predicate;
+    (b) every internal node is a correct application of a *known* rule —
+    some substitution maps the rule's head to the conclusion and its
+    body, in order, to the children's conclusions."""
+    rule_set = list(known_rules)
+    _check_node(proof, trust, rule_set)
+
+
+def _check_node(node: Proof, trust: TrustPolicy,
+                rules: list[Rule]) -> None:
+    if node.rule is None:
+        evidence = node.evidence
+        if evidence is None or evidence.fact != node.conclusion:
+            raise AuthenticationError(
+                f"leaf {node.conclusion} lacks matching evidence")
+        key = trust.key_of(evidence.signer)
+        if key is None or not evidence.verify(key):
+            raise AuthenticationError(
+                f"leaf {node.conclusion}: signature by "
+                f"{evidence.signer!r} does not verify")
+        if not trust.authoritative(evidence.signer,
+                                   node.conclusion.predicate):
+            raise AuthenticationError(
+                f"leaf {node.conclusion}: {evidence.signer!r} is not "
+                f"authoritative for {node.conclusion.predicate!r}")
+        return
+    if not any(_rule_matches(node, rule) for rule in rules):
+        raise AuthenticationError(
+            f"node {node.conclusion}: no known rule derives it from "
+            f"{[str(c.conclusion) for c in node.children]}")
+    for child in node.children:
+        _check_node(child, trust, rules)
+
+
+def _rule_matches(node: Proof, rule: Rule) -> bool:
+    bindings = _unify(rule.head, node.conclusion, {})
+    if bindings is None or len(rule.body) != len(node.children):
+        return False
+    for pattern, child in zip(rule.body, node.children):
+        bindings = _unify(pattern, child.conclusion, bindings)
+        if bindings is None:
+            return False
+    return True

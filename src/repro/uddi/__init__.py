@@ -1,0 +1,49 @@
+"""UDDI registries (§2.2) and their security mechanisms (§4.1):
+access control, Merkle-authenticated partial answers [4], and
+client-side-encrypted entries with blind searchable indexes.
+"""
+
+from repro.uddi.architectures import (
+    DeploymentStats,
+    ThirdPartyDeployment,
+    TwoPartyDeployment,
+)
+from repro.uddi.model import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    PublisherAssertion,
+    TModel,
+    fresh_key,
+    make_business,
+    make_service,
+)
+from repro.uddi.registry import (
+    BusinessOverview,
+    ServiceOverview,
+    UddiRegistry,
+)
+from repro.uddi.secure import (
+    AccessControlledRegistry,
+    AuthenticatedAnswer,
+    AuthenticatedRegistry,
+    EncryptedEntry,
+    EncryptedRegistry,
+    EntrySignature,
+    sign_entry,
+    sign_entry_elements,
+    verify_authenticated_answer,
+    verify_entry_element,
+)
+
+__all__ = [
+    "AccessControlledRegistry", "AuthenticatedAnswer",
+    "AuthenticatedRegistry", "BindingTemplate", "BusinessEntity",
+    "BusinessOverview", "BusinessService", "DeploymentStats",
+    "EncryptedEntry", "EncryptedRegistry", "EntrySignature",
+    "PublisherAssertion", "ServiceOverview", "TModel",
+    "ThirdPartyDeployment", "TwoPartyDeployment", "UddiRegistry",
+    "fresh_key", "make_business", "make_service", "sign_entry",
+    "sign_entry_elements", "verify_authenticated_answer",
+    "verify_entry_element",
+]

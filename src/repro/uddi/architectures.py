@@ -1,0 +1,156 @@
+"""Two-party vs third-party registry deployments (§2.2, §4.1).
+
+"UDDI registries can be implemented according to either a third-party or
+a two-party architecture, with the main difference that in a two-party
+architecture there is no distinction between the service provider and the
+discovery agency."
+
+* :class:`TwoPartyDeployment` — the provider runs its own registry;
+  conventional access control suffices because the owner is the enforcer.
+* :class:`ThirdPartyDeployment` — a separate discovery agency hosts many
+  providers' entries.  The agency may be honest or *compromised*
+  (:meth:`ThirdPartyDeployment.compromise`): a compromised agency ignores
+  access control (leaks confidential rows) and tampers with answers.
+  Benchmark E6 measures which mechanism still holds its property under a
+  compromised agency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import AccessDenied
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.subjects import Subject
+from repro.crypto.rsa import KeyPair, PublicKey, generate_keypair
+from repro.uddi.model import BusinessEntity, BusinessService
+from repro.uddi.registry import ServiceOverview, UddiRegistry
+from repro.uddi.secure import (
+    AccessControlledRegistry,
+    AuthenticatedAnswer,
+    AuthenticatedRegistry,
+    EntrySignature,
+    sign_entry,
+)
+
+
+@dataclass
+class DeploymentStats:
+    """What the benchmarks count."""
+
+    inquiries: int = 0
+    denials: int = 0
+    leaked_rows: int = 0
+    tampered_answers: int = 0
+    verified_answers: int = 0
+    detected_tampering: int = 0
+
+
+class TwoPartyDeployment:
+    """Provider and discovery agency are the same party.
+
+    Confidentiality and integrity hold by construction (conventional
+    access control enforced by the data owner); there is no separate
+    agency to compromise.
+    """
+
+    def __init__(self, provider: str, registry: UddiRegistry,
+                 evaluator: PolicyEvaluator) -> None:
+        self.provider = provider
+        self.controlled = AccessControlledRegistry(registry, evaluator)
+        self.stats = DeploymentStats()
+
+    def publish(self, subject: Subject,
+                entity: BusinessEntity) -> BusinessEntity:
+        return self.controlled.save_business(subject, entity)
+
+    def find_service(self, subject: Subject, name_pattern: str = "*",
+                     category: str | None = None) -> list[ServiceOverview]:
+        self.stats.inquiries += 1
+        return self.controlled.find_service(subject, name_pattern, category)
+
+    def get_service_detail(self, subject: Subject,
+                           service_key: str) -> BusinessService:
+        self.stats.inquiries += 1
+        try:
+            return self.controlled.get_service_detail(subject, service_key)
+        except AccessDenied:
+            self.stats.denials += 1
+            raise
+
+
+class ThirdPartyDeployment:
+    """A discovery agency separate from the providers.
+
+    Providers register with :meth:`register_provider` (getting a signing
+    keypair), publish signed entries, and requestors query through the
+    agency.  In ``trusted`` mode the agency enforces access control; when
+    compromised it leaks and tampers — but Merkle verification still
+    catches the tampering client-side.
+    """
+
+    def __init__(self, evaluator: PolicyEvaluator,
+                 registry_name: str = "third-party") -> None:
+        self.registry = UddiRegistry(registry_name)
+        self.evaluator = evaluator
+        self.controlled = AccessControlledRegistry(self.registry,
+                                                   evaluator)
+        self.authenticated = AuthenticatedRegistry(self.registry)
+        self._provider_keys: dict[str, KeyPair] = {}
+        self.compromised = False
+        self.stats = DeploymentStats()
+
+    # -- provider side -----------------------------------------------------
+
+    def register_provider(self, provider: str,
+                          key_seed: int | None = None) -> PublicKey:
+        keypair = generate_keypair(
+            seed=key_seed if key_seed is not None else hash(provider) % (2**31))
+        self._provider_keys[provider] = keypair
+        return keypair.public
+
+    def provider_key(self, provider: str) -> PublicKey:
+        return self._provider_keys[provider].public
+
+    def publish(self, provider: str,
+                entity: BusinessEntity) -> EntrySignature:
+        keypair = self._provider_keys[provider]
+        signature = sign_entry(entity, provider, keypair.private)
+        self.authenticated.publish(entity, signature, provider)
+        return signature
+
+    # -- agency compromise -----------------------------------------------------
+
+    def compromise(self) -> None:
+        """The agency turns malicious: leaks on browse, tampers answers."""
+        self.compromised = True
+        self.authenticated.tamper_with_answers = True
+
+    # -- requestor side -----------------------------------------------------------
+
+    def find_service(self, subject: Subject, name_pattern: str = "*",
+                     category: str | None = None) -> list[ServiceOverview]:
+        self.stats.inquiries += 1
+        if self.compromised:
+            # A compromised agency ignores the access control policies.
+            rows = self.registry.find_service(name_pattern, category)
+            allowed = set(
+                (r.business_key, r.service_key)
+                for r in self.controlled.find_service(
+                    subject, name_pattern, category))
+            self.stats.leaked_rows += sum(
+                1 for r in rows
+                if (r.business_key, r.service_key) not in allowed)
+            return rows
+        return self.controlled.find_service(subject, name_pattern, category)
+
+    def get_service_detail(self, subject: Subject,
+                           service_key: str) -> AuthenticatedAnswer:
+        self.stats.inquiries += 1
+        if not self.compromised:
+            # Honest agency still enforces read policies before answering.
+            self.controlled.get_service_detail(subject, service_key)
+        answer = self.authenticated.get_service_detail(service_key)
+        if self.compromised:
+            self.stats.tampered_answers += 1
+        return answer

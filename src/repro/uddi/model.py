@@ -1,0 +1,169 @@
+"""UDDI core data structures (§2.2, UDDI v3 [16]).
+
+"Each entry is in turn composed by five main data structures —
+businessEntity, businessService, bindingTemplate, publisherAssertion, and
+tModel".  This module models those five structures with the fields the
+inquiry APIs and the security layers need, plus conversion to XML (for
+Merkle hashing and signing) via :meth:`to_element`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.core.errors import RegistryError
+from repro.xmldb.model import Element
+
+
+def _child(tag: str, text: str) -> Element:
+    node = Element(tag)
+    if text:
+        node.append(text)
+    return node
+
+
+@dataclass(frozen=True)
+class TModel:
+    """A technical model: a reusable technical fingerprint (protocol,
+    interface, category system) services can reference."""
+
+    tmodel_key: str
+    name: str
+    description: str = ""
+    overview_url: str = ""
+
+    def to_element(self) -> Element:
+        node = Element("tModel", {"tModelKey": self.tmodel_key})
+        node.append(_child("name", self.name))
+        node.append(_child("description", self.description))
+        node.append(_child("overviewURL", self.overview_url))
+        return node
+
+
+@dataclass(frozen=True)
+class BindingTemplate:
+    """Technical binding of a service: access point + tModel references."""
+
+    binding_key: str
+    access_point: str
+    description: str = ""
+    tmodel_keys: tuple[str, ...] = ()
+
+    def to_element(self) -> Element:
+        node = Element("bindingTemplate", {"bindingKey": self.binding_key})
+        node.append(_child("accessPoint", self.access_point))
+        node.append(_child("description", self.description))
+        refs = Element("tModelInstanceDetails")
+        for key in self.tmodel_keys:
+            refs.append(Element("tModelInstanceInfo", {"tModelKey": key}))
+        node.append(refs)
+        return node
+
+
+@dataclass(frozen=True)
+class BusinessService:
+    """A service offered by a business: name, category, bindings."""
+
+    service_key: str
+    name: str
+    description: str = ""
+    category: str = ""
+    bindings: tuple[BindingTemplate, ...] = ()
+
+    def to_element(self) -> Element:
+        node = Element("businessService", {"serviceKey": self.service_key})
+        node.append(_child("name", self.name))
+        node.append(_child("description", self.description))
+        node.append(_child("category", self.category))
+        bindings = Element("bindingTemplates")
+        for binding in self.bindings:
+            bindings.append(binding.to_element())
+        node.append(bindings)
+        return node
+
+    def with_binding(self, binding: BindingTemplate) -> "BusinessService":
+        return replace(self, bindings=self.bindings + (binding,))
+
+
+@dataclass(frozen=True)
+class BusinessEntity:
+    """Overall information about the organization providing services."""
+
+    business_key: str
+    name: str
+    description: str = ""
+    contact: str = ""
+    services: tuple[BusinessService, ...] = ()
+
+    def to_element(self) -> Element:
+        node = Element("businessEntity", {"businessKey": self.business_key})
+        node.append(_child("name", self.name))
+        node.append(_child("description", self.description))
+        node.append(_child("contact", self.contact))
+        services = Element("businessServices")
+        for service in self.services:
+            services.append(service.to_element())
+        node.append(services)
+        return node
+
+    def with_service(self, service: BusinessService) -> "BusinessEntity":
+        return replace(self, services=self.services + (service,))
+
+    def service(self, service_key: str) -> BusinessService:
+        for service in self.services:
+            if service.service_key == service_key:
+                return service
+        raise RegistryError(
+            f"business {self.business_key!r} has no service "
+            f"{service_key!r}")
+
+
+@dataclass(frozen=True)
+class PublisherAssertion:
+    """A relationship assertion between two business entities.
+
+    Visible only when *both* sides have asserted it (the UDDI rule),
+    enforced by the registry.
+    """
+
+    from_key: str
+    to_key: str
+    relationship: str
+
+    def to_element(self) -> Element:
+        return Element("publisherAssertion", {
+            "fromKey": self.from_key,
+            "toKey": self.to_key,
+            "keyedReference": self.relationship,
+        })
+
+
+_key_counter = itertools.count(1)
+
+
+def fresh_key(prefix: str) -> str:
+    """Generate a registry-unique key, e.g. ``fresh_key('biz')``."""
+    return f"uddi:{prefix}:{next(_key_counter):06d}"
+
+
+def make_business(name: str, description: str = "", contact: str = "",
+                  services: Iterable[BusinessService] = ()
+                  ) -> BusinessEntity:
+    """Convenience builder assigning a fresh business key."""
+    return BusinessEntity(fresh_key("biz"), name, description, contact,
+                          tuple(services))
+
+
+def make_service(name: str, category: str = "", description: str = "",
+                 access_point: str = "", tmodel_keys: Iterable[str] = ()
+                 ) -> BusinessService:
+    """Convenience builder: service with one binding when an access point
+    is given."""
+    bindings: tuple[BindingTemplate, ...] = ()
+    if access_point:
+        bindings = (BindingTemplate(fresh_key("bind"), access_point,
+                                    tmodel_keys=tuple(tmodel_keys)),)
+    return BusinessService(fresh_key("svc"), name, description, category,
+                           bindings)

@@ -1,0 +1,381 @@
+"""Security for UDDI registries (§4.1).
+
+Three mechanisms, matching the paper's three properties:
+
+* **Access-controlled registry** (:class:`AccessControlledRegistry`) —
+  integrity + confidentiality "using the standard mechanisms adopted by
+  conventional DBMSs": a policy evaluator filters every inquiry and
+  publish operation.  Sound in a two-party deployment or with a *trusted*
+  discovery agency.
+
+* **Authenticated registry** (:class:`AuthenticatedRegistry`) — the
+  Merkle mechanism of [4] for *untrusted* third-party agencies: each
+  provider signs one summary signature per entry; partial answers carry
+  filler hashes so the requestor recomputes and checks the signature
+  locally (:func:`verify_authenticated_answer`).
+
+* **Encrypted registry** (:class:`EncryptedRegistry`) — confidentiality
+  against an untrusted agency: providers publish entries encrypted per
+  their policies plus a keyed searchable index; the agency matches blind
+  tokens without learning field values ("exploiting such solution
+  requires the ability of querying encrypted data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import AuthenticationError, RegistryError
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.policy import Action
+from repro.core.subjects import Subject
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.keys import KeyStore
+from repro.crypto.rsa import PublicKey, PrivateKey, sign, verify
+from repro.crypto.symmetric import Ciphertext
+from repro.merkle.xml_merkle import (
+    FillerHashes,
+    build_partial_view,
+    merkle_hash,
+    view_hash,
+)
+from repro.uddi.model import BusinessEntity, BusinessService
+from repro.uddi.registry import ServiceOverview, UddiRegistry
+from repro.xmldb.model import Element
+from repro.xmldb.parser import parse_element
+from repro.xmldb.serializer import serialize_element
+
+
+# ---------------------------------------------------------------------------
+# 1. Access-controlled registry (two-party / trusted third party)
+# ---------------------------------------------------------------------------
+
+class AccessControlledRegistry:
+    """A UDDI registry guarded by a :class:`PolicyEvaluator`.
+
+    Resource paths: ``uddi/<registry>/<business_key>`` for entity-level
+    operations and ``uddi/<registry>/<business_key>/<service_key>`` for
+    service-level ones, so policies can protect whole entries or single
+    services.
+    """
+
+    def __init__(self, registry: UddiRegistry,
+                 evaluator: PolicyEvaluator) -> None:
+        self.registry = registry
+        self.evaluator = evaluator
+
+    def _resource(self, business_key: str, service_key: str = "") -> str:
+        path = f"uddi/{self.registry.name}/{business_key}"
+        if service_key:
+            path = f"{path}/{service_key}"
+        return path
+
+    def save_business(self, subject: Subject,
+                      entity: BusinessEntity) -> BusinessEntity:
+        self.evaluator.enforce(subject, Action.WRITE,
+                               self._resource(entity.business_key))
+        return self.registry.save_business(entity, subject.identity.name)
+
+    def get_business_detail(self, subject: Subject,
+                            business_key: str) -> BusinessEntity:
+        self.evaluator.enforce(subject, Action.READ,
+                               self._resource(business_key))
+        return self.registry.get_business_detail(business_key)
+
+    def get_service_detail(self, subject: Subject,
+                           service_key: str) -> BusinessService:
+        service = self.registry.get_service_detail(service_key)
+        business_key = self._business_of_service(service_key)
+        self.evaluator.enforce(subject, Action.READ,
+                               self._resource(business_key, service_key))
+        return service
+
+    def find_service(self, subject: Subject, name_pattern: str = "*",
+                     category: str | None = None) -> list[ServiceOverview]:
+        """Browse inquiry filtered to rows the subject may read."""
+        rows = self.registry.find_service(name_pattern, category)
+        return [row for row in rows
+                if self.evaluator.check(
+                    subject, Action.READ,
+                    self._resource(row.business_key, row.service_key))]
+
+    def _business_of_service(self, service_key: str) -> str:
+        for entity in self.registry.businesses():
+            for service in entity.services:
+                if service.service_key == service_key:
+                    return entity.business_key
+        raise RegistryError(f"unknown service {service_key!r}")
+
+
+# ---------------------------------------------------------------------------
+# 1b. UDDI v3 element signing (two-party adequate, third-party not)
+# ---------------------------------------------------------------------------
+# "The latest UDDI specifications allow one to optionally sign some of
+# the elements in a registry, according to the W3C XML Signature syntax.
+# This technique can be successfully employed in a two-party
+# architecture.  However, it does not fit well in the third-party model"
+# (§4.1) — a per-element signature authenticates a whole element, but a
+# requestor who receives a *combination* of portions from different
+# structures cannot link them back to one signed entry.  We provide it
+# for fidelity; the Merkle mechanism below is the third-party answer.
+
+def sign_entry_elements(entity: BusinessEntity, provider: str,
+                        private_key: PrivateKey):
+    """Sign each businessService element of an entry separately
+    (UDDI v3 style).  Returns a SignatureManifest."""
+    from repro.xmlsec.signature import sign_portions
+
+    element = entity.to_element()
+    services = element.find("businessServices")
+    portions = services.element_children if services is not None else []
+    return sign_portions(list(portions), provider, private_key)
+
+
+def verify_entry_element(manifest, service_element,
+                         provider_key: PublicKey) -> bool:
+    """Verify one businessService element against the manifest."""
+    from repro.xmlsec.signature import verify_portion
+
+    return verify_portion(manifest, service_element, provider_key)
+
+
+# ---------------------------------------------------------------------------
+# 2. Merkle-authenticated registry (untrusted third party, [4])
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EntrySignature:
+    """A provider's summary signature over one registry entry."""
+
+    provider: str
+    business_key: str
+    root_hash: str
+    signature: int
+
+    def verify(self, provider_key: PublicKey) -> bool:
+        return verify(provider_key,
+                      f"{self.provider}:{self.business_key}:{self.root_hash}",
+                      self.signature)
+
+
+def sign_entry(entity: BusinessEntity, provider: str,
+               private_key: PrivateKey) -> EntrySignature:
+    root_hash = merkle_hash(entity.to_element())
+    return EntrySignature(
+        provider, entity.business_key, root_hash,
+        sign(private_key, f"{provider}:{entity.business_key}:{root_hash}"))
+
+
+@dataclass(frozen=True)
+class AuthenticatedAnswer:
+    """A partial query answer plus everything needed to verify it."""
+
+    view: Element
+    fillers: FillerHashes
+    entry_signature: EntrySignature
+
+    def proof_hash_count(self) -> int:
+        return len(self.fillers)
+
+
+class AuthenticatedRegistry:
+    """Third-party registry returning Merkle-verifiable partial answers.
+
+    The agency holds full entries and signatures but is *not* trusted:
+    every answer can be checked locally by the requestor.  A
+    ``tamper_with_answers`` flag simulates a compromised agency for the
+    benchmarks.
+    """
+
+    def __init__(self, registry: UddiRegistry) -> None:
+        self.registry = registry
+        self._signatures: dict[str, EntrySignature] = {}
+        self.tamper_with_answers = False
+
+    def publish(self, entity: BusinessEntity,
+                entry_signature: EntrySignature, provider: str
+                ) -> BusinessEntity:
+        if entry_signature.business_key != entity.business_key:
+            raise RegistryError("signature is for a different entry")
+        saved = self.registry.save_business(entity, provider)
+        self._signatures[entity.business_key] = entry_signature
+        return saved
+
+    def entry_signature(self, business_key: str) -> EntrySignature:
+        try:
+            return self._signatures[business_key]
+        except KeyError:
+            raise RegistryError(
+                f"no signature for business {business_key!r}") from None
+
+    def get_business_detail(self, business_key: str) -> AuthenticatedAnswer:
+        """Drill-down: the whole entry (trivial fillers)."""
+        entity = self.registry.get_business_detail(business_key)
+        view = entity.to_element().deep_copy()
+        if self.tamper_with_answers:
+            self._tamper(view)
+        return AuthenticatedAnswer(view, FillerHashes(),
+                                   self._signatures[business_key])
+
+    def get_service_detail(self, service_key: str) -> AuthenticatedAnswer:
+        """Drill-down on one service: a pruned view of its entry."""
+        for entity in self.registry.businesses():
+            for service in entity.services:
+                if service.service_key != service_key:
+                    continue
+                element = entity.to_element()
+
+                def keep(node: Element) -> bool:
+                    return (node.tag == "businessService"
+                            and node.attributes.get("serviceKey")
+                            == service_key)
+
+                view, fillers = build_partial_view(element, keep)
+                if self.tamper_with_answers:
+                    self._tamper(view)
+                return AuthenticatedAnswer(
+                    view, fillers,
+                    self._signatures[entity.business_key])
+        raise RegistryError(f"unknown service {service_key!r}")
+
+    @staticmethod
+    def _tamper(view: Element) -> None:
+        for node in view.iter():
+            if node.tag == "accessPoint" and node.text:
+                node.set_text("http://attacker.example/intercept")
+                return
+        for node in view.iter():
+            if node.text:
+                node.set_text(node.text + "-forged")
+                return
+
+
+def verify_authenticated_answer(answer: AuthenticatedAnswer,
+                                provider_key: PublicKey) -> None:
+    """Requestor-side check: raise AuthenticationError if the answer does
+    not recompute to the provider-signed summary signature."""
+    if not answer.entry_signature.verify(provider_key):
+        raise AuthenticationError(
+            "entry signature does not verify under the provider key")
+    recomputed = view_hash(answer.view, answer.fillers)
+    if recomputed != answer.entry_signature.root_hash:
+        raise AuthenticationError(
+            "answer does not recompute to the signed summary (the "
+            "discovery agency altered the content)")
+
+
+# ---------------------------------------------------------------------------
+# 3. Encrypted registry (untrusted third party, confidentiality)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EncryptedEntry:
+    """An entry as the agency stores it: opaque blob + blind index."""
+
+    business_key: str
+    blob: Ciphertext
+    index_tokens: frozenset[str]
+
+
+def _index_token(index_key: str, field: str, value: str) -> str:
+    return sha256_hex(f"uddi-index:{index_key}:{field}={value.lower()}")
+
+
+class EncryptedRegistry:
+    """Confidentiality against the agency via client-side encryption.
+
+    The provider encrypts each entry under its own key (distributed
+    out-of-band to entitled requestors) and publishes deterministic
+    keyed tokens for searchable fields.  The agency can match tokens but
+    cannot read names, categories or access points.
+    """
+
+    INDEXED_FIELDS = ("service_name", "category", "business_name")
+
+    def __init__(self) -> None:
+        self._entries: dict[str, EncryptedEntry] = {}
+
+    # -- provider side ------------------------------------------------------
+
+    @staticmethod
+    def encrypt_entry(entity: BusinessEntity, key_store: KeyStore,
+                      key_id: str, index_key: str) -> EncryptedEntry:
+        payload = serialize_element(entity.to_element())
+        tokens: set[str] = set()
+        tokens.add(_index_token(index_key, "business_name", entity.name))
+        for service in entity.services:
+            tokens.add(_index_token(index_key, "service_name",
+                                    service.name))
+            if service.category:
+                tokens.add(_index_token(index_key, "category",
+                                        service.category))
+        return EncryptedEntry(entity.business_key,
+                              key_store.encrypt(key_id, payload),
+                              frozenset(tokens))
+
+    def publish(self, entry: EncryptedEntry) -> None:
+        self._entries[entry.business_key] = entry
+
+    # -- agency side (blind) ----------------------------------------------------
+
+    def find_by_token(self, token: str) -> list[EncryptedEntry]:
+        return [e for key, e in sorted(self._entries.items())
+                if token in e.index_tokens]
+
+    def all_entries(self) -> list[EncryptedEntry]:
+        return [self._entries[k] for k in sorted(self._entries)]
+
+    # -- requestor side -----------------------------------------------------------
+
+    @staticmethod
+    def search_token(index_key: str, field: str, value: str) -> str:
+        if field not in EncryptedRegistry.INDEXED_FIELDS:
+            raise RegistryError(f"field {field!r} is not indexed")
+        return _index_token(index_key, field, value)
+
+    @staticmethod
+    def decrypt_entry(entry: EncryptedEntry,
+                      key_store: KeyStore) -> BusinessEntity:
+        payload = key_store.decrypt(entry.blob).decode("utf-8")
+        element = parse_element(payload)
+        return _entity_from_element(element)
+
+
+def _entity_from_element(element: Element) -> BusinessEntity:
+    """Rebuild a BusinessEntity from its canonical XML form."""
+    from repro.uddi.model import BindingTemplate, BusinessService
+
+    def text_of(parent: Element, tag: str) -> str:
+        child = parent.find(tag)
+        return child.text if child is not None else ""
+
+    services: list[BusinessService] = []
+    services_node = element.find("businessServices")
+    for service_node in (services_node.element_children
+                         if services_node is not None else []):
+        bindings: list[BindingTemplate] = []
+        bindings_node = service_node.find("bindingTemplates")
+        for binding_node in (bindings_node.element_children
+                             if bindings_node is not None else []):
+            refs_node = binding_node.find("tModelInstanceDetails")
+            tmodel_keys = tuple(
+                ref.attributes["tModelKey"]
+                for ref in (refs_node.element_children
+                            if refs_node is not None else []))
+            bindings.append(BindingTemplate(
+                binding_node.attributes["bindingKey"],
+                text_of(binding_node, "accessPoint"),
+                text_of(binding_node, "description"),
+                tmodel_keys))
+        services.append(BusinessService(
+            service_node.attributes["serviceKey"],
+            text_of(service_node, "name"),
+            text_of(service_node, "description"),
+            text_of(service_node, "category"),
+            tuple(bindings)))
+    return BusinessEntity(
+        element.attributes["businessKey"],
+        text_of(element, "name"),
+        text_of(element, "description"),
+        text_of(element, "contact"),
+        tuple(services))

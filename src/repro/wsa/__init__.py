@@ -1,0 +1,45 @@
+"""The Web Service Architecture (§2.2) with message-level security (§4.1):
+SOAP envelopes, WSDL-lite contracts, provider/requestor/discovery-agency
+actors, an attackable in-process transport, signing/encryption/replay
+protection.
+"""
+
+from repro.wsa.actors import (
+    DiscoveryAgencyActor,
+    ServiceProvider,
+    ServiceRequestor,
+)
+from repro.wsa.security import (
+    ENCRYPTED_PREFIX,
+    SIGNATURE_HEADER,
+    SIGNER_HEADER,
+    ReplayGuard,
+    decrypt_parameters,
+    encrypt_parameters,
+    is_encrypted,
+    sign_envelope,
+    verify_envelope,
+)
+from repro.wsa.soap import (
+    FAULT_ACCESS_DENIED,
+    FAULT_BAD_SIGNATURE,
+    FAULT_PRIVACY,
+    FAULT_REPLAY,
+    FAULT_UNKNOWN_OPERATION,
+    SoapEnvelope,
+    SoapFault,
+    fresh_message_id,
+)
+from repro.wsa.transport import BusStats, MessageBus
+from repro.wsa.wsdl import Operation, ServiceDescription, describe
+
+__all__ = [
+    "BusStats", "DiscoveryAgencyActor", "ENCRYPTED_PREFIX",
+    "FAULT_ACCESS_DENIED", "FAULT_BAD_SIGNATURE", "FAULT_PRIVACY",
+    "FAULT_REPLAY", "FAULT_UNKNOWN_OPERATION", "MessageBus", "Operation",
+    "ReplayGuard", "SIGNATURE_HEADER", "SIGNER_HEADER",
+    "ServiceDescription", "ServiceProvider", "ServiceRequestor",
+    "SoapEnvelope", "SoapFault", "decrypt_parameters", "describe",
+    "encrypt_parameters", "fresh_message_id", "is_encrypted",
+    "sign_envelope", "verify_envelope",
+]

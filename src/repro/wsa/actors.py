@@ -1,0 +1,213 @@
+"""The three WSA actors (§2.2): service provider, service requestor,
+discovery agency.
+
+A :class:`ServiceProvider` implements operations behind a WSDL contract
+with optional message security (require signatures, encrypt replies,
+replay protection) and an optional access-control evaluator; a
+:class:`ServiceRequestor` discovers services via a discovery agency,
+verifies registry answers, and invokes operations over the bus; the
+:class:`DiscoveryAgencyActor` fronts a :class:`ThirdPartyDeployment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import AccessDenied, AuthenticationError, SecurityError
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.policy import Action
+from repro.core.subjects import Subject
+from repro.crypto.rsa import KeyPair, PublicKey, generate_keypair
+from repro.uddi.architectures import ThirdPartyDeployment
+from repro.uddi.model import BusinessEntity
+from repro.uddi.registry import ServiceOverview
+from repro.uddi.secure import verify_authenticated_answer
+from repro.wsa.soap import (
+    FAULT_ACCESS_DENIED,
+    FAULT_BAD_SIGNATURE,
+    FAULT_REPLAY,
+    FAULT_UNKNOWN_OPERATION,
+    SoapEnvelope,
+)
+from repro.wsa.transport import MessageBus
+from repro.wsa.security import (
+    ReplayGuard,
+    decrypt_parameters,
+    encrypt_parameters,
+    sign_envelope,
+    verify_envelope,
+)
+from repro.wsa.wsdl import ServiceDescription
+from repro.core.errors import ServiceFault
+
+OperationImpl = Callable[[Subject | None, dict[str, str]], dict[str, str]]
+
+
+class ServiceProvider:
+    """Hosts one service: WSDL contract + operation implementations."""
+
+    def __init__(self, name: str, description: ServiceDescription,
+                 bus: MessageBus, key_seed: int | None = None,
+                 require_signatures: bool = False,
+                 evaluator: PolicyEvaluator | None = None) -> None:
+        self.name = name
+        self.description = description
+        self.bus = bus
+        self.keys: KeyPair = generate_keypair(
+            seed=key_seed if key_seed is not None else
+            abs(hash(name)) % (2 ** 31))
+        self.require_signatures = require_signatures
+        self.evaluator = evaluator
+        self.replay_guard = ReplayGuard()
+        self._implementations: dict[str, OperationImpl] = {}
+        self._known_keys: dict[str, PublicKey] = {}
+        bus.register(name, self._handle)
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self.keys.public
+
+    def implement(self, operation: str, impl: OperationImpl) -> None:
+        self.description.operation(operation)  # must exist in the contract
+        self._implementations[operation] = impl
+
+    def trust_requestor(self, name: str, key: PublicKey) -> None:
+        self._known_keys[name] = key
+
+    def _handle(self, envelope: SoapEnvelope) -> SoapEnvelope:
+        try:
+            self.replay_guard.admit(envelope)
+        except SecurityError as exc:
+            raise ServiceFault(FAULT_REPLAY, str(exc)) from None
+
+        subject: Subject | None = None
+        if self.require_signatures:
+            signer_name = envelope.headers.get("Security.Signer", "")
+            key = self._known_keys.get(signer_name)
+            if key is None:
+                raise ServiceFault(FAULT_BAD_SIGNATURE,
+                                   f"unknown signer {signer_name!r}")
+            try:
+                verify_envelope(envelope, key)
+            except AuthenticationError as exc:
+                raise ServiceFault(FAULT_BAD_SIGNATURE, str(exc)) from None
+            subject = Subject(signer_name)
+
+        decrypt_parameters(envelope, self.keys.private)
+
+        if not self.description.has_operation(envelope.operation):
+            raise ServiceFault(FAULT_UNKNOWN_OPERATION, envelope.operation)
+        contract = self.description.operation(envelope.operation)
+        problems = contract.validate_call(envelope.parameters)
+        if problems:
+            raise ServiceFault(FAULT_UNKNOWN_OPERATION,
+                               "; ".join(problems))
+
+        if self.evaluator is not None:
+            caller = subject or Subject(envelope.sender or "anonymous")
+            resource = f"ws/{self.name}/{envelope.operation}"
+            try:
+                self.evaluator.enforce(caller, Action.READ, resource)
+            except AccessDenied as exc:
+                raise ServiceFault(FAULT_ACCESS_DENIED, str(exc)) from None
+
+        impl = self._implementations[envelope.operation]
+        outputs = impl(subject, dict(envelope.parameters))
+        reply = envelope.reply(f"{envelope.operation}Response", outputs)
+        sign_envelope(reply, self.name, self.keys.private)
+        return reply
+
+
+class ServiceRequestor:
+    """A client: discovers services, verifies answers, invokes securely."""
+
+    def __init__(self, name: str, bus: MessageBus,
+                 key_seed: int | None = None) -> None:
+        self.name = name
+        self.bus = bus
+        self.keys: KeyPair = generate_keypair(
+            seed=key_seed if key_seed is not None else
+            abs(hash(name)) % (2 ** 31))
+        self._provider_keys: dict[str, PublicKey] = {}
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self.keys.public
+
+    def trust_provider(self, name: str, key: PublicKey) -> None:
+        self._provider_keys[name] = key
+
+    def trust_provider_via(self, xkms, name: str) -> PublicKey:
+        """Bootstrap trust through an XKMS service: locate + validate
+        the provider's binding instead of exchanging keys pairwise.
+        *xkms* is a :class:`repro.xmlsec.xkms.KeyInformationService`."""
+        key = xkms.locate_valid(name)
+        self._provider_keys[name] = key
+        return key
+
+    def discover(self, agency: "DiscoveryAgencyActor", subject: Subject,
+                 name_pattern: str = "*",
+                 category: str | None = None) -> list[ServiceOverview]:
+        return agency.deployment.find_service(subject, name_pattern,
+                                              category)
+
+    def verified_service_detail(self, agency: "DiscoveryAgencyActor",
+                                subject: Subject, service_key: str,
+                                provider: str):
+        """Drill-down with client-side Merkle verification ([4])."""
+        answer = agency.deployment.get_service_detail(subject, service_key)
+        provider_key = agency.deployment.provider_key(provider)
+        verify_authenticated_answer(answer, provider_key)
+        return answer
+
+    def invoke(self, provider: str, operation: str,
+               parameters: dict[str, str],
+               sign_request: bool = False,
+               encrypt: list[str] | None = None,
+               provider_key: PublicKey | None = None) -> dict[str, str]:
+        """Call an operation; returns the (verified) reply outputs."""
+        envelope = SoapEnvelope(operation, dict(parameters),
+                                sender=self.name, receiver=provider)
+        if encrypt:
+            key = provider_key or self._provider_keys.get(provider)
+            if key is None:
+                raise SecurityError(
+                    f"no public key known for provider {provider!r}")
+            encrypt_parameters(envelope, encrypt, key,
+                               seed=abs(hash(envelope.message_id)) % 977)
+        if sign_request:
+            sign_envelope(envelope, self.name, self.keys.private)
+        reply = self.bus.send(envelope)
+        known = provider_key or self._provider_keys.get(provider)
+        if known is not None:
+            verify_envelope(reply, known)
+        return dict(reply.parameters)
+
+
+@dataclass
+class DiscoveryAgencyActor:
+    """The discovery agency as a WSA actor: fronts a deployment.
+
+    §4 notes that "a service requestor may want to validate the privacy
+    policy of the discovery agency before interacting with this entity"
+    — the agency therefore advertises its own P3P policy
+    (``privacy_policy``), and :meth:`acceptable_to` lets a requestor
+    gate on it before issuing any inquiry.
+    """
+
+    name: str
+    deployment: ThirdPartyDeployment
+    privacy_policy: object = None  # Optional[repro.p3p.P3PPolicy]
+
+    def publish(self, provider: str, entity: BusinessEntity):
+        return self.deployment.publish(provider, entity)
+
+    def acceptable_to(self, preferences) -> bool:
+        """Does this agency's advertised privacy policy satisfy the
+        requestor's preferences?  No advertised policy fails closed.
+        *preferences* is a :class:`repro.p3p.PreferenceSet`."""
+        if self.privacy_policy is None:
+            return False
+        from repro.p3p.matching import match
+        return bool(match(self.privacy_policy, preferences))

@@ -1,0 +1,104 @@
+"""SOAP message model (§2.2: "the Simple Object Access Protocol (SOAP)
+to expose the service functionalities").
+
+A :class:`SoapEnvelope` has a header (where the security blocks of
+:mod:`repro.wsa.security` travel, mirroring WS-Security) and a body with
+an operation name and named parameters.  Faults follow the SOAP fault
+shape (code + reason).  Envelopes convert to canonical XML so they can be
+signed, encrypted and hashed with the same machinery as documents.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.errors import ServiceFault
+from repro.xmldb.model import Element
+from repro.xmldb.serializer import serialize_element
+
+_message_ids = itertools.count(1)
+
+
+def fresh_message_id() -> str:
+    return f"msg:{next(_message_ids):08d}"
+
+
+@dataclass
+class SoapEnvelope:
+    """One SOAP message.
+
+    Header entries are free-form string pairs (plus structured security
+    blocks added by :mod:`repro.wsa.security`); the body is an operation
+    with string parameters — enough for every §4 scenario without a full
+    type system.
+    """
+
+    operation: str
+    parameters: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    message_id: str = field(default_factory=fresh_message_id)
+    sender: str = ""
+    receiver: str = ""
+
+    def to_element(self) -> Element:
+        envelope = Element("Envelope")
+        header = Element("Header")
+        meta = dict(self.headers)
+        meta["MessageID"] = self.message_id
+        meta["From"] = self.sender
+        meta["To"] = self.receiver
+        for name, value in sorted(meta.items()):
+            entry = Element("HeaderEntry", {"name": name})
+            if value:
+                entry.append(value)
+            header.append(entry)
+        envelope.append(header)
+        body = Element("Body")
+        operation = Element(self.operation)
+        for name, value in sorted(self.parameters.items()):
+            parameter = Element("parameter", {"name": name})
+            if value:
+                parameter.append(value)
+            operation.append(parameter)
+        body.append(operation)
+        envelope.append(body)
+        return envelope
+
+    def body_canonical(self) -> str:
+        """Canonical serialization of the body — the portion signatures
+        cover (headers can legitimately be added in transit)."""
+        body = Element("Body")
+        operation = Element(self.operation)
+        for name, value in sorted(self.parameters.items()):
+            parameter = Element("parameter", {"name": name})
+            if value:
+                parameter.append(value)
+            operation.append(parameter)
+        body.append(operation)
+        return serialize_element(body) + f"|id={self.message_id}"
+
+    def reply(self, operation: str,
+              parameters: Mapping[str, str] | None = None) -> "SoapEnvelope":
+        return SoapEnvelope(operation, dict(parameters or {}),
+                            sender=self.receiver, receiver=self.sender,
+                            headers={"InReplyTo": self.message_id})
+
+
+@dataclass(frozen=True)
+class SoapFault:
+    """A SOAP fault: code + human-readable reason."""
+
+    code: str
+    reason: str
+
+    def raise_(self) -> None:
+        raise ServiceFault(self.code, self.reason)
+
+
+FAULT_ACCESS_DENIED = "env:AccessDenied"
+FAULT_BAD_SIGNATURE = "env:BadSignature"
+FAULT_REPLAY = "env:Replay"
+FAULT_UNKNOWN_OPERATION = "env:UnknownOperation"
+FAULT_PRIVACY = "env:PrivacyViolation"

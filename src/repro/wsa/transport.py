@@ -1,0 +1,91 @@
+"""In-process message bus standing in for HTTP transport.
+
+Endpoints register handlers by name; :meth:`MessageBus.send` routes an
+envelope and returns the reply.  An optional *interceptor* models a
+network attacker (eavesdrop, modify, replay) so the tests and benchmark
+E13 can show which message-security mechanism defeats which attack —
+the "one cannot just have secure TCP/IP built on untrusted communication
+layers" point of §5.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import ServiceFault
+from repro.wsa.soap import SoapEnvelope
+
+Handler = Callable[[SoapEnvelope], SoapEnvelope]
+Interceptor = Callable[[SoapEnvelope], SoapEnvelope | None]
+
+
+@dataclass
+class BusStats:
+    sent: int = 0
+    delivered: int = 0
+    intercepted: int = 0
+    faults: int = 0
+
+
+class MessageBus:
+    """Routes envelopes between registered endpoints."""
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, Handler] = {}
+        self._interceptor: Interceptor | None = None
+        self.stats = BusStats()
+        self.transcript: list[SoapEnvelope] = []
+
+    def register(self, name: str, handler: Handler) -> None:
+        self._endpoints[name] = handler
+
+    def set_interceptor(self, interceptor: Interceptor | None) -> None:
+        """Install (or clear) a network attacker."""
+        self._interceptor = interceptor
+
+    def send(self, envelope: SoapEnvelope) -> SoapEnvelope:
+        """Deliver *envelope* to its receiver and return the reply.
+
+        The interceptor sees the message first and may pass it through,
+        modify it, or return its own crafted message; the transcript
+        records everything that crossed the wire (eavesdropping).
+        """
+        self.stats.sent += 1
+        self.transcript.append(copy.deepcopy(envelope))
+        delivered = envelope
+        if self._interceptor is not None:
+            tampered = self._interceptor(copy.deepcopy(envelope))
+            if tampered is not None:
+                self.stats.intercepted += 1
+                delivered = tampered
+        handler = self._endpoints.get(delivered.receiver)
+        if handler is None:
+            self.stats.faults += 1
+            raise ServiceFault("env:NoSuchEndpoint",
+                               f"no endpoint {delivered.receiver!r}")
+        try:
+            reply = handler(delivered)
+        except ServiceFault:
+            self.stats.faults += 1
+            raise
+        self.stats.delivered += 1
+        self.transcript.append(copy.deepcopy(reply))
+        return reply
+
+    def replay_last(self) -> SoapEnvelope:
+        """Attacker helper: re-send the last request verbatim."""
+        requests = [m for m in self.transcript
+                    if m.receiver in self._endpoints]
+        if not requests:
+            raise ServiceFault("env:NothingToReplay", "empty transcript")
+        return self.send(copy.deepcopy(requests[-1]))
+
+    def eavesdropped_values(self) -> list[str]:
+        """Every parameter value that crossed the wire, as the attacker
+        saw it (cleartext unless encrypted)."""
+        values: list[str] = []
+        for message in self.transcript:
+            values.extend(message.parameters.values())
+        return values

@@ -1,0 +1,81 @@
+"""WSDL-lite service descriptions (§2.2: "the Web Services Description
+Language (WSDL) to provide an XML-based description of the service
+interface").
+
+A :class:`ServiceDescription` declares the operations a service exposes,
+each with named input parameters and output fields.  Descriptions are
+what providers register in UDDI (as the technical half of a
+businessService) and what requestors use to form valid calls; the
+transport checks calls against them, yielding the UnknownOperation fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+from repro.xmldb.model import Element
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation: name + declared inputs and outputs."""
+
+    name: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+    def validate_call(self, parameters: dict[str, str]) -> list[str]:
+        """Return problems with a proposed parameter set (empty = ok)."""
+        problems: list[str] = []
+        for name in self.inputs:
+            if name not in parameters:
+                problems.append(f"missing input {name!r}")
+        for name in parameters:
+            if name not in self.inputs:
+                problems.append(f"unexpected input {name!r}")
+        return problems
+
+
+@dataclass(frozen=True)
+class ServiceDescription:
+    """The interface contract of one service."""
+
+    service_name: str
+    operations: tuple[Operation, ...]
+    endpoint: str = ""
+
+    def operation(self, name: str) -> Operation:
+        for operation in self.operations:
+            if operation.name == name:
+                return operation
+        raise ConfigurationError(
+            f"service {self.service_name!r} has no operation {name!r}")
+
+    def has_operation(self, name: str) -> bool:
+        return any(o.name == name for o in self.operations)
+
+    def to_element(self) -> Element:
+        node = Element("definitions", {"name": self.service_name})
+        for operation in self.operations:
+            op_node = Element("operation", {"name": operation.name})
+            for name in operation.inputs:
+                op_node.append(Element("input", {"name": name}))
+            for name in operation.outputs:
+                op_node.append(Element("output", {"name": name}))
+            node.append(op_node)
+        if self.endpoint:
+            node.append(Element("port", {"location": self.endpoint}))
+        return node
+
+
+def describe(service_name: str, endpoint: str = "",
+             **operations: tuple[tuple[str, ...], tuple[str, ...]]
+             ) -> ServiceDescription:
+    """Terse builder::
+
+        describe("Weather", forecast=(("city",), ("temp", "sky")))
+    """
+    ops = tuple(Operation(name, tuple(inputs), tuple(outputs))
+                for name, (inputs, outputs) in operations.items())
+    return ServiceDescription(service_name, ops, endpoint)

@@ -1,0 +1,36 @@
+"""XML substrate: document model, parser, canonical serializer, XPath-lite,
+schema validation and a collection-based database.
+
+Security-free by design; :mod:`repro.xmlsec` wraps it with the Author-X
+access control model so benchmarks can compare the two.
+"""
+
+from repro.xmldb.database import Collection, XmlDatabase
+from repro.xmldb.dtd import ChildSpec, ElementDecl, Multiplicity, Schema, Violation
+from repro.xmldb.index import PathIndex, QueryCostModel, indexed_select
+from repro.xmldb.model import Document, Element, element
+from repro.xmldb.parser import parse, parse_element
+from repro.xmldb.serializer import (
+    escape_attribute,
+    escape_text,
+    pretty,
+    serialize,
+    serialize_element,
+)
+from repro.xmldb.xpath import (
+    Predicate,
+    Step,
+    XPath,
+    compile_xpath,
+    evaluate,
+    select_elements,
+)
+
+__all__ = [
+    "ChildSpec", "Collection", "Document", "Element", "ElementDecl",
+    "Multiplicity", "PathIndex", "Predicate", "QueryCostModel",
+    "Schema", "Step", "Violation", "XPath", "XmlDatabase",
+    "compile_xpath", "element", "escape_attribute", "escape_text",
+    "evaluate", "indexed_select", "parse", "parse_element", "pretty",
+    "select_elements", "serialize", "serialize_element",
+]

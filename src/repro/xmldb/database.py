@@ -1,0 +1,147 @@
+"""The XML database: named collections of documents with query support.
+
+This is the "web database" substrate of §3: documents live in collections
+(mirroring the collection → document → element granularity ladder), are
+queryable with XPath-lite, optionally schema-validated on insert, and
+support updates addressed by node path.  The secure wrapper lives in
+:mod:`repro.xmlsec`; this module is deliberately security-free so that
+benchmarks can measure the overhead the security layer adds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.errors import ConfigurationError, QueryError
+from repro.xmldb.dtd import Schema, Violation
+from repro.xmldb.model import Document, Element
+from repro.xmldb.parser import parse
+from repro.xmldb.xpath import XPath, evaluate
+
+
+class Collection:
+    """A named set of documents, optionally schema-validated."""
+
+    def __init__(self, name: str, schema: Schema | None = None) -> None:
+        self.name = name
+        self.schema = schema
+        self._documents: dict[str, Document] = {}
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def insert(self, doc_id: str, document: Document | str) -> Document:
+        """Insert a document (object or raw XML text) under *doc_id*."""
+        if doc_id in self._documents:
+            raise ConfigurationError(
+                f"document {doc_id!r} already in collection {self.name!r}")
+        if isinstance(document, str):
+            document = parse(document, name=doc_id)
+        if self.schema is not None:
+            violations = self.schema.validate(document)
+            if violations:
+                summary = "; ".join(str(v) for v in violations[:3])
+                raise ConfigurationError(
+                    f"document {doc_id!r} invalid for collection "
+                    f"{self.name!r}: {summary}")
+        self._documents[doc_id] = document
+        return document
+
+    def get(self, doc_id: str) -> Document:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise QueryError(
+                f"no document {doc_id!r} in collection {self.name!r}"
+            ) from None
+
+    def delete(self, doc_id: str) -> Document:
+        document = self.get(doc_id)
+        del self._documents[doc_id]
+        return document
+
+    def replace(self, doc_id: str, document: Document | str) -> Document:
+        self.delete(doc_id)
+        return self.insert(doc_id, document)
+
+    def doc_ids(self) -> list[str]:
+        return sorted(self._documents)
+
+    def documents(self) -> Iterator[tuple[str, Document]]:
+        for doc_id in self.doc_ids():
+            yield doc_id, self._documents[doc_id]
+
+    def query(self, xpath: XPath | str) -> list[tuple[str, Element | str]]:
+        """Evaluate *xpath* over every document; results tagged by doc id."""
+        results: list[tuple[str, Element | str]] = []
+        for doc_id, document in self.documents():
+            for item in evaluate(xpath, document):
+                results.append((doc_id, item))
+        return results
+
+    def validate_all(self) -> list[tuple[str, Violation]]:
+        """Re-validate every document against the schema (if any)."""
+        if self.schema is None:
+            return []
+        failures: list[tuple[str, Violation]] = []
+        for doc_id, document in self.documents():
+            for violation in self.schema.validate(document):
+                failures.append((doc_id, violation))
+        return failures
+
+
+class XmlDatabase:
+    """Named collections plus a metadata catalog.
+
+    "Metadata describes all of the information pertaining to a data source
+    ... including access control issues, and policies enforced" (§2.1) —
+    the catalog here stores free-form metadata per collection so the
+    security layers can attach their policy descriptors to it.
+    """
+
+    def __init__(self, name: str = "xmldb") -> None:
+        self.name = name
+        self._collections: dict[str, Collection] = {}
+        self._metadata: dict[str, dict[str, object]] = {}
+
+    def create_collection(self, name: str,
+                          schema: Schema | None = None) -> Collection:
+        if name in self._collections:
+            raise ConfigurationError(f"collection {name!r} already exists")
+        collection = Collection(name, schema)
+        self._collections[name] = collection
+        self._metadata[name] = {}
+        return collection
+
+    def collection(self, name: str) -> Collection:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise QueryError(f"no collection {name!r}") from None
+
+    def drop_collection(self, name: str) -> None:
+        self.collection(name)
+        del self._collections[name]
+        del self._metadata[name]
+
+    def collection_names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def set_metadata(self, collection: str, key: str, value: object) -> None:
+        self.collection(collection)
+        self._metadata[collection][key] = value
+
+    def get_metadata(self, collection: str, key: str,
+                     default: object = None) -> object:
+        self.collection(collection)
+        return self._metadata[collection].get(key, default)
+
+    def query(self, collection: str,
+              xpath: XPath | str) -> list[tuple[str, Element | str]]:
+        return self.collection(collection).query(xpath)
+
+    def total_documents(self) -> int:
+        return sum(len(c) for c in self._collections.values())

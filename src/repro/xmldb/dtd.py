@@ -1,0 +1,148 @@
+"""DTD-lite: structural validation for XML documents.
+
+"Maintaining the integrity of the data is critical" (§2.1) — for XML the
+first integrity line is structural validity.  A :class:`Schema` declares,
+per element type, which children may occur (with multiplicities), which
+attributes are required/optional, and whether text content is allowed.
+This is intentionally a small fragment of DTD content models: named
+children with ?, *, + multiplicities, unordered.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+from repro.xmldb.model import Document, Element
+
+
+class Multiplicity(enum.Enum):
+    ONE = "1"          # exactly one
+    OPTIONAL = "?"     # zero or one
+    MANY = "*"         # zero or more
+    AT_LEAST_ONE = "+"
+
+    def allows(self, count: int) -> bool:
+        if self is Multiplicity.ONE:
+            return count == 1
+        if self is Multiplicity.OPTIONAL:
+            return count <= 1
+        if self is Multiplicity.AT_LEAST_ONE:
+            return count >= 1
+        return True
+
+
+@dataclass(frozen=True)
+class ChildSpec:
+    tag: str
+    multiplicity: Multiplicity = Multiplicity.ONE
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChildSpec":
+        """Parse 'name', 'name?', 'name*', 'name+'."""
+        if spec and spec[-1] in "?*+":
+            return cls(spec[:-1], Multiplicity(spec[-1]))
+        return cls(spec, Multiplicity.ONE)
+
+
+@dataclass
+class ElementDecl:
+    """Declaration for one element type."""
+
+    tag: str
+    children: tuple[ChildSpec, ...] = ()
+    required_attributes: frozenset[str] = frozenset()
+    optional_attributes: frozenset[str] = frozenset()
+    allow_text: bool = False
+    allow_other_children: bool = False
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One validation failure, addressable by node path."""
+
+    node_path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.node_path}: {self.message}"
+
+
+class Schema:
+    """A set of element declarations with a designated root tag."""
+
+    def __init__(self, root_tag: str) -> None:
+        self.root_tag = root_tag
+        self._decls: dict[str, ElementDecl] = {}
+
+    def declare(self, tag: str, children: Iterable[str] = (),
+                required_attributes: Iterable[str] = (),
+                optional_attributes: Iterable[str] = (),
+                allow_text: bool = False,
+                allow_other_children: bool = False) -> ElementDecl:
+        """Declare an element type; *children* use the 'name?/*/+' syntax."""
+        if tag in self._decls:
+            raise ConfigurationError(f"element {tag!r} already declared")
+        decl = ElementDecl(
+            tag,
+            tuple(ChildSpec.parse(c) for c in children),
+            frozenset(required_attributes),
+            frozenset(optional_attributes),
+            allow_text,
+            allow_other_children,
+        )
+        self._decls[tag] = decl
+        return decl
+
+    def validate(self, document: Document | Element) -> list[Violation]:
+        """All structural violations; empty list means valid."""
+        root = document.root if isinstance(document, Document) else document
+        violations: list[Violation] = []
+        if root.tag != self.root_tag:
+            violations.append(Violation(
+                root.node_path(),
+                f"root must be <{self.root_tag}>, found <{root.tag}>"))
+        for node in root.iter():
+            violations.extend(self._validate_node(node))
+        return violations
+
+    def is_valid(self, document: Document | Element) -> bool:
+        return not self.validate(document)
+
+    def _validate_node(self, node: Element) -> list[Violation]:
+        decl = self._decls.get(node.tag)
+        if decl is None:
+            # Undeclared elements are fine only under a parent that allows
+            # arbitrary children; checked from the parent side below.
+            return []
+        violations: list[Violation] = []
+        path = node.node_path()
+        for attr in decl.required_attributes:
+            if attr not in node.attributes:
+                violations.append(Violation(
+                    path, f"missing required attribute {attr!r}"))
+        known = decl.required_attributes | decl.optional_attributes
+        for attr in node.attributes:
+            if attr not in known:
+                violations.append(Violation(
+                    path, f"undeclared attribute {attr!r}"))
+        if not decl.allow_text and node.text.strip():
+            violations.append(Violation(path, "text content not allowed"))
+        declared_tags = {spec.tag for spec in decl.children}
+        counts: dict[str, int] = {}
+        for child in node.element_children:
+            counts[child.tag] = counts.get(child.tag, 0) + 1
+            if (child.tag not in declared_tags
+                    and not decl.allow_other_children):
+                violations.append(Violation(
+                    path, f"unexpected child <{child.tag}>"))
+        for spec in decl.children:
+            count = counts.get(spec.tag, 0)
+            if not spec.multiplicity.allows(count):
+                violations.append(Violation(
+                    path,
+                    f"child <{spec.tag}> occurs {count} times, multiplicity "
+                    f"is {spec.multiplicity.value}"))
+        return violations

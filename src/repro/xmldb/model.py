@@ -1,0 +1,199 @@
+"""XML document model.
+
+A small DOM: :class:`Element` nodes with attributes, text and element
+children, rooted in a :class:`Document`.  Every node knows its parent and
+its position-aware *node path* ("/hospital/record[2]/diagnosis"), which is
+how the security layers address portions of documents (§3.2's "specific
+portions within a document").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.errors import ConfigurationError
+
+
+class Element:
+    """An XML element: tag, attributes, ordered children (Element | str)."""
+
+    def __init__(self, tag: str,
+                 attributes: dict[str, str] | None = None,
+                 children: Iterable["Element | str"] = ()) -> None:
+        if not tag or any(c.isspace() for c in tag):
+            raise ConfigurationError(f"invalid element tag {tag!r}")
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.parent: Element | None = None
+        self._children: list[Element | str] = []
+        for child in children:
+            self.append(child)
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def children(self) -> tuple["Element | str", ...]:
+        return tuple(self._children)
+
+    @property
+    def element_children(self) -> list["Element"]:
+        return [c for c in self._children if isinstance(c, Element)]
+
+    @property
+    def text(self) -> str:
+        """Concatenated direct text children."""
+        return "".join(c for c in self._children if isinstance(c, str))
+
+    def append(self, child: "Element | str") -> "Element | str":
+        if isinstance(child, Element):
+            if child.parent is not None:
+                raise ConfigurationError(
+                    f"element <{child.tag}> already has a parent")
+            child.parent = self
+        elif not isinstance(child, str):
+            raise ConfigurationError(
+                f"child must be Element or str, got {type(child).__name__}")
+        self._children.append(child)
+        return child
+
+    def remove(self, child: "Element | str") -> None:
+        for index, existing in enumerate(self._children):
+            if existing is child:
+                del self._children[index]
+                if isinstance(child, Element):
+                    child.parent = None
+                return
+        raise ConfigurationError("child not found")
+
+    def set_text(self, text: str) -> None:
+        """Replace all text children with a single text node."""
+        self._children = [c for c in self._children
+                          if isinstance(c, Element)]
+        if text:
+            self._children.insert(0, text)
+
+    # -- addressing ------------------------------------------------------
+
+    @property
+    def index_among_siblings(self) -> int:
+        """1-based position among same-tag siblings (XPath convention)."""
+        if self.parent is None:
+            return 1
+        position = 0
+        for sibling in self.parent.element_children:
+            if sibling.tag == self.tag:
+                position += 1
+            if sibling is self:
+                return position
+        raise ConfigurationError("element not among its parent's children")
+
+    def node_path(self) -> str:
+        """Absolute position-qualified path, e.g. '/a/b[2]/c'."""
+        parts: list[str] = []
+        node: Element | None = self
+        while node is not None:
+            parts.append(f"{node.tag}[{node.index_among_siblings}]")
+            node = node.parent
+        return "/" + "/".join(reversed(parts))
+
+    # -- traversal --------------------------------------------------------
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first pre-order over this element and its descendants."""
+        yield self
+        for child in self.element_children:
+            yield from child.iter()
+
+    def find(self, tag: str) -> "Element | None":
+        """First direct child with the given tag."""
+        for child in self.element_children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """All direct children with the given tag."""
+        return [c for c in self.element_children if c.tag == tag]
+
+    def descendants_with_tag(self, tag: str) -> list["Element"]:
+        return [e for e in self.iter() if e.tag == tag and e is not self]
+
+    def ancestors(self) -> Iterator["Element"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    # -- copying -----------------------------------------------------------
+
+    def deep_copy(self) -> "Element":
+        """Structure-equal copy, detached from any parent."""
+        clone = Element(self.tag, dict(self.attributes))
+        for child in self._children:
+            if isinstance(child, Element):
+                clone.append(child.deep_copy())
+            else:
+                clone.append(child)
+        return clone
+
+    def structurally_equal(self, other: "Element") -> bool:
+        if (self.tag != other.tag
+                or self.attributes != other.attributes
+                or len(self._children) != len(other._children)):
+            return False
+        for mine, theirs in zip(self._children, other._children):
+            if isinstance(mine, Element) != isinstance(theirs, Element):
+                return False
+            if isinstance(mine, Element):
+                if not mine.structurally_equal(theirs):  # type: ignore[arg-type]
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+    def size(self) -> int:
+        """Number of elements in the subtree, including self."""
+        return sum(1 for _ in self.iter())
+
+    def __repr__(self) -> str:
+        return f"<Element {self.tag} attrs={len(self.attributes)} children={len(self._children)}>"
+
+
+class Document:
+    """A parsed XML document: a name plus a root element."""
+
+    def __init__(self, root: Element, name: str = "") -> None:
+        if root.parent is not None:
+            raise ConfigurationError("document root must be parentless")
+        self.root = root
+        self.name = name
+
+    def iter(self) -> Iterator[Element]:
+        return self.root.iter()
+
+    def deep_copy(self, name: str | None = None) -> "Document":
+        return Document(self.root.deep_copy(),
+                        self.name if name is None else name)
+
+    def size(self) -> int:
+        return self.root.size()
+
+    def __repr__(self) -> str:
+        return f"Document({self.name!r}, root=<{self.root.tag}>, {self.size()} elements)"
+
+
+def element(tag: str, text: str | None = None,
+            attrs: dict[str, str] | None = None,
+            *children: Element) -> Element:
+    """Terse element builder for tests and data generators.
+
+    >>> record = element("record", None, {"id": "r1"},
+    ...                  element("name", "Alice"),
+    ...                  element("diagnosis", "flu"))
+    """
+    node = Element(tag, attrs)
+    if text is not None:
+        node.append(text)
+    for child in children:
+        node.append(child)
+    return node

@@ -1,0 +1,76 @@
+"""Canonical XML serialization.
+
+Canonicalization matters to security: signatures and Merkle hashes must be
+computed over a *unique* byte representation.  Our canonical form sorts
+attributes lexicographically, escapes the five predefined entities, and
+emits no insignificant whitespace — the same document always serializes to
+the same string, and parse(serialize(d)) round-trips.
+"""
+
+from __future__ import annotations
+
+from repro.xmldb.model import Document, Element
+
+_TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _TEXT_ESCAPES + [('"', "&quot;")]
+
+
+def escape_text(text: str) -> str:
+    for raw, escaped in _TEXT_ESCAPES:
+        text = text.replace(raw, escaped)
+    return text
+
+
+def escape_attribute(text: str) -> str:
+    for raw, escaped in _ATTR_ESCAPES:
+        text = text.replace(raw, escaped)
+    return text
+
+
+def serialize_element(node: Element) -> str:
+    """Canonical single-line serialization of a subtree."""
+    attrs = "".join(
+        f' {name}="{escape_attribute(value)}"'
+        for name, value in sorted(node.attributes.items()))
+    parts: list[str] = []
+    for child in node.children:
+        if isinstance(child, Element):
+            parts.append(serialize_element(child))
+        else:
+            parts.append(escape_text(child))
+    body = "".join(parts)
+    if not body:
+        return f"<{node.tag}{attrs}/>"
+    return f"<{node.tag}{attrs}>{body}</{node.tag}>"
+
+
+def serialize(document: Document) -> str:
+    return serialize_element(document.root)
+
+
+def pretty(node: Element | Document, indent: str = "  ") -> str:
+    """Human-readable, indented rendering (not canonical)."""
+    if isinstance(node, Document):
+        node = node.root
+
+    def render(element: Element, depth: int) -> list[str]:
+        pad = indent * depth
+        attrs = "".join(
+            f' {name}="{escape_attribute(value)}"'
+            for name, value in sorted(element.attributes.items()))
+        kids = element.children
+        if not kids:
+            return [f"{pad}<{element.tag}{attrs}/>"]
+        if all(isinstance(c, str) for c in kids):
+            text = escape_text("".join(kids))  # type: ignore[arg-type]
+            return [f"{pad}<{element.tag}{attrs}>{text}</{element.tag}>"]
+        lines = [f"{pad}<{element.tag}{attrs}>"]
+        for child in kids:
+            if isinstance(child, Element):
+                lines.extend(render(child, depth + 1))
+            else:
+                lines.append(f"{pad}{indent}{escape_text(child)}")
+        lines.append(f"{pad}</{element.tag}>")
+        return lines
+
+    return "\n".join(render(node, 0))

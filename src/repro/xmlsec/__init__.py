@@ -1,0 +1,60 @@
+"""Security for XML databases: the Author-X model [5] plus the W3C-style
+XML signature/encryption primitives the paper's §3.2 surveys.
+"""
+
+from repro.xmlsec.authorx import (
+    NodeLabel,
+    Privilege,
+    XmlPolicy,
+    XmlPolicyBase,
+    XmlPropagation,
+    XmlSign,
+    xml_deny,
+    xml_grant,
+)
+from repro.xmlsec.dissemination import (
+    Configuration,
+    Disseminator,
+    Fragment,
+    Packet,
+    configuration_key_id,
+    configurations_by_path,
+    element_configurations,
+    open_packet,
+    subject_can_unlock,
+)
+from repro.xmlsec.encryption import (
+    ENCRYPTED_TAG,
+    decrypt_available,
+    encrypt_portions,
+)
+from repro.xmlsec.signature import (
+    Reference,
+    SignatureManifest,
+    SignedElement,
+    sign_element,
+    sign_portions,
+    verify_element,
+    verify_portion,
+)
+from repro.xmlsec.views import ViewStats, compute_view, visible_element_count
+from repro.xmlsec.xkms import (
+    KeyBinding,
+    KeyInformationService,
+    RegistrationRequest,
+    make_registration,
+)
+
+__all__ = [
+    "Configuration", "ENCRYPTED_TAG", "Disseminator", "Fragment",
+    "KeyBinding", "KeyInformationService", "NodeLabel", "Packet",
+    "Privilege", "Reference", "RegistrationRequest",
+    "SignatureManifest", "SignedElement", "ViewStats", "XmlPolicy",
+    "XmlPolicyBase", "XmlPropagation", "XmlSign", "compute_view",
+    "make_registration",
+    "configuration_key_id", "configurations_by_path",
+    "decrypt_available", "element_configurations", "encrypt_portions",
+    "open_packet", "sign_element", "sign_portions",
+    "subject_can_unlock", "verify_element", "verify_portion",
+    "visible_element_count", "xml_deny", "xml_grant",
+]

@@ -1,0 +1,217 @@
+"""Author-X style access control policies for XML documents [5].
+
+A policy in this model names:
+
+* a *subject specification*: a credential expression
+  (:mod:`repro.core.credentials`);
+* an *object specification*: a document selector (document id or '*') plus
+  an XPath-lite expression addressing portions within the document —
+  giving the §3.2 granularity ladder: collection ('*' + '/'), document
+  (id + '/'), element (id + path), and *content-dependent* selection
+  (path with predicates such as ``//record[diagnosis='flu']``);
+* a *privilege*: READ (see the whole subtree) or NAVIGATE (see the
+  element and its structure but no text/attribute content);
+* a *sign*: GRANT or DENY, with DENY overriding at equal depth;
+* a *propagation* depth: LOCAL (the selected elements only), ONE_LEVEL,
+  or CASCADE (whole subtrees).
+
+The resolution rule is the one Author-X uses: the *most specific* policy
+along the element's ancestor chain wins — a policy attached to a deeper
+node overrides policies inherited from above; among policies attached at
+the same depth, DENY overrides GRANT.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.credentials import CredentialExpression
+from repro.core.subjects import Subject
+from repro.xmldb.model import Document, Element
+from repro.xmldb.xpath import XPath, compile_xpath, select_elements
+
+
+class Privilege(enum.Enum):
+    READ = "read"
+    NAVIGATE = "navigate"
+
+
+class XmlSign(enum.Enum):
+    GRANT = "+"
+    DENY = "-"
+
+
+class XmlPropagation(enum.Enum):
+    LOCAL = "local"
+    ONE_LEVEL = "one_level"
+    CASCADE = "cascade"
+
+
+_xml_policy_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class XmlPolicy:
+    """One Author-X policy."""
+
+    subject_spec: CredentialExpression
+    document_selector: str           # document id or '*'
+    target: XPath
+    privilege: Privilege = Privilege.READ
+    sign: XmlSign = XmlSign.GRANT
+    propagation: XmlPropagation = XmlPropagation.CASCADE
+    policy_id: int = field(default_factory=lambda: next(_xml_policy_ids))
+
+    def applies_to_document(self, doc_id: str) -> bool:
+        return self.document_selector in ("*", doc_id)
+
+    def applies_to_subject(self, subject: Subject) -> bool:
+        return self.subject_spec.evaluate(subject)
+
+    def __repr__(self) -> str:
+        return (f"XmlPolicy#{self.policy_id}({self.sign.value}"
+                f"{self.privilege.value} {self.document_selector}:"
+                f"{self.target} to {self.subject_spec.description} "
+                f"[{self.propagation.value}])")
+
+
+def xml_grant(subject_spec: CredentialExpression, target: str,
+              document: str = "*",
+              privilege: Privilege = Privilege.READ,
+              propagation: XmlPropagation = XmlPropagation.CASCADE
+              ) -> XmlPolicy:
+    return XmlPolicy(subject_spec, document, compile_xpath(target),
+                     privilege, XmlSign.GRANT, propagation)
+
+
+def xml_deny(subject_spec: CredentialExpression, target: str,
+             document: str = "*",
+             privilege: Privilege = Privilege.READ,
+             propagation: XmlPropagation = XmlPropagation.CASCADE
+             ) -> XmlPolicy:
+    return XmlPolicy(subject_spec, document, compile_xpath(target),
+                     privilege, XmlSign.DENY, propagation)
+
+
+@dataclass(frozen=True)
+class NodeLabel:
+    """Resolved authorization state for one element.
+
+    ``access`` is the winning privilege level: 'read' (full), 'navigate'
+    (structure only) or 'none'.  ``deciding_policy`` explains the verdict.
+    """
+
+    access: str
+    deciding_policy: XmlPolicy | None
+
+
+class XmlPolicyBase:
+    """The set of XML policies protecting a database."""
+
+    def __init__(self, policies: "list[XmlPolicy] | None" = None) -> None:
+        self._policies: list[XmlPolicy] = list(policies or [])
+
+    def add(self, policy: XmlPolicy) -> XmlPolicy:
+        self._policies.append(policy)
+        return policy
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    def __iter__(self):
+        return iter(self._policies)
+
+    def policies_for(self, subject: Subject, doc_id: str) -> list[XmlPolicy]:
+        return [p for p in self._policies
+                if p.applies_to_document(doc_id)
+                and p.applies_to_subject(subject)]
+
+    def label_document(self, subject: Subject, doc_id: str,
+                       document: Document) -> dict[int, NodeLabel]:
+        """Resolve per-element authorization for the whole document.
+
+        Returns a map from ``id(element)`` to :class:`NodeLabel`.  The
+        algorithm follows Author-X:
+
+        1. Evaluate each applicable policy's XPath target, marking the
+           selected elements (and, per propagation, their subtrees) with
+           (depth-of-attachment, sign, privilege).
+        2. For each element, the mark attached at the greatest depth wins;
+           ties resolve DENY over GRANT, and NAVIGATE is dominated by READ
+           within the same sign/depth tier.
+        3. Unmarked elements default to no access (closed world).
+        """
+        # element -> list of (attachment_depth, policy)
+        marks: dict[int, list[tuple[int, XmlPolicy]]] = {}
+        depths: dict[int, int] = {}
+        for depth, node in _iter_with_depth(document.root):
+            depths[id(node)] = depth
+
+        for policy in self.policies_for(subject, doc_id):
+            try:
+                selected = select_elements(policy.target, document)
+            except Exception:
+                continue
+            for root in selected:
+                attachment = depths[id(root)]
+                targets: list[Element]
+                if policy.propagation is XmlPropagation.LOCAL:
+                    targets = [root]
+                elif policy.propagation is XmlPropagation.ONE_LEVEL:
+                    targets = [root] + root.element_children
+                else:
+                    targets = list(root.iter())
+                for node in targets:
+                    marks.setdefault(id(node), []).append(
+                        (attachment, policy))
+
+        labels: dict[int, NodeLabel] = {}
+        for node in document.iter():
+            node_marks = marks.get(id(node))
+            if not node_marks:
+                labels[id(node)] = NodeLabel("none", None)
+                continue
+            best_depth = max(depth for depth, _ in node_marks)
+            tier = [p for depth, p in node_marks if depth == best_depth]
+            denies = [p for p in tier if p.sign is XmlSign.DENY]
+            if denies:
+                # The strongest denial wins: denying READ still may leave
+                # NAVIGATE if a grant for NAVIGATE exists and no NAVIGATE
+                # deny does.
+                denied_privs = {p.privilege for p in denies}
+                grants = [p for p in tier if p.sign is XmlSign.GRANT]
+                if (Privilege.READ not in denied_privs
+                        and any(p.privilege is Privilege.READ
+                                for p in grants)):
+                    labels[id(node)] = NodeLabel(
+                        "read",
+                        next(p for p in grants
+                             if p.privilege is Privilege.READ))
+                    continue
+                # Navigate survives only via an explicit NAVIGATE grant:
+                # denying READ also kills the navigation READ implies.
+                navigate_ok = (
+                    Privilege.NAVIGATE not in denied_privs
+                    and any(p.privilege is Privilege.NAVIGATE
+                            for p in grants))
+                if navigate_ok:
+                    labels[id(node)] = NodeLabel("navigate", denies[0])
+                else:
+                    labels[id(node)] = NodeLabel("none", denies[0])
+                continue
+            grants = tier
+            if any(p.privilege is Privilege.READ for p in grants):
+                policy = next(p for p in grants
+                              if p.privilege is Privilege.READ)
+                labels[id(node)] = NodeLabel("read", policy)
+            else:
+                labels[id(node)] = NodeLabel("navigate", grants[0])
+        return labels
+
+
+def _iter_with_depth(root: Element, depth: int = 0):
+    yield depth, root
+    for child in root.element_children:
+        yield from _iter_with_depth(child, depth + 1)

@@ -1,0 +1,110 @@
+"""XML-Encryption-like element encryption (W3C XML security, §3.2).
+
+Replaces selected element subtrees with ``<EncryptedData>`` elements whose
+body is the symmetric ciphertext of the canonical subtree, labelled with
+the key id — the shape of W3C XML-Encryption without the wire format.
+Decryption restores the original subtree in place (for keys the caller
+holds) and leaves other EncryptedData nodes untouched, so partially
+decryptable documents work naturally.
+"""
+
+from __future__ import annotations
+
+import base64
+
+from repro.core.errors import KeyManagementError
+from repro.crypto.keys import KeyStore
+from repro.crypto.symmetric import Ciphertext
+from repro.xmldb.model import Document, Element
+from repro.xmldb.parser import parse_element
+from repro.xmldb.serializer import serialize_element
+from repro.xmldb.xpath import XPath, select_elements
+
+ENCRYPTED_TAG = "EncryptedData"
+
+
+def _encode(ciphertext: Ciphertext) -> Element:
+    node = Element(ENCRYPTED_TAG, {
+        "keyid": ciphertext.key_id,
+        "nonce": ciphertext.nonce.hex(),
+        "tag": ciphertext.tag,
+    })
+    node.append(base64.b64encode(ciphertext.body).decode("ascii"))
+    return node
+
+
+def _decode(node: Element) -> Ciphertext:
+    return Ciphertext(
+        key_id=node.attributes["keyid"],
+        nonce=bytes.fromhex(node.attributes["nonce"]),
+        body=base64.b64decode(node.text),
+        tag=node.attributes["tag"],
+    )
+
+
+def encrypt_portions(document: Document, targets: XPath | str,
+                     key_id: str, keys: KeyStore) -> int:
+    """Encrypt every element selected by *targets* in place.
+
+    Returns the number of subtrees encrypted.  The root element cannot be
+    encrypted (the document must keep a cleartext root, as in
+    XML-Encryption).
+    """
+    selected = select_elements(targets, document)
+    count = 0
+    for node in selected:
+        if node.parent is None:
+            raise KeyManagementError(
+                "cannot encrypt the document root; encrypt its children")
+        payload = serialize_element(node)
+        parent = node.parent
+        # Replace node with the EncryptedData element at the same slot.
+        index = list(parent.children).index(node)
+        parent.remove(node)
+        encrypted = _encode(keys.encrypt(key_id, payload))
+        # Re-insert at original position.
+        trailing = list(parent.children)[index:]
+        for extra in trailing:
+            parent.remove(extra)
+        parent.append(encrypted)
+        for extra in trailing:
+            if isinstance(extra, Element):
+                extra.parent = None
+            parent.append(extra)
+        count += 1
+    return count
+
+
+def decrypt_available(document: Document, keys: KeyStore) -> tuple[int, int]:
+    """Decrypt every EncryptedData node whose key is in *keys*.
+
+    Returns ``(decrypted, remaining)`` counts.  Runs until fixpoint so
+    nested encryption (super-encryption) unwinds as far as keys allow.
+    """
+    decrypted = 0
+    progress = True
+    while progress:
+        progress = False
+        for node in list(document.iter()):
+            if node.tag != ENCRYPTED_TAG or node.parent is None:
+                continue
+            ciphertext = _decode(node)
+            if ciphertext.key_id not in keys:
+                continue
+            payload = keys.decrypt(ciphertext).decode("utf-8")
+            restored = parse_element(payload)
+            parent = node.parent
+            index = list(parent.children).index(node)
+            parent.remove(node)
+            trailing = list(parent.children)[index:]
+            for extra in trailing:
+                parent.remove(extra)
+            parent.append(restored)
+            for extra in trailing:
+                if isinstance(extra, Element):
+                    extra.parent = None
+                parent.append(extra)
+            decrypted += 1
+            progress = True
+    remaining = sum(1 for n in document.iter() if n.tag == ENCRYPTED_TAG)
+    return decrypted, remaining

@@ -1,0 +1,88 @@
+"""XML-Signature-like element signing (W3C XML security standards, §3.2).
+
+Signs the canonical serialization of an element subtree with RSA
+(hash-then-sign over :func:`repro.xmldb.serializer.serialize_element`).
+A :class:`SignedElement` binds the signature to a signer name so receivers
+can look up the right public key.  Detached signatures over multiple
+elements of one document are supported via :class:`SignatureManifest`,
+mirroring XML-Signature's Reference list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import AuthenticationError
+from repro.crypto.rsa import PrivateKey, PublicKey, sign, verify
+from repro.xmldb.model import Element
+from repro.xmldb.serializer import serialize_element
+
+
+@dataclass(frozen=True)
+class SignedElement:
+    """An element plus a signature over its canonical form."""
+
+    element: Element
+    signer: str
+    signature: int
+
+    def verify(self, public_key: PublicKey) -> bool:
+        return verify(public_key, serialize_element(self.element),
+                      self.signature)
+
+
+def sign_element(element: Element, signer: str,
+                 private_key: PrivateKey) -> SignedElement:
+    payload = serialize_element(element)
+    return SignedElement(element, signer, sign(private_key, payload))
+
+
+def verify_element(signed: SignedElement, public_key: PublicKey,
+                   context: str = "") -> None:
+    """Raise AuthenticationError if the signature does not verify."""
+    if not signed.verify(public_key):
+        suffix = f" ({context})" if context else ""
+        raise AuthenticationError(
+            f"XML signature by {signed.signer!r} failed to verify{suffix}")
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One signed reference: a node path and the signature over it."""
+
+    node_path: str
+    signature: int
+
+
+@dataclass(frozen=True)
+class SignatureManifest:
+    """Detached signatures over several portions of one document."""
+
+    signer: str
+    references: tuple[Reference, ...]
+
+    def reference_for(self, node_path: str) -> Reference | None:
+        for reference in self.references:
+            if reference.node_path == node_path:
+                return reference
+        return None
+
+
+def sign_portions(elements: list[Element], signer: str,
+                  private_key: PrivateKey) -> SignatureManifest:
+    """Sign each element separately (UDDI v3's optional element signing)."""
+    references = tuple(
+        Reference(node.node_path(),
+                  sign(private_key, serialize_element(node)))
+        for node in elements)
+    return SignatureManifest(signer, references)
+
+
+def verify_portion(manifest: SignatureManifest, element: Element,
+                   public_key: PublicKey) -> bool:
+    """Check one element against its manifest entry."""
+    reference = manifest.reference_for(element.node_path())
+    if reference is None:
+        return False
+    return verify(public_key, serialize_element(element),
+                  reference.signature)

@@ -1,0 +1,168 @@
+"""XML Key Management (XKMS-style), the third W3C XML security standard
+§3.2 names ("XML-Signature ..., XML-Encryption ..., and XML Key
+Management").
+
+A :class:`KeyInformationService` is a trust anchor that *binds* names to
+public keys:
+
+* ``register`` — a party proves possession of its private key (by
+  signing the registration request) and the service issues a signed
+  :class:`KeyBinding`;
+* ``locate`` — anyone retrieves the binding for a name;
+* ``validate`` — checks a binding's service signature and revocation
+  status (the X-KISS locate/validate split);
+* ``revoke`` — the holder (or the service operator) invalidates a
+  binding; subsequent validations fail.
+
+This lets WSA actors bootstrap trust from one service key instead of
+exchanging keys pairwise — see
+:func:`repro.wsa.actors.ServiceRequestor.trust_provider_via`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.errors import AuthenticationError, KeyManagementError
+from repro.crypto.rsa import (
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    generate_keypair,
+    sign,
+    verify,
+)
+
+_binding_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class KeyBinding:
+    """A service-signed (name -> public key) assertion."""
+
+    binding_id: int
+    name: str
+    key_n: int
+    key_e: int
+    service_signature: int
+
+    @property
+    def public_key(self) -> PublicKey:
+        return PublicKey(self.key_n, self.key_e)
+
+    @staticmethod
+    def payload(name: str, key: PublicKey) -> str:
+        return f"xkms-binding:{name}:{key.n:x}:{key.e:x}"
+
+    def verify_issuer(self, service_key: PublicKey) -> bool:
+        return verify(service_key,
+                      self.payload(self.name, self.public_key),
+                      self.service_signature)
+
+
+@dataclass(frozen=True)
+class RegistrationRequest:
+    """A self-signed request proving possession of the private key."""
+
+    name: str
+    key_n: int
+    key_e: int
+    proof_signature: int
+
+    @property
+    def public_key(self) -> PublicKey:
+        return PublicKey(self.key_n, self.key_e)
+
+    @staticmethod
+    def payload(name: str, key: PublicKey) -> str:
+        return f"xkms-register:{name}:{key.n:x}:{key.e:x}"
+
+
+def make_registration(name: str, keys: KeyPair) -> RegistrationRequest:
+    """Build a proof-of-possession registration for one's own keypair."""
+    proof = sign(keys.private,
+                 RegistrationRequest.payload(name, keys.public))
+    return RegistrationRequest(name, keys.public.n, keys.public.e, proof)
+
+
+class KeyInformationService:
+    """The XKMS trust anchor."""
+
+    def __init__(self, name: str = "xkms", key_seed: int = 1009) -> None:
+        self.name = name
+        self._keys = generate_keypair(seed=key_seed)
+        self._bindings: dict[str, KeyBinding] = {}
+        self._revoked: set[int] = set()
+
+    @property
+    def service_key(self) -> PublicKey:
+        """The one key consumers must trust a priori."""
+        return self._keys.public
+
+    # -- X-KRSS: registration ---------------------------------------------
+
+    def register(self, request: RegistrationRequest) -> KeyBinding:
+        """Verify proof of possession, issue a signed binding.
+
+        Re-registration under an existing name requires the new request
+        to be... impossible here without the old key; names are
+        first-come-first-served and rebinding needs a revocation first.
+        """
+        if request.name in self._bindings and \
+                self._bindings[request.name].binding_id not in self._revoked:
+            raise KeyManagementError(
+                f"name {request.name!r} already bound; revoke first")
+        payload = RegistrationRequest.payload(request.name,
+                                              request.public_key)
+        if not verify(request.public_key, payload,
+                      request.proof_signature):
+            raise AuthenticationError(
+                f"registration for {request.name!r} fails proof of "
+                f"possession")
+        binding = KeyBinding(
+            next(_binding_ids), request.name, request.key_n,
+            request.key_e,
+            sign(self._keys.private,
+                 KeyBinding.payload(request.name, request.public_key)))
+        self._bindings[request.name] = binding
+        return binding
+
+    def revoke(self, name: str, proof_signature: int) -> None:
+        """Revoke a binding; the revocation must be signed by the bound
+        key (holder-initiated revocation)."""
+        binding = self._bindings.get(name)
+        if binding is None:
+            raise KeyManagementError(f"no binding for {name!r}")
+        if not verify(binding.public_key, f"xkms-revoke:{name}",
+                      proof_signature):
+            raise AuthenticationError(
+                f"revocation for {name!r} not signed by the bound key")
+        self._revoked.add(binding.binding_id)
+
+    @staticmethod
+    def make_revocation(name: str, private_key: PrivateKey) -> int:
+        return sign(private_key, f"xkms-revoke:{name}")
+
+    # -- X-KISS: locate / validate --------------------------------------------
+
+    def locate(self, name: str) -> KeyBinding:
+        """Retrieve a binding (no validity judgement — pure lookup)."""
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise KeyManagementError(f"no binding for {name!r}") from None
+
+    def validate(self, binding: KeyBinding) -> bool:
+        """Is the binding issued by this service and not revoked?"""
+        if binding.binding_id in self._revoked:
+            return False
+        return binding.verify_issuer(self.service_key)
+
+    def locate_valid(self, name: str) -> PublicKey:
+        """Locate + validate in one step; raises on any failure."""
+        binding = self.locate(name)
+        if not self.validate(binding):
+            raise AuthenticationError(
+                f"binding for {name!r} is revoked or forged")
+        return binding.public_key

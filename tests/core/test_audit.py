@@ -1,0 +1,88 @@
+"""Tests for the tamper-evident audit log."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.audit import GENESIS_DIGEST, AuditLog, AuditRecord
+from repro.core.errors import IntegrityError
+
+
+def populated_log(entries: int = 5) -> AuditLog:
+    log = AuditLog()
+    for index in range(entries):
+        log.record(f"user{index}", "read", f"res{index}",
+                   granted=index % 2 == 0, detail=f"d{index}")
+    return log
+
+
+class TestAppend:
+    def test_first_record_links_to_genesis(self):
+        log = populated_log(1)
+        assert list(log)[0].previous_digest == GENESIS_DIGEST
+
+    def test_chain_links(self):
+        log = populated_log(3)
+        records = list(log)
+        assert records[1].previous_digest == records[0].digest
+        assert records[2].previous_digest == records[1].digest
+
+    def test_sequence_numbers(self):
+        log = populated_log(4)
+        assert [r.sequence for r in log] == [0, 1, 2, 3]
+
+    def test_tail_digest_changes_per_record(self):
+        log = AuditLog()
+        assert log.tail_digest() == GENESIS_DIGEST
+        log.record("a", "read", "r", True)
+        first = log.tail_digest()
+        log.record("a", "read", "r", True)
+        assert log.tail_digest() != first
+
+
+class TestVerification:
+    def test_valid_chain_verifies(self):
+        assert populated_log().verify()
+
+    def test_modified_record_detected(self):
+        log = populated_log()
+        records = log._records
+        records[2] = dataclasses.replace(records[2], subject="forged")
+        with pytest.raises(IntegrityError):
+            log.verify()
+
+    def test_truncation_detected(self):
+        log = populated_log()
+        del log._records[2]
+        with pytest.raises(IntegrityError):
+            log.verify()
+
+    def test_relinked_forgery_detected(self):
+        # Rewrite a record *and* its digest: the next record's
+        # previous_digest no longer matches.
+        log = populated_log()
+        original = log._records[1]
+        forged_digest = AuditRecord.compute_digest(
+            original.sequence, original.timestamp, "mallory",
+            original.action, original.resource, original.granted,
+            original.detail, original.previous_digest)
+        log._records[1] = dataclasses.replace(
+            original, subject="mallory", digest=forged_digest)
+        with pytest.raises(IntegrityError):
+            log.verify()
+
+
+class TestQueries:
+    def test_denials(self):
+        log = populated_log(4)
+        assert [r.sequence for r in log.denials()] == [1, 3]
+
+    def test_for_subject(self):
+        log = populated_log(4)
+        assert len(log.for_subject("user2")) == 1
+
+    def test_custom_clock(self):
+        ticks = iter(range(100, 200))
+        log = AuditLog(clock=lambda: next(ticks))
+        record = log.record("a", "read", "r", True)
+        assert record.timestamp == 100

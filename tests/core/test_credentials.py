@@ -1,0 +1,122 @@
+"""Tests for credential types, instances and expressions."""
+
+import pytest
+
+from repro.core.credentials import (
+    CredentialType,
+    anyone,
+    attribute_at_least,
+    attribute_equals,
+    attribute_in,
+    has_credential,
+    has_role,
+    is_identity,
+    issued_by,
+    nobody,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.subjects import Role, Subject
+
+PHYSICIAN = CredentialType(
+    "physician", frozenset({"dept", "years"}), frozenset({"dept"}))
+
+
+def make_doctor() -> Subject:
+    return Subject("dr", roles={Role("doctor")},
+                   credentials=[PHYSICIAN.issue(
+                       issuer="board", dept="oncology", years=9)])
+
+
+class TestCredentialType:
+    def test_mandatory_must_be_declared(self):
+        with pytest.raises(ConfigurationError):
+            CredentialType("x", frozenset({"a"}), frozenset({"b"}))
+
+    def test_issue_validates_unknown_attribute(self):
+        with pytest.raises(ConfigurationError):
+            PHYSICIAN.issue(dept="x", nonsense=1)
+
+    def test_issue_validates_missing_mandatory(self):
+        with pytest.raises(ConfigurationError):
+            PHYSICIAN.issue(years=3)
+
+    def test_issue_produces_credential(self):
+        credential = PHYSICIAN.issue(dept="oncology")
+        assert credential.type_name == "physician"
+        assert credential.attributes["dept"] == "oncology"
+
+
+class TestCredentialEquality:
+    def test_equal_content_is_equal(self):
+        a = PHYSICIAN.issue(dept="x")
+        b = PHYSICIAN.issue(dept="x")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_issuer_differs(self):
+        a = PHYSICIAN.issue(issuer="i1", dept="x")
+        b = PHYSICIAN.issue(issuer="i2", dept="x")
+        assert a != b
+
+
+class TestExpressions:
+    def test_anyone_and_nobody(self):
+        subject = make_doctor()
+        assert anyone()(subject)
+        assert not nobody()(subject)
+
+    def test_is_identity(self):
+        assert is_identity("dr")(make_doctor())
+        assert not is_identity("other")(make_doctor())
+
+    def test_has_role(self):
+        assert has_role("doctor")(make_doctor())
+        assert not has_role("nurse")(make_doctor())
+
+    def test_has_credential(self):
+        assert has_credential("physician")(make_doctor())
+        assert not has_credential("insurer")(make_doctor())
+
+    def test_issued_by(self):
+        assert issued_by("physician", "board")(make_doctor())
+        assert not issued_by("physician", "other")(make_doctor())
+
+    def test_attribute_equals(self):
+        assert attribute_equals("physician", "dept", "oncology")(
+            make_doctor())
+        assert not attribute_equals("physician", "dept", "icu")(
+            make_doctor())
+
+    def test_attribute_at_least(self):
+        assert attribute_at_least("physician", "years", 5)(make_doctor())
+        assert not attribute_at_least("physician", "years", 10)(
+            make_doctor())
+
+    def test_attribute_at_least_on_missing_attribute_is_false(self):
+        subject = Subject("x", credentials=[PHYSICIAN.issue(dept="a")])
+        assert not attribute_at_least("physician", "years", 1)(subject)
+
+    def test_attribute_in(self):
+        expression = attribute_in("physician", "dept",
+                                  ["oncology", "cardiology"])
+        assert expression(make_doctor())
+        assert not attribute_in("physician", "dept", ["icu"])(
+            make_doctor())
+
+    def test_conjunction(self):
+        expression = has_role("doctor") & has_credential("physician")
+        assert expression(make_doctor())
+        assert not (has_role("doctor") & has_role("nurse"))(make_doctor())
+
+    def test_disjunction(self):
+        expression = has_role("nurse") | has_credential("physician")
+        assert expression(make_doctor())
+
+    def test_negation(self):
+        assert (~has_role("nurse"))(make_doctor())
+        assert not (~has_role("doctor"))(make_doctor())
+
+    def test_description_composes(self):
+        expression = ~(has_role("a") & has_role("b"))
+        assert "role=a" in expression.description
+        assert "NOT" in expression.description

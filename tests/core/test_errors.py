@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy's contracts."""
+
+import pytest
+
+from repro.core import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_security_branch(self):
+        for cls in (errors.AccessDenied, errors.AuthenticationError,
+                    errors.IntegrityError, errors.CompletenessError,
+                    errors.PrivacyViolation, errors.InferenceViolation,
+                    errors.PolicyConflict, errors.KeyManagementError):
+            assert issubclass(cls, errors.SecurityError)
+
+    def test_inference_is_privacy_violation(self):
+        assert issubclass(errors.InferenceViolation,
+                          errors.PrivacyViolation)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ParseError("bad")
+
+
+class TestAttributes:
+    def test_access_denied_carries_request(self):
+        error = errors.AccessDenied("alice", "read", "r1", reason="why")
+        assert error.subject == "alice"
+        assert error.action == "read"
+        assert error.resource == "r1"
+        assert "why" in str(error)
+
+    def test_parse_error_offset(self):
+        error = errors.ParseError("oops", position=17)
+        assert error.position == 17
+        assert "offset 17" in str(error)
+        plain = errors.ParseError("oops")
+        assert plain.position is None
+
+    def test_service_fault_code(self):
+        fault = errors.ServiceFault("env:X", "boom")
+        assert fault.code == "env:X"
+        assert "[env:X] boom" == str(fault)

@@ -1,0 +1,112 @@
+"""Tests for the MLS lattice and Bell–LaPadula checks."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.mls import (
+    PUBLIC,
+    ClassificationMap,
+    Label,
+    Level,
+    can_read,
+    can_write,
+)
+
+
+class TestLevel:
+    def test_total_order(self):
+        assert Level.UNCLASSIFIED < Level.CONFIDENTIAL < Level.SECRET \
+            < Level.TOP_SECRET
+
+    def test_parse_from_string(self):
+        assert Level.parse("secret") is Level.SECRET
+        assert Level.parse("Top Secret") is Level.TOP_SECRET
+        assert Level.parse(Level.SECRET) is Level.SECRET
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            Level.parse("ultra")
+
+
+class TestLabel:
+    def test_dominance_by_level(self):
+        assert Label(Level.SECRET).dominates(Label(Level.CONFIDENTIAL))
+        assert not Label(Level.CONFIDENTIAL).dominates(Label(Level.SECRET))
+
+    def test_dominance_needs_compartments(self):
+        nuclear_secret = Label(Level.SECRET, {"nuclear"})
+        plain_secret = Label(Level.SECRET)
+        assert nuclear_secret.dominates(plain_secret)
+        assert not plain_secret.dominates(nuclear_secret)
+
+    def test_incomparable_compartments(self):
+        a = Label(Level.SECRET, {"nuclear"})
+        b = Label(Level.SECRET, {"crypto"})
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_join_is_least_upper_bound(self):
+        a = Label(Level.SECRET, {"nuclear"})
+        b = Label(Level.CONFIDENTIAL, {"crypto"})
+        joined = a.join(b)
+        assert joined.level is Level.SECRET
+        assert joined.compartments == frozenset({"nuclear", "crypto"})
+        assert joined.dominates(a) and joined.dominates(b)
+
+    def test_meet_is_greatest_lower_bound(self):
+        a = Label(Level.SECRET, {"nuclear", "crypto"})
+        b = Label(Level.CONFIDENTIAL, {"crypto"})
+        met = a.meet(b)
+        assert met.level is Level.CONFIDENTIAL
+        assert met.compartments == frozenset({"crypto"})
+
+    def test_label_accepts_string_level(self):
+        assert Label("secret").level is Level.SECRET
+
+
+class TestBellLaPadula:
+    def test_no_read_up(self):
+        assert can_read(Label(Level.SECRET), Label(Level.CONFIDENTIAL))
+        assert not can_read(Label(Level.CONFIDENTIAL), Label(Level.SECRET))
+
+    def test_no_write_down(self):
+        assert can_write(Label(Level.CONFIDENTIAL), Label(Level.SECRET))
+        assert not can_write(Label(Level.SECRET),
+                             Label(Level.CONFIDENTIAL))
+
+
+class TestClassificationMap:
+    def test_default_label(self):
+        cmap = ClassificationMap()
+        assert cmap.label_of("anything") == PUBLIC
+
+    def test_classify_and_read_filter(self):
+        cmap = ClassificationMap()
+        cmap.classify("doc1", Label(Level.SECRET))
+        readable = cmap.readable_by(Label(Level.CONFIDENTIAL),
+                                    ["doc1", "doc2"])
+        assert readable == ["doc2"]
+
+    def test_declassify_lowers(self):
+        cmap = ClassificationMap()
+        cmap.classify("doc", Label(Level.SECRET))
+        cmap.declassify("doc")
+        assert cmap.label_of("doc") == PUBLIC
+
+    def test_declassify_rejects_upgrade(self):
+        cmap = ClassificationMap()
+        cmap.classify("doc", Label(Level.CONFIDENTIAL))
+        with pytest.raises(ConfigurationError):
+            cmap.declassify("doc", Label(Level.SECRET))
+
+    def test_reclassify_can_raise(self):
+        cmap = ClassificationMap()
+        cmap.reclassify("doc", Label(Level.TOP_SECRET))
+        assert cmap.label_of("doc").level is Level.TOP_SECRET
+
+    def test_classify_accepts_level_and_string(self):
+        cmap = ClassificationMap()
+        cmap.classify("a", Level.SECRET)
+        cmap.classify("b", "confidential")
+        assert cmap.label_of("a").level is Level.SECRET
+        assert cmap.label_of("b").level is Level.CONFIDENTIAL

@@ -1,0 +1,105 @@
+"""Tests for resource paths, patterns and the object hierarchy."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.objects import (
+    ObjectHierarchy,
+    ResourcePath,
+    ResourcePattern,
+)
+
+
+class TestResourcePath:
+    def test_parse_from_string(self):
+        path = ResourcePath("a/b/c")
+        assert path.segments == ("a", "b", "c")
+        assert str(path) == "a/b/c"
+
+    def test_leading_and_trailing_slashes_ignored(self):
+        assert ResourcePath("/a/b/") == ResourcePath("a/b")
+
+    def test_root_path(self):
+        root = ResourcePath("")
+        assert len(root) == 0
+        assert root.name == ""
+        assert root.parent == root
+
+    def test_child_and_parent(self):
+        path = ResourcePath("a").child("b")
+        assert str(path) == "a/b"
+        assert str(path.parent) == "a"
+
+    def test_child_rejects_bad_segment(self):
+        with pytest.raises(ConfigurationError):
+            ResourcePath("a").child("x/y")
+        with pytest.raises(ConfigurationError):
+            ResourcePath("a").child("")
+
+    def test_join(self):
+        assert str(ResourcePath("a").join("b/c")) == "a/b/c"
+
+    def test_is_ancestor_of(self):
+        assert ResourcePath("a").is_ancestor_of(ResourcePath("a/b/c"))
+        assert ResourcePath("a/b").is_ancestor_of(ResourcePath("a/b"))
+        assert not ResourcePath("a/b").is_ancestor_of(
+            ResourcePath("a/b"), strict=True)
+        assert not ResourcePath("a/x").is_ancestor_of(ResourcePath("a/b"))
+
+    def test_ancestors_enumeration(self):
+        ancestors = [str(p) for p in ResourcePath("a/b/c").ancestors()]
+        assert ancestors == ["a/b/c", "a/b", "a", ""]
+
+
+class TestResourcePattern:
+    @pytest.mark.parametrize("pattern,path,expected", [
+        ("a/b", "a/b", True),
+        ("a/b", "a/b/c", False),
+        ("a/*", "a/b", True),
+        ("a/*", "a/b/c", False),
+        ("a/**", "a", True),
+        ("a/**", "a/b/c/d", True),
+        ("**/ssn", "x/y/ssn", True),
+        ("**/ssn", "ssn", True),
+        ("**/ssn", "x/ssn/y", False),
+        ("a/**/d", "a/b/c/d", True),
+        ("a/**/d", "a/d", True),
+        ("r*", "r17", True),
+        ("r*", "s17", False),
+    ])
+    def test_matching(self, pattern, path, expected):
+        assert ResourcePattern(pattern).matches(path) is expected
+
+    def test_specificity_ordering(self):
+        literal = ResourcePattern("a/b/c").specificity
+        single = ResourcePattern("a/b/*").specificity
+        deep = ResourcePattern("a/**").specificity
+        assert literal > single > deep
+
+
+class TestObjectHierarchy:
+    def test_add_creates_ancestors(self):
+        hierarchy = ObjectHierarchy()
+        hierarchy.add("a/b/c")
+        assert "a" in hierarchy
+        assert "a/b" in hierarchy
+
+    def test_children_sorted(self):
+        hierarchy = ObjectHierarchy()
+        hierarchy.add("root/b")
+        hierarchy.add("root/a")
+        names = [p.name for p in hierarchy.children("root")]
+        assert names == ["a", "b"]
+
+    def test_descendants_depth_first(self):
+        hierarchy = ObjectHierarchy()
+        hierarchy.add("a/b/c")
+        hierarchy.add("a/d")
+        paths = [str(p) for p in hierarchy.descendants("a")]
+        assert paths == ["a", "a/b", "a/b/c", "a/d"]
+
+    def test_get_returns_payload(self):
+        hierarchy = ObjectHierarchy()
+        hierarchy.add("x", payload=42)
+        assert hierarchy.get("x").payload == 42
+        assert hierarchy.get("missing") is None

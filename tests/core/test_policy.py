@@ -1,0 +1,105 @@
+"""Tests for policies and the indexed policy base."""
+
+from repro.core.credentials import anyone, has_role
+from repro.core.objects import ResourcePath
+from repro.core.policy import (
+    Action,
+    PolicyBase,
+    Propagation,
+    Sign,
+    deny,
+    grant,
+)
+from repro.core.subjects import Role, Subject
+
+DOCTOR = Subject("dr", roles={Role("doctor")})
+NURSE = Subject("nn", roles={Role("nurse")})
+
+
+class TestPolicyApplicability:
+    def test_subject_match(self):
+        policy = grant(has_role("doctor"), Action.READ, "h/**")
+        assert policy.applies_to_subject(DOCTOR)
+        assert not policy.applies_to_subject(NURSE)
+
+    def test_action_mismatch(self):
+        policy = grant(anyone(), Action.WRITE, "h/**")
+        assert not policy.applies(DOCTOR, Action.READ, "h/x")
+
+    def test_cascade_propagation(self):
+        policy = grant(anyone(), Action.READ, "h/records",
+                       propagation=Propagation.CASCADE)
+        assert policy.applies_to_resource("h/records")
+        assert policy.applies_to_resource("h/records/r1/deep/leaf")
+        assert not policy.applies_to_resource("h/other")
+
+    def test_local_propagation(self):
+        policy = grant(anyone(), Action.READ, "h/records",
+                       propagation=Propagation.LOCAL)
+        assert policy.applies_to_resource("h/records")
+        assert not policy.applies_to_resource("h/records/r1")
+
+    def test_one_level_propagation(self):
+        policy = grant(anyone(), Action.READ, "h/records",
+                       propagation=Propagation.ONE_LEVEL)
+        assert policy.applies_to_resource("h/records/r1")
+        assert not policy.applies_to_resource("h/records/r1/ssn")
+
+    def test_content_condition(self):
+        policy = grant(anyone(), Action.READ, "h/**",
+                       condition=lambda payload: payload == "public")
+        assert policy.applies(DOCTOR, Action.READ, "h/x", "public")
+        assert not policy.applies(DOCTOR, Action.READ, "h/x", "secret")
+
+    def test_broken_condition_fails_closed(self):
+        policy = grant(anyone(), Action.READ, "h/**",
+                       condition=lambda payload: payload.missing)
+        assert not policy.applies(DOCTOR, Action.READ, "h/x", object())
+
+    def test_signs(self):
+        assert grant().sign is Sign.GRANT
+        assert deny().sign is Sign.DENY
+
+
+class TestPolicyBase:
+    def test_candidates_pruned_by_head_segment(self):
+        base = PolicyBase([
+            grant(anyone(), Action.READ, "hospital/**"),
+            grant(anyone(), Action.READ, "bank/**"),
+            grant(anyone(), Action.READ, "**"),
+        ])
+        candidates = base.candidates(Action.READ, "hospital/r1")
+        resources = {str(p.resource) for p in candidates}
+        assert "hospital/**" in resources
+        assert "**" in resources
+        assert "bank/**" not in resources
+
+    def test_glob_head_goes_to_wildcard_bucket(self):
+        base = PolicyBase([grant(anyone(), Action.READ, "h*/x")])
+        assert base.candidates(Action.READ, "hospital/x")
+
+    def test_applicable_filters_fully(self):
+        base = PolicyBase([
+            grant(has_role("doctor"), Action.READ, "h/**"),
+            deny(anyone(), Action.READ, "h/secret"),
+        ])
+        applicable = base.applicable(DOCTOR, Action.READ, "h/records")
+        assert len(applicable) == 1
+        applicable = base.applicable(DOCTOR, Action.READ, "h/secret")
+        assert len(applicable) == 2
+        assert base.applicable(NURSE, Action.READ, "h/records") == []
+
+    def test_remove(self):
+        policy = grant(anyone(), Action.READ, "a/**")
+        base = PolicyBase([policy])
+        base.remove(policy)
+        assert len(base) == 0
+        assert base.candidates(Action.READ, "a/x") == []
+
+    def test_candidates_sorted_by_id(self):
+        first = grant(anyone(), Action.READ, "a/**")
+        second = grant(anyone(), Action.READ, "**")
+        base = PolicyBase([second, first])
+        candidates = base.candidates(Action.READ, ResourcePath("a/x"))
+        assert [p.policy_id for p in candidates] == sorted(
+            p.policy_id for p in candidates)

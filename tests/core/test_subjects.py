@@ -1,0 +1,122 @@
+"""Tests for subjects, roles and the role hierarchy."""
+
+import pytest
+
+from repro.core.credentials import CredentialType
+from repro.core.errors import ConfigurationError
+from repro.core.subjects import (
+    Identity,
+    Role,
+    RoleHierarchy,
+    Subject,
+    SubjectDirectory,
+)
+
+
+class TestIdentity:
+    def test_equality_by_name(self):
+        assert Identity("alice") == Identity("alice")
+        assert Identity("alice") != Identity("bob")
+
+    def test_string_form(self):
+        assert str(Identity("alice")) == "alice"
+
+
+class TestRoleHierarchy:
+    def make(self):
+        hierarchy = RoleHierarchy()
+        hierarchy.add_seniority(Role("doctor"), Role("nurse"))
+        hierarchy.add_seniority(Role("chief"), Role("doctor"))
+        return hierarchy
+
+    def test_dominates_is_reflexive(self):
+        hierarchy = self.make()
+        assert hierarchy.dominates(Role("nurse"), Role("nurse"))
+
+    def test_dominates_is_transitive(self):
+        hierarchy = self.make()
+        assert hierarchy.dominates(Role("chief"), Role("nurse"))
+
+    def test_junior_does_not_dominate_senior(self):
+        hierarchy = self.make()
+        assert not hierarchy.dominates(Role("nurse"), Role("doctor"))
+
+    def test_self_seniority_rejected(self):
+        hierarchy = RoleHierarchy()
+        with pytest.raises(ConfigurationError):
+            hierarchy.add_seniority(Role("a"), Role("a"))
+
+    def test_cycle_rejected(self):
+        hierarchy = self.make()
+        with pytest.raises(ConfigurationError):
+            hierarchy.add_seniority(Role("nurse"), Role("chief"))
+
+    def test_dominated_by_closure(self):
+        hierarchy = self.make()
+        closure = hierarchy.dominated_by(Role("chief"))
+        assert closure == {Role("chief"), Role("doctor"), Role("nurse")}
+
+
+class TestSubject:
+    def test_string_identity_is_coerced(self):
+        subject = Subject("alice")
+        assert subject.identity == Identity("alice")
+
+    def test_effective_roles_without_hierarchy(self):
+        subject = Subject("a", roles={Role("doctor")})
+        assert subject.effective_roles() == frozenset({Role("doctor")})
+
+    def test_effective_roles_expand_through_hierarchy(self):
+        hierarchy = RoleHierarchy()
+        hierarchy.add_seniority(Role("doctor"), Role("nurse"))
+        subject = Subject("a", roles={Role("doctor")})
+        assert Role("nurse") in subject.effective_roles(hierarchy)
+
+    def test_credential_lookup(self):
+        badge = CredentialType("badge", frozenset({"level"})).issue(level=3)
+        subject = Subject("a", credentials=[badge])
+        assert subject.credential_of_type("badge") is badge
+        assert subject.credential_of_type("absent") is None
+        assert subject.attribute("badge", "level") == 3
+        assert subject.attribute("badge", "missing") is None
+        assert subject.attribute("nothing", "level") is None
+
+
+class TestSubjectDirectory:
+    def test_register_and_get(self):
+        directory = SubjectDirectory()
+        directory.create("alice")
+        assert "alice" in directory
+        assert directory.get("alice").identity.name == "alice"
+
+    def test_duplicate_rejected(self):
+        directory = SubjectDirectory()
+        directory.create("alice")
+        with pytest.raises(ConfigurationError):
+            directory.create("alice")
+
+    def test_unknown_subject_raises(self):
+        with pytest.raises(ConfigurationError):
+            SubjectDirectory().get("ghost")
+
+    def test_assign_role_returns_updated_subject(self):
+        directory = SubjectDirectory()
+        directory.create("alice")
+        updated = directory.assign_role("alice", Role("doctor"))
+        assert Role("doctor") in updated.roles
+        assert Role("doctor") in directory.get("alice").roles
+
+    def test_issue_credential(self):
+        directory = SubjectDirectory()
+        directory.create("alice")
+        badge = CredentialType("badge").issue()
+        updated = directory.issue_credential("alice", badge)
+        assert badge in updated.credentials
+
+    def test_len_and_iteration(self):
+        directory = SubjectDirectory()
+        for name in ("a", "b", "c"):
+            directory.create(name)
+        assert len(directory) == 3
+        assert {s.identity.name for s in directory.subjects()} == {
+            "a", "b", "c"}

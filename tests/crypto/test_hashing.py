@@ -1,0 +1,55 @@
+"""Tests for the hashing helpers."""
+
+from repro.crypto.hashing import chain, combine, keystream, sha256_hex, sha256_int
+
+
+class TestSha256:
+    def test_known_vector(self):
+        assert sha256_hex("") == ("e3b0c44298fc1c149afbf4c8996fb924"
+                                  "27ae41e4649b934ca495991b7852b855")
+
+    def test_str_and_bytes_agree(self):
+        assert sha256_hex("abc") == sha256_hex(b"abc")
+
+    def test_int_form_matches_hex(self):
+        assert sha256_int("abc") == int(sha256_hex("abc"), 16)
+
+
+class TestCombine:
+    def test_length_prefixing_prevents_ambiguity(self):
+        assert combine("ab", "c") != combine("a", "bc")
+
+    def test_deterministic(self):
+        assert combine("x", "y") == combine("x", "y")
+
+    def test_order_matters(self):
+        assert combine("x", "y") != combine("y", "x")
+
+    def test_mixed_types(self):
+        assert combine(b"x", "y") == combine("x", b"y")
+
+
+class TestChain:
+    def test_empty_chain_is_stable(self):
+        assert chain([]) == chain([])
+
+    def test_chain_depends_on_all_elements(self):
+        assert chain(["a", "b"]) != chain(["a", "c"])
+        assert chain(["a", "b"]) != chain(["b", "a"])
+
+
+class TestKeystream:
+    def test_length(self):
+        assert len(keystream(b"k" * 16, 100)) == 100
+        assert len(keystream(b"k" * 16, 0)) == 0
+
+    def test_deterministic_per_key_and_nonce(self):
+        a = keystream(b"k" * 16, 64, b"n1")
+        assert a == keystream(b"k" * 16, 64, b"n1")
+        assert a != keystream(b"k" * 16, 64, b"n2")
+        assert a != keystream(b"j" * 16, 64, b"n1")
+
+    def test_prefix_property(self):
+        long = keystream(b"k" * 16, 100)
+        short = keystream(b"k" * 16, 40)
+        assert long[:40] == short

@@ -1,0 +1,96 @@
+"""Tests for key stores and the all-and-only key distributor."""
+
+import pytest
+
+from repro.core.errors import KeyManagementError
+from repro.crypto.keys import KeyDistributor, KeyStore
+from repro.crypto.symmetric import SymmetricKey
+
+
+class TestKeyStore:
+    def test_create_and_get(self):
+        store = KeyStore()
+        key = store.create("k1")
+        assert store.get("k1") is key
+        assert "k1" in store
+
+    def test_duplicate_create_rejected(self):
+        store = KeyStore()
+        store.create("k1")
+        with pytest.raises(KeyManagementError):
+            store.create("k1")
+
+    def test_get_or_create_idempotent(self):
+        store = KeyStore()
+        assert store.get_or_create("k") is store.get_or_create("k")
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyManagementError):
+            KeyStore().get("ghost")
+
+    def test_fresh_nonces_on_encrypt(self):
+        store = KeyStore()
+        store.create("k")
+        first = store.encrypt("k", b"same")
+        second = store.encrypt("k", b"same")
+        assert first.nonce != second.nonce
+        assert first.body != second.body
+
+    def test_decrypt_routes_by_key_id(self):
+        store = KeyStore()
+        store.create("a")
+        store.create("b")
+        ciphertext = store.encrypt("b", b"payload")
+        assert store.decrypt(ciphertext) == b"payload"
+
+    def test_import_key(self):
+        sender = KeyStore("sender")
+        key = sender.create("shared")
+        receiver = KeyStore("receiver")
+        receiver.import_key(key)
+        assert receiver.decrypt(sender.encrypt("shared", b"x")) == b"x"
+
+    def test_import_conflicting_material_rejected(self):
+        receiver = KeyStore()
+        receiver.import_key(SymmetricKey.derive("k", "one"))
+        with pytest.raises(KeyManagementError):
+            receiver.import_key(SymmetricKey.derive("k", "two"))
+
+    def test_different_store_secrets_differ(self):
+        assert (KeyStore("s1").create("k").material
+                != KeyStore("s2").create("k").material)
+
+
+class TestKeyDistributor:
+    def make(self):
+        store = KeyStore()
+        for key_id in ("k1", "k2", "k3"):
+            store.create(key_id)
+        entitlements = {"alice": ["k1", "k2"], "bob": ["k2"],
+                        "carol": []}
+        return store, KeyDistributor(store,
+                                     lambda name: entitlements[name])
+
+    def test_all_keys_granted(self):
+        _, distributor = self.make()
+        grant = distributor.grant("alice")
+        assert grant.key_ids() == ["k1", "k2"]
+
+    def test_only_entitled_keys_granted(self):
+        _, distributor = self.make()
+        assert distributor.grant("bob").key_ids() == ["k2"]
+        assert distributor.grant("carol").key_ids() == []
+
+    def test_holders_recorded(self):
+        _, distributor = self.make()
+        distributor.grant("alice")
+        distributor.grant("bob")
+        assert distributor.holders_of("k2") == ["alice", "bob"]
+        assert distributor.holders_of("k1") == ["alice"]
+        assert distributor.holders_of("k3") == []
+
+    def test_granted_to(self):
+        _, distributor = self.make()
+        distributor.grant("alice")
+        assert distributor.granted_to("alice") == {"k1", "k2"}
+        assert distributor.granted_to("never") == set()

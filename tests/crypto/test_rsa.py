@@ -1,0 +1,93 @@
+"""Tests for textbook RSA."""
+
+import pytest
+
+from repro.core.errors import AuthenticationError, KeyManagementError
+from repro.crypto.rsa import (
+    decrypt_int,
+    encrypt_int,
+    generate_keypair,
+    hybrid_decrypt,
+    hybrid_encrypt,
+    sign,
+    verify,
+    verify_or_raise,
+)
+
+KEYS = generate_keypair(bits=256, seed=42)      # small for test speed
+OTHER = generate_keypair(bits=256, seed=43)
+
+
+class TestKeygen:
+    def test_deterministic_by_seed(self):
+        again = generate_keypair(bits=256, seed=42)
+        assert again.public == KEYS.public
+
+    def test_different_seeds_differ(self):
+        assert KEYS.public != OTHER.public
+
+    def test_modulus_size(self):
+        assert 250 <= KEYS.public.bits <= 256
+
+    def test_too_small_rejected(self):
+        with pytest.raises(KeyManagementError):
+            generate_keypair(bits=32)
+
+    def test_fingerprint_stable(self):
+        assert KEYS.public.fingerprint() == KEYS.public.fingerprint()
+        assert KEYS.public.fingerprint() != OTHER.public.fingerprint()
+
+
+class TestSignatures:
+    def test_roundtrip(self):
+        signature = sign(KEYS.private, "hello")
+        assert verify(KEYS.public, "hello", signature)
+
+    def test_wrong_message_fails(self):
+        signature = sign(KEYS.private, "hello")
+        assert not verify(KEYS.public, "hullo", signature)
+
+    def test_wrong_key_fails(self):
+        signature = sign(KEYS.private, "hello")
+        assert not verify(OTHER.public, "hello", signature)
+
+    def test_bytes_and_str_agree(self):
+        assert sign(KEYS.private, "msg") == sign(KEYS.private, b"msg")
+
+    def test_verify_or_raise(self):
+        signature = sign(KEYS.private, "ok")
+        verify_or_raise(KEYS.public, "ok", signature)
+        with pytest.raises(AuthenticationError):
+            verify_or_raise(KEYS.public, "tampered", signature)
+
+
+class TestEncryption:
+    def test_int_roundtrip(self):
+        ciphertext = encrypt_int(KEYS.public, 123456789)
+        assert decrypt_int(KEYS.private, ciphertext) == 123456789
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(KeyManagementError):
+            encrypt_int(KEYS.public, KEYS.public.n + 1)
+        with pytest.raises(KeyManagementError):
+            decrypt_int(KEYS.private, -1)
+
+    def test_hybrid_roundtrip(self):
+        plaintext = b"a longer message " * 20
+        wrapped, body = hybrid_encrypt(KEYS.public, plaintext, seed=7)
+        assert hybrid_decrypt(KEYS.private, wrapped, body) == plaintext
+
+    def test_hybrid_ciphertext_differs_from_plaintext(self):
+        plaintext = b"secret payload"
+        _, body = hybrid_encrypt(KEYS.public, plaintext, seed=1)
+        assert body != plaintext
+
+    def test_hybrid_wrong_key_garbles(self):
+        plaintext = b"secret payload"
+        wrapped, body = hybrid_encrypt(KEYS.public, plaintext, seed=1)
+        assert hybrid_decrypt(OTHER.private, wrapped, body) != plaintext
+
+    def test_hybrid_seed_varies_ciphertext(self):
+        _, body1 = hybrid_encrypt(KEYS.public, b"same", seed=1)
+        _, body2 = hybrid_encrypt(KEYS.public, b"same", seed=2)
+        assert body1 != body2

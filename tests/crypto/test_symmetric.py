@@ -1,0 +1,83 @@
+"""Tests for the authenticated symmetric cipher."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import IntegrityError, KeyManagementError
+from repro.crypto.symmetric import (
+    Ciphertext,
+    SymmetricKey,
+    decrypt,
+    decrypt_text,
+    encrypt,
+)
+
+KEY = SymmetricKey.derive("k1", "secret")
+OTHER = SymmetricKey.derive("k1", "other-secret")
+
+
+class TestKeys:
+    def test_derivation_is_deterministic(self):
+        assert SymmetricKey.derive("k1", "secret") == KEY
+
+    def test_short_material_rejected(self):
+        with pytest.raises(KeyManagementError):
+            SymmetricKey("short", b"tooshort")
+
+
+class TestRoundtrip:
+    def test_bytes(self):
+        ciphertext = encrypt(KEY, b"payload", nonce=1)
+        assert decrypt(KEY, ciphertext) == b"payload"
+
+    def test_text(self):
+        ciphertext = encrypt(KEY, "un testo città", nonce=2)
+        assert decrypt_text(KEY, ciphertext) == "un testo città"
+
+    def test_empty_payload(self):
+        assert decrypt(KEY, encrypt(KEY, b"", nonce=3)) == b""
+
+    def test_ciphertext_hides_plaintext(self):
+        ciphertext = encrypt(KEY, b"attack at dawn", nonce=4)
+        assert b"attack" not in ciphertext.body
+
+    def test_nonce_varies_ciphertext(self):
+        a = encrypt(KEY, b"same", nonce=1)
+        b = encrypt(KEY, b"same", nonce=2)
+        assert a.body != b.body
+
+
+class TestFailures:
+    def test_wrong_key_id_rejected(self):
+        other_id = SymmetricKey.derive("k2", "secret")
+        ciphertext = encrypt(KEY, b"data", nonce=1)
+        with pytest.raises(KeyManagementError):
+            decrypt(other_id, ciphertext)
+
+    def test_wrong_key_material_fails_mac(self):
+        ciphertext = encrypt(KEY, b"data", nonce=1)
+        with pytest.raises(IntegrityError):
+            decrypt(OTHER, ciphertext)
+
+    def test_tampered_body_detected(self):
+        ciphertext = encrypt(KEY, b"data", nonce=1)
+        tampered = dataclasses.replace(
+            ciphertext, body=bytes([ciphertext.body[0] ^ 1])
+            + ciphertext.body[1:])
+        with pytest.raises(IntegrityError):
+            decrypt(KEY, tampered)
+
+    def test_tampered_nonce_detected(self):
+        ciphertext = encrypt(KEY, b"data", nonce=1)
+        tampered = dataclasses.replace(ciphertext, nonce=b"\x00" * 8)
+        with pytest.raises(IntegrityError):
+            decrypt(KEY, tampered)
+
+    def test_transplanted_tag_detected(self):
+        first = encrypt(KEY, b"data-1", nonce=1)
+        second = encrypt(KEY, b"data-2", nonce=2)
+        franken = Ciphertext(first.key_id, first.nonce, first.body,
+                             second.tag)
+        with pytest.raises(IntegrityError):
+            decrypt(KEY, franken)

@@ -1,0 +1,148 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.datagen.documents import (
+    catalog_document,
+    hospital_corpus,
+    hospital_documents,
+)
+from repro.datagen.population import (
+    generate_population,
+    hospital_role_hierarchy,
+    named_cast,
+)
+from repro.datagen.registry_gen import generate_businesses, standard_tmodels
+from repro.datagen.tabular import (
+    load_patients,
+    market_baskets,
+    numeric_column,
+)
+from repro.datagen.workload import (
+    hospital_xpath_workload,
+    subject_qualification_policies,
+)
+from repro.relational.database import Database
+from repro.xmldb.serializer import serialize
+from repro.xmldb.xpath import select_elements
+
+
+class TestDocuments:
+    def test_deterministic_by_seed(self):
+        a = hospital_corpus(10, seed=1)
+        b = hospital_corpus(10, seed=1)
+        assert serialize(a) == serialize(b)
+        c = hospital_corpus(10, seed=2)
+        assert serialize(a) != serialize(c)
+
+    def test_record_count(self):
+        corpus = hospital_corpus(25, seed=0)
+        assert len(select_elements("//record", corpus)) == 25
+
+    def test_record_shape(self):
+        corpus = hospital_corpus(5, seed=3)
+        record = select_elements("//record", corpus)[0]
+        for tag in ("name", "ssn", "department", "diagnosis",
+                    "treatment", "billing"):
+            assert record.find(tag) is not None
+
+    def test_multiple_documents(self):
+        documents = hospital_documents(3, 4, seed=0)
+        assert len(documents) == 3
+        assert all(len(select_elements("//record", d)) == 4
+                   for d in documents.values())
+
+    def test_catalog(self):
+        catalog = catalog_document(8, seed=1)
+        products = select_elements("//product", catalog)
+        assert len(products) == 8
+        assert products[0].find("wholesalePrice") is not None
+
+
+class TestPopulation:
+    def test_size_and_determinism(self):
+        a = generate_population(50, seed=4)
+        b = generate_population(50, seed=4)
+        assert len(a) == 50
+        names_a = sorted(s.identity.name for s in a.subjects())
+        names_b = sorted(s.identity.name for s in b.subjects())
+        assert names_a == names_b
+
+    def test_subjects_have_roles_and_credentials(self):
+        population = generate_population(20, seed=5)
+        for subject in population.subjects():
+            assert subject.roles
+            assert subject.credentials
+
+    def test_role_hierarchy_shape(self):
+        hierarchy = hospital_role_hierarchy()
+        from repro.core.subjects import Role
+        assert hierarchy.dominates(Role("chief-physician"),
+                                   Role("nurse"))
+
+    def test_named_cast(self):
+        cast = named_cast()
+        assert cast.doctor.attribute("physician", "department") == \
+            "oncology"
+        assert not cast.stranger.roles
+
+
+class TestRegistryGen:
+    def test_count_and_determinism(self):
+        a = generate_businesses(10, seed=6)
+        assert len(a) == 10
+        names_a = [b.name for b in a]
+        names_b = [b.name for b in generate_businesses(10, seed=6)]
+        assert names_a == names_b
+
+    def test_services_have_bindings(self):
+        for business in generate_businesses(5, seed=7):
+            assert business.services
+            for service in business.services:
+                assert service.category
+                assert service.bindings
+
+    def test_standard_tmodels(self):
+        keys = {t.tmodel_key for t in standard_tmodels()}
+        assert "uddi:tmodel:soap" in keys
+
+
+class TestTabular:
+    def test_load_patients(self):
+        database = Database()
+        load_patients(database, 100, seed=8)
+        table = database.table("patients")
+        assert len(table) == 100
+        ages = [row[3] for row in table]
+        assert all(18 <= age <= 95 for age in ages)
+
+    def test_numeric_column_bimodal(self):
+        values = numeric_column(2000, seed=9)
+        young = (values < 50).mean()
+        assert 0.4 < young < 0.8  # the 60/40 mixture
+
+    def test_market_baskets_planted_pattern(self):
+        baskets = market_baskets(500, seed=10)
+        both = sum(1 for b in baskets if {"bread", "milk"} <= b)
+        assert both / len(baskets) > 0.2
+
+    def test_baskets_never_empty(self):
+        assert all(market_baskets(100, seed=11))
+
+
+class TestWorkloads:
+    def test_xpath_workload_compiles(self):
+        from repro.xmldb.xpath import compile_xpath
+        workload = hospital_xpath_workload(seed=12, query_count=30)
+        assert len(workload.queries) == 30
+        for query in workload.queries:
+            compile_xpath(query)
+
+    def test_policy_bases_by_basis(self):
+        for basis in ("identity", "role", "credential"):
+            base = subject_qualification_policies(
+                40, basis, user_count=100, seed=13)
+            assert len(base) == 40
+
+    def test_unknown_basis_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            subject_qualification_policies(1, "magic", 10)

@@ -1,0 +1,124 @@
+"""Integration: the hospital scenario end to end.
+
+Hospital corpus → Author-X policies → views, dissemination and
+third-party publishing all agree on who sees what; tampering anywhere
+is detected.
+"""
+
+from repro.core.credentials import anyone, attribute_equals, has_role
+from repro.core.subjects import Role, Subject
+from repro.crypto.keys import KeyStore
+from repro.datagen.documents import hospital_corpus
+from repro.datagen.population import named_cast
+from repro.pubsub import MaliciousPublisher, Owner, Publisher, SubjectVerifier
+from repro.xmldb.serializer import serialize
+from repro.xmldb.xpath import select_elements
+from repro.xmlsec.authorx import XmlPolicyBase, xml_deny, xml_grant
+from repro.xmlsec.dissemination import Disseminator, open_packet
+from repro.xmlsec.views import compute_view
+
+CAST = named_cast()
+
+
+def hospital_policy_base() -> XmlPolicyBase:
+    return XmlPolicyBase([
+        # Doctors see whole records; oncology physicians additionally
+        # prove their department by credential.
+        xml_grant(has_role("doctor"), "/hospital"),
+        # Nobody sees SSNs.
+        xml_deny(anyone(), "//ssn"),
+        # Nurses see names and treatments.
+        xml_grant(has_role("nurse"), "//record/name"),
+        xml_grant(has_role("nurse"), "//record/treatment"),
+        # Researchers see diagnoses only (de-identified view).
+        xml_grant(has_role("researcher"), "//record/diagnosis"),
+        # Oncology physicians see oncology billing.
+        xml_grant(attribute_equals("physician", "department",
+                                   "oncology"),
+                  "//record[department='oncology']/billing"),
+    ])
+
+
+DOC = hospital_corpus(12, seed=42)
+BASE = hospital_policy_base()
+
+
+class TestViewsAcrossSubjects:
+    def test_doctor_never_sees_ssn(self):
+        view, _ = compute_view(BASE, CAST.doctor, "h", DOC)
+        ssns = {n.text for n in DOC.iter() if n.tag == "ssn"}
+        text = serialize(view)
+        assert not any(ssn in text for ssn in ssns)
+
+    def test_researcher_sees_diagnoses_but_no_names(self):
+        view, _ = compute_view(BASE, CAST.researcher, "h", DOC)
+        text = serialize(view)
+        names = {n.text for n in DOC.iter() if n.tag == "name"}
+        diagnoses = {n.text for n in DOC.iter() if n.tag == "diagnosis"}
+        assert not any(name in text for name in names)
+        assert any(diagnosis in text for diagnosis in diagnoses)
+
+    def test_stranger_sees_nothing(self):
+        view, _ = compute_view(BASE, CAST.stranger, "h", DOC)
+        assert view is None
+
+    def test_oncology_credential_unlocks_billing(self):
+        view, _ = compute_view(BASE, CAST.doctor, "h", DOC)
+        text = serialize(view)
+        oncology_amounts = [
+            n.find("amount").text
+            for n in select_elements(
+                "//record[department='oncology']/billing", DOC)]
+        if oncology_amounts:
+            assert any(amount in text for amount in oncology_amounts)
+
+
+class TestDisseminationAgreesWithViews:
+    def test_received_texts_equal_view_texts(self):
+        disseminator = Disseminator(BASE)
+        packet = disseminator.package("h", DOC)
+        subjects = {"dr-grey": CAST.doctor, "nurse-joy": CAST.nurse,
+                    "prof-oak": CAST.researcher}
+        distributor = disseminator.distributor(subjects)
+        for name, subject in subjects.items():
+            store = KeyStore(f"rx-{name}")
+            for key in distributor.grant(name).keys:
+                store.import_key(key)
+            received = open_packet(packet, store)
+            view, _ = compute_view(BASE, subject, "h", DOC)
+            view_texts = sorted(n.text for n in view.iter() if n.text)
+            got_texts = sorted(n.text for n in received.iter()
+                               if n.text)
+            assert got_texts == view_texts, name
+
+    def test_key_count_far_below_subject_count(self):
+        disseminator = Disseminator(BASE)
+        disseminator.package("h", DOC)
+        population = 1000  # any number of subjects reuse the same keys
+        assert disseminator.key_count() < 20 < population
+
+
+class TestThirdPartyPublishing:
+    def test_every_cast_member_verifies_honest_answers(self):
+        owner = Owner("hospital", BASE, key_seed=77)
+        owner.add_document("h", DOC)
+        publisher = Publisher()
+        owner.publish_to(publisher)
+        for subject in (CAST.doctor, CAST.nurse, CAST.researcher,
+                        CAST.stranger):
+            answer = publisher.request(subject, "h")
+            report = SubjectVerifier(
+                subject, owner.public_key, BASE).verify(answer)
+            assert report.ok, subject.identity.name
+
+    def test_all_attacks_detected_for_all_subjects(self):
+        owner = Owner("hospital", BASE, key_seed=78)
+        owner.add_document("h", DOC)
+        owner.add_document("h2", hospital_corpus(3, seed=43))
+        for mode in ("tamper", "omit", "swap"):
+            publisher = MaliciousPublisher(mode)
+            owner.publish_to(publisher)
+            answer = publisher.request(CAST.doctor, "h")
+            report = SubjectVerifier(
+                CAST.doctor, owner.public_key, BASE).verify(answer)
+            assert not report.ok, mode

@@ -1,0 +1,125 @@
+"""Integration: the full service marketplace.
+
+Providers publish signed entries into a third-party UDDI registry;
+requestors discover, Merkle-verify, check P3P policies and invoke over
+the secure bus — then the agency is compromised and every property that
+should survive does.
+"""
+
+import pytest
+
+from repro.core.credentials import anyone
+from repro.core.errors import AuthenticationError, ServiceFault
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.policy import Action, PolicyBase, grant
+from repro.core.subjects import Subject
+from repro.datagen.registry_gen import generate_businesses
+from repro.p3p.matching import match
+from repro.p3p.policy import (
+    DataCategory,
+    P3PPolicy,
+    Purpose,
+    Recipient,
+    Retention,
+    statement,
+)
+from repro.p3p.preferences import strictness_profile
+from repro.uddi.architectures import ThirdPartyDeployment
+from repro.uddi.model import make_business, make_service
+from repro.uddi.secure import verify_authenticated_answer
+from repro.wsa.actors import (
+    DiscoveryAgencyActor,
+    ServiceProvider,
+    ServiceRequestor,
+)
+from repro.wsa.transport import MessageBus
+from repro.wsa.wsdl import describe
+
+ALICE = Subject("alice")
+
+
+def open_evaluator() -> PolicyEvaluator:
+    return PolicyEvaluator(PolicyBase([
+        grant(anyone(), Action.READ, "uddi/**"),
+        grant(anyone(), Action.WRITE, "uddi/**"),
+        grant(anyone(), Action.READ, "ws/**"),
+    ]))
+
+
+def build_marketplace():
+    deployment = ThirdPartyDeployment(open_evaluator())
+    agency = DiscoveryAgencyActor("discovery", deployment)
+    provider_key = deployment.register_provider("weatherco", key_seed=51)
+    entity = make_business("WeatherCo").with_service(
+        make_service("forecast service", category="weather",
+                     access_point="weather"))
+    deployment.publish("weatherco", entity)
+    # Populate with background businesses too.
+    for business in generate_businesses(5, seed=52):
+        provider = f"provider-{business.business_key}"
+        deployment.register_provider(provider)
+        deployment.publish(provider, business)
+    return deployment, agency, entity, provider_key
+
+
+class TestDiscoveryAndInvocation:
+    def test_discover_verify_invoke(self):
+        deployment, agency, entity, provider_key = build_marketplace()
+        bus = MessageBus()
+        requestor = ServiceRequestor("alice", bus, key_seed=53)
+        provider = ServiceProvider(
+            "weather", describe("Weather",
+                                forecast=(("city",), ("temp",))),
+            bus, key_seed=54, require_signatures=True)
+        provider.implement("forecast",
+                           lambda s, p: {"temp": f"{p['city']}:21C"})
+        provider.trust_requestor("alice", requestor.public_key)
+        requestor.trust_provider("weather", provider.public_key)
+
+        rows = requestor.discover(agency, ALICE,
+                                  name_pattern="forecast*",
+                                  category="weather")
+        assert len(rows) == 1
+        answer = requestor.verified_service_detail(
+            agency, ALICE, rows[0].service_key, "weatherco")
+        access_points = [n.text for n in answer.view.iter()
+                         if n.tag == "accessPoint"]
+        assert access_points == ["weather"]
+
+        output = requestor.invoke(access_points[0], "forecast",
+                                  {"city": "Como"}, sign_request=True)
+        assert output["temp"] == "Como:21C"
+
+    def test_compromised_agency_cannot_redirect_silently(self):
+        deployment, agency, entity, provider_key = build_marketplace()
+        deployment.compromise()
+        with pytest.raises(AuthenticationError):
+            ServiceRequestor(
+                "alice", MessageBus(), key_seed=55
+            ).verified_service_detail(
+                agency, ALICE, entity.services[0].service_key,
+                "weatherco")
+
+
+class TestP3PGate:
+    def modest(self) -> P3PPolicy:
+        return P3PPolicy("weatherco", (
+            statement([DataCategory.LOCATION], [Purpose.CURRENT],
+                      [Recipient.OURS], Retention.NO_RETENTION),))
+
+    def invasive(self) -> P3PPolicy:
+        return P3PPolicy("tracker", (
+            statement([DataCategory.LOCATION],
+                      [Purpose.INDIVIDUAL_ANALYSIS],
+                      [Recipient.UNRELATED], Retention.INDEFINITELY),))
+
+    def test_consumer_gates_on_p3p(self):
+        # Profile 3 covers every category including LOCATION: the modest
+        # weather policy (current purpose, no retention, access offered)
+        # passes; the tracker does not.
+        strict = strictness_profile(3)
+        assert match(self.modest(), strict).acceptable
+        assert not match(self.invasive(), strict).acceptable
+
+    def test_modest_policy_passes_lenient_consumer(self):
+        assert match(self.modest(), strictness_profile(1))

@@ -1,0 +1,101 @@
+"""Tests for the generic Merkle tree."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, IntegrityError
+from repro.merkle.tree import (
+    MerkleTree,
+    hash_children,
+    hash_leaf,
+    verify_subset,
+)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MerkleTree([])
+
+    def test_single_leaf_root_is_leaf_hash(self):
+        tree = MerkleTree(["only"])
+        assert tree.root == hash_leaf("only")
+
+    def test_two_leaves(self):
+        tree = MerkleTree(["a", "b"])
+        assert tree.root == hash_children(hash_leaf("a"), hash_leaf("b"))
+
+    def test_root_depends_on_order(self):
+        assert MerkleTree(["a", "b"]).root != MerkleTree(["b", "a"]).root
+
+    def test_root_depends_on_content(self):
+        assert MerkleTree(["a", "b"]).root != MerkleTree(["a", "c"]).root
+
+    def test_bytes_and_str_leaves_agree(self):
+        assert MerkleTree([b"a", b"b"]).root == MerkleTree(["a", "b"]).root
+
+    def test_domain_separation(self):
+        # An internal-node digest presented as a leaf must not verify.
+        inner = hash_children(hash_leaf("a"), hash_leaf("b"))
+        assert hash_leaf(inner) != inner
+
+
+class TestProofs:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 33])
+    def test_every_leaf_verifies(self, size):
+        leaves = [f"leaf-{i}" for i in range(size)]
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            proof = tree.proof(index)
+            assert proof.verify(leaf, tree.root), (size, index)
+
+    @pytest.mark.parametrize("size", [2, 3, 5, 8, 13])
+    def test_tampered_leaf_fails(self, size):
+        leaves = [f"leaf-{i}" for i in range(size)]
+        tree = MerkleTree(leaves)
+        for index in range(size):
+            assert not tree.proof(index).verify("tampered", tree.root)
+
+    def test_proof_for_wrong_index_fails(self):
+        leaves = ["a", "b", "c", "d"]
+        tree = MerkleTree(leaves)
+        proof = tree.proof(0)
+        assert not proof.verify("b", tree.root)
+
+    def test_out_of_range_rejected(self):
+        tree = MerkleTree(["a"])
+        with pytest.raises(ConfigurationError):
+            tree.proof(1)
+        with pytest.raises(ConfigurationError):
+            tree.proof(-1)
+
+    def test_proof_length_logarithmic(self):
+        tree = MerkleTree([str(i) for i in range(64)])
+        assert len(tree.proof(0)) == 6
+
+    def test_verify_leaf_helper(self):
+        leaves = ["x", "y", "z"]
+        tree = MerkleTree(leaves)
+        assert tree.verify_leaf(2, "z")
+        assert not tree.verify_leaf(2, "w")
+
+
+class TestSubsetVerification:
+    def test_valid_subset(self):
+        leaves = [f"entry-{i}" for i in range(10)]
+        tree = MerkleTree(leaves)
+        picked = [(2, leaves[2]), (5, leaves[5]), (9, leaves[9])]
+        proofs = [tree.proof(i) for i, _ in picked]
+        assert verify_subset(tree.root, picked, proofs)
+
+    def test_tampered_member_fails(self):
+        leaves = [f"entry-{i}" for i in range(10)]
+        tree = MerkleTree(leaves)
+        picked = [(2, "forged")]
+        proofs = [tree.proof(2)]
+        assert not verify_subset(tree.root, picked, proofs)
+
+    def test_mismatched_index_raises(self):
+        leaves = ["a", "b", "c"]
+        tree = MerkleTree(leaves)
+        with pytest.raises(IntegrityError):
+            verify_subset(tree.root, [(1, "b")], [tree.proof(2)])

@@ -1,0 +1,134 @@
+"""Tests for Merkle hashing of XML trees and partial-view verification."""
+
+from repro.merkle.xml_merkle import (
+    FillerHashes,
+    build_partial_view,
+    content_hash,
+    document_hash,
+    is_pruned_marker,
+    make_pruned_marker,
+    merkle_hash,
+    verify_view,
+    view_hash,
+)
+from repro.xmldb.model import Document, Element
+from repro.xmldb.parser import parse, parse_element
+
+XML = """<hospital name="general">
+  <record id="r1"><name>Alice</name><ssn>123</ssn></record>
+  <record id="r2"><name>Bob</name><ssn>456</ssn></record>
+</hospital>"""
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert document_hash(parse(XML)) == document_hash(parse(XML))
+
+    def test_any_text_change_changes_hash(self):
+        changed = XML.replace("Alice", "Alicia")
+        assert document_hash(parse(XML)) != document_hash(parse(changed))
+
+    def test_any_attribute_change_changes_hash(self):
+        changed = XML.replace('id="r1"', 'id="r9"')
+        assert document_hash(parse(XML)) != document_hash(parse(changed))
+
+    def test_child_order_matters(self):
+        a = parse_element("<r><x/><y/></r>")
+        b = parse_element("<r><y/><x/></r>")
+        assert merkle_hash(a) != merkle_hash(b)
+
+    def test_content_hash_ignores_children(self):
+        a = parse_element('<r k="v">text<child/></r>')
+        b = parse_element('<r k="v">text<other><deep/></other></r>')
+        assert content_hash(a) == content_hash(b)
+
+
+class TestMarkers:
+    def test_marker_roundtrip(self):
+        marker = make_pruned_marker("/a[1]/b[2]")
+        assert is_pruned_marker(marker)
+        assert marker.attributes["path"] == "/a[1]/b[2]"
+
+    def test_ordinary_element_is_not_marker(self):
+        assert not is_pruned_marker(Element("record"))
+
+
+class TestPartialViews:
+    def test_full_keep_reproduces_hash(self):
+        document = parse(XML)
+        view, fillers = build_partial_view(document.root, lambda n: True)
+        assert len(fillers) == 0
+        assert view_hash(view, fillers) == document_hash(document)
+
+    def test_keep_one_subtree(self):
+        document = parse(XML)
+        view, fillers = build_partial_view(
+            document.root,
+            lambda n: n.attributes.get("id") == "r1")
+        assert verify_view(view, fillers, document_hash(document))
+        # r2 is pruned, the root is a stripped shell.
+        assert any(is_pruned_marker(n) for n in view.iter())
+        assert fillers.contents  # root had attributes -> content filler
+
+    def test_keep_nothing_is_all_fillers(self):
+        document = parse(XML)
+        view, fillers = build_partial_view(document.root, lambda n: False)
+        assert is_pruned_marker(view)
+        assert view_hash(view, fillers) == document_hash(document)
+
+    def test_tampered_view_text_fails(self):
+        document = parse(XML)
+        view, fillers = build_partial_view(
+            document.root,
+            lambda n: n.attributes.get("id") == "r1")
+        for node in view.iter():
+            if node.text == "Alice":
+                node.set_text("Mallory")
+        assert not verify_view(view, fillers, document_hash(document))
+
+    def test_tampered_view_attribute_fails(self):
+        document = parse(XML)
+        view, fillers = build_partial_view(
+            document.root,
+            lambda n: n.attributes.get("id") == "r1")
+        for node in view.iter():
+            if node.attributes.get("id") == "r1":
+                node.attributes["id"] = "r1-forged"
+        assert not verify_view(view, fillers, document_hash(document))
+
+    def test_dropped_subtree_without_marker_fails(self):
+        document = parse(XML)
+        view, fillers = build_partial_view(document.root, lambda n: True)
+        record = view.find_all("record")[-1]
+        view.remove(record)
+        assert not verify_view(view, fillers, document_hash(document))
+
+    def test_wrong_filler_fails(self):
+        document = parse(XML)
+        view, fillers = build_partial_view(
+            document.root,
+            lambda n: n.attributes.get("id") == "r1")
+        forged = FillerHashes(
+            {path: "00" * 32 for path in fillers.subtrees},
+            dict(fillers.contents))
+        assert not verify_view(view, forged, document_hash(document))
+
+    def test_content_filler_only_used_when_stripped(self):
+        # A node with visible content is hashed from what we see, so a
+        # publisher cannot mask tampered content behind a filler.
+        document = parse(XML)
+        view, fillers = build_partial_view(document.root, lambda n: True)
+        # Attach a (correct) content filler for the root, then tamper the
+        # root's attribute: hashing must use the tampered visible value.
+        root_filler = FillerHashes(
+            dict(fillers.subtrees),
+            {"/hospital[1]": content_hash(document.root)})
+        view.attributes["name"] = "forged"
+        assert not verify_view(view, root_filler,
+                               document_hash(document))
+
+
+class TestDocumentVsElement:
+    def test_document_hash_is_root_merkle_hash(self):
+        document = parse(XML)
+        assert document_hash(document) == merkle_hash(document.root)

@@ -1,0 +1,164 @@
+"""Tests for P3P policies, preferences and matching."""
+
+from repro.p3p.matching import (
+    chain_acceptable,
+    match,
+    propagation_violations,
+    statement_at_most,
+)
+from repro.p3p.policy import (
+    DataCategory,
+    P3PPolicy,
+    Purpose,
+    Recipient,
+    Retention,
+    statement,
+)
+from repro.p3p.preferences import (
+    PreferenceSet,
+    rule,
+    strictness_profile,
+)
+
+
+def modest_policy(entity="shop") -> P3PPolicy:
+    return P3PPolicy(entity, (
+        statement([DataCategory.PHYSICAL, DataCategory.ONLINE],
+                  [Purpose.CURRENT],
+                  [Recipient.OURS, Recipient.DELIVERY],
+                  Retention.STATED_PURPOSE),
+        statement([DataCategory.PURCHASE],
+                  [Purpose.CURRENT, Purpose.ADMIN],
+                  [Recipient.OURS],
+                  Retention.STATED_PURPOSE),
+    ))
+
+
+def invasive_policy(entity="adnet") -> P3PPolicy:
+    return P3PPolicy(entity, (
+        statement([DataCategory.ONLINE, DataCategory.NAVIGATION],
+                  [Purpose.TELEMARKETING, Purpose.INDIVIDUAL_ANALYSIS],
+                  [Recipient.UNRELATED, Recipient.PUBLIC],
+                  Retention.INDEFINITELY),
+    ))
+
+
+class TestBaseline:
+    def test_modest_policy_conforms(self):
+        assert modest_policy().conforms_to_baseline()
+
+    def test_invasive_policy_fails(self):
+        violations = invasive_policy().baseline_violations()
+        assert any("purposes" in v for v in violations)
+        assert any("recipients" in v for v in violations)
+        assert any("retention" in v for v in violations)
+
+    def test_consent_excuses_purposes(self):
+        policy = P3PPolicy("consented", (
+            statement([DataCategory.ONLINE], [Purpose.TELEMARKETING],
+                      [Recipient.OURS], Retention.STATED_PURPOSE,
+                      consent_obtained=True),))
+        assert policy.conforms_to_baseline()
+
+    def test_legal_requirement_excuses_sharing(self):
+        policy = P3PPolicy("legal", (
+            statement([DataCategory.FINANCIAL], [Purpose.CURRENT],
+                      [Recipient.PUBLIC], Retention.LEGAL_REQUIREMENT,
+                      legally_required=True),))
+        assert policy.conforms_to_baseline()
+
+
+class TestMatching:
+    def test_lenient_user_accepts_anything(self):
+        preferences = strictness_profile(0)
+        assert match(invasive_policy(), preferences)
+
+    def test_strict_user_rejects_invasive(self):
+        preferences = strictness_profile(3)
+        result = match(invasive_policy(), preferences)
+        assert not result
+        assert result.mismatches
+
+    def test_uncollected_categories_irrelevant(self):
+        preferences = PreferenceSet("health-only", (
+            rule(DataCategory.HEALTH, [Purpose.CURRENT]),),
+            default_refuse=False)
+        assert match(modest_policy(), preferences)
+
+    def test_default_refuse_rejects_unmentioned(self):
+        preferences = PreferenceSet("paranoid", (), default_refuse=True)
+        result = match(modest_policy(), preferences)
+        assert not result
+
+    def test_purpose_violation_reported(self):
+        preferences = PreferenceSet("narrow", (
+            rule(DataCategory.PURCHASE, [Purpose.CURRENT]),),
+            default_refuse=False)
+        result = match(modest_policy(), preferences)
+        assert any("purposes" in str(m) for m in result.mismatches)
+
+    def test_retention_ceiling(self):
+        preferences = PreferenceSet("short", (
+            rule(DataCategory.ONLINE, list(Purpose),
+                 recipients=list(Recipient),
+                 max_retention=Retention.NO_RETENTION),),
+            default_refuse=False)
+        result = match(modest_policy(), preferences)
+        assert any("retention" in str(m) for m in result.mismatches)
+
+    def test_access_requirement(self):
+        policy = P3PPolicy("no-access", modest_policy().statements,
+                           access_offered=False)
+        preferences = PreferenceSet("wants-access", (
+            rule(DataCategory.PHYSICAL, [Purpose.CURRENT],
+                 recipients=[Recipient.OURS, Recipient.DELIVERY],
+                 require_access=True),),
+            default_refuse=False)
+        result = match(policy, preferences)
+        assert any("access" in str(m) for m in result.mismatches)
+
+    def test_strictness_profiles_monotone(self):
+        acceptable = [bool(match(modest_policy(), strictness_profile(k)))
+                      for k in range(4)]
+        # Once a stricter profile rejects, stricter-still keeps rejecting.
+        first_reject = acceptable.index(False) \
+            if False in acceptable else len(acceptable)
+        assert all(not a for a in acceptable[first_reject:])
+
+
+class TestPropagation:
+    def test_narrowing_delegate_ok(self):
+        origin = statement([DataCategory.PURCHASE],
+                           [Purpose.CURRENT, Purpose.ADMIN],
+                           [Recipient.OURS, Recipient.DELIVERY],
+                           Retention.BUSINESS_PRACTICES)
+        delegate = statement([DataCategory.PURCHASE], [Purpose.CURRENT],
+                             [Recipient.OURS], Retention.STATED_PURPOSE)
+        assert statement_at_most(delegate, origin)
+        assert not statement_at_most(origin, delegate)
+
+    def test_chain_violation_detected(self):
+        chain = [modest_policy("a"), invasive_policy("b")]
+        problems = propagation_violations(chain, [DataCategory.ONLINE])
+        assert problems
+
+    def test_well_behaved_chain_passes(self):
+        chain = [modest_policy("a"), modest_policy("b")]
+        assert propagation_violations(chain, [DataCategory.ONLINE]) == []
+
+    def test_category_appearing_downstream_flagged(self):
+        upstream = P3PPolicy("u", (
+            statement([DataCategory.PURCHASE], [Purpose.CURRENT]),))
+        downstream = P3PPolicy("d", (
+            statement([DataCategory.HEALTH], [Purpose.CURRENT]),))
+        problems = propagation_violations(
+            [upstream, downstream], [DataCategory.HEALTH])
+        assert any("never collected" in p for p in problems)
+
+    def test_chain_acceptable_combines_checks(self):
+        preferences = strictness_profile(1)
+        good = [modest_policy("a"), modest_policy("b")]
+        bad = [modest_policy("a"), invasive_policy("b")]
+        assert chain_acceptable(good, [DataCategory.ONLINE], preferences)
+        assert not chain_acceptable(bad, [DataCategory.ONLINE],
+                                    preferences)

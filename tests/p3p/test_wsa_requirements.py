@@ -1,0 +1,103 @@
+"""Tests for the five W3C WSA privacy requirements audit."""
+
+from repro.p3p.policy import (
+    DataCategory,
+    P3PPolicy,
+    Purpose,
+    Recipient,
+    Retention,
+    statement,
+)
+from repro.p3p.wsa_requirements import (
+    ServiceRegistration,
+    WsaPrivacyAudit,
+)
+
+
+def good_policy(entity: str) -> P3PPolicy:
+    return P3PPolicy(entity, (
+        statement([DataCategory.ONLINE], [Purpose.CURRENT],
+                  [Recipient.OURS], Retention.STATED_PURPOSE),))
+
+
+def compliant_services() -> list[ServiceRegistration]:
+    return [
+        ServiceRegistration("shop", good_policy("shop"),
+                            delegates_to=("shipper",),
+                            delegated_categories=(DataCategory.ONLINE,)),
+        ServiceRegistration("shipper", good_policy("shipper")),
+    ]
+
+
+class TestCompliantDeployment:
+    def test_all_requirements_pass(self):
+        report = WsaPrivacyAudit(compliant_services()).run()
+        assert report.compliant
+        assert len(report.results) == 5
+        assert report.failed() == []
+
+
+class TestR1R2R3:
+    def test_missing_policy_fails_r1(self):
+        services = [ServiceRegistration("naked", None)]
+        report = WsaPrivacyAudit(services).run()
+        failed = {r.requirement.split(":")[0] for r in report.failed()}
+        assert "R1" in failed
+
+    def test_baseline_violation_fails_r2(self):
+        bad = P3PPolicy("leaky", (
+            statement([DataCategory.ONLINE], [Purpose.TELEMARKETING],
+                      [Recipient.UNRELATED], Retention.INDEFINITELY),))
+        report = WsaPrivacyAudit(
+            [ServiceRegistration("leaky", bad)]).run()
+        failed = {r.requirement.split(":")[0] for r in report.failed()}
+        assert "R2" in failed
+
+    def test_hidden_policy_fails_r3(self):
+        services = [ServiceRegistration(
+            "secretive", good_policy("secretive"),
+            policy_retrievable=False)]
+        report = WsaPrivacyAudit(services).run()
+        failed = {r.requirement.split(":")[0] for r in report.failed()}
+        assert "R3" in failed
+
+
+class TestR4:
+    def test_broadening_delegation_fails(self):
+        broad = P3PPolicy("partner", (
+            statement([DataCategory.ONLINE],
+                      [Purpose.CURRENT, Purpose.TELEMARKETING],
+                      [Recipient.OURS, Recipient.UNRELATED],
+                      Retention.INDEFINITELY),))
+        services = [
+            ServiceRegistration("shop", good_policy("shop"),
+                                delegates_to=("partner",),
+                                delegated_categories=(
+                                    DataCategory.ONLINE,)),
+            ServiceRegistration("partner", broad),
+        ]
+        report = WsaPrivacyAudit(services).run()
+        failed = {r.requirement.split(":")[0] for r in report.failed()}
+        assert "R4" in failed
+
+    def test_delegation_to_policyless_target_fails(self):
+        services = [
+            ServiceRegistration("shop", good_policy("shop"),
+                                delegates_to=("ghost",),
+                                delegated_categories=(
+                                    DataCategory.ONLINE,)),
+        ]
+        report = WsaPrivacyAudit(services).run()
+        r4 = [r for r in report.failed()
+              if r.requirement.startswith("R4")]
+        assert r4 and "no policy" in r4[0].details[0]
+
+
+class TestR5:
+    def test_forced_identification_fails(self):
+        services = [ServiceRegistration(
+            "id-wall", good_policy("id-wall"),
+            supports_anonymous=False)]
+        report = WsaPrivacyAudit(services).run()
+        failed = {r.requirement.split(":")[0] for r in report.failed()}
+        assert "R5" in failed

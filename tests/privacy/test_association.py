@@ -1,0 +1,128 @@
+"""Tests for association-rule mining (exact and privacy-preserving)."""
+
+import pytest
+
+from repro.privacy.association import (
+    apriori,
+    association_rules,
+    estimated_supports,
+    itemset_f1,
+    mine_randomized,
+    randomize_transactions,
+    support_counts,
+)
+
+TRANSACTIONS = ([["bread", "milk"], ["bread", "butter"],
+                 ["milk", "butter"], ["bread", "milk", "butter"],
+                 ["bread", "milk"]] * 200)
+ITEMS = ["bread", "milk", "butter"]
+
+
+class TestApriori:
+    def test_singleton_supports(self):
+        frequent = apriori(TRANSACTIONS, 0.5)
+        assert frequent[frozenset({"bread"})] == pytest.approx(0.8)
+        assert frequent[frozenset({"milk"})] == pytest.approx(0.8)
+
+    def test_pair_supports(self):
+        frequent = apriori(TRANSACTIONS, 0.3)
+        assert frequent[frozenset({"bread", "milk"})] == pytest.approx(0.6)
+
+    def test_threshold_filters(self):
+        frequent = apriori(TRANSACTIONS, 0.7)
+        assert frozenset({"bread", "milk"}) not in frequent
+        assert frozenset({"bread"}) in frequent
+
+    def test_empty_transactions(self):
+        assert apriori([], 0.5) == {}
+
+    def test_max_size_respected(self):
+        frequent = apriori(TRANSACTIONS, 0.1, max_size=1)
+        assert all(len(itemset) == 1 for itemset in frequent)
+
+    def test_apriori_property(self):
+        # Every subset of a frequent itemset is frequent.
+        frequent = apriori(TRANSACTIONS, 0.2)
+        for itemset in frequent:
+            for item in itemset:
+                assert frozenset({item}) in frequent
+
+    def test_support_counts(self):
+        counts = support_counts(
+            [frozenset(t) for t in TRANSACTIONS],
+            [frozenset({"bread", "milk", "butter"})])
+        assert counts[frozenset({"bread", "milk", "butter"})] == 200
+
+
+class TestRules:
+    def test_rules_meet_confidence(self):
+        frequent = apriori(TRANSACTIONS, 0.2)
+        rules = association_rules(frequent, 0.7)
+        assert all(rule.confidence >= 0.7 for rule in rules)
+
+    def test_known_rule_present(self):
+        frequent = apriori(TRANSACTIONS, 0.2)
+        rules = association_rules(frequent, 0.7)
+        found = [(r.antecedent, r.consequent) for r in rules]
+        assert (frozenset({"bread"}), frozenset({"milk"})) in found
+
+    def test_rule_string_form(self):
+        frequent = apriori(TRANSACTIONS, 0.2)
+        rule = association_rules(frequent, 0.7)[0]
+        assert "->" in str(rule) and "conf=" in str(rule)
+
+
+class TestRandomizedMining:
+    def test_keep_probability_validated(self):
+        with pytest.raises(ValueError):
+            randomize_transactions(TRANSACTIONS, ITEMS, 1.5)
+
+    def test_full_keep_is_identity(self):
+        released = randomize_transactions(TRANSACTIONS, ITEMS, 1.0)
+        assert released == [frozenset(t) & set(ITEMS)
+                            for t in map(set, TRANSACTIONS)]
+
+    def test_randomization_actually_flips(self):
+        released = randomize_transactions(TRANSACTIONS, ITEMS, 0.6,
+                                          seed=1)
+        originals = [frozenset(t) for t in TRANSACTIONS]
+        assert released != originals
+
+    def test_estimated_supports_close_to_truth(self):
+        released = randomize_transactions(TRANSACTIONS, ITEMS, 0.9,
+                                          seed=2)
+        estimates = estimated_supports(
+            released, [frozenset({"bread"}),
+                       frozenset({"bread", "milk"})], 0.9)
+        assert estimates[frozenset({"bread"})] == pytest.approx(
+            0.8, abs=0.1)
+        assert estimates[frozenset({"bread", "milk"})] == pytest.approx(
+            0.6, abs=0.12)
+
+    def test_pipeline_recovers_itemsets_at_high_keep(self):
+        truth = apriori(TRANSACTIONS, 0.3, max_size=2)
+        mined = mine_randomized(TRANSACTIONS, ITEMS, 0.95, 0.3,
+                                max_size=2, seed=3)
+        assert itemset_f1(mined.keys(), truth.keys()) >= 0.8
+
+    def test_more_noise_degrades_f1(self):
+        truth = apriori(TRANSACTIONS, 0.3, max_size=2)
+        clean = mine_randomized(TRANSACTIONS, ITEMS, 0.98, 0.3,
+                                max_size=2, seed=4)
+        noisy = mine_randomized(TRANSACTIONS, ITEMS, 0.55, 0.3,
+                                max_size=2, seed=4)
+        assert itemset_f1(clean.keys(), truth.keys()) >= \
+            itemset_f1(noisy.keys(), truth.keys())
+
+
+class TestF1:
+    def test_perfect(self):
+        sets = [frozenset({"a"})]
+        assert itemset_f1(sets, sets) == 1.0
+
+    def test_disjoint(self):
+        assert itemset_f1([frozenset({"a"})], [frozenset({"b"})]) == 0.0
+
+    def test_empty_cases(self):
+        assert itemset_f1([], []) == 1.0
+        assert itemset_f1([frozenset({"a"})], []) == 0.0

@@ -1,0 +1,136 @@
+"""Tests for privacy constraints and the privacy controller."""
+
+import pytest
+
+from repro.core.errors import PrivacyViolation
+from repro.privacy.constraints import (
+    AssociationConstraint,
+    PrivacyConstraintSet,
+    PrivacyLevel,
+)
+from repro.privacy.controller import PrivacyController
+from repro.relational.authorization import Privilege
+from repro.relational.database import Database
+from repro.relational.table import schema
+from repro.core.errors import ConfigurationError
+
+
+def build_database() -> Database:
+    database = Database()
+    database.create_table(
+        schema("patients", primary_key="id",
+               id="int", name="text", diagnosis="text", vip="bool"),
+        owner="dba")
+    database.insert("dba", "patients", id=1, name="Alice",
+                    diagnosis="flu", vip=False)
+    database.insert("dba", "patients", id=2, name="Bob",
+                    diagnosis="hiv", vip=True)
+    return database
+
+
+def build_controller(strict=False):
+    database = build_database()
+    constraints = PrivacyConstraintSet()
+    constraints.protect("patients", "name", PrivacyLevel.SEMI_PRIVATE)
+    constraints.protect("patients", "diagnosis", PrivacyLevel.PRIVATE,
+                        condition=lambda row: row.get("vip"))
+    controller = PrivacyController(database, constraints,
+                                   need_to_know={"doctor"},
+                                   strict=strict)
+    return controller
+
+
+class TestLevels:
+    def test_releasability(self):
+        assert PrivacyLevel.PUBLIC.releasable_to(False)
+        assert PrivacyLevel.SEMI_PRIVATE.releasable_to(True)
+        assert not PrivacyLevel.SEMI_PRIVATE.releasable_to(False)
+        assert not PrivacyLevel.PRIVATE.releasable_to(True)
+
+    def test_strictest_level_wins(self):
+        constraints = PrivacyConstraintSet()
+        constraints.protect("t", "c", PrivacyLevel.SEMI_PRIVATE)
+        constraints.protect("t", "c", PrivacyLevel.PRIVATE)
+        assert constraints.level_for("t", "c") is PrivacyLevel.PRIVATE
+
+    def test_conditional_constraint_row_scoped(self):
+        constraints = PrivacyConstraintSet()
+        constraints.protect("t", "c", PrivacyLevel.PRIVATE,
+                            condition=lambda row: row["vip"])
+        assert constraints.level_for(
+            "t", "c", {"vip": True}) is PrivacyLevel.PRIVATE
+        assert constraints.level_for(
+            "t", "c", {"vip": False}) is PrivacyLevel.PUBLIC
+
+    def test_broken_condition_fails_closed(self):
+        constraints = PrivacyConstraintSet()
+        constraints.protect("t", "c", PrivacyLevel.PRIVATE,
+                            condition=lambda row: row["missing-key"])
+        assert constraints.level_for(
+            "t", "c", {}) is PrivacyLevel.PRIVATE
+
+    def test_association_needs_two_columns(self):
+        with pytest.raises(ConfigurationError):
+            AssociationConstraint("t", frozenset({"only"}),
+                                  PrivacyLevel.PRIVATE)
+
+    def test_association_completion(self):
+        constraint = AssociationConstraint(
+            "t", frozenset({"name", "diagnosis"}), PrivacyLevel.PRIVATE)
+        assert constraint.completed_by(["name", "diagnosis", "zip"])
+        assert not constraint.completed_by(["name", "zip"])
+
+
+class TestController:
+    def test_semi_private_suppressed_for_public_user(self):
+        controller = build_controller()
+        result = controller.select("dba", "patients", ["id", "name"])
+        assert set(result.column("name")) == {None}
+        assert result.column("id") == [1, 2]
+
+    def test_need_to_know_sees_semi_private(self):
+        controller = build_controller()
+        controller.database.authorization.grant(
+            "dba", "doctor", "patients", Privilege.SELECT)
+        result = controller.select("doctor", "patients", ["name"])
+        assert result.column("name") == ["Alice", "Bob"]
+
+    def test_private_suppressed_even_with_need_to_know(self):
+        controller = build_controller()
+        controller.database.authorization.grant(
+            "dba", "doctor", "patients", Privilege.SELECT)
+        result = controller.select("doctor", "patients",
+                                   ["id", "diagnosis"])
+        rows = result.as_dicts()
+        # VIP row's diagnosis is PRIVATE; the other row's is public.
+        assert rows[0]["diagnosis"] == "flu"
+        assert rows[1]["diagnosis"] is None
+
+    def test_strict_mode_refuses(self):
+        controller = build_controller(strict=True)
+        with pytest.raises(PrivacyViolation):
+            controller.select("dba", "patients", ["name"])
+        assert controller.stats.queries_refused == 1
+
+    def test_stats_counted(self):
+        controller = build_controller()
+        controller.select("dba", "patients", ["id", "name"])
+        assert controller.stats.queries == 1
+        assert controller.stats.cells_suppressed == 2
+        assert controller.stats.cells_released == 2
+
+    def test_grant_need_to_know(self):
+        controller = build_controller()
+        controller.grant_need_to_know("dba")
+        result = controller.select("dba", "patients", ["name"])
+        assert result.column("name") == ["Alice", "Bob"]
+
+    def test_association_release_check(self):
+        controller = build_controller()
+        controller.constraints.protect_together(
+            "patients", ["name", "diagnosis"], name="identity-diagnosis")
+        violated = controller.released_association_columns(
+            "patients", ["name", "diagnosis"], "dba")
+        assert violated == ["identity-diagnosis"]
+        assert controller.released_association_columns(
+            "patients", ["name"], "dba") == []

@@ -1,0 +1,122 @@
+"""Tests for the query-history inference controller."""
+
+import pytest
+
+from repro.core.errors import InferenceViolation
+from repro.privacy.constraints import PrivacyConstraintSet, PrivacyLevel
+from repro.privacy.controller import PrivacyController
+from repro.privacy.inference import InferenceController
+from repro.relational.database import Database
+from repro.relational.table import schema
+
+
+def build(track_history=True) -> InferenceController:
+    database = Database()
+    database.create_table(
+        schema("patients", primary_key="id",
+               id="int", name="text", zip="text", diagnosis="text"),
+        owner="dba")
+    database.insert("dba", "patients", id=1, name="Alice", zip="22100",
+                    diagnosis="flu")
+    database.insert("dba", "patients", id=2, name="Bob", zip="22101",
+                    diagnosis="hiv")
+    constraints = PrivacyConstraintSet()
+    constraints.protect_together("patients", ["name", "diagnosis"],
+                                 PrivacyLevel.PRIVATE,
+                                 name="identity-diagnosis")
+    controller = PrivacyController(database, constraints)
+    return InferenceController(controller, track_history=track_history)
+
+
+class TestSingleQuery:
+    def test_joint_query_refused(self):
+        inference = build()
+        with pytest.raises(InferenceViolation):
+            inference.select("dba", "patients", ["name", "diagnosis"])
+        assert inference.stats.refused == 1
+
+    def test_individual_queries_alone_allowed_stateless(self):
+        inference = build(track_history=False)
+        inference.select("dba", "patients", ["id", "name"])
+        inference.select("dba", "patients", ["id", "diagnosis"])
+        assert inference.stats.refused == 0
+
+    def test_partial_association_allowed(self):
+        inference = build()
+        result = inference.select("dba", "patients", ["name", "zip"])
+        assert len(result) == 2
+
+
+class TestHistoryTracking:
+    def test_second_query_completing_association_refused(self):
+        inference = build()
+        inference.select("dba", "patients", ["id", "name"])
+        with pytest.raises(InferenceViolation):
+            inference.select("dba", "patients", ["id", "diagnosis"])
+
+    def test_stateless_mode_misses_the_channel(self):
+        inference = build(track_history=False)
+        inference.select("dba", "patients", ["id", "name"])
+        inference.select("dba", "patients", ["id", "diagnosis"])
+        assert inference.stats.refused == 0  # the documented weakness
+
+    def test_different_users_tracked_separately(self):
+        inference = build()
+        inference.select("dba", "patients", ["id", "name"])
+        # Another user with access starts a fresh ledger.
+        from repro.relational.authorization import Privilege
+        inference.controller.database.authorization.grant(
+            "dba", "analyst", "patients", Privilege.SELECT)
+        inference.select("analyst", "patients", ["id", "diagnosis"])
+        assert inference.stats.refused == 0
+
+    def test_disjoint_rows_do_not_combine(self):
+        inference = build()
+        inference.select("dba", "patients", ["id", "name"],
+                         where=lambda r: r["id"] == 1)
+        # Different row: no association completed for row 2.
+        result = inference.select("dba", "patients", ["id", "diagnosis"],
+                                  where=lambda r: r["id"] == 2)
+        assert len(result) == 1
+
+    def test_same_row_combines_across_predicates(self):
+        inference = build()
+        inference.select("dba", "patients", ["id", "name"],
+                         where=lambda r: r["zip"] == "22101")
+        with pytest.raises(InferenceViolation):
+            inference.select("dba", "patients", ["id", "diagnosis"],
+                             where=lambda r: r["id"] == 2)
+
+    def test_history_size_and_reset(self):
+        inference = build()
+        inference.select("dba", "patients", ["id", "name"])
+        assert inference.history_size("dba") == 2
+        inference.reset_history("dba")
+        assert inference.history_size("dba") == 0
+        inference.select("dba", "patients", ["id", "diagnosis"])
+        assert inference.stats.refused == 0
+
+    def test_refused_query_not_recorded(self):
+        inference = build()
+        inference.select("dba", "patients", ["id", "name"])
+        size_before = inference.history_size("dba")
+        with pytest.raises(InferenceViolation):
+            inference.select("dba", "patients", ["id", "diagnosis"])
+        assert inference.history_size("dba") == size_before
+
+
+class TestNeedToKnow:
+    def test_need_to_know_association(self):
+        database = Database()
+        database.create_table(
+            schema("t", primary_key="id", id="int", a="text", b="text"),
+            owner="dba")
+        database.insert("dba", "t", id=1, a="x", b="y")
+        constraints = PrivacyConstraintSet()
+        constraints.protect_together("t", ["a", "b"],
+                                     PrivacyLevel.SEMI_PRIVATE)
+        controller = PrivacyController(database, constraints,
+                                       need_to_know={"dba"})
+        inference = InferenceController(controller)
+        result = inference.select("dba", "t", ["a", "b"])
+        assert len(result) == 1

@@ -1,0 +1,53 @@
+"""Regression test: history tracking must join queries over the same
+row even when neither query selects the primary key — projecting away
+the key must not blind the ledger."""
+
+import pytest
+
+from repro.core.errors import InferenceViolation
+from repro.privacy.constraints import PrivacyConstraintSet, PrivacyLevel
+from repro.privacy.controller import PrivacyController
+from repro.privacy.inference import InferenceController
+from repro.relational.database import Database
+from repro.relational.table import schema
+
+
+def build() -> InferenceController:
+    database = Database()
+    database.create_table(
+        schema("patients", primary_key="id",
+               id="int", zip="text", age="int", diagnosis="text"),
+        owner="dba")
+    database.insert("dba", "patients", id=1, zip="22100", age=30,
+                    diagnosis="flu")
+    database.insert("dba", "patients", id=2, zip="22101", age=67,
+                    diagnosis="hiv")
+    constraints = PrivacyConstraintSet()
+    constraints.protect_together(
+        "patients", ["zip", "age", "diagnosis"], PrivacyLevel.PRIVATE,
+        name="linkage")
+    return InferenceController(PrivacyController(database, constraints))
+
+
+class TestRowIdentityWithoutPrimaryKey:
+    def test_linkage_caught_when_pk_never_selected(self):
+        inference = build()
+        inference.select("dba", "patients", ["zip", "age"])
+        with pytest.raises(InferenceViolation):
+            inference.select("dba", "patients", ["diagnosis"])
+
+    def test_linkage_caught_across_mixed_projections(self):
+        inference = build()
+        inference.select("dba", "patients", ["zip"])
+        inference.select("dba", "patients", ["age"])
+        with pytest.raises(InferenceViolation):
+            inference.select("dba", "patients", ["diagnosis"])
+
+    def test_different_rows_still_independent(self):
+        inference = build()
+        inference.select("dba", "patients", ["zip", "age"],
+                         where=lambda r: r["id"] == 1)
+        # Row 2's diagnosis alone completes nothing for row 2.
+        result = inference.select("dba", "patients", ["diagnosis"],
+                                  where=lambda r: r["id"] == 2)
+        assert len(result) == 1

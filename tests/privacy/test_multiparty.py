@@ -1,0 +1,99 @@
+"""Tests for secure-sum multiparty mining."""
+
+import random
+
+import pytest
+
+from repro.privacy.multiparty import (
+    MODULUS,
+    Party,
+    centralized_apriori,
+    collusion_reconstructs,
+    distributed_apriori,
+    partition_transactions,
+    secure_sum,
+)
+
+TRANSACTIONS = ([["bread", "milk"], ["bread", "butter"],
+                 ["milk", "butter"], ["bread", "milk", "butter"],
+                 ["bread", "milk"]] * 20)
+
+
+class TestSecureSum:
+    def test_exact_total(self):
+        rng = random.Random(1)
+        values = [10, 20, 30, 40]
+        names = ["a", "b", "c", "d"]
+        trace = secure_sum(values, names, rng)
+        assert trace.total == 100
+        assert trace.messages == len(values)
+
+    def test_single_party(self):
+        trace = secure_sum([7], ["solo"], random.Random(2))
+        assert trace.total == 7
+
+    def test_validation(self):
+        rng = random.Random(3)
+        with pytest.raises(ValueError):
+            secure_sum([1, 2], ["only-one"], rng)
+        with pytest.raises(ValueError):
+            secure_sum([], [], rng)
+        with pytest.raises(ValueError):
+            secure_sum([-1], ["a"], rng)
+        with pytest.raises(ValueError):
+            secure_sum([MODULUS], ["a"], rng)
+
+    def test_observed_values_do_not_reveal_inputs(self):
+        # What each party sees is masked by the initiator's random r.
+        rng = random.Random(4)
+        values = [5, 6, 7]
+        names = ["a", "b", "c"]
+        trace = secure_sum(values, names, rng)
+        for name, observed in trace.observed_by_party.items():
+            assert observed not in values  # masked, astronomically likely
+
+    def test_collusion_weakness_documented(self):
+        rng = random.Random(5)
+        values = [11, 22, 33, 44]
+        names = ["a", "b", "c", "d"]
+        trace = secure_sum(values, names, rng)
+        # Neighbours of the middle parties CAN reconstruct — the known
+        # limitation of the ring protocol.
+        assert collusion_reconstructs(trace, values, names, 1)
+        assert collusion_reconstructs(trace, values, names, 2)
+        # End positions are not covered by this reconstruction.
+        assert not collusion_reconstructs(trace, values, names, 0)
+
+
+class TestDistributedApriori:
+    def test_matches_centralized_exactly(self):
+        parties = partition_transactions(TRANSACTIONS, 4, seed=6)
+        outcome = distributed_apriori(parties, 0.3, seed=7)
+        assert outcome.frequent == centralized_apriori(parties, 0.3)
+
+    def test_various_party_counts(self):
+        for count in (2, 3, 5):
+            parties = partition_transactions(TRANSACTIONS, count, seed=8)
+            outcome = distributed_apriori(parties, 0.4, seed=9)
+            assert outcome.frequent == centralized_apriori(parties, 0.4)
+
+    def test_message_cost_linear_in_parties(self):
+        small = distributed_apriori(
+            partition_transactions(TRANSACTIONS, 2, seed=10), 0.3,
+            seed=11)
+        large = distributed_apriori(
+            partition_transactions(TRANSACTIONS, 8, seed=10), 0.3,
+            seed=11)
+        assert small.secure_sum_rounds == large.secure_sum_rounds
+        assert large.messages == pytest.approx(
+            small.messages * 4, rel=0.3)
+
+    def test_empty_parties(self):
+        outcome = distributed_apriori([Party("a", []), Party("b", [])],
+                                      0.5)
+        assert outcome.frequent == {}
+
+    def test_partitioning_conserves_rows(self):
+        parties = partition_transactions(TRANSACTIONS, 3, seed=12)
+        assert sum(len(p.transactions) for p in parties) == \
+            len(TRANSACTIONS)

@@ -1,0 +1,114 @@
+"""Tests for pattern-level privacy (mining-output sanitization)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.privacy.association import apriori, association_rules
+from repro.privacy.constraints import PrivacyLevel
+from repro.privacy.patterns import (
+    PatternConstraint,
+    PatternSanitizer,
+    tabular_transactions,
+)
+
+RECORDS = [
+    {"zip": "22100", "age": 30, "diagnosis": "flu"},
+    {"zip": "22100", "age": 30, "diagnosis": "flu"},
+    {"zip": "22100", "age": 30, "diagnosis": "flu"},
+    {"zip": "22100", "age": 30, "diagnosis": "flu"},
+    {"zip": "22101", "age": 67, "diagnosis": "hiv"},  # unique individual
+    {"zip": "22102", "age": 41, "diagnosis": "cold"},
+    {"zip": "22102", "age": 41, "diagnosis": "cold"},
+    {"zip": "22102", "age": 42, "diagnosis": "cold"},
+]
+
+
+def mined():
+    transactions = tabular_transactions(RECORDS,
+                                        ["zip", "age", "diagnosis"])
+    frequent = apriori(transactions, min_support=1 / len(RECORDS),
+                       max_size=3)
+    rules = association_rules(frequent, min_confidence=0.9)
+    return frequent, rules
+
+
+class TestPatternConstraint:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PatternConstraint(frozenset())
+        with pytest.raises(ConfigurationError):
+            PatternConstraint(frozenset({"a"}), min_support=2.0)
+
+    def test_matches_requires_all_attributes(self):
+        constraint = PatternConstraint(frozenset({"zip", "diagnosis"}))
+        assert constraint.matches(
+            frozenset({"zip=22101", "diagnosis=hiv"}), 0.1)
+        assert not constraint.matches(frozenset({"zip=22101"}), 0.1)
+
+    def test_min_support_spares_population_patterns(self):
+        constraint = PatternConstraint(frozenset({"zip", "diagnosis"}),
+                                       min_support=0.3)
+        assert constraint.matches(
+            frozenset({"zip=22101", "diagnosis=hiv"}), 0.125)
+        assert not constraint.matches(
+            frozenset({"zip=22100", "diagnosis=flu"}), 0.5)
+
+
+class TestSanitizer:
+    def test_identifying_rule_suppressed(self):
+        frequent, rules = mined()
+        sanitizer = PatternSanitizer([PatternConstraint(
+            frozenset({"zip", "diagnosis"}), PrivacyLevel.PRIVATE,
+            min_support=0.3, name="reidentification")])
+        released, report = sanitizer.sanitize_rules(rules)
+        # The unique individual's zip->hiv rule is gone...
+        assert not any("diagnosis=hiv" in str(rule)
+                       and "zip=22101" in str(rule)
+                       for rule in released)
+        assert report.suppressed_by.get("reidentification", 0) > 0
+        # ...but population-level flu rules survive.
+        assert any("diagnosis=flu" in str(rule) for rule in released)
+
+    def test_itemset_sanitization_counts(self):
+        frequent, _rules = mined()
+        sanitizer = PatternSanitizer([PatternConstraint(
+            frozenset({"diagnosis"}), PrivacyLevel.PRIVATE)])
+        released, report = sanitizer.sanitize_itemsets(frequent)
+        assert report.released + report.suppressed == len(frequent)
+        assert all(
+            not any(item.startswith("diagnosis=") for item in itemset)
+            for itemset in released)
+
+    def test_semi_private_released_to_need_to_know(self):
+        frequent, _rules = mined()
+        constraint = PatternConstraint(frozenset({"diagnosis"}),
+                                       PrivacyLevel.SEMI_PRIVATE)
+        public = PatternSanitizer([constraint], need_to_know=False)
+        trusted = PatternSanitizer([constraint], need_to_know=True)
+        _, public_report = public.sanitize_itemsets(frequent)
+        _, trusted_report = trusted.sanitize_itemsets(frequent)
+        assert public_report.suppressed > 0
+        assert trusted_report.suppressed == 0
+
+    def test_no_constraints_releases_everything(self):
+        frequent, rules = mined()
+        sanitizer = PatternSanitizer()
+        released_sets, _ = sanitizer.sanitize_itemsets(frequent)
+        released_rules, _ = sanitizer.sanitize_rules(rules)
+        assert released_sets == frequent
+        assert released_rules == rules
+
+
+class TestTabularTransactions:
+    def test_encoding(self):
+        transactions = tabular_transactions(
+            [{"a": 1, "b": "x"}], ["a", "b"])
+        assert transactions == [frozenset({"a=1", "b=x"})]
+
+    def test_none_values_skipped(self):
+        transactions = tabular_transactions(
+            [{"a": None, "b": "x"}], ["a", "b"])
+        assert transactions == [frozenset({"b=x"})]
+
+    def test_empty_rows_dropped(self):
+        assert tabular_transactions([{"a": None}], ["a"]) == []

@@ -1,0 +1,119 @@
+"""Tests for randomization-based PPDM (Agrawal–Srikant)."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.ppdm import (
+    NoiseModel,
+    histogram_distance,
+    individual_error,
+    privacy_interval,
+    randomize,
+    reconstruct_distribution,
+    true_distribution,
+)
+
+
+def bimodal(n=4000, seed=1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.concatenate([rng.normal(30, 5, n // 2),
+                           rng.normal(70, 5, n - n // 2)])
+
+
+BINS = np.linspace(0, 100, 26)
+
+
+class TestNoiseModel:
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel("triangle", 1.0)
+        with pytest.raises(ValueError):
+            NoiseModel("uniform", -1.0)
+
+    def test_uniform_density(self):
+        noise = NoiseModel("uniform", 10.0)
+        assert noise.density(np.array([0.0]))[0] == pytest.approx(0.05)
+        assert noise.density(np.array([11.0]))[0] == 0.0
+
+    def test_gaussian_density_integrates(self):
+        noise = NoiseModel("gaussian", 2.0)
+        xs = np.linspace(-20, 20, 4001)
+        mass = np.trapezoid(noise.density(xs), xs)
+        assert mass == pytest.approx(1.0, abs=1e-3)
+
+    def test_zero_scale_noise_is_identity(self):
+        values = bimodal(100)
+        assert np.allclose(randomize(values, NoiseModel("uniform", 0.0)),
+                           values)
+
+
+class TestPrivacyMetric:
+    def test_uniform_interval(self):
+        assert privacy_interval(NoiseModel("uniform", 50.0), 0.95) == \
+            pytest.approx(95.0)
+
+    def test_gaussian_interval(self):
+        # 95% of a gaussian lies within +-1.96 sigma.
+        width = privacy_interval(NoiseModel("gaussian", 10.0), 0.95)
+        assert width == pytest.approx(2 * 1.96 * 10.0, rel=1e-2)
+
+    def test_monotone_in_scale(self):
+        small = privacy_interval(NoiseModel("uniform", 10.0))
+        large = privacy_interval(NoiseModel("uniform", 40.0))
+        assert large > small
+
+
+class TestReconstruction:
+    def test_reconstruction_beats_naive(self):
+        values = bimodal()
+        noise = NoiseModel("uniform", 25.0)
+        released = randomize(values, noise, seed=2)
+        actual = true_distribution(values, BINS)
+        naive = true_distribution(released, BINS)
+        estimated = reconstruct_distribution(released, noise, BINS)
+        assert histogram_distance(estimated, actual) < \
+            histogram_distance(naive, actual) / 2
+
+    def test_individual_values_hidden(self):
+        values = bimodal()
+        noise = NoiseModel("uniform", 25.0)
+        released = randomize(values, noise, seed=3)
+        assert individual_error(values, released) > 10.0
+
+    def test_reconstruction_output_is_distribution(self):
+        values = bimodal(1000)
+        noise = NoiseModel("gaussian", 15.0)
+        released = randomize(values, noise, seed=4)
+        estimated = reconstruct_distribution(released, noise, BINS)
+        assert estimated.sum() == pytest.approx(1.0)
+        assert (estimated >= 0).all()
+
+    def test_zero_noise_reconstruction_exact(self):
+        values = bimodal(1000)
+        noise = NoiseModel("uniform", 0.0)
+        estimated = reconstruct_distribution(values, noise, BINS)
+        actual = true_distribution(values, BINS)
+        assert histogram_distance(estimated, actual) < 1e-9
+
+    def test_more_noise_worse_reconstruction(self):
+        values = bimodal()
+        actual = true_distribution(values, BINS)
+        distances = []
+        for scale in (5.0, 60.0):
+            noise = NoiseModel("uniform", scale)
+            released = randomize(values, noise, seed=5)
+            estimated = reconstruct_distribution(released, noise, BINS)
+            distances.append(histogram_distance(estimated, actual))
+        assert distances[0] < distances[1]
+
+
+class TestMetrics:
+    def test_histogram_distance_bounds(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert histogram_distance(a, a) == 0.0
+        assert histogram_distance(a, b) == 1.0
+
+    def test_true_distribution_sums_to_one(self):
+        dist = true_distribution(bimodal(500), BINS)
+        assert dist.sum() == pytest.approx(1.0)

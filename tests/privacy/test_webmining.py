@@ -1,0 +1,93 @@
+"""Tests for privacy-preserving web (unstructured) mining."""
+
+from repro.privacy.constraints import PrivacyLevel
+from repro.privacy.webmining import (
+    document_transactions,
+    mine_corpus,
+    term_constraint,
+    terms_of,
+)
+from repro.xmldb.parser import parse
+
+
+def record_doc(name: str, diagnosis: str, treatment: str):
+    return parse(
+        f"<record><name>{name}</name>"
+        f"<diagnosis>{diagnosis}</diagnosis>"
+        f"<treatment>{treatment}</treatment></record>")
+
+
+CORPUS = {
+    f"d{i}": record_doc("Alice Rossi" if i % 3 else "Bob Chen",
+                        "chronic migraine with aura"
+                        if i % 2 else "seasonal influenza",
+                        "rest and hydration"
+                        if i % 2 else "antiviral medication")
+    for i in range(12)
+}
+
+
+class TestTokenization:
+    def test_terms_lowercased_and_filtered(self):
+        document = parse("<r><t>The CHRONIC Migraine, twice!</t></r>")
+        terms = terms_of(document)
+        assert "chronic" in terms and "migraine" in terms
+        assert "the" not in terms  # stopword
+        assert "twice" in terms
+
+    def test_short_tokens_dropped(self):
+        document = parse("<r><t>an ct is ok but x9 no</t></r>")
+        terms = terms_of(document)
+        assert all(len(term) >= 3 for term in terms)
+
+    def test_tag_scoping_skips_names(self):
+        document = record_doc("Alice Rossi", "influenza", "rest")
+        scoped = terms_of(document, tags=["diagnosis", "treatment"])
+        assert "alice" not in scoped and "rossi" not in scoped
+        assert "influenza" in scoped
+
+    def test_document_transactions_order_and_nonempty(self):
+        transactions = document_transactions(CORPUS)
+        assert len(transactions) == len(CORPUS)
+        assert all(transactions)
+
+
+class TestPipeline:
+    def test_cooccurrence_patterns_found(self):
+        released, report = mine_corpus(CORPUS, min_support=0.3,
+                                       tags=["diagnosis", "treatment"])
+        assert frozenset({"migraine", "chronic"}) in released
+        assert report.suppressed == 0
+
+    def test_term_constraint_suppresses_identifying_combo(self):
+        constraint = term_constraint(["alice", "migraine"],
+                                     PrivacyLevel.PRIVATE,
+                                     name="name-diagnosis")
+        released, report = mine_corpus(CORPUS, min_support=0.2,
+                                       constraints=[constraint])
+        assert not any({"alice", "migraine"} <= set(itemset)
+                       for itemset in released)
+        assert report.suppressed_by.get("name-diagnosis", 0) > 0
+
+    def test_tag_scoping_beats_sanitization_upstream(self):
+        # Minimizing at the source: names never enter the transactions.
+        released, _report = mine_corpus(
+            CORPUS, min_support=0.1, tags=["diagnosis", "treatment"])
+        assert not any("alice" in itemset or "bob" in itemset
+                       for itemset in released)
+
+    def test_randomized_pipeline_still_finds_strong_patterns(self):
+        released, _report = mine_corpus(
+            CORPUS, min_support=0.3, tags=["diagnosis", "treatment"],
+            keep_probability=0.95, seed=7)
+        assert frozenset({"influenza"}) in released or \
+            frozenset({"migraine"}) in released
+
+    def test_semi_private_terms_for_public_consumer(self):
+        constraint = term_constraint(["migraine"],
+                                     PrivacyLevel.SEMI_PRIVATE)
+        released, report = mine_corpus(CORPUS, min_support=0.2,
+                                       constraints=[constraint],
+                                       tags=["diagnosis"])
+        assert not any("migraine" in itemset for itemset in released)
+        assert report.suppressed > 0

@@ -1,0 +1,90 @@
+"""Property-based test: System R revocation leaves exactly the grants
+supported by a timestamp-increasing chain from the owner."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import AccessDenied, ConfigurationError
+from repro.relational.authorization import AuthorizationManager, Privilege
+
+USERS = ["dba", "a", "b", "c", "d"]
+
+
+def reachable_support(grants, owner: str) -> set[int]:
+    """Independent model: a grant edge is supported iff its grantor is
+    the owner, or holds an earlier with-grant-option supported edge."""
+    supported: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for edge in grants:
+            if edge.grant_id in supported:
+                continue
+            if edge.grantor == owner:
+                supported.add(edge.grant_id)
+                changed = True
+                continue
+            if any(other.grant_id in supported
+                   and other.grantee == edge.grantor
+                   and other.with_grant_option
+                   and other.sequence < edge.sequence
+                   for other in grants):
+                supported.add(edge.grant_id)
+                changed = True
+    return supported
+
+
+@st.composite
+def operation_sequence(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 20))):
+        kind = draw(st.sampled_from(["grant", "revoke"]))
+        grantor = draw(st.sampled_from(USERS))
+        grantee = draw(st.sampled_from(USERS[1:]))
+        option = draw(st.booleans())
+        ops.append((kind, grantor, grantee, option))
+    return ops
+
+
+class TestRevocationInvariant:
+    @given(operation_sequence())
+    @settings(max_examples=150, deadline=None)
+    def test_surviving_grants_are_exactly_the_supported_ones(self, ops):
+        manager = AuthorizationManager()
+        manager.set_owner("t", "dba")
+        for kind, grantor, grantee, option in ops:
+            try:
+                if kind == "grant":
+                    manager.grant(grantor, grantee, "t",
+                                  Privilege.SELECT,
+                                  with_grant_option=option)
+                else:
+                    manager.revoke(grantor, grantee, "t",
+                                   Privilege.SELECT)
+            except (AccessDenied, ConfigurationError):
+                continue
+        survivors = manager.all_grants()
+        supported = reachable_support(survivors, "dba")
+        # Every surviving grant must be supported...
+        assert {g.grant_id for g in survivors} == supported
+
+    @given(operation_sequence())
+    @settings(max_examples=150, deadline=None)
+    def test_privilege_iff_surviving_grant_or_ownership(self, ops):
+        manager = AuthorizationManager()
+        manager.set_owner("t", "dba")
+        for kind, grantor, grantee, option in ops:
+            try:
+                if kind == "grant":
+                    manager.grant(grantor, grantee, "t",
+                                  Privilege.SELECT,
+                                  with_grant_option=option)
+                else:
+                    manager.revoke(grantor, grantee, "t",
+                                   Privilege.SELECT)
+            except (AccessDenied, ConfigurationError):
+                continue
+        holders = {g.grantee for g in manager.all_grants()}
+        for user in USERS:
+            expected = user == "dba" or user in holders
+            assert manager.has_privilege(user, "t",
+                                         Privilege.SELECT) == expected

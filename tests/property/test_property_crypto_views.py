@@ -1,0 +1,136 @@
+"""Property-based tests for crypto primitives and view computation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.credentials import anyone, has_role
+from repro.core.subjects import Role, Subject
+from repro.crypto.rsa import generate_keypair, sign, verify
+from repro.crypto.symmetric import SymmetricKey, decrypt, encrypt
+from repro.merkle.xml_merkle import is_pruned_marker
+from repro.xmldb.model import Document, Element
+from repro.xmlsec.authorx import XmlPolicyBase, xml_deny, xml_grant
+from repro.xmlsec.views import compute_view
+
+KEYS = generate_keypair(bits=256, seed=99)
+SYM = SymmetricKey.derive("prop", "secret")
+
+
+class TestCryptoProperties:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_roundtrip(self, payload):
+        assert decrypt(SYM, encrypt(SYM, payload, nonce=1)) == payload
+
+    @given(st.binary(min_size=1, max_size=100), st.integers(0, 2 ** 32))
+    @settings(max_examples=40, deadline=None)
+    def test_signature_roundtrip(self, message, salt):
+        signature = sign(KEYS.private, message)
+        assert verify(KEYS.public, message, signature)
+
+    @given(st.binary(min_size=1, max_size=50),
+           st.binary(min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_signature_binds_message(self, first, second):
+        if first == second:
+            return
+        signature = sign(KEYS.private, first)
+        assert not verify(KEYS.public, second, signature)
+
+
+# -- random documents + random policy bases --------------------------------
+
+tag_strategy = st.sampled_from(["hospital", "record", "name", "ssn",
+                                "diagnosis"])
+text_strategy = st.sampled_from(["alpha", "beta", "gamma", ""])
+
+
+@st.composite
+def document_strategy(draw):
+    root = Element("hospital")
+    for _ in range(draw(st.integers(1, 4))):
+        record = Element("record",
+                         {"id": f"r{draw(st.integers(1, 9))}"})
+        for tag in ("name", "diagnosis", "ssn"):
+            child = Element(tag)
+            text = draw(text_strategy)
+            if text:
+                child.append(text)
+            record.append(child)
+        root.append(record)
+    return Document(root, name="doc")
+
+
+@st.composite
+def xml_policy_base(draw):
+    base = XmlPolicyBase()
+    expressions = [anyone(), has_role("doctor"), has_role("nurse")]
+    targets = ["/hospital", "//record", "//name", "//ssn",
+               "//record/diagnosis"]
+    for _ in range(draw(st.integers(1, 5))):
+        factory = xml_deny if draw(st.booleans()) else xml_grant
+        base.add(factory(draw(st.sampled_from(expressions)),
+                         draw(st.sampled_from(targets))))
+    return base
+
+
+SUBJECTS = [Subject("dr", roles={Role("doctor")}),
+            Subject("nn", roles={Role("nurse")}),
+            Subject("zz")]
+
+
+class TestViewProperties:
+    @given(document_strategy(), xml_policy_base(),
+           st.sampled_from(SUBJECTS))
+    @settings(max_examples=80, deadline=None)
+    def test_view_is_subset(self, document, base, subject):
+        """Every text/attribute in a view exists in the original."""
+        view, _stats = compute_view(base, subject, "doc", document)
+        if view is None:
+            return
+        original_texts = {n.text for n in document.iter()}
+        original_attrs = {(k, v) for n in document.iter()
+                          for k, v in n.attributes.items()}
+        for node in view.iter():
+            assert node.text in original_texts or node.text == ""
+            for item in node.attributes.items():
+                assert item in original_attrs
+
+    @given(document_strategy(), xml_policy_base(),
+           st.sampled_from(SUBJECTS))
+    @settings(max_examples=80, deadline=None)
+    def test_view_never_contains_denied_to_all(self, document, base,
+                                               subject):
+        """Content denied to anyone() at the deepest level never shows."""
+        base.add(xml_deny(anyone(), "//ssn"))
+        view, _stats = compute_view(base, subject, "doc", document)
+        if view is None:
+            return
+        for node in view.iter():
+            if node.tag == "ssn":
+                assert node.text == ""  # at most a bare connector
+
+    @given(document_strategy(), xml_policy_base(),
+           st.sampled_from(SUBJECTS))
+    @settings(max_examples=60, deadline=None)
+    def test_marker_view_consistent_with_plain_view(
+            self, document, base, subject):
+        plain, _ = compute_view(base, subject, "doc", document)
+        marked, _ = compute_view(base, subject, "doc", document,
+                                 with_markers=True)
+        if plain is None:
+            return
+        plain_texts = sorted(n.text for n in plain.iter() if n.text)
+        marked_texts = sorted(
+            n.text for n in (marked.iter() if marked else [])
+            if n.text and not is_pruned_marker(n))
+        assert plain_texts == marked_texts
+
+    @given(document_strategy(), xml_policy_base())
+    @settings(max_examples=60, deadline=None)
+    def test_original_never_mutated(self, document, base):
+        from repro.xmldb.serializer import serialize
+        before = serialize(document)
+        for subject in SUBJECTS:
+            compute_view(base, subject, "doc", document,
+                         with_markers=True)
+        assert serialize(document) == before

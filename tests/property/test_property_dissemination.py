@@ -1,0 +1,122 @@
+"""Property-based tests: dissemination agrees with view computation,
+and UDDI entries survive the encrypt/decrypt roundtrip."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.credentials import anyone, has_role
+from repro.core.subjects import Role, Subject
+from repro.crypto.keys import KeyStore
+from repro.uddi.model import BindingTemplate, BusinessEntity, BusinessService
+from repro.uddi.secure import EncryptedRegistry
+from repro.xmldb.model import Document, Element
+from repro.xmlsec.authorx import XmlPolicyBase, xml_deny, xml_grant
+from repro.xmlsec.dissemination import Disseminator, open_packet
+from repro.xmlsec.views import compute_view
+
+SUBJECTS = {
+    "dr": Subject("dr", roles={Role("doctor")}),
+    "nn": Subject("nn", roles={Role("nurse")}),
+    "zz": Subject("zz"),
+}
+
+text_strategy = st.sampled_from(["alpha", "beta", "gamma", "delta", ""])
+
+
+@st.composite
+def document_strategy(draw):
+    root = Element("hospital")
+    for _ in range(draw(st.integers(1, 3))):
+        record = Element("record",
+                         {"id": f"r{draw(st.integers(1, 9))}"})
+        for tag in ("name", "diagnosis", "ssn"):
+            child = Element(tag)
+            text = draw(text_strategy)
+            if text:
+                child.append(text)
+            record.append(child)
+        root.append(record)
+    return Document(root, name="doc")
+
+
+@st.composite
+def policy_base_strategy(draw):
+    base = XmlPolicyBase()
+    expressions = [anyone(), has_role("doctor"), has_role("nurse")]
+    targets = ["/hospital", "//record", "//name", "//ssn",
+               "//diagnosis"]
+    for _ in range(draw(st.integers(1, 5))):
+        factory = xml_deny if draw(st.booleans()) else xml_grant
+        base.add(factory(draw(st.sampled_from(expressions)),
+                         draw(st.sampled_from(targets))))
+    return base
+
+
+class TestDisseminationMatchesViews:
+    @given(document_strategy(), policy_base_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_received_texts_equal_view_texts(self, document, base):
+        """For every subject, opening the broadcast packet yields exactly
+        the text content of the subject's computed view."""
+        disseminator = Disseminator(base)
+        packet = disseminator.package("doc", document)
+        distributor = disseminator.distributor(SUBJECTS)
+        for name, subject in SUBJECTS.items():
+            store = KeyStore(f"rx-{name}")
+            for key in distributor.grant(name).keys:
+                store.import_key(key)
+            received = open_packet(packet, store)
+            view, _stats = compute_view(base, subject, "doc", document)
+            view_texts = sorted(n.text for n in view.iter() if n.text) \
+                if view is not None else []
+            got_texts = sorted(n.text for n in received.iter()
+                               if n.text) if received is not None else []
+            assert got_texts == view_texts, name
+
+    @given(document_strategy(), policy_base_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_unentitled_keys_never_distributed(self, document, base):
+        disseminator = Disseminator(base)
+        disseminator.package("doc", document)
+        for subject in SUBJECTS.values():
+            for key_id in disseminator.entitled_key_ids(subject):
+                configuration = disseminator._configurations[key_id]
+                assert disseminator.can_unlock(subject, configuration)
+
+
+# -- UDDI entity roundtrip ---------------------------------------------------
+
+name_strategy = st.text(
+    alphabet="abcdefghijklmnop -", min_size=1, max_size=12).filter(
+    lambda s: s.strip() == s and s)
+
+
+@st.composite
+def entity_strategy(draw):
+    services = []
+    for s in range(draw(st.integers(0, 3))):
+        bindings = tuple(
+            BindingTemplate(f"uddi:bind:{s}-{b}",
+                            f"http://x/{s}/{b}",
+                            draw(name_strategy),
+                            tuple(f"uddi:tm:{t}" for t in
+                                  range(draw(st.integers(0, 2)))))
+            for b in range(draw(st.integers(0, 2))))
+        services.append(BusinessService(
+            f"uddi:svc:{s}", draw(name_strategy), draw(name_strategy),
+            draw(st.sampled_from(["catalog", "premium", ""])),
+            bindings))
+    return BusinessEntity("uddi:biz:x", draw(name_strategy),
+                          draw(name_strategy), draw(name_strategy),
+                          tuple(services))
+
+
+class TestUddiRoundtrip:
+    @given(entity_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_encrypt_decrypt_roundtrip(self, entity):
+        store = KeyStore("prov")
+        store.create("k")
+        entry = EncryptedRegistry.encrypt_entry(entity, store, "k",
+                                                "idx")
+        restored = EncryptedRegistry.decrypt_entry(entry, store)
+        assert restored == entity

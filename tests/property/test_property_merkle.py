@@ -1,0 +1,101 @@
+"""Property-based tests for Merkle trees and XML Merkle hashing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.merkle.tree import MerkleTree
+from repro.merkle.xml_merkle import (
+    build_partial_view,
+    document_hash,
+    merkle_hash,
+    view_hash,
+)
+from repro.xmldb.model import Document, Element
+
+leaves_strategy = st.lists(st.text(min_size=0, max_size=20),
+                           min_size=1, max_size=40)
+
+
+class TestMerkleTreeProperties:
+    @given(leaves_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_every_proof_verifies(self, leaves):
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            assert tree.proof(index).verify(leaf, tree.root)
+
+    @given(leaves_strategy, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_tampered_leaf_never_verifies(self, leaves, data):
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(0, len(leaves) - 1))
+        forged = data.draw(st.text(max_size=20).filter(
+            lambda t: t != leaves[index]))
+        assert not tree.proof(index).verify(forged, tree.root)
+
+    @given(leaves_strategy, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_any_leaf_change_changes_root(self, leaves, data):
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(0, len(leaves) - 1))
+        forged = data.draw(st.text(max_size=20).filter(
+            lambda t: t != leaves[index]))
+        modified = list(leaves)
+        modified[index] = forged
+        assert MerkleTree(modified).root != tree.root
+
+
+# -- random XML trees ------------------------------------------------------
+
+tag_strategy = st.sampled_from(["a", "b", "c", "record", "name"])
+text_strategy = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    max_size=10)
+
+
+@st.composite
+def xml_tree(draw, depth=3):
+    tag = draw(tag_strategy)
+    attributes = draw(st.dictionaries(
+        st.sampled_from(["id", "k", "v"]), text_strategy, max_size=2))
+    node = Element(tag, attributes)
+    text = draw(text_strategy)
+    if text.strip():
+        node.append(text.strip())
+    if depth > 0:
+        for child in draw(st.lists(xml_tree(depth=depth - 1),
+                                   max_size=3)):
+            node.append(child)
+    return node
+
+
+class TestXmlMerkleProperties:
+    @given(xml_tree())
+    @settings(max_examples=50, deadline=None)
+    def test_hash_deterministic_under_copy(self, root):
+        assert merkle_hash(root) == merkle_hash(root.deep_copy())
+
+    @given(xml_tree(), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_partial_view_always_recomputes_root(self, root, data):
+        nodes = list(root.iter())
+        kept = data.draw(st.sets(
+            st.sampled_from(range(len(nodes))), max_size=len(nodes)))
+        kept_ids = {id(nodes[i]) for i in kept}
+        view, fillers = build_partial_view(
+            root, lambda n: id(n) in kept_ids)
+        assert view_hash(view, fillers) == merkle_hash(root)
+
+    @given(xml_tree())
+    @settings(max_examples=50, deadline=None)
+    def test_text_tamper_always_detected(self, root):
+        original = merkle_hash(root)
+        clone = root.deep_copy()
+        # Tamper the first node deterministically.
+        target = next(iter(clone.iter()))
+        target.set_text(target.text + "!tampered!")
+        assert merkle_hash(clone) != original
+
+    @given(xml_tree())
+    @settings(max_examples=50, deadline=None)
+    def test_document_hash_equals_root_hash(self, root):
+        assert document_hash(Document(root)) == merkle_hash(root)

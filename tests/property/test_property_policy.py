@@ -1,0 +1,139 @@
+"""Property-based tests for policy evaluation and MLS invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.credentials import anyone, has_role, is_identity
+from repro.core.evaluator import (
+    ConflictResolution,
+    DefaultDecision,
+    PolicyEvaluator,
+)
+from repro.core.mls import Label, Level, can_read
+from repro.core.objects import ResourcePath, ResourcePattern
+from repro.core.policy import Action, PolicyBase, deny, grant
+from repro.core.subjects import Role, Subject
+
+segment = st.sampled_from(["a", "b", "c", "d"])
+path_strategy = st.lists(segment, min_size=0, max_size=4).map(
+    lambda parts: ResourcePath("/".join(parts)))
+pattern_strategy = st.lists(
+    st.sampled_from(["a", "b", "c", "d", "*", "**"]),
+    min_size=1, max_size=4).map(lambda parts: "/".join(parts))
+
+role_strategy = st.sampled_from(["doctor", "nurse", "admin"])
+
+
+@st.composite
+def policy_strategy(draw):
+    factory = deny if draw(st.booleans()) else grant
+    subject_expr = draw(st.sampled_from([
+        anyone(), has_role("doctor"), has_role("nurse"),
+        is_identity("alice")]))
+    return factory(subject_expr, Action.READ, draw(pattern_strategy))
+
+
+@st.composite
+def subject_strategy(draw):
+    name = draw(st.sampled_from(["alice", "bob"]))
+    roles = {Role(r) for r in draw(st.sets(role_strategy, max_size=2))}
+    return Subject(name, roles=roles)
+
+
+class TestEvaluatorProperties:
+    @given(st.lists(policy_strategy(), max_size=8), subject_strategy(),
+           path_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_deny_overrides_never_grants_denied_request(
+            self, policies, subject, path):
+        base = PolicyBase(policies)
+        evaluator = PolicyEvaluator(base)
+        decision = evaluator.decide(subject, Action.READ, path)
+        applicable = base.applicable(subject, Action.READ, path)
+        has_deny = any(p.sign.value == "deny" for p in applicable)
+        if has_deny:
+            assert not decision.granted
+
+    @given(st.lists(policy_strategy(), max_size=8), subject_strategy(),
+           path_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_closed_world_grants_only_with_grant_policy(
+            self, policies, subject, path):
+        evaluator = PolicyEvaluator(PolicyBase(policies),
+                                    default=DefaultDecision.CLOSED)
+        decision = evaluator.decide(subject, Action.READ, path)
+        if decision.granted:
+            assert decision.determining is not None
+            assert decision.determining.sign.value == "grant"
+
+    @given(st.lists(policy_strategy(), max_size=8), subject_strategy(),
+           path_strategy,
+           st.sampled_from(list(ConflictResolution)))
+    @settings(max_examples=120, deadline=None)
+    def test_decision_deterministic(self, policies, subject, path,
+                                    resolution):
+        first = PolicyEvaluator(PolicyBase(policies),
+                                resolution=resolution)
+        second = PolicyEvaluator(PolicyBase(policies),
+                                 resolution=resolution)
+        assert (first.decide(subject, Action.READ, path).granted
+                == second.decide(subject, Action.READ, path).granted)
+
+    @given(st.lists(policy_strategy(), max_size=8), subject_strategy(),
+           path_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_candidates_superset_of_applicable(self, policies, subject,
+                                               path):
+        base = PolicyBase(policies)
+        candidates = {p.policy_id
+                      for p in base.candidates(Action.READ, path)}
+        applicable = {p.policy_id for p in
+                      base.applicable(subject, Action.READ, path)}
+        assert applicable <= candidates
+
+
+class TestPatternProperties:
+    @given(pattern_strategy, path_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_matching_is_deterministic(self, pattern, path):
+        assert (ResourcePattern(pattern).matches(path)
+                == ResourcePattern(pattern).matches(path))
+
+    @given(st.lists(segment, min_size=1, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_literal_pattern_matches_itself_only(self, parts):
+        pattern = ResourcePattern("/".join(parts))
+        assert pattern.matches(ResourcePath("/".join(parts)))
+        assert not pattern.matches(ResourcePath("/".join(parts + ["x"])))
+
+
+label_strategy = st.builds(
+    Label,
+    st.sampled_from(list(Level)),
+    st.sets(st.sampled_from(["n", "c", "x"]), max_size=3))
+
+
+class TestLatticeProperties:
+    @given(label_strategy, label_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_join_is_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert joined.dominates(a) and joined.dominates(b)
+
+    @given(label_strategy, label_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_meet_is_lower_bound(self, a, b):
+        met = a.meet(b)
+        assert a.dominates(met) and b.dominates(met)
+
+    @given(label_strategy, label_strategy, label_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_dominance_transitive(self, a, b, c):
+        if a.dominates(b) and b.dominates(c):
+            assert a.dominates(c)
+
+    @given(label_strategy, label_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_read_write_duality(self, clearance, obj):
+        # can_read(a, b) iff can_write(b, a)
+        from repro.core.mls import can_write
+        assert can_read(clearance, obj) == can_write(obj, clearance)

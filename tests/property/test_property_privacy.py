@@ -1,0 +1,96 @@
+"""Property-based tests for privacy primitives."""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.privacy.association import apriori
+from repro.privacy.multiparty import (
+    Party,
+    centralized_apriori,
+    distributed_apriori,
+    secure_sum,
+)
+from repro.privacy.ppdm import (
+    NoiseModel,
+    reconstruct_distribution,
+)
+
+ITEMS = ["a", "b", "c", "d"]
+basket_strategy = st.sets(st.sampled_from(ITEMS), min_size=1)
+transactions_strategy = st.lists(basket_strategy, min_size=1,
+                                 max_size=30)
+
+
+class TestSecureSumProperties:
+    @given(st.lists(st.integers(0, 10 ** 9), min_size=1, max_size=10),
+           st.integers(0, 2 ** 31))
+    @settings(max_examples=100, deadline=None)
+    def test_total_always_exact(self, values, seed):
+        names = [f"p{i}" for i in range(len(values))]
+        trace = secure_sum(values, names, random.Random(seed))
+        assert trace.total == sum(values)
+
+    @given(st.lists(st.integers(0, 10 ** 6), min_size=2, max_size=8),
+           st.integers(0, 2 ** 31))
+    @settings(max_examples=100, deadline=None)
+    def test_message_count_linear(self, values, seed):
+        names = [f"p{i}" for i in range(len(values))]
+        trace = secure_sum(values, names, random.Random(seed))
+        assert trace.messages == len(values)
+
+
+class TestDistributedMiningProperties:
+    @given(transactions_strategy, st.integers(2, 5),
+           st.sampled_from([0.2, 0.4, 0.6]), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_distributed_equals_centralized(self, transactions,
+                                            party_count, min_support,
+                                            seed):
+        rng = random.Random(seed)
+        parties = [Party(f"p{i}", []) for i in range(party_count)]
+        for basket in transactions:
+            parties[rng.randrange(party_count)].transactions.append(
+                frozenset(basket))
+        outcome = distributed_apriori(parties, min_support, seed=seed)
+        assert outcome.frequent == centralized_apriori(parties,
+                                                       min_support)
+
+
+class TestAprioriProperties:
+    @given(transactions_strategy, st.sampled_from([0.1, 0.3, 0.5]))
+    @settings(max_examples=60, deadline=None)
+    def test_downward_closure(self, transactions, min_support):
+        frequent = apriori(transactions, min_support)
+        import itertools
+        for itemset in frequent:
+            for size in range(1, len(itemset)):
+                for subset in itertools.combinations(itemset, size):
+                    assert frozenset(subset) in frequent
+
+    @given(transactions_strategy, st.sampled_from([0.1, 0.3, 0.5]))
+    @settings(max_examples=60, deadline=None)
+    def test_supports_are_exact_fractions(self, transactions,
+                                          min_support):
+        frequent = apriori(transactions, min_support)
+        baskets = [frozenset(t) for t in transactions]
+        for itemset, support in frequent.items():
+            exact = sum(1 for b in baskets if itemset <= b) / len(baskets)
+            assert abs(support - exact) < 1e-12
+            assert support >= min_support
+
+
+class TestReconstructionProperties:
+    @given(st.integers(0, 100), st.sampled_from([5.0, 15.0, 30.0]))
+    @settings(max_examples=20, deadline=None)
+    def test_output_is_probability_vector(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(50, 10, 300)
+        noise = NoiseModel("uniform", scale)
+        released = values + noise.sample(len(values),
+                                         np.random.default_rng(seed + 1))
+        bins = np.linspace(0, 100, 11)
+        estimated = reconstruct_distribution(released, noise, bins)
+        assert abs(estimated.sum() - 1.0) < 1e-6
+        assert (estimated >= -1e-12).all()

@@ -1,0 +1,94 @@
+"""Property-based tests for XML parse/serialize and XPath."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmldb.model import Document, Element
+from repro.xmldb.parser import parse
+from repro.xmldb.serializer import serialize, serialize_element
+from repro.xmldb.xpath import evaluate, select_elements
+
+tag_strategy = st.sampled_from(["a", "b", "c", "item", "x-y", "n_1"])
+# Text without XML-significant characters handled via escaping anyway;
+# exclude control chars and surrogates which XML cannot carry.
+text_strategy = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    min_size=1, max_size=12).filter(lambda s: s.strip() == s and s)
+attr_name_strategy = st.sampled_from(["id", "k", "v", "n"])
+
+
+@st.composite
+def xml_tree(draw, depth=3):
+    node = Element(draw(tag_strategy),
+                   draw(st.dictionaries(attr_name_strategy,
+                                        text_strategy, max_size=2)))
+    if draw(st.booleans()):
+        node.append(draw(text_strategy))
+    if depth > 0:
+        for child in draw(st.lists(xml_tree(depth=depth - 1),
+                                   max_size=3)):
+            node.append(child)
+    return node
+
+
+class TestRoundtrip:
+    @given(xml_tree())
+    @settings(max_examples=80, deadline=None)
+    def test_parse_of_serialize_is_identity(self, root):
+        document = Document(root)
+        reparsed = parse(serialize(document))
+        assert reparsed.root.structurally_equal(root)
+
+    @given(xml_tree())
+    @settings(max_examples=80, deadline=None)
+    def test_serialize_is_canonical(self, root):
+        text = serialize_element(root)
+        assert serialize_element(parse(text).root) == text
+
+
+class TestXPathProperties:
+    @given(xml_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_descendant_wildcard_matches_iter(self, root):
+        document = Document(root)
+        via_xpath = select_elements("//*", document)
+        via_iter = [n for n in root.iter() if n is not root]
+        assert len(via_xpath) == len(via_iter)
+        assert all(a is b for a, b in zip(via_xpath, via_iter))
+
+    @given(xml_tree(), st.sampled_from(["a", "b", "item"]))
+    @settings(max_examples=60, deadline=None)
+    def test_descendant_tag_matches_naive_scan(self, root, tag):
+        document = Document(root)
+        via_xpath = select_elements(f"//{tag}", document)
+        naive = [n for n in root.iter()
+                 if n.tag == tag and n is not root]
+        assert via_xpath == naive
+
+    @given(xml_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_child_step_is_subset_of_descendant(self, root):
+        document = Document(root)
+        children = select_elements(f"/{root.tag}/*", document)
+        descendants = select_elements("//*", document)
+        descendant_ids = {id(n) for n in descendants}
+        assert all(id(n) in descendant_ids for n in children)
+
+    @given(xml_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_attribute_results_are_strings(self, root):
+        document = Document(root)
+        for value in evaluate("//@*", document):
+            assert isinstance(value, str)
+
+
+class TestNodePaths:
+    @given(xml_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_node_paths_unique(self, root):
+        paths = [n.node_path() for n in root.iter()]
+        assert len(paths) == len(set(paths))
+
+    @given(xml_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_size_consistent(self, root):
+        assert root.size() == len(list(root.iter()))

@@ -1,0 +1,155 @@
+"""Tests for the third-party publishing protocol (owner/publisher/subject)."""
+
+import pytest
+
+from repro.core.credentials import anyone, has_role
+from repro.core.errors import (
+    AuthenticationError,
+    CompletenessError,
+    IntegrityError,
+    RegistryError,
+)
+from repro.core.subjects import Role, Subject
+from repro.xmldb.parser import parse
+from repro.xmlsec.authorx import XmlPolicyBase, xml_deny, xml_grant
+from repro.pubsub import (
+    MaliciousPublisher,
+    Owner,
+    Publisher,
+    SubjectVerifier,
+    credential_digest,
+)
+
+DOCTOR = Subject("dr", roles={Role("doctor")})
+NURSE = Subject("nn", roles={Role("nurse")})
+
+
+def build_world():
+    base = XmlPolicyBase([
+        xml_grant(has_role("doctor"), "/hospital"),
+        xml_deny(anyone(), "//ssn"),
+        xml_grant(has_role("nurse"), "//record/name"),
+    ])
+    owner = Owner("hospital", base, key_seed=7)
+    owner.add_document("records", parse(
+        '<hospital><record id="r1"><name>Alice</name>'
+        '<diagnosis>flu</diagnosis><ssn>123</ssn></record>'
+        '<record id="r2"><name>Bob</name><diagnosis>cold</diagnosis>'
+        '<ssn>456</ssn></record></hospital>'))
+    owner.add_document("annex", parse(
+        '<hospital><record id="r9"><name>Zed</name>'
+        '<diagnosis>ok</diagnosis><ssn>789</ssn></record></hospital>'))
+    return base, owner
+
+
+class TestOwner:
+    def test_summary_signature_verifies(self):
+        _base, owner = build_world()
+        summary = owner.summary_signature("records")
+        assert summary.verify(owner.public_key)
+
+    def test_policy_map_verifies(self):
+        _base, owner = build_world()
+        assert owner.policy_map("records").verify(owner.public_key)
+
+    def test_ticket_binds_credentials(self):
+        _base, owner = build_world()
+        ticket = owner.issue_ticket(DOCTOR)
+        assert ticket.verify(owner.public_key)
+        assert ticket.credential_digest == credential_digest(DOCTOR)
+
+    def test_credential_digest_sensitive_to_roles(self):
+        assert credential_digest(DOCTOR) != credential_digest(NURSE)
+
+
+class TestHonestPublisher:
+    def test_doctor_answer_verifies(self):
+        base, owner = build_world()
+        publisher = Publisher()
+        owner.publish_to(publisher)
+        answer = publisher.request(DOCTOR, "records")
+        verifier = SubjectVerifier(DOCTOR, owner.public_key, base)
+        report = verifier.verify(answer)
+        assert report.ok
+        assert not report.over_delivered_paths
+
+    def test_nurse_answer_verifies_with_content_fillers(self):
+        base, owner = build_world()
+        publisher = Publisher()
+        owner.publish_to(publisher)
+        answer = publisher.request(NURSE, "records")
+        assert answer.fillers.contents  # stripped connectors
+        report = SubjectVerifier(NURSE, owner.public_key, base).verify(
+            answer)
+        assert report.ok
+
+    def test_unknown_document_raises(self):
+        _base, owner = build_world()
+        publisher = Publisher()
+        owner.publish_to(publisher)
+        with pytest.raises(RegistryError):
+            publisher.request(DOCTOR, "ghost")
+
+    def test_unfed_publisher_raises(self):
+        with pytest.raises(RegistryError):
+            Publisher().request(DOCTOR, "records")
+
+    def test_entitled_paths_differ_by_subject(self):
+        base, owner = build_world()
+        publisher = Publisher()
+        owner.publish_to(publisher)
+        answer = publisher.request(DOCTOR, "records")
+        doctor_paths = SubjectVerifier(
+            DOCTOR, owner.public_key, base).entitled_paths(answer)
+        nurse_paths = SubjectVerifier(
+            NURSE, owner.public_key, base).entitled_paths(answer)
+        assert nurse_paths < doctor_paths
+        assert not any("ssn" in path for path in doctor_paths)
+
+
+class TestAttacks:
+    @pytest.mark.parametrize("mode,authentic,complete", [
+        ("tamper", False, True),
+        ("omit", False, False),
+        ("swap", False, True),
+    ])
+    def test_attack_detection(self, mode, authentic, complete):
+        base, owner = build_world()
+        publisher = MaliciousPublisher(mode)
+        owner.publish_to(publisher)
+        answer = publisher.request(DOCTOR, "records")
+        report = SubjectVerifier(DOCTOR, owner.public_key, base).verify(
+            answer)
+        assert report.authentic is authentic
+        assert report.complete is complete
+
+    def test_tamper_raises_integrity_error(self):
+        base, owner = build_world()
+        publisher = MaliciousPublisher("tamper")
+        owner.publish_to(publisher)
+        answer = publisher.request(DOCTOR, "records")
+        verifier = SubjectVerifier(DOCTOR, owner.public_key, base)
+        with pytest.raises(IntegrityError):
+            verifier.check_authenticity(answer)
+
+    def test_swap_raises_authentication_error(self):
+        base, owner = build_world()
+        publisher = MaliciousPublisher("swap")
+        owner.publish_to(publisher)
+        answer = publisher.request(DOCTOR, "records")
+        verifier = SubjectVerifier(DOCTOR, owner.public_key, base)
+        with pytest.raises(AuthenticationError):
+            verifier.check_authenticity(answer)
+
+    def test_omit_raises_completeness_error(self):
+        base, owner = build_world()
+        publisher = MaliciousPublisher("omit")
+        owner.publish_to(publisher)
+        answer = publisher.request(DOCTOR, "records")
+        verifier = SubjectVerifier(DOCTOR, owner.public_key, base)
+        with pytest.raises(CompletenessError):
+            verifier.check_completeness(answer)
+
+    def test_unknown_attack_mode_rejected(self):
+        with pytest.raises(RegistryError):
+            MaliciousPublisher("explode")

@@ -1,0 +1,114 @@
+"""Tests for RDF containers and reification."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.rdfdb.containers import (
+    container_nodes,
+    create_container,
+    membership_index,
+    membership_property,
+    read_container,
+)
+from repro.rdfdb.model import RDF, Literal, Namespace, Triple, triple
+from repro.rdfdb.reification import (
+    described_statement,
+    is_reification_node,
+    reifications_of,
+    reify,
+)
+from repro.rdfdb.store import TripleStore
+
+EX = Namespace("http://ex/")
+
+
+class TestContainers:
+    def test_create_and_read_seq(self):
+        store = TripleStore()
+        node = create_container(store, "Seq",
+                                [Literal("a"), Literal("b")])
+        view = read_container(store, node)
+        assert view.kind == "Seq"
+        assert view.members == (Literal("a"), Literal("b"))
+        assert view.intact
+
+    def test_all_kinds(self):
+        store = TripleStore()
+        for kind in ("Bag", "Seq", "Alt"):
+            node = create_container(store, kind, [Literal("x")])
+            assert read_container(store, node).kind == kind
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_container(TripleStore(), "List", [])
+
+    def test_membership_property_roundtrip(self):
+        assert membership_index(membership_property(7)) == 7
+        assert membership_index(EX.notMember) is None
+        with pytest.raises(ConfigurationError):
+            membership_property(0)
+
+    def test_gap_detection(self):
+        store = TripleStore()
+        node = create_container(store, "Seq",
+                                [Literal("a"), Literal("b"),
+                                 Literal("c")])
+        store.remove(Triple(node, membership_property(2), Literal("b")))
+        view = read_container(store, node)
+        assert view.gaps == (2,)
+        assert not view.intact
+        assert view.members == (Literal("a"), Literal("c"))
+
+    def test_container_nodes_enumeration(self):
+        store = TripleStore()
+        create_container(store, "Bag", [Literal("x")])
+        create_container(store, "Alt", [Literal("y")])
+        assert len(container_nodes(store)) == 2
+
+
+class TestReification:
+    def test_reify_does_not_assert(self):
+        store = TripleStore()
+        statement = triple(EX.alice, EX.worksFor, EX.cia)
+        reify(store, statement)
+        assert statement not in store
+
+    def test_quadruple_shape(self):
+        store = TripleStore()
+        statement = triple(EX.alice, EX.worksFor, EX.cia)
+        node = reify(store, statement)
+        assert is_reification_node(store, node)
+        assert store.value(node, RDF.subject) == EX.alice
+        assert store.value(node, RDF.predicate) == EX.worksFor
+        assert store.value(node, RDF.object) == EX.cia
+
+    def test_described_statement_roundtrip(self):
+        store = TripleStore()
+        statement = triple(EX.alice, EX.worksFor, EX.cia)
+        node = reify(store, statement)
+        assert described_statement(store, node) == statement
+
+    def test_described_statement_incomplete_is_none(self):
+        store = TripleStore()
+        node = EX.partial
+        store.add(Triple(node, RDF.type, RDF.Statement))
+        store.add(Triple(node, RDF.subject, EX.alice))
+        assert described_statement(store, node) is None
+
+    def test_reifications_of_finds_all(self):
+        store = TripleStore()
+        statement = triple(EX.alice, EX.worksFor, EX.cia)
+        first = reify(store, statement)
+        second = reify(store, statement)
+        other = reify(store, triple(EX.bob, EX.worksFor, EX.fbi))
+        found = reifications_of(store, statement)
+        assert set(found) == {first, second}
+        assert other not in found
+
+    def test_annotations_on_statement_node(self):
+        store = TripleStore()
+        statement = triple(EX.alice, EX.worksFor, EX.cia)
+        node = reify(store, statement)
+        store.add(Triple(node, EX.assertedBy, EX.informer))
+        from repro.rdfdb.reification import reification_triples
+        assert len(reification_triples(store, node)) == 5

@@ -1,0 +1,113 @@
+"""Tests for RDFS inference."""
+
+from repro.rdfdb.model import RDF, RDFS, Namespace, triple
+from repro.rdfdb.schema import derivation_supports, rdfs_closure
+from repro.rdfdb.store import TripleStore
+
+EX = Namespace("http://ex/")
+
+
+def closure_of(*triples):
+    store = TripleStore(triples)
+    closed, derived = rdfs_closure(store)
+    return store, closed, derived
+
+
+class TestClosureRules:
+    def test_rdfs9_type_propagation(self):
+        _store, closed, derived = closure_of(
+            triple(EX.alice, RDF.type, EX.Doctor),
+            triple(EX.Doctor, RDFS.subClassOf, EX.Person))
+        assert triple(EX.alice, RDF.type, EX.Person) in closed
+        assert len(derived) == 1
+
+    def test_rdfs11_subclass_transitivity(self):
+        _store, closed, _ = closure_of(
+            triple(EX.A, RDFS.subClassOf, EX.B),
+            triple(EX.B, RDFS.subClassOf, EX.C))
+        assert triple(EX.A, RDFS.subClassOf, EX.C) in closed
+
+    def test_rdfs7_subproperty(self):
+        _store, closed, _ = closure_of(
+            triple(EX.alice, EX.manages, EX.bob),
+            triple(EX.manages, RDFS.subPropertyOf, EX.worksWith))
+        assert triple(EX.alice, EX.worksWith, EX.bob) in closed
+
+    def test_rdfs5_subproperty_transitivity(self):
+        _store, closed, _ = closure_of(
+            triple(EX.p, RDFS.subPropertyOf, EX.q),
+            triple(EX.q, RDFS.subPropertyOf, EX.r))
+        assert triple(EX.p, RDFS.subPropertyOf, EX.r) in closed
+
+    def test_rdfs2_domain(self):
+        _store, closed, _ = closure_of(
+            triple(EX.treats, RDFS.domain, EX.Doctor),
+            triple(EX.alice, EX.treats, EX.bob))
+        assert triple(EX.alice, RDF.type, EX.Doctor) in closed
+
+    def test_rdfs3_range(self):
+        _store, closed, _ = closure_of(
+            triple(EX.treats, RDFS.range, EX.Patient),
+            triple(EX.alice, EX.treats, EX.bob))
+        assert triple(EX.bob, RDF.type, EX.Patient) in closed
+
+    def test_range_does_not_type_literals(self):
+        _store, closed, _ = closure_of(
+            triple(EX.name, RDFS.range, EX.Name),
+            triple(EX.alice, EX.name, "Alice"))
+        assert not closed.match(None, RDF.type, EX.Name)
+
+    def test_multi_step_chains(self):
+        _store, closed, _ = closure_of(
+            triple(EX.alice, RDF.type, EX.A),
+            triple(EX.A, RDFS.subClassOf, EX.B),
+            triple(EX.B, RDFS.subClassOf, EX.C),
+            triple(EX.C, RDFS.subClassOf, EX.D))
+        assert triple(EX.alice, RDF.type, EX.D) in closed
+
+    def test_input_store_unchanged(self):
+        store, closed, derived = closure_of(
+            triple(EX.alice, RDF.type, EX.A),
+            triple(EX.A, RDFS.subClassOf, EX.B))
+        assert len(store) == 2
+        assert len(closed) == 3
+
+    def test_closure_idempotent(self):
+        _store, closed, _ = closure_of(
+            triple(EX.alice, RDF.type, EX.A),
+            triple(EX.A, RDFS.subClassOf, EX.B))
+        reclosed, rederived = rdfs_closure(closed)
+        assert len(reclosed) == len(closed)
+        assert rederived == []
+
+
+class TestDerivationSupports:
+    def test_rdfs9_support_found(self):
+        store = TripleStore([
+            triple(EX.alice, RDF.type, EX.Doctor),
+            triple(EX.Doctor, RDFS.subClassOf, EX.Person)])
+        closed, _ = rdfs_closure(store)
+        supports = derivation_supports(
+            closed, triple(EX.alice, RDF.type, EX.Person))
+        assert len(supports) == 1
+        assert triple(EX.alice, RDF.type, EX.Doctor) in supports[0]
+
+    def test_multiple_supports(self):
+        store = TripleStore([
+            triple(EX.alice, RDF.type, EX.Doctor),
+            triple(EX.Doctor, RDFS.subClassOf, EX.Person),
+            triple(EX.alice, RDF.type, EX.Pilot),
+            triple(EX.Pilot, RDFS.subClassOf, EX.Person)])
+        closed, _ = rdfs_closure(store)
+        supports = derivation_supports(
+            closed, triple(EX.alice, RDF.type, EX.Person))
+        assert len(supports) == 2
+
+    def test_subproperty_support(self):
+        store = TripleStore([
+            triple(EX.alice, EX.manages, EX.bob),
+            triple(EX.manages, RDFS.subPropertyOf, EX.worksWith)])
+        closed, _ = rdfs_closure(store)
+        supports = derivation_supports(
+            closed, triple(EX.alice, EX.worksWith, EX.bob))
+        assert supports

@@ -1,0 +1,157 @@
+"""Tests for semantic-level RDF access control."""
+
+from repro.core.mls import PUBLIC, Label, Level
+from repro.rdfdb.model import RDF, RDFS, Namespace, triple
+from repro.rdfdb.containers import create_container, membership_property
+from repro.rdfdb.model import Literal, Triple
+from repro.rdfdb.reification import reify
+from repro.rdfdb.security import SecureRdfStore
+
+EX = Namespace("http://ex/")
+SECRET = Label(Level.SECRET)
+CLEARED = Label(Level.SECRET)
+UNCLEARED = Label(Level.UNCLASSIFIED)
+
+
+def spy_store() -> tuple[SecureRdfStore, Triple]:
+    store = SecureRdfStore()
+    secret_fact = triple(EX.alice, EX.worksFor, EX.cia)
+    store.add(triple(EX.alice, RDF.type, EX.Person))
+    store.add(secret_fact)
+    store.classify(secret_fact, SECRET)
+    return store, secret_fact
+
+
+class TestStoredTripleFiltering:
+    def test_uncleared_reader_filtered(self):
+        store, secret_fact = spy_store()
+        visible = store.query(UNCLEARED)
+        assert secret_fact not in visible
+        assert len(visible) == 1
+
+    def test_cleared_reader_sees_all(self):
+        store, secret_fact = spy_store()
+        assert secret_fact in store.query(CLEARED)
+
+    def test_pattern_classification(self):
+        store = SecureRdfStore()
+        store.add(triple(EX.a, EX.salary, 100))
+        store.add(triple(EX.b, EX.salary, 200))
+        store.add(triple(EX.a, EX.name, "A"))
+        touched = store.classify_pattern(SECRET, predicate=EX.salary)
+        assert touched == 2
+        assert len(store.query(UNCLEARED)) == 1
+
+
+class TestInferenceEnforcement:
+    def build(self) -> SecureRdfStore:
+        store = SecureRdfStore()
+        secret_fact = triple(EX.alice, EX.worksFor, EX.cia)
+        store.add(secret_fact)
+        store.classify(secret_fact, SECRET)
+        store.add(triple(EX.worksFor, RDFS.domain, EX.Employee))
+        return store
+
+    def test_semantic_mode_hides_entailments_of_secrets(self):
+        store = self.build()
+        results = store.query(UNCLEARED, infer=True, semantic=True)
+        assert triple(EX.alice, RDF.type, EX.Employee) not in results
+
+    def test_naive_mode_leaks_entailments(self):
+        store = self.build()
+        results = store.query(UNCLEARED, infer=True, semantic=False)
+        assert triple(EX.alice, RDF.type, EX.Employee) in results
+
+    def test_leak_report(self):
+        store = self.build()
+        leaks = store.leaked_by_syntactic_enforcement(UNCLEARED)
+        assert triple(EX.alice, RDF.type, EX.Employee) in leaks
+
+    def test_cleared_reader_gets_entailments(self):
+        store = self.build()
+        results = store.query(CLEARED, infer=True, semantic=True)
+        assert triple(EX.alice, RDF.type, EX.Employee) in results
+
+    def test_semantic_labels_take_cheapest_derivation(self):
+        # The same fact derivable from a public chain stays public.
+        store = SecureRdfStore()
+        secret_fact = triple(EX.alice, RDF.type, EX.Spy)
+        store.add(secret_fact)
+        store.classify(secret_fact, SECRET)
+        store.add(triple(EX.Spy, RDFS.subClassOf, EX.Person))
+        store.add(triple(EX.alice, RDF.type, EX.Doctor))
+        store.add(triple(EX.Doctor, RDFS.subClassOf, EX.Person))
+        labels = store.semantic_labels()
+        derived = triple(EX.alice, RDF.type, EX.Person)
+        assert labels[derived] == PUBLIC
+
+
+class TestReificationProtection:
+    def test_reification_co_classified(self):
+        store, secret_fact = spy_store()
+        reify(store.store, secret_fact)
+        store.classify(secret_fact, SECRET)  # re-run with co-protection
+        assert store.reification_leaks(UNCLEARED) == []
+
+    def test_leak_detected_without_co_protection(self):
+        store, secret_fact = spy_store()
+        reify(store.store, secret_fact)
+        # No re-classification: the quadruple stays at default PUBLIC.
+        leaks = store.reification_leaks(UNCLEARED)
+        assert len(leaks) >= 3
+
+    def test_cleared_reader_not_reported(self):
+        store, secret_fact = spy_store()
+        reify(store.store, secret_fact)
+        assert store.reification_leaks(CLEARED) == []
+
+
+class TestContainerProtection:
+    def test_container_classified_atomically(self):
+        store = SecureRdfStore()
+        node = create_container(store.store, "Seq",
+                                [Literal("a"), Literal("b")])
+        touched = store.classify_container(node, SECRET)
+        assert touched == 3  # type triple + two memberships
+        visible = store.query(UNCLEARED)
+        assert all(t.subject != node for t in visible)
+
+    def test_partial_protection_leaves_detectable_gap(self):
+        store = SecureRdfStore()
+        node = create_container(store.store, "Seq",
+                                [Literal("a"), Literal("b"),
+                                 Literal("c")])
+        store.classify(Triple(node, membership_property(2),
+                              Literal("b")), SECRET,
+                       protect_reifications=False)
+        from repro.rdfdb.containers import read_container
+        from repro.rdfdb.store import TripleStore
+        visible = TripleStore(store.query(UNCLEARED))
+        view = read_container(visible, node)
+        assert view.gaps == (2,)
+
+
+class TestContexts:
+    def test_context_reclassifies_while_active(self):
+        store = SecureRdfStore()
+        report = triple(EX.report, EX.status, "troop positions")
+        store.add(report)
+        store.add_context_rule(report, "wartime", SECRET)
+        store.set_context("wartime", True)
+        assert report not in store.query(UNCLEARED)
+        store.set_context("wartime", False)
+        assert report in store.query(UNCLEARED)
+
+    def test_inactive_context_uses_base_label(self):
+        store = SecureRdfStore()
+        fact = triple(EX.x, EX.p, EX.y)
+        store.add(fact, label=SECRET)
+        store.add_context_rule(fact, "amnesty", PUBLIC)
+        assert fact not in store.query(UNCLEARED)
+        store.set_context("amnesty", True)
+        assert fact in store.query(UNCLEARED)
+
+    def test_active_contexts_tracked(self):
+        store = SecureRdfStore()
+        store.set_context("wartime", True)
+        assert store.active_contexts() == frozenset({"wartime"})

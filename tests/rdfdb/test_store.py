@@ -1,0 +1,123 @@
+"""Tests for the RDF model and triple store."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.rdfdb.model import (
+    IRI,
+    BlankNode,
+    Literal,
+    Namespace,
+    Triple,
+    blank,
+    triple,
+)
+from repro.rdfdb.store import TripleStore
+
+EX = Namespace("http://ex/")
+
+
+class TestTerms:
+    def test_iri_local_name(self):
+        assert IRI("http://ex/alice").local_name == "alice"
+        assert IRI("http://ex/ns#thing").local_name == "thing"
+        assert IRI("plain").local_name == "plain"
+
+    def test_invalid_iri_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IRI("has space")
+        with pytest.raises(ConfigurationError):
+            IRI("")
+
+    def test_namespace_builders(self):
+        assert EX.alice == IRI("http://ex/alice")
+        assert EX["with-dash"] == IRI("http://ex/with-dash")
+
+    def test_literal_numbers(self):
+        assert Literal.number(42).as_number() == 42.0
+        with pytest.raises(ConfigurationError):
+            Literal("x").as_number()
+
+    def test_blank_nodes_fresh(self):
+        assert blank() != blank()
+
+
+class TestTripleValidation:
+    def test_coercion_in_builder(self):
+        t = triple(EX.alice, EX.age, 30)
+        assert isinstance(t.object, Literal)
+        assert t.object.datatype == "number"
+        t2 = triple(EX.alice, EX.name, "Alice")
+        assert isinstance(t2.object, Literal)
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Triple(Literal("x"), EX.p, EX.o)  # type: ignore[arg-type]
+
+    def test_non_iri_predicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Triple(EX.s, BlankNode("b"), EX.o)  # type: ignore[arg-type]
+
+
+class TestStore:
+    def make(self) -> TripleStore:
+        store = TripleStore()
+        store.add(triple(EX.alice, EX.knows, EX.bob))
+        store.add(triple(EX.alice, EX.age, 30))
+        store.add(triple(EX.bob, EX.knows, EX.alice))
+        return store
+
+    def test_add_deduplicates(self):
+        store = self.make()
+        assert not store.add(triple(EX.alice, EX.knows, EX.bob))
+        assert len(store) == 3
+
+    def test_contains(self):
+        store = self.make()
+        assert triple(EX.alice, EX.age, 30) in store
+        assert triple(EX.alice, EX.age, 31) not in store
+
+    def test_match_by_each_position(self):
+        store = self.make()
+        assert len(store.match(subject=EX.alice)) == 2
+        assert len(store.match(predicate=EX.knows)) == 2
+        assert len(store.match(obj=EX.alice)) == 1
+
+    def test_match_combined(self):
+        store = self.make()
+        found = store.match(EX.alice, EX.knows, None)
+        assert len(found) == 1 and found[0].object == EX.bob
+
+    def test_match_everything(self):
+        assert len(self.make().match()) == 3
+
+    def test_insertion_order_preserved(self):
+        store = self.make()
+        subjects = [t.subject for t in store.match(predicate=EX.knows)]
+        assert subjects == [EX.alice, EX.bob]
+
+    def test_remove(self):
+        store = self.make()
+        assert store.remove(triple(EX.alice, EX.age, 30))
+        assert not store.remove(triple(EX.alice, EX.age, 30))
+        assert len(store) == 2
+        assert store.match(EX.alice, EX.age, None) == []
+
+    def test_subjects_objects_value(self):
+        store = self.make()
+        assert store.subjects(predicate=EX.knows) == [EX.alice, EX.bob]
+        assert store.objects(EX.alice, EX.knows) == [EX.bob]
+        assert store.value(EX.alice, EX.age) == Literal.number(30)
+        assert store.value(EX.alice, EX.nothing) is None
+
+    def test_copy_is_independent(self):
+        store = self.make()
+        copied = store.copy()
+        copied.add(triple(EX.x, EX.y, EX.z))
+        assert len(store) == 3 and len(copied) == 4
+
+    def test_add_all(self):
+        store = TripleStore()
+        added = store.add_all([triple(EX.a, EX.p, EX.b),
+                               triple(EX.a, EX.p, EX.b)])
+        assert added == 1

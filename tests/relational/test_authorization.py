@@ -1,0 +1,166 @@
+"""Tests for System R GRANT/REVOKE."""
+
+import pytest
+
+from repro.core.errors import AccessDenied, ConfigurationError
+from repro.relational.authorization import (
+    AuthorizationManager,
+    Privilege,
+)
+
+
+def manager() -> AuthorizationManager:
+    auth = AuthorizationManager()
+    auth.set_owner("emp", "dba")
+    return auth
+
+
+class TestGranting:
+    def test_owner_has_everything(self):
+        auth = manager()
+        for privilege in Privilege:
+            assert auth.has_privilege("dba", "emp", privilege)
+
+    def test_owner_can_grant(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT)
+        assert auth.has_privilege("alice", "emp", Privilege.SELECT)
+        assert not auth.has_privilege("alice", "emp", Privilege.INSERT)
+
+    def test_non_holder_cannot_grant(self):
+        auth = manager()
+        with pytest.raises(AccessDenied):
+            auth.grant("mallory", "friend", "emp", Privilege.SELECT)
+
+    def test_grantee_without_option_cannot_regrant(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT)
+        with pytest.raises(AccessDenied):
+            auth.grant("alice", "bob", "emp", Privilege.SELECT)
+
+    def test_grant_option_enables_regrant(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("alice", "bob", "emp", Privilege.SELECT)
+        assert auth.has_privilege("bob", "emp", Privilege.SELECT)
+
+    def test_enforce_raises(self):
+        auth = manager()
+        with pytest.raises(AccessDenied):
+            auth.enforce("nobody", "emp", Privilege.SELECT)
+
+
+class TestRestrictions:
+    def test_owner_unrestricted(self):
+        auth = manager()
+        row_filter, mask = auth.restriction("dba", "emp",
+                                            Privilege.SELECT)
+        assert row_filter is None and mask == ()
+
+    def test_single_grant_restriction(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   row_filter=lambda r: r["dept"] == "onc",
+                   column_mask=["salary"])
+        row_filter, mask = auth.restriction("alice", "emp",
+                                            Privilege.SELECT)
+        assert row_filter({"dept": "onc"})
+        assert not row_filter({"dept": "icu"})
+        assert mask == ("salary",)
+
+    def test_union_of_filters(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   row_filter=lambda r: r["dept"] == "onc")
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   row_filter=lambda r: r["dept"] == "icu")
+        row_filter, _ = auth.restriction("alice", "emp",
+                                         Privilege.SELECT)
+        assert row_filter({"dept": "onc"})
+        assert row_filter({"dept": "icu"})
+        assert not row_filter({"dept": "lab"})
+
+    def test_unfiltered_grant_wins(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   row_filter=lambda r: False)
+        auth.grant("dba", "alice", "emp", Privilege.SELECT)
+        row_filter, _ = auth.restriction("alice", "emp",
+                                         Privilege.SELECT)
+        assert row_filter is None
+
+    def test_mask_intersection(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   column_mask=["salary", "name"])
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   column_mask=["salary"])
+        _, mask = auth.restriction("alice", "emp", Privilege.SELECT)
+        assert mask == ("salary",)
+
+    def test_no_grant_raises(self):
+        auth = manager()
+        with pytest.raises(AccessDenied):
+            auth.restriction("nobody", "emp", Privilege.SELECT)
+
+
+class TestRevocation:
+    def test_simple_revoke(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT)
+        auth.revoke("dba", "alice", "emp", Privilege.SELECT)
+        assert not auth.has_privilege("alice", "emp", Privilege.SELECT)
+
+    def test_revoke_nothing_raises(self):
+        auth = manager()
+        with pytest.raises(ConfigurationError):
+            auth.revoke("dba", "alice", "emp", Privilege.SELECT)
+
+    def test_cascading_revoke(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("alice", "bob", "emp", Privilege.SELECT)
+        removed = auth.revoke("dba", "alice", "emp", Privilege.SELECT)
+        assert len(removed) == 2
+        assert not auth.has_privilege("bob", "emp", Privilege.SELECT)
+
+    def test_independent_path_survives(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("dba", "carol", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("alice", "bob", "emp", Privilege.SELECT)
+        auth.grant("carol", "bob", "emp", Privilege.SELECT)
+        auth.revoke("dba", "alice", "emp", Privilege.SELECT)
+        assert auth.has_privilege("bob", "emp", Privilege.SELECT)
+
+    def test_timestamp_rule(self):
+        # System R: a regrant made *before* the grantor acquired an
+        # independent path does not survive on that path.
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("alice", "bob", "emp", Privilege.SELECT)       # t1
+        auth.grant("dba", "alice2", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        # bob's grant predates nothing else from alice; revoking alice
+        # kills bob even though alice2 could re-grant later.
+        auth.revoke("dba", "alice", "emp", Privilege.SELECT)
+        assert not auth.has_privilege("bob", "emp", Privilege.SELECT)
+
+    def test_deep_cascade(self):
+        auth = manager()
+        auth.grant("dba", "a", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("a", "b", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("b", "c", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("c", "d", "emp", Privilege.SELECT)
+        removed = auth.revoke("dba", "a", "emp", Privilege.SELECT)
+        assert len(removed) == 4
+        for user in ("a", "b", "c", "d"):
+            assert not auth.has_privilege(user, "emp", Privilege.SELECT)

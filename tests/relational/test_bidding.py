@@ -1,0 +1,139 @@
+"""Tests for the two web-transaction (auction) models."""
+
+import pytest
+
+from repro.core.errors import TransactionError
+from repro.relational.bidding import (
+    Bid,
+    ImmediateLockAuction,
+    ItemState,
+    OpenBidAuction,
+)
+
+
+class TestImmediateLock:
+    def test_first_bid_locks(self):
+        auction = ImmediateLockAuction()
+        auction.list_item("i1", 10.0)
+        assert auction.place_bid(Bid("alice", "i1", 12.0))
+        assert auction.item("i1").state is ItemState.LOCKED
+
+    def test_later_bids_rejected_while_locked(self):
+        auction = ImmediateLockAuction()
+        auction.list_item("i1", 10.0)
+        auction.place_bid(Bid("alice", "i1", 12.0))
+        assert not auction.place_bid(Bid("bob", "i1", 50.0))
+        assert auction.stats.bids_rejected == 1
+
+    def test_below_reserve_rejected(self):
+        auction = ImmediateLockAuction()
+        auction.list_item("i1", 10.0)
+        assert not auction.place_bid(Bid("alice", "i1", 5.0))
+
+    def test_complete_sale(self):
+        auction = ImmediateLockAuction()
+        auction.list_item("i1", 10.0)
+        auction.place_bid(Bid("alice", "i1", 12.0))
+        item = auction.complete_sale("i1")
+        assert item.state is ItemState.SOLD
+        assert item.winner == "alice" and item.sale_price == 12.0
+        assert auction.stats.revenue == 12.0
+
+    def test_complete_without_lock_raises(self):
+        auction = ImmediateLockAuction()
+        auction.list_item("i1", 10.0)
+        with pytest.raises(TransactionError):
+            auction.complete_sale("i1")
+
+    def test_release_reopens(self):
+        auction = ImmediateLockAuction()
+        auction.list_item("i1", 10.0)
+        auction.place_bid(Bid("alice", "i1", 12.0))
+        auction.release("i1")
+        assert auction.item("i1").state is ItemState.OPEN
+        assert auction.place_bid(Bid("bob", "i1", 11.0))
+
+    def test_lock_holder_gets_item_even_if_lower(self):
+        # The documented pathology: the first bidder wins regardless of
+        # later, better offers.
+        auction = ImmediateLockAuction()
+        auction.list_item("i1", 10.0)
+        auction.place_bid(Bid("cheap", "i1", 10.0))
+        auction.place_bid(Bid("rich", "i1", 100.0))
+        item = auction.complete_sale("i1")
+        assert item.winner == "cheap" and item.sale_price == 10.0
+
+    def test_duplicate_listing_rejected(self):
+        auction = ImmediateLockAuction()
+        auction.list_item("i1", 10.0)
+        with pytest.raises(TransactionError):
+            auction.list_item("i1", 10.0)
+
+
+class TestOpenBid:
+    def test_bids_accumulate(self):
+        auction = OpenBidAuction()
+        auction.list_item("i1", 10.0)
+        for amount in (11.0, 12.0, 9.0):
+            assert auction.place_bid(Bid(f"b{amount}", "i1", amount))
+        assert auction.bid_count("i1") == 3
+        assert auction.stats.bids_rejected == 0
+
+    def test_close_sells_to_best(self):
+        auction = OpenBidAuction()
+        auction.list_item("i1", 10.0)
+        auction.place_bid(Bid("cheap", "i1", 10.0))
+        auction.place_bid(Bid("rich", "i1", 100.0))
+        item = auction.close("i1")
+        assert item.winner == "rich" and item.sale_price == 100.0
+
+    def test_reserve_enforced_at_close(self):
+        auction = OpenBidAuction()
+        auction.list_item("i1", 50.0)
+        auction.place_bid(Bid("low", "i1", 20.0))
+        item = auction.close("i1")
+        assert item.winner is None and item.sale_price is None
+        assert auction.stats.items_sold == 0
+
+    def test_bids_after_close_rejected(self):
+        auction = OpenBidAuction()
+        auction.list_item("i1", 10.0)
+        auction.close("i1")
+        assert not auction.place_bid(Bid("late", "i1", 99.0))
+
+    def test_double_close_raises(self):
+        auction = OpenBidAuction()
+        auction.list_item("i1", 10.0)
+        auction.close("i1")
+        with pytest.raises(TransactionError):
+            auction.close("i1")
+
+    def test_tie_broken_deterministically(self):
+        auction = OpenBidAuction()
+        auction.list_item("i1", 1.0)
+        auction.place_bid(Bid("aaa", "i1", 5.0))
+        auction.place_bid(Bid("zzz", "i1", 5.0))
+        assert auction.close("i1").winner == "zzz"
+
+
+class TestModelComparison:
+    def test_open_bid_extracts_more_revenue(self):
+        # Same bid stream through both models: open bidding finds the
+        # best price; immediate locking keeps the first.
+        stream = [Bid("b1", "i", 10.0), Bid("b2", "i", 30.0),
+                  Bid("b3", "i", 20.0)]
+        locked = ImmediateLockAuction()
+        locked.list_item("i", 10.0)
+        for bid in stream:
+            locked.place_bid(bid)
+        locked.complete_sale("i")
+
+        open_model = OpenBidAuction()
+        open_model.list_item("i", 10.0)
+        for bid in stream:
+            open_model.place_bid(bid)
+        open_model.close("i")
+
+        assert open_model.stats.revenue > locked.stats.revenue
+        assert locked.stats.bids_rejected > 0
+        assert open_model.stats.bids_rejected == 0

@@ -1,0 +1,207 @@
+"""Tests for the lock manager and WAL recovery."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import IntegrityError, TransactionError
+from repro.relational.database import Database
+from repro.relational.locks import (
+    AcquireResult,
+    LockManager,
+    LockMode,
+)
+from repro.relational.recovery import (
+    LoggedDatabase,
+    LogKind,
+    WriteAheadLog,
+    recover,
+)
+from repro.relational.table import schema
+
+
+class TestLockCompatibility:
+    def test_shared_locks_coexist(self):
+        manager = LockManager()
+        assert manager.acquire("t1", "r", LockMode.SHARED) is \
+            AcquireResult.GRANTED
+        assert manager.acquire("t2", "r", LockMode.SHARED) is \
+            AcquireResult.GRANTED
+
+    def test_exclusive_blocks_everyone(self):
+        manager = LockManager()
+        manager.acquire("t1", "r", LockMode.EXCLUSIVE)
+        assert manager.acquire("t2", "r", LockMode.SHARED) is \
+            AcquireResult.WOULD_WAIT
+        assert manager.acquire("t3", "r", LockMode.EXCLUSIVE) is \
+            AcquireResult.WOULD_WAIT
+
+    def test_reacquire_is_idempotent(self):
+        manager = LockManager()
+        manager.acquire("t1", "r", LockMode.EXCLUSIVE)
+        assert manager.acquire("t1", "r", LockMode.EXCLUSIVE) is \
+            AcquireResult.GRANTED
+        assert manager.acquire("t1", "r", LockMode.SHARED) is \
+            AcquireResult.GRANTED  # X covers S
+
+    def test_upgrade_when_sole_holder(self):
+        manager = LockManager()
+        manager.acquire("t1", "r", LockMode.SHARED)
+        assert manager.acquire("t1", "r", LockMode.EXCLUSIVE) is \
+            AcquireResult.GRANTED
+
+    def test_upgrade_blocked_by_other_sharer(self):
+        manager = LockManager()
+        manager.acquire("t1", "r", LockMode.SHARED)
+        manager.acquire("t2", "r", LockMode.SHARED)
+        assert manager.acquire("t1", "r", LockMode.EXCLUSIVE) is not \
+            AcquireResult.GRANTED
+
+
+class TestDeadlockDetection:
+    def test_two_party_cycle_detected(self):
+        manager = LockManager()
+        manager.acquire("t1", "a", LockMode.EXCLUSIVE)
+        manager.acquire("t2", "b", LockMode.EXCLUSIVE)
+        assert manager.acquire("t1", "b", LockMode.EXCLUSIVE) is \
+            AcquireResult.WOULD_WAIT
+        assert manager.acquire("t2", "a", LockMode.EXCLUSIVE) is \
+            AcquireResult.DEADLOCK
+        assert manager.deadlocks_detected == 1
+
+    def test_three_party_cycle_detected(self):
+        manager = LockManager()
+        for txn, resource in (("t1", "a"), ("t2", "b"), ("t3", "c")):
+            manager.acquire(txn, resource, LockMode.EXCLUSIVE)
+        assert manager.acquire("t1", "b", LockMode.EXCLUSIVE) is \
+            AcquireResult.WOULD_WAIT
+        assert manager.acquire("t2", "c", LockMode.EXCLUSIVE) is \
+            AcquireResult.WOULD_WAIT
+        assert manager.acquire("t3", "a", LockMode.EXCLUSIVE) is \
+            AcquireResult.DEADLOCK
+
+    def test_no_false_positive_on_chain(self):
+        manager = LockManager()
+        manager.acquire("t1", "a", LockMode.EXCLUSIVE)
+        manager.acquire("t2", "b", LockMode.EXCLUSIVE)
+        assert manager.acquire("t3", "a", LockMode.SHARED) is \
+            AcquireResult.WOULD_WAIT
+        assert manager.acquire("t3", "b", LockMode.SHARED) is \
+            AcquireResult.WOULD_WAIT  # waiting on two, no cycle
+
+    def test_acquire_or_raise(self):
+        manager = LockManager()
+        manager.acquire("t1", "a", LockMode.EXCLUSIVE)
+        with pytest.raises(TransactionError):
+            manager.acquire_or_raise("t2", "a", LockMode.SHARED)
+
+
+class TestReleaseAndWakeup:
+    def test_release_grants_fifo(self):
+        manager = LockManager()
+        manager.acquire("t1", "r", LockMode.EXCLUSIVE)
+        manager.acquire("t2", "r", LockMode.EXCLUSIVE)
+        manager.acquire("t3", "r", LockMode.EXCLUSIVE)
+        woken = manager.release_all("t1")
+        assert woken == ["t2"]
+        assert manager.holders("r") == {"t2": LockMode.EXCLUSIVE}
+
+    def test_release_grants_compatible_group(self):
+        manager = LockManager()
+        manager.acquire("t1", "r", LockMode.EXCLUSIVE)
+        manager.acquire("t2", "r", LockMode.SHARED)
+        manager.acquire("t3", "r", LockMode.SHARED)
+        woken = manager.release_all("t1")
+        assert set(woken) == {"t2", "t3"}
+
+    def test_release_clears_wait_edges(self):
+        manager = LockManager()
+        manager.acquire("t1", "a", LockMode.EXCLUSIVE)
+        manager.acquire("t2", "b", LockMode.EXCLUSIVE)
+        manager.acquire("t1", "b", LockMode.EXCLUSIVE)  # t1 waits on t2
+        manager.release_all("t2")
+        # No stale edge: t2 requesting a should not be a "deadlock".
+        assert manager.acquire("t2", "a", LockMode.EXCLUSIVE) is \
+            AcquireResult.WOULD_WAIT
+
+
+def patient_schemas():
+    return [schema("emp", primary_key="id", id="int", name="text")]
+
+
+class TestRecovery:
+    def build(self):
+        database = Database()
+        for table_schema in patient_schemas():
+            database.create_table(table_schema, owner="dba")
+        return LoggedDatabase(database)
+
+    def test_committed_changes_survive_crash(self):
+        logged = self.build()
+        txn = logged.begin()
+        logged.insert(txn, "dba", "emp", id=1, name="Alice")
+        logged.insert(txn, "dba", "emp", id=2, name="Bob")
+        logged.commit(txn)
+        # crash: in-memory database is lost, only the log remains
+        recovered = recover(logged.log, patient_schemas())
+        assert len(recovered.table("emp")) == 2
+        assert recovered.table("emp").get(1)[1] == "Alice"
+
+    def test_uncommitted_changes_undone(self):
+        logged = self.build()
+        committed = logged.begin()
+        logged.insert(committed, "dba", "emp", id=1, name="Alice")
+        logged.commit(committed)
+        in_flight = logged.begin()
+        logged.insert(in_flight, "dba", "emp", id=2, name="Ghost")
+        # crash before commit
+        recovered = recover(logged.log, patient_schemas())
+        assert len(recovered.table("emp")) == 1
+        assert recovered.table("emp").get(2) is None
+
+    def test_aborted_changes_undone(self):
+        logged = self.build()
+        txn = logged.begin()
+        logged.insert(txn, "dba", "emp", id=1, name="Oops")
+        logged.abort(txn)
+        recovered = recover(logged.log, patient_schemas())
+        assert len(recovered.table("emp")) == 0
+
+    def test_deletes_replayed(self):
+        logged = self.build()
+        txn = logged.begin()
+        logged.insert(txn, "dba", "emp", id=1, name="Alice")
+        logged.insert(txn, "dba", "emp", id=2, name="Bob")
+        logged.commit(txn)
+        txn2 = logged.begin()
+        assert logged.delete(txn2, "dba", "emp", id=1) == 1
+        logged.commit(txn2)
+        recovered = recover(logged.log, patient_schemas())
+        assert len(recovered.table("emp")) == 1
+        assert recovered.table("emp").get(1) is None
+
+    def test_operations_need_active_txn(self):
+        logged = self.build()
+        txn = logged.begin()
+        logged.commit(txn)
+        with pytest.raises(TransactionError):
+            logged.insert(txn, "dba", "emp", id=1, name="X")
+
+    def test_tampered_log_refused(self):
+        logged = self.build()
+        txn = logged.begin()
+        logged.insert(txn, "dba", "emp", id=1, name="Alice")
+        logged.commit(txn)
+        records = logged.log._records
+        records[1] = dataclasses.replace(records[1],
+                                         row=(1, "Mallory"))
+        with pytest.raises(IntegrityError):
+            recover(logged.log, patient_schemas())
+
+    def test_log_kinds_recorded(self):
+        logged = self.build()
+        txn = logged.begin()
+        logged.insert(txn, "dba", "emp", id=1, name="A")
+        logged.commit(txn)
+        kinds = [record.kind for record in logged.log]
+        assert kinds == [LogKind.BEGIN, LogKind.INSERT, LogKind.COMMIT]

@@ -1,0 +1,170 @@
+"""Tests for tables and the query engine."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.relational.query import aggregate, join, select
+from repro.relational.table import ColumnType, Table, schema
+
+
+def employees() -> Table:
+    table = Table(schema("emp", primary_key="id",
+                         id="int", name="text", dept="text",
+                         salary="float"))
+    table.insert(1, "Alice", "onc", 90.0)
+    table.insert(2, "Bob", "icu", 80.0)
+    table.insert(3, "Carol", "onc", 70.0)
+    return table
+
+
+def departments() -> Table:
+    table = Table(schema("dept", primary_key="code",
+                         code="text", floor="int"))
+    table.insert("onc", 3)
+    table.insert("icu", 1)
+    return table
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        from repro.relational.table import Column, TableSchema
+        with pytest.raises(QueryError):
+            TableSchema("t", (Column("a", ColumnType.INT),
+                              Column("a", ColumnType.INT)))
+
+    def test_pk_must_be_column(self):
+        with pytest.raises(QueryError):
+            schema("t", primary_key="ghost", a="int")
+
+    def test_type_acceptance(self):
+        assert ColumnType.INT.accepts(5)
+        assert not ColumnType.INT.accepts(True)
+        assert not ColumnType.INT.accepts("5")
+        assert ColumnType.FLOAT.accepts(5)
+        assert ColumnType.TEXT.accepts("x")
+        assert ColumnType.BOOL.accepts(False)
+        assert ColumnType.INT.accepts(None)
+
+
+class TestTable:
+    def test_insert_and_pk_lookup(self):
+        table = employees()
+        assert table.get(2)[1] == "Bob"
+        assert table.get(99) is None
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(QueryError):
+            employees().insert(4, "Dave")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(QueryError):
+            employees().insert("x", "Dave", "onc", 1.0)
+
+    def test_duplicate_pk_rejected(self):
+        with pytest.raises(QueryError):
+            employees().insert(1, "Dup", "onc", 1.0)
+
+    def test_insert_dict(self):
+        table = employees()
+        table.insert_dict(id=4, name="Dave", dept="icu", salary=60.0)
+        assert table.get(4)[1] == "Dave"
+        with pytest.raises(QueryError):
+            table.insert_dict(id=5, ghost=1)
+
+    def test_update_where(self):
+        table = employees()
+        changed = table.update_where(lambda r: r["dept"] == "onc",
+                                     {"salary": 99.0})
+        assert changed == 2
+        assert table.get(1)[3] == 99.0
+
+    def test_delete_where(self):
+        table = employees()
+        removed = table.delete_where(lambda r: r["salary"] < 85.0)
+        assert removed == 2
+        assert len(table) == 1
+        assert table.get(2) is None  # pk index rebuilt
+
+    def test_snapshot_restore(self):
+        table = employees()
+        snapshot = table.snapshot()
+        table.delete_where(lambda r: True)
+        table.restore(snapshot)
+        assert len(table) == 3 and table.get(1) is not None
+
+
+class TestSelect:
+    def test_projection(self):
+        result = select(employees(), ["name"])
+        assert result.columns == ("name",)
+        assert result.column("name") == ["Alice", "Bob", "Carol"]
+
+    def test_where(self):
+        result = select(employees(), where=lambda r: r["dept"] == "onc")
+        assert len(result) == 2
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(QueryError):
+            select(employees(), ["ghost"])
+
+    def test_order_and_limit(self):
+        result = select(employees(), ["salary"], order_by="salary",
+                        limit=2)
+        assert result.column("salary") == [70.0, 80.0]
+
+    def test_row_filter_applies_before_where(self):
+        result = select(employees(),
+                        where=lambda r: r["salary"] is not None,
+                        row_filter=lambda r: r["dept"] == "icu")
+        assert len(result) == 1
+
+    def test_column_mask_nulls_values(self):
+        result = select(employees(), column_mask=["salary"])
+        assert set(result.column("salary")) == {None}
+        assert result.column("name") == ["Alice", "Bob", "Carol"]
+
+    def test_as_dicts(self):
+        rows = select(employees(), ["id", "name"]).as_dicts()
+        assert rows[0] == {"id": 1, "name": "Alice"}
+
+
+class TestJoin:
+    def test_equi_join(self):
+        result = join(employees(), departments(), ("dept", "code"))
+        assert len(result) == 3
+        floors = result.column("dept.floor")
+        assert set(floors) == {1, 3}
+
+    def test_join_projection_and_where(self):
+        result = join(employees(), departments(), ("dept", "code"),
+                      columns=["emp.name", "dept.floor"],
+                      where=lambda r: r["dept.floor"] == 3)
+        assert sorted(result.column("emp.name")) == ["Alice", "Carol"]
+
+    def test_join_side_filters(self):
+        result = join(employees(), departments(), ("dept", "code"),
+                      left_filter=lambda r: r["salary"] > 75.0)
+        assert len(result) == 2
+
+    def test_unknown_join_column_rejected(self):
+        with pytest.raises(QueryError):
+            join(employees(), departments(), ("ghost", "code"))
+
+
+class TestAggregate:
+    def test_count_sum_avg_min_max(self):
+        result = select(employees(), ["salary"])
+        assert aggregate(result, "salary", "count") == 3
+        assert aggregate(result, "salary", "sum") == 240.0
+        assert aggregate(result, "salary", "avg") == 80.0
+        assert aggregate(result, "salary", "min") == 70.0
+        assert aggregate(result, "salary", "max") == 90.0
+
+    def test_empty_returns_none(self):
+        result = select(employees(), ["salary"],
+                        where=lambda r: False)
+        assert aggregate(result, "salary", "sum") is None
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QueryError):
+            aggregate(select(employees(), ["salary"]), "salary", "median")

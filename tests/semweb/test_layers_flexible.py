@@ -1,0 +1,129 @@
+"""Tests for the layered stack and the flexible security dial."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.semweb.flexible import (
+    ALL_ATTACK_CLASSES,
+    FlexiblePolicy,
+    Measure,
+    SituationalPolicy,
+)
+from repro.semweb.layers import ATTACK_CORPUS, LayerName, LayerStack
+
+
+class TestLayerStack:
+    def test_end_to_end_requires_all_layers(self):
+        stack = LayerStack.all_secured()
+        assert stack.end_to_end_secure()
+        stack.unsecure(LayerName.RDF)
+        assert not stack.end_to_end_secure()
+
+    def test_breach_rate_monotone(self):
+        stack = LayerStack.none_secured()
+        rates = [stack.breach_rate()]
+        for layer in LayerName:
+            stack.secure(layer)
+            rates.append(stack.breach_rate())
+        assert rates == sorted(rates, reverse=True)
+        assert rates[0] == 1.0 and rates[-1] == 0.0
+
+    def test_attack_surface_targets_unsecured(self):
+        stack = LayerStack.all_secured()
+        stack.unsecure(LayerName.XML)
+        surviving = stack.attack_surface()
+        assert surviving
+        assert all(a.target is LayerName.XML for a in surviving)
+
+    def test_weakest_unsecured_is_lowest(self):
+        stack = LayerStack.all_secured()
+        stack.unsecure(LayerName.ONTOLOGY)
+        stack.unsecure(LayerName.NETWORK)
+        assert stack.weakest_unsecured() is LayerName.NETWORK
+        assert LayerStack.all_secured().weakest_unsecured() is None
+
+    def test_undermined_layers(self):
+        # "secure TCP/IP built on untrusted communication layers":
+        # securing XML above an open network undermines XML.
+        stack = LayerStack({LayerName.XML, LayerName.RDF})
+        undermined = stack.undermined_layers()
+        assert LayerName.XML in undermined
+        assert LayerName.RDF in undermined
+        assert LayerStack.all_secured().undermined_layers() == []
+
+    def test_corpus_covers_every_layer(self):
+        targets = {a.target for a in ATTACK_CORPUS}
+        assert targets == set(LayerName)
+
+
+class TestFlexiblePolicy:
+    def test_dial_bounds_checked(self):
+        policy = FlexiblePolicy()
+        with pytest.raises(ConfigurationError):
+            policy.operating_point(101)
+        with pytest.raises(ConfigurationError):
+            policy.operating_point(-1)
+
+    def test_zero_dial_is_fast_and_risky(self):
+        point = FlexiblePolicy().operating_point(0)
+        assert point.throughput == 1.0
+        assert point.residual_risk == 1.0
+        assert point.active_measures == ()
+
+    def test_full_dial_covers_everything(self):
+        point = FlexiblePolicy().operating_point(100)
+        assert point.residual_risk == 0.0
+        assert point.covered_classes == ALL_ATTACK_CLASSES
+        assert point.throughput < 1.0
+
+    def test_frontier_monotone(self):
+        frontier = FlexiblePolicy().frontier(range(0, 101, 10))
+        risks = [p.residual_risk for p in frontier]
+        throughputs = [p.throughput for p in frontier]
+        assert risks == sorted(risks, reverse=True)
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_thirty_percent_security_means_something(self):
+        # The paper's "say thirty percent security (whatever that means)"
+        # now has a meaning: the measures active at dial 30.
+        point = FlexiblePolicy().operating_point(30)
+        assert "transport-encryption" in point.active_measures
+        assert "inference-control" not in point.active_measures
+        assert 0.0 < point.residual_risk < 1.0
+
+    def test_minimal_dial_covering(self):
+        policy = FlexiblePolicy()
+        dial = policy.minimal_dial_covering({"eavesdropping"})
+        assert dial == 10
+        dial = policy.minimal_dial_covering({"inference"})
+        assert dial == 85
+        with pytest.raises(ConfigurationError):
+            policy.minimal_dial_covering({"meteor-strike"})
+
+    def test_measure_validation(self):
+        with pytest.raises(ConfigurationError):
+            Measure("bad", 200, 1.0, frozenset())
+        with pytest.raises(ConfigurationError):
+            Measure("bad", 10, -1.0, frozenset())
+
+
+class TestSituationalPolicy:
+    def test_default_situations(self):
+        situational = SituationalPolicy(FlexiblePolicy())
+        assert situational.current == "normal"
+        assert situational.dial() == 55
+
+    def test_escalation_changes_operating_point(self):
+        situational = SituationalPolicy(FlexiblePolicy())
+        relaxed = situational.escalate_to("relaxed")
+        wartime = situational.escalate_to("under-attack")
+        assert wartime.residual_risk < relaxed.residual_risk
+        assert wartime.throughput < relaxed.throughput
+        assert wartime.residual_risk == 0.0
+
+    def test_unknown_situation_rejected(self):
+        situational = SituationalPolicy(FlexiblePolicy())
+        with pytest.raises(ConfigurationError):
+            situational.escalate_to("apocalypse")
+        with pytest.raises(ConfigurationError):
+            SituationalPolicy(FlexiblePolicy(), initial="nope")

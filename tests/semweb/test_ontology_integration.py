@@ -1,0 +1,162 @@
+"""Tests for labelled ontologies and secure integration."""
+
+import pytest
+
+from repro.core.credentials import CredentialType
+from repro.core.errors import ConfigurationError
+from repro.core.mls import PUBLIC, Label, Level
+from repro.core.subjects import Subject
+from repro.rdfdb.model import Namespace, triple
+from repro.rdfdb.security import SecureRdfStore
+from repro.semweb.integration import SecureIntegrator, SourceBinding
+from repro.semweb.ontology import (
+    Ontology,
+    OntologyPolicyRule,
+    Term,
+    policy_from_ontology,
+)
+
+EX = Namespace("http://ex/")
+SECRET = Label(Level.SECRET)
+UNCLEARED = Label(Level.UNCLASSIFIED)
+
+
+def medical_ontology() -> Ontology:
+    ontology = Ontology("medical")
+    ontology.add_term("record")
+    ontology.add_term("medical-record", parents=["record"])
+    ontology.add_term("diagnosis", parents=["medical-record"])
+    ontology.add_term("psych-eval", parents=["diagnosis"],
+                      label=SECRET)
+    ontology.add_term("billing", parents=["record"])
+    return ontology
+
+
+class TestOntology:
+    def test_ancestors_and_descendants(self):
+        ontology = medical_ontology()
+        assert Term("record") in ontology.ancestors("psych-eval")
+        assert Term("psych-eval") in ontology.descendants("record")
+        assert ontology.is_a("diagnosis", "record")
+        assert not ontology.is_a("billing", "medical-record")
+
+    def test_duplicate_and_unknown_terms_rejected(self):
+        ontology = medical_ontology()
+        with pytest.raises(ConfigurationError):
+            ontology.add_term("record")
+        with pytest.raises(ConfigurationError):
+            ontology.add_term("x", parents=["ghost"])
+        with pytest.raises(ConfigurationError):
+            ontology.ancestors("ghost")
+
+    def test_effective_label_joins_ancestors(self):
+        ontology = medical_ontology()
+        ontology.labels.classify(Term("medical-record"),
+                                 Label(Level.CONFIDENTIAL))
+        effective = ontology.effective_label("diagnosis")
+        assert effective.level is Level.CONFIDENTIAL
+        # psych-eval keeps its own SECRET, joined with ancestors.
+        assert ontology.effective_label("psych-eval").level is Level.SECRET
+
+    def test_readable_terms_filtered(self):
+        ontology = medical_ontology()
+        readable = {t.name for t in ontology.readable_terms(UNCLEARED)}
+        assert "psych-eval" not in readable
+        assert "billing" in readable
+
+    def test_visible_subtree(self):
+        ontology = medical_ontology()
+        visible = {t.name for t in
+                   ontology.visible_subtree(UNCLEARED, "record")}
+        assert visible == {"medical-record", "diagnosis", "billing"}
+
+
+class TestOntologyDerivedPolicies:
+    def test_rules_expand_down_hierarchy(self):
+        ontology = medical_ontology()
+        expressions = policy_from_ontology(ontology, [
+            OntologyPolicyRule("medical-record", "physician")])
+        assert "diagnosis" in expressions
+        assert "psych-eval" in expressions
+        assert "billing" not in expressions
+
+    def test_derived_expression_checks_credentials(self):
+        ontology = medical_ontology()
+        expressions = policy_from_ontology(ontology, [
+            OntologyPolicyRule("medical-record", "physician")])
+        physician_type = CredentialType("physician")
+        doctor = Subject("dr", credentials=[physician_type.issue()])
+        clerk = Subject("clerk")
+        assert expressions["diagnosis"].evaluate(doctor)
+        assert not expressions["diagnosis"].evaluate(clerk)
+
+    def test_multiple_rules_conjoin(self):
+        ontology = medical_ontology()
+        expressions = policy_from_ontology(ontology, [
+            OntologyPolicyRule("medical-record", "physician"),
+            OntologyPolicyRule("diagnosis", "specialist")])
+        physician = CredentialType("physician")
+        specialist = CredentialType("specialist")
+        both = Subject("b", credentials=[physician.issue(),
+                                         specialist.issue()])
+        only_physician = Subject("p", credentials=[physician.issue()])
+        assert expressions["psych-eval"].evaluate(both)
+        assert not expressions["psych-eval"].evaluate(only_physician)
+
+
+class TestSecureIntegration:
+    def build(self):
+        ontology = Ontology("shared")
+        ontology.add_term("diagnosis")
+        hospital_store = SecureRdfStore()
+        hospital_store.add(triple(EX.alice, EX.hospDiag, "flu"))
+        secret = triple(EX.bob, EX.hospDiag, "hiv")
+        hospital_store.add(secret)
+        hospital_store.classify(secret, SECRET,
+                                protect_reifications=False)
+        lab_store = SecureRdfStore()
+        lab_store.add(triple(EX.carol, EX.labResult, "anemia"))
+        integrator = SecureIntegrator(ontology)
+        integrator.add_source(SourceBinding(
+            "hospital", hospital_store, {"diagnosis": EX.hospDiag}))
+        integrator.add_source(SourceBinding(
+            "lab", lab_store, {"diagnosis": EX.labResult},
+            trust=SECRET))
+        return integrator
+
+    def test_query_merges_sources(self):
+        integrator = self.build()
+        cleared = integrator.query_term(SECRET, "diagnosis")
+        assert {r.source for r in cleared} == {"hospital", "lab"}
+        assert len(cleared) == 3
+
+    def test_source_labels_respected(self):
+        integrator = self.build()
+        public_results = integrator.query_term(UNCLEARED, "diagnosis")
+        texts = [str(r.triple) for r in public_results]
+        assert not any("hiv" in t for t in texts)
+
+    def test_source_trust_joins_labels(self):
+        integrator = self.build()
+        public_results = integrator.query_term(UNCLEARED, "diagnosis")
+        # The lab source is SECRET-rated: its public triple must not
+        # reach an uncleared requester.
+        assert all(r.source == "hospital" for r in public_results)
+
+    def test_leakage_report(self):
+        integrator = self.build()
+        leaked = integrator.leakage_without_trust_join(UNCLEARED,
+                                                       "diagnosis")
+        assert len(leaked) == 1
+        assert leaked[0].source == "lab"
+
+    def test_unknown_term_and_duplicate_source_rejected(self):
+        integrator = self.build()
+        with pytest.raises(ConfigurationError):
+            integrator.query_term(PUBLIC, "ghost-term")
+        with pytest.raises(ConfigurationError):
+            integrator.add_source(SourceBinding(
+                "hospital", SecureRdfStore(), {}))
+        with pytest.raises(ConfigurationError):
+            integrator.add_source(SourceBinding(
+                "new", SecureRdfStore(), {"ghost": EX.p}))

@@ -1,0 +1,151 @@
+"""Tests for the logic/proof/trust layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import AuthenticationError, ConfigurationError
+from repro.crypto.rsa import generate_keypair
+from repro.semweb.trust import (
+    Atom,
+    Proof,
+    ProofEngine,
+    Rule,
+    TrustPolicy,
+    atom,
+    check_proof,
+    sign_fact,
+)
+
+HOSPITAL = generate_keypair(bits=256, seed=81)
+BOARD = generate_keypair(bits=256, seed=82)
+MALLORY = generate_keypair(bits=256, seed=83)
+
+RULES = [
+    Rule(atom("canRead", "?u", "?d"),
+         (atom("doctor", "?u"), atom("record", "?d")),
+         name="doctors-read-records"),
+    Rule(atom("doctor", "?u"),
+         (atom("licensed", "?u"), atom("employed", "?u")),
+         name="licensed-employees-are-doctors"),
+]
+
+
+def build_engine() -> ProofEngine:
+    facts = [
+        sign_fact(atom("licensed", "grey"), "board", BOARD.private),
+        sign_fact(atom("employed", "grey"), "hospital",
+                  HOSPITAL.private),
+        sign_fact(atom("record", "r17"), "hospital", HOSPITAL.private),
+    ]
+    return ProofEngine(RULES, facts)
+
+
+def build_trust() -> TrustPolicy:
+    trust = TrustPolicy()
+    trust.trust("board", BOARD.public, ["licensed"])
+    trust.trust("hospital", HOSPITAL.public, ["employed", "record"])
+    return trust
+
+
+class TestProver:
+    def test_proves_derived_goal(self):
+        proof = build_engine().prove(atom("canRead", "grey", "r17"))
+        assert proof is not None
+        assert proof.rule is not None
+        assert proof.rule.name == "doctors-read-records"
+        assert proof.size() == 5  # goal, doctor, 2 leaves, record
+
+    def test_unprovable_goal_is_none(self):
+        engine = build_engine()
+        assert engine.prove(atom("canRead", "mallory", "r17")) is None
+        assert engine.prove(atom("canRead", "grey", "r99")) is None
+
+    def test_leaf_goal_uses_evidence(self):
+        proof = build_engine().prove(atom("record", "r17"))
+        assert proof is not None
+        assert proof.rule is None
+        assert proof.evidence is not None
+
+    def test_non_ground_goal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_engine().prove(atom("canRead", "?u", "r17"))
+
+    def test_leaves_enumeration(self):
+        proof = build_engine().prove(atom("canRead", "grey", "r17"))
+        predicates = sorted(l.conclusion.predicate
+                            for l in proof.leaves())
+        assert predicates == ["employed", "licensed", "record"]
+
+
+class TestProofChecking:
+    def test_valid_proof_accepted(self):
+        proof = build_engine().prove(atom("canRead", "grey", "r17"))
+        check_proof(proof, build_trust(), RULES)  # does not raise
+
+    def test_forged_leaf_signature_rejected(self):
+        proof = build_engine().prove(atom("canRead", "grey", "r17"))
+        # Replace a leaf with one signed by Mallory claiming to be the
+        # board.
+        forged_leaf = Proof(
+            atom("licensed", "grey"), None, (),
+            dataclasses.replace(
+                sign_fact(atom("licensed", "grey"), "board",
+                          MALLORY.private)))
+        tampered = _replace_leaf(proof, "licensed", forged_leaf)
+        with pytest.raises(AuthenticationError):
+            check_proof(tampered, build_trust(), RULES)
+
+    def test_non_authoritative_signer_rejected(self):
+        # The hospital signs a licensing fact — but only the board is
+        # authoritative for 'licensed'.
+        facts = [
+            sign_fact(atom("licensed", "grey"), "hospital",
+                      HOSPITAL.private),
+            sign_fact(atom("employed", "grey"), "hospital",
+                      HOSPITAL.private),
+            sign_fact(atom("record", "r17"), "hospital",
+                      HOSPITAL.private),
+        ]
+        engine = ProofEngine(RULES, facts)
+        proof = engine.prove(atom("canRead", "grey", "r17"))
+        with pytest.raises(AuthenticationError) as excinfo:
+            check_proof(proof, build_trust(), RULES)
+        assert "authoritative" in str(excinfo.value)
+
+    def test_invented_rule_rejected(self):
+        # A proof using a rule the checker does not know is refused —
+        # the 'forged proof' attack.
+        bogus_rule = Rule(atom("canRead", "?u", "?d"),
+                          (atom("record", "?d"),), name="anyone-reads")
+        engine = ProofEngine([bogus_rule] + RULES, [
+            sign_fact(atom("record", "r17"), "hospital",
+                      HOSPITAL.private)])
+        proof = engine.prove(atom("canRead", "mallory", "r17"))
+        assert proof is not None
+        with pytest.raises(AuthenticationError):
+            check_proof(proof, build_trust(), RULES)
+
+    def test_mismatched_conclusion_rejected(self):
+        proof = build_engine().prove(atom("canRead", "grey", "r17"))
+        # Swap the conclusion: claims access to a different record.
+        tampered = dataclasses.replace(
+            proof, conclusion=atom("canRead", "grey", "r99"))
+        with pytest.raises(AuthenticationError):
+            check_proof(tampered, build_trust(), RULES)
+
+    def test_conflicting_trust_key_rejected(self):
+        trust = build_trust()
+        with pytest.raises(ConfigurationError):
+            trust.trust("board", MALLORY.public, ["licensed"])
+
+
+def _replace_leaf(proof: Proof, predicate: str,
+                  replacement: Proof) -> Proof:
+    if proof.rule is None:
+        if proof.conclusion.predicate == predicate:
+            return replacement
+        return proof
+    children = tuple(_replace_leaf(child, predicate, replacement)
+                     for child in proof.children)
+    return dataclasses.replace(proof, children=children)

@@ -1,0 +1,126 @@
+"""Tests for two-party vs third-party registry deployments."""
+
+import pytest
+
+from repro.core.credentials import anyone, has_role
+from repro.core.errors import AccessDenied, AuthenticationError
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.policy import Action, PolicyBase, deny, grant
+from repro.core.subjects import Role, Subject
+from repro.uddi.architectures import (
+    ThirdPartyDeployment,
+    TwoPartyDeployment,
+)
+from repro.uddi.model import make_business, make_service
+from repro.uddi.registry import UddiRegistry
+from repro.uddi.secure import verify_authenticated_answer
+
+PARTNER = Subject("pat", roles={Role("partner")})
+STRANGER = Subject("sam")
+
+
+def premium_entity():
+    entity = make_business("Acme")
+    entity = entity.with_service(make_service(
+        "public lookup", category="catalog", access_point="http://a/p"))
+    entity = entity.with_service(make_service(
+        "partner feed", category="premium", access_point="http://a/x"))
+    return entity
+
+
+def evaluator_for(entity, registry_name):
+    premium_key = entity.services[1].service_key
+    return PolicyEvaluator(PolicyBase([
+        grant(anyone(), Action.WRITE, "uddi/**"),
+        grant(anyone(), Action.READ, "uddi/**"),
+        deny(~has_role("partner"), Action.READ,
+             f"uddi/{registry_name}/{entity.business_key}/{premium_key}"),
+    ]))
+
+
+class TestTwoParty:
+    def make(self):
+        entity = premium_entity()
+        deployment = TwoPartyDeployment(
+            "acme", UddiRegistry("own"), evaluator_for(entity, "own"))
+        deployment.publish(Subject("acme"), entity)
+        return deployment, entity
+
+    def test_browse_respects_policies(self):
+        deployment, _entity = self.make()
+        assert len(deployment.find_service(PARTNER)) == 2
+        assert len(deployment.find_service(STRANGER)) == 1
+
+    def test_denials_counted(self):
+        deployment, entity = self.make()
+        with pytest.raises(AccessDenied):
+            deployment.get_service_detail(
+                STRANGER, entity.services[1].service_key)
+        assert deployment.stats.denials == 1
+
+
+class TestThirdPartyHonest:
+    def make(self):
+        entity = premium_entity()
+        deployment = ThirdPartyDeployment(
+            evaluator_for(entity, "third-party"))
+        key = deployment.register_provider("acme", key_seed=21)
+        deployment.publish("acme", entity)
+        return deployment, entity, key
+
+    def test_browse_enforced_when_honest(self):
+        deployment, _entity, _key = self.make()
+        assert len(deployment.find_service(STRANGER)) == 1
+        assert deployment.stats.leaked_rows == 0
+
+    def test_detail_answers_verify(self):
+        deployment, entity, key = self.make()
+        answer = deployment.get_service_detail(
+            PARTNER, entity.services[0].service_key)
+        verify_authenticated_answer(answer, key)
+
+    def test_honest_agency_still_denies(self):
+        deployment, entity, _key = self.make()
+        with pytest.raises(AccessDenied):
+            deployment.get_service_detail(
+                STRANGER, entity.services[1].service_key)
+
+
+class TestThirdPartyCompromised:
+    def make(self):
+        entity = premium_entity()
+        deployment = ThirdPartyDeployment(
+            evaluator_for(entity, "third-party"))
+        key = deployment.register_provider("acme", key_seed=22)
+        deployment.publish("acme", entity)
+        deployment.compromise()
+        return deployment, entity, key
+
+    def test_confidentiality_lost(self):
+        deployment, _entity, _key = self.make()
+        rows = deployment.find_service(STRANGER)
+        assert len(rows) == 2           # the premium row leaks
+        assert deployment.stats.leaked_rows == 1
+
+    def test_tampering_detected_by_requestor(self):
+        deployment, entity, key = self.make()
+        answer = deployment.get_service_detail(
+            STRANGER, entity.services[0].service_key)
+        with pytest.raises(AuthenticationError):
+            verify_authenticated_answer(answer, key)
+        assert deployment.stats.tampered_answers == 1
+
+    def test_integrity_survives_compromise_via_merkle(self):
+        # The point of [4]: even with a compromised agency, a requestor
+        # never *accepts* a forged answer.
+        deployment, entity, key = self.make()
+        accepted_forgeries = 0
+        for service in entity.services:
+            answer = deployment.get_service_detail(
+                STRANGER, service.service_key)
+            try:
+                verify_authenticated_answer(answer, key)
+                accepted_forgeries += 1
+            except AuthenticationError:
+                pass
+        assert accepted_forgeries == 0

@@ -1,0 +1,61 @@
+"""Tests for UDDI v3 per-element signing (§4.1)."""
+
+from repro.crypto.rsa import generate_keypair
+from repro.uddi.model import make_business, make_service
+from repro.uddi.secure import sign_entry_elements, verify_entry_element
+
+KEYS = generate_keypair(bits=256, seed=71)
+OTHER = generate_keypair(bits=256, seed=72)
+
+
+def entity():
+    business = make_business("Acme")
+    business = business.with_service(make_service(
+        "lookup", category="catalog", access_point="http://a/1"))
+    business = business.with_service(make_service(
+        "feed", category="premium", access_point="http://a/2"))
+    return business
+
+
+class TestElementSigning:
+    def test_each_service_verifies(self):
+        business = entity()
+        manifest = sign_entry_elements(business, "acme", KEYS.private)
+        assert len(manifest.references) == 2
+        element = business.to_element()
+        for service in element.find("businessServices").element_children:
+            assert verify_entry_element(manifest, service, KEYS.public)
+
+    def test_tampered_service_fails(self):
+        business = entity()
+        manifest = sign_entry_elements(business, "acme", KEYS.private)
+        element = business.to_element()
+        service = element.find("businessServices").element_children[0]
+        service.find("name").set_text("forged")
+        assert not verify_entry_element(manifest, service, KEYS.public)
+
+    def test_wrong_key_fails(self):
+        business = entity()
+        manifest = sign_entry_elements(business, "acme", KEYS.private)
+        element = business.to_element()
+        service = element.find("businessServices").element_children[0]
+        assert not verify_entry_element(manifest, service, OTHER.public)
+
+    def test_third_party_limitation(self):
+        """The §4.1 point: element signatures cannot authenticate a
+        *recombined* answer — moving a signed service under a different
+        entry still verifies, which the Merkle scheme would catch."""
+        business_a = entity()
+        manifest = sign_entry_elements(business_a, "acme", KEYS.private)
+        element_a = business_a.to_element()
+        service = element_a.find("businessServices").element_children[0]
+        # A malicious agency presents Acme's signed service as part of a
+        # different (unsigned) entry: the per-element check still passes
+        # because it sees only the element.
+        assert verify_entry_element(manifest, service, KEYS.public)
+        # The Merkle entry signature, by contrast, binds the service to
+        # its entry: a view of another entry cannot reproduce it.
+        from repro.merkle.xml_merkle import merkle_hash
+        business_b = entity()
+        assert merkle_hash(business_a.to_element()) != \
+            merkle_hash(business_b.to_element())

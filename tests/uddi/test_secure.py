@@ -1,0 +1,167 @@
+"""Tests for the three secure-UDDI mechanisms."""
+
+import pytest
+
+from repro.core.credentials import anyone, has_role
+from repro.core.errors import AccessDenied, AuthenticationError
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.policy import Action, PolicyBase, deny, grant
+from repro.core.subjects import Role, Subject
+from repro.crypto.keys import KeyStore
+from repro.crypto.rsa import generate_keypair
+from repro.uddi.model import make_business, make_service
+from repro.uddi.registry import UddiRegistry
+from repro.uddi.secure import (
+    AccessControlledRegistry,
+    AuthenticatedRegistry,
+    EncryptedRegistry,
+    sign_entry,
+    verify_authenticated_answer,
+)
+
+PARTNER = Subject("pat", roles={Role("partner")})
+STRANGER = Subject("sam")
+
+
+def build_entity():
+    entity = make_business("Acme", "widgets")
+    entity = entity.with_service(make_service(
+        "public lookup", category="catalog",
+        access_point="http://acme/public"))
+    entity = entity.with_service(make_service(
+        "partner feed", category="premium",
+        access_point="http://acme/premium"))
+    return entity
+
+
+class TestAccessControlled:
+    def make(self):
+        registry = UddiRegistry("reg")
+        entity = build_entity()
+        premium_key = entity.services[1].service_key
+        evaluator = PolicyEvaluator(PolicyBase([
+            grant(anyone(), Action.WRITE, "uddi/**"),
+            grant(anyone(), Action.READ, "uddi/**"),
+            deny(~has_role("partner"), Action.READ,
+                 f"uddi/reg/{entity.business_key}/{premium_key}"),
+        ]))
+        controlled = AccessControlledRegistry(registry, evaluator)
+        controlled.save_business(Subject("acme-inc"), entity)
+        return controlled, entity, premium_key
+
+    def test_browse_filters_rows_per_subject(self):
+        controlled, _entity, _premium = self.make()
+        assert len(controlled.find_service(PARTNER)) == 2
+        assert len(controlled.find_service(STRANGER)) == 1
+
+    def test_drill_down_enforced(self):
+        controlled, _entity, premium_key = self.make()
+        assert controlled.get_service_detail(PARTNER, premium_key)
+        with pytest.raises(AccessDenied):
+            controlled.get_service_detail(STRANGER, premium_key)
+
+    def test_write_enforced(self):
+        registry = UddiRegistry("reg")
+        evaluator = PolicyEvaluator(PolicyBase([]))  # closed world
+        controlled = AccessControlledRegistry(registry, evaluator)
+        with pytest.raises(AccessDenied):
+            controlled.save_business(STRANGER, build_entity())
+
+
+class TestAuthenticated:
+    def make(self):
+        keys = generate_keypair(bits=256, seed=11)
+        entity = build_entity()
+        signature = sign_entry(entity, "acme", keys.private)
+        authenticated = AuthenticatedRegistry(UddiRegistry())
+        authenticated.publish(entity, signature, "acme")
+        return authenticated, entity, keys
+
+    def test_full_entry_verifies(self):
+        authenticated, entity, keys = self.make()
+        answer = authenticated.get_business_detail(entity.business_key)
+        verify_authenticated_answer(answer, keys.public)
+        assert answer.proof_hash_count() == 0
+
+    def test_partial_answer_verifies_with_fillers(self):
+        authenticated, entity, keys = self.make()
+        answer = authenticated.get_service_detail(
+            entity.services[0].service_key)
+        verify_authenticated_answer(answer, keys.public)
+        assert answer.proof_hash_count() > 0
+        # the premium service's content never appears in the view
+        from repro.xmldb.serializer import serialize_element
+        assert "premium" not in serialize_element(answer.view)
+
+    def test_tampered_answer_detected(self):
+        authenticated, entity, keys = self.make()
+        authenticated.tamper_with_answers = True
+        answer = authenticated.get_service_detail(
+            entity.services[0].service_key)
+        with pytest.raises(AuthenticationError):
+            verify_authenticated_answer(answer, keys.public)
+
+    def test_wrong_provider_key_detected(self):
+        authenticated, entity, _keys = self.make()
+        other = generate_keypair(bits=256, seed=12)
+        answer = authenticated.get_business_detail(entity.business_key)
+        with pytest.raises(AuthenticationError):
+            verify_authenticated_answer(answer, other.public)
+
+    def test_signature_entry_binding_enforced(self):
+        keys = generate_keypair(bits=256, seed=13)
+        entity = build_entity()
+        other_entity = build_entity()
+        signature = sign_entry(other_entity, "acme", keys.private)
+        authenticated = AuthenticatedRegistry(UddiRegistry())
+        from repro.core.errors import RegistryError
+        with pytest.raises(RegistryError):
+            authenticated.publish(entity, signature, "acme")
+
+
+class TestEncrypted:
+    def make(self):
+        provider_keys = KeyStore("acme-secrets")
+        provider_keys.create("entry-key")
+        entity = build_entity()
+        entry = EncryptedRegistry.encrypt_entry(
+            entity, provider_keys, "entry-key", index_key="acme-index")
+        registry = EncryptedRegistry()
+        registry.publish(entry)
+        return registry, entity, provider_keys
+
+    def test_blob_hides_content(self):
+        registry, _entity, _keys = self.make()
+        blob = registry.all_entries()[0].blob
+        assert b"premium" not in blob.body
+        assert b"Acme" not in blob.body
+
+    def test_blind_search_finds_by_token(self):
+        registry, _entity, _keys = self.make()
+        token = EncryptedRegistry.search_token("acme-index", "category",
+                                               "premium")
+        assert len(registry.find_by_token(token)) == 1
+        wrong = EncryptedRegistry.search_token("acme-index", "category",
+                                               "nonexistent")
+        assert registry.find_by_token(wrong) == []
+
+    def test_token_requires_index_key(self):
+        registry, _entity, _keys = self.make()
+        forged = EncryptedRegistry.search_token("wrong-index",
+                                                "category", "premium")
+        assert registry.find_by_token(forged) == []
+
+    def test_decrypt_roundtrip(self):
+        registry, entity, keys = self.make()
+        restored = EncryptedRegistry.decrypt_entry(
+            registry.all_entries()[0], keys)
+        assert restored.business_key == entity.business_key
+        assert [s.name for s in restored.services] == [
+            s.name for s in entity.services]
+        assert restored.services[0].bindings[0].access_point == \
+            entity.services[0].bindings[0].access_point
+
+    def test_unindexed_field_rejected(self):
+        from repro.core.errors import RegistryError
+        with pytest.raises(RegistryError):
+            EncryptedRegistry.search_token("i", "ssn", "x")

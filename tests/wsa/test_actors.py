@@ -1,0 +1,137 @@
+"""Tests for the WSA actors and the attackable transport."""
+
+import pytest
+
+from repro.core.errors import ServiceFault
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.policy import Action, PolicyBase, grant
+from repro.core.credentials import is_identity
+from repro.wsa.actors import ServiceProvider, ServiceRequestor
+from repro.wsa.soap import (
+    FAULT_ACCESS_DENIED,
+    FAULT_BAD_SIGNATURE,
+    FAULT_REPLAY,
+    FAULT_UNKNOWN_OPERATION,
+)
+from repro.wsa.transport import MessageBus
+from repro.wsa.wsdl import describe
+
+
+def build(require_signatures=True, evaluator=None):
+    bus = MessageBus()
+    description = describe("Quotes",
+                           getQuote=(("symbol",), ("price",)))
+    provider = ServiceProvider("quotes", description, bus, key_seed=41,
+                               require_signatures=require_signatures,
+                               evaluator=evaluator)
+    provider.implement(
+        "getQuote", lambda subject, p: {"price": f"{p['symbol']}:42"})
+    requestor = ServiceRequestor("alice", bus, key_seed=42)
+    provider.trust_requestor("alice", requestor.public_key)
+    requestor.trust_provider("quotes", provider.public_key)
+    return bus, provider, requestor
+
+
+class TestHappyPath:
+    def test_invoke_roundtrip(self):
+        _bus, _provider, requestor = build()
+        out = requestor.invoke("quotes", "getQuote", {"symbol": "ACME"},
+                               sign_request=True)
+        assert out["price"] == "ACME:42"
+
+    def test_reply_is_signed_and_verified(self):
+        bus, provider, requestor = build()
+        out = requestor.invoke("quotes", "getQuote", {"symbol": "X"},
+                               sign_request=True)
+        assert out  # verify_envelope inside invoke did not raise
+
+    def test_encrypted_parameter_hidden_from_wire(self):
+        bus, _provider, requestor = build()
+        requestor.invoke("quotes", "getQuote",
+                         {"symbol": "SECRET-TICKER"},
+                         sign_request=True, encrypt=["symbol"])
+        wire_values = bus.eavesdropped_values()
+        assert not any("SECRET-TICKER" in value for value in wire_values
+                       if not value.startswith("enc:")
+                       and ":42" not in value)
+
+
+class TestContractEnforcement:
+    def test_unknown_operation_faults(self):
+        _bus, _p, requestor = build()
+        with pytest.raises(ServiceFault) as exc_info:
+            requestor.invoke("quotes", "noSuchOp", {}, sign_request=True)
+        assert exc_info.value.code == FAULT_UNKNOWN_OPERATION
+
+    def test_wrong_parameters_fault(self):
+        _bus, _p, requestor = build()
+        with pytest.raises(ServiceFault) as exc_info:
+            requestor.invoke("quotes", "getQuote", {"wrong": "x"},
+                             sign_request=True)
+        assert exc_info.value.code == FAULT_UNKNOWN_OPERATION
+
+    def test_implement_unknown_operation_rejected(self):
+        bus = MessageBus()
+        provider = ServiceProvider(
+            "svc", describe("S", op=((), ())), bus, key_seed=43)
+        from repro.core.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            provider.implement("ghost", lambda s, p: {})
+
+
+class TestSecurityFaults:
+    def test_unsigned_call_rejected_when_required(self):
+        _bus, _p, requestor = build(require_signatures=True)
+        with pytest.raises(ServiceFault) as exc_info:
+            requestor.invoke("quotes", "getQuote", {"symbol": "A"},
+                             sign_request=False)
+        assert exc_info.value.code == FAULT_BAD_SIGNATURE
+
+    def test_replay_rejected(self):
+        bus, _p, requestor = build()
+        requestor.invoke("quotes", "getQuote", {"symbol": "A"},
+                         sign_request=True)
+        with pytest.raises(ServiceFault) as exc_info:
+            bus.replay_last()
+        assert exc_info.value.code == FAULT_REPLAY
+
+    def test_interceptor_tampering_rejected(self):
+        bus, _p, requestor = build()
+
+        def tamper(envelope):
+            if envelope.operation == "getQuote":
+                envelope.parameters["symbol"] = "EVIL"
+                return envelope
+            return None
+
+        bus.set_interceptor(tamper)
+        with pytest.raises(ServiceFault) as exc_info:
+            requestor.invoke("quotes", "getQuote", {"symbol": "GOOD"},
+                             sign_request=True)
+        assert exc_info.value.code == FAULT_BAD_SIGNATURE
+        assert bus.stats.intercepted == 1
+
+    def test_access_control_fault(self):
+        evaluator = PolicyEvaluator(PolicyBase([
+            grant(is_identity("bob"), Action.READ, "ws/**"),
+        ]))
+        _bus, _p, requestor = build(evaluator=evaluator)
+        with pytest.raises(ServiceFault) as exc_info:
+            requestor.invoke("quotes", "getQuote", {"symbol": "A"},
+                             sign_request=True)
+        assert exc_info.value.code == FAULT_ACCESS_DENIED
+
+    def test_unknown_endpoint_faults(self):
+        bus, _p, requestor = build()
+        with pytest.raises(ServiceFault):
+            requestor.invoke("nowhere", "getQuote", {"symbol": "A"})
+
+
+class TestBusBookkeeping:
+    def test_stats_and_transcript(self):
+        bus, _p, requestor = build()
+        requestor.invoke("quotes", "getQuote", {"symbol": "A"},
+                         sign_request=True)
+        assert bus.stats.sent == 1
+        assert bus.stats.delivered == 1
+        assert len(bus.transcript) == 2  # request + reply

@@ -1,0 +1,58 @@
+"""Tests for the discovery agency's own privacy policy (§4)."""
+
+from repro.core.credentials import anyone
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.policy import Action, PolicyBase, grant
+from repro.p3p.policy import (
+    DataCategory,
+    P3PPolicy,
+    Purpose,
+    Recipient,
+    Retention,
+    statement,
+)
+from repro.p3p.preferences import strictness_profile
+from repro.uddi.architectures import ThirdPartyDeployment
+from repro.wsa.actors import DiscoveryAgencyActor
+
+
+def deployment() -> ThirdPartyDeployment:
+    return ThirdPartyDeployment(PolicyEvaluator(PolicyBase([
+        grant(anyone(), Action.READ, "uddi/**"),
+        grant(anyone(), Action.WRITE, "uddi/**"),
+    ])))
+
+
+def modest_agency_policy() -> P3PPolicy:
+    return P3PPolicy("agency", (statement(
+        [DataCategory.ONLINE, DataCategory.NAVIGATION],
+        [Purpose.CURRENT], [Recipient.OURS],
+        Retention.STATED_PURPOSE),))
+
+
+def data_broker_policy() -> P3PPolicy:
+    return P3PPolicy("agency", (statement(
+        [DataCategory.ONLINE, DataCategory.NAVIGATION],
+        [Purpose.TELEMARKETING, Purpose.INDIVIDUAL_ANALYSIS],
+        [Recipient.UNRELATED], Retention.INDEFINITELY),))
+
+
+class TestAgencyPrivacyGate:
+    def test_modest_agency_accepted_by_moderate_consumer(self):
+        agency = DiscoveryAgencyActor("d", deployment(),
+                                      modest_agency_policy())
+        assert agency.acceptable_to(strictness_profile(1))
+        assert agency.acceptable_to(strictness_profile(0))
+
+    def test_data_broker_agency_rejected(self):
+        agency = DiscoveryAgencyActor("d", deployment(),
+                                      data_broker_policy())
+        assert not agency.acceptable_to(strictness_profile(1))
+
+    def test_policyless_agency_fails_closed(self):
+        agency = DiscoveryAgencyActor("d", deployment())
+        assert not agency.acceptable_to(strictness_profile(0))
+
+    def test_agency_policy_baseline(self):
+        assert modest_agency_policy().conforms_to_baseline()
+        assert not data_broker_policy().conforms_to_baseline()

@@ -1,0 +1,112 @@
+"""Tests for message-level security: signing, encryption, replay."""
+
+import pytest
+
+from repro.core.errors import AuthenticationError, SecurityError
+from repro.crypto.rsa import generate_keypair
+from repro.wsa.security import (
+    ReplayGuard,
+    decrypt_parameters,
+    encrypt_parameters,
+    is_encrypted,
+    sign_envelope,
+    verify_envelope,
+)
+from repro.wsa.soap import SoapEnvelope
+
+ALICE = generate_keypair(bits=256, seed=31)
+SERVICE = generate_keypair(bits=256, seed=32)
+
+
+class TestSigning:
+    def test_roundtrip(self):
+        envelope = SoapEnvelope("op", {"x": "1"})
+        sign_envelope(envelope, "alice", ALICE.private)
+        assert verify_envelope(envelope, ALICE.public) == "alice"
+
+    def test_unsigned_rejected(self):
+        with pytest.raises(AuthenticationError):
+            verify_envelope(SoapEnvelope("op"), ALICE.public)
+
+    def test_malformed_signature_rejected(self):
+        envelope = SoapEnvelope("op")
+        envelope.headers["Security.Signature"] = "not-a-number"
+        with pytest.raises(AuthenticationError):
+            verify_envelope(envelope, ALICE.public)
+
+    def test_tampered_parameter_rejected(self):
+        envelope = SoapEnvelope("op", {"x": "1"})
+        sign_envelope(envelope, "alice", ALICE.private)
+        envelope.parameters["x"] = "2"
+        with pytest.raises(AuthenticationError):
+            verify_envelope(envelope, ALICE.public)
+
+    def test_wrong_key_rejected(self):
+        envelope = SoapEnvelope("op", {"x": "1"})
+        sign_envelope(envelope, "alice", ALICE.private)
+        with pytest.raises(AuthenticationError):
+            verify_envelope(envelope, SERVICE.public)
+
+    def test_added_headers_do_not_break_signature(self):
+        envelope = SoapEnvelope("op", {"x": "1"})
+        sign_envelope(envelope, "alice", ALICE.private)
+        envelope.headers["Routing"] = "via-proxy"
+        assert verify_envelope(envelope, ALICE.public) == "alice"
+
+
+class TestEncryption:
+    def test_roundtrip(self):
+        envelope = SoapEnvelope("op", {"card": "1234-5678",
+                                       "city": "Como"})
+        encrypt_parameters(envelope, ["card"], SERVICE.public, seed=1)
+        assert is_encrypted(envelope.parameters["card"])
+        assert envelope.parameters["city"] == "Como"
+        decrypt_parameters(envelope, SERVICE.private)
+        assert envelope.parameters["card"] == "1234-5678"
+
+    def test_plaintext_absent_from_wire_form(self):
+        envelope = SoapEnvelope("op", {"card": "SECRET-PAN"})
+        encrypt_parameters(envelope, ["card"], SERVICE.public, seed=2)
+        assert "SECRET-PAN" not in envelope.parameters["card"]
+
+    def test_missing_parameter_rejected(self):
+        envelope = SoapEnvelope("op", {})
+        with pytest.raises(SecurityError):
+            encrypt_parameters(envelope, ["ghost"], SERVICE.public)
+
+    def test_unencrypted_parameters_pass_through_decrypt(self):
+        envelope = SoapEnvelope("op", {"plain": "x"})
+        decrypt_parameters(envelope, SERVICE.private)
+        assert envelope.parameters["plain"] == "x"
+
+    def test_sign_over_ciphertext_verifies(self):
+        envelope = SoapEnvelope("op", {"card": "1234"})
+        encrypt_parameters(envelope, ["card"], SERVICE.public, seed=3)
+        sign_envelope(envelope, "alice", ALICE.private)
+        assert verify_envelope(envelope, ALICE.public)
+        decrypt_parameters(envelope, SERVICE.private)
+        assert envelope.parameters["card"] == "1234"
+
+
+class TestReplayGuard:
+    def test_first_admission_ok(self):
+        guard = ReplayGuard()
+        guard.admit(SoapEnvelope("op"))
+
+    def test_replay_rejected(self):
+        guard = ReplayGuard()
+        envelope = SoapEnvelope("op")
+        guard.admit(envelope)
+        with pytest.raises(SecurityError):
+            guard.admit(envelope)
+
+    def test_distinct_messages_admitted(self):
+        guard = ReplayGuard()
+        guard.admit(SoapEnvelope("op"))
+        guard.admit(SoapEnvelope("op"))
+
+    def test_window_bounds_memory(self):
+        guard = ReplayGuard(window=10)
+        for _ in range(50):
+            guard.admit(SoapEnvelope("op"))
+        assert len(guard._seen) <= 11

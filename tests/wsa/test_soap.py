@@ -1,0 +1,54 @@
+"""Tests for the SOAP envelope model."""
+
+import pytest
+
+from repro.core.errors import ServiceFault
+from repro.wsa.soap import SoapEnvelope, SoapFault, fresh_message_id
+
+
+class TestEnvelope:
+    def test_message_ids_unique(self):
+        assert SoapEnvelope("op").message_id != SoapEnvelope("op").message_id
+        assert fresh_message_id() != fresh_message_id()
+
+    def test_to_element_structure(self):
+        envelope = SoapEnvelope("getQuote", {"symbol": "ACME"},
+                                sender="alice", receiver="quotes")
+        element = envelope.to_element()
+        assert element.tag == "Envelope"
+        body = element.find("Body")
+        assert body.find("getQuote") is not None
+        header = element.find("Header")
+        names = {e.attributes["name"] for e in header.element_children}
+        assert {"MessageID", "From", "To"} <= names
+
+    def test_body_canonical_stable_under_headers(self):
+        envelope = SoapEnvelope("op", {"a": "1"})
+        before = envelope.body_canonical()
+        envelope.headers["Extra"] = "added in transit"
+        assert envelope.body_canonical() == before
+
+    def test_body_canonical_sensitive_to_parameters(self):
+        a = SoapEnvelope("op", {"x": "1"}, message_id="m1")
+        b = SoapEnvelope("op", {"x": "2"}, message_id="m1")
+        assert a.body_canonical() != b.body_canonical()
+
+    def test_body_canonical_binds_message_id(self):
+        a = SoapEnvelope("op", {"x": "1"}, message_id="m1")
+        b = SoapEnvelope("op", {"x": "1"}, message_id="m2")
+        assert a.body_canonical() != b.body_canonical()
+
+    def test_reply_swaps_endpoints_and_links(self):
+        request = SoapEnvelope("op", sender="alice", receiver="svc")
+        reply = request.reply("opResponse", {"out": "1"})
+        assert reply.sender == "svc" and reply.receiver == "alice"
+        assert reply.headers["InReplyTo"] == request.message_id
+        assert reply.parameters == {"out": "1"}
+
+
+class TestFault:
+    def test_raise(self):
+        fault = SoapFault("env:X", "boom")
+        with pytest.raises(ServiceFault) as exc_info:
+            fault.raise_()
+        assert exc_info.value.code == "env:X"

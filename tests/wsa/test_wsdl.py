@@ -1,0 +1,47 @@
+"""Tests for WSDL-lite service descriptions."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.wsa.wsdl import Operation, ServiceDescription, describe
+
+
+class TestOperation:
+    def test_validate_ok(self):
+        operation = Operation("op", ("a", "b"), ("out",))
+        assert operation.validate_call({"a": "1", "b": "2"}) == []
+
+    def test_missing_input_reported(self):
+        operation = Operation("op", ("a",))
+        problems = operation.validate_call({})
+        assert any("missing" in p for p in problems)
+
+    def test_unexpected_input_reported(self):
+        operation = Operation("op", ())
+        problems = operation.validate_call({"extra": "1"})
+        assert any("unexpected" in p for p in problems)
+
+
+class TestServiceDescription:
+    def make(self) -> ServiceDescription:
+        return describe("Weather", endpoint="http://w/ws",
+                        forecast=(("city",), ("temp",)),
+                        history=(("city", "day"), ("temps",)))
+
+    def test_operation_lookup(self):
+        description = self.make()
+        assert description.operation("forecast").inputs == ("city",)
+        assert description.has_operation("history")
+        assert not description.has_operation("ghost")
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make().operation("ghost")
+
+    def test_to_element(self):
+        element = self.make().to_element()
+        assert element.tag == "definitions"
+        operations = {e.attributes["name"]
+                      for e in element.find_all("operation")}
+        assert operations == {"forecast", "history"}
+        assert element.find("port").attributes["location"] == "http://w/ws"

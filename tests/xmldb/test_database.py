@@ -1,0 +1,104 @@
+"""Tests for collections and the XML database."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, QueryError
+from repro.xmldb.database import Collection, XmlDatabase
+from repro.xmldb.dtd import Schema
+from repro.xmldb.parser import parse
+
+
+def record_xml(record_id: str, name: str) -> str:
+    return (f'<hospital><record id="{record_id}">'
+            f'<name>{name}</name></record></hospital>')
+
+
+class TestCollection:
+    def test_insert_text_and_object(self):
+        collection = Collection("c")
+        collection.insert("d1", record_xml("r1", "Alice"))
+        collection.insert("d2", parse(record_xml("r2", "Bob")))
+        assert len(collection) == 2
+        assert "d1" in collection
+
+    def test_duplicate_id_rejected(self):
+        collection = Collection("c")
+        collection.insert("d", "<a/>")
+        with pytest.raises(ConfigurationError):
+            collection.insert("d", "<a/>")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(QueryError):
+            Collection("c").get("ghost")
+
+    def test_delete_and_replace(self):
+        collection = Collection("c")
+        collection.insert("d", "<a/>")
+        collection.replace("d", "<b/>")
+        assert collection.get("d").root.tag == "b"
+        collection.delete("d")
+        assert "d" not in collection
+
+    def test_schema_enforced_on_insert(self):
+        schema = Schema("a")
+        schema.declare("a")
+        collection = Collection("c", schema)
+        collection.insert("ok", "<a/>")
+        with pytest.raises(ConfigurationError):
+            collection.insert("bad", "<b/>")
+
+    def test_query_across_documents(self):
+        collection = Collection("c")
+        collection.insert("d1", record_xml("r1", "Alice"))
+        collection.insert("d2", record_xml("r2", "Bob"))
+        results = collection.query("//name/text()")
+        assert results == [("d1", "Alice"), ("d2", "Bob")]
+
+    def test_validate_all(self):
+        schema = Schema("a")
+        schema.declare("a", optional_attributes=["k"])
+        collection = Collection("c", schema)
+        collection.insert("d", "<a/>")
+        # Mutate after insert to make it invalid.
+        collection.get("d").root.attributes["rogue"] = "x"
+        failures = collection.validate_all()
+        assert failures and failures[0][0] == "d"
+
+
+class TestXmlDatabase:
+    def test_create_and_query(self):
+        database = XmlDatabase()
+        database.create_collection("records")
+        database.collection("records").insert(
+            "d1", record_xml("r1", "Alice"))
+        results = database.query("records", "//name/text()")
+        assert results == [("d1", "Alice")]
+
+    def test_duplicate_collection_rejected(self):
+        database = XmlDatabase()
+        database.create_collection("c")
+        with pytest.raises(ConfigurationError):
+            database.create_collection("c")
+
+    def test_unknown_collection_raises(self):
+        with pytest.raises(QueryError):
+            XmlDatabase().collection("ghost")
+
+    def test_drop_collection(self):
+        database = XmlDatabase()
+        database.create_collection("c")
+        database.drop_collection("c")
+        assert database.collection_names() == []
+
+    def test_metadata_roundtrip(self):
+        database = XmlDatabase()
+        database.create_collection("c")
+        database.set_metadata("c", "policy", "author-x")
+        assert database.get_metadata("c", "policy") == "author-x"
+        assert database.get_metadata("c", "absent", "dflt") == "dflt"
+
+    def test_total_documents(self):
+        database = XmlDatabase()
+        database.create_collection("a").insert("1", "<x/>")
+        database.create_collection("b").insert("2", "<y/>")
+        assert database.total_documents() == 2

@@ -1,0 +1,107 @@
+"""Tests for DTD-lite validation."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.xmldb.dtd import ChildSpec, Multiplicity, Schema
+from repro.xmldb.parser import parse
+
+
+def hospital_schema() -> Schema:
+    schema = Schema("hospital")
+    schema.declare("hospital", children=["record*"],
+                   optional_attributes=["name"])
+    schema.declare("record", children=["name", "diagnosis?", "visit*"],
+                   required_attributes=["id"])
+    schema.declare("name", allow_text=True)
+    schema.declare("diagnosis", allow_text=True)
+    schema.declare("visit", children=["date"],
+                   optional_attributes=["n"])
+    schema.declare("date", allow_text=True)
+    return schema
+
+
+class TestChildSpec:
+    @pytest.mark.parametrize("spec,tag,mult", [
+        ("a", "a", Multiplicity.ONE),
+        ("a?", "a", Multiplicity.OPTIONAL),
+        ("a*", "a", Multiplicity.MANY),
+        ("a+", "a", Multiplicity.AT_LEAST_ONE),
+    ])
+    def test_parse(self, spec, tag, mult):
+        parsed = ChildSpec.parse(spec)
+        assert parsed.tag == tag and parsed.multiplicity is mult
+
+    def test_multiplicity_allows(self):
+        assert Multiplicity.ONE.allows(1)
+        assert not Multiplicity.ONE.allows(0)
+        assert Multiplicity.OPTIONAL.allows(0)
+        assert not Multiplicity.OPTIONAL.allows(2)
+        assert Multiplicity.MANY.allows(0)
+        assert Multiplicity.MANY.allows(9)
+        assert Multiplicity.AT_LEAST_ONE.allows(1)
+        assert not Multiplicity.AT_LEAST_ONE.allows(0)
+
+
+class TestValidation:
+    def test_valid_document(self):
+        doc = parse('<hospital><record id="r1"><name>A</name>'
+                    '</record></hospital>')
+        assert hospital_schema().is_valid(doc)
+
+    def test_wrong_root(self):
+        doc = parse('<clinic/>')
+        violations = hospital_schema().validate(doc)
+        assert any("root" in str(v) for v in violations)
+
+    def test_missing_required_attribute(self):
+        doc = parse('<hospital><record><name>A</name></record>'
+                    '</hospital>')
+        violations = hospital_schema().validate(doc)
+        assert any("id" in str(v) for v in violations)
+
+    def test_undeclared_attribute(self):
+        doc = parse('<hospital color="red"/>')
+        violations = hospital_schema().validate(doc)
+        assert any("color" in str(v) for v in violations)
+
+    def test_unexpected_child(self):
+        doc = parse('<hospital><record id="r"><name>A</name>'
+                    '<rogue/></record></hospital>')
+        violations = hospital_schema().validate(doc)
+        assert any("rogue" in str(v) for v in violations)
+
+    def test_multiplicity_violation(self):
+        doc = parse('<hospital><record id="r"><name>A</name>'
+                    '<name>B</name></record></hospital>')
+        violations = hospital_schema().validate(doc)
+        assert any("multiplicity" in str(v) for v in violations)
+
+    def test_missing_mandatory_child(self):
+        doc = parse('<hospital><record id="r"/></hospital>')
+        violations = hospital_schema().validate(doc)
+        assert any("<name>" in str(v) for v in violations)
+
+    def test_text_where_not_allowed(self):
+        doc = parse('<hospital>chatter</hospital>')
+        violations = hospital_schema().validate(doc)
+        assert any("text" in str(v) for v in violations)
+
+    def test_allow_other_children(self):
+        schema = Schema("open")
+        schema.declare("open", allow_other_children=True)
+        doc = parse("<open><anything/><at-all/></open>")
+        assert schema.is_valid(doc)
+
+    def test_violations_carry_node_paths(self):
+        doc = parse('<hospital><record><name>A</name></record>'
+                    '</hospital>')
+        violations = hospital_schema().validate(doc)
+        assert any(v.node_path.startswith("/hospital[1]/record[1]")
+                   for v in violations)
+
+    def test_duplicate_declaration_rejected(self):
+        schema = Schema("r")
+        schema.declare("r")
+        with pytest.raises(ConfigurationError):
+            schema.declare("r")

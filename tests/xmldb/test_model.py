@@ -1,0 +1,129 @@
+"""Tests for the XML document model."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.xmldb.model import Document, Element, element
+
+
+def sample() -> Element:
+    return element(
+        "hospital", None, {"name": "general"},
+        element("record", None, {"id": "r1"},
+                element("name", "Alice"),
+                element("diagnosis", "flu")),
+        element("record", None, {"id": "r2"},
+                element("name", "Bob")))
+
+
+class TestStructure:
+    def test_children_and_text(self):
+        node = Element("x", children=["hello ", Element("b"), "world"])
+        assert node.text == "hello world"
+        assert len(node.element_children) == 1
+
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Element("bad tag")
+        with pytest.raises(ConfigurationError):
+            Element("")
+
+    def test_append_sets_parent(self):
+        parent = Element("p")
+        child = Element("c")
+        parent.append(child)
+        assert child.parent is parent
+
+    def test_reparenting_rejected(self):
+        child = Element("c")
+        Element("p1").append(child)
+        with pytest.raises(ConfigurationError):
+            Element("p2").append(child)
+
+    def test_invalid_child_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Element("p").append(42)  # type: ignore[arg-type]
+
+    def test_remove(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        parent.remove(child)
+        assert parent.element_children == []
+        assert child.parent is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ConfigurationError):
+            Element("p").remove(Element("c"))
+
+    def test_set_text_replaces(self):
+        node = Element("x", children=["old", Element("k")])
+        node.set_text("new")
+        assert node.text == "new"
+        assert len(node.element_children) == 1
+
+
+class TestAddressing:
+    def test_sibling_index_is_per_tag(self):
+        root = sample()
+        records = root.find_all("record")
+        assert records[0].index_among_siblings == 1
+        assert records[1].index_among_siblings == 2
+
+    def test_node_path(self):
+        root = sample()
+        name = root.find_all("record")[1].find("name")
+        assert name.node_path() == "/hospital[1]/record[2]/name[1]"
+
+
+class TestTraversal:
+    def test_iter_preorder(self):
+        tags = [n.tag for n in sample().iter()]
+        assert tags == ["hospital", "record", "name", "diagnosis",
+                        "record", "name"]
+
+    def test_find_and_find_all(self):
+        root = sample()
+        assert root.find("record").attributes["id"] == "r1"
+        assert root.find("missing") is None
+        assert len(root.find_all("record")) == 2
+
+    def test_descendants_with_tag(self):
+        assert len(sample().descendants_with_tag("name")) == 2
+
+    def test_ancestors(self):
+        root = sample()
+        leaf = root.find("record").find("name")
+        assert [a.tag for a in leaf.ancestors()] == ["record", "hospital"]
+
+    def test_size(self):
+        assert sample().size() == 6
+
+
+class TestCopy:
+    def test_deep_copy_is_equal_but_distinct(self):
+        original = sample()
+        clone = original.deep_copy()
+        assert clone.structurally_equal(original)
+        assert clone is not original
+        clone.find("record").attributes["id"] = "changed"
+        assert not clone.structurally_equal(original)
+
+    def test_structural_inequality_on_text(self):
+        a = element("x", "one")
+        b = element("x", "two")
+        assert not a.structurally_equal(b)
+
+
+class TestDocument:
+    def test_root_must_be_parentless(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        with pytest.raises(ConfigurationError):
+            Document(child)
+
+    def test_document_delegates(self):
+        doc = Document(sample(), name="d")
+        assert doc.size() == 6
+        copy = doc.deep_copy()
+        assert copy.name == "d"
+        assert copy.root.structurally_equal(doc.root)

@@ -1,0 +1,62 @@
+"""Tests for canonical serialization."""
+
+from repro.xmldb.model import Document, Element, element
+from repro.xmldb.parser import parse
+from repro.xmldb.serializer import (
+    escape_attribute,
+    escape_text,
+    pretty,
+    serialize,
+    serialize_element,
+)
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("<a> & b") == "&lt;a&gt; &amp; b"
+
+    def test_attribute_escapes_quotes_too(self):
+        assert escape_attribute('say "hi" & <go>') == \
+            "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+
+class TestCanonical:
+    def test_attributes_sorted(self):
+        node = Element("x", {"zeta": "1", "alpha": "2"})
+        assert serialize_element(node) == '<x alpha="2" zeta="1"/>'
+
+    def test_attribute_insertion_order_irrelevant(self):
+        a = Element("x", {"p": "1", "q": "2"})
+        b = Element("x", {"q": "2", "p": "1"})
+        assert serialize_element(a) == serialize_element(b)
+
+    def test_empty_element_self_closes(self):
+        assert serialize_element(Element("empty")) == "<empty/>"
+
+    def test_mixed_content_preserved_in_order(self):
+        node = Element("x", children=["pre", Element("mid"), "post"])
+        assert serialize_element(node) == "<x>pre<mid/>post</x>"
+
+    def test_document_serialization_matches_root(self):
+        root = element("a", "t")
+        assert serialize(Document(root)) == serialize_element(root)
+
+    def test_same_structure_same_bytes(self):
+        text = '<r><a k="1">x</a><b/></r>'
+        assert serialize(parse(text)) == serialize(parse(text))
+
+
+class TestPretty:
+    def test_indents_nested(self):
+        root = element("a", None, None, element("b", "t"))
+        lines = pretty(root).splitlines()
+        assert lines[0] == "<a>"
+        assert lines[1] == "  <b>t</b>"
+        assert lines[2] == "</a>"
+
+    def test_pretty_escapes(self):
+        assert "&lt;" in pretty(element("a", "<raw>"))
+
+    def test_accepts_document(self):
+        doc = Document(element("only", "x"))
+        assert pretty(doc) == "<only>x</only>"

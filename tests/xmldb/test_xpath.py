@@ -1,0 +1,117 @@
+"""Tests for the XPath-lite engine."""
+
+import pytest
+
+from repro.core.errors import ParseError, QueryError
+from repro.xmldb.parser import parse
+from repro.xmldb.xpath import compile_xpath, evaluate, select_elements
+
+DOC = parse("""
+<hospital>
+  <record id="r1" vip="yes">
+    <name>Alice</name><diagnosis>flu</diagnosis>
+    <visit n="1"><date>2003-01-02</date></visit>
+    <visit n="2"><date>2003-02-03</date></visit>
+  </record>
+  <record id="r2">
+    <name>Bob</name><diagnosis>cold</diagnosis>
+  </record>
+  <record id="r3">
+    <name>Carol</name><diagnosis>flu</diagnosis>
+  </record>
+</hospital>
+""")
+
+
+def texts(path):
+    return [e.text for e in select_elements(path, DOC)]
+
+
+class TestCompilation:
+    def test_source_preserved(self):
+        assert str(compile_xpath(" //a/b ")) == "//a/b"
+
+    @pytest.mark.parametrize("bad", [
+        "", "/", "//", "a[", "a[]", "a[0]", "a[@]", "a[x=']",
+        "a/@id/b", "a/text()/b", "a b",
+    ])
+    def test_bad_syntax_rejected(self, bad):
+        with pytest.raises(ParseError):
+            compile_xpath(bad)
+
+
+class TestAbsolutePaths:
+    def test_root_step_matches_root_tag(self):
+        assert len(select_elements("/hospital", DOC)) == 1
+        assert select_elements("/nothospital", DOC) == []
+
+    def test_child_chain(self):
+        assert texts("/hospital/record/name") == ["Alice", "Bob", "Carol"]
+
+    def test_root_wildcard(self):
+        assert len(select_elements("/*", DOC)) == 1
+
+
+class TestDescendants:
+    def test_double_slash_anywhere(self):
+        assert texts("//name") == ["Alice", "Bob", "Carol"]
+
+    def test_descendant_mid_path(self):
+        assert texts("/hospital//date") == ["2003-01-02", "2003-02-03"]
+
+    def test_no_duplicates_from_overlap(self):
+        results = select_elements("//record//date", DOC)
+        assert len(results) == 2
+
+
+class TestPredicates:
+    def test_attribute_equals(self):
+        assert texts("//record[@id='r2']/name") == ["Bob"]
+
+    def test_attribute_exists(self):
+        assert texts("//record[@vip]/name") == ["Alice"]
+
+    def test_child_value(self):
+        assert texts("//record[diagnosis='flu']/name") == ["Alice",
+                                                           "Carol"]
+
+    def test_child_exists(self):
+        assert texts("//record[visit]/name") == ["Alice"]
+
+    def test_position(self):
+        assert texts("//record[2]/name") == ["Bob"]
+        assert texts("//record[9]/name") == []
+
+    def test_nested_path_predicate(self):
+        assert texts("//record[visit/date='2003-02-03']/name") == ["Alice"]
+
+    def test_multiple_predicates_conjoin(self):
+        assert texts("//record[diagnosis='flu'][@vip='yes']/name") == [
+            "Alice"]
+
+
+class TestValueSteps:
+    def test_attribute_selection(self):
+        assert evaluate("//record/@id", DOC) == ["r1", "r2", "r3"]
+
+    def test_attribute_wildcard(self):
+        assert set(evaluate("//record[1]/@*", DOC)) == {"r1", "yes"}
+
+    def test_text_selection(self):
+        assert evaluate("//diagnosis/text()", DOC) == ["flu", "cold",
+                                                       "flu"]
+
+    def test_select_elements_rejects_values(self):
+        with pytest.raises(QueryError):
+            select_elements("//record/@id", DOC)
+
+
+class TestRelativeContext:
+    def test_relative_from_element(self):
+        record = select_elements("//record[1]", DOC)[0]
+        names = select_elements("name", record)
+        assert [n.text for n in names] == ["Alice"]
+
+    def test_relative_descendant(self):
+        record = select_elements("//record[1]", DOC)[0]
+        assert len(evaluate("visit/date", record)) == 2

@@ -1,0 +1,143 @@
+"""Tests for the Author-X policy model and document labelling."""
+
+from repro.core.credentials import anyone, has_role
+from repro.core.subjects import Role, Subject
+from repro.xmldb.parser import parse
+from repro.xmlsec.authorx import (
+    Privilege,
+    XmlPolicyBase,
+    XmlPropagation,
+    xml_deny,
+    xml_grant,
+)
+
+DOC = parse("""<hospital>
+  <record id="r1"><name>Alice</name><diagnosis>flu</diagnosis>
+    <ssn>123</ssn></record>
+  <record id="r2"><name>Bob</name><diagnosis>cold</diagnosis>
+    <ssn>456</ssn></record>
+</hospital>""", name="records")
+
+DOCTOR = Subject("dr", roles={Role("doctor")})
+NURSE = Subject("nn", roles={Role("nurse")})
+STRANGER = Subject("zz")
+
+
+def labels_for(base: XmlPolicyBase, subject: Subject):
+    labels = base.label_document(subject, "records", DOC)
+    return {node.node_path(): labels[id(node)].access
+            for node in DOC.iter()}
+
+
+class TestBasicLabelling:
+    def test_cascade_grant_covers_subtree(self):
+        base = XmlPolicyBase([xml_grant(has_role("doctor"), "/hospital")])
+        access = labels_for(base, DOCTOR)
+        assert all(value == "read" for value in access.values())
+
+    def test_non_matching_subject_gets_nothing(self):
+        base = XmlPolicyBase([xml_grant(has_role("doctor"), "/hospital")])
+        access = labels_for(base, STRANGER)
+        assert all(value == "none" for value in access.values())
+
+    def test_local_propagation(self):
+        base = XmlPolicyBase([
+            xml_grant(anyone(), "/hospital",
+                      propagation=XmlPropagation.LOCAL)])
+        access = labels_for(base, STRANGER)
+        assert access["/hospital[1]"] == "read"
+        assert access["/hospital[1]/record[1]"] == "none"
+
+    def test_one_level_propagation(self):
+        base = XmlPolicyBase([
+            xml_grant(anyone(), "/hospital",
+                      propagation=XmlPropagation.ONE_LEVEL)])
+        access = labels_for(base, STRANGER)
+        assert access["/hospital[1]/record[1]"] == "read"
+        assert access["/hospital[1]/record[1]/name[1]"] == "none"
+
+    def test_document_selector(self):
+        base = XmlPolicyBase([
+            xml_grant(anyone(), "/hospital", document="other-doc")])
+        access = labels_for(base, DOCTOR)
+        assert all(value == "none" for value in access.values())
+
+
+class TestConflicts:
+    def test_deeper_deny_overrides_shallow_grant(self):
+        base = XmlPolicyBase([
+            xml_grant(has_role("doctor"), "/hospital"),
+            xml_deny(anyone(), "//ssn"),
+        ])
+        access = labels_for(base, DOCTOR)
+        assert access["/hospital[1]/record[1]/ssn[1]"] == "none"
+        assert access["/hospital[1]/record[1]/name[1]"] == "read"
+
+    def test_deeper_grant_overrides_shallow_deny(self):
+        base = XmlPolicyBase([
+            xml_deny(has_role("doctor"), "/hospital"),
+            xml_grant(has_role("doctor"), "//record[@id='r1']/name"),
+        ])
+        access = labels_for(base, DOCTOR)
+        assert access["/hospital[1]/record[1]/name[1]"] == "read"
+        assert access["/hospital[1]/record[2]/name[1]"] == "none"
+
+    def test_same_depth_deny_wins(self):
+        base = XmlPolicyBase([
+            xml_grant(anyone(), "//ssn"),
+            xml_deny(anyone(), "//ssn"),
+        ])
+        access = labels_for(base, DOCTOR)
+        assert access["/hospital[1]/record[1]/ssn[1]"] == "none"
+
+    def test_content_dependent_policy(self):
+        base = XmlPolicyBase([
+            xml_grant(anyone(), "//record[diagnosis='flu']")])
+        access = labels_for(base, STRANGER)
+        assert access["/hospital[1]/record[1]/name[1]"] == "read"
+        assert access["/hospital[1]/record[2]/name[1]"] == "none"
+
+
+class TestNavigatePrivilege:
+    def test_navigate_grant_gives_structure_only(self):
+        base = XmlPolicyBase([
+            xml_grant(has_role("nurse"), "/hospital",
+                      privilege=Privilege.NAVIGATE)])
+        access = labels_for(base, NURSE)
+        assert access["/hospital[1]"] == "navigate"
+
+    def test_read_deny_can_leave_navigate(self):
+        base = XmlPolicyBase([
+            xml_grant(has_role("nurse"), "/hospital"),
+            xml_deny(has_role("nurse"), "//ssn",
+                     privilege=Privilege.READ),
+            xml_grant(has_role("nurse"), "//ssn",
+                      privilege=Privilege.NAVIGATE),
+        ])
+        access = labels_for(base, NURSE)
+        assert access["/hospital[1]/record[1]/ssn[1]"] == "navigate"
+
+    def test_read_dominates_navigate_in_grants(self):
+        base = XmlPolicyBase([
+            xml_grant(anyone(), "/hospital",
+                      privilege=Privilege.NAVIGATE),
+            xml_grant(has_role("doctor"), "/hospital",
+                      privilege=Privilege.READ),
+        ])
+        access = labels_for(base, DOCTOR)
+        assert access["/hospital[1]"] == "read"
+
+
+class TestPolicyBaseApi:
+    def test_policies_for_filters(self):
+        doctor_policy = xml_grant(has_role("doctor"), "/hospital")
+        other_doc = xml_grant(anyone(), "/x", document="other")
+        base = XmlPolicyBase([doctor_policy, other_doc])
+        applicable = base.policies_for(DOCTOR, "records")
+        assert applicable == [doctor_policy]
+
+    def test_len_and_iter(self):
+        base = XmlPolicyBase()
+        base.add(xml_grant(anyone(), "/hospital"))
+        assert len(base) == 1
+        assert list(base)

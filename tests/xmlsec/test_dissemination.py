@@ -1,0 +1,130 @@
+"""Tests for secure and selective dissemination."""
+
+from repro.core.credentials import anyone, has_role
+from repro.core.subjects import Role, Subject
+from repro.crypto.keys import KeyStore
+from repro.xmldb.parser import parse
+from repro.xmldb.serializer import serialize
+from repro.xmlsec.authorx import XmlPolicyBase, xml_deny, xml_grant
+from repro.xmlsec.dissemination import (
+    Disseminator,
+    configuration_key_id,
+    open_packet,
+    subject_can_unlock,
+)
+
+DOC = parse("""<hospital>
+  <record id="r1"><name>Alice</name><diagnosis>flu</diagnosis>
+    <ssn>123</ssn></record>
+  <record id="r2"><name>Bob</name><diagnosis>cold</diagnosis>
+    <ssn>456</ssn></record>
+</hospital>""", name="records")
+
+DOCTOR = Subject("dr", roles={Role("doctor")})
+NURSE = Subject("nn", roles={Role("nurse")})
+STRANGER = Subject("zz")
+
+
+def make_base() -> XmlPolicyBase:
+    return XmlPolicyBase([
+        xml_grant(has_role("doctor"), "/hospital"),
+        xml_deny(anyone(), "//ssn"),
+        xml_grant(has_role("nurse"), "//record/name"),
+    ])
+
+
+def receive(disseminator, distributor, packet, who, subject):
+    store = KeyStore(f"rx-{who}")
+    for key in distributor.grant(who).keys:
+        store.import_key(key)
+    return open_packet(packet, store)
+
+
+class TestConfigurations:
+    def test_key_id_deterministic(self):
+        config = frozenset({(1, frozenset({2}))})
+        assert configuration_key_id(config) == configuration_key_id(config)
+
+    def test_empty_configuration_reserved(self):
+        assert configuration_key_id(frozenset()) == "cfg:none"
+
+    def test_key_count_scales_with_configs_not_subjects(self):
+        base = make_base()
+        disseminator = Disseminator(base)
+        disseminator.package("records", DOC)
+        # grant-doctor / grant-doctor+grant-nurse / denied-ssn: 3 configs
+        assert disseminator.key_count() <= 3
+
+    def test_subject_can_unlock_respects_denies(self):
+        base = make_base()
+        disseminator = Disseminator(base)
+        configurations = disseminator.configurations_of("records", DOC)
+        ssn_nodes = [n for n in DOC.iter() if n.tag == "ssn"]
+        for node in ssn_nodes:
+            config = configurations[id(node)]
+            assert not subject_can_unlock(base, DOCTOR, config)
+
+
+class TestEndToEnd:
+    def test_doctor_receives_view_without_ssn(self):
+        base = make_base()
+        disseminator = Disseminator(base)
+        packet = disseminator.package("records", DOC)
+        distributor = disseminator.distributor(
+            {"dr": DOCTOR, "nn": NURSE, "zz": STRANGER})
+        received = receive(disseminator, distributor, packet, "dr",
+                           DOCTOR)
+        text = serialize(received)
+        assert "Alice" in text and "flu" in text
+        assert "123" not in text
+
+    def test_nurse_receives_names_with_connectors(self):
+        base = make_base()
+        disseminator = Disseminator(base)
+        packet = disseminator.package("records", DOC)
+        distributor = disseminator.distributor(
+            {"dr": DOCTOR, "nn": NURSE})
+        received = receive(disseminator, distributor, packet, "nn", NURSE)
+        text = serialize(received)
+        assert "Alice" in text and "Bob" in text
+        assert "flu" not in text and "123" not in text
+
+    def test_stranger_receives_nothing(self):
+        base = make_base()
+        disseminator = Disseminator(base)
+        packet = disseminator.package("records", DOC)
+        distributor = disseminator.distributor({"zz": STRANGER})
+        assert receive(disseminator, distributor, packet, "zz",
+                       STRANGER) is None
+
+    def test_sibling_order_preserved(self):
+        base = make_base()
+        disseminator = Disseminator(base)
+        packet = disseminator.package("records", DOC)
+        distributor = disseminator.distributor({"dr": DOCTOR})
+        received = receive(disseminator, distributor, packet, "dr",
+                           DOCTOR)
+        text = serialize(received)
+        assert text.index("Alice") < text.index("flu") \
+            < text.index("Bob") < text.index("cold")
+
+    def test_packet_is_single_copy(self):
+        # One packet serves every subject: block count is configuration
+        # count, not per-subject.
+        base = make_base()
+        disseminator = Disseminator(base)
+        packet = disseminator.package("records", DOC)
+        assert packet.configuration_count == len(packet.blocks)
+        assert packet.total_bytes() > 0
+
+    def test_keys_withheld_for_denied_config(self):
+        base = make_base()
+        disseminator = Disseminator(base)
+        disseminator.package("records", DOC)
+        entitled = disseminator.entitled_key_ids(DOCTOR)
+        assert "cfg:none" not in entitled
+        # SSN config key must not be among the doctor's keys.
+        configurations = disseminator._configurations
+        for key_id in entitled:
+            assert subject_can_unlock(base, DOCTOR,
+                                      configurations[key_id])

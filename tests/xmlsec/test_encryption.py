@@ -1,0 +1,94 @@
+"""Tests for XML element encryption."""
+
+import pytest
+
+from repro.core.errors import KeyManagementError
+from repro.crypto.keys import KeyStore
+from repro.xmldb.parser import parse
+from repro.xmldb.serializer import serialize
+from repro.xmlsec.encryption import (
+    ENCRYPTED_TAG,
+    decrypt_available,
+    encrypt_portions,
+)
+
+XML = """<catalog>
+  <product sku="s1"><title>widget</title>
+    <wholesalePrice>PRICE-ALPHA</wholesalePrice></product>
+  <product sku="s2"><title>gadget</title>
+    <wholesalePrice>PRICE-BETA</wholesalePrice></product>
+</catalog>"""
+
+
+def fresh():
+    doc = parse(XML)
+    keys = KeyStore("vendor")
+    keys.create("wholesale-key")
+    return doc, keys
+
+
+class TestEncrypt:
+    def test_targets_replaced(self):
+        doc, keys = fresh()
+        count = encrypt_portions(doc, "//wholesalePrice",
+                                 "wholesale-key", keys)
+        assert count == 2
+        text = serialize(doc)
+        assert "PRICE-ALPHA" not in text and "PRICE-BETA" not in text
+        assert text.count(ENCRYPTED_TAG) >= 2
+
+    def test_position_preserved(self):
+        doc, keys = fresh()
+        encrypt_portions(doc, "//title", "wholesale-key", keys)
+        first_product = doc.root.find("product")
+        assert first_product.element_children[0].tag == ENCRYPTED_TAG
+        assert first_product.element_children[1].tag == "wholesalePrice"
+
+    def test_root_cannot_be_encrypted(self):
+        doc, keys = fresh()
+        with pytest.raises(KeyManagementError):
+            encrypt_portions(doc, "/catalog", "wholesale-key", keys)
+
+    def test_cleartext_rest_untouched(self):
+        doc, keys = fresh()
+        encrypt_portions(doc, "//wholesalePrice", "wholesale-key", keys)
+        assert "widget" in serialize(doc)
+
+
+class TestDecrypt:
+    def test_roundtrip(self):
+        doc, keys = fresh()
+        encrypt_portions(doc, "//wholesalePrice", "wholesale-key", keys)
+        decrypted, remaining = decrypt_available(doc, keys)
+        assert (decrypted, remaining) == (2, 0)
+        original = parse(XML)
+        assert doc.root.structurally_equal(original.root)
+
+    def test_without_key_nothing_decrypts(self):
+        doc, keys = fresh()
+        encrypt_portions(doc, "//wholesalePrice", "wholesale-key", keys)
+        stranger = KeyStore("stranger")
+        decrypted, remaining = decrypt_available(doc, stranger)
+        assert (decrypted, remaining) == (0, 2)
+        assert "PRICE-ALPHA" not in serialize(doc)
+
+    def test_partial_keys_partial_decrypt(self):
+        doc, keys = fresh()
+        keys.create("title-key")
+        encrypt_portions(doc, "//wholesalePrice", "wholesale-key", keys)
+        encrypt_portions(doc, "//title", "title-key", keys)
+        partial = KeyStore("partial")
+        partial.import_key(keys.get("title-key"))
+        decrypted, remaining = decrypt_available(doc, partial)
+        assert decrypted == 2 and remaining == 2
+        text = serialize(doc)
+        assert "widget" in text and "PRICE-ALPHA" not in text
+
+    def test_nested_super_encryption_unwinds(self):
+        doc, keys = fresh()
+        keys.create("outer-key")
+        encrypt_portions(doc, "//wholesalePrice", "wholesale-key", keys)
+        encrypt_portions(doc, "//product", "outer-key", keys)
+        decrypted, remaining = decrypt_available(doc, keys)
+        assert remaining == 0
+        assert doc.root.structurally_equal(parse(XML).root)

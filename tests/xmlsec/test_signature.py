@@ -1,0 +1,81 @@
+"""Tests for XML element signing."""
+
+import pytest
+
+from repro.core.errors import AuthenticationError
+from repro.crypto.rsa import generate_keypair
+from repro.xmldb.parser import parse_element
+from repro.xmlsec.signature import (
+    sign_element,
+    sign_portions,
+    verify_element,
+    verify_portion,
+)
+
+KEYS = generate_keypair(bits=256, seed=5)
+OTHER = generate_keypair(bits=256, seed=6)
+
+
+class TestElementSignature:
+    def test_roundtrip(self):
+        node = parse_element('<entry id="1"><v>x</v></entry>')
+        signed = sign_element(node, "owner", KEYS.private)
+        assert signed.verify(KEYS.public)
+        verify_element(signed, KEYS.public)  # should not raise
+
+    def test_tampered_text_fails(self):
+        node = parse_element("<entry><v>x</v></entry>")
+        signed = sign_element(node, "owner", KEYS.private)
+        node.find("v").set_text("tampered")
+        assert not signed.verify(KEYS.public)
+        with pytest.raises(AuthenticationError):
+            verify_element(signed, KEYS.public, context="test")
+
+    def test_tampered_attribute_fails(self):
+        node = parse_element('<entry id="1"/>')
+        signed = sign_element(node, "owner", KEYS.private)
+        node.attributes["id"] = "2"
+        assert not signed.verify(KEYS.public)
+
+    def test_wrong_key_fails(self):
+        node = parse_element("<entry/>")
+        signed = sign_element(node, "owner", KEYS.private)
+        assert not signed.verify(OTHER.public)
+
+    def test_attribute_order_irrelevant(self):
+        a = parse_element('<e x="1" y="2"/>')
+        b = parse_element('<e y="2" x="1"/>')
+        signed = sign_element(a, "owner", KEYS.private)
+        resigned = sign_element(b, "owner", KEYS.private)
+        assert signed.signature == resigned.signature
+
+
+class TestManifest:
+    def test_sign_and_verify_portions(self):
+        root = parse_element(
+            "<reg><entry>one</entry><entry>two</entry></reg>")
+        portions = root.find_all("entry")
+        manifest = sign_portions(portions, "owner", KEYS.private)
+        assert len(manifest.references) == 2
+        for portion in portions:
+            assert verify_portion(manifest, portion, KEYS.public)
+
+    def test_unsigned_portion_fails(self):
+        root = parse_element("<reg><entry>one</entry><x/></reg>")
+        manifest = sign_portions(root.find_all("entry"), "owner",
+                                 KEYS.private)
+        assert not verify_portion(manifest, root.find("x"), KEYS.public)
+
+    def test_tampered_portion_fails(self):
+        root = parse_element("<reg><entry>one</entry></reg>")
+        portion = root.find("entry")
+        manifest = sign_portions([portion], "owner", KEYS.private)
+        portion.set_text("changed")
+        assert not verify_portion(manifest, portion, KEYS.public)
+
+    def test_reference_lookup(self):
+        root = parse_element("<reg><entry>one</entry></reg>")
+        manifest = sign_portions(root.find_all("entry"), "owner",
+                                 KEYS.private)
+        assert manifest.reference_for("/reg[1]/entry[1]") is not None
+        assert manifest.reference_for("/nowhere[1]") is None

@@ -1,0 +1,110 @@
+"""Tests for authorized-view computation."""
+
+from repro.core.credentials import anyone, has_role
+from repro.core.subjects import Role, Subject
+from repro.merkle.xml_merkle import is_pruned_marker
+from repro.xmldb.parser import parse
+from repro.xmldb.serializer import serialize
+from repro.xmlsec.authorx import (
+    Privilege,
+    XmlPolicyBase,
+    xml_deny,
+    xml_grant,
+)
+from repro.xmlsec.views import compute_view, visible_element_count
+
+DOC = parse("""<hospital>
+  <record id="r1"><name>Alice</name><diagnosis>flu</diagnosis>
+    <ssn>123</ssn></record>
+  <record id="r2"><name>Bob</name><diagnosis>cold</diagnosis>
+    <ssn>456</ssn></record>
+</hospital>""", name="records")
+
+DOCTOR = Subject("dr", roles={Role("doctor")})
+NURSE = Subject("nn", roles={Role("nurse")})
+STRANGER = Subject("zz")
+
+BASE = XmlPolicyBase([
+    xml_grant(has_role("doctor"), "/hospital"),
+    xml_deny(anyone(), "//ssn"),
+    xml_grant(has_role("nurse"), "//record/name"),
+])
+
+
+class TestViewShapes:
+    def test_doctor_sees_everything_but_ssn(self):
+        view, stats = compute_view(BASE, DOCTOR, "records", DOC)
+        text = serialize(view)
+        assert "Alice" in text and "flu" in text
+        assert "123" not in text and "ssn" not in text
+        assert stats.pruned_subtrees == 2
+
+    def test_nurse_gets_connectors(self):
+        view, stats = compute_view(BASE, NURSE, "records", DOC)
+        text = serialize(view)
+        assert "Alice" in text and "Bob" in text
+        assert "flu" not in text and "123" not in text
+        # record elements survive as connectors without attributes
+        assert 'id="r1"' not in text
+        assert stats.connector_elements >= 3  # hospital + 2 records
+
+    def test_stranger_sees_nothing(self):
+        view, _stats = compute_view(BASE, STRANGER, "records", DOC)
+        assert view is None
+
+    def test_view_is_subset_of_document(self):
+        view, _stats = compute_view(BASE, DOCTOR, "records", DOC)
+        original_texts = {n.text for n in DOC.iter()}
+        for node in view.iter():
+            if node.text:
+                assert node.text in original_texts
+
+    def test_original_document_untouched(self):
+        before = serialize(DOC)
+        compute_view(BASE, DOCTOR, "records", DOC)
+        assert serialize(DOC) == before
+
+
+class TestMarkers:
+    def test_markers_mark_pruned_slots(self):
+        view, _stats = compute_view(BASE, DOCTOR, "records", DOC,
+                                    with_markers=True)
+        markers = [n for n in view.iter() if is_pruned_marker(n)]
+        assert {m.attributes["path"] for m in markers} == {
+            "/hospital[1]/record[1]/ssn[1]",
+            "/hospital[1]/record[2]/ssn[1]",
+        }
+
+    def test_no_markers_by_default(self):
+        view, _stats = compute_view(BASE, DOCTOR, "records", DOC)
+        assert not any(is_pruned_marker(n) for n in view.iter())
+
+    def test_all_pruned_returns_none(self):
+        view, _stats = compute_view(BASE, STRANGER, "records", DOC,
+                                    with_markers=True)
+        assert view is None
+
+
+class TestNavigate:
+    def test_navigate_strips_content(self):
+        base = XmlPolicyBase([
+            xml_grant(anyone(), "/hospital",
+                      privilege=Privilege.NAVIGATE)])
+        view, stats = compute_view(base, STRANGER, "records", DOC)
+        text = serialize(view)
+        assert "record" in text
+        assert "Alice" not in text and 'id=' not in text
+        assert stats.navigate_elements == DOC.size()
+
+
+class TestCounts:
+    def test_visible_element_count(self):
+        assert visible_element_count(BASE, DOCTOR, "records", DOC) == \
+            DOC.size() - 2  # everything minus the two ssn leaves
+        assert visible_element_count(BASE, STRANGER, "records", DOC) == 0
+
+    def test_stats_totals(self):
+        _view, stats = compute_view(BASE, DOCTOR, "records", DOC)
+        assert stats.total_elements == DOC.size()
+        assert (stats.read_elements + stats.pruned_subtrees
+                == DOC.size())

@@ -1,0 +1,115 @@
+"""Tests for the XKMS-style key information service."""
+
+import pytest
+
+from repro.core.errors import AuthenticationError, KeyManagementError
+from repro.crypto.rsa import generate_keypair
+from repro.xmlsec.xkms import (
+    KeyInformationService,
+    RegistrationRequest,
+    make_registration,
+)
+
+ALICE = generate_keypair(bits=256, seed=61)
+MALLORY = generate_keypair(bits=256, seed=62)
+
+
+def service() -> KeyInformationService:
+    return KeyInformationService(key_seed=63)
+
+
+class TestRegistration:
+    def test_register_and_locate(self):
+        xkms = service()
+        binding = xkms.register(make_registration("alice", ALICE))
+        assert xkms.locate("alice") == binding
+        assert binding.public_key == ALICE.public
+
+    def test_binding_signed_by_service(self):
+        xkms = service()
+        binding = xkms.register(make_registration("alice", ALICE))
+        assert binding.verify_issuer(xkms.service_key)
+        other = KeyInformationService(key_seed=64)
+        assert not binding.verify_issuer(other.service_key)
+
+    def test_proof_of_possession_required(self):
+        xkms = service()
+        # Mallory claims Alice's *public* key without the private half.
+        forged = RegistrationRequest(
+            "alice", ALICE.public.n, ALICE.public.e,
+            proof_signature=12345)
+        with pytest.raises(AuthenticationError):
+            xkms.register(forged)
+
+    def test_name_squatting_blocked(self):
+        xkms = service()
+        xkms.register(make_registration("alice", ALICE))
+        with pytest.raises(KeyManagementError):
+            xkms.register(make_registration("alice", MALLORY))
+
+    def test_locate_unknown_raises(self):
+        with pytest.raises(KeyManagementError):
+            service().locate("ghost")
+
+
+class TestValidationAndRevocation:
+    def test_locate_valid_roundtrip(self):
+        xkms = service()
+        xkms.register(make_registration("alice", ALICE))
+        assert xkms.locate_valid("alice") == ALICE.public
+
+    def test_holder_revocation(self):
+        xkms = service()
+        binding = xkms.register(make_registration("alice", ALICE))
+        proof = KeyInformationService.make_revocation("alice",
+                                                      ALICE.private)
+        xkms.revoke("alice", proof)
+        assert not xkms.validate(binding)
+        with pytest.raises(AuthenticationError):
+            xkms.locate_valid("alice")
+
+    def test_revocation_needs_holder_signature(self):
+        xkms = service()
+        xkms.register(make_registration("alice", ALICE))
+        forged_proof = KeyInformationService.make_revocation(
+            "alice", MALLORY.private)
+        with pytest.raises(AuthenticationError):
+            xkms.revoke("alice", forged_proof)
+
+    def test_rebinding_after_revocation(self):
+        xkms = service()
+        xkms.register(make_registration("alice", ALICE))
+        xkms.revoke("alice", KeyInformationService.make_revocation(
+            "alice", ALICE.private))
+        fresh = generate_keypair(bits=256, seed=65)
+        binding = xkms.register(make_registration("alice", fresh))
+        assert xkms.locate_valid("alice") == fresh.public
+        assert xkms.validate(binding)
+
+
+class TestWsaIntegration:
+    def test_requestor_bootstraps_trust_via_xkms(self):
+        from repro.wsa.actors import ServiceProvider, ServiceRequestor
+        from repro.wsa.transport import MessageBus
+        from repro.wsa.wsdl import describe
+
+        xkms = service()
+        bus = MessageBus()
+        provider = ServiceProvider(
+            "svc", describe("S", op=(("x",), ("y",))), bus, key_seed=66,
+            require_signatures=True)
+        provider.implement("op", lambda s, p: {"y": p["x"] + "!"})
+        xkms.register(RegistrationRequestFor(provider))
+
+        requestor = ServiceRequestor("alice", bus, key_seed=67)
+        provider.trust_requestor("alice", requestor.public_key)
+        key = requestor.trust_provider_via(xkms, "svc")
+        assert key == provider.public_key
+        out = requestor.invoke("svc", "op", {"x": "ping"},
+                               sign_request=True)
+        assert out["y"] == "ping!"
+
+
+def RegistrationRequestFor(provider):
+    """Register a ServiceProvider's keypair under its endpoint name."""
+    return make_registration(provider.name, provider.keys)
