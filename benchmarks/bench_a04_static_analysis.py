@@ -1,0 +1,16 @@
+"""Benchmark wrapper for the A4 static-analysis scaling ablation."""
+
+
+def test_a04_static_analysis(record):
+    result = record("A4")
+    counts = [row[0] for row in result.rows]
+    per_policy = [row[2] for row in result.rows]
+    assert counts == [100, 1_000, 10_000]
+    # Near-linear: amortized per-policy cost must not blow up with the
+    # base (allow generous constant-factor wiggle, forbid quadratic).
+    assert per_policy[-1] < per_policy[0] * 20
+    # The generated bases seed detectable defects at every size.
+    for row in result.rows:
+        conflicts, dead = row[3], row[4]
+        assert conflicts > 0
+        assert dead > 0

@@ -1,0 +1,94 @@
+"""A deliberately flawed deployment for the static analyzer to catch.
+
+Run ``PYTHONPATH=src python -m repro.analysis examples/analysis_fixture.py``
+to see every analysis domain report a seeded defect: an XML grant/deny
+conflict, a dead policy, a shadowed grant, a dangling grant, a
+grant-option cycle, a privilege-escalation chain, an inference channel,
+a redundant association constraint, a reification leak and a partially
+classified RDF container.  The module only *builds* the artifacts —
+detection happens without executing a single query.
+"""
+
+from repro.core.credentials import anyone, has_role
+from repro.core.mls import Label, Level
+from repro.datagen.documents import hospital_schema
+from repro.datagen.population import named_cast
+from repro.privacy.constraints import PrivacyConstraintSet, PrivacyLevel
+from repro.rdfdb.containers import create_container
+from repro.rdfdb.model import IRI, Literal, Triple
+from repro.rdfdb.reification import reify
+from repro.rdfdb.security import SecureRdfStore
+from repro.relational.authorization import AuthorizationManager, Privilege
+from repro.xmlsec.authorx import XmlPolicyBase, xml_deny, xml_grant
+
+# -- XML policies over the hospital DTD ---------------------------------
+
+SCHEMA = hospital_schema()
+_cast = named_cast()
+SUBJECTS = [_cast.doctor, _cast.nurse, _cast.researcher,
+            _cast.administrator, _cast.stranger]
+
+POLICIES = XmlPolicyBase()
+# Conflict: doctors are granted the SSN subtree that a blanket denial
+# covers for everyone.
+POLICIES.add(xml_grant(has_role("doctor"), "//record/ssn"))
+POLICIES.add(xml_deny(anyone(), "//record/ssn"))
+# Dead: the hospital DTD declares no <prescription> element.
+POLICIES.add(xml_grant(has_role("nurse"), "//prescription"))
+# Shadowed: the nurse grant on billing amounts loses everywhere to the
+# blanket denial at the same attachment point.
+POLICIES.add(xml_grant(has_role("nurse"), "//billing/amount"))
+POLICIES.add(xml_deny(anyone(), "//billing/amount"))
+# Healthy control policy: should produce no findings.
+POLICIES.add(xml_grant(has_role("doctor"), "/hospital/record"))
+
+# -- relational grant graph ------------------------------------------------
+
+GRANTS = AuthorizationManager()
+GRANTS.set_owner("patients", "dba")
+GRANTS.grant("dba", "alice", "patients", Privilege.SELECT,
+             with_grant_option=True)
+GRANTS.grant("alice", "bob", "patients", Privilege.SELECT,
+             with_grant_option=True)
+# Escalation: carol reaches GRANT authority two hops past the owner.
+GRANTS.grant("bob", "carol", "patients", Privilege.SELECT,
+             with_grant_option=True)
+# Cycle: alice and bob mutually support each other's options.
+GRANTS.grant("bob", "alice", "patients", Privilege.SELECT,
+             with_grant_option=True)
+# Dangling: a bulk-imported edge with no owner-rooted support.
+GRANTS.import_grant("mallory", "eve", "patients", Privilege.UPDATE)
+
+# -- privacy constraints ------------------------------------------------------
+
+CONSTRAINTS = PrivacyConstraintSet()
+# Channel: name and diagnosis are public one at a time, private jointly.
+CONSTRAINTS.protect_together(
+    "patients", ["name", "diagnosis"], PrivacyLevel.PRIVATE,
+    name="identity-condition")
+# Redundant: ssn alone is already private, so ssn+insurer can never be
+# assembled from permitted releases.
+CONSTRAINTS.protect("patients", "ssn", PrivacyLevel.PRIVATE)
+CONSTRAINTS.protect_together(
+    "patients", ["ssn", "insurer"], PrivacyLevel.PRIVATE,
+    name="billing-identity")
+
+# -- RDF classification -------------------------------------------------------
+
+RDF_STORE = SecureRdfStore()
+_ex = "http://example.org/"
+_statement = Triple(IRI(_ex + "patient1"), IRI(_ex + "diagnosis"),
+                    Literal("arrhythmia"))
+RDF_STORE.add(_statement)
+reify(RDF_STORE.store, _statement)
+# Leak: the statement goes SECRET while its quadruples stay PUBLIC.
+RDF_STORE.classify(_statement, Label(Level.SECRET),
+                   protect_reifications=False)
+# Partial container classification: only member _2 is raised.
+_container = create_container(
+    RDF_STORE.store, "Bag",
+    [Literal("entry-1"), Literal("entry-2"), Literal("entry-3")])
+for _triple in RDF_STORE.store.match(_container, None, None):
+    if _triple.predicate.local_name == "_2":
+        RDF_STORE.classify(_triple, Label(Level.CONFIDENTIAL),
+                           protect_reifications=False)

@@ -1,0 +1,45 @@
+"""Static security-policy analysis and custom code lint.
+
+The pre-deployment half of the paper's enforcement story: every check
+the runtime performs per request — ⊕/⊖ conflict resolution, recursive
+revocation, inference control, MLS label dominance — has a whole-policy-
+base analogue here that runs without executing a single query.  See
+``python -m repro.analysis --rules`` for the catalog.
+"""
+
+from repro.analysis.channels import PrivacyAnalysis, analyze_privacy
+from repro.analysis.codelint import lint_paths, lint_source
+from repro.analysis.findings import (
+    Finding,
+    REGISTRY,
+    Report,
+    Rule,
+    RuleRegistry,
+    Severity,
+)
+from repro.analysis.grants import (
+    analyze_grants,
+    escalation_paths,
+    grant_option_cycles,
+    unsupported_grants,
+)
+from repro.analysis.mlsrdf import analyze_rdf
+from repro.analysis.probes import default_probe_subjects, probe_mask
+from repro.analysis.selfcheck import run_self_check
+from repro.analysis.xmlpolicy import (
+    DtdGraph,
+    XmlPolicyAnalysis,
+    analyze_xml_policies,
+    attachment_tags,
+    propagation_region,
+)
+
+__all__ = [
+    "DtdGraph", "Finding", "PrivacyAnalysis", "REGISTRY", "Report",
+    "Rule", "RuleRegistry", "Severity", "XmlPolicyAnalysis",
+    "analyze_grants", "analyze_privacy", "analyze_rdf",
+    "analyze_xml_policies", "attachment_tags", "default_probe_subjects",
+    "escalation_paths", "grant_option_cycles", "lint_paths",
+    "lint_source", "probe_mask", "propagation_region", "run_self_check",
+    "unsupported_grants",
+]

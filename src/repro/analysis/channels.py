@@ -1,0 +1,155 @@
+"""Static inference-channel detection over the privacy constraint graph.
+
+The runtime :class:`repro.privacy.inference.InferenceController` blocks a
+query when the user's release history plus the new answer completes a
+forbidden association.  That is enforcement of last resort: the channel
+itself — a set of individually releasable attributes whose combination
+is forbidden — is visible in the constraint catalog alone.  These rules
+walk :class:`repro.privacy.constraints.PrivacyConstraintSet` and report:
+
+* ``INF-CHANNEL`` — an audience (public, or a need-to-know subject) may
+  obtain every column of an association constraint through individually
+  permitted queries, yet the association is not releasable to them: the
+  inference controller *will* have to block the completing query at
+  runtime, and any stateless deployment leaks;
+* ``INF-REDUNDANT`` — an association constraint that can never be
+  completed because a member column is already unreleasable, on its own,
+  to every audience the association excludes: dead policy weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.findings import Finding, Report, Severity, REGISTRY
+from repro.privacy.constraints import (
+    AssociationConstraint,
+    PrivacyConstraintSet,
+)
+
+REGISTRY.register(
+    "INF-CHANNEL", Severity.ERROR, "privacy",
+    "association completable through individually permitted releases",
+    "§3.3 'privacy constraints determine which patterns are private'; "
+    "the inference problem is individually safe queries that jointly "
+    "violate one")
+REGISTRY.register(
+    "INF-REDUNDANT", Severity.INFO, "privacy",
+    "association constraint already enforced column-wise",
+    "§3.3 constraint bases drift; unreachable constraints hide which "
+    "protections actually bind")
+
+
+@dataclass(frozen=True)
+class Audience:
+    """One class of requesters the release rules distinguish."""
+
+    name: str
+    need_to_know: bool
+
+
+@dataclass
+class PrivacyAnalysis:
+    """Context for ``privacy``-domain checkers.
+
+    ``audiences`` defaults to the anonymous public plus one
+    representative need-to-know subject; pass the deployment's actual
+    need-to-know roster for per-user findings.
+    """
+
+    constraints: PrivacyConstraintSet
+    audiences: list[Audience] = field(default_factory=lambda: [
+        Audience("public", False),
+        Audience("need-to-know", True),
+    ])
+
+    @classmethod
+    def build(cls, constraints: PrivacyConstraintSet,
+              need_to_know: Iterable[str] = ()) -> "PrivacyAnalysis":
+        audiences = [Audience("public", False)]
+        audiences.extend(Audience(name, True)
+                         for name in sorted(set(need_to_know)))
+        if len(audiences) == 1:
+            audiences.append(Audience("need-to-know", True))
+        return cls(constraints, audiences)
+
+    def column_releasable(self, table: str, column: str,
+                          audience: Audience) -> bool:
+        level = self.constraints.level_for(table, column)
+        return level.releasable_to(audience.need_to_know)
+
+    def association_releasable(self, constraint: AssociationConstraint,
+                               audience: Audience) -> bool:
+        return constraint.level.releasable_to(audience.need_to_know)
+
+
+def _label(constraint: AssociationConstraint) -> str:
+    return constraint.name or "+".join(sorted(constraint.columns))
+
+
+@REGISTRY.checker("INF-CHANNEL")
+def check_channels(analysis: PrivacyAnalysis) -> list[Finding]:
+    findings = []
+    for table in analysis.constraints.tables():
+        for constraint in analysis.constraints.association_constraints(
+                table):
+            exposed = [
+                audience for audience in analysis.audiences
+                if not analysis.association_releasable(constraint,
+                                                       audience)
+                and all(analysis.column_releasable(table, column,
+                                                   audience)
+                        for column in constraint.columns)]
+            if not exposed:
+                continue
+            who = ", ".join(a.name for a in exposed)
+            columns = "+".join(sorted(constraint.columns))
+            findings.append(REGISTRY.make_finding(
+                "INF-CHANNEL", f"{table}:{_label(constraint)}",
+                f"{who} can assemble {columns} from individually "
+                f"permitted queries; only the runtime inference "
+                f"controller stands between them and the association",
+                fix_hint="raise one member column to the association's "
+                         "level, or require history tracking in every "
+                         "deployment"))
+    return findings
+
+
+@REGISTRY.checker("INF-REDUNDANT")
+def check_redundant(analysis: PrivacyAnalysis) -> list[Finding]:
+    findings = []
+    for table in analysis.constraints.tables():
+        for constraint in analysis.constraints.association_constraints(
+                table):
+            excluded = [a for a in analysis.audiences
+                        if not analysis.association_releasable(constraint,
+                                                               a)]
+            if not excluded:
+                continue
+            blockers: set[str] = set()
+            for audience in excluded:
+                columns = [c for c in sorted(constraint.columns)
+                           if not analysis.column_releasable(
+                               table, c, audience)]
+                if not columns:
+                    blockers.clear()
+                    break
+                blockers.update(columns)
+            if not blockers:
+                continue
+            blocked_by = ", ".join(sorted(blockers))
+            findings.append(REGISTRY.make_finding(
+                "INF-REDUNDANT", f"{table}:{_label(constraint)}",
+                f"column-level constraints on {blocked_by} already stop "
+                f"every audience this association excludes",
+                fix_hint="drop the association constraint or lower the "
+                         "column constraint it duplicates"))
+    return findings
+
+
+def analyze_privacy(constraints: PrivacyConstraintSet,
+                    need_to_know: Iterable[str] = ()) -> Report:
+    """Run every ``privacy``-domain rule over one constraint catalog."""
+    analysis = PrivacyAnalysis.build(constraints, need_to_know)
+    return Report(REGISTRY.run_domain("privacy", analysis))

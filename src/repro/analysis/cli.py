@@ -1,0 +1,155 @@
+"""``python -m repro.analysis`` — the pre-deployment verification gate.
+
+Three modes:
+
+* **fixture analysis** (default): each positional path is a Python file
+  (or directory of files) executed as a fixture module; every
+  recognizable security artifact bound at module level — an
+  :class:`XmlPolicyBase` (paired with a :class:`Schema` and optional
+  subjects), an :class:`AuthorizationManager`, a
+  :class:`PrivacyConstraintSet` (optionally with a ``NEED_TO_KNOW``
+  set or a :class:`PrivacyController`), a :class:`SecureRdfStore` —
+  is analyzed by the matching rule domain;
+* ``--lint PATH``: run the AST code lint over a source tree;
+* ``--self-check``: prove every registered rule fires on its seeded
+  defect fixture.
+
+Exit status is non-zero when any ERROR-severity finding (or lint
+finding) is reported, which is what lets CI use this as a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import runpy
+import sys
+
+from repro.analysis.channels import analyze_privacy
+from repro.analysis.codelint import lint_paths
+from repro.analysis.findings import REGISTRY, Report, Severity
+from repro.analysis.grants import analyze_grants
+from repro.analysis.mlsrdf import analyze_rdf
+from repro.analysis.selfcheck import run_self_check
+from repro.analysis.xmlpolicy import analyze_xml_policies
+from repro.privacy.constraints import PrivacyConstraintSet
+from repro.privacy.controller import PrivacyController
+from repro.rdfdb.security import SecureRdfStore
+from repro.relational.authorization import AuthorizationManager
+from repro.xmldb.dtd import Schema
+from repro.xmlsec.authorx import XmlPolicyBase
+
+
+def analyze_fixture_globals(bindings: dict[str, object]) -> Report:
+    """Analyze every recognizable artifact in one module's globals."""
+    report = Report()
+    schemas = [v for v in bindings.values() if isinstance(v, Schema)]
+    subjects = bindings.get("SUBJECTS")
+    for value in bindings.values():
+        if isinstance(value, XmlPolicyBase) and schemas:
+            report.extend(analyze_xml_policies(value, schemas[0],
+                                               subjects))
+        elif isinstance(value, AuthorizationManager):
+            report.extend(analyze_grants(value))
+        elif isinstance(value, PrivacyConstraintSet):
+            need = bindings.get("NEED_TO_KNOW")
+            if not isinstance(need, (set, frozenset, list, tuple)):
+                controllers = [v for v in bindings.values()
+                               if isinstance(v, PrivacyController)]
+                need = (controllers[0].need_to_know if controllers
+                        else ())
+            report.extend(analyze_privacy(value, need))
+        elif isinstance(value, SecureRdfStore):
+            report.extend(analyze_rdf(value))
+    return report
+
+
+def analyze_fixture_paths(paths: list[str]) -> Report:
+    report = Report()
+    for entry in paths:
+        path = pathlib.Path(entry)
+        if path.is_dir():
+            files = sorted(p for p in path.glob("*.py")
+                           if not p.name.startswith("_"))
+        else:
+            files = [path]
+        for file in files:
+            bindings = runpy.run_path(str(file))
+            report.extend(analyze_fixture_globals(bindings))
+    return report
+
+
+def _print_report(report: Report, as_json: bool) -> None:
+    print(report.to_json() if as_json else report.render_text())
+
+
+def _run_self_check(as_json: bool) -> int:
+    result = run_self_check()
+    _print_report(result.report, as_json)
+    if not as_json:
+        fired = ", ".join(sorted(result.fired & result.expected))
+        print(f"self-check: {len(result.expected)} rule(s) expected; "
+              f"fired: {fired}")
+    if result.missing:
+        print("self-check FAILED; silent rule(s): "
+              + ", ".join(sorted(result.missing)), file=sys.stderr)
+        return 1
+    print("self-check OK: every registered rule detects its seeded "
+          "defect")
+    return 0
+
+
+def _print_rules() -> int:
+    for rule in sorted(REGISTRY.rules(), key=lambda r: (r.domain,
+                                                        r.rule_id)):
+        print(f"{rule.rule_id:15s} {str(rule.severity):7s} "
+              f"[{rule.domain}] {rule.title}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static security-policy analysis and code lint.")
+    parser.add_argument("paths", nargs="*",
+                        help="fixture modules (or directories) to analyze")
+    parser.add_argument("--lint", metavar="PATH", action="append",
+                        default=[],
+                        help="lint a source file or tree instead")
+    parser.add_argument("--self-check", action="store_true",
+                        help="verify every rule fires on seeded defects")
+    parser.add_argument("--rules", action="store_true",
+                        help="list the rule catalog and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    parser.add_argument("--max-severity", choices=["info", "warning",
+                                                   "error"],
+                        default="error",
+                        help="lowest severity that fails the run "
+                             "(default: error)")
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        return _print_rules()
+    if args.self_check:
+        return _run_self_check(args.json)
+
+    # A typo'd path must not pass the gate as "no findings".
+    missing = [p for p in args.paths + args.lint
+               if not pathlib.Path(p).exists()]
+    if missing:
+        parser.error("no such file or directory: "
+                     + ", ".join(missing))
+
+    report = Report()
+    if args.lint:
+        report.extend(lint_paths(args.lint))
+    if args.paths:
+        report.extend(analyze_fixture_paths(args.paths))
+    if not args.lint and not args.paths:
+        parser.print_usage()
+        return 2
+    _print_report(report, args.json)
+    threshold = Severity[args.max_severity.upper()]
+    failing = [f for f in report if f.severity >= threshold]
+    return 1 if failing else 0

@@ -1,0 +1,216 @@
+"""Custom AST lint enforcing repo invariants over ``src/``.
+
+Four rules, each guarding an invariant the security machinery depends
+on (CI runs this over ``src/`` and fails the build on any finding):
+
+* ``LINT-MUTDEF`` — no mutable default arguments: policy bases, grant
+  lists and ledgers passed as defaults would be shared across calls;
+* ``LINT-BAREEXC`` — no bare ``except:``: enforcement code that
+  swallows ``KeyboardInterrupt``/``SystemExit`` can mask denial logic;
+* ``LINT-HASH`` — no builtin ``hash()`` outside ``__hash__`` methods:
+  Python salts string hashes per process (PYTHONHASHSEED), so deriving
+  key seeds or policy identities from ``hash()`` is nondeterministic
+  across runs — use :mod:`repro.crypto.hashing` digests instead;
+* ``LINT-CHECKRET`` — every public ``verify_*``/``check_*`` function
+  must produce a consumable outcome: either return a value or raise.
+  A checker that can neither succeed loudly nor fail loudly verifies
+  nothing.  The companion check flags same-module call sites that
+  discard the result of a value-returning, non-raising checker.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding, Report, Severity, REGISTRY
+
+REGISTRY.register(
+    "LINT-MUTDEF", Severity.ERROR, "lint",
+    "mutable default argument",
+    "shared-state defaults corrupt policy/grant bookkeeping across calls")
+REGISTRY.register(
+    "LINT-BAREEXC", Severity.ERROR, "lint",
+    "bare except clause",
+    "enforcement code must not swallow exits while failing closed")
+REGISTRY.register(
+    "LINT-HASH", Severity.ERROR, "lint",
+    "nondeterministic builtin hash()",
+    "salted string hashing breaks reproducibility of seeds and policy "
+    "identities across processes")
+REGISTRY.register(
+    "LINT-CHECKRET", Severity.ERROR, "lint",
+    "verify_/check_ outcome unreported or discarded",
+    "a checker whose verdict cannot be consumed verifies nothing")
+REGISTRY.register(
+    "LINT-SYNTAX", Severity.ERROR, "lint",
+    "file does not parse",
+    "unparseable code cannot be analyzed, let alone enforced")
+
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict",
+                  "Counter", "bytearray"}
+_CHECK_PREFIXES = ("verify_", "check_")
+
+
+@dataclass(frozen=True)
+class _FunctionFacts:
+    """What the call-site pass needs to know about a local function."""
+
+    returns_value: bool
+    raises: bool
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else "")
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _is_checker_name(name: str) -> bool:
+    return name.startswith(_CHECK_PREFIXES)
+
+
+def _function_facts(node: ast.FunctionDef | ast.AsyncFunctionDef
+                    ) -> _FunctionFacts:
+    returns_value = False
+    raises = False
+    for child in ast.walk(node):
+        if child is not node and isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                        ast.Lambda)):
+            continue
+        if isinstance(child, ast.Return) and child.value is not None:
+            returns_value = True
+        if isinstance(child, ast.Raise):
+            raises = True
+    return _FunctionFacts(returns_value, raises)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+        self._function_stack: list[str] = []
+        self._local_checkers: dict[str, _FunctionFacts] = {}
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str,
+              fix_hint: str = "") -> None:
+        line = getattr(node, "lineno", 0)
+        self.findings.append(REGISTRY.make_finding(
+            rule_id, f"{self.path}:{line}", message, fix_hint))
+
+    # -- collection pass ---------------------------------------------------
+
+    def collect_checkers(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_checker_name(node.name):
+                    self._local_checkers[node.name] = _function_facts(node)
+
+    # -- rules ----------------------------------------------------------------
+
+    def _visit_function(self,
+                        node: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self._emit(
+                    "LINT-MUTDEF", default,
+                    f"function {node.name!r} has a mutable default "
+                    f"argument",
+                    fix_hint="default to None and construct inside the "
+                             "body")
+        if (_is_checker_name(node.name)
+                and not node.name.startswith("_")):
+            facts = _function_facts(node)
+            if not facts.returns_value and not facts.raises:
+                self._emit(
+                    "LINT-CHECKRET", node,
+                    f"{node.name!r} neither returns a value nor raises; "
+                    f"its verdict is unobservable",
+                    fix_hint="return the check outcome or raise on "
+                             "failure")
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(
+                "LINT-BAREEXC", node,
+                "bare except catches SystemExit and KeyboardInterrupt",
+                fix_hint="catch Exception (or something narrower)")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (isinstance(node.func, ast.Name) and node.func.id == "hash"
+                and "__hash__" not in self._function_stack):
+            self._emit(
+                "LINT-HASH", node,
+                "builtin hash() is salted per process; results are not "
+                "reproducible across runs",
+                fix_hint="use repro.crypto.hashing (sha256_int/"
+                         "sha256_hex) for stable digests")
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        call = node.value
+        if isinstance(call, ast.Call) and isinstance(call.func, ast.Name):
+            facts = self._local_checkers.get(call.func.id)
+            if (facts is not None and facts.returns_value
+                    and not facts.raises):
+                self._emit(
+                    "LINT-CHECKRET", node,
+                    f"result of {call.func.id!r} is discarded but the "
+                    f"checker reports only through its return value",
+                    fix_hint="consume the returned verdict")
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one source text; syntax errors become findings too."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [REGISTRY.make_finding(
+            "LINT-SYNTAX", f"{path}:{exc.lineno or 0}",
+            f"file does not parse: {exc.msg}")]
+    linter = _Linter(path)
+    linter.collect_checkers(tree)
+    linter.visit(tree)
+    return linter.findings
+
+
+def iter_python_files(paths: Iterable[str | pathlib.Path]
+                      ) -> Iterator[pathlib.Path]:
+    for entry in paths:
+        path = pathlib.Path(entry)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[str | pathlib.Path]) -> Report:
+    """Lint every ``*.py`` under the given files/directories."""
+    report = Report()
+    for path in iter_python_files(paths):
+        report.extend(lint_source(path.read_text(encoding="utf-8"),
+                                  str(path)))
+    return report

@@ -1,0 +1,184 @@
+"""Findings, rules and the pluggable rule registry.
+
+Every static check in :mod:`repro.analysis` — policy-base analysis,
+grant-graph analysis, inference-channel detection, MLS/RDF consistency
+and the code lint — reports through one :class:`Finding` record so the
+CLI, CI gate and tests consume a single shape.  Rules are declared once
+in the :class:`RuleRegistry` (id, severity, title, the paper claim the
+rule guards) and checkers attach to them by id, so adding a check is:
+register the rule, write a generator of findings.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ERROR findings fail the build."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect discovered statically.
+
+    ``location`` addresses the offending artifact: a policy id, a grant
+    edge, a DTD node, a ``file:line`` for lint findings.  ``fix_hint``
+    tells the policy author what would make the finding go away.
+    """
+
+    rule_id: str
+    severity: Severity
+    location: str
+    message: str
+    fix_hint: str = ""
+
+    def render(self) -> str:
+        hint = f"  (fix: {self.fix_hint})" if self.fix_hint else ""
+        return (f"[{self.rule_id}] {self.severity}: {self.location}: "
+                f"{self.message}{hint}")
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: identity, default severity and provenance."""
+
+    rule_id: str
+    severity: Severity
+    domain: str
+    title: str
+    claim: str = ""
+
+
+class RuleRegistry:
+    """The pluggable catalog of rules and their checkers.
+
+    Checkers are callables ``(context) -> Iterable[Finding]`` attached to
+    a registered rule; :meth:`run_domain` runs every checker of a domain
+    against one context object.  Domains keep heterogeneous contexts
+    apart: ``xml`` checkers receive an :class:`~repro.analysis.xmlpolicy.
+    XmlPolicyAnalysis`, ``grants`` checkers an AuthorizationManager
+    wrapper, and so on.
+    """
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+        self._checkers: dict[str, list[Callable[[object], Iterable[Finding]]]] = {}
+
+    def register(self, rule_id: str, severity: Severity, domain: str,
+                 title: str, claim: str = "") -> Rule:
+        if rule_id in self._rules:
+            raise ValueError(f"rule {rule_id!r} already registered")
+        rule = Rule(rule_id, severity, domain, title, claim)
+        self._rules[rule_id] = rule
+        return rule
+
+    def checker(self, rule_id: str) -> Callable[
+            [Callable[[object], Iterable[Finding]]],
+            Callable[[object], Iterable[Finding]]]:
+        """Decorator attaching a checker function to a registered rule."""
+        if rule_id not in self._rules:
+            raise ValueError(f"rule {rule_id!r} is not registered")
+
+        def attach(func: Callable[[object], Iterable[Finding]]
+                   ) -> Callable[[object], Iterable[Finding]]:
+            self._checkers.setdefault(rule_id, []).append(func)
+            return func
+
+        return attach
+
+    def rule(self, rule_id: str) -> Rule:
+        return self._rules[rule_id]
+
+    def rules(self, domain: str | None = None) -> list[Rule]:
+        return [r for r in self._rules.values()
+                if domain is None or r.domain == domain]
+
+    def make_finding(self, rule_id: str, location: str, message: str,
+                     fix_hint: str = "",
+                     severity: Severity | None = None) -> Finding:
+        """A finding carrying the rule's registered default severity."""
+        rule = self._rules[rule_id]
+        return Finding(rule_id, severity if severity is not None
+                       else rule.severity, location, message, fix_hint)
+
+    def run_domain(self, domain: str, context: object) -> list[Finding]:
+        findings: list[Finding] = []
+        for rule in self.rules(domain):
+            for checker in self._checkers.get(rule.rule_id, ()):
+                findings.extend(checker(context))
+        return findings
+
+
+#: The process-wide registry every analysis module populates on import.
+REGISTRY = RuleRegistry()
+
+
+@dataclass
+class Report:
+    """A batch of findings plus rendering/exit-code logic."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def extend(self, more: Iterable[Finding]) -> "Report":
+        self.findings.extend(more)
+        return self
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def by_rule(self, rule_id: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule_id == rule_id]
+
+    def rule_ids(self) -> set[str]:
+        return {f.rule_id for f in self.findings}
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def sorted(self) -> list[Finding]:
+        return sorted(self.findings,
+                      key=lambda f: (-int(f.severity), f.rule_id,
+                                     f.location))
+
+    def render_text(self) -> str:
+        if not self.findings:
+            return "no findings"
+        lines = [f.render() for f in self.sorted()]
+        counts = {s: sum(1 for f in self.findings if f.severity is s)
+                  for s in Severity}
+        lines.append(f"{len(self.findings)} finding(s): "
+                     f"{counts[Severity.ERROR]} error(s), "
+                     f"{counts[Severity.WARNING]} warning(s), "
+                     f"{counts[Severity.INFO]} info")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps([f.to_dict() for f in self.sorted()], indent=2)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.has_errors else 0

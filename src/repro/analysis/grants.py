@@ -1,0 +1,193 @@
+"""Static analysis of the System R grant graph.
+
+:meth:`repro.relational.authorization.AuthorizationManager.revoke`
+repairs the graph at revocation time; these rules find the trouble
+before anyone revokes:
+
+* ``REL-DANGLING`` — a grant whose grantor holds no authority predating
+  it (no ownership, no earlier grant-option chain from the owner): the
+  System R timestamp rule says it should not exist, and the next revoke
+  will silently sweep it away;
+* ``REL-CYCLE`` — grant-option cycles: mutually supporting grants that
+  keep each other alive and make revocation semantics order-dependent;
+* ``REL-ESCALATION`` — privilege-escalation paths: subjects who can
+  transitively reach GRANT authority on a table through two or more
+  grant-option hops, i.e. beyond the owner's direct trust.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.findings import Finding, Report, Severity, REGISTRY
+from repro.relational.authorization import AuthorizationManager, Grant
+
+REGISTRY.register(
+    "REL-DANGLING", Severity.ERROR, "grants",
+    "grant unsupported by any owner-rooted chain",
+    "§3.1 System R recursive revocation: every grant must trace to the "
+    "owner through grants that predate it")
+REGISTRY.register(
+    "REL-CYCLE", Severity.WARNING, "grants",
+    "grant-option cycle",
+    "§3.1 cyclic delegation makes revocation outcomes depend on edge "
+    "timestamps, a classic System R pitfall")
+REGISTRY.register(
+    "REL-ESCALATION", Severity.WARNING, "grants",
+    "transitive path to GRANT authority",
+    "§3.1 'greater and more dynamic' populations: delegation chains "
+    "extend grant authority beyond the owner's direct trust")
+
+
+def _edge_location(grant: Grant) -> str:
+    return f"grant#{grant.grant_id}"
+
+
+def unsupported_grants(auth: AuthorizationManager) -> list[Grant]:
+    """Grants no owner-rooted, timestamp-respecting chain supports.
+
+    The fixpoint mirrors the sweep inside ``revoke``: repeatedly discard
+    grants whose grantor is not the owner and holds no surviving
+    grant-option edge older than the grant itself.
+    """
+    owners = auth.owners()
+    pool = auth.all_grants()
+    removed: list[Grant] = []
+    changed = True
+    while changed:
+        changed = False
+        for edge in list(pool):
+            if owners.get(edge.table) == edge.grantor:
+                continue
+            if any(g.grantee == edge.grantor and g.table == edge.table
+                   and g.privilege == edge.privilege
+                   and g.with_grant_option
+                   and g.sequence < edge.sequence
+                   for g in pool):
+                continue
+            pool.remove(edge)
+            removed.append(edge)
+            changed = True
+    return removed
+
+
+@REGISTRY.checker("REL-DANGLING")
+def check_dangling(auth: AuthorizationManager) -> list[Finding]:
+    findings = []
+    for edge in unsupported_grants(auth):
+        findings.append(REGISTRY.make_finding(
+            "REL-DANGLING", _edge_location(edge),
+            f"{edge.grantor!r} granted {edge.privilege.value} on "
+            f"{edge.table!r} to {edge.grantee!r} without authority "
+            f"predating the grant",
+            fix_hint="revoke the edge or re-grant it from an "
+                     "owner-rooted chain"))
+    return findings
+
+
+def _reachable(graph: dict[str, set[str]], start: str) -> set[str]:
+    """Nodes reachable from *start* through one or more edges."""
+    reached: set[str] = set()
+    frontier = list(graph.get(start, ()))
+    while frontier:
+        node = frontier.pop()
+        if node in reached:
+            continue
+        reached.add(node)
+        frontier.extend(graph.get(node, ()))
+    return reached
+
+
+def grant_option_cycles(auth: AuthorizationManager
+                        ) -> list[tuple[str, str, list[str]]]:
+    """(table, privilege, cycle members) for each grant-option cycle.
+
+    Members are the strongly connected component: the set of grantees
+    whose grant options mutually keep each other alive.
+    """
+    edges: dict[tuple[str, str], dict[str, set[str]]] = defaultdict(
+        lambda: defaultdict(set))
+    for grant in auth.all_grants():
+        if grant.with_grant_option:
+            key = (grant.table, grant.privilege.value)
+            edges[key][grant.grantor].add(grant.grantee)
+    cycles: list[tuple[str, str, list[str]]] = []
+    for (table, privilege), graph in sorted(edges.items()):
+        reach = {node: _reachable(graph, node) for node in graph}
+        cyclic = {node for node in graph if node in reach[node]}
+        while cyclic:
+            anchor = min(cyclic)
+            component = {node for node in cyclic
+                         if node in reach[anchor]
+                         and anchor in reach[node]} | {anchor}
+            cycles.append((table, privilege, sorted(component)))
+            cyclic -= component
+    return cycles
+
+
+@REGISTRY.checker("REL-CYCLE")
+def check_cycles(auth: AuthorizationManager) -> list[Finding]:
+    findings = []
+    for table, privilege, members in grant_option_cycles(auth):
+        loop = " -> ".join(members + [members[0]])
+        findings.append(REGISTRY.make_finding(
+            "REL-CYCLE", f"{table}:{privilege}",
+            f"grant-option cycle {loop}",
+            fix_hint="break the cycle by revoking one grant option"))
+    return findings
+
+
+def escalation_paths(auth: AuthorizationManager
+                     ) -> list[tuple[str, str, list[str]]]:
+    """Shortest owner-rooted grant-option chains of length >= 2.
+
+    Returns (table, privilege, path) where path starts at the owner and
+    ends at a subject who can GRANT the privilege onward despite never
+    being directly trusted by the owner.
+    """
+    owners = auth.owners()
+    option_edges: dict[tuple[str, str], dict[str, set[str]]] = defaultdict(
+        lambda: defaultdict(set))
+    for grant in auth.all_grants():
+        if grant.with_grant_option:
+            key = (grant.table, grant.privilege.value)
+            option_edges[key][grant.grantor].add(grant.grantee)
+    paths: list[tuple[str, str, list[str]]] = []
+    for (table, privilege), graph in sorted(option_edges.items()):
+        owner = owners.get(table)
+        if owner is None:
+            continue
+        best_path: dict[str, list[str]] = {owner: [owner]}
+        frontier = [owner]
+        while frontier:
+            next_frontier: list[str] = []
+            for node in frontier:
+                for successor in sorted(graph.get(node, ())):
+                    if successor in best_path:
+                        continue
+                    best_path[successor] = best_path[node] + [successor]
+                    next_frontier.append(successor)
+            frontier = next_frontier
+        for user, path in sorted(best_path.items()):
+            if len(path) >= 3:  # owner + 2 hops or more
+                paths.append((table, privilege, path))
+    return paths
+
+
+@REGISTRY.checker("REL-ESCALATION")
+def check_escalation(auth: AuthorizationManager) -> list[Finding]:
+    findings = []
+    for table, privilege, path in escalation_paths(auth):
+        chain = " -> ".join(path)
+        findings.append(REGISTRY.make_finding(
+            "REL-ESCALATION", f"{table}:{privilege}",
+            f"{path[-1]!r} reaches GRANT authority on {table!r} "
+            f"transitively: {chain}",
+            fix_hint="grant without the option past the first hop, or "
+                     "revoke the intermediate grant option"))
+    return findings
+
+
+def analyze_grants(auth: AuthorizationManager) -> Report:
+    """Run every ``grants``-domain rule over one grant graph."""
+    return Report(REGISTRY.run_domain("grants", auth))

@@ -1,0 +1,101 @@
+"""MLS classification consistency for RDF stores.
+
+:mod:`repro.rdfdb.security` can *detect* reification leaks at query time
+(:meth:`SecureRdfStore.reification_leaks`); these rules promote the same
+invariants to pre-deployment checks over the label assignment itself:
+
+* ``RDF-REIFY`` — a statement classified above one of its reification
+  quadruples: readers below the statement's level can reassemble it from
+  ``rdf:subject``/``rdf:predicate``/``rdf:object`` triples ("statements
+  about statements" leaking the statement, §3.2);
+* ``RDF-CONTAINER`` — a container whose membership triples are labelled
+  below its type triple (or vice versa): partial classification lets a
+  low reader observe members, gaps, or the container's existence that
+  the atomic-classification story says they should not see.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Report, Severity, REGISTRY
+from repro.rdfdb.containers import container_nodes, membership_index
+from repro.rdfdb.model import RDF
+from repro.rdfdb.reification import (
+    described_statement,
+    reification_triples,
+)
+from repro.rdfdb.security import SecureRdfStore
+
+REGISTRY.register(
+    "RDF-REIFY", Severity.ERROR, "rdf",
+    "reification quadruple classified below its statement",
+    "§3.2 'what about statements about statements?' — a reification "
+    "re-encodes the statement and must dominate its label")
+REGISTRY.register(
+    "RDF-CONTAINER", Severity.WARNING, "rdf",
+    "container classified non-atomically",
+    "§3.2 'how can bags, lists and alternatives be protected?' — "
+    "containers are meant to be classified as a unit")
+
+
+@REGISTRY.checker("RDF-REIFY")
+def check_reifications(secure: SecureRdfStore) -> list[Finding]:
+    findings = []
+    for type_triple in secure.store.match(None, RDF.type, RDF.Statement):
+        node = type_triple.subject
+        base = described_statement(secure.store, node)
+        if base is None or base not in secure.store:
+            continue
+        base_label = secure.label_of(base)
+        low_quads = [
+            quad for quad in reification_triples(secure.store, node)
+            if quad.predicate in (RDF.subject, RDF.predicate, RDF.object,
+                                  RDF.type)
+            and not secure.label_of(quad).dominates(base_label)]
+        if not low_quads:
+            continue
+        predicates = ", ".join(sorted(
+            quad.predicate.local_name for quad in low_quads))
+        findings.append(REGISTRY.make_finding(
+            "RDF-REIFY", f"reification:{node}",
+            f"statement {base} is labelled {base_label} but its "
+            f"quadruple(s) {predicates} carry lower labels",
+            fix_hint="classify the reification with "
+                     "protect_reifications=True or raise the quadruple "
+                     "labels"))
+    return findings
+
+
+@REGISTRY.checker("RDF-CONTAINER")
+def check_containers(secure: SecureRdfStore) -> list[Finding]:
+    findings = []
+    for node in container_nodes(secure.store):
+        type_label = None
+        member_labels = []
+        for triple in secure.store.match(node, None, None):
+            if triple.predicate == RDF.type:
+                type_label = secure.label_of(triple)
+            elif membership_index(triple.predicate) is not None:
+                member_labels.append((triple, secure.label_of(triple)))
+        if type_label is None or not member_labels:
+            continue
+        mismatched = [triple for triple, label in member_labels
+                      if label != type_label]
+        if not mismatched:
+            continue
+        indexes = sorted(membership_index(t.predicate)
+                         for t in mismatched)
+        shown = ", ".join(f"_{i}" for i in indexes[:5])
+        more = f" (+{len(indexes) - 5} more)" if len(indexes) > 5 else ""
+        findings.append(REGISTRY.make_finding(
+            "RDF-CONTAINER", f"container:{node}",
+            f"membership triple(s) {shown}{more} are labelled "
+            f"differently from the container's type triple "
+            f"({type_label})",
+            fix_hint="use classify_container to label the container "
+                     "atomically"))
+    return findings
+
+
+def analyze_rdf(secure: SecureRdfStore) -> Report:
+    """Run every ``rdf``-domain rule over one secure store."""
+    return Report(REGISTRY.run_domain("rdf", secure))

@@ -8,6 +8,7 @@ from repro.bench.experiments import (  # noqa: F401
     a01_query_index,
     a02_deny_aware_configs,
     a03_policy_index,
+    a04_static_analysis,
     e01_subject_qualification,
     e02_xml_granularity,
     e03_dissemination_keys,
@@ -24,4 +25,5 @@ from repro.bench.experiments import (  # noqa: F401
     e14_web_transactions,
 )
 
-ALL_EXPERIMENT_IDS = [f"E{n}" for n in range(1, 15)] + ["A1", "A2", "A3"]
+ALL_EXPERIMENT_IDS = [f"E{n}" for n in range(1, 15)] + ["A1", "A2", "A3",
+                                                        "A4"]

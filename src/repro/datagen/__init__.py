@@ -7,6 +7,7 @@ from repro.datagen.documents import (
     hospital_corpus,
     hospital_documents,
     hospital_record,
+    hospital_schema,
 )
 from repro.datagen.population import (
     CREDENTIAL_TYPES,
@@ -38,6 +39,7 @@ from repro.datagen.workload import (
     XPathWorkload,
     hospital_xpath_workload,
     subject_qualification_policies,
+    xml_policy_workload,
 )
 
 __all__ = [
@@ -46,8 +48,9 @@ __all__ = [
     "RESEARCHER_TYPE", "ROLE_NAMES", "XPathWorkload", "catalog_document",
     "generate_businesses", "generate_population", "hospital_corpus",
     "hospital_documents", "hospital_record", "hospital_role_hierarchy",
-    "hospital_xpath_workload", "load_patients", "market_baskets",
-    "named_cast", "numeric_column", "patients_schema",
+    "hospital_schema", "hospital_xpath_workload", "load_patients",
+    "market_baskets", "named_cast", "numeric_column", "patients_schema",
     "random_business", "random_credential", "random_service",
     "standard_tmodels", "subject_qualification_policies",
+    "xml_policy_workload",
 ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 
+from repro.xmldb.dtd import Schema
 from repro.xmldb.model import Document, Element, element
 
 FIRST_NAMES = ["Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace",
@@ -70,6 +71,34 @@ def hospital_documents(document_count: int, records_each: int,
         f"hospital-{index + 1}": hospital_corpus(
             records_each, seed=seed + index, name=f"hospital-{index + 1}")
         for index in range(document_count)}
+
+
+def hospital_schema() -> Schema:
+    """The DTD the hospital corpus conforms to.
+
+    The static analyzer (:mod:`repro.analysis`) evaluates policy targets
+    against this element graph instead of materialized documents.
+    """
+    schema = Schema("hospital")
+    schema.declare("hospital", children=["record*"],
+                   optional_attributes=["name"])
+    schema.declare("record",
+                   children=["name", "ssn", "department", "diagnosis",
+                             "treatment", "billing", "visit*"],
+                   required_attributes=["id"])
+    schema.declare("name", allow_text=True)
+    schema.declare("ssn", allow_text=True)
+    schema.declare("department", allow_text=True)
+    schema.declare("diagnosis", allow_text=True)
+    schema.declare("treatment", allow_text=True)
+    schema.declare("billing", children=["amount", "insurer"])
+    schema.declare("amount", allow_text=True)
+    schema.declare("insurer", allow_text=True)
+    schema.declare("visit", children=["date", "notes"],
+                   required_attributes=["n"])
+    schema.declare("date", allow_text=True)
+    schema.declare("notes", allow_text=True)
+    return schema
 
 
 def catalog_document(product_count: int, seed: int = 0,

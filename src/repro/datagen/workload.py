@@ -15,6 +15,13 @@ from repro.core.credentials import (
 from repro.core.policy import Action, Policy, PolicyBase, deny, grant
 from repro.datagen.documents import DEPARTMENTS, DIAGNOSES
 from repro.datagen.population import ROLE_NAMES
+from repro.xmlsec.authorx import (
+    Privilege,
+    XmlPolicyBase,
+    XmlPropagation,
+    xml_deny,
+    xml_grant,
+)
 
 
 @dataclass(frozen=True)
@@ -77,4 +84,66 @@ def subject_qualification_policies(policy_count: int, basis: str,
             base.add(deny(expression, Action.READ, resource))
         else:
             base.add(grant(expression, Action.READ, resource))
+    return base
+
+
+#: XPath targets over the hospital DTD; the final two are deliberately
+#: unsatisfiable so large generated bases contain a realistic fraction
+#: of dead policies for the analyzer to find.
+XML_POLICY_TARGETS = (
+    "/hospital/record",
+    "//record/name",
+    "//record/ssn",
+    "//record/diagnosis",
+    "//billing",
+    "//billing/amount",
+    "//visit",
+    "//visit/date",
+    "//record",
+    "/hospital",
+)
+_DEAD_TARGETS = ("//prescription", "//record/audit-trail")
+
+
+def xml_policy_workload(policy_count: int, seed: int = 0,
+                        deny_fraction: float = 0.15,
+                        dead_fraction: float = 0.02) -> XmlPolicyBase:
+    """A seeded Author-X policy base over the hospital DTD.
+
+    Subject specifications mix roles, credential attributes and
+    identities (the E1 qualification bases); signs, privileges and
+    propagation modes are drawn with realistic skew.  Benchmark A4 feeds
+    these bases to :func:`repro.analysis.analyze_xml_policies`.
+    """
+    rng = random.Random(seed)
+    base = XmlPolicyBase()
+    propagations = (XmlPropagation.CASCADE, XmlPropagation.CASCADE,
+                    XmlPropagation.LOCAL, XmlPropagation.ONE_LEVEL)
+    # Guarantee the dead-target quota even for small bases so analyzer
+    # benchmarks see every defect class at every size.
+    dead_quota = (max(1, round(policy_count * dead_fraction))
+                  if dead_fraction > 0 and policy_count else 0)
+    dead_indices = set(rng.sample(range(policy_count), dead_quota))
+    for index in range(policy_count):
+        roll = rng.random()
+        if roll < 0.5:
+            expression = has_role(rng.choice(ROLE_NAMES))
+        elif roll < 0.8:
+            expression = attribute_equals(
+                "physician", "department", rng.choice(DEPARTMENTS))
+        elif roll < 0.9:
+            expression = has_credential(
+                rng.choice(["physician", "researcher", "insurer"]))
+        else:
+            expression = is_identity(f"user{rng.randrange(200):05d}")
+        if index in dead_indices:
+            target = rng.choice(_DEAD_TARGETS)
+        else:
+            target = rng.choice(XML_POLICY_TARGETS)
+        privilege = (Privilege.NAVIGATE if rng.random() < 0.2
+                     else Privilege.READ)
+        factory = xml_deny if rng.random() < deny_fraction else xml_grant
+        base.add(factory(expression, target,
+                         privilege=privilege,
+                         propagation=rng.choice(propagations)))
     return base

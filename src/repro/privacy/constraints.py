@@ -127,6 +127,10 @@ class PrivacyConstraintSet:
         return self.add_association(AssociationConstraint(
             table, frozenset(columns), level, name))
 
+    def tables(self) -> list[str]:
+        """Every table any constraint mentions (for static analysis)."""
+        return sorted(set(self._column) | set(self._association))
+
     def column_constraints(self, table: str) -> list[PrivacyConstraint]:
         return list(self._column.get(table, ()))
 

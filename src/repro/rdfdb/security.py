@@ -118,6 +118,10 @@ class SecureRdfStore:
     def active_contexts(self) -> frozenset[str]:
         return frozenset(self._active_contexts)
 
+    def labelled_triples(self) -> dict[Triple, Label]:
+        """Explicit (non-default) labels as a snapshot, for analysis."""
+        return dict(self._labels)
+
     def label_of(self, item: Triple) -> Label:
         """Effective label: context rules override while active."""
         for rule in self._context_rules.get(item, ()):

@@ -75,6 +75,10 @@ class AuthorizationManager:
         except KeyError:
             raise ConfigurationError(f"table {table!r} has no owner") from None
 
+    def owners(self) -> dict[str, str]:
+        """The table -> owner map (a copy; for analysis and audits)."""
+        return dict(self._owners)
+
     # -- granting -------------------------------------------------------------
 
     def grant(self, grantor: str, grantee: str, table: str,
@@ -86,6 +90,25 @@ class AuthorizationManager:
         if not self._can_grant(grantor, table, privilege):
             raise AccessDenied(grantor, f"grant:{privilege.value}", table,
                                reason="grantor lacks grant authority")
+        edge = Grant(next(_grant_ids), grantor, grantee, table, privilege,
+                     with_grant_option, next(self._sequence),
+                     row_filter, tuple(column_mask))
+        self._grants.append(edge)
+        return edge
+
+    def import_grant(self, grantor: str, grantee: str, table: str,
+                     privilege: Privilege,
+                     with_grant_option: bool = False,
+                     row_filter: RowPredicate | None = None,
+                     column_mask: Sequence[str] = ()) -> Grant:
+        """Record a grant edge *without* checking the grantor's authority.
+
+        The bulk-load/restore path: replaying an audit log or adopting a
+        grant graph serialized elsewhere must not re-run authority checks
+        against the half-built graph.  Imported edges are exactly why the
+        static analyzer's REL-DANGLING rule exists — run
+        :func:`repro.analysis.analyze_grants` after a bulk load.
+        """
         edge = Grant(next(_grant_ids), grantor, grantee, table, privilege,
                      with_grant_option, next(self._sequence),
                      row_filter, tuple(column_mask))

@@ -233,15 +233,17 @@ class ProofEngine:
 
 
 def check_proof(proof: Proof, trust: TrustPolicy,
-                known_rules: Iterable[Rule]) -> None:
+                known_rules: Iterable[Rule]) -> bool:
     """Independently verify a proof; raises AuthenticationError on any
-    defect.  Checks: (a) every leaf carries a signature that verifies
-    under a signer the policy deems authoritative for that predicate;
-    (b) every internal node is a correct application of a *known* rule —
-    some substitution maps the rule's head to the conclusion and its
-    body, in order, to the children's conclusions."""
+    defect and returns ``True`` otherwise.  Checks: (a) every leaf
+    carries a signature that verifies under a signer the policy deems
+    authoritative for that predicate; (b) every internal node is a
+    correct application of a *known* rule — some substitution maps the
+    rule's head to the conclusion and its body, in order, to the
+    children's conclusions."""
     rule_set = list(known_rules)
     _check_node(proof, trust, rule_set)
+    return True
 
 
 def _check_node(node: Proof, trust: TrustPolicy,

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.core.errors import AccessDenied
 from repro.core.evaluator import PolicyEvaluator
 from repro.core.subjects import Subject
+from repro.crypto.hashing import sha256_int
 from repro.crypto.rsa import KeyPair, PublicKey, generate_keypair
 from repro.uddi.model import BusinessEntity, BusinessService
 from repro.uddi.registry import ServiceOverview, UddiRegistry
@@ -105,7 +106,8 @@ class ThirdPartyDeployment:
     def register_provider(self, provider: str,
                           key_seed: int | None = None) -> PublicKey:
         keypair = generate_keypair(
-            seed=key_seed if key_seed is not None else hash(provider) % (2**31))
+            seed=key_seed if key_seed is not None
+            else sha256_int(provider) % (2**31))
         self._provider_keys[provider] = keypair
         return keypair.public
 

@@ -18,6 +18,7 @@ from repro.core.errors import AccessDenied, AuthenticationError, SecurityError
 from repro.core.evaluator import PolicyEvaluator
 from repro.core.policy import Action
 from repro.core.subjects import Subject
+from repro.crypto.hashing import sha256_int
 from repro.crypto.rsa import KeyPair, PublicKey, generate_keypair
 from repro.uddi.architectures import ThirdPartyDeployment
 from repro.uddi.model import BusinessEntity
@@ -56,7 +57,7 @@ class ServiceProvider:
         self.bus = bus
         self.keys: KeyPair = generate_keypair(
             seed=key_seed if key_seed is not None else
-            abs(hash(name)) % (2 ** 31))
+            sha256_int(name) % (2 ** 31))
         self.require_signatures = require_signatures
         self.evaluator = evaluator
         self.replay_guard = ReplayGuard()
@@ -128,7 +129,7 @@ class ServiceRequestor:
         self.bus = bus
         self.keys: KeyPair = generate_keypair(
             seed=key_seed if key_seed is not None else
-            abs(hash(name)) % (2 ** 31))
+            sha256_int(name) % (2 ** 31))
         self._provider_keys: dict[str, PublicKey] = {}
 
     @property
@@ -175,7 +176,7 @@ class ServiceRequestor:
                 raise SecurityError(
                     f"no public key known for provider {provider!r}")
             encrypt_parameters(envelope, encrypt, key,
-                               seed=abs(hash(envelope.message_id)) % 977)
+                               seed=sha256_int(envelope.message_id) % 977)
         if sign_request:
             sign_envelope(envelope, self.name, self.keys.private)
         reply = self.bus.send(envelope)

@@ -96,6 +96,14 @@ class Schema:
         self._decls[tag] = decl
         return decl
 
+    def declarations(self) -> tuple[ElementDecl, ...]:
+        """Every element declaration (the static analyzer's element
+        graph is built from these)."""
+        return tuple(self._decls.values())
+
+    def declaration(self, tag: str) -> ElementDecl | None:
+        return self._decls.get(tag)
+
     def validate(self, document: Document | Element) -> list[Violation]:
         """All structural violations; empty list means valid."""
         root = document.root if isinstance(document, Document) else document

@@ -123,6 +123,10 @@ class XmlPolicyBase:
     def __iter__(self):
         return iter(self._policies)
 
+    def policies(self) -> "list[XmlPolicy]":
+        """A snapshot of the base, for static analysis."""
+        return list(self._policies)
+
     def policies_for(self, subject: Subject, doc_id: str) -> list[XmlPolicy]:
         return [p for p in self._policies
                 if p.applies_to_document(doc_id)
@@ -175,6 +179,9 @@ class XmlPolicyBase:
                 continue
             best_depth = max(depth for depth, _ in node_marks)
             tier = [p for depth, p in node_marks if depth == best_depth]
+            # Tie-break deterministically by policy id so the deciding
+            # policy does not depend on insertion order of the base.
+            tier.sort(key=lambda p: p.policy_id)
             denies = [p for p in tier if p.sign is XmlSign.DENY]
             if denies:
                 # The strongest denial wins: denying READ still may leave

@@ -1,0 +1,75 @@
+"""Tests for static inference-channel detection."""
+
+from repro.analysis.channels import PrivacyAnalysis, analyze_privacy
+from repro.privacy.constraints import PrivacyConstraintSet, PrivacyLevel
+
+
+class TestChannels:
+    def test_completable_association_is_a_channel(self):
+        constraints = PrivacyConstraintSet()
+        constraints.protect_together(
+            "patients", ["name", "diagnosis"], PrivacyLevel.PRIVATE,
+            name="identity-condition")
+        report = analyze_privacy(constraints)
+        channels = report.by_rule("INF-CHANNEL")
+        assert len(channels) == 1
+        assert channels[0].location == "patients:identity-condition"
+        assert "diagnosis" in channels[0].message
+
+    def test_blocked_member_column_closes_the_channel(self):
+        constraints = PrivacyConstraintSet()
+        constraints.protect_together(
+            "patients", ["name", "diagnosis"], PrivacyLevel.PRIVATE)
+        constraints.protect("patients", "diagnosis",
+                            PrivacyLevel.PRIVATE)
+        report = analyze_privacy(constraints)
+        assert report.by_rule("INF-CHANNEL") == []
+
+    def test_semi_private_association_leaks_to_need_to_know_only(self):
+        # Need-to-know subjects may see the association, so only the
+        # public audience can exploit the channel.
+        constraints = PrivacyConstraintSet()
+        constraints.protect_together(
+            "patients", ["name", "treatment"],
+            PrivacyLevel.SEMI_PRIVATE)
+        report = analyze_privacy(constraints,
+                                 need_to_know=["auditor"])
+        channels = report.by_rule("INF-CHANNEL")
+        assert len(channels) == 1
+        assert "public" in channels[0].message
+        assert "auditor" not in channels[0].message
+
+
+class TestRedundant:
+    def test_association_behind_private_column_is_redundant(self):
+        constraints = PrivacyConstraintSet()
+        constraints.protect("patients", "ssn", PrivacyLevel.PRIVATE)
+        constraints.protect_together(
+            "patients", ["ssn", "insurer"], PrivacyLevel.PRIVATE,
+            name="billing-identity")
+        report = analyze_privacy(constraints)
+        redundant = report.by_rule("INF-REDUNDANT")
+        assert len(redundant) == 1
+        assert "ssn" in redundant[0].message
+        # Redundancy is informational, never build-breaking.
+        assert report.exit_code == 0
+
+    def test_live_association_is_not_redundant(self):
+        constraints = PrivacyConstraintSet()
+        constraints.protect_together(
+            "patients", ["name", "diagnosis"], PrivacyLevel.PRIVATE)
+        report = analyze_privacy(constraints)
+        assert report.by_rule("INF-REDUNDANT") == []
+
+
+class TestAudiences:
+    def test_build_synthesizes_need_to_know_when_roster_empty(self):
+        analysis = PrivacyAnalysis.build(PrivacyConstraintSet())
+        names = [a.name for a in analysis.audiences]
+        assert names == ["public", "need-to-know"]
+
+    def test_build_uses_given_roster(self):
+        analysis = PrivacyAnalysis.build(
+            PrivacyConstraintSet(), need_to_know=["zoe", "abe", "zoe"])
+        names = [a.name for a in analysis.audiences]
+        assert names == ["public", "abe", "zoe"]

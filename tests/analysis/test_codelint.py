@@ -1,0 +1,124 @@
+"""Tests for the custom AST code lint."""
+
+import pathlib
+import textwrap
+
+from repro.analysis.codelint import lint_paths, lint_source
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+def rule_ids(source):
+    return [f.rule_id for f in lint_source(textwrap.dedent(source))]
+
+
+class TestMutableDefaults:
+    def test_literal_and_call_defaults_flagged(self):
+        assert rule_ids("def f(a=[]): pass") == ["LINT-MUTDEF"]
+        assert rule_ids("def f(a={}): pass") == ["LINT-MUTDEF"]
+        assert rule_ids("def f(*, a=dict()): pass") == ["LINT-MUTDEF"]
+
+    def test_immutable_defaults_pass(self):
+        assert rule_ids("def f(a=(), b=None, c=0): pass") == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        source = """\
+        try:
+            pass
+        except:
+            pass
+        """
+        assert rule_ids(source) == ["LINT-BAREEXC"]
+
+    def test_typed_except_passes(self):
+        source = """\
+        try:
+            pass
+        except ValueError:
+            pass
+        """
+        assert rule_ids(source) == []
+
+
+class TestHash:
+    def test_builtin_hash_outside_dunder_flagged(self):
+        assert rule_ids("seed = hash('x')") == ["LINT-HASH"]
+
+    def test_hash_inside_dunder_hash_allowed(self):
+        source = """\
+        class C:
+            def __hash__(self):
+                return hash(('C', 1))
+        """
+        assert rule_ids(source) == []
+
+
+class TestCheckerVerdicts:
+    def test_silent_checker_flagged(self):
+        source = """\
+        def check_labels(labels):
+            for label in labels:
+                label.strip()
+        """
+        assert rule_ids(source) == ["LINT-CHECKRET"]
+
+    def test_raising_checker_passes(self):
+        source = """\
+        def verify_proof(proof):
+            if not proof:
+                raise ValueError('bad proof')
+        """
+        assert rule_ids(source) == []
+
+    def test_discarded_verdict_flagged(self):
+        source = """\
+        def check_quorum(votes):
+            return len(votes) > 2
+
+        def tally(votes):
+            check_quorum(votes)
+        """
+        assert rule_ids(source) == ["LINT-CHECKRET"]
+
+    def test_consumed_verdict_passes(self):
+        source = """\
+        def check_quorum(votes):
+            return len(votes) > 2
+
+        def tally(votes):
+            return check_quorum(votes)
+        """
+        assert rule_ids(source) == []
+
+    def test_private_helpers_exempt(self):
+        source = """\
+        def _check_node(node):
+            node.visit()
+        """
+        assert rule_ids(source) == []
+
+
+class TestSyntaxErrors:
+    def test_unparseable_source_is_a_finding(self):
+        findings = lint_source("def broken(:", path="bad.py")
+        assert [f.rule_id for f in findings] == ["LINT-SYNTAX"]
+        assert findings[0].location.startswith("bad.py:")
+
+
+class TestTreeLint:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text(
+            "def f(a=[]): pass\n", encoding="utf-8")
+        (tmp_path / "pkg" / "good.py").write_text(
+            "def f(a=None): pass\n", encoding="utf-8")
+        report = lint_paths([tmp_path])
+        assert [f.rule_id for f in report] == ["LINT-MUTDEF"]
+        assert "bad.py" in report.findings[0].location
+
+    def test_repo_src_tree_is_clean(self):
+        # The CI gate: the shipping tree must carry zero lint findings.
+        report = lint_paths([SRC_ROOT])
+        assert list(report) == []

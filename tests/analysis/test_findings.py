@@ -1,0 +1,93 @@
+"""Tests for the Finding record, Report and rule registry."""
+
+import json
+
+import pytest
+
+from repro.analysis.findings import (
+    Finding,
+    REGISTRY,
+    Report,
+    RuleRegistry,
+    Severity,
+)
+
+
+class TestRegistry:
+    def test_duplicate_rule_id_rejected(self):
+        registry = RuleRegistry()
+        registry.register("T-1", Severity.ERROR, "test", "one")
+        with pytest.raises(ValueError):
+            registry.register("T-1", Severity.INFO, "test", "again")
+
+    def test_checker_requires_registered_rule(self):
+        registry = RuleRegistry()
+        with pytest.raises(ValueError):
+            registry.checker("T-MISSING")
+
+    def test_run_domain_collects_checker_findings(self):
+        registry = RuleRegistry()
+        registry.register("T-1", Severity.WARNING, "test", "one")
+
+        @registry.checker("T-1")
+        def check(context):
+            return [registry.make_finding("T-1", "here", str(context))]
+
+        findings = registry.run_domain("test", "ctx")
+        assert [f.message for f in findings] == ["ctx"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_make_finding_severity_override(self):
+        registry = RuleRegistry()
+        registry.register("T-1", Severity.ERROR, "test", "one")
+        finding = registry.make_finding("T-1", "loc", "msg",
+                                        severity=Severity.INFO)
+        assert finding.severity is Severity.INFO
+
+    def test_global_registry_has_every_domain(self):
+        import repro.analysis  # noqa: F401  (registers all domains)
+        domains = {rule.domain for rule in REGISTRY.rules()}
+        assert {"xml", "grants", "privacy", "rdf", "lint"} <= domains
+
+    def test_every_registered_rule_cites_a_claim(self):
+        import repro.analysis  # noqa: F401
+        for rule in REGISTRY.rules():
+            assert rule.claim, rule.rule_id
+
+
+class TestReport:
+    def _report(self):
+        return Report([
+            Finding("B-RULE", Severity.INFO, "loc-b", "info msg"),
+            Finding("A-RULE", Severity.ERROR, "loc-a", "error msg",
+                    fix_hint="do the thing"),
+            Finding("C-RULE", Severity.WARNING, "loc-c", "warn msg"),
+        ])
+
+    def test_sorted_puts_errors_first(self):
+        ordered = self._report().sorted()
+        assert [f.severity for f in ordered] == [
+            Severity.ERROR, Severity.WARNING, Severity.INFO]
+
+    def test_exit_code_follows_errors(self):
+        assert self._report().exit_code == 1
+        assert Report().exit_code == 0
+        warn_only = Report([Finding("X", Severity.WARNING, "l", "m")])
+        assert warn_only.exit_code == 0
+
+    def test_render_text_includes_counts_and_hint(self):
+        text = self._report().render_text()
+        assert "3 finding(s): 1 error(s), 1 warning(s), 1 info" in text
+        assert "(fix: do the thing)" in text
+        assert Report().render_text() == "no findings"
+
+    def test_to_json_roundtrips(self):
+        decoded = json.loads(self._report().to_json())
+        assert [entry["rule_id"] for entry in decoded] == [
+            "A-RULE", "C-RULE", "B-RULE"]
+        assert decoded[0]["severity"] == "error"
+
+    def test_by_rule_and_rule_ids(self):
+        report = self._report()
+        assert len(report.by_rule("A-RULE")) == 1
+        assert report.rule_ids() == {"A-RULE", "B-RULE", "C-RULE"}

@@ -1,0 +1,96 @@
+"""Tests for static grant-graph analysis."""
+
+from repro.analysis.grants import (
+    analyze_grants,
+    escalation_paths,
+    grant_option_cycles,
+    unsupported_grants,
+)
+from repro.relational.authorization import (
+    AuthorizationManager,
+    Privilege,
+)
+
+
+def manager() -> AuthorizationManager:
+    auth = AuthorizationManager()
+    auth.set_owner("emp", "dba")
+    return auth
+
+
+class TestDangling:
+    def test_imported_edge_without_support_is_dangling(self):
+        auth = manager()
+        auth.import_grant("mallory", "eve", "emp", Privilege.UPDATE)
+        report = analyze_grants(auth)
+        dangling = report.by_rule("REL-DANGLING")
+        assert len(dangling) == 1
+        assert "mallory" in dangling[0].message
+
+    def test_dangling_detection_is_transitive(self):
+        # eve's re-grant rests solely on the unsupported edge, so the
+        # fixpoint removes both.
+        auth = manager()
+        auth.import_grant("mallory", "eve", "emp", Privilege.UPDATE,
+                          with_grant_option=True)
+        auth.import_grant("eve", "trudy", "emp", Privilege.UPDATE)
+        assert len(unsupported_grants(auth)) == 2
+
+    def test_owner_rooted_grants_are_supported(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("alice", "bob", "emp", Privilege.SELECT)
+        assert unsupported_grants(auth) == []
+        assert analyze_grants(auth).by_rule("REL-DANGLING") == []
+
+
+class TestCycles:
+    def test_mutual_grant_options_form_cycle(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("alice", "bob", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("bob", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        cycles = grant_option_cycles(auth)
+        assert cycles == [("emp", "select", ["alice", "bob"])]
+        report = analyze_grants(auth)
+        assert len(report.by_rule("REL-CYCLE")) == 1
+
+    def test_acyclic_chain_reports_no_cycle(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("alice", "bob", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        assert grant_option_cycles(auth) == []
+
+
+class TestEscalation:
+    def test_two_hop_option_chain_is_escalation(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("alice", "bob", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        paths = escalation_paths(auth)
+        assert paths == [("emp", "select", ["dba", "alice", "bob"])]
+        report = analyze_grants(auth)
+        escalations = report.by_rule("REL-ESCALATION")
+        assert len(escalations) == 1
+        assert "bob" in escalations[0].message
+
+    def test_single_hop_is_direct_trust_not_escalation(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        assert escalation_paths(auth) == []
+
+    def test_non_option_grants_never_escalate(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("alice", "bob", "emp", Privilege.SELECT)
+        assert escalation_paths(auth) == []

@@ -1,0 +1,65 @@
+"""Tests for MLS/RDF classification-consistency analysis."""
+
+from repro.analysis.mlsrdf import analyze_rdf
+from repro.core.mls import Label, Level
+from repro.rdfdb.containers import create_container
+from repro.rdfdb.model import IRI, Literal, Triple
+from repro.rdfdb.reification import reify
+from repro.rdfdb.security import SecureRdfStore
+
+EX = "http://example.org/"
+
+
+def statement() -> Triple:
+    return Triple(IRI(EX + "patient1"), IRI(EX + "diagnosis"),
+                  Literal("arrhythmia"))
+
+
+class TestReification:
+    def test_unprotected_reification_of_secret_statement_leaks(self):
+        secure = SecureRdfStore()
+        triple = statement()
+        secure.add(triple)
+        reify(secure.store, triple)
+        secure.classify(triple, Label(Level.SECRET),
+                        protect_reifications=False)
+        report = analyze_rdf(secure)
+        leaks = report.by_rule("RDF-REIFY")
+        assert len(leaks) == 1
+        assert "subject" in leaks[0].message
+        assert report.exit_code == 1
+
+    def test_protected_reification_is_consistent(self):
+        secure = SecureRdfStore()
+        triple = statement()
+        secure.add(triple)
+        reify(secure.store, triple)
+        secure.classify(triple, Label(Level.SECRET))
+        report = analyze_rdf(secure)
+        assert report.by_rule("RDF-REIFY") == []
+
+
+class TestContainers:
+    def _store_with_bag(self):
+        secure = SecureRdfStore()
+        node = create_container(
+            secure.store, "Bag",
+            [Literal("entry-1"), Literal("entry-2"), Literal("entry-3")])
+        return secure, node
+
+    def test_partially_classified_container_is_flagged(self):
+        secure, node = self._store_with_bag()
+        for triple in secure.store.match(node, None, None):
+            if triple.predicate.local_name == "_2":
+                secure.classify(triple, Label(Level.CONFIDENTIAL))
+        report = analyze_rdf(secure)
+        partial = report.by_rule("RDF-CONTAINER")
+        assert len(partial) == 1
+        assert "_2" in partial[0].message
+
+    def test_uniformly_classified_container_is_consistent(self):
+        secure, node = self._store_with_bag()
+        for triple in secure.store.match(node, None, None):
+            secure.classify(triple, Label(Level.CONFIDENTIAL))
+        report = analyze_rdf(secure)
+        assert report.by_rule("RDF-CONTAINER") == []

@@ -1,0 +1,107 @@
+"""Tests for static XML policy-base analysis over the hospital DTD."""
+
+from repro.analysis.xmlpolicy import (
+    DtdGraph,
+    analyze_xml_policies,
+    attachment_tags,
+)
+from repro.core.credentials import anyone, has_role, is_identity
+from repro.datagen.documents import hospital_schema
+from repro.xmldb.xpath import compile_xpath
+from repro.xmlsec.authorx import (
+    Privilege,
+    XmlPolicyBase,
+    XmlPropagation,
+    xml_deny,
+    xml_grant,
+)
+
+SCHEMA = hospital_schema()
+
+
+def analyze(*policies):
+    return analyze_xml_policies(XmlPolicyBase(list(policies)), SCHEMA)
+
+
+class TestDtdGraph:
+    def test_attachment_of_descendant_axis(self):
+        graph = DtdGraph(SCHEMA)
+        assert attachment_tags(compile_xpath("//record/ssn"),
+                               graph) == {"ssn"}
+        assert attachment_tags(compile_xpath("/hospital/record"),
+                               graph) == {"record"}
+
+    def test_undeclared_element_attaches_nowhere(self):
+        graph = DtdGraph(SCHEMA)
+        assert attachment_tags(compile_xpath("//prescription"),
+                               graph) == set()
+
+
+class TestConflicts:
+    def test_overlapping_grant_and_deny_is_conflict(self):
+        report = analyze(
+            xml_grant(has_role("doctor"), "//record/ssn"),
+            xml_deny(anyone(), "//record/ssn"))
+        conflicts = report.by_rule("XML-CONFLICT")
+        assert len(conflicts) == 1
+        # The finding names the overlapping deny and witness subjects.
+        assert "policy#" in conflicts[0].message
+        assert "dr-grey" in conflicts[0].message
+
+    def test_disjoint_subjects_do_not_conflict(self):
+        report = analyze(
+            xml_grant(is_identity("dr-grey"), "//record/ssn"),
+            xml_deny(is_identity("nurse-joy"), "//record/ssn"))
+        assert report.by_rule("XML-CONFLICT") == []
+
+    def test_different_privileges_do_not_conflict(self):
+        report = analyze(
+            xml_grant(has_role("doctor"), "//record/ssn",
+                      privilege=Privilege.NAVIGATE),
+            xml_deny(anyone(), "//record/ssn"))
+        assert report.by_rule("XML-CONFLICT") == []
+
+
+class TestDeadPolicies:
+    def test_undeclared_target_is_dead(self):
+        report = analyze(xml_grant(has_role("nurse"), "//prescription"))
+        dead = report.by_rule("XML-DEAD")
+        assert len(dead) == 1
+        assert dead[0].severity.name == "ERROR"
+
+    def test_valid_target_is_alive(self):
+        report = analyze(xml_grant(has_role("nurse"), "//record/name"))
+        assert report.by_rule("XML-DEAD") == []
+
+
+class TestShadowing:
+    def test_grant_fully_covered_by_deny_is_shadowed(self):
+        report = analyze(
+            xml_grant(has_role("nurse"), "//billing/amount"),
+            xml_deny(anyone(), "//billing/amount"))
+        shadowed = report.by_rule("XML-SHADOWED")
+        assert len(shadowed) == 1
+
+    def test_partial_subject_overlap_is_not_shadowed(self):
+        # The deny hits only doctors; nurse requests still succeed.
+        report = analyze(
+            xml_grant(has_role("nurse"), "//billing/amount"),
+            xml_deny(has_role("doctor"), "//billing/amount"))
+        assert report.by_rule("XML-SHADOWED") == []
+
+    def test_shallower_deny_does_not_shadow_deeper_grant(self):
+        # Most-specific-wins: the deeper grant beats the ancestor deny,
+        # so the pair conflicts but the grant is not dead weight.
+        report = analyze(
+            xml_grant(has_role("doctor"), "//record/ssn"),
+            xml_deny(anyone(), "/hospital",
+                     propagation=XmlPropagation.CASCADE))
+        assert report.by_rule("XML-SHADOWED") == []
+
+
+class TestCleanBase:
+    def test_healthy_base_has_no_findings(self):
+        report = analyze(
+            xml_grant(has_role("doctor"), "/hospital/record"),
+            xml_deny(has_role("nurse"), "//record/ssn"))
+        assert len(report) == 0

@@ -1,0 +1,74 @@
+"""Property tests: document labelling is a pure function of the policy
+*set* — deterministic, and independent of the order policies were added
+to the base (conflicts at equal depth are tie-broken by policy id, not
+by insertion order)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.credentials import anyone, has_role
+from repro.core.subjects import Role, Subject
+from repro.xmldb.parser import parse
+from repro.xmlsec.authorx import (
+    Privilege,
+    XmlPolicyBase,
+    XmlPropagation,
+    xml_deny,
+    xml_grant,
+)
+
+DOC = parse("""<hospital>
+  <record id="r1"><name>Alice</name><diagnosis>flu</diagnosis>
+    <ssn>123</ssn></record>
+  <record id="r2"><name>Bob</name><diagnosis>cold</diagnosis>
+    <ssn>456</ssn></record>
+</hospital>""", name="records")
+
+SUBJECTS = [
+    Subject("dr", roles={Role("doctor")}),
+    Subject("nn", roles={Role("nurse")}),
+    Subject("zz"),
+]
+
+_EXPRESSIONS = [anyone(), has_role("doctor"), has_role("nurse")]
+_TARGETS = ["/hospital", "/hospital/record", "//record/name",
+            "//record/ssn", "//diagnosis", "//record"]
+
+policy_strategy = st.builds(
+    lambda sign, expr, target, privilege, propagation: sign(
+        expr, target, privilege=privilege, propagation=propagation),
+    st.sampled_from([xml_grant, xml_deny]),
+    st.sampled_from(_EXPRESSIONS),
+    st.sampled_from(_TARGETS),
+    st.sampled_from([Privilege.READ, Privilege.NAVIGATE]),
+    st.sampled_from(list(XmlPropagation)),
+)
+
+
+def outcome(base: XmlPolicyBase, subject: Subject):
+    labels = base.label_document(subject, "records", DOC)
+    decided = {}
+    for node in DOC.iter():
+        label = labels[id(node)]
+        deciding = (label.deciding_policy.policy_id
+                    if label.deciding_policy else None)
+        decided[node.node_path()] = (label.access, deciding)
+    return decided
+
+
+@given(st.lists(policy_strategy, min_size=1, max_size=6).flatmap(
+    lambda ps: st.tuples(st.just(ps), st.permutations(ps))))
+@settings(max_examples=60, deadline=None)
+def test_labelling_is_insertion_order_independent(policies_and_shuffle):
+    policies, shuffled = policies_and_shuffle
+    original = XmlPolicyBase(list(policies))
+    reordered = XmlPolicyBase(list(shuffled))
+    for subject in SUBJECTS:
+        assert outcome(original, subject) == outcome(reordered, subject)
+
+
+@given(st.lists(policy_strategy, min_size=1, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_labelling_is_deterministic(policies):
+    base = XmlPolicyBase(list(policies))
+    for subject in SUBJECTS:
+        assert outcome(base, subject) == outcome(base, subject)

@@ -164,3 +164,58 @@ class TestRevocation:
         assert len(removed) == 4
         for user in ("a", "b", "c", "d"):
             assert not auth.has_privilege(user, "emp", Privilege.SELECT)
+
+
+class TestRevocationCycles:
+    """Regressions for cascading revoke across grant-option cycles.
+
+    Mutually supporting grant options (alice -> bob -> alice) must not
+    keep each other alive once the owner's grant is revoked: every edge
+    in the cycle postdates the revoked one, so System R's timestamp
+    rule sweeps the whole component.  The static analyzer flags these
+    graphs ahead of time as REL-CYCLE.
+    """
+
+    def _cyclic_pair(self):
+        auth = manager()
+        auth.grant("dba", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("alice", "bob", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.grant("bob", "alice", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        return auth
+
+    def test_revoking_root_sweeps_the_cycle(self):
+        auth = self._cyclic_pair()
+        removed = auth.revoke("dba", "alice", "emp", Privilege.SELECT)
+        assert len(removed) == 3
+        assert not auth.has_privilege("alice", "emp", Privilege.SELECT)
+        assert not auth.has_privilege("bob", "emp", Privilege.SELECT)
+        assert auth.all_grants() == []
+
+    def test_cycle_does_not_resurrect_grantor(self):
+        # Revoking inside the cycle: bob's back-edge to alice postdates
+        # alice's original authority, so it cannot stand in for it.
+        auth = self._cyclic_pair()
+        auth.revoke("alice", "bob", "emp", Privilege.SELECT)
+        assert not auth.has_privilege("bob", "emp", Privilege.SELECT)
+        # alice keeps her owner-rooted grant.
+        assert auth.has_privilege("alice", "emp", Privilege.SELECT)
+
+    def test_cycle_with_dependent_leaf(self):
+        # carol hangs off bob; the sweep must reach her through the
+        # collapsing cycle.
+        auth = self._cyclic_pair()
+        auth.grant("bob", "carol", "emp", Privilege.SELECT)
+        removed = auth.revoke("dba", "alice", "emp", Privilege.SELECT)
+        assert len(removed) == 4
+        assert not auth.has_privilege("carol", "emp", Privilege.SELECT)
+
+    def test_independent_second_root_survives_cycle_sweep(self):
+        auth = self._cyclic_pair()
+        auth.grant("dba", "dave", "emp", Privilege.SELECT,
+                   with_grant_option=True)
+        auth.revoke("dba", "alice", "emp", Privilege.SELECT)
+        assert auth.has_privilege("dave", "emp", Privilege.SELECT)
+        assert not auth.has_privilege("bob", "emp", Privilege.SELECT)
