@@ -1,7 +1,8 @@
 """Custom AST lint enforcing repo invariants over ``src/``.
 
-Four rules, each guarding an invariant the security machinery depends
-on (CI runs this over ``src/`` and fails the build on any finding):
+The rules, each guarding an invariant the security machinery depends
+on (CI runs this over ``src/`` and fails the build on any
+error-severity finding):
 
 * ``LINT-MUTDEF`` — no mutable default arguments: policy bases, grant
   lists and ledgers passed as defaults would be shared across calls;
@@ -15,7 +16,12 @@ on (CI runs this over ``src/`` and fails the build on any finding):
   must produce a consumable outcome: either return a value or raise.
   A checker that can neither succeed loudly nor fail loudly verifies
   nothing.  The companion check flags same-module call sites that
-  discard the result of a value-returning, non-raising checker.
+  discard the result of a value-returning, non-raising checker;
+* ``LINT-XPATHLOOP`` (warning) — ``compile_xpath``/``evaluate``/
+  ``select_elements`` called with a string-literal path inside a loop:
+  a constant expression should be compiled once before the loop (the
+  process-wide compile cache softens the blow, but every iteration
+  still pays a lookup for a value that never changes).
 """
 
 from __future__ import annotations
@@ -45,6 +51,11 @@ REGISTRY.register(
     "verify_/check_ outcome unreported or discarded",
     "a checker whose verdict cannot be consumed verifies nothing")
 REGISTRY.register(
+    "LINT-XPATHLOOP", Severity.WARNING, "lint",
+    "constant XPath compiled inside a loop",
+    "a literal path never changes between iterations; compile it once "
+    "before the loop")
+REGISTRY.register(
     "LINT-SYNTAX", Severity.ERROR, "lint",
     "file does not parse",
     "unparseable code cannot be analyzed, let alone enforced")
@@ -52,6 +63,7 @@ REGISTRY.register(
 _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict",
                   "Counter", "bytearray"}
 _CHECK_PREFIXES = ("verify_", "check_")
+_XPATH_CALLS = {"compile_xpath", "evaluate", "select_elements"}
 
 
 @dataclass(frozen=True)
@@ -100,6 +112,7 @@ class _Linter(ast.NodeVisitor):
         self.findings: list[Finding] = []
         self._function_stack: list[str] = []
         self._local_checkers: dict[str, _FunctionFacts] = {}
+        self._loop_depth = 0
 
     def _emit(self, rule_id: str, node: ast.AST, message: str,
               fix_hint: str = "") -> None:
@@ -141,7 +154,12 @@ class _Linter(ast.NodeVisitor):
                     fix_hint="return the check outcome or raise on "
                              "failure")
         self._function_stack.append(node.name)
+        # A nested function's body does not run per iteration of an
+        # enclosing loop, so its loop depth starts fresh.
+        outer_loop_depth = self._loop_depth
+        self._loop_depth = 0
         self.generic_visit(node)
+        self._loop_depth = outer_loop_depth
         self._function_stack.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -158,6 +176,21 @@ class _Linter(ast.NodeVisitor):
                 fix_hint="catch Exception (or something narrower)")
         self.generic_visit(node)
 
+    def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While
+                    ) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
     def visit_Call(self, node: ast.Call) -> None:
         if (isinstance(node.func, ast.Name) and node.func.id == "hash"
                 and "__hash__" not in self._function_stack):
@@ -167,6 +200,19 @@ class _Linter(ast.NodeVisitor):
                 "reproducible across runs",
                 fix_hint="use repro.crypto.hashing (sha256_int/"
                          "sha256_hex) for stable digests")
+        func = node.func
+        callee = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else "")
+        if (callee in _XPATH_CALLS and self._loop_depth > 0
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            self._emit(
+                "LINT-XPATHLOOP", node,
+                f"{callee}() is called with a literal path inside a "
+                f"loop; the expression is re-looked-up every iteration",
+                fix_hint="compile_xpath() the literal once before the "
+                         "loop and pass the compiled object")
         self.generic_visit(node)
 
     def visit_Expr(self, node: ast.Expr) -> None:

@@ -116,6 +116,13 @@ def collect(results=[]):
 def check_labels(labels):
     for label in labels:
         label.strip()
+
+
+def label_all(documents):
+    out = []
+    for doc in documents:
+        out.extend(select_elements("//record", doc))
+    return out
 '''
 
 
@@ -141,6 +148,7 @@ EXPECTED_RULE_IDS = frozenset({
     "INF-CHANNEL", "INF-REDUNDANT",
     "RDF-REIFY", "RDF-CONTAINER",
     "LINT-MUTDEF", "LINT-BAREEXC", "LINT-HASH", "LINT-CHECKRET",
+    "LINT-XPATHLOOP",
 })
 
 

@@ -26,6 +26,7 @@ from repro.core.errors import AccessDenied
 from repro.core.objects import ResourcePath
 from repro.core.policy import Action, Policy, PolicyBase, Sign
 from repro.core.subjects import Subject
+from repro.perf.cache import MISS, GenerationalCache
 
 
 class ConflictResolution(enum.Enum):
@@ -72,31 +73,73 @@ class PolicyEvaluator:
         Verdict when no policy applies at all.
     audit:
         Optional audit log; every decision is recorded when provided.
+    cache_decisions:
+        When True (default), payload-free decisions are memoized in a
+        generation-stamped cache keyed by (subject, action, path); any
+        policy add/remove invalidates every entry via the policy base's
+        generation counter.  Decisions with a content payload are never
+        cached — content conditions may read arbitrary payload state.
     """
 
     def __init__(self, policy_base: PolicyBase,
                  resolution: ConflictResolution = ConflictResolution.DENY_OVERRIDES,
                  default: DefaultDecision = DefaultDecision.CLOSED,
-                 audit: AuditLog | None = None) -> None:
+                 audit: AuditLog | None = None,
+                 cache_decisions: bool = True) -> None:
         self.policy_base = policy_base
         self.resolution = resolution
         self.default = default
         self.audit = audit
+        # Subject objects hash by identity and SubjectDirectory replaces
+        # (never mutates) them on role/credential change, so the subject
+        # itself is a sound cache key; keeping it in the key also pins it,
+        # ruling out id-recycling aliases.
+        self._decision_cache: GenerationalCache | None = (
+            GenerationalCache(maxsize=4096) if cache_decisions else None)
+
+    @property
+    def cache_stats(self) -> dict[str, int | float] | None:
+        """Decision-cache counters, or None when caching is disabled."""
+        if self._decision_cache is None:
+            return None
+        return self._decision_cache.stats.snapshot()
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached decision (generation stamps make this
+        unnecessary for policy changes; exposed for external state such
+        as changed content conditions)."""
+        if self._decision_cache is not None:
+            self._decision_cache.clear()
 
     def decide(self, subject: Subject, action: Action,
                path: ResourcePath | str,
                payload: object = None) -> Decision:
         """Evaluate a request and return the full decision object."""
         path = ResourcePath(path)
+        cache = self._decision_cache if payload is None else None
+        key = stamp = None
+        if cache is not None:
+            key = (subject, action, str(path))
+            stamp = self.policy_base.generation
+            decision = cache.get(key, stamp)
+            if decision is not MISS:
+                self._record(subject, action, path, decision)
+                return decision
         applicable = self.policy_base.applicable(subject, action, path,
                                                  payload)
         decision = self._resolve(applicable)
+        if cache is not None:
+            cache.put(key, stamp, decision)
+        self._record(subject, action, path, decision)
+        return decision
+
+    def _record(self, subject: Subject, action: Action,
+                path: ResourcePath, decision: Decision) -> None:
         if self.audit is not None:
             self.audit.record(
                 subject=subject.identity.name, action=action.value,
                 resource=str(path), granted=decision.granted,
                 detail=decision.reason)
-        return decision
 
     def check(self, subject: Subject, action: Action,
               path: ResourcePath | str, payload: object = None) -> bool:

@@ -24,6 +24,7 @@ from repro.core.credentials import CredentialExpression, anyone
 from repro.core.errors import ConfigurationError
 from repro.core.objects import ResourcePath, ResourcePattern
 from repro.core.subjects import Subject
+from repro.perf.cache import Generation
 
 
 class Sign(enum.Enum):
@@ -177,8 +178,20 @@ class PolicyBase:
         # whose first segment is a glob.
         self._by_head: dict[Action, dict[str, list[Policy]]] = {
             a: {} for a in Action}
+        # Bumped on every add/remove; decision caches stamp entries with
+        # this so a policy change invalidates them in O(1).
+        self._generation = Generation()
         for policy in policies:
             self.add(policy)
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter; changes whenever the policy set changes."""
+        return self._generation.value
+
+    def add_invalidation_hook(self, hook: Callable[[], None]) -> None:
+        """Call *hook* after every policy add/remove."""
+        self._generation.add_hook(hook)
 
     def __len__(self) -> int:
         return len(self._policies)
@@ -193,6 +206,7 @@ class PolicyBase:
         if any(ch in head for ch in "*?["):
             head = "*"
         self._by_head[policy.action].setdefault(head, []).append(policy)
+        self._generation.bump()
         return policy
 
     def remove(self, policy: Policy) -> None:
@@ -205,6 +219,7 @@ class PolicyBase:
         if any(ch in head for ch in "*?["):
             head = "*"
         self._by_head[policy.action][head].remove(policy)
+        self._generation.bump()
 
     def candidates(self, action: Action,
                    path: ResourcePath | str) -> list[Policy]:

@@ -55,12 +55,15 @@ def keystream(key: bytes, length: int, nonce: bytes = b"") -> bytes:
     for both modules exercise it.
     """
     blocks: list[bytes] = []
+    produced = 0
     counter = 0
-    while sum(len(b) for b in blocks) < length:
+    while produced < length:
         hasher = hashlib.sha256()
         hasher.update(key)
         hasher.update(nonce)
         hasher.update(counter.to_bytes(8, "big"))
-        blocks.append(hasher.digest())
+        digest = hasher.digest()
+        blocks.append(digest)
+        produced += len(digest)
         counter += 1
     return b"".join(blocks)[:length]

@@ -1,0 +1,37 @@
+"""Cross-cutting performance layer.
+
+``repro.perf`` hosts the machinery the hot paths share:
+
+* :mod:`repro.perf.cache` — bounded LRU and generation-stamped caches
+  (compiled XPaths, policy decisions, document labellings);
+* :mod:`repro.perf.multipath` — one-traversal evaluation of many XPath
+  expressions at once, used by Author-X labelling and the dissemination
+  packager.
+
+``cache`` is import-cycle-free (it imports nothing from ``repro``) so
+the lowest layers can use it; ``multipath`` sits above ``xmldb.xpath``
+and is loaded lazily here so that ``xmldb.xpath`` itself can import
+``repro.perf.cache`` without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.perf.cache import (
+    MISS,
+    CacheStats,
+    Generation,
+    GenerationalCache,
+    LRUCache,
+)
+
+_LAZY = ("simultaneous_select", "supports_path")
+
+__all__ = ["MISS", "CacheStats", "Generation", "GenerationalCache",
+           "LRUCache", *_LAZY]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.perf import multipath
+        return getattr(multipath, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

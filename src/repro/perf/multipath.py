@@ -1,0 +1,175 @@
+"""Simultaneous evaluation of many XPath-lite expressions in one pass.
+
+The Author-X labelling algorithm (:mod:`repro.xmlsec.authorx`) and the
+dissemination packager (:mod:`repro.xmlsec.dissemination`) both need the
+target sets of *every* applicable policy.  Evaluating each policy's
+XPath separately walks the whole DOM once per policy — O(policies ×
+nodes).  :func:`simultaneous_select` walks the DOM exactly once,
+carrying an NFA-style state set per path:
+
+* a *state* is a step index ``i`` meaning "steps ``0..i-1`` matched on
+  the path from the root; step ``i`` is now looking for a match";
+* a state whose step has the ``child`` axis applies only to the direct
+  children of the node where step ``i-1`` matched; a ``descendant``
+  state applies to the whole subtree below and stays active even after
+  matching (descendant pools contain every descendant, so a chain of
+  nested matches is possible);
+* when the *final* step of a path matches a node, the node joins that
+  path's result set.
+
+Results are returned in document (pre-order) position, deduplicated —
+exactly the *sets* :func:`repro.xmldb.xpath.select_elements` produces
+for the same expressions (a property test cross-checks this).  Note the
+classic engine's sequence order is stage-wise (all matches of one
+context before the next context's), which for multi-step paths is not
+always document order; every caller here resolves marks per element, so
+only set equality matters.
+
+Positional predicates (``[2]``) rank a node among the *matched
+candidates of one context node*, which a streaming matcher cannot know
+until the context's subtree is exhausted; paths using them — and paths
+selecting attributes/text rather than elements — are not supported
+here.  Callers check :func:`supports_path` and route unsupported paths
+through the classic engine (see ``XmlPolicyBase.select_policy_targets``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.xmldb.model import Document, Element
+from repro.xmldb.xpath import XPath, _passes, compile_xpath
+
+
+def supports_path(path: XPath) -> bool:
+    """True when *path* can be evaluated by the simultaneous matcher."""
+    last = path.steps[-1]
+    if last.test.startswith("@") or last.test == "text()":
+        return False
+    return not any(predicate.kind == "index"
+                   for step in path.steps
+                   for predicate in step.predicates)
+
+
+def simultaneous_select(paths: Sequence[XPath | str],
+                        context: Document | Element
+                        ) -> list[list[Element]]:
+    """Evaluate every path in one DOM traversal.
+
+    Returns one element list per input path, each equal (as an ordered
+    set, in document order) to ``select_elements(path, context)``.
+    Raises ValueError if any path is unsupported — callers are expected
+    to partition with :func:`supports_path` first.
+    """
+    compiled = [compile_xpath(p) if isinstance(p, str) else p
+                for p in paths]
+    unsupported = [str(p) for p in compiled if not supports_path(p)]
+    if unsupported:
+        raise ValueError(
+            f"paths not supported by the simultaneous matcher: "
+            f"{unsupported}")
+    root = context.root if isinstance(context, Document) else context
+
+    count = len(compiled)
+    results: list[list[Element]] = [[] for _ in compiled]
+    selected: list[set[int]] = [set() for _ in compiled]
+
+    # Per step: (node test, predicates, is-final, next step's axis is
+    # child).  Flattened once so the traversal touches no Step objects.
+    infos: list[list[tuple[str, tuple, bool, bool]]] = []
+    for path in compiled:
+        steps = path.steps
+        last = len(steps) - 1
+        infos.append([
+            (step.test, tuple(step.predicates), i == last,
+             i < last and steps[i + 1].axis == "child")
+            for i, step in enumerate(steps)])
+
+    # Initial states.  The classic engine starts with current=[root]:
+    # an absolute child-first path matches the root element itself (the
+    # document node is its virtual parent); every other first step —
+    # relative child-first, or any descendant-first — applies to the
+    # root's children / strict descendants, never the root.
+    empty: tuple[int, ...] = ()
+    root_child: list[tuple[int, ...]] = []
+    below_child: list[tuple[int, ...]] = []
+    below_desc: list[tuple[int, ...]] = []
+    for path in compiled:
+        first = path.steps[0]
+        if path.absolute and first.axis == "child":
+            root_child.append((0,))
+            below_child.append(empty)
+            below_desc.append(empty)
+        elif first.axis == "child":
+            root_child.append(empty)
+            below_child.append((0,))
+            below_desc.append(empty)
+        else:
+            root_child.append(empty)
+            below_child.append(empty)
+            below_desc.append((0,))
+
+    # States are tuples (state indices are unique per path: a state's
+    # membership class — child vs descendant — is fixed by its step's
+    # axis, and two distinct states never grow the same successor).
+    # Tuples are reused unchanged wherever possible so quiet subtrees
+    # allocate almost nothing per node.
+    def visit(node: Element,
+              child_states: list[tuple[int, ...]],
+              desc_states: list[tuple[int, ...]],
+              extra_child: list[tuple[int, ...]] | None,
+              extra_desc: list[tuple[int, ...]] | None) -> None:
+        tag = node.tag
+        next_child: list[tuple[int, ...]] = []
+        next_desc: list[tuple[int, ...]] = []
+        descend = False
+        for index in range(count):
+            info = infos[index]
+            desc = desc_states[index]
+            grown_child: list[int] | None = None
+            grown_desc: list[int] | None = None
+            for state in child_states[index] + desc:
+                test, predicates, is_final, next_is_child = info[state]
+                if test != "*" and tag != test:
+                    continue
+                if predicates and not all(_passes(node, p)
+                                          for p in predicates):
+                    continue
+                if is_final:
+                    if id(node) not in selected[index]:
+                        selected[index].add(id(node))
+                        results[index].append(node)
+                elif next_is_child:
+                    if grown_child is None:
+                        grown_child = [state + 1]
+                    else:
+                        grown_child.append(state + 1)
+                elif state + 1 not in desc:
+                    if grown_desc is None:
+                        grown_desc = [state + 1]
+                    else:
+                        grown_desc.append(state + 1)
+            if extra_child is not None and extra_child[index]:
+                grown_child = ((grown_child or [])
+                               + [s for s in extra_child[index]
+                                  if grown_child is None
+                                  or s not in grown_child])
+            if extra_desc is not None and extra_desc[index]:
+                grown_desc = ((grown_desc or [])
+                              + [s for s in extra_desc[index]
+                                 if s not in desc
+                                 and (grown_desc is None
+                                      or s not in grown_desc)])
+            child_next = empty if grown_child is None else tuple(grown_child)
+            # Descendant states persist down the whole subtree.
+            desc_next = desc if grown_desc is None else desc + tuple(grown_desc)
+            next_child.append(child_next)
+            next_desc.append(desc_next)
+            if child_next or desc_next:
+                descend = True
+        if descend:
+            for child in node.element_children:
+                visit(child, next_child, next_desc, None, None)
+
+    visit(root, root_child, [empty] * count, below_child, below_desc)
+    return results

@@ -156,7 +156,9 @@ class MaliciousPublisher(Publisher):
         elif self.mode == "omit":
             self._omit(view.root)
         elif self.mode == "swap":
-            other_ids = [d for d in self._signatures if d != doc_id]
+            # Sorted so the swapped-in signature does not depend on the
+            # order documents happened to be published.
+            other_ids = sorted(d for d in self._signatures if d != doc_id)
             if other_ids:
                 return VerifiableAnswer(doc_id, view, answer.fillers,
                                         self._signatures[other_ids[0]],

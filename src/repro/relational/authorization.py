@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.core.errors import AccessDenied, ConfigurationError
+from repro.perf.cache import MISS, Generation, GenerationalCache
 
 RowPredicate = Callable[[Mapping[str, object]], bool]
 
@@ -61,6 +62,23 @@ class AuthorizationManager:
         self._grants: list[Grant] = []
         self._owners: dict[str, str] = {}
         self._sequence = itertools.count(1)
+        # Bumped on every mutation of the grant graph or ownership map;
+        # privilege/restriction lookups are memoized against it.
+        self._generation = Generation()
+        self._check_cache = GenerationalCache(maxsize=4096)
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter; changes on any grant/revoke/ownership change."""
+        return self._generation.value
+
+    def add_invalidation_hook(self, hook: Callable[[], None]) -> None:
+        """Call *hook* after every mutation of the authorization state."""
+        self._generation.add_hook(hook)
+
+    def cache_stats(self) -> dict[str, int | float]:
+        """Hit/miss counters of the privilege-check cache."""
+        return self._check_cache.stats.snapshot()
 
     # -- ownership -----------------------------------------------------------
 
@@ -68,6 +86,7 @@ class AuthorizationManager:
         if table in self._owners:
             raise ConfigurationError(f"table {table!r} already has an owner")
         self._owners[table] = owner
+        self._generation.bump()
 
     def owner_of(self, table: str) -> str:
         try:
@@ -94,6 +113,7 @@ class AuthorizationManager:
                      with_grant_option, next(self._sequence),
                      row_filter, tuple(column_mask))
         self._grants.append(edge)
+        self._generation.bump()
         return edge
 
     def import_grant(self, grantor: str, grantee: str, table: str,
@@ -113,6 +133,7 @@ class AuthorizationManager:
                      with_grant_option, next(self._sequence),
                      row_filter, tuple(column_mask))
         self._grants.append(edge)
+        self._generation.bump()
         return edge
 
     def _can_grant(self, user: str, table: str,
@@ -133,9 +154,17 @@ class AuthorizationManager:
 
     def has_privilege(self, user: str, table: str,
                       privilege: Privilege) -> bool:
+        key = ("priv", user, table, privilege)
+        stamp = self._generation.value
+        cached = self._check_cache.get(key, stamp)
+        if cached is not MISS:
+            return cached
         if self._owners.get(table) == user:
-            return True
-        return bool(self.grants_for(user, table, privilege))
+            held = True
+        else:
+            held = bool(self.grants_for(user, table, privilege))
+        self._check_cache.put(key, stamp, held)
+        return held
 
     def enforce(self, user: str, table: str,
                 privilege: Privilege) -> None:
@@ -153,8 +182,15 @@ class AuthorizationManager:
         """
         if self._owners.get(table) == user:
             return None, ()
+        key = ("restr", user, table, privilege)
+        stamp = self._generation.value
+        cached = self._check_cache.get(key, stamp)
+        if cached is not MISS:
+            return cached
         grants = self.grants_for(user, table, privilege)
         if not grants:
+            # Denials are not cached: raising from a cache hit would
+            # yield a less informative traceback for no measurable win.
             raise AccessDenied(user, privilege.value, table,
                                reason="no applicable grant")
         if any(g.row_filter is None for g in grants):
@@ -167,7 +203,9 @@ class AuthorizationManager:
 
         masks = [set(g.column_mask) for g in grants]
         column_mask = tuple(sorted(set.intersection(*masks))) if masks else ()
-        return row_filter, column_mask
+        result = (row_filter, column_mask)
+        self._check_cache.put(key, stamp, result)
+        return result
 
     # -- revocation ----------------------------------------------------------------
 
@@ -196,6 +234,7 @@ class AuthorizationManager:
                 removed.append(edge)
                 changed = True
         self._grants = remaining
+        self._generation.bump()
         return removed
 
     def _supported(self, edge: Grant, pool: list[Grant]) -> bool:

@@ -70,13 +70,17 @@ class Ontology:
         if term not in self._parents:
             raise ConfigurationError(f"unknown term {name!r}")
         closure: set[Term] = set()
-        stack = list(self._parents[term])
+        # Sorted extension keeps the traversal independent of set hash
+        # order (PYTHONHASHSEED); the closure itself is order-free but
+        # by-construction determinism costs nothing here.
+        stack = sorted(self._parents[term], key=lambda t: t.name)
         while stack:
             current = stack.pop()
             if current in closure:
                 continue
             closure.add(current)
-            stack.extend(self._parents[current])
+            stack.extend(sorted(self._parents[current],
+                                key=lambda t: t.name))
         return closure
 
     def descendants(self, name: str) -> set[Term]:

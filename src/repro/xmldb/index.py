@@ -24,7 +24,14 @@ from repro.xmldb.xpath import Step, XPath, compile_xpath, select_elements
 
 
 class PathIndex:
-    """An inverted index over one element tree."""
+    """An inverted index over one element tree.
+
+    The index records the tree's mutation counter at build time
+    (:meth:`Element.tree_version`); after any tracked in-place edit it
+    reports :attr:`stale` and :func:`indexed_select` /
+    :class:`QueryCostModel` transparently :meth:`refresh` it before
+    answering, so index-served results can never lag the document.
+    """
 
     def __init__(self, root: Element) -> None:
         self._root = root
@@ -32,9 +39,29 @@ class PathIndex:
         self._by_attr: dict[tuple[str, str, str], list[Element]] = {}
         self._by_child_text: dict[tuple[str, str, str],
                                   list[Element]] = {}
+        self._built_version = -1
+        self.rebuilds = 0
         self._build()
 
+    @property
+    def stale(self) -> bool:
+        """Has the tree mutated since the index was (re)built?"""
+        return self._built_version != self._root.tree_version()
+
+    def refresh(self) -> None:
+        """Rebuild the postings from the current tree state."""
+        self._by_tag.clear()
+        self._by_attr.clear()
+        self._by_child_text.clear()
+        self._build()
+
+    def ensure_fresh(self) -> None:
+        if self.stale:
+            self.refresh()
+
     def _build(self) -> None:
+        self._built_version = self._root.tree_version()
+        self.rebuilds += 1
         for node in self._root.iter():
             self._by_tag.setdefault(node.tag, []).append(node)
             for name, value in node.attributes.items():
@@ -103,6 +130,7 @@ def indexed_select(index: PathIndex, path: XPath | str,
     step = _indexable_step(path)
     if step is None:
         return select_elements(path, context)
+    index.ensure_fresh()
     root = context.root if isinstance(context, Document) else context
     if root.tag == step.test:
         # '//tag' never matches the context root in our engine; the
@@ -140,6 +168,7 @@ class QueryCostModel:
         step = _indexable_step(path)
         if step is None:
             return "scan", self.document_size
+        self.index.ensure_fresh()
         postings = len(self.index.by_tag(step.test))
         return "index", max(postings, 1)
 

@@ -26,8 +26,34 @@ class Element:
         self.attributes: dict[str, str] = dict(attributes or {})
         self.parent: Element | None = None
         self._children: list[Element | str] = []
+        # Mutation counter, meaningful at the tree root: every tracked
+        # mutation anywhere in the tree bumps the root's counter, which
+        # is what caches and indexes stamp their entries with.
+        self._subtree_version = 0
         for child in children:
             self.append(child)
+
+    # -- mutation tracking ----------------------------------------------
+
+    def tree_root(self) -> "Element":
+        node: Element = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def tree_version(self) -> int:
+        """The mutation counter of this element's tree.
+
+        Incremented by every tracked mutation (:meth:`append`,
+        :meth:`remove`, :meth:`set_text`, :meth:`set_attribute`,
+        :meth:`remove_attribute`) anywhere in the tree.  Callers
+        mutating ``attributes`` directly must call :meth:`touch`.
+        """
+        return self.tree_root()._subtree_version
+
+    def touch(self) -> None:
+        """Record a mutation: bump the tree root's version counter."""
+        self.tree_root()._subtree_version += 1
 
     # -- structure ------------------------------------------------------
 
@@ -54,6 +80,7 @@ class Element:
             raise ConfigurationError(
                 f"child must be Element or str, got {type(child).__name__}")
         self._children.append(child)
+        self.touch()
         return child
 
     def remove(self, child: "Element | str") -> None:
@@ -62,6 +89,10 @@ class Element:
                 del self._children[index]
                 if isinstance(child, Element):
                     child.parent = None
+                    # The detached subtree is now its own tree; bump it
+                    # too so stamps taken while it was attached go stale.
+                    child._subtree_version += 1
+                self.touch()
                 return
         raise ConfigurationError("child not found")
 
@@ -71,6 +102,18 @@ class Element:
                           if isinstance(c, Element)]
         if text:
             self._children.insert(0, text)
+        self.touch()
+
+    def set_attribute(self, name: str, value: str) -> None:
+        """Tracked attribute write (bumps the tree version)."""
+        self.attributes[name] = value
+        self.touch()
+
+    def remove_attribute(self, name: str) -> None:
+        """Tracked attribute delete (bumps the tree version)."""
+        if name in self.attributes:
+            del self.attributes[name]
+            self.touch()
 
     # -- addressing ------------------------------------------------------
 
@@ -167,6 +210,11 @@ class Document:
             raise ConfigurationError("document root must be parentless")
         self.root = root
         self.name = name
+
+    @property
+    def version(self) -> int:
+        """Mutation counter of the document tree (see Element.tree_version)."""
+        return self.root.tree_version()
 
     def iter(self) -> Iterator[Element]:
         return self.root.iter()

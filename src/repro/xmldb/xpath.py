@@ -30,7 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.errors import ParseError, QueryError
+from repro.perf.cache import MISS, LRUCache
 from repro.xmldb.model import Document, Element
+
+#: Compiled expressions keyed by (stripped) source text.  XPath values
+#: are immutable, so one compiled object is safely shared by every
+#: caller; parse errors are not cached.
+_COMPILE_CACHE = LRUCache(maxsize=4096)
 
 
 @dataclass(frozen=True)
@@ -158,9 +164,30 @@ def _parse_predicate(tok: _Tokenizer) -> Predicate:
     return Predicate("exists", path=tuple(names))
 
 
-def compile_xpath(text: str) -> XPath:
-    """Compile an XPath-lite expression; raises ParseError on bad syntax."""
+def compile_xpath(text: str, use_cache: bool = True) -> XPath:
+    """Compile an XPath-lite expression; raises ParseError on bad syntax.
+
+    Results are memoized in a process-wide LRU keyed by source text, so
+    repeated evaluation of the same expression string (the common shape:
+    policies re-checked per request) skips tokenization entirely.
+    """
     source = text.strip()
+    if use_cache:
+        cached = _COMPILE_CACHE.get(source)
+        if cached is not MISS:
+            return cached
+    compiled = _compile_uncached(source)
+    if use_cache:
+        _COMPILE_CACHE.put(source, compiled)
+    return compiled
+
+
+def compile_cache_stats() -> dict[str, int | float]:
+    """Hit/miss counters of the compile cache (for benchmarks)."""
+    return _COMPILE_CACHE.stats.snapshot()
+
+
+def _compile_uncached(source: str) -> XPath:
     tok = _Tokenizer(source)
     steps: list[Step] = []
     absolute = False

@@ -27,8 +27,13 @@ import enum
 import itertools
 from dataclasses import dataclass, field
 
+from typing import Callable, Sequence
+
 from repro.core.credentials import CredentialExpression
+from repro.core.errors import ConfigurationError
 from repro.core.subjects import Subject
+from repro.perf.cache import MISS, Generation, GenerationalCache
+from repro.perf.multipath import simultaneous_select, supports_path
 from repro.xmldb.model import Document, Element
 from repro.xmldb.xpath import XPath, compile_xpath, select_elements
 
@@ -108,14 +113,46 @@ class NodeLabel:
 
 
 class XmlPolicyBase:
-    """The set of XML policies protecting a database."""
+    """The set of XML policies protecting a database.
+
+    Labellings are memoized per (subject, document id, document object),
+    stamped with ``(policy generation, document version)`` so both a
+    policy add/remove and an in-place document edit invalidate exactly
+    the affected entries.  Cached label maps are shared — treat them as
+    read-only.
+    """
 
     def __init__(self, policies: "list[XmlPolicy] | None" = None) -> None:
         self._policies: list[XmlPolicy] = list(policies or [])
+        self._generation = Generation()
+        self._label_cache = GenerationalCache(maxsize=256)
 
     def add(self, policy: XmlPolicy) -> XmlPolicy:
         self._policies.append(policy)
+        self._generation.bump()
         return policy
+
+    def remove(self, policy: XmlPolicy) -> None:
+        """Revoke a policy; cached labellings go stale immediately."""
+        try:
+            self._policies.remove(policy)
+        except ValueError:
+            raise ConfigurationError(
+                f"{policy!r} not in XML policy base") from None
+        self._generation.bump()
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter; changes on every policy add/remove."""
+        return self._generation.value
+
+    def add_invalidation_hook(self, hook: Callable[[], None]) -> None:
+        """Call *hook* after every policy add/remove."""
+        self._generation.add_hook(hook)
+
+    def label_cache_stats(self) -> dict[str, int | float]:
+        """Hit/miss counters of the labelling cache."""
+        return self._label_cache.stats.snapshot()
 
     def __len__(self) -> int:
         return len(self._policies)
@@ -132,8 +169,52 @@ class XmlPolicyBase:
                 if p.applies_to_document(doc_id)
                 and p.applies_to_subject(subject)]
 
+    @staticmethod
+    def select_policy_targets(policies: Sequence[XmlPolicy],
+                              document: Document) -> list[list[Element]]:
+        """The target element set of every policy, one list per policy.
+
+        Distinct target paths are evaluated once and the element list
+        shared among every policy using them — policy bases protect the
+        same DTD elements for many subject groups, so duplicates are the
+        common case.  Paths the simultaneous matcher supports (the vast
+        majority: everything without positional predicates) are then all
+        evaluated in a single DOM traversal; the rest fall back to the
+        classic engine one by one.  A target whose evaluation fails
+        selects nothing — the same forgiving behaviour the per-policy
+        labeller always had.  Returned lists are shared: treat them as
+        read-only.
+        """
+        results: list[list[Element]] = [[] for _ in policies]
+        groups: dict[str, list[int]] = {}
+        for index, policy in enumerate(policies):
+            groups.setdefault(str(policy.target), []).append(index)
+        fast = [indices for indices in groups.values()
+                if supports_path(policies[indices[0]].target)]
+        if fast:
+            for indices, selected in zip(
+                    fast,
+                    simultaneous_select(
+                        [policies[indices[0]].target for indices in fast],
+                        document)):
+                for index in indices:
+                    results[index] = selected
+        fast_heads = {indices[0] for indices in fast}
+        for text, indices in groups.items():
+            if indices[0] in fast_heads:
+                continue
+            try:
+                selected = select_elements(policies[indices[0]].target,
+                                           document)
+            except Exception:
+                selected = []
+            for index in indices:
+                results[index] = selected
+        return results
+
     def label_document(self, subject: Subject, doc_id: str,
-                       document: Document) -> dict[int, NodeLabel]:
+                       document: Document,
+                       use_cache: bool = True) -> dict[int, NodeLabel]:
         """Resolve per-element authorization for the whole document.
 
         Returns a map from ``id(element)`` to :class:`NodeLabel`.  The
@@ -146,79 +227,156 @@ class XmlPolicyBase:
            ties resolve DENY over GRANT, and NAVIGATE is dominated by READ
            within the same sign/depth tier.
         3. Unmarked elements default to no access (closed world).
+
+        All policy targets are evaluated in one DOM traversal (see
+        :meth:`select_policy_targets`); the per-policy-traversal variant
+        survives as :meth:`label_document_per_policy`, the oracle the
+        equivalence tests and benchmarks compare against.
         """
-        # element -> list of (attachment_depth, policy)
-        marks: dict[int, list[tuple[int, XmlPolicy]]] = {}
-        depths: dict[int, int] = {}
-        for depth, node in _iter_with_depth(document.root):
-            depths[id(node)] = depth
-
-        for policy in self.policies_for(subject, doc_id):
-            try:
-                selected = select_elements(policy.target, document)
-            except Exception:
-                continue
-            for root in selected:
-                attachment = depths[id(root)]
-                targets: list[Element]
-                if policy.propagation is XmlPropagation.LOCAL:
-                    targets = [root]
-                elif policy.propagation is XmlPropagation.ONE_LEVEL:
-                    targets = [root] + root.element_children
-                else:
-                    targets = list(root.iter())
-                for node in targets:
-                    marks.setdefault(id(node), []).append(
-                        (attachment, policy))
-
-        labels: dict[int, NodeLabel] = {}
-        for node in document.iter():
-            node_marks = marks.get(id(node))
-            if not node_marks:
-                labels[id(node)] = NodeLabel("none", None)
-                continue
-            best_depth = max(depth for depth, _ in node_marks)
-            tier = [p for depth, p in node_marks if depth == best_depth]
-            # Tie-break deterministically by policy id so the deciding
-            # policy does not depend on insertion order of the base.
-            tier.sort(key=lambda p: p.policy_id)
-            denies = [p for p in tier if p.sign is XmlSign.DENY]
-            if denies:
-                # The strongest denial wins: denying READ still may leave
-                # NAVIGATE if a grant for NAVIGATE exists and no NAVIGATE
-                # deny does.
-                denied_privs = {p.privilege for p in denies}
-                grants = [p for p in tier if p.sign is XmlSign.GRANT]
-                if (Privilege.READ not in denied_privs
-                        and any(p.privilege is Privilege.READ
-                                for p in grants)):
-                    labels[id(node)] = NodeLabel(
-                        "read",
-                        next(p for p in grants
-                             if p.privilege is Privilege.READ))
-                    continue
-                # Navigate survives only via an explicit NAVIGATE grant:
-                # denying READ also kills the navigation READ implies.
-                navigate_ok = (
-                    Privilege.NAVIGATE not in denied_privs
-                    and any(p.privilege is Privilege.NAVIGATE
-                            for p in grants))
-                if navigate_ok:
-                    labels[id(node)] = NodeLabel("navigate", denies[0])
-                else:
-                    labels[id(node)] = NodeLabel("none", denies[0])
-                continue
-            grants = tier
-            if any(p.privilege is Privilege.READ for p in grants):
-                policy = next(p for p in grants
-                              if p.privilege is Privilege.READ)
-                labels[id(node)] = NodeLabel("read", policy)
-            else:
-                labels[id(node)] = NodeLabel("navigate", grants[0])
+        stamp = (self._generation.value, document.version)
+        key = (subject, doc_id, document)
+        if use_cache:
+            cached = self._label_cache.get(key, stamp)
+            if cached is not MISS:
+                return cached
+        policies = self.policies_for(subject, doc_id)
+        targets = self.select_policy_targets(policies, document)
+        labels = self._resolve_labels(policies, targets, document)
+        if use_cache:
+            self._label_cache.put(key, stamp, labels)
         return labels
 
+    def label_document_per_policy(self, subject: Subject, doc_id: str,
+                                  document: Document) -> dict[int, NodeLabel]:
+        """Legacy labeller: one DOM traversal *per policy*.
 
-def _iter_with_depth(root: Element, depth: int = 0):
-    yield depth, root
-    for child in root.element_children:
-        yield from _iter_with_depth(child, depth + 1)
+        Kept as the correctness oracle for the single-pass path — the
+        equivalence suite asserts both produce identical label maps.
+        """
+        policies = self.policies_for(subject, doc_id)
+        targets: list[list[Element]] = []
+        for policy in policies:
+            try:
+                targets.append(select_elements(policy.target, document))
+            except Exception:
+                targets.append([])
+        return self._resolve_labels(policies, targets, document)
+
+    @staticmethod
+    def _resolve_labels(policies: Sequence[XmlPolicy],
+                        targets: Sequence[list[Element]],
+                        document: Document) -> dict[int, NodeLabel]:
+        # Attachment points only; propagation happens *during* the one
+        # downward sweep below (a CASCADE mark rides along the
+        # traversal) instead of eagerly expanding each mark over its
+        # subtree, which would cost O(marks × subtree) again.
+        attach: dict[int, list[XmlPolicy]] = {}
+        for policy, selected in zip(policies, targets):
+            for target_root in selected:
+                attach.setdefault(id(target_root), []).append(policy)
+
+        labels: dict[int, NodeLabel] = {}
+        unmarked = NodeLabel("none", None)
+        # Many nodes share the same mark *context* — the ancestors' mark
+        # list object plus the same locally attached (depth, policy)
+        # extras (think of the 200 <name> elements under identically
+        # protected records).  Memoizing resolution on that context runs
+        # the tier logic once per distinct context, not once per node.
+        context_label: dict[object, NodeLabel] = {}
+        # Extended inherited-mark lists interned by content: sibling
+        # subtrees attaching the same cascades share one list object, so
+        # their descendants' contexts compare equal by ``id``.  The
+        # intern table also keeps every list alive, keeping ids unique.
+        interned: dict[tuple, list] = {}
+        resolve = XmlPolicyBase._label_from_marks
+
+        def walk(node: Element, depth: int,
+                 inherited: list[tuple[int, XmlPolicy]],
+                 parent_one_level: list[tuple[int, XmlPolicy]] | None
+                 ) -> None:
+            own = attach.get(id(node))
+            child_inherited = inherited
+            one_level: list[tuple[int, XmlPolicy]] | None = None
+            key: object
+            if own is None and parent_one_level is None:
+                extra = None
+                key = id(inherited)
+            else:
+                extra = list(parent_one_level or ())
+                cascades: list[tuple[int, XmlPolicy]] | None = None
+                for policy in own or ():
+                    mark = (depth, policy)
+                    extra.append(mark)
+                    propagation = policy.propagation
+                    if propagation is XmlPropagation.CASCADE:
+                        if cascades is None:
+                            cascades = [mark]
+                        else:
+                            cascades.append(mark)
+                    elif propagation is XmlPropagation.ONE_LEVEL:
+                        if one_level is None:
+                            one_level = [mark]
+                        else:
+                            one_level.append(mark)
+                if cascades is not None:
+                    intern_key = (id(inherited),
+                                  tuple((d, p.policy_id)
+                                        for d, p in cascades))
+                    child_inherited = interned.get(intern_key)
+                    if child_inherited is None:
+                        child_inherited = inherited + cascades
+                        interned[intern_key] = child_inherited
+                key = (id(inherited),
+                       tuple((d, p.policy_id) for d, p in extra))
+            label = context_label.get(key)
+            if label is None:
+                node_marks = (inherited if extra is None
+                              else inherited + extra)
+                label = resolve(node_marks) if node_marks else unmarked
+                context_label[key] = label
+            labels[id(node)] = label
+            for child in node.element_children:
+                walk(child, depth + 1, child_inherited, one_level)
+
+        root_marks: list[tuple[int, XmlPolicy]] = []
+        walk(document.root, 0, root_marks, None)
+        return labels
+
+    @staticmethod
+    def _label_from_marks(node_marks: "list[tuple[int, XmlPolicy]]"
+                          ) -> NodeLabel:
+        """Author-X tier resolution for one element's active marks."""
+        best_depth = max(depth for depth, _ in node_marks)
+        tier = [p for depth, p in node_marks if depth == best_depth]
+        # Tie-break deterministically by policy id so the deciding
+        # policy does not depend on insertion order of the base.
+        tier.sort(key=lambda p: p.policy_id)
+        denies = [p for p in tier if p.sign is XmlSign.DENY]
+        if denies:
+            # The strongest denial wins: denying READ still may leave
+            # NAVIGATE if a grant for NAVIGATE exists and no NAVIGATE
+            # deny does.
+            denied_privs = {p.privilege for p in denies}
+            grants = [p for p in tier if p.sign is XmlSign.GRANT]
+            if (Privilege.READ not in denied_privs
+                    and any(p.privilege is Privilege.READ
+                            for p in grants)):
+                return NodeLabel(
+                    "read",
+                    next(p for p in grants
+                         if p.privilege is Privilege.READ))
+            # Navigate survives only via an explicit NAVIGATE grant:
+            # denying READ also kills the navigation READ implies.
+            navigate_ok = (
+                Privilege.NAVIGATE not in denied_privs
+                and any(p.privilege is Privilege.NAVIGATE
+                        for p in grants))
+            if navigate_ok:
+                return NodeLabel("navigate", denies[0])
+            return NodeLabel("none", denies[0])
+        grants = tier
+        if any(p.privilege is Privilege.READ for p in grants):
+            policy = next(p for p in grants
+                          if p.privilege is Privilege.READ)
+            return NodeLabel("read", policy)
+        return NodeLabel("navigate", grants[0])

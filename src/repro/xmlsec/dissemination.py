@@ -28,17 +28,17 @@ disclosure Author-X's connectors make.
 from __future__ import annotations
 
 import json
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.subjects import Subject
 from repro.crypto.hashing import sha256_hex
 from repro.crypto.keys import KeyDistributor, KeyStore
-from repro.crypto.symmetric import Ciphertext
+from repro.crypto.symmetric import Ciphertext, encrypt as symmetric_encrypt
 from repro.xmldb.model import Document, Element
 from repro.xmldb.parser import parse_element
 from repro.xmldb.serializer import serialize_element
-from repro.xmldb.xpath import select_elements
 from repro.xmlsec.authorx import (
     Privilege,
     XmlPolicy,
@@ -121,14 +121,13 @@ def _policy_marks(policy_base: XmlPolicyBase, doc_id: str,
     walk(document.root, 0)
     marks: dict[int, list[tuple[int, XmlPolicy]]] = {
         id(node): [] for node in document.iter()}
-    for policy in policy_base:
-        if (policy.privilege is not Privilege.READ
-                or not policy.applies_to_document(doc_id)):
-            continue
-        try:
-            selected = select_elements(policy.target, document)
-        except Exception:
-            continue
+    policies = [p for p in policy_base
+                if p.privilege is Privilege.READ
+                and p.applies_to_document(doc_id)]
+    # All targets in one DOM traversal (falls back per-policy only for
+    # positional predicates) — same machinery as Author-X labelling.
+    targets = XmlPolicyBase.select_policy_targets(policies, document)
+    for policy, selected in zip(policies, targets):
         for root in selected:
             attachment = depths[id(root)]
             if policy.propagation is XmlPropagation.LOCAL:
@@ -203,11 +202,19 @@ class Disseminator:
 
     # -- packaging ------------------------------------------------------
 
-    def package(self, doc_id: str, document: Document) -> Packet:
+    def package(self, doc_id: str, document: Document,
+                workers: int | None = None) -> Packet:
         """Encrypt *document* into one block per distinct configuration.
 
         Elements with the empty configuration (no grant at all) go under
         the reserved ``cfg:none`` key, which is never distributed.
+
+        With ``workers`` set, block encryption runs on a thread pool:
+        keys are created and nonces reserved serially (the key store is
+        not thread-safe), then the pure
+        :func:`repro.crypto.symmetric.encrypt` calls run concurrently.
+        Encryption is deterministic given (key, nonce), so the packet is
+        byte-identical to the serial one.
         """
         configurations = self.configurations_of(doc_id, document)
         groups: dict[str, list[Fragment]] = {}
@@ -225,13 +232,19 @@ class Disseminator:
             groups.setdefault(key_id, []).append(Fragment(
                 node.node_path(), node.tag,
                 tuple(sorted(node.attributes.items())), node.text))
-        blocks: list[Ciphertext] = []
+        jobs = []
         for key_id in sorted(groups):
-            self.key_store.get_or_create(key_id)
+            key = self.key_store.get_or_create(key_id)
             # JSON framing: fragment text may contain any character, so
             # a bare separator byte would be ambiguous.
             payload = json.dumps([f.serialize() for f in groups[key_id]])
-            blocks.append(self.key_store.encrypt(key_id, payload))
+            jobs.append((key, payload, self.key_store.reserve_nonce(key_id)))
+        if workers is not None and workers > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                blocks = list(pool.map(
+                    lambda job: symmetric_encrypt(*job), jobs))
+        else:
+            blocks = [symmetric_encrypt(*job) for job in jobs]
         return Packet(doc_id, tuple(blocks), skeleton)
 
     # -- key distribution -------------------------------------------------

@@ -36,17 +36,33 @@ class ViewStats:
     pruned_subtrees: int = 0
 
 
-def _subtree_has_visible(node: Element,
-                         labels: dict[int, NodeLabel]) -> bool:
-    return any(labels[id(descendant)].access != "none"
-               for descendant in node.iter())
+def _visible_below_map(root: Element,
+                       labels: dict[int, NodeLabel]) -> dict[int, bool]:
+    """``id(node) -> does node's subtree contain anything visible``.
+
+    One post-order pass; replaces the per-node subtree scan that made
+    view building O(n²) on deep all-denied documents.
+    """
+    visible: dict[int, bool] = {}
+
+    def walk(node: Element) -> bool:
+        result = labels[id(node)].access != "none"
+        for child in node.element_children:
+            # No short-circuit: every node needs its own entry.
+            result = walk(child) or result
+        visible[id(node)] = result
+        return result
+
+    walk(root)
+    return visible
 
 
 def _build_view(node: Element, labels: dict[int, NodeLabel],
+                visible_below: dict[int, bool],
                 stats: ViewStats, with_markers: bool) -> Element | None:
     label = labels[id(node)]
     stats.total_elements += 1
-    if label.access == "none" and not _subtree_has_visible(node, labels):
+    if label.access == "none" and not visible_below[id(node)]:
         stats.pruned_subtrees += 1
         if with_markers:
             return make_pruned_marker(node.node_path())
@@ -72,7 +88,8 @@ def _build_view(node: Element, labels: dict[int, NodeLabel],
             if keep_text:
                 clone.append(child)
             continue
-        built = _build_view(child, labels, stats, with_markers)
+        built = _build_view(child, labels, visible_below, stats,
+                            with_markers)
         if built is not None:
             clone.append(built)
     return clone
@@ -91,7 +108,9 @@ def compute_view(policy_base: XmlPolicyBase, subject: Subject,
     """
     labels = policy_base.label_document(subject, doc_id, document)
     stats = ViewStats()
-    root_view = _build_view(document.root, labels, stats, with_markers)
+    visible_below = _visible_below_map(document.root, labels)
+    root_view = _build_view(document.root, labels, visible_below, stats,
+                            with_markers)
     if root_view is None or (
             not with_markers
             and stats.read_elements == 0

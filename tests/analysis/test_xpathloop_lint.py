@@ -1,0 +1,81 @@
+"""LINT-XPATHLOOP: literal XPath compiled/evaluated inside a loop."""
+
+from repro.analysis.codelint import lint_source
+
+
+def rule_ids(source):
+    return [f.rule_id for f in lint_source(source, "t.py")]
+
+
+class TestXpathLoopRule:
+    def test_flags_compile_in_for_loop(self):
+        src = (
+            "def f(docs):\n"
+            "    for d in docs:\n"
+            "        compile_xpath('//record')\n")
+        assert "LINT-XPATHLOOP" in rule_ids(src)
+
+    def test_flags_evaluate_and_select_in_while_loop(self):
+        src = (
+            "def f(doc):\n"
+            "    while doc:\n"
+            "        evaluate('//a', doc)\n"
+            "        select_elements('//b', doc)\n")
+        assert rule_ids(src).count("LINT-XPATHLOOP") == 2
+
+    def test_flags_attribute_calls(self):
+        src = (
+            "def f(engine, docs):\n"
+            "    for d in docs:\n"
+            "        engine.evaluate('//a', d)\n")
+        assert "LINT-XPATHLOOP" in rule_ids(src)
+
+    def test_ignores_calls_outside_loops(self):
+        src = (
+            "def f(doc):\n"
+            "    return select_elements('//record', doc)\n")
+        assert "LINT-XPATHLOOP" not in rule_ids(src)
+
+    def test_ignores_nonliteral_paths_in_loops(self):
+        src = (
+            "def f(paths, doc):\n"
+            "    for p in paths:\n"
+            "        select_elements(p, doc)\n")
+        assert "LINT-XPATHLOOP" not in rule_ids(src)
+
+    def test_ignores_hoisted_compile(self):
+        src = (
+            "def f(docs):\n"
+            "    path = compile_xpath('//record')\n"
+            "    for d in docs:\n"
+            "        select_elements(path, d)\n")
+        assert "LINT-XPATHLOOP" not in rule_ids(src)
+
+    def test_nested_function_resets_loop_depth(self):
+        # The inner function's body is not executed per iteration of the
+        # outer loop; defining it there must not trip the rule.
+        src = (
+            "def f(docs):\n"
+            "    for d in docs:\n"
+            "        def probe():\n"
+            "            return select_elements('//a', d)\n"
+            "        probe()\n")
+        assert "LINT-XPATHLOOP" not in rule_ids(src)
+
+    def test_loop_inside_nested_function_is_still_flagged(self):
+        src = (
+            "def f():\n"
+            "    def inner(docs):\n"
+            "        for d in docs:\n"
+            "            evaluate('//a', d)\n"
+            "    return inner\n")
+        assert "LINT-XPATHLOOP" in rule_ids(src)
+
+    def test_rule_is_warning_severity(self):
+        src = (
+            "def f(docs):\n"
+            "    for d in docs:\n"
+            "        compile_xpath('//record')\n")
+        finding = [f for f in lint_source(src, "t.py")
+                   if f.rule_id == "LINT-XPATHLOOP"][0]
+        assert finding.severity.name == "WARNING"

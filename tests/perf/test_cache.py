@@ -1,0 +1,129 @@
+"""Unit tests for the repro.perf caching primitives."""
+
+import threading
+
+import pytest
+
+from repro.perf.cache import (
+    MISS,
+    Generation,
+    GenerationalCache,
+    LRUCache,
+)
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("k") is MISS
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_falsy_values_are_cacheable(self):
+        cache = LRUCache()
+        cache.put("none", None)
+        cache.put("zero", 0)
+        assert cache.get("none") is None
+        assert cache.get("zero") == 0
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refresh 'a'
+        cache.put("c", 3)                   # evicts 'b'
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_clear(self):
+        cache = LRUCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is MISS
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+    def test_concurrent_put_get_is_safe(self):
+        cache = LRUCache(maxsize=64)
+
+        def worker(offset):
+            for i in range(200):
+                cache.put((offset, i % 50), i)
+                cache.get((offset, (i * 7) % 50))
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 64
+
+
+class TestGeneration:
+    def test_bump_increments_and_fires_hooks(self):
+        generation = Generation()
+        fired = []
+        generation.add_hook(lambda: fired.append(generation.value))
+        assert generation.value == 0
+        generation.bump()
+        generation.bump()
+        assert generation.value == 2
+        assert fired == [1, 2]
+
+
+class TestGenerationalCache:
+    def test_hit_requires_matching_stamp(self):
+        cache = GenerationalCache()
+        cache.put("k", 1, "value")
+        assert cache.get("k", 1) == "value"
+        assert cache.get("k", 2) is MISS
+        assert cache.stats.stale_drops == 1
+        # The stale entry was dropped, not kept around.
+        assert cache.get("k", 1) is MISS
+
+    def test_tuple_stamps(self):
+        cache = GenerationalCache()
+        cache.put("k", (3, 7), "v")
+        assert cache.get("k", (3, 7)) == "v"
+        assert cache.get("k", (3, 8)) is MISS
+
+    def test_eviction(self):
+        cache = GenerationalCache(maxsize=2)
+        cache.put("a", 0, 1)
+        cache.put("b", 0, 2)
+        cache.put("c", 0, 3)
+        assert cache.get("a", 0) is MISS
+        assert cache.stats.evictions == 1
+
+    def test_pins_keep_objects_alive(self):
+        cache = GenerationalCache()
+
+        class Thing:
+            pass
+
+        thing = Thing()
+        cache.put(id(thing), 0, "v", pins=(thing,))
+        import gc
+        ref_id = id(thing)
+        del thing
+        gc.collect()
+        # The pinned object is still reachable through the cache entry,
+        # so its id cannot have been recycled by another allocation.
+        assert cache.get(ref_id, 0) == "v"
+
+    def test_stats_snapshot(self):
+        cache = GenerationalCache()
+        cache.put("k", 0, "v")
+        cache.get("k", 0)
+        cache.get("missing", 0)
+        snap = cache.stats.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert 0.0 < snap["hit_rate"] < 1.0

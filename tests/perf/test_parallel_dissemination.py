@@ -1,0 +1,86 @@
+"""Parallel packet preparation must be byte-identical to serial.
+
+``Disseminator.package(workers=N)`` reserves nonces serially and runs
+the pure symmetric encryptions on a thread pool; since encryption is
+deterministic given (key, nonce), the packet must not depend on the
+worker count — and every subscriber must decrypt exactly the same view.
+"""
+
+from repro.core.credentials import anyone, has_role
+from repro.core.subjects import Role, Subject
+from repro.crypto.keys import KeyStore
+from repro.xmldb.model import Document, element
+from repro.xmlsec.authorx import XmlPolicyBase, xml_deny, xml_grant
+from repro.xmlsec.dissemination import Disseminator, open_packet
+
+DOCTOR = Subject("dr", roles={Role("doctor")})
+NURSE = Subject("nn", roles={Role("nurse")})
+
+
+def build_document(records=12):
+    return Document(element(
+        "hospital", None, None,
+        *[element("record", None, {"id": f"r{i}"},
+                  element("name", f"name-{i}"),
+                  element("diagnosis", "flu" if i % 2 else "ok"),
+                  element("billing", None, None,
+                          element("amount", str(100 + i))))
+          for i in range(records)]), name="doc")
+
+
+def build_policy_base():
+    base = XmlPolicyBase()
+    base.add(xml_grant(has_role("doctor"), "//record"))
+    base.add(xml_grant(has_role("nurse"), "//record/name"))
+    base.add(xml_grant(anyone(), "/hospital"))
+    base.add(xml_deny(anyone(), "//billing"))
+    base.add(xml_grant(has_role("doctor"), "//billing/amount"))
+    return base
+
+
+class TestParallelPackaging:
+    def test_parallel_packet_identical_to_serial(self):
+        doc = build_document()
+        # One shared policy base: configuration key ids derive from the
+        # policy ids, so each disseminator must see the same policies.
+        base = build_policy_base()
+        serial = Disseminator(base).package("doc", doc)
+        threaded = Disseminator(base).package("doc", doc, workers=4)
+        assert serial.skeleton == threaded.skeleton
+        assert len(serial.blocks) == len(threaded.blocks)
+        for a, b in zip(serial.blocks, threaded.blocks):
+            assert a.key_id == b.key_id
+            assert a.nonce == b.nonce
+            assert a.body == b.body
+            assert a.tag == b.tag
+
+    def test_workers_one_and_none_take_the_serial_path(self):
+        doc = build_document(4)
+        base = build_policy_base()
+        packets = [Disseminator(base).package("doc", doc, workers=w)
+                   for w in (None, 1, 3)]
+        reference = packets[0]
+        for packet in packets[1:]:
+            assert [b.body for b in packet.blocks] == [
+                b.body for b in reference.blocks]
+
+    def test_subscribers_decrypt_same_view_either_way(self):
+        doc = build_document(6)
+        for workers in (None, 4):
+            disseminator = Disseminator(build_policy_base())
+            packet = disseminator.package("doc", doc, workers=workers)
+            for subject in (DOCTOR, NURSE):
+                store = KeyStore()
+                grant = disseminator.distributor(
+                    {subject.identity.name: subject}).grant(
+                        subject.identity.name)
+                for key in grant.keys:
+                    store.import_key(key)
+                view = open_packet(packet, store)
+                assert view is not None
+                tags = sorted({n.tag for n in view.iter()})
+                if subject is DOCTOR:
+                    assert "diagnosis" in tags and "amount" in tags
+                else:
+                    assert "name" in tags
+                    assert "amount" not in tags

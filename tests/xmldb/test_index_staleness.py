@@ -1,0 +1,90 @@
+"""Regression: indexes must not serve stale postings after in-place
+document edits (they previously answered from build-time state)."""
+
+from repro.xmldb.index import PathIndex, QueryCostModel, indexed_select
+from repro.xmldb.model import Document, element
+from repro.xmldb.xpath import select_elements
+
+
+def build_doc():
+    return Document(element(
+        "hospital", None, None,
+        element("record", None, {"id": "r1"},
+                element("diagnosis", "flu")),
+        element("record", None, {"id": "r2"},
+                element("diagnosis", "ok"))), name="h")
+
+
+class TestIndexStaleness:
+    def test_fresh_index_is_not_stale(self):
+        doc = build_doc()
+        index = PathIndex(doc.root)
+        assert not index.stale
+
+    def test_mutations_mark_the_index_stale(self):
+        doc = build_doc()
+        index = PathIndex(doc.root)
+        doc.root.element_children[0].set_attribute("id", "r9")
+        assert index.stale
+        index.refresh()
+        assert not index.stale
+
+    def test_query_after_append_sees_new_element(self):
+        doc = build_doc()
+        index = PathIndex(doc.root)
+        assert len(indexed_select(index, "//record", doc)) == 2
+        doc.root.append(element("record", None, {"id": "r3"},
+                                element("diagnosis", "flu")))
+        got = indexed_select(index, "//record", doc)
+        assert len(got) == 3
+        assert got == select_elements("//record", doc)
+
+    def test_query_after_attribute_edit_sees_new_value(self):
+        doc = build_doc()
+        index = PathIndex(doc.root)
+        assert len(indexed_select(index, "//record[@id='r1']", doc)) == 1
+        doc.root.element_children[0].set_attribute("id", "r9")
+        assert indexed_select(index, "//record[@id='r1']", doc) == []
+        renamed = indexed_select(index, "//record[@id='r9']", doc)
+        assert renamed == select_elements("//record[@id='r9']", doc)
+        assert len(renamed) == 1
+
+    def test_query_after_text_edit_sees_new_text(self):
+        doc = build_doc()
+        index = PathIndex(doc.root)
+        assert len(indexed_select(index, "//record[diagnosis='flu']",
+                                  doc)) == 1
+        doc.root.element_children[1].element_children[0].set_text("flu")
+        got = indexed_select(index, "//record[diagnosis='flu']", doc)
+        assert len(got) == 2
+        assert got == select_elements("//record[diagnosis='flu']", doc)
+
+    def test_query_after_removal_drops_element(self):
+        doc = build_doc()
+        index = PathIndex(doc.root)
+        indexed_select(index, "//record", doc)
+        doc.root.remove(doc.root.element_children[0])
+        got = indexed_select(index, "//record", doc)
+        assert len(got) == 1
+        assert got == select_elements("//record", doc)
+
+    def test_refresh_happens_once_per_mutation_burst(self):
+        doc = build_doc()
+        index = PathIndex(doc.root)
+        builds = index.rebuilds
+        doc.root.append(element("record"))
+        doc.root.append(element("record"))
+        indexed_select(index, "//record", doc)
+        indexed_select(index, "//record", doc)
+        assert index.rebuilds == builds + 1
+
+    def test_cost_model_refreshes_before_estimating(self):
+        doc = build_doc()
+        index = PathIndex(doc.root)
+        model = QueryCostModel(index, doc.size())
+        doc.root.append(element("record"))
+        strategy, cost = model.estimate("//record")
+        assert strategy == "index"
+        assert cost == 3
+        assert model.run("//record", doc) == select_elements("//record",
+                                                             doc)
