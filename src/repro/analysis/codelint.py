@@ -8,6 +8,15 @@ error-severity finding):
   lists and ledgers passed as defaults would be shared across calls;
 * ``LINT-BAREEXC`` — no bare ``except:``: enforcement code that
   swallows ``KeyboardInterrupt``/``SystemExit`` can mask denial logic;
+* ``LINT-SWALLOW`` — no silent broad swallows: an ``except Exception:``
+  (or ``BaseException``) handler that neither re-raises nor binds the
+  exception hides every failure class behind one blanket, the classic
+  fail-open hazard in enforcement code.  Catch the typed errors the
+  protected call actually raises, re-raise a typed error, or — where a
+  broad catch genuinely is the contract (evaluating hostile
+  user-supplied predicates) — bind the exception
+  (``except Exception as exc:``) to mark the swallow deliberate and
+  leave an auditable handle;
 * ``LINT-HASH`` — no builtin ``hash()`` outside ``__hash__`` methods:
   Python salts string hashes per process (PYTHONHASHSEED), so deriving
   key seeds or policy identities from ``hash()`` is nondeterministic
@@ -41,6 +50,11 @@ REGISTRY.register(
     "LINT-BAREEXC", Severity.ERROR, "lint",
     "bare except clause",
     "enforcement code must not swallow exits while failing closed")
+REGISTRY.register(
+    "LINT-SWALLOW", Severity.ERROR, "lint",
+    "broad exception silently swallowed",
+    "catching Exception without re-raising or binding hides every "
+    "failure class — the fail-open hazard typed errors exist to prevent")
 REGISTRY.register(
     "LINT-HASH", Severity.ERROR, "lint",
     "nondeterministic builtin hash()",
@@ -174,7 +188,26 @@ class _Linter(ast.NodeVisitor):
                 "LINT-BAREEXC", node,
                 "bare except catches SystemExit and KeyboardInterrupt",
                 fix_hint="catch Exception (or something narrower)")
+        elif (self._catches_broad(node.type) and node.name is None
+                and not any(isinstance(child, ast.Raise)
+                            for stmt in node.body
+                            for child in ast.walk(stmt))):
+            self._emit(
+                "LINT-SWALLOW", node,
+                "broad except swallows every failure class without "
+                "re-raising or binding the exception",
+                fix_hint="catch the typed errors the call actually "
+                         "raises, re-raise a typed error, or bind the "
+                         "exception to mark the swallow deliberate")
         self.generic_visit(node)
+
+    @staticmethod
+    def _catches_broad(type_node: ast.expr) -> bool:
+        names = (type_node.elts if isinstance(type_node, ast.Tuple)
+                 else [type_node])
+        return any(isinstance(name, ast.Name)
+                   and name.id in ("Exception", "BaseException")
+                   for name in names)
 
     def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While
                     ) -> None:

@@ -70,8 +70,8 @@ def probe_mask(expression: CredentialExpression,
     for index, subject in enumerate(probes):
         try:
             matched = expression.evaluate(subject)
-        except Exception:  # noqa: BLE001 - hostile predicates stay silent
-            matched = False
+        except Exception as _exc:  # noqa: BLE001 - hostile predicates
+            matched = False  # stay silent; the swallow is the contract
         if matched:
             mask |= 1 << index
     return mask

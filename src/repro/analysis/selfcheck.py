@@ -118,6 +118,13 @@ def check_labels(labels):
         label.strip()
 
 
+def open_record(store, key):
+    try:
+        return store[key]
+    except Exception:
+        return None
+
+
 def label_all(documents):
     out = []
     for doc in documents:
@@ -147,8 +154,8 @@ EXPECTED_RULE_IDS = frozenset({
     "REL-DANGLING", "REL-CYCLE", "REL-ESCALATION",
     "INF-CHANNEL", "INF-REDUNDANT",
     "RDF-REIFY", "RDF-CONTAINER",
-    "LINT-MUTDEF", "LINT-BAREEXC", "LINT-HASH", "LINT-CHECKRET",
-    "LINT-XPATHLOOP",
+    "LINT-MUTDEF", "LINT-BAREEXC", "LINT-SWALLOW", "LINT-HASH",
+    "LINT-CHECKRET", "LINT-XPATHLOOP",
 })
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import random
 
 from repro.bench.harness import ExperimentResult, Timer, register
+from repro.core.errors import TransactionError
 from repro.relational.bidding import (
     Bid,
     ImmediateLockAuction,
@@ -52,8 +53,8 @@ def run() -> ExperimentResult:
             for item in items:
                 try:
                     locked.complete_sale(item)
-                except Exception:
-                    pass
+                except TransactionError:
+                    pass  # unsold items have no sale to complete
 
         open_model = OpenBidAuction()
         for item in items:

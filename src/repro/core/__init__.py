@@ -26,20 +26,30 @@ from repro.core.credentials import (
 from repro.core.errors import (
     AccessDenied,
     AuthenticationError,
+    CallTimeout,
+    CircuitOpen,
     CompletenessError,
     ConfigurationError,
+    CorruptMessage,
+    IncompletePackageError,
     InferenceViolation,
     IntegrityError,
     KeyManagementError,
+    MessageDropped,
     ParseError,
     PolicyConflict,
     PrivacyViolation,
     QueryError,
     RegistryError,
+    ReplicaUnavailable,
     ReproError,
+    RetryExhausted,
     SecurityError,
     ServiceFault,
+    StaleRead,
+    TamperedPackageError,
     TransactionError,
+    TransportError,
 )
 from repro.core.evaluator import (
     ConflictResolution,
@@ -80,17 +90,23 @@ from repro.core.subjects import (
 
 __all__ = [
     "AccessDenied", "Action", "AuditLog", "AuditRecord",
-    "AuthenticationError", "ClassificationMap", "CompletenessError",
-    "ConfigurationError", "ConflictResolution", "Credential",
+    "AuthenticationError", "CallTimeout", "CircuitOpen",
+    "ClassificationMap", "CompletenessError",
+    "ConfigurationError", "ConflictResolution", "CorruptMessage",
+    "Credential",
     "CredentialExpression", "CredentialType", "Decision", "DefaultDecision",
-    "Identity", "InferenceViolation", "IntegrityError",
-    "KeyManagementError", "Label", "Level", "ObjectHierarchy", "PUBLIC",
+    "Identity", "IncompletePackageError", "InferenceViolation",
+    "IntegrityError",
+    "KeyManagementError", "Label", "Level", "MessageDropped",
+    "ObjectHierarchy", "PUBLIC",
     "ParseError", "Policy", "PolicyBase", "PolicyConflict",
     "PolicyEvaluator", "PrivacyViolation", "Propagation",
-    "ProtectionObject", "QueryError", "RegistryError", "ReproError",
+    "ProtectionObject", "QueryError", "RegistryError",
+    "ReplicaUnavailable", "ReproError", "RetryExhausted",
     "ResourcePath", "ResourcePattern", "Role", "RoleHierarchy",
-    "SecurityError", "ServiceFault", "Sign", "Subject",
-    "SubjectDirectory", "TransactionError", "anyone",
+    "SecurityError", "ServiceFault", "Sign", "StaleRead", "Subject",
+    "SubjectDirectory", "TamperedPackageError", "TransactionError",
+    "TransportError", "anyone",
     "attribute_at_least", "attribute_equals", "attribute_in", "can_read",
     "can_write", "deny", "grant", "has_credential", "has_role",
     "is_identity", "issued_by", "nobody",

@@ -98,3 +98,76 @@ class ServiceFault(ReproError):
     def __init__(self, code: str, message: str) -> None:
         self.code = code
         super().__init__(f"[{code}] {message}")
+
+
+# ---------------------------------------------------------------------------
+# Partial-failure branch (repro.faults): every way the unreliable substrate
+# can fail is a *typed* error, so resilient callers can distinguish
+# retryable transport conditions from security verdicts and the chaos
+# suite can assert the fail-closed invariant ("typed error or byte-
+# identical result, never a silent partial answer").
+# ---------------------------------------------------------------------------
+
+
+class TransportError(ReproError):
+    """Base class for retryable substrate failures (lost/late/garbled
+    messages, crashed replicas).  Security errors deliberately do NOT
+    derive from this class: a failed signature check must never be
+    retried into acceptance."""
+
+
+class MessageDropped(TransportError):
+    """A message (or its acknowledgement) was lost in transit."""
+
+
+class CorruptMessage(TransportError):
+    """A message failed its transport frame checksum (bit rot, not an
+    adversary — adversarial tampering is the security layer's domain)."""
+
+
+class CallTimeout(TransportError):
+    """An operation exceeded its deadline on the fault clock.  The
+    caller must discard any late result (fail closed)."""
+
+
+class ReplicaUnavailable(TransportError):
+    """The target endpoint or registry replica is crashed/unreachable."""
+
+
+class StaleRead(TransportError):
+    """A read was served from a lagging replica and its staleness was
+    detected (e.g. a read-your-writes watermark check failed)."""
+
+
+class CircuitOpen(TransportError):
+    """A circuit breaker is open; the call was not attempted."""
+
+
+class RetryExhausted(TransportError):
+    """A retried operation ran out of attempts.
+
+    Attributes
+    ----------
+    attempts:
+        How many attempts were made.
+    last_error:
+        The error raised by the final attempt.
+    """
+
+    def __init__(self, attempts: int, last_error: BaseException) -> None:
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"gave up after {attempts} attempts; last error: "
+            f"{type(last_error).__name__}: {last_error}")
+
+
+class TamperedPackageError(IntegrityError):
+    """A disseminated package failed verification: a block's MAC or
+    manifest digest did not match.  Subscribers raise this instead of
+    ever surfacing corrupted plaintext."""
+
+
+class IncompletePackageError(CompletenessError):
+    """A disseminated package is missing blocks the manifest promises
+    for keys the subscriber holds."""

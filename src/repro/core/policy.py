@@ -125,7 +125,7 @@ class Policy:
             return True
         try:
             return bool(self.condition(payload))
-        except Exception:
+        except Exception as _exc:  # noqa: deliberate broad swallow
             # A content condition that cannot evaluate its payload is
             # conservatively treated as not matching.
             return False

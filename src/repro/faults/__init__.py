@@ -1,0 +1,45 @@
+"""Deterministic fault injection and resilience (`repro.faults`).
+
+The paper's web-service stack assumes an unreliable substrate — SOAP
+messages traverse untrusted intermediaries, UDDI registries federate
+across operator sites, third-party publishers serve subscribers they do
+not control — so the security claims only mean something if they
+survive partial failure.  This package supplies:
+
+* a **fault substrate**: seedable :class:`FaultPlan` schedules of
+  drop/delay/duplicate/reorder/corrupt/crash/stale events keyed by
+  operation count, a :class:`FaultClock` so nothing depends on wall
+  time, and a :class:`FaultInjector` the injection points share;
+* a **resilience toolkit**: :func:`retry_with_backoff` (seed-jittered,
+  capped), :func:`call_with_timeout`, :class:`CircuitBreaker` and the
+  :class:`IdempotencyLedger` for exactly-once registry writes.
+
+Injection points live in :mod:`repro.wsa.transport` (message bus),
+:mod:`repro.uddi.resilient` (registry replicas) and
+:mod:`repro.xmlsec.dissemination` (publisher-to-subscriber channel).
+The system-wide invariant, enforced by ``tests/faults/``: under any
+bounded fault plan every wired client path either completes with
+byte-identical results to its fault-free run or raises a typed error —
+it never silently serves an unverifiable or partial answer.
+"""
+
+from repro.faults.clock import Deadline, FaultClock
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, merge_plans
+from repro.faults.resilience import (
+    CircuitBreaker,
+    IdempotencyLedger,
+    RetryPolicy,
+    RetryTelemetry,
+    call_with_timeout,
+    idempotency_key,
+    retry_with_backoff,
+)
+
+__all__ = [
+    "CircuitBreaker", "Deadline", "FaultClock", "FaultEvent",
+    "FaultInjector", "FaultKind", "FaultPlan", "FaultStats",
+    "IdempotencyLedger", "RetryPolicy", "RetryTelemetry",
+    "call_with_timeout", "idempotency_key", "merge_plans",
+    "retry_with_backoff",
+]

@@ -1,0 +1,54 @@
+"""A logical clock for deterministic fault experiments.
+
+Every timing-sensitive mechanism in the resilience toolkit — delay
+faults, per-call timeouts, retry backoff, circuit-breaker cool-down —
+reads this clock instead of wall time.  Time only moves when something
+*charges* it (a delay fault, a backoff sleep), so a chaos run with the
+same seed produces the same interleaving on any machine, at any load.
+Ticks are abstract units; the benchmarks report them as "latency" only
+relative to each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+
+class FaultClock:
+    """Monotonic logical time, advanced explicitly."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = start
+
+    def now(self) -> int:
+        return self._now
+
+    def advance(self, ticks: int) -> int:
+        """Move time forward (never backward) and return the new now."""
+        if ticks < 0:
+            raise ConfigurationError(f"cannot advance by {ticks} ticks")
+        self._now += ticks
+        return self._now
+
+    # ``sleep`` is the name resilience code uses: a backoff "sleep" on a
+    # logical clock is just an advance that the timeout accounting sees.
+    sleep = advance
+
+    def deadline(self, ticks: int) -> "Deadline":
+        return Deadline(self, self._now + ticks)
+
+
+@dataclass
+class Deadline:
+    """An absolute point on a :class:`FaultClock`."""
+
+    clock: FaultClock
+    expires_at: int
+
+    def expired(self) -> bool:
+        return self.clock.now() > self.expires_at
+
+    def remaining(self) -> int:
+        return max(0, self.expires_at - self.clock.now())

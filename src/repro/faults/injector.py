@@ -1,0 +1,110 @@
+"""The injector: turns a :class:`FaultPlan` into faults at run time.
+
+Injection points (the message bus, registry replicas, the dissemination
+channel) hold a shared :class:`FaultInjector` and call :meth:`step`
+once per operation; the injector counts operations per site, looks up
+the plan, applies crash windows, and tallies statistics.  Corruption is
+derived from SHA-256 of ``(seed, site, op_index)`` — deterministic, so
+a failing chaos seed replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import sha256_int
+from repro.faults.clock import FaultClock
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+
+@dataclass
+class FaultStats:
+    """What the bench harness reports per run."""
+
+    operations: int = 0
+    injected: dict[str, int] = field(default_factory=dict)
+
+    def count(self, kind: FaultKind) -> None:
+        self.injected[kind.value] = self.injected.get(kind.value, 0) + 1
+
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+
+class FaultInjector:
+    """Per-site operation counting + plan lookup + crash windows."""
+
+    def __init__(self, plan: FaultPlan | None = None,
+                 clock: FaultClock | None = None, seed: int = 0) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.clock = clock if clock is not None else FaultClock()
+        self.seed = seed
+        self.stats = FaultStats()
+        self._op_counts: dict[str, int] = {}
+        self._crashed_for: dict[str, int] = {}
+
+    # -- the per-operation hook -------------------------------------------
+
+    def step(self, site: str) -> tuple[FaultEvent, ...]:
+        """Advance *site*'s operation counter and return its faults.
+
+        A CRASH event opens a downtime window of ``magnitude``
+        operations: this operation and the window both report CRASH, so
+        callers see the replica stay down until the window drains.
+        DELAY events charge the fault clock here, centrally, so every
+        injection point accounts delays identically.
+        """
+        op_index = self._op_counts.get(site, 0)
+        self._op_counts[site] = op_index + 1
+        self.stats.operations += 1
+        events = list(self.plan.events_for(site, op_index))
+
+        remaining = self._crashed_for.get(site, 0)
+        if remaining > 0:
+            self._crashed_for[site] = remaining - 1
+            if not any(e.kind is FaultKind.CRASH for e in events):
+                events.append(FaultEvent(FaultKind.CRASH))
+        for event in events:
+            if event.kind is FaultKind.CRASH and event.magnitude > 1:
+                self._crashed_for[site] = max(
+                    self._crashed_for.get(site, 0), event.magnitude - 1)
+            if event.kind is FaultKind.DELAY:
+                self.clock.advance(event.magnitude)
+            self.stats.count(event.kind)
+        return tuple(events)
+
+    def op_count(self, site: str) -> int:
+        return self._op_counts.get(site, 0)
+
+    # -- deterministic corruption -----------------------------------------
+
+    def corrupt_bytes(self, data: bytes, site: str) -> bytes:
+        """Flip one byte of *data*, chosen by the injector seed and the
+        site's current operation count.  Guaranteed to differ from the
+        input (the XOR mask is never zero)."""
+        if not data:
+            return b"\x00"
+        digest = sha256_int(f"corrupt:{self.seed}:{site}:"
+                            f"{self._op_counts.get(site, 0)}")
+        position = digest % len(data)
+        mask = (digest >> 16) % 255 + 1
+        corrupted = bytearray(data)
+        corrupted[position] ^= mask
+        return bytes(corrupted)
+
+    def corrupt_text(self, text: str, site: str) -> str:
+        """Deterministically alter one character of *text*.
+
+        Works on the character level so the result stays valid UTF-8
+        (registry fields, XML text) while still differing from the
+        input.
+        """
+        digest = sha256_int(f"corrupt:{self.seed}:{site}:"
+                            f"{self._op_counts.get(site, 0)}")
+        if not text:
+            return "\x01"
+        position = digest % len(text)
+        replacement = chr(0x21 + (digest >> 16) % 0x5e)
+        if replacement == text[position]:
+            replacement = chr(((ord(replacement) - 0x20) % 0x5f) + 0x21)
+        return text[:position] + replacement + text[position + 1:]

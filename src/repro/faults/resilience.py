@@ -1,0 +1,202 @@
+"""Resilience toolkit: retry, timeout, circuit breaking, idempotency.
+
+The toolkit is what turns the fault substrate's "either byte-identical
+or typed error" goal into a theorem:
+
+* :func:`retry_with_backoff` — capped exponential backoff with
+  *seed-derived* jitter (``sha256(seed, key, attempt)``, never
+  ``random``), sleeping on the :class:`FaultClock`.  Only
+  :class:`TransportError`\\ s are retried by default; security errors
+  (failed signatures, denied access) must never be retried into
+  acceptance.
+* :func:`call_with_timeout` — a per-call deadline against the fault
+  clock.  Delay faults charge the clock inside the call, so a slow
+  operation trips the deadline deterministically and its late result is
+  discarded (fail closed).
+* :class:`CircuitBreaker` — stops hammering a crashed replica: after
+  ``failure_threshold`` consecutive retryable failures the circuit
+  opens for ``reset_ticks``, then half-opens to probe.
+* :class:`IdempotencyLedger` — server-side write dedup.  A retried
+  write whose first attempt *did* apply (the ack was what got lost)
+  must not apply twice; the ledger replays the recorded outcome
+  instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.core.errors import (
+    CallTimeout,
+    CircuitOpen,
+    ConfigurationError,
+    RetryExhausted,
+    TransportError,
+)
+from repro.crypto.hashing import sha256_int
+from repro.faults.clock import FaultClock
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter."""
+
+    max_attempts: int = 6
+    base_delay: int = 1
+    multiplier: int = 2
+    max_delay: int = 16
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+
+    def delay_before(self, attempt: int, key: str = "") -> int:
+        """Backoff before retry number *attempt* (1-based): capped
+        exponential plus jitter in ``[0, delay]`` derived from the seed
+        — two clients with different keys desynchronize, but the same
+        (seed, key, attempt) always jitters identically."""
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1),
+                    self.max_delay)
+        jitter = sha256_int(
+            f"jitter:{self.jitter_seed}:{key}:{attempt}") % (delay + 1)
+        return delay + jitter
+
+
+@dataclass
+class RetryTelemetry:
+    """Filled in by :func:`retry_with_backoff`; read by the benchmarks."""
+
+    attempts: int = 0
+    backoff_ticks: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+def retry_with_backoff(operation: Callable[[], T], policy: RetryPolicy,
+                       clock: FaultClock, key: str = "",
+                       retry_on: tuple[type[BaseException], ...]
+                       = (TransportError,),
+                       telemetry: RetryTelemetry | None = None) -> T:
+    """Run *operation* until it succeeds or attempts are exhausted.
+
+    Non-retryable errors propagate immediately; retryable ones are
+    swallowed until the attempt budget runs out, at which point a
+    :class:`RetryExhausted` wrapping the last error is raised — the
+    caller always ends in "result" or "typed error", never limbo.
+    """
+    last_error: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        if telemetry is not None:
+            telemetry.attempts = attempt
+        try:
+            return operation()
+        except retry_on as exc:
+            last_error = exc
+            if telemetry is not None:
+                telemetry.errors.append(f"{type(exc).__name__}: {exc}")
+            if attempt == policy.max_attempts:
+                break
+            pause = policy.delay_before(attempt, key)
+            clock.sleep(pause)
+            if telemetry is not None:
+                telemetry.backoff_ticks += pause
+    assert last_error is not None
+    raise RetryExhausted(policy.max_attempts, last_error)
+
+
+def call_with_timeout(operation: Callable[[], T], clock: FaultClock,
+                      timeout_ticks: int, what: str = "call") -> T:
+    """Run *operation* under a deadline on the fault clock.
+
+    The substrate is synchronous, so the deadline is checked when the
+    call returns: if delay faults charged more than *timeout_ticks*
+    during it, the (already computed) result is discarded and
+    :class:`CallTimeout` raised — modelling a caller that stopped
+    waiting, which is exactly when a late answer must not be used.
+    """
+    deadline = clock.deadline(timeout_ticks)
+    result = operation()
+    if deadline.expired():
+        raise CallTimeout(
+            f"{what} exceeded {timeout_ticks} ticks "
+            f"(overran by {clock.now() - deadline.expires_at})")
+    return result
+
+
+class CircuitBreaker:
+    """CLOSED -> OPEN after N consecutive failures -> HALF_OPEN probe."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, clock: FaultClock, failure_threshold: int = 3,
+                 reset_ticks: int = 8) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_ticks = reset_ticks
+        self._failures = 0
+        self._opened_at: int | None = None
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return self.CLOSED
+        if self.clock.now() - self._opened_at >= self.reset_ticks:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def call(self, operation: Callable[[], T]) -> T:
+        state = self.state
+        if state == self.OPEN:
+            raise CircuitOpen(
+                f"circuit open for another "
+                f"{self._opened_at + self.reset_ticks - self.clock.now()} "
+                f"ticks")
+        try:
+            result = operation()
+        except TransportError:
+            self._record_failure(half_open=state == self.HALF_OPEN)
+            raise
+        self._failures = 0
+        self._opened_at = None
+        return result
+
+    def _record_failure(self, half_open: bool) -> None:
+        self._failures += 1
+        if half_open or self._failures >= self.failure_threshold:
+            self._opened_at = self.clock.now()
+            self.trips += 1
+            self._failures = 0
+
+
+class IdempotencyLedger:
+    """Remembers write outcomes by idempotency key (server side)."""
+
+    def __init__(self) -> None:
+        self._outcomes: dict[str, object] = {}
+        self.replays = 0
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._outcomes
+
+    def apply(self, key: str, operation: Callable[[], T]) -> T:
+        """Run *operation* once per key; replay its outcome afterwards."""
+        if key in self._outcomes:
+            self.replays += 1
+            return self._outcomes[key]  # type: ignore[return-value]
+        result = operation()
+        self._outcomes[key] = result
+        return result
+
+
+def idempotency_key(*parts: str) -> str:
+    """Stable key for a write, from its semantically identifying parts."""
+    return "idem:" + format(
+        sha256_int("\x1f".join(parts)) % (1 << 64), "016x")

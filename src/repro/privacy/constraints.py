@@ -60,8 +60,10 @@ class PrivacyConstraint:
             return True
         try:
             return bool(self.condition(row))
-        except Exception:
-            return True  # fail closed: a broken condition still protects
+        except Exception as _exc:  # noqa: deliberate broad swallow —
+            # conditions are arbitrary user code; a broken one must
+            # fail closed and keep protecting the row.
+            return True
 
     def __repr__(self) -> str:
         label = self.name or f"{self.table}.{self.column}"

@@ -15,10 +15,13 @@ from repro.pubsub.publisher import (
     Publisher,
     VerifiableAnswer,
 )
+from repro.pubsub.resilient import FaultyAnswerChannel, fetch_verified
 from repro.pubsub.subject import SubjectVerifier, VerificationReport
 
 __all__ = [
-    "MaliciousPublisher", "Owner", "PolicyMap", "Publisher",
+    "FaultyAnswerChannel", "MaliciousPublisher", "Owner", "PolicyMap",
+    "Publisher",
     "SubjectVerifier", "SubscriptionTicket", "SummarySignature",
     "VerifiableAnswer", "VerificationReport", "credential_digest",
+    "fetch_verified",
 ]

@@ -1,0 +1,112 @@
+"""Verified document fetch under an unreliable publisher link.
+
+The third-party publishing protocol already makes answers *checkable*
+(:class:`~repro.pubsub.subject.SubjectVerifier`); this module makes the
+client path *resilient*: a :class:`FaultyAnswerChannel` damages answers
+in flight per a seeded fault plan, and :func:`fetch_verified` wraps
+request + verification in retry-with-backoff.  The fail-closed
+contract: the caller gets a fully verified
+:class:`~repro.pubsub.publisher.VerifiableAnswer` or a typed error —
+an answer that fails authenticity or completeness checks is *retried*
+(a fresh delivery may be clean) and, when the budget runs out, the
+failure surfaces as :class:`RetryExhausted`; it is never returned.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import (
+    AuthenticationError,
+    CompletenessError,
+    IntegrityError,
+    MessageDropped,
+    ReplicaUnavailable,
+    TransportError,
+)
+from repro.faults.clock import FaultClock
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
+from repro.faults.resilience import (
+    RetryPolicy,
+    RetryTelemetry,
+    retry_with_backoff,
+)
+from repro.core.subjects import Subject
+from repro.merkle.xml_merkle import is_pruned_marker
+from repro.pubsub.publisher import Publisher, VerifiableAnswer
+from repro.pubsub.subject import SubjectVerifier
+
+
+class FaultyAnswerChannel:
+    """The subject-to-publisher link, with scheduled faults.
+
+    Whole-answer faults (drop, crash) raise transport errors; CORRUPT
+    rots the text of one view element — precisely the damage the
+    Merkle summary-signature check must catch.  Omission faults
+    (REORDER is reused as "a fragment got separated from the answer")
+    remove one authorized element, which the completeness check must
+    catch.
+    """
+
+    def __init__(self, faults: FaultInjector, name: str = "answers") -> None:
+        self.faults = faults
+        self.site = f"pubsub:{name}"
+
+    def deliver(self, answer: VerifiableAnswer) -> VerifiableAnswer:
+        events = self.faults.step(self.site)
+        if not events:
+            return answer
+        view = answer.view
+        for event in events:
+            if event.kind is FaultKind.CRASH:
+                raise ReplicaUnavailable("the publisher is down")
+            if event.kind in (FaultKind.DROP, FaultKind.STALE_READ):
+                raise MessageDropped(
+                    f"answer for {answer.doc_id!r} lost in transit")
+            if event.kind is FaultKind.CORRUPT and view is not None:
+                view = view.deep_copy()
+                for node in view.root.iter():
+                    if node.text and not is_pruned_marker(node):
+                        node.set_text(self.faults.corrupt_text(
+                            node.text, self.site))
+                        break
+            if event.kind is FaultKind.REORDER and view is not None:
+                view = view.deep_copy()
+                visible = [c for c in view.root.element_children
+                           if not is_pruned_marker(c)]
+                if visible:
+                    view.root.remove(visible[-1])
+        if view is answer.view:
+            return answer
+        return VerifiableAnswer(answer.doc_id, view, answer.fillers,
+                                answer.summary, answer.policy_map)
+
+
+def fetch_verified(publisher: Publisher, verifier: SubjectVerifier,
+                   subject: Subject, doc_id: str,
+                   channel: FaultyAnswerChannel | None = None,
+                   policy: RetryPolicy | None = None,
+                   clock: FaultClock | None = None,
+                   telemetry: RetryTelemetry | None = None
+                   ) -> VerifiableAnswer:
+    """The wired pub/sub client path: request, verify, retry, fail closed."""
+    policy = policy if policy is not None else RetryPolicy()
+    if clock is not None:
+        pass
+    elif channel is not None:
+        clock = channel.faults.clock
+    else:
+        clock = FaultClock()
+
+    def attempt() -> VerifiableAnswer:
+        answer = publisher.request(subject, doc_id)
+        if channel is not None:
+            answer = channel.deliver(answer)
+        verifier.check_authenticity(answer)
+        verifier.check_completeness(answer)
+        return answer
+
+    return retry_with_backoff(
+        attempt, policy, clock, key=f"pubsub:{doc_id}",
+        retry_on=(TransportError, AuthenticationError,
+                  IntegrityError, CompletenessError),
+        telemetry=telemetry)

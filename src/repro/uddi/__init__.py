@@ -23,6 +23,11 @@ from repro.uddi.registry import (
     ServiceOverview,
     UddiRegistry,
 )
+from repro.uddi.resilient import (
+    FaultyRegistry,
+    FederatedRegistry,
+    ResilientUddiClient,
+)
 from repro.uddi.secure import (
     AccessControlledRegistry,
     AuthenticatedAnswer,
@@ -41,7 +46,9 @@ __all__ = [
     "AuthenticatedRegistry", "BindingTemplate", "BusinessEntity",
     "BusinessOverview", "BusinessService", "DeploymentStats",
     "EncryptedEntry", "EncryptedRegistry", "EntrySignature",
-    "PublisherAssertion", "ServiceOverview", "TModel",
+    "FaultyRegistry", "FederatedRegistry",
+    "PublisherAssertion", "ResilientUddiClient", "ServiceOverview",
+    "TModel",
     "ThirdPartyDeployment", "TwoPartyDeployment", "UddiRegistry",
     "fresh_key", "make_business", "make_service", "sign_entry",
     "sign_entry_elements", "verify_authenticated_answer",

@@ -18,6 +18,8 @@ from fnmatch import fnmatchcase
 from typing import Iterator
 
 from repro.core.errors import RegistryError
+from repro.crypto.hashing import combine, sha256_hex
+from repro.faults.resilience import IdempotencyLedger
 from repro.uddi.model import (
     BindingTemplate,
     BusinessEntity,
@@ -57,23 +59,34 @@ class UddiRegistry:
         self._owners: dict[str, str] = {}
         self._tmodels: dict[str, TModel] = {}
         self._assertions: list[PublisherAssertion] = []
+        self._write_ledger = IdempotencyLedger()
         self.inquiry_count = 0
         self.publish_count = 0
 
     # -- publisher API ------------------------------------------------------
 
-    def save_business(self, entity: BusinessEntity,
-                      publisher: str) -> BusinessEntity:
-        """Insert or update a business entity, enforcing ownership."""
-        existing_owner = self._owners.get(entity.business_key)
-        if existing_owner is not None and existing_owner != publisher:
-            raise RegistryError(
-                f"business {entity.business_key!r} belongs to "
-                f"{existing_owner!r}, not {publisher!r}")
-        self._businesses[entity.business_key] = entity
-        self._owners[entity.business_key] = publisher
-        self.publish_count += 1
-        return entity
+    def save_business(self, entity: BusinessEntity, publisher: str,
+                      idempotency_key: str | None = None) -> BusinessEntity:
+        """Insert or update a business entity, enforcing ownership.
+
+        With an *idempotency_key*, a retried save whose first attempt
+        already applied (the acknowledgement was what got lost) replays
+        the recorded outcome instead of applying — and counting — twice.
+        """
+        def apply() -> BusinessEntity:
+            existing_owner = self._owners.get(entity.business_key)
+            if existing_owner is not None and existing_owner != publisher:
+                raise RegistryError(
+                    f"business {entity.business_key!r} belongs to "
+                    f"{existing_owner!r}, not {publisher!r}")
+            self._businesses[entity.business_key] = entity
+            self._owners[entity.business_key] = publisher
+            self.publish_count += 1
+            return entity
+
+        if idempotency_key is None:
+            return apply()
+        return self._write_ledger.apply(idempotency_key, apply)
 
     def delete_business(self, business_key: str, publisher: str) -> None:
         owner = self._owners.get(business_key)
@@ -88,20 +101,38 @@ class UddiRegistry:
             a for a in self._assertions
             if business_key not in (a.from_key, a.to_key)]
 
-    def save_tmodel(self, tmodel: TModel, publisher: str) -> TModel:
-        self._tmodels[tmodel.tmodel_key] = tmodel
-        self.publish_count += 1
-        return tmodel
+    def save_tmodel(self, tmodel: TModel, publisher: str,
+                    idempotency_key: str | None = None) -> TModel:
+        def apply() -> TModel:
+            self._tmodels[tmodel.tmodel_key] = tmodel
+            self.publish_count += 1
+            return tmodel
+
+        if idempotency_key is None:
+            return apply()
+        return self._write_ledger.apply(idempotency_key, apply)
 
     def add_assertion(self, assertion: PublisherAssertion,
-                      publisher: str) -> None:
+                      publisher: str,
+                      idempotency_key: str | None = None) -> None:
         """Record one side of a relationship assertion."""
-        owner_side = self._owners.get(assertion.from_key)
-        if owner_side != publisher:
-            raise RegistryError(
-                "assertions must be filed by the owner of their fromKey")
-        self._assertions.append(assertion)
-        self.publish_count += 1
+        def apply() -> None:
+            owner_side = self._owners.get(assertion.from_key)
+            if owner_side != publisher:
+                raise RegistryError(
+                    "assertions must be filed by the owner of their fromKey")
+            self._assertions.append(assertion)
+            self.publish_count += 1
+
+        if idempotency_key is None:
+            apply()
+        else:
+            self._write_ledger.apply(idempotency_key, apply)
+
+    def has_applied(self, idempotency_key: str) -> bool:
+        """True if a write under *idempotency_key* already applied —
+        a retry carrying this key will replay, not re-apply."""
+        return idempotency_key in self._write_ledger
 
     def owner_of(self, business_key: str) -> str:
         try:
@@ -191,6 +222,28 @@ class UddiRegistry:
             elif to_key == business_key:
                 related.add(from_key)
         return sorted(related)
+
+    # -- state fingerprinting ---------------------------------------------------
+
+    def state_digest(self) -> str:
+        """One digest over the registry's entire observable state.
+
+        The convergence oracle of the chaos suite: a retried run under
+        faults and the fault-free run must end with equal digests.
+        Deliberately excludes the operation counters — *how many tries*
+        it took is allowed to differ; *what the registry says* is not.
+        """
+        parts: list[str] = []
+        for key in sorted(self._businesses):
+            entity = self._businesses[key]
+            parts.append(f"biz:{key}:{self._owners.get(key, '')}:"
+                         f"{sha256_hex(repr(entity))}")
+        for key in sorted(self._tmodels):
+            parts.append(f"tmodel:{key}:"
+                         f"{sha256_hex(repr(self._tmodels[key]))}")
+        for assertion in sorted(self._assertions, key=repr):
+            parts.append(f"assert:{sha256_hex(repr(assertion))}")
+        return combine(*parts) if parts else sha256_hex("empty-registry")
 
     # -- enumeration -----------------------------------------------------------
 

@@ -1,0 +1,292 @@
+"""Federated UDDI under partial failure (§2.2, §4.1 + ``repro.faults``).
+
+UDDI registries federate across operator sites, so a client talks to
+*replicas* that can crash, lose acknowledgements, apply a write twice,
+or serve reads from a lagging snapshot.  This module models exactly
+that and builds the resilient client path on top:
+
+* :class:`FaultyRegistry` — one replica: a :class:`UddiRegistry` behind
+  a fault gate.  Crash windows, lost requests, lost *acks* (the write
+  applies, the confirmation doesn't — the case idempotency keys exist
+  for), duplicate application, deferred (reordered) writes and
+  stale-snapshot reads, all scheduled by the replica's fault site
+  ``registry:<name>``.  Reads come back with the replica's write
+  version so clients can detect staleness (read-your-writes watermark).
+* :class:`FederatedRegistry` — fans writes out to every replica and
+  reads from the first replica that answers.
+* :class:`ResilientUddiClient` — retry-with-backoff around both, with
+  per-write idempotency keys and the watermark check.  Under any
+  bounded fault plan the client either converges every replica to the
+  fault-free registry state (equal :meth:`UddiRegistry.state_digest`)
+  or raises a typed :class:`TransportError` subclass.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, TypeVar
+
+from repro.core.errors import (
+    CorruptMessage,
+    MessageDropped,
+    RegistryError,
+    ReplicaUnavailable,
+    StaleRead,
+    TransportError,
+)
+from repro.faults.clock import FaultClock
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
+from repro.faults.resilience import (
+    RetryPolicy,
+    RetryTelemetry,
+    idempotency_key,
+    retry_with_backoff,
+)
+from repro.uddi.model import BusinessEntity, TModel
+from repro.uddi.registry import UddiRegistry
+
+T = TypeVar("T")
+
+
+class FaultyRegistry:
+    """One registry replica behind a fault gate."""
+
+    def __init__(self, registry: UddiRegistry,
+                 faults: FaultInjector | None = None) -> None:
+        self.registry = registry
+        self.faults = faults
+        self.site = f"registry:{registry.name}"
+        #: Monotonic write counter — the client's staleness watermark.
+        self.write_version = 0
+        self._snapshot: UddiRegistry | None = None
+        self._snapshot_version = 0
+        self._deferred_writes: list[Callable[[], object]] = []
+
+    # -- fault gate --------------------------------------------------------
+
+    def _gate(self, is_write: bool) -> dict[str, bool]:
+        """Consult the injector; raise for faults that kill the call.
+
+        Returns flags for the faults the caller must apply itself
+        (stale reads, duplicate/deferred/ack-lost writes).
+        """
+        flags = {"stale": False, "duplicate": False, "defer": False,
+                 "ack_lost": False}
+        if self.faults is None:
+            self._flush_deferred()
+            return flags
+        events = self.faults.step(self.site)
+        for event in events:
+            if event.kind is FaultKind.CRASH:
+                raise ReplicaUnavailable(
+                    f"replica {self.registry.name!r} is down")
+            if event.kind is FaultKind.CORRUPT:
+                # In-flight bit rot; the frame checksum catches it, so
+                # the caller sees a detected, retryable error — never
+                # garbled registry data (fail closed).
+                raise CorruptMessage(
+                    f"response from {self.registry.name!r} failed its "
+                    f"frame checksum")
+            if event.kind is FaultKind.DROP:
+                if is_write:
+                    flags["ack_lost"] = True  # applies, ack lost below
+                else:
+                    raise MessageDropped(
+                        f"inquiry to {self.registry.name!r} lost")
+            if event.kind is FaultKind.REORDER:
+                if is_write:
+                    flags["defer"] = True
+                else:
+                    raise MessageDropped(
+                        f"reply from {self.registry.name!r} overtaken")
+            if event.kind is FaultKind.STALE_READ and not is_write:
+                flags["stale"] = True
+            if event.kind is FaultKind.DUPLICATE and is_write:
+                flags["duplicate"] = True
+        self._flush_deferred()
+        return flags
+
+    def _flush_deferred(self) -> None:
+        pending, self._deferred_writes = self._deferred_writes, []
+        for write in pending:
+            write()
+
+    # -- reads -------------------------------------------------------------
+
+    def inquiry(self, method: str, *args) -> tuple[object, int]:
+        """Run a ``get_xxx``/``find_xxx`` inquiry.
+
+        Returns ``(value, write_version)``; a stale read serves both
+        from the lagging snapshot, so the version honestly reveals the
+        lag to watermark-checking clients.
+        """
+        flags = self._gate(is_write=False)
+        if flags["stale"] and self._snapshot is not None:
+            try:
+                value = getattr(self._snapshot, method)(*args)
+            except RegistryError as exc:
+                # The snapshot predates a write the live registry has;
+                # a "not found" from it is a stale answer, not a fact.
+                raise StaleRead(
+                    f"{method} served from snapshot at version "
+                    f"{self._snapshot_version} (replica is at "
+                    f"{self.write_version}): {exc}") from exc
+            return value, self._snapshot_version
+        return getattr(self.registry, method)(*args), self.write_version
+
+    # -- writes ------------------------------------------------------------
+
+    def publish(self, method: str, *args, key: str | None = None) -> object:
+        """Run a publisher-API write with fault semantics applied."""
+        flags = self._gate(is_write=True)
+
+        def apply() -> object:
+            # A replayed retry (key already in the ledger) changes no
+            # state, so it must not advance the version either —
+            # replicas that converged to the same writes must agree on
+            # their version, or the client watermark would flag honest
+            # reads from the replica whose counter ran behind.
+            replay = key is not None and self.registry.has_applied(key)
+            if not replay:
+                self._snapshot = copy.deepcopy(self.registry)
+                self._snapshot_version = self.write_version
+            result = getattr(self.registry, method)(
+                *args, idempotency_key=key)
+            if not replay:
+                self.write_version += 1
+            if flags["duplicate"]:
+                # At-least-once application: without the idempotency
+                # key this would double-apply (and double-count).
+                getattr(self.registry, method)(*args, idempotency_key=key)
+            return result
+
+        if flags["defer"]:
+            self._deferred_writes.append(apply)
+            raise MessageDropped(
+                f"write to {self.registry.name!r} overtaken in transit")
+        result = apply()
+        if flags["ack_lost"]:
+            raise MessageDropped(
+                f"acknowledgement from {self.registry.name!r} lost "
+                f"(the write DID apply)")
+        return result
+
+
+class FederatedRegistry:
+    """A federation of replicas: write-all, read-first-available."""
+
+    def __init__(self, replicas: list[FaultyRegistry]) -> None:
+        if not replicas:
+            raise RegistryError("a federation needs at least one replica")
+        self.replicas = replicas
+
+    def publish(self, method: str, *args, key: str | None = None) -> object:
+        """Apply the write on every replica; any failure is reported
+        after the remaining replicas were still attempted, so a retry
+        (same idempotency key) completes the stragglers without
+        double-applying on the ones that succeeded."""
+        result: object = None
+        first_error: TransportError | None = None
+        for replica in self.replicas:
+            try:
+                result = replica.publish(method, *args, key=key)
+            except TransportError as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return result
+
+    def inquiry(self, method: str, *args) -> tuple[object, int]:
+        """Read from the first replica that answers."""
+        last_error: TransportError | None = None
+        for replica in self.replicas:
+            try:
+                return replica.inquiry(method, *args)
+            except TransportError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+
+class ResilientUddiClient:
+    """Retrying client over a federation; the wired UDDI path."""
+
+    def __init__(self, federation: FederatedRegistry,
+                 policy: RetryPolicy | None = None,
+                 clock: FaultClock | None = None) -> None:
+        self.federation = federation
+        self.policy = policy if policy is not None else RetryPolicy()
+        if clock is not None:
+            self.clock = clock
+        else:
+            injectors = [r.faults for r in federation.replicas
+                         if r.faults is not None]
+            self.clock = injectors[0].clock if injectors else FaultClock()
+        self.telemetry = RetryTelemetry()
+        #: Accumulated across every call (``telemetry`` resets per call).
+        self.total_attempts = 0
+        self.total_backoff_ticks = 0
+        self._watermark = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _retry(self, operation: Callable[[], T], key: str) -> T:
+        self.telemetry = RetryTelemetry()
+        try:
+            return retry_with_backoff(operation, self.policy, self.clock,
+                                      key=key, telemetry=self.telemetry)
+        finally:
+            self.total_attempts += self.telemetry.attempts
+            self.total_backoff_ticks += self.telemetry.backoff_ticks
+
+    def _read(self, method: str, *args) -> object:
+        def attempt() -> object:
+            value, version = self.federation.inquiry(method, *args)
+            if version < self._watermark:
+                raise StaleRead(
+                    f"{method} answered at version {version}, but this "
+                    f"client already wrote version {self._watermark}")
+            return value
+
+        return self._retry(attempt, key=f"read:{method}:{args!r}")
+
+    def _write(self, method: str, *args, key_parts: tuple[str, ...]) -> object:
+        key = idempotency_key(method, *key_parts)
+
+        def attempt() -> object:
+            result = self.federation.publish(method, *args, key=key)
+            self._watermark = max(
+                r.write_version for r in self.federation.replicas)
+            return result
+
+        return self._retry(attempt, key=f"write:{key}")
+
+    # -- publisher API ------------------------------------------------------
+
+    def save_business(self, entity: BusinessEntity,
+                      publisher: str) -> BusinessEntity:
+        return self._write(
+            "save_business", entity, publisher,
+            key_parts=(publisher, entity.business_key, repr(entity)))
+
+    def save_tmodel(self, tmodel: TModel, publisher: str) -> TModel:
+        return self._write(
+            "save_tmodel", tmodel, publisher,
+            key_parts=(publisher, tmodel.tmodel_key, repr(tmodel)))
+
+    # -- inquiry API --------------------------------------------------------
+
+    def get_business_detail(self, business_key: str) -> BusinessEntity:
+        return self._read("get_business_detail", business_key)
+
+    def get_service_detail(self, service_key: str):
+        return self._read("get_service_detail", service_key)
+
+    def find_business(self, name_pattern: str = "*"):
+        return self._read("find_business", name_pattern)
+
+    def find_service(self, name_pattern: str = "*",
+                     category: str | None = None):
+        return self._read("find_service", name_pattern, category)

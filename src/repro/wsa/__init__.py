@@ -30,16 +30,27 @@ from repro.wsa.soap import (
     SoapFault,
     fresh_message_id,
 )
-from repro.wsa.transport import BusStats, MessageBus
+from repro.wsa.reliable import ReliableChannel
+from repro.wsa.transport import (
+    CHECKSUM_HEADER,
+    BusStats,
+    MessageBus,
+    frame_checksum,
+    stamp_checksum,
+    verify_checksum,
+)
 from repro.wsa.wsdl import Operation, ServiceDescription, describe
 
 __all__ = [
-    "BusStats", "DiscoveryAgencyActor", "ENCRYPTED_PREFIX",
+    "BusStats", "CHECKSUM_HEADER", "DiscoveryAgencyActor",
+    "ENCRYPTED_PREFIX",
     "FAULT_ACCESS_DENIED", "FAULT_BAD_SIGNATURE", "FAULT_PRIVACY",
     "FAULT_REPLAY", "FAULT_UNKNOWN_OPERATION", "MessageBus", "Operation",
-    "ReplayGuard", "SIGNATURE_HEADER", "SIGNER_HEADER",
+    "ReliableChannel", "ReplayGuard", "SIGNATURE_HEADER", "SIGNER_HEADER",
     "ServiceDescription", "ServiceProvider", "ServiceRequestor",
     "SoapEnvelope", "SoapFault", "decrypt_parameters", "describe",
-    "encrypt_parameters", "fresh_message_id", "is_encrypted",
-    "sign_envelope", "verify_envelope",
+    "encrypt_parameters", "frame_checksum", "fresh_message_id",
+    "is_encrypted",
+    "sign_envelope", "stamp_checksum", "verify_checksum",
+    "verify_envelope",
 ]

@@ -6,6 +6,21 @@ network attacker (eavesdrop, modify, replay) so the tests and benchmark
 E13 can show which message-security mechanism defeats which attack —
 the "one cannot just have secure TCP/IP built on untrusted communication
 layers" point of §5.
+
+Orthogonally to the attacker, an optional :class:`FaultInjector`
+models the *unreliable* network (``repro.faults``): per-delivery
+drop/delay/duplicate/reorder/corrupt/crash faults, all scheduled by a
+seeded plan.  Faults surface as typed :class:`TransportError`\\ s or as
+frame-checksum failures; the attacker is adversarial and silent, faults
+are accidental and loud — the distinction §5 draws between security and
+reliability layers.
+
+The bus stamps every reply with a frame checksum and verifies the
+checksum on any message that carries one (requests stamped by
+:class:`ReliableChannel`), so accidental corruption is detected at the
+transport layer like a TCP/UDP checksum — while interceptor tampering
+deliberately bypasses the check, because defeating an *adversary* is
+the job of WS-Security signatures, not checksums.
 """
 
 from __future__ import annotations
@@ -14,11 +29,38 @@ import copy
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.errors import ServiceFault
+from repro.core.errors import (
+    CorruptMessage,
+    MessageDropped,
+    ReplicaUnavailable,
+    ServiceFault,
+)
+from repro.crypto.hashing import sha256_hex
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
 from repro.wsa.soap import SoapEnvelope
 
 Handler = Callable[[SoapEnvelope], SoapEnvelope]
 Interceptor = Callable[[SoapEnvelope], SoapEnvelope | None]
+
+#: Header carrying the transport frame checksum.
+CHECKSUM_HEADER = "FrameChecksum"
+
+
+def frame_checksum(envelope: SoapEnvelope) -> str:
+    """Checksum over the canonical body (headers may change in transit)."""
+    return sha256_hex("frame:" + envelope.body_canonical())
+
+
+def stamp_checksum(envelope: SoapEnvelope) -> SoapEnvelope:
+    envelope.headers[CHECKSUM_HEADER] = frame_checksum(envelope)
+    return envelope
+
+
+def verify_checksum(envelope: SoapEnvelope) -> bool:
+    """True when the frame checksum is present and matches."""
+    stamped = envelope.headers.get(CHECKSUM_HEADER)
+    return stamped is not None and stamped == frame_checksum(envelope)
 
 
 @dataclass
@@ -27,16 +69,23 @@ class BusStats:
     delivered: int = 0
     intercepted: int = 0
     faults: int = 0
+    dropped: int = 0
+    corrupted: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    crashed: int = 0
 
 
 class MessageBus:
     """Routes envelopes between registered endpoints."""
 
-    def __init__(self) -> None:
+    def __init__(self, faults: FaultInjector | None = None) -> None:
         self._endpoints: dict[str, Handler] = {}
         self._interceptor: Interceptor | None = None
+        self.faults = faults
         self.stats = BusStats()
         self.transcript: list[SoapEnvelope] = []
+        self._deferred: dict[str, list[SoapEnvelope]] = {}
 
     def register(self, name: str, handler: Handler) -> None:
         self._endpoints[name] = handler
@@ -44,6 +93,60 @@ class MessageBus:
     def set_interceptor(self, interceptor: Interceptor | None) -> None:
         """Install (or clear) a network attacker."""
         self._interceptor = interceptor
+
+    def _fault_site(self, receiver: str) -> str:
+        return f"transport:{receiver}"
+
+    def _apply_faults(self, envelope: SoapEnvelope
+                      ) -> tuple[SoapEnvelope, bool]:
+        """Consult the injector for this delivery.
+
+        Returns the (possibly corrupted) envelope and whether delivery
+        should happen twice.  Raises the typed error for drop/crash/
+        reorder faults.  DELAY is charged to the fault clock inside
+        :meth:`FaultInjector.step`.
+        """
+        site = self._fault_site(envelope.receiver)
+        duplicate = False
+        for event in self.faults.step(site):
+            if event.kind is FaultKind.DROP:
+                self.stats.dropped += 1
+                raise MessageDropped(
+                    f"message {envelope.message_id} to "
+                    f"{envelope.receiver!r} lost in transit")
+            if event.kind is FaultKind.CRASH:
+                self.stats.crashed += 1
+                raise ReplicaUnavailable(
+                    f"endpoint {envelope.receiver!r} is down")
+            if event.kind is FaultKind.REORDER:
+                # Delivery defers behind the next message to this
+                # endpoint: the current call fails loudly and the
+                # envelope will arrive out of order later.
+                self.stats.reordered += 1
+                self._deferred.setdefault(envelope.receiver, []).append(
+                    copy.deepcopy(envelope))
+                raise MessageDropped(
+                    f"message {envelope.message_id} overtaken in transit")
+            if event.kind is FaultKind.CORRUPT:
+                self.stats.corrupted += 1
+                envelope = self._corrupt(envelope, site)
+            if event.kind is FaultKind.DUPLICATE:
+                self.stats.duplicated += 1
+                duplicate = True
+        return envelope, duplicate
+
+    def _corrupt(self, envelope: SoapEnvelope, site: str) -> SoapEnvelope:
+        """Deterministic bit rot in the first parameter value (or the
+        operation name when the body has no parameters)."""
+        garbled = copy.deepcopy(envelope)
+        if garbled.parameters:
+            name = sorted(garbled.parameters)[0]
+            garbled.parameters[name] = self.faults.corrupt_text(
+                garbled.parameters[name], site)
+        else:
+            garbled.operation = self.faults.corrupt_text(
+                garbled.operation, site)
+        return garbled
 
     def send(self, envelope: SoapEnvelope) -> SoapEnvelope:
         """Deliver *envelope* to its receiver and return the reply.
@@ -60,18 +163,52 @@ class MessageBus:
             if tampered is not None:
                 self.stats.intercepted += 1
                 delivered = tampered
+        duplicate = False
+        if self.faults is not None:
+            delivered, duplicate = self._apply_faults(delivered)
+        if (CHECKSUM_HEADER in delivered.headers
+                and not verify_checksum(delivered)):
+            self.stats.faults += 1
+            raise CorruptMessage(
+                f"message {delivered.message_id} failed its frame "
+                f"checksum")
         handler = self._endpoints.get(delivered.receiver)
         if handler is None:
             self.stats.faults += 1
             raise ServiceFault("env:NoSuchEndpoint",
                                f"no endpoint {delivered.receiver!r}")
+        # Reordered messages arrive just before the next in-order one.
+        for late in self._deferred.pop(delivered.receiver, []):
+            try:
+                handler(late)
+            except ServiceFault:
+                pass  # a late duplicate the endpoint rejected
         try:
             reply = handler(delivered)
+            if duplicate:
+                reply = handler(copy.deepcopy(delivered))
         except ServiceFault:
             self.stats.faults += 1
             raise
         self.stats.delivered += 1
+        stamp_checksum(reply)
+        if self.faults is not None:
+            reply = self._apply_reply_faults(reply)
         self.transcript.append(copy.deepcopy(reply))
+        return reply
+
+    def _apply_reply_faults(self, reply: SoapEnvelope) -> SoapEnvelope:
+        """The reply leg can rot too; the stamped checksum catches it
+        client-side (:class:`ReliableChannel` re-sends the request)."""
+        site = self._fault_site(f"{reply.receiver}<-reply")
+        for event in self.faults.step(site):
+            if event.kind is FaultKind.DROP:
+                self.stats.dropped += 1
+                raise MessageDropped(
+                    f"reply to {reply.receiver!r} lost in transit")
+            if event.kind is FaultKind.CORRUPT:
+                self.stats.corrupted += 1
+                reply = self._corrupt(reply, site)
         return reply
 
     def replay_last(self) -> SoapEnvelope:

@@ -15,12 +15,17 @@ from repro.xmlsec.authorx import (
 from repro.xmlsec.dissemination import (
     Configuration,
     Disseminator,
+    FaultyChannel,
     Fragment,
     Packet,
+    ResilientSubscriber,
+    block_digest,
     configuration_key_id,
     configurations_by_path,
     element_configurations,
+    omit_block,
     open_packet,
+    open_packet_checked,
     subject_can_unlock,
 )
 from repro.xmlsec.encryption import (
@@ -46,15 +51,19 @@ from repro.xmlsec.xkms import (
 )
 
 __all__ = [
-    "Configuration", "ENCRYPTED_TAG", "Disseminator", "Fragment",
+    "Configuration", "ENCRYPTED_TAG", "Disseminator", "FaultyChannel",
+    "Fragment",
     "KeyBinding", "KeyInformationService", "NodeLabel", "Packet",
     "Privilege", "Reference", "RegistrationRequest",
+    "ResilientSubscriber",
     "SignatureManifest", "SignedElement", "ViewStats", "XmlPolicy",
-    "XmlPolicyBase", "XmlPropagation", "XmlSign", "compute_view",
+    "XmlPolicyBase", "XmlPropagation", "XmlSign", "block_digest",
+    "compute_view",
     "make_registration",
     "configuration_key_id", "configurations_by_path",
     "decrypt_available", "element_configurations", "encrypt_portions",
-    "open_packet", "sign_element", "sign_portions",
+    "omit_block", "open_packet", "open_packet_checked", "sign_element",
+    "sign_portions",
     "subject_can_unlock", "verify_element", "verify_portion",
     "visible_element_count", "xml_deny", "xml_grant",
 ]

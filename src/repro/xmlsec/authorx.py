@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.credentials import CredentialExpression
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, ParseError, QueryError
 from repro.core.subjects import Subject
 from repro.perf.cache import MISS, Generation, GenerationalCache
 from repro.perf.multipath import simultaneous_select, supports_path
@@ -206,7 +206,9 @@ class XmlPolicyBase:
             try:
                 selected = select_elements(policies[indices[0]].target,
                                            document)
-            except Exception:
+            except (ParseError, QueryError):
+                # A malformed target selects nothing (closed world);
+                # anything else propagates instead of failing open.
                 selected = []
             for index in indices:
                 results[index] = selected
@@ -258,7 +260,7 @@ class XmlPolicyBase:
         for policy in policies:
             try:
                 targets.append(select_elements(policy.target, document))
-            except Exception:
+            except (ParseError, QueryError):
                 targets.append([])
         return self._resolve_labels(policies, targets, document)
 

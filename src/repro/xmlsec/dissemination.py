@@ -32,10 +32,26 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.core.errors import (
+    IncompletePackageError,
+    IntegrityError,
+    MessageDropped,
+    ReplicaUnavailable,
+    TamperedPackageError,
+    TransportError,
+)
 from repro.core.subjects import Subject
 from repro.crypto.hashing import sha256_hex
 from repro.crypto.keys import KeyDistributor, KeyStore
 from repro.crypto.symmetric import Ciphertext, encrypt as symmetric_encrypt
+from repro.faults.clock import FaultClock
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
+from repro.faults.resilience import (
+    RetryPolicy,
+    RetryTelemetry,
+    retry_with_backoff,
+)
 from repro.xmldb.model import Document, Element
 from repro.xmldb.parser import parse_element
 from repro.xmldb.serializer import serialize_element
@@ -84,6 +100,12 @@ class Fragment:
                    tuple(sorted(shell.attributes.items())), shell.text)
 
 
+def block_digest(block: Ciphertext) -> str:
+    """Digest of one broadcast block as it crosses the wire."""
+    return sha256_hex(b"block:" + block.nonce + block.body
+                      + block.tag.encode("utf-8"))
+
+
 @dataclass
 class Packet:
     """The broadcast unit for one document: one block per configuration.
@@ -93,11 +115,20 @@ class Packet:
     document order.  It reveals only tags and counts — information node
     paths inside the blocks expose anyway (Author-X's connectors make the
     same structural disclosure).
+
+    ``manifest`` lists ``(key_id, block_digest)`` for every block the
+    owner packaged, sorted by key id.  Subscribers check received
+    blocks against it (:func:`open_packet_checked`): a missing block
+    for a held key is an *omission*, a digest mismatch is *tampering* —
+    both typed errors, never silently-partial views.  Empty on packets
+    built by older code; checking then falls back to MAC verification
+    alone.
     """
 
     doc_id: str
     blocks: tuple[Ciphertext, ...]
     skeleton: dict[str, int]
+    manifest: tuple[tuple[str, str], ...] = ()
 
     @property
     def configuration_count(self) -> int:
@@ -245,7 +276,9 @@ class Disseminator:
                     lambda job: symmetric_encrypt(*job), jobs))
         else:
             blocks = [symmetric_encrypt(*job) for job in jobs]
-        return Packet(doc_id, tuple(blocks), skeleton)
+        manifest = tuple(sorted(
+            (block.key_id, block_digest(block)) for block in blocks))
+        return Packet(doc_id, tuple(blocks), skeleton, manifest)
 
     # -- key distribution -------------------------------------------------
 
@@ -318,3 +351,138 @@ def open_packet(packet: Packet, keys: KeyStore) -> Document | None:
 
     root_path = min(nodes, key=lambda p: (p.count("/"), p))
     return Document(nodes[root_path], name=f"{packet.doc_id}@received")
+
+
+# ---------------------------------------------------------------------------
+# Faulty broadcast channel + fail-closed subscriber (repro.faults)
+# ---------------------------------------------------------------------------
+
+class FaultyChannel:
+    """The wire between publisher and subscriber, with scheduled faults.
+
+    One :meth:`deliver` call is one broadcast delivery attempt at the
+    fault site ``dissemination:<name>``.  Whole-packet faults (drop,
+    crash, reorder-behind-the-next-delivery) raise typed transport
+    errors; block-level faults return a damaged packet — dropped,
+    duplicated, shuffled or bit-rotted blocks — which is exactly what
+    :func:`open_packet_checked` must catch.  A faithless *publisher*
+    omitting or forging blocks looks identical on the wire, so the same
+    subscriber check covers both accident and malice.
+    """
+
+    def __init__(self, faults: FaultInjector, name: str = "channel") -> None:
+        self.faults = faults
+        self.site = f"dissemination:{name}"
+
+    def deliver(self, packet: Packet) -> Packet:
+        events = self.faults.step(self.site)
+        blocks = list(packet.blocks)
+        for event in events:
+            if event.kind is FaultKind.CRASH:
+                raise ReplicaUnavailable("the publisher is down")
+            if event.kind in (FaultKind.DROP, FaultKind.REORDER):
+                raise MessageDropped(
+                    f"broadcast of {packet.doc_id!r} lost in transit")
+            if event.kind is FaultKind.STALE_READ:
+                # No replica state to lag behind here; a stale delivery
+                # is a lost-then-retried one.
+                raise MessageDropped(
+                    f"broadcast of {packet.doc_id!r} superseded")
+            if event.kind is FaultKind.CORRUPT and blocks:
+                index = self.faults.op_count(self.site) % len(blocks)
+                victim = blocks[index]
+                blocks[index] = Ciphertext(
+                    victim.key_id, victim.nonce,
+                    self.faults.corrupt_bytes(victim.body, self.site),
+                    victim.tag)
+            if event.kind is FaultKind.DUPLICATE and blocks:
+                blocks.append(blocks[0])
+        # Block order is never guaranteed by the substrate; reversing on
+        # every delivery keeps receivers honest about that.
+        blocks.reverse()
+        return Packet(packet.doc_id, tuple(blocks), dict(packet.skeleton),
+                      packet.manifest)
+
+
+def omit_block(packet: Packet, key_id: str) -> Packet:
+    """A faithless-publisher helper: serve *packet* without the block
+    for *key_id* while still advertising it in the manifest."""
+    kept = tuple(b for b in packet.blocks if b.key_id != key_id)
+    return Packet(packet.doc_id, kept, dict(packet.skeleton),
+                  packet.manifest)
+
+
+def open_packet_checked(packet: Packet, keys: KeyStore) -> Document | None:
+    """Fail-closed subscriber opening.
+
+    Every block for a key the subscriber holds is checked against the
+    manifest before use: a digest mismatch (or a MAC failure during
+    decryption) raises :class:`TamperedPackageError`; a manifest entry
+    with no matching block raises :class:`IncompletePackageError`.
+    Only a packet that passes completely is rebuilt into a view —
+    corrupted bytes are never rendered, partially-decryptable packets
+    are never silently truncated.
+    """
+    expected = {key_id: digest for key_id, digest in packet.manifest}
+    held_blocks: dict[str, Ciphertext] = {}
+    for block in packet.blocks:
+        if block.key_id not in keys:
+            continue
+        digest = block_digest(block)
+        if expected and block.key_id in expected:
+            if digest != expected[block.key_id]:
+                raise TamperedPackageError(
+                    f"block {block.key_id!r} of {packet.doc_id!r} does "
+                    f"not match the owner's manifest")
+        seen = held_blocks.get(block.key_id)
+        if seen is not None and block_digest(seen) != digest:
+            raise TamperedPackageError(
+                f"conflicting duplicates of block {block.key_id!r}")
+        held_blocks[block.key_id] = block
+    missing = [key_id for key_id in expected
+               if key_id in keys and key_id not in held_blocks]
+    if missing:
+        raise IncompletePackageError(
+            f"packet {packet.doc_id!r} is missing blocks for held keys: "
+            f"{sorted(missing)}")
+    clean_blocks: list[Ciphertext] = []
+    for key_id in sorted(held_blocks):
+        block = held_blocks[key_id]
+        try:
+            keys.decrypt(block)
+        except IntegrityError as exc:
+            raise TamperedPackageError(
+                f"block {key_id!r} of {packet.doc_id!r} failed its "
+                f"MAC: {exc}") from exc
+        clean_blocks.append(block)
+    verified = Packet(packet.doc_id, tuple(clean_blocks),
+                      dict(packet.skeleton), packet.manifest)
+    return open_packet(verified, keys)
+
+
+class ResilientSubscriber:
+    """The wired dissemination client path: fetch, verify, retry.
+
+    ``fetch`` produces one delivery attempt (typically
+    ``lambda: channel.deliver(publisher_packet)``).  Tampered and
+    incomplete deliveries are retried like transport faults — a fresh
+    delivery may be clean — but when the budget runs out the *typed*
+    error propagates: the subscriber never downgrades to unchecked
+    opening.
+    """
+
+    def __init__(self, keys: KeyStore, policy: RetryPolicy | None = None,
+                 clock: FaultClock | None = None) -> None:
+        self.keys = keys
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.clock = clock if clock is not None else FaultClock()
+        self.telemetry = RetryTelemetry()
+
+    def receive(self, fetch) -> Document | None:
+        self.telemetry = RetryTelemetry()
+        return retry_with_backoff(
+            lambda: open_packet_checked(fetch(), self.keys),
+            self.policy, self.clock, key="dissemination",
+            retry_on=(TransportError, TamperedPackageError,
+                      IncompletePackageError),
+            telemetry=self.telemetry)

@@ -1,0 +1,111 @@
+"""Differential test: every corrupt-fault mutation is caught by Merkle
+verification, across 200 seeded runs.
+
+Each seed drives the deterministic corruption primitive
+(:meth:`FaultInjector.corrupt_bytes` / ``corrupt_text``) against data
+protected by the repo's three Merkle surfaces — binary leaf trees,
+XML merkle hashes, and the incremental hasher — and asserts the
+verifier side rejects the mutation every single time.  One accepted
+mutation is one silent integrity failure, so the pass criterion is
+universal, not statistical.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.merkle.tree import MerkleTree, verify_subset
+from repro.merkle.xml_merkle import (
+    IncrementalXmlHasher,
+    document_hash,
+    merkle_hash,
+)
+from repro.xmldb.parser import parse
+
+SEEDS = range(200)
+
+LEAVES = [f"record-{i}:payload".encode("utf-8") for i in range(8)]
+
+DOC_TEXT = ('<hospital><record id="r1"><name>Alice</name>'
+            '<diagnosis>flu</diagnosis><ssn>123</ssn></record>'
+            '<record id="r2"><name>Bob</name><diagnosis>cold</diagnosis>'
+            '<ssn>456</ssn></record></hospital>')
+
+
+def injector(seed):
+    return FaultInjector(FaultPlan(), seed=seed)
+
+
+class TestLeafTreeRejectsCorruption:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_proof_rejects_corrupted_leaf(self, seed):
+        tree = MerkleTree(LEAVES)
+        index = seed % len(LEAVES)
+        proof = tree.proof(index)
+        corrupted = injector(seed).corrupt_bytes(LEAVES[index],
+                                                 f"leaf:{index}")
+        assert corrupted != LEAVES[index]
+        assert proof.verify(LEAVES[index], tree.root)
+        assert not proof.verify(corrupted, tree.root)
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_subset_verification_rejects_one_bad_leaf(self, seed):
+        tree = MerkleTree(LEAVES)
+        index = seed % len(LEAVES)
+        proofs = [tree.proof(i) for i in range(len(LEAVES))]
+        good = [(i, LEAVES[i]) for i in range(len(LEAVES))]
+        assert verify_subset(tree.root, good, proofs)
+        bad = list(good)
+        bad[index] = (index,
+                      injector(seed).corrupt_bytes(LEAVES[index], "s"))
+        assert not verify_subset(tree.root, bad, proofs)
+
+
+class TestXmlMerkleRejectsCorruption:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_document_hash_detects_text_rot(self, seed):
+        document = parse(DOC_TEXT, name="records")
+        baseline = document_hash(document)
+        nodes = [n for n in document.iter() if n.text]
+        victim = nodes[seed % len(nodes)]
+        victim.set_text(injector(seed).corrupt_text(victim.text, "xml"))
+        assert document_hash(document) != baseline
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_subtree_hash_localizes_the_damage(self, seed):
+        document = parse(DOC_TEXT, name="records")
+        records = document.root.element_children
+        baselines = [merkle_hash(r) for r in records]
+        victim_idx = seed % len(records)
+        victim = [n for n in records[victim_idx].iter() if n.text][0]
+        victim.set_text(injector(seed).corrupt_text(victim.text, "sub"))
+        after = [merkle_hash(r) for r in records]
+        assert after[victim_idx] != baselines[victim_idx]
+        for i, (a, b) in enumerate(zip(after, baselines)):
+            if i != victim_idx:
+                assert a == b  # untouched subtrees keep their hashes
+
+
+class TestIncrementalHasherRejectsCorruption:
+    @pytest.mark.parametrize("seed", range(50))
+    def test_tracked_mutation_changes_root_and_rebuild_agrees(self, seed):
+        document = parse(DOC_TEXT, name="records")
+        hasher = IncrementalXmlHasher(document)
+        baseline = hasher.root_hash()
+        nodes = [n for n in document.iter() if n.text]
+        victim = nodes[seed % len(nodes)]
+        hasher.set_text(victim,
+                        injector(seed).corrupt_text(victim.text, "inc"))
+        assert hasher.root_hash() != baseline
+        assert hasher.verify_against_rebuild()
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_untracked_mutation_is_caught_by_rebuild(self, seed):
+        """A corruption that bypasses the hasher's API (in-flight rot)
+        makes the cached root a lie — the rebuild check exposes it."""
+        document = parse(DOC_TEXT, name="records")
+        hasher = IncrementalXmlHasher(document)
+        hasher.root_hash()
+        nodes = [n for n in document.iter() if n.text]
+        victim = nodes[seed % len(nodes)]
+        victim.set_text(injector(seed).corrupt_text(victim.text, "raw"))
+        assert not hasher.verify_against_rebuild()

@@ -1,0 +1,133 @@
+"""The fault substrate itself: determinism, boundedness, accounting."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.faults import (
+    FaultClock,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    merge_plans,
+)
+
+
+class TestFaultClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = FaultClock()
+        assert clock.now() == 0
+        clock.advance(5)
+        clock.sleep(2)
+        assert clock.now() == 7
+
+    def test_never_goes_backward(self):
+        with pytest.raises(ConfigurationError):
+            FaultClock().advance(-1)
+
+    def test_deadline(self):
+        clock = FaultClock()
+        deadline = clock.deadline(10)
+        clock.advance(10)
+        assert not deadline.expired()  # inclusive boundary
+        assert deadline.remaining() == 0
+        clock.advance(1)
+        assert deadline.expired()
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan.random(42, ["s1", "s2"], 0.3, horizon=100)
+        b = FaultPlan.random(42, ["s1", "s2"], 0.3, horizon=100)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.random(1, ["s"], 0.3, horizon=200)
+        b = FaultPlan.random(2, ["s"], 0.3, horizon=200)
+        assert list(a) != list(b)
+
+    def test_bounded_by_horizon(self):
+        plan = FaultPlan.random(7, ["s"], 1.0, horizon=30)
+        assert plan.horizon("s") <= 30
+        assert plan.events_for("s", 31) == ()
+
+    def test_zero_rate_is_empty(self):
+        assert len(FaultPlan.random(3, ["s"], 0.0)) == 0
+
+    def test_rate_roughly_respected(self):
+        plan = FaultPlan.random(11, ["s"], 0.2, horizon=1000)
+        assert 120 <= plan.fault_count() <= 280
+
+    def test_explicit_add_and_merge(self):
+        a = FaultPlan().add("s", 0, FaultKind.DROP)
+        b = FaultPlan().add("s", 0, FaultEvent(FaultKind.DELAY, 4))
+        merged = merge_plans([a, b])
+        kinds = {e.kind for e in merged.events_for("s", 0)}
+        assert kinds == {FaultKind.DROP, FaultKind.DELAY}
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random(0, ["s"], 1.5)
+
+    def test_magnitude_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.DELAY, 0)
+
+
+class TestFaultInjector:
+    def test_counts_operations_per_site(self):
+        injector = FaultInjector(FaultPlan())
+        injector.step("a")
+        injector.step("a")
+        injector.step("b")
+        assert injector.op_count("a") == 2
+        assert injector.op_count("b") == 1
+
+    def test_delay_charges_the_clock(self):
+        plan = FaultPlan().add("s", 1, FaultEvent(FaultKind.DELAY, 7))
+        injector = FaultInjector(plan)
+        injector.step("s")
+        assert injector.clock.now() == 0
+        injector.step("s")
+        assert injector.clock.now() == 7
+
+    def test_crash_window_spans_operations(self):
+        plan = FaultPlan().add("s", 0, FaultEvent(FaultKind.CRASH, 3))
+        injector = FaultInjector(plan)
+        crashed = [any(e.kind is FaultKind.CRASH for e in injector.step("s"))
+                   for _ in range(5)]
+        assert crashed == [True, True, True, False, False]
+
+    def test_corruption_is_deterministic_and_always_differs(self):
+        a = FaultInjector(FaultPlan(), seed=5)
+        b = FaultInjector(FaultPlan(), seed=5)
+        payload = b"the quick brown fox"
+        assert a.corrupt_bytes(payload, "s") == b.corrupt_bytes(payload, "s")
+        assert a.corrupt_bytes(payload, "s") != payload
+        text = "hello world"
+        assert a.corrupt_text(text, "s") == b.corrupt_text(text, "s")
+        assert a.corrupt_text(text, "s") != text
+
+    def test_corruption_of_empty_inputs(self):
+        injector = FaultInjector(FaultPlan(), seed=1)
+        assert injector.corrupt_bytes(b"", "s") != b""
+        assert injector.corrupt_text("", "s") != ""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_corrupt_text_differs_for_every_seed(self, seed):
+        injector = FaultInjector(FaultPlan(), seed=seed)
+        for text in ("a", "xy", "some longer value 123"):
+            assert injector.corrupt_text(text, "site") != text
+
+    def test_stats_tally(self):
+        plan = (FaultPlan()
+                .add("s", 0, FaultKind.DROP)
+                .add("s", 1, FaultKind.CORRUPT)
+                .add("s", 1, FaultEvent(FaultKind.DELAY, 2)))
+        injector = FaultInjector(plan)
+        for _ in range(3):
+            injector.step("s")
+        assert injector.stats.operations == 3
+        assert injector.stats.injected == {"drop": 1, "corrupt": 1,
+                                           "delay": 1}
+        assert injector.stats.total_injected() == 3

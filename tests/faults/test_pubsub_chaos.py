@@ -1,0 +1,151 @@
+"""Chaos battery for the third-party publishing client path.
+
+:func:`fetch_verified` under an unreliable answer channel: the subject
+either receives a fully verified answer whose view is byte-identical
+to the fault-free one, or a typed error — tampered and truncated
+answers are caught by the Merkle/completeness checks and retried,
+never returned.
+"""
+
+import pytest
+
+from repro.core.credentials import anyone, has_role
+from repro.core.errors import (
+    AuthenticationError,
+    CompletenessError,
+    IntegrityError,
+    RetryExhausted,
+    TransportError,
+)
+from repro.core.subjects import Role, Subject
+from repro.faults import (
+    FaultClock,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+    RetryTelemetry,
+)
+from repro.pubsub import (
+    FaultyAnswerChannel,
+    Owner,
+    Publisher,
+    SubjectVerifier,
+    fetch_verified,
+)
+from repro.xmldb.parser import parse
+from repro.xmldb.serializer import serialize
+from repro.xmlsec.authorx import XmlPolicyBase, xml_deny, xml_grant
+
+DOCTOR = Subject("dr", roles={Role("doctor")})
+
+VERIFY_ERRORS = (TransportError, AuthenticationError, IntegrityError,
+                 CompletenessError, RetryExhausted)
+
+
+def build_world():
+    base = XmlPolicyBase([
+        xml_grant(has_role("doctor"), "/hospital"),
+        xml_deny(anyone(), "//ssn"),
+    ])
+    owner = Owner("hospital", base, key_seed=7)
+    owner.add_document("records", parse(
+        '<hospital><record id="r1"><name>Alice</name>'
+        '<diagnosis>flu</diagnosis><ssn>123</ssn></record>'
+        '<record id="r2"><name>Bob</name><diagnosis>cold</diagnosis>'
+        '<ssn>456</ssn></record></hospital>'))
+    publisher = Publisher()
+    owner.publish_to(publisher)
+    verifier = SubjectVerifier(DOCTOR, owner.public_key, base)
+    return publisher, verifier
+
+
+PUBLISHER, VERIFIER = build_world()
+ORACLE_VIEW = serialize(PUBLISHER.request(DOCTOR, "records").view)
+
+
+def make_channel(seed, rate=0.3):
+    clock = FaultClock()
+    plan = FaultPlan.random(seed, ["pubsub:answers"], rate, horizon=40)
+    return FaultyAnswerChannel(FaultInjector(plan, clock, seed=seed)), clock
+
+
+class TestFailClosedInvariant:
+    @pytest.mark.parametrize("seed", range(110))
+    def test_verified_identical_or_typed_error(self, seed):
+        channel, clock = make_channel(seed)
+        try:
+            answer = fetch_verified(
+                PUBLISHER, VERIFIER, DOCTOR, "records", channel=channel,
+                policy=RetryPolicy(max_attempts=8, jitter_seed=seed))
+        except VERIFY_ERRORS:
+            return  # fail-closed
+        assert serialize(answer.view) == ORACLE_VIEW
+
+    def test_majority_of_seeds_complete(self):
+        completed = 0
+        for seed in range(110):
+            channel, _ = make_channel(seed)
+            try:
+                fetch_verified(
+                    PUBLISHER, VERIFIER, DOCTOR, "records",
+                    channel=channel,
+                    policy=RetryPolicy(max_attempts=8, jitter_seed=seed))
+                completed += 1
+            except VERIFY_ERRORS:
+                pass
+        assert completed >= 100
+
+
+class TestSingleFaults:
+    def channel_with(self, kind, ops=1):
+        clock = FaultClock()
+        plan = FaultPlan()
+        for op in range(ops):
+            plan.add("pubsub:answers", op, kind)
+        return FaultyAnswerChannel(FaultInjector(plan, clock)), clock
+
+    def test_corrupt_answer_fails_authenticity_then_retry_heals(self):
+        channel, _ = self.channel_with(FaultKind.CORRUPT)
+        telemetry = RetryTelemetry()
+        answer = fetch_verified(
+            PUBLISHER, VERIFIER, DOCTOR, "records", channel=channel,
+            policy=RetryPolicy(max_attempts=4, jitter_seed=0),
+            telemetry=telemetry)
+        assert serialize(answer.view) == ORACLE_VIEW
+        assert telemetry.attempts == 2
+        assert any("Authentication" in e or "Integrity" in e
+                   for e in telemetry.errors)
+
+    def test_truncated_answer_fails_completeness_then_retry_heals(self):
+        channel, _ = self.channel_with(FaultKind.REORDER)
+        telemetry = RetryTelemetry()
+        answer = fetch_verified(
+            PUBLISHER, VERIFIER, DOCTOR, "records", channel=channel,
+            policy=RetryPolicy(max_attempts=4, jitter_seed=0),
+            telemetry=telemetry)
+        assert serialize(answer.view) == ORACLE_VIEW
+        assert telemetry.attempts == 2
+
+    def test_persistent_tampering_exhausts_with_typed_cause(self):
+        channel, _ = self.channel_with(FaultKind.CORRUPT, ops=10)
+        with pytest.raises(RetryExhausted) as excinfo:
+            fetch_verified(
+                PUBLISHER, VERIFIER, DOCTOR, "records", channel=channel,
+                policy=RetryPolicy(max_attempts=3, jitter_seed=0))
+        assert isinstance(excinfo.value.last_error,
+                          (AuthenticationError, IntegrityError))
+
+    def test_direct_tampered_answer_never_verifies(self):
+        channel, _ = self.channel_with(FaultKind.CORRUPT)
+        damaged = channel.deliver(PUBLISHER.request(DOCTOR, "records"))
+        assert serialize(damaged.view) != ORACLE_VIEW
+        with pytest.raises((AuthenticationError, IntegrityError)):
+            VERIFIER.check_authenticity(damaged)
+
+    def test_fault_free_channel_is_transparent(self):
+        channel, _ = self.channel_with(FaultKind.CORRUPT, ops=0)
+        answer = fetch_verified(
+            PUBLISHER, VERIFIER, DOCTOR, "records", channel=channel,
+            policy=RetryPolicy(max_attempts=1, jitter_seed=0))
+        assert serialize(answer.view) == ORACLE_VIEW

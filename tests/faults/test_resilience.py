@@ -1,0 +1,157 @@
+"""The resilience toolkit: retry, timeout, breaker, idempotency."""
+
+import pytest
+
+from repro.core.errors import (
+    AuthenticationError,
+    CallTimeout,
+    CircuitOpen,
+    MessageDropped,
+    RetryExhausted,
+)
+from repro.faults import (
+    CircuitBreaker,
+    FaultClock,
+    IdempotencyLedger,
+    RetryPolicy,
+    RetryTelemetry,
+    call_with_timeout,
+    idempotency_key,
+    retry_with_backoff,
+)
+
+
+class TestRetryWithBackoff:
+    def test_succeeds_after_transient_failures(self):
+        clock = FaultClock()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 4:
+                raise MessageDropped("lost")
+            return "done"
+
+        telemetry = RetryTelemetry()
+        result = retry_with_backoff(flaky, RetryPolicy(), clock,
+                                    telemetry=telemetry)
+        assert result == "done"
+        assert telemetry.attempts == 4
+        assert clock.now() == telemetry.backoff_ticks > 0
+
+    def test_exhaustion_raises_typed_wrapper(self):
+        clock = FaultClock()
+
+        def always_fails():
+            raise MessageDropped("lost forever")
+
+        with pytest.raises(RetryExhausted) as excinfo:
+            retry_with_backoff(always_fails,
+                               RetryPolicy(max_attempts=3), clock)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, MessageDropped)
+
+    def test_security_errors_are_never_retried(self):
+        clock = FaultClock()
+        calls = []
+
+        def forged():
+            calls.append(1)
+            raise AuthenticationError("bad signature")
+
+        with pytest.raises(AuthenticationError):
+            retry_with_backoff(forged, RetryPolicy(), clock)
+        assert len(calls) == 1
+
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(base_delay=1, multiplier=2, max_delay=8,
+                             jitter_seed=0)
+        raw = [policy.delay_before(a, "k") for a in range(1, 7)]
+        # jitter <= delay, so each value lies in [delay, 2*delay]
+        for attempt, value in enumerate(raw, start=1):
+            delay = min(2 ** (attempt - 1), 8)
+            assert delay <= value <= 2 * delay
+
+    def test_jitter_is_deterministic_per_seed_and_key(self):
+        a = RetryPolicy(jitter_seed=1)
+        b = RetryPolicy(jitter_seed=1)
+        c = RetryPolicy(jitter_seed=2)
+        assert [a.delay_before(i, "k") for i in range(1, 5)] \
+            == [b.delay_before(i, "k") for i in range(1, 5)]
+        series_c = [c.delay_before(i, "k") for i in range(1, 5)]
+        assert series_c != [a.delay_before(i, "k") for i in range(1, 5)]
+
+
+class TestCallWithTimeout:
+    def test_fast_call_passes(self):
+        clock = FaultClock()
+        assert call_with_timeout(lambda: 42, clock, 10) == 42
+
+    def test_slow_call_times_out_and_result_is_discarded(self):
+        clock = FaultClock()
+
+        def slow():
+            clock.advance(11)  # a delay fault charged mid-call
+            return "late answer"
+
+        with pytest.raises(CallTimeout):
+            call_with_timeout(slow, clock, 10)
+
+
+class TestCircuitBreaker:
+    def failing(self):
+        raise MessageDropped("down")
+
+    def test_opens_after_threshold(self):
+        clock = FaultClock()
+        breaker = CircuitBreaker(clock, failure_threshold=2, reset_ticks=5)
+        for _ in range(2):
+            with pytest.raises(MessageDropped):
+                breaker.call(self.failing)
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpen):
+            breaker.call(lambda: "never runs")
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FaultClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1, reset_ticks=5)
+        with pytest.raises(MessageDropped):
+            breaker.call(self.failing)
+        clock.advance(5)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FaultClock()
+        breaker = CircuitBreaker(clock, failure_threshold=3, reset_ticks=5)
+        for _ in range(3):
+            with pytest.raises(MessageDropped):
+                breaker.call(self.failing)
+        clock.advance(5)
+        with pytest.raises(MessageDropped):
+            breaker.call(self.failing)  # single half-open failure
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+
+
+class TestIdempotency:
+    def test_ledger_applies_once_and_replays(self):
+        ledger = IdempotencyLedger()
+        applied = []
+
+        def write():
+            applied.append(1)
+            return "result"
+
+        assert ledger.apply("k1", write) == "result"
+        assert ledger.apply("k1", write) == "result"
+        assert len(applied) == 1
+        assert ledger.replays == 1
+        assert "k1" in ledger
+
+    def test_key_is_stable_and_discriminating(self):
+        assert idempotency_key("save", "a", "b") \
+            == idempotency_key("save", "a", "b")
+        assert idempotency_key("save", "a", "b") \
+            != idempotency_key("save", "a", "c")

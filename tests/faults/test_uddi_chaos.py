@@ -1,0 +1,181 @@
+"""Chaos battery for the federated UDDI path.
+
+Property over ≥100 seeds: a retried publish/inquiry workload run
+against fault-injected replicas either converges every replica to the
+*fault-free oracle* registry state (equal ``state_digest``) or fails
+closed with a typed :class:`TransportError` — and idempotency keys
+keep ``publish_count`` exact even under ack-lost and duplicate faults.
+"""
+
+import pytest
+
+from repro.core.errors import TransportError
+from repro.faults import (
+    FaultClock,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.uddi.model import BusinessEntity, BusinessService, TModel
+from repro.uddi.registry import UddiRegistry
+from repro.uddi.resilient import (
+    FaultyRegistry,
+    FederatedRegistry,
+    ResilientUddiClient,
+)
+
+N_BUSINESSES = 4
+
+
+def entities():
+    """Fixed-key workload (fresh_key() is a global counter, so the
+    oracle and the chaos runs must not share it)."""
+    out = []
+    for i in range(N_BUSINESSES):
+        services = tuple(
+            BusinessService(f"svc-{i}-{j}", f"Service {i}.{j}",
+                            category=f"cat-{j}")
+            for j in range(2))
+        out.append(BusinessEntity(f"biz-{i}", f"Biz {i}", f"desc {i}",
+                                  f"contact-{i}", services))
+    return out
+
+
+def run_workload(client):
+    for entity in entities():
+        client.save_business(entity, publisher=f"pub-{entity.business_key}")
+    client.save_tmodel(TModel("tm-1", "uddi-org:inquiry"), publisher="pub-0")
+    client.get_business_detail("biz-0")
+    client.find_service("*")
+
+
+def oracle_digest():
+    registry = UddiRegistry("oracle")
+    for entity in entities():
+        registry.save_business(entity, publisher=f"pub-{entity.business_key}")
+    registry.save_tmodel(TModel("tm-1", "uddi-org:inquiry"),
+                         publisher="pub-0")
+    return registry.state_digest()
+
+
+ORACLE = oracle_digest()
+
+
+def make_client(seed, rate=0.25, replicas=2, max_attempts=10):
+    clock = FaultClock()
+    reps = []
+    for i in range(replicas):
+        plan = FaultPlan.random(seed * replicas + i,
+                                [f"registry:rep{i}"], rate, horizon=80)
+        injector = FaultInjector(plan, clock, seed=seed)
+        reps.append(FaultyRegistry(UddiRegistry(f"rep{i}"), injector))
+    federation = FederatedRegistry(reps)
+    client = ResilientUddiClient(
+        federation,
+        RetryPolicy(max_attempts=max_attempts, jitter_seed=seed),
+        clock)
+    return client, reps
+
+
+class TestConvergenceProperty:
+    @pytest.mark.parametrize("seed", range(110))
+    def test_converges_to_oracle_or_fails_closed(self, seed):
+        client, reps = make_client(seed)
+        try:
+            run_workload(client)
+        except TransportError:
+            return  # fail-closed: retries exhausted, typed, loud
+        for replica in reps:
+            assert replica.registry.state_digest() == ORACLE
+
+    def test_most_seeds_converge(self):
+        converged = 0
+        for seed in range(110):
+            client, reps = make_client(seed)
+            try:
+                run_workload(client)
+            except TransportError:
+                continue
+            if all(r.registry.state_digest() == ORACLE for r in reps):
+                converged += 1
+        assert converged >= 95
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_publish_count_is_exact_despite_duplicates(self, seed):
+        """Ack-lost retries and duplicate applications must not inflate
+        the publish counter — that is the idempotency ledger's job."""
+        client, reps = make_client(seed)
+        try:
+            run_workload(client)
+        except TransportError:
+            return
+        for replica in reps:
+            assert replica.registry.publish_count == N_BUSINESSES + 1
+
+    def test_fault_free_plan_is_exactly_the_oracle(self):
+        client, reps = make_client(seed=0, rate=0.0)
+        run_workload(client)
+        for replica in reps:
+            assert replica.registry.state_digest() == ORACLE
+            assert replica.registry.publish_count == N_BUSINESSES + 1
+
+
+class TestSpecificFaults:
+    def one_replica(self, plan):
+        clock = FaultClock()
+        rep = FaultyRegistry(UddiRegistry("rep0"),
+                             FaultInjector(plan, clock))
+        client = ResilientUddiClient(
+            FederatedRegistry([rep]),
+            RetryPolicy(max_attempts=6, jitter_seed=0), clock)
+        return client, rep
+
+    def test_ack_lost_write_applies_once(self):
+        plan = FaultPlan().add("registry:rep0", 0, FaultKind.DROP)
+        client, rep = self.one_replica(plan)
+        entity = entities()[0]
+        client.save_business(entity, publisher="pub-biz-0")
+        assert rep.registry.publish_count == 1
+        assert rep.registry.get_business_detail("biz-0").name == "Biz 0"
+
+    def test_duplicate_write_applies_once(self):
+        plan = FaultPlan().add("registry:rep0", 0, FaultKind.DUPLICATE)
+        client, rep = self.one_replica(plan)
+        client.save_business(entities()[0], publisher="pub-biz-0")
+        assert rep.registry.publish_count == 1
+
+    def test_stale_read_is_detected_and_retried(self):
+        # op 0: the write; op 1: a stale inquiry served from the
+        # pre-write snapshot — the watermark must reject it.
+        plan = FaultPlan().add("registry:rep0", 1, FaultKind.STALE_READ)
+        client, rep = self.one_replica(plan)
+        client.save_business(entities()[0], publisher="pub-biz-0")
+        detail = client.get_business_detail("biz-0")
+        assert detail.name == "Biz 0"
+        assert any(e.startswith("StaleRead")
+                   for e in client.telemetry.errors)
+
+    def test_without_idempotency_key_duplicate_double_counts(self):
+        """The control: raw replica, no key — duplicates double-apply."""
+        plan = FaultPlan().add("registry:rep0", 0, FaultKind.DUPLICATE)
+        clock = FaultClock()
+        rep = FaultyRegistry(UddiRegistry("rep0"),
+                             FaultInjector(plan, clock))
+        rep.publish("save_business", entities()[0], "pub-biz-0", key=None)
+        assert rep.registry.publish_count == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_final_digest(self):
+        digests = []
+        for _ in range(2):
+            client, reps = make_client(seed=17)
+            try:
+                run_workload(client)
+                digests.append(tuple(r.registry.state_digest()
+                                     for r in reps))
+            except TransportError as exc:
+                digests.append(type(exc).__name__)
+        assert digests[0] == digests[1]
