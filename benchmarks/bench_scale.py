@@ -1,0 +1,362 @@
+#!/usr/bin/env python
+"""Throughput benchmarks for the ``repro.scale`` layer (ablation A7).
+
+Three sections, each asserting its equivalence oracle before reporting
+a number — a speedup that changes answers is a bug, not a result:
+
+* ``batched_authorization`` — serial ``decide()`` loop vs
+  ``BatchDecisionEngine.decide_batch`` on the same distinct triples
+  (distinct so neither side's decision cache helps; the win must come
+  from group amortization + credential memoization).  Oracle: full
+  ``Decision`` equality, request by request;
+* ``sharded_stores`` — hash-sharded relational / XML / UDDI stores vs
+  their monolithic counterparts holding identical content.  Oracles:
+  equal rows, equal query results, byte-identical UDDI state digests;
+* ``closed_loop`` — the ``RequestGateway`` pipeline swept over
+  workers × shards × batch size against a serial one-at-a-time
+  baseline.  Oracle: byte-identical serialized responses for every
+  configuration.  The headline number: requests/s at 8 workers ×
+  8 shards vs the serial baseline (target: ≥4x full, ≥2x --quick).
+
+``--quick`` shrinks workloads for the CI perf-smoke job, which gates on
+the oracles plus a ≥2x batched-pipeline speedup; full runs establish
+the numbers EXPERIMENTS.md records.  Writes ``BENCH_scale.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import random
+import sys
+import time
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.evaluator import Decision, PolicyEvaluator  # noqa: E402
+from repro.core.policy import Action  # noqa: E402
+from repro.datagen.population import generate_population  # noqa: E402
+from repro.datagen.workload import (  # noqa: E402
+    subject_qualification_policies)
+from repro.relational.authorization import Privilege  # noqa: E402
+from repro.relational.database import Database  # noqa: E402
+from repro.relational.table import (  # noqa: E402
+    Column, ColumnType, TableSchema)
+from repro.scale import (  # noqa: E402
+    BatchDecisionEngine,
+    Request,
+    RequestGateway,
+    ShardedCollection,
+    ShardedDatabase,
+    ShardedPolicyEngine,
+    ShardedUddiRegistry,
+)
+from repro.uddi.model import BusinessEntity, BusinessService  # noqa: E402
+from repro.uddi.registry import UddiRegistry  # noqa: E402
+from repro.xmldb.database import Collection  # noqa: E402
+from repro.xmldb.parser import parse  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_scale.json"
+
+#: Serial-vs-batched pipeline speedup the CI smoke job requires.
+QUICK_SPEEDUP_GATE = 2.0
+#: The A7 headline target at 8 workers x 8 shards (full runs).
+FULL_SPEEDUP_TARGET = 4.0
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def serialize_decision(decision: Decision) -> dict:
+    """The canonical wire form the byte-identity oracle compares."""
+    return {
+        "granted": decision.granted,
+        "determining": decision.determining.policy_id
+        if decision.determining is not None else None,
+        "applicable": [p.policy_id for p in decision.applicable],
+        "reason": decision.reason,
+    }
+
+
+def response_bytes(decisions: list[Decision]) -> bytes:
+    return json.dumps([serialize_decision(d) for d in decisions],
+                      sort_keys=True).encode()
+
+
+def authorization_workload(quick: bool):
+    """Distinct (subject, action, path) triples over a shared base."""
+    policy_count = 120 if quick else 400
+    subject_count = 60 if quick else 200
+    path_count = 10 if quick else 20
+    base = subject_qualification_policies(
+        policy_count, basis="role", user_count=subject_count, seed=7)
+    directory = generate_population(subject_count, seed=7)
+    subjects = [directory.get(f"user{i:05d}")
+                for i in range(subject_count)]
+    rng = random.Random(7)
+    paths = [f"hospital/records/r{rng.randrange(1, 500)}/name"
+             for _ in range(path_count)]
+    triples = [(subject, Action.READ, path)
+               for subject in subjects for path in paths]
+    rng.shuffle(triples)
+    return base, triples
+
+
+# -- 1. batched authorization ------------------------------------------
+
+def bench_batched_authorization(quick: bool) -> tuple[dict, bool]:
+    base, triples = authorization_workload(quick)
+
+    serial_evaluator = PolicyEvaluator(base)
+    serial_s, serial = timed(
+        lambda: [serial_evaluator.decide(*t) for t in triples])
+
+    batch_engine = BatchDecisionEngine(PolicyEvaluator(base))
+    batch_s, batched = timed(lambda: batch_engine.decide_batch(triples))
+
+    oracle = serial == batched
+    stats = batch_engine.stats.snapshot()
+    return {
+        "policies": len(base),
+        "requests": len(triples),
+        "serial_s": round(serial_s, 4),
+        "batch_s": round(batch_s, 4),
+        "speedup": round(serial_s / batch_s, 1),
+        "groups": stats["groups"],
+        "subject_checks": stats["subject_checks"],
+        "subject_reuses": stats["subject_reuses"],
+        "oracle_batch_equals_sequential": oracle,
+    }, oracle
+
+
+# -- 2. sharded stores --------------------------------------------------
+
+def _relational_equivalence(quick: bool) -> tuple[dict, bool]:
+    table_count = 8 if quick else 24
+    rows_per_table = 40 if quick else 120
+    mono = Database("mono")
+    sharded = ShardedDatabase(shard_count=4, name="sharded")
+    for t in range(table_count):
+        table_schema = TableSchema(f"t{t:02d}", (
+            Column("id", ColumnType.INT), Column("val", ColumnType.TEXT)))
+        mono.create_table(table_schema, owner="dba")
+        mono.authorization.grant("dba", "reader", f"t{t:02d}",
+                                 Privilege.SELECT)
+        sharded.create_table(table_schema, owner="dba")
+        sharded.grant("dba", "reader", f"t{t:02d}", Privilege.SELECT)
+        for r in range(rows_per_table):
+            mono.insert("dba", f"t{t:02d}", id=r, val=f"v{t}-{r}")
+            sharded.insert("dba", f"t{t:02d}", id=r, val=f"v{t}-{r}")
+    names = mono.table_names()
+    select_s, sharded_rows = timed(lambda: [
+        sharded.select("reader", name, order_by="id").rows
+        for name in names])
+    mono_rows = [mono.select("reader", name, order_by="id").rows
+                 for name in names]
+    ok = (sharded_rows == mono_rows
+          and sharded.table_names() == names
+          and sharded.total_rows() == table_count * rows_per_table)
+    return {
+        "tables": table_count,
+        "rows": table_count * rows_per_table,
+        "select_s": round(select_s, 4),
+        "selects_per_s": round(len(names) / select_s),
+        "shard_generations": list(sharded.generation_stamps()),
+        "oracle_rows_equal": ok,
+    }, ok
+
+
+def _xml_equivalence(quick: bool) -> tuple[dict, bool]:
+    doc_count = 60 if quick else 240
+    mono = Collection("records")
+    sharded = ShardedCollection("records", shard_count=4)
+    for i in range(doc_count):
+        # One parsed tree shared by both stores so result equality is
+        # structural, not foiled by separately parsed duplicates.
+        document = parse(f"<rec><id>{i}</id><name>n{i}</name>"
+                         f"<dept>d{i % 7}</dept></rec>", name=f"doc{i:04d}")
+        mono.insert(f"doc{i:04d}", document)
+        sharded.insert(f"doc{i:04d}", document)
+    query_s, sharded_hits = timed(
+        lambda: sharded.query("/rec/name/text()"))
+    mono_hits = mono.query("/rec/name/text()")
+    structural = sharded.query("/rec/name") == mono.query("/rec/name")
+    ok = (sharded_hits == mono_hits and structural
+          and sharded.doc_ids() == mono.doc_ids())
+    return {
+        "documents": doc_count,
+        "query_s": round(query_s, 4),
+        "hits": len(sharded_hits),
+        "spread": sharded.spread(),
+        "oracle_query_equal": ok,
+    }, ok
+
+
+def _uddi_equivalence(quick: bool) -> tuple[dict, bool]:
+    business_count = 30 if quick else 120
+    mono = UddiRegistry("mono")
+    sharded = ShardedUddiRegistry(shard_count=4, name="sharded")
+    for i in range(business_count):
+        entity = BusinessEntity(
+            business_key=f"biz-{i:04d}", name=f"Corp {i}",
+            description=f"vendor {i}",
+            services=(BusinessService(
+                service_key=f"svc-{i:04d}", name=f"service {i}",
+                category="payments"),))
+        mono.save_business(entity, publisher=f"pub{i % 5}")
+        sharded.save_business(entity, publisher=f"pub{i % 5}")
+    find_s, sharded_rows = timed(lambda: sharded.find_service("*"))
+    ok = (sharded_rows == mono.find_service("*")
+          and sharded.find_business("*") == mono.find_business("*")
+          and sharded.state_digest() == mono.state_digest())
+    return {
+        "businesses": business_count,
+        "find_s": round(find_s, 4),
+        "spread": sharded.spread(),
+        "oracle_digest_identical": ok,
+    }, ok
+
+
+def bench_sharded_stores(quick: bool) -> tuple[dict, bool]:
+    relational, rel_ok = _relational_equivalence(quick)
+    xml, xml_ok = _xml_equivalence(quick)
+    uddi, uddi_ok = _uddi_equivalence(quick)
+    ok = rel_ok and xml_ok and uddi_ok
+    return {
+        "relational": relational,
+        "xml": xml,
+        "uddi": uddi,
+        "oracle_all_stores_equivalent": ok,
+    }, ok
+
+
+# -- 3. closed-loop pipeline -------------------------------------------
+
+def _build_engine(base, shard_count: int) -> ShardedPolicyEngine:
+    engine = ShardedPolicyEngine(shard_count=shard_count)
+    for policy in base:
+        engine.add(policy)
+    return engine
+
+
+def _run_gateway(engine, triples, workers: int,
+                 batch_size: int) -> tuple[float, list[Decision]]:
+    gateway = RequestGateway(engine, workers=workers,
+                             queue_limit=len(triples) + 1,
+                             batch_size=batch_size)
+    start = time.perf_counter()
+    futures = [gateway.submit(Request(s, a, p)) for s, a, p in triples]
+    if workers == 0:
+        gateway.process_pending()
+    decisions = [future.result(timeout=60) for future in futures]
+    elapsed = time.perf_counter() - start
+    gateway.close()
+    return elapsed, decisions
+
+
+def bench_closed_loop(quick: bool) -> tuple[dict, bool]:
+    base, triples = authorization_workload(quick)
+
+    serial_evaluator = PolicyEvaluator(base)
+    serial_s, serial = timed(
+        lambda: [serial_evaluator.decide(*t) for t in triples])
+    baseline = response_bytes(serial)
+    baseline_rps = len(triples) / serial_s
+
+    configs = ([(1, 1, 8), (2, 4, 32), (8, 8, 64), (8, 8, 256)]
+               if quick else
+               [(1, 1, 8), (1, 4, 32), (2, 4, 32), (4, 8, 64),
+                (8, 8, 64), (8, 8, 256), (8, 8, 512)])
+    sweep = []
+    ok = True
+    best_8x8 = 0.0
+    for workers, shards, batch_size in configs:
+        engine = _build_engine(base, shards)
+        elapsed, decisions = _run_gateway(engine, triples, workers,
+                                          batch_size)
+        identical = response_bytes(decisions) == baseline
+        ok = ok and identical
+        speedup = serial_s / elapsed
+        if workers == 8 and shards == 8:
+            best_8x8 = max(best_8x8, speedup)
+        sweep.append({
+            "workers": workers,
+            "shards": shards,
+            "batch": batch_size,
+            "elapsed_s": round(elapsed, 4),
+            "requests_per_s": round(len(triples) / elapsed),
+            "speedup_vs_serial": round(speedup, 1),
+            "oracle_byte_identical": identical,
+        })
+
+    gate = QUICK_SPEEDUP_GATE if quick else FULL_SPEEDUP_TARGET
+    target_met = best_8x8 >= gate
+    ok = ok and target_met
+    return {
+        "requests": len(triples),
+        "serial_s": round(serial_s, 4),
+        "serial_requests_per_s": round(baseline_rps),
+        "sweep": sweep,
+        "speedup_at_8w_8s": round(best_8x8, 1),
+        "speedup_gate": gate,
+        "oracle_speedup_target_met": target_met,
+        "oracle_responses_byte_identical": ok,
+    }, ok
+
+
+SECTIONS = (
+    ("batched_authorization", bench_batched_authorization),
+    ("sharded_stores", bench_sharded_stores),
+    ("closed_loop", bench_closed_loop),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workloads for the CI smoke job")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=DEFAULT_OUTPUT,
+                        help=f"JSON report path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    report: dict = {
+        "meta": {
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "oracles": {},
+    }
+    failures = []
+    for name, runner in SECTIONS:
+        section, ok = runner(args.quick)
+        report[name] = section
+        report["oracles"][name] = ok
+        if not ok:
+            failures.append(name)
+        headline = {k: v for k, v in section.items()
+                    if k in ("speedup", "speedup_at_8w_8s",
+                             "oracle_all_stores_equivalent")}
+        print(f"{name}: {'ok' if ok else 'ORACLE/GATE FAILED'} {headline}")
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {args.output}")
+    if failures:
+        print(f"oracle or gate failure in: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,13 +30,26 @@ error-severity finding):
   ``select_elements`` called with a string-literal path inside a loop:
   a constant expression should be compiled once before the loop (the
   process-wide compile cache softens the blow, but every iteration
-  still pays a lookup for a value that never changes).
+  still pays a lookup for a value that never changes);
+* ``LINT-BATCHLOOP`` (warning) — per-item policy evaluation
+  (``.decide()``/``.check()``) inside a loop: each call re-derives
+  candidate policies and re-qualifies credentials the batch engine
+  (:class:`repro.scale.batch.BatchDecisionEngine`) would amortize
+  across the whole loop — collect the triples and ``decide_batch``
+  them instead.
+
+A line may carry ``# lint: allow=RULE-ID[,RULE-ID...]`` to suppress
+exactly those rules on that line — for the rare site where the flagged
+pattern *is* the point (a benchmark measuring the unbatched serial
+path, say).  The pragma names the rule, so it documents the waiver and
+suppresses nothing else.
 """
 
 from __future__ import annotations
 
 import ast
 import pathlib
+import re
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -70,6 +83,12 @@ REGISTRY.register(
     "a literal path never changes between iterations; compile it once "
     "before the loop")
 REGISTRY.register(
+    "LINT-BATCHLOOP", Severity.WARNING, "lint",
+    "per-item policy evaluation inside a loop",
+    "each decide()/check() in a loop re-derives candidates and "
+    "re-qualifies credentials that decide_batch() amortizes once "
+    "per batch")
+REGISTRY.register(
     "LINT-SYNTAX", Severity.ERROR, "lint",
     "file does not parse",
     "unparseable code cannot be analyzed, let alone enforced")
@@ -78,6 +97,7 @@ _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict",
                   "Counter", "bytearray"}
 _CHECK_PREFIXES = ("verify_", "check_")
 _XPATH_CALLS = {"compile_xpath", "evaluate", "select_elements"}
+_DECISION_CALLS = {"decide", "check"}
 
 
 @dataclass(frozen=True)
@@ -246,6 +266,17 @@ class _Linter(ast.NodeVisitor):
                 f"loop; the expression is re-looked-up every iteration",
                 fix_hint="compile_xpath() the literal once before the "
                          "loop and pass the compiled object")
+        if (callee in _DECISION_CALLS and self._loop_depth > 0
+                and isinstance(func, ast.Attribute)
+                and len(node.args) >= 2):
+            self._emit(
+                "LINT-BATCHLOOP", node,
+                f".{callee}() evaluates one request per loop iteration; "
+                f"candidate lookup and credential qualification repeat "
+                f"every pass",
+                fix_hint="collect the (subject, action, path) triples "
+                         "and evaluate them with "
+                         "BatchDecisionEngine.decide_batch()")
         self.generic_visit(node)
 
     def visit_Expr(self, node: ast.Expr) -> None:
@@ -262,6 +293,26 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+_ALLOW_PRAGMA = re.compile(r"#\s*lint:\s*allow=([A-Z0-9\-, ]+)")
+
+
+def _allowed_rules(source: str) -> dict[int, frozenset[str]]:
+    """line number → rule ids waived by an ``# lint: allow=`` pragma."""
+    allowed: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_PRAGMA.search(line)
+        if match:
+            allowed[lineno] = frozenset(
+                rule.strip() for rule in match.group(1).split(",")
+                if rule.strip())
+    return allowed
+
+
+def _finding_line(finding: Finding) -> int:
+    _, _, line = finding.location.rpartition(":")
+    return int(line) if line.isdigit() else 0
+
+
 def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     """Lint one source text; syntax errors become findings too."""
     try:
@@ -273,7 +324,12 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     linter = _Linter(path)
     linter.collect_checkers(tree)
     linter.visit(tree)
-    return linter.findings
+    allowed = _allowed_rules(source)
+    if not allowed:
+        return linter.findings
+    return [finding for finding in linter.findings
+            if finding.rule_id not in
+            allowed.get(_finding_line(finding), frozenset())]
 
 
 def iter_python_files(paths: Iterable[str | pathlib.Path]

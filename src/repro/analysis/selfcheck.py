@@ -130,6 +130,13 @@ def label_all(documents):
     for doc in documents:
         out.extend(select_elements("//record", doc))
     return out
+
+
+def audit_all(evaluator, requests):
+    granted = []
+    for subject, action, path in requests:
+        granted.append(evaluator.decide(subject, action, path))
+    return granted
 '''
 
 
@@ -155,7 +162,7 @@ EXPECTED_RULE_IDS = frozenset({
     "INF-CHANNEL", "INF-REDUNDANT",
     "RDF-REIFY", "RDF-CONTAINER",
     "LINT-MUTDEF", "LINT-BAREEXC", "LINT-SWALLOW", "LINT-HASH",
-    "LINT-CHECKRET", "LINT-XPATHLOOP",
+    "LINT-CHECKRET", "LINT-XPATHLOOP", "LINT-BATCHLOOP",
 })
 
 

@@ -143,6 +143,13 @@ class CircuitOpen(TransportError):
     """A circuit breaker is open; the call was not attempted."""
 
 
+class AdmissionRejected(TransportError):
+    """A request gateway's bounded admission queue is full; the request
+    was refused *before* entering the system (load shedding).  Retryable
+    by construction: nothing was evaluated, so backing off and
+    resubmitting cannot double-apply anything."""
+
+
 class RetryExhausted(TransportError):
     """A retried operation ran out of attempts.
 

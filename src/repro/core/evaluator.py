@@ -98,6 +98,16 @@ class PolicyEvaluator:
             GenerationalCache(maxsize=4096) if cache_decisions else None)
 
     @property
+    def decision_cache(self) -> GenerationalCache | None:
+        """The generation-stamped decision cache (None when disabled).
+
+        Exposed so that batch evaluation (:mod:`repro.scale.batch`) can
+        share warm entries with the one-at-a-time path: a decision
+        cached by either path is a hit for the other.
+        """
+        return self._decision_cache
+
+    @property
     def cache_stats(self) -> dict[str, int | float] | None:
         """Decision-cache counters, or None when caching is disabled."""
         if self._decision_cache is None:
@@ -123,18 +133,18 @@ class PolicyEvaluator:
             stamp = self.policy_base.generation
             decision = cache.get(key, stamp)
             if decision is not MISS:
-                self._record(subject, action, path, decision)
+                self.record(subject, action, path, decision)
                 return decision
         applicable = self.policy_base.applicable(subject, action, path,
                                                  payload)
-        decision = self._resolve(applicable)
+        decision = self.resolve(applicable)
         if cache is not None:
             cache.put(key, stamp, decision)
-        self._record(subject, action, path, decision)
+        self.record(subject, action, path, decision)
         return decision
 
-    def _record(self, subject: Subject, action: Action,
-                path: ResourcePath, decision: Decision) -> None:
+    def record(self, subject: Subject, action: Action,
+               path: ResourcePath, decision: Decision) -> None:
         if self.audit is not None:
             self.audit.record(
                 subject=subject.identity.name, action=action.value,
@@ -158,7 +168,14 @@ class PolicyEvaluator:
 
     # -- conflict resolution -------------------------------------------
 
-    def _resolve(self, applicable: list[Policy]) -> Decision:
+    def resolve(self, applicable: list[Policy]) -> Decision:
+        """Turn the applicable-policy set into a :class:`Decision`.
+
+        Public so that the batch engine (:mod:`repro.scale.batch`) can
+        compute applicable sets its own way and still share this exact
+        conflict-resolution logic — the batch-equivalence contract
+        depends on both paths resolving identically.
+        """
         if not applicable:
             granted = self.default is DefaultDecision.OPEN
             return Decision(granted, None, (),

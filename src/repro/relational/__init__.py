@@ -17,7 +17,12 @@ from repro.relational.bidding import (
     OpenBidAuction,
 )
 from repro.relational.database import Database
-from repro.relational.locks import AcquireResult, LockManager, LockMode
+from repro.relational.locks import (
+    AcquireResult,
+    LockManager,
+    LockMode,
+    StripedLockManager,
+)
 from repro.relational.query import ResultSet, aggregate, join, select
 from repro.relational.recovery import (
     LoggedDatabase,
@@ -40,7 +45,8 @@ __all__ = [
     "Column", "ColumnType", "Database", "Grant", "ImmediateLockAuction",
     "Item", "ItemState", "LockManager", "LockMode", "LogKind",
     "LogRecord", "LoggedDatabase", "OpenBidAuction", "Privilege",
-    "ResultSet", "Table", "TableSchema", "Transaction",
+    "ResultSet", "StripedLockManager", "Table", "TableSchema",
+    "Transaction",
     "TransactionManager", "WriteAheadLog", "aggregate", "join",
     "recover", "schema", "select",
 ]

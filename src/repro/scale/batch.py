@@ -1,0 +1,162 @@
+"""Batched authorization: many (subject, action, path) triples, one pass.
+
+The serial evaluator re-derives everything per request: candidate
+policies, resource-pattern matches, credential qualification.  Under
+web traffic most of that work repeats — thousands of subjects ask about
+the same few resources, and one subject's credential either satisfies a
+policy's expression or it doesn't, regardless of which request is
+asking.  :class:`BatchDecisionEngine` exploits both redundancies:
+
+* requests are grouped by ``(action, path)``; candidate lookup and
+  resource-pattern matching run **once per group** instead of once per
+  request;
+* credential qualification (``policy.applies_to_subject``) is memoized
+  per ``(policy, subject)`` pair **across the whole batch** — the
+  amortization the related work on scalable policy evaluation calls
+  for;
+* content conditions are still evaluated per request (a payload is
+  request-local state) and decisions carrying one are never cached,
+  mirroring the serial evaluator's rule.
+
+The contract, enforced by a property test and the bench oracle::
+
+    engine.decide_batch(triples) == [evaluator.decide(*t) for t in triples]
+
+including audit records (same order, same content) and decision-cache
+population: the batch path consults and fills the *same*
+generation-stamped cache as the serial path, so the two can interleave
+freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.evaluator import Decision, PolicyEvaluator
+from repro.core.objects import ResourcePath
+from repro.core.policy import Action
+from repro.core.subjects import Subject
+from repro.perf.cache import MISS
+
+#: A request triple, optionally carrying a content payload.
+BatchRequest = tuple  # (subject, action, path[, payload])
+
+
+@dataclass
+class BatchStats:
+    """Where the amortization came from, per engine lifetime."""
+
+    requests: int = 0
+    groups: int = 0
+    cache_hits: int = 0
+    resource_checks: int = 0
+    subject_checks: int = 0
+    subject_reuses: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "groups": self.groups,
+            "cache_hits": self.cache_hits,
+            "resource_checks": self.resource_checks,
+            "subject_checks": self.subject_checks,
+            "subject_reuses": self.subject_reuses,
+        }
+
+
+@dataclass
+class _Group:
+    """One (action, path) equivalence class within a batch."""
+
+    path: ResourcePath
+    indices: list[int] = field(default_factory=list)
+
+
+class BatchDecisionEngine:
+    """Evaluates request batches against one :class:`PolicyEvaluator`.
+
+    The engine owns no policy state: it reads the evaluator's policy
+    base, shares its decision cache, resolves conflicts through its
+    public :meth:`~repro.core.evaluator.PolicyEvaluator.resolve`, and
+    records to its audit log — which is what makes the batch-equivalence
+    contract structural rather than aspirational.
+
+    Not safe against concurrent *policy mutation* mid-batch (neither is
+    the serial path); concurrent read-only batches are fine.
+    """
+
+    def __init__(self, evaluator: PolicyEvaluator) -> None:
+        self.evaluator = evaluator
+        self.stats = BatchStats()
+
+    def decide_batch(self, requests: Sequence[BatchRequest]
+                     ) -> list[Decision]:
+        """Decide every request; results align with the input order."""
+        evaluator = self.evaluator
+        base = evaluator.policy_base
+        normalized: list[tuple[Subject, Action, ResourcePath, object]] = []
+        for request in requests:
+            subject, action, path, *rest = request
+            payload = rest[0] if rest else None
+            normalized.append((subject, action, ResourcePath(path),
+                               payload))
+        self.stats.requests += len(normalized)
+
+        results: list[Decision | None] = [None] * len(normalized)
+        cache = evaluator.decision_cache
+        stamp = base.generation
+        groups: dict[tuple[Action, str], _Group] = {}
+        for index, (subject, action, path, payload) in enumerate(
+                normalized):
+            if cache is not None and payload is None:
+                hit = cache.get((subject, action, str(path)), stamp)
+                if hit is not MISS:
+                    results[index] = hit
+                    self.stats.cache_hits += 1
+                    continue
+            group = groups.setdefault((action, str(path)), _Group(path))
+            group.indices.append(index)
+
+        # (policy_id, subject) -> bool, shared across every group of
+        # this batch: one credential qualification per pair, no matter
+        # how many paths the subject asks about.
+        subject_applies: dict[tuple[int, Subject], bool] = {}
+
+        for action, path_text in sorted(groups,
+                                        key=lambda k: (k[0].value, k[1])):
+            group = groups[(action, path_text)]
+            path = group.path
+            candidates = base.candidates(action, path)
+            self.stats.resource_checks += len(candidates)
+            on_target = [policy for policy in candidates
+                         if policy.applies_to_resource(path)]
+            self.stats.groups += 1
+            for index in group.indices:
+                subject, _, _, payload = normalized[index]
+                applicable = []
+                for policy in on_target:
+                    pair = (policy.policy_id, subject)
+                    matched = subject_applies.get(pair)
+                    if matched is None:
+                        matched = policy.applies_to_subject(subject)
+                        subject_applies[pair] = matched
+                        self.stats.subject_checks += 1
+                    else:
+                        self.stats.subject_reuses += 1
+                    if matched and policy.applies_to_content(payload):
+                        applicable.append(policy)
+                decision = evaluator.resolve(applicable)
+                results[index] = decision
+                if cache is not None and payload is None:
+                    cache.put((subject, action, path_text), stamp,
+                              decision)
+
+        # Audit in input order, exactly as a serial loop would have.
+        decisions: list[Decision] = []
+        for (subject, action, path, _), decision in zip(normalized,
+                                                        results):
+            assert decision is not None
+            evaluator.record(subject, action, path, decision)
+            decisions.append(decision)
+        return decisions

@@ -1,0 +1,184 @@
+"""Hash-sharded policy stores with per-shard batch evaluation.
+
+One monolithic :class:`~repro.core.policy.PolicyBase` is a single
+mutation domain: every grant added anywhere bumps one global generation
+and stales every warm decision.  :class:`ShardedPolicyEngine` splits
+the resource space by the *first literal segment* of each policy's
+pattern — the same head the base's candidate index already prunes on —
+across N independent bases:
+
+* a policy whose pattern head is a literal lives on exactly one shard
+  (the ring owner of that head);
+* a policy whose head is a glob (``*``, ``**``, ``r*`` ...) can reach
+  any path, so it is **broadcast** to every shard;
+* a request for a path is decided entirely by the shard owning the
+  path's head — which, by the routing rule above, holds precisely the
+  policies the monolithic candidate index would have returned.
+
+That last point is the sharding-equivalence contract (property-tested):
+``sharded.decide(t) == monolithic.decide(t)`` for every triple, and
+``decide_batch`` distributes a batch across shards and reassembles
+results in input order.
+
+Each shard owns its own evaluator, decision cache and
+:class:`~repro.scale.batch.BatchDecisionEngine`; a
+:class:`~repro.perf.cache.ShardedGeneration` mirrors the shards'
+policy-base generations so cross-layer caches can stamp per shard —
+a write to shard A no longer invalidates anything warm about shard B.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Sequence
+
+from repro.core.audit import AuditLog
+from repro.core.evaluator import (
+    ConflictResolution,
+    Decision,
+    DefaultDecision,
+    PolicyEvaluator,
+)
+from repro.core.objects import ResourcePath
+from repro.core.policy import Action, Policy, PolicyBase
+from repro.core.subjects import Subject
+from repro.perf.cache import ShardedGeneration
+from repro.scale.batch import BatchDecisionEngine, BatchRequest
+from repro.scale.router import ConsistentHashRouter
+
+_GLOB_CHARS = "*?["
+
+
+def _pattern_head(policy: Policy) -> str:
+    segments = policy.resource.segments
+    return segments[0] if segments else "**"
+
+
+def is_broadcast(policy: Policy) -> bool:
+    """True when the policy's pattern head is a glob, so the policy can
+    match paths under any head and must live on every shard."""
+    head = _pattern_head(policy)
+    return any(ch in head for ch in _GLOB_CHARS)
+
+
+class ShardedPolicyEngine:
+    """N policy shards behind one evaluator-compatible surface."""
+
+    def __init__(self, shard_count: int = 4,
+                 resolution: ConflictResolution =
+                 ConflictResolution.DENY_OVERRIDES,
+                 default: DefaultDecision = DefaultDecision.CLOSED,
+                 audit: AuditLog | None = None,
+                 cache_decisions: bool = True) -> None:
+        self.router = ConsistentHashRouter(shard_count)
+        self.shard_count = shard_count
+        self._bases = tuple(PolicyBase() for _ in range(shard_count))
+        self._evaluators = tuple(
+            PolicyEvaluator(base, resolution, default, audit,
+                            cache_decisions=cache_decisions)
+            for base in self._bases)
+        self._batch_engines = tuple(BatchDecisionEngine(evaluator)
+                                    for evaluator in self._evaluators)
+        # One mutex per shard: gateway workers evaluating different
+        # shards run without contention, while two batches hitting the
+        # same shard serialize instead of racing its decision cache.
+        self._locks = tuple(threading.Lock() for _ in range(shard_count))
+        # Mirror of each shard base's generation: external caches stamp
+        # entries with generations.stamp(shard) and survive writes to
+        # every *other* shard.
+        self.generations = ShardedGeneration(shard_count)
+        for index, base in enumerate(self._bases):
+            base.add_invalidation_hook(
+                lambda index=index: self.generations.bump(index))
+
+    # -- routing ----------------------------------------------------------
+
+    def shard_for_path(self, path: ResourcePath | str) -> int:
+        """The shard that decides requests about *path*."""
+        path = ResourcePath(path)
+        head = path.segments[0] if path.segments else ""
+        return self.router.shard_for(head)
+
+    def shards_for_policy(self, policy: Policy) -> tuple[int, ...]:
+        """Where *policy* lives: one shard, or all for broadcast heads."""
+        if is_broadcast(policy):
+            return tuple(range(self.shard_count))
+        return (self.router.shard_for(_pattern_head(policy)),)
+
+    def evaluator(self, shard: int) -> PolicyEvaluator:
+        return self._evaluators[shard]
+
+    def base(self, shard: int) -> PolicyBase:
+        return self._bases[shard]
+
+    # -- policy administration -------------------------------------------
+
+    def add(self, policy: Policy) -> Policy:
+        for shard in self.shards_for_policy(policy):
+            self._bases[shard].add(policy)
+        return policy
+
+    def remove(self, policy: Policy) -> None:
+        for shard in self.shards_for_policy(policy):
+            self._bases[shard].remove(policy)
+
+    def policies(self) -> Iterator[Policy]:
+        """Every distinct policy, in id order (broadcast dedup'd)."""
+        seen: set[int] = set()
+        collected: list[Policy] = []
+        for base in self._bases:
+            for policy in base:
+                if policy.policy_id not in seen:
+                    seen.add(policy.policy_id)
+                    collected.append(policy)
+        return iter(sorted(collected, key=lambda p: p.policy_id))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.policies())
+
+    # -- evaluation -------------------------------------------------------
+
+    def decide(self, subject: Subject, action: Action,
+               path: ResourcePath | str,
+               payload: object = None) -> Decision:
+        shard = self.shard_for_path(path)
+        with self._locks[shard]:
+            return self._evaluators[shard].decide(subject, action, path,
+                                                  payload)
+
+    def check(self, subject: Subject, action: Action,
+              path: ResourcePath | str, payload: object = None) -> bool:
+        return self.decide(subject, action, path, payload).granted
+
+    def decide_batch(self, requests: Sequence[BatchRequest]
+                     ) -> list[Decision]:
+        """Partition a batch by shard, batch-decide per shard, and
+        reassemble results in input order."""
+        by_shard: dict[int, list[int]] = {}
+        for index, request in enumerate(requests):
+            shard = self.shard_for_path(request[2])
+            by_shard.setdefault(shard, []).append(index)
+        results: list[Decision | None] = [None] * len(requests)
+        for shard in sorted(by_shard):
+            indices = by_shard[shard]
+            with self._locks[shard]:
+                decisions = self._batch_engines[shard].decide_batch(
+                    [requests[i] for i in indices])
+            for index, decision in zip(indices, decisions):
+                results[index] = decision
+        return [d for d in results if d is not None]
+
+    def batch_engine(self, shard: int) -> BatchDecisionEngine:
+        return self._batch_engines[shard]
+
+    # -- telemetry --------------------------------------------------------
+
+    def cache_stats(self) -> list[dict[str, int | float] | None]:
+        return [evaluator.cache_stats for evaluator in self._evaluators]
+
+    def batch_stats(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for engine in self._batch_engines:
+            for key, value in engine.stats.snapshot().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

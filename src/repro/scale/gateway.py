@@ -1,0 +1,304 @@
+"""The closed-loop request pipeline: admission → batch → decision.
+
+:class:`RequestGateway` is the end-to-end throughput harness the A7
+experiment drives: callers :meth:`submit` authorization requests and
+get futures back; a bounded admission queue sheds load with a typed
+:class:`~repro.core.errors.AdmissionRejected` (never an unbounded
+backlog); worker threads drain the queue in batches, group each batch
+by shard, and push the groups through the sharded engine's batched
+decision path.  Per-stage counters (admitted/rejected, queue wait,
+evaluation time, batch sizes) make the sweep's bottlenecks visible.
+
+Fault semantics (the chaos battery's contract): an optional
+:class:`~repro.faults.injector.FaultInjector` is stepped once per
+shard-group at the site ``gateway:shard<i>``.  A fault never alters a
+decision — it converts the whole group's responses into one *typed*
+:class:`~repro.core.errors.TransportError` subclass (CRASH →
+ReplicaUnavailable, DROP/REORDER → MessageDropped, CORRUPT →
+CorruptMessage, STALE_READ → StaleRead).  DELAY only charges the fault
+clock and DUPLICATE re-evaluates the group (decisions are read-only,
+so a duplicate is harmless — which the chaos suite asserts).  Every
+response is therefore byte-identical to the fault-free run or a typed
+error: fail closed, never a silently wrong grant.
+
+``workers=0`` runs the gateway synchronously — :meth:`process_pending`
+drains the queue on the caller's thread in submission order, which is
+what makes the chaos battery deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.core.errors import (
+    AdmissionRejected,
+    CorruptMessage,
+    MessageDropped,
+    ReplicaUnavailable,
+    StaleRead,
+)
+from repro.core.evaluator import Decision
+from repro.core.objects import ResourcePath
+from repro.core.policy import Action
+from repro.core.subjects import Subject
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
+
+
+@dataclass(frozen=True)
+class Request:
+    """One authorization question in flight through the gateway."""
+
+    subject: Subject
+    action: Action
+    path: ResourcePath | str
+    payload: object = None
+
+    def triple(self) -> tuple:
+        return (self.subject, self.action, self.path, self.payload)
+
+
+@dataclass
+class GatewayStats:
+    """Per-stage counters; snapshot() is what the bench records."""
+
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    queue_wait_s: float = 0.0
+    evaluate_s: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def snapshot(self) -> dict[str, int | float]:
+        with self._lock:
+            return {
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "batches": self.batches,
+                "queue_wait_s": round(self.queue_wait_s, 6),
+                "evaluate_s": round(self.evaluate_s, 6),
+            }
+
+
+#: FaultKind → the typed TransportError the whole shard-group fails with.
+_FAULT_ERRORS = {
+    FaultKind.CRASH: lambda site: ReplicaUnavailable(
+        f"shard behind {site} is down"),
+    FaultKind.DROP: lambda site: MessageDropped(
+        f"batch to {site} lost in transit"),
+    FaultKind.REORDER: lambda site: MessageDropped(
+        f"batch to {site} arrived out of order and was discarded"),
+    FaultKind.CORRUPT: lambda site: CorruptMessage(
+        f"batch to {site} failed its frame checksum"),
+    FaultKind.STALE_READ: lambda site: StaleRead(
+        f"shard behind {site} served a lagging snapshot"),
+}
+
+
+class RequestGateway:
+    """Bounded admission + worker pool over a sharded policy engine.
+
+    *engine* needs ``decide_batch(requests)`` and (optionally)
+    ``shard_for_path(path)``; a monolithic
+    :class:`~repro.scale.batch.BatchDecisionEngine` works too — all
+    requests then form a single shard-0 group.
+    """
+
+    def __init__(self, engine, workers: int = 4,
+                 queue_limit: int = 1024, batch_size: int = 32,
+                 linger_s: float = 0.002,
+                 faults: FaultInjector | None = None) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.engine = engine
+        self.queue_limit = queue_limit
+        self.batch_size = batch_size
+        # How long a worker holding a *partial* batch waits for it to
+        # fill before evaluating anyway.  Without it, workers racing
+        # the submitter drain one-request batches and the group
+        # amortization decide_batch exists for never materializes.
+        self.linger_s = linger_s
+        self.faults = faults
+        self.stats = GatewayStats()
+        self._queue: deque[tuple[Request, Future, float]] = deque()
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+        self._closing = False
+        self._workers: list[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"gateway-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._workers.append(thread)
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, request: Request) -> Future:
+        """Admit *request* or shed it with AdmissionRejected."""
+        future: Future = Future()
+        with self._mutex:
+            if self._closing:
+                raise AdmissionRejected("gateway is shutting down")
+            if len(self._queue) >= self.queue_limit:
+                with self.stats._lock:
+                    self.stats.rejected += 1
+                raise AdmissionRejected(
+                    f"admission queue full ({self.queue_limit} pending)")
+            self._queue.append((request, future, time.perf_counter()))
+            with self.stats._lock:
+                self.stats.admitted += 1
+            self._not_empty.notify()
+        return future
+
+    def pending(self) -> int:
+        with self._mutex:
+            return len(self._queue)
+
+    # -- the pipeline ------------------------------------------------------
+
+    def _drain(self) -> list[tuple[Request, Future, float]]:
+        """Pop up to batch_size entries (caller holds no locks)."""
+        with self._mutex:
+            batch = []
+            while self._queue and len(batch) < self.batch_size:
+                batch.append(self._queue.popleft())
+            return batch
+
+    def _shard_of(self, request: Request) -> int:
+        shard_for_path = getattr(self.engine, "shard_for_path", None)
+        if shard_for_path is None:
+            return 0
+        return shard_for_path(request.path)
+
+    def _evaluate(self, batch: list[tuple[Request, Future, float]]) -> None:
+        """Group one drained batch by shard and decide each group."""
+        dequeued_at = time.perf_counter()
+        with self.stats._lock:
+            self.stats.batches += 1
+            for _, _, submitted_at in batch:
+                self.stats.queue_wait_s += dequeued_at - submitted_at
+
+        groups: dict[int, list[tuple[Request, Future]]] = {}
+        for request, future, _ in batch:
+            groups.setdefault(self._shard_of(request), []).append(
+                (request, future))
+
+        for shard in sorted(groups):
+            group = groups[shard]
+            error = self._fault_for(shard)
+            if error is not None:
+                for _, future in group:
+                    future.set_exception(error)
+                with self.stats._lock:
+                    self.stats.failed += len(group)
+                continue
+            started = time.perf_counter()
+            try:
+                decisions: list[Decision] = self.engine.decide_batch(
+                    [request.triple() for request, _ in group])
+            except Exception as exc:  # typed errors flow to the caller
+                for _, future in group:
+                    future.set_exception(exc)
+                with self.stats._lock:
+                    self.stats.failed += len(group)
+                continue
+            with self.stats._lock:
+                self.stats.evaluate_s += time.perf_counter() - started
+                self.stats.completed += len(group)
+            for (_, future), decision in zip(group, decisions):
+                future.set_result(decision)
+
+    def _fault_for(self, shard: int) -> Exception | None:
+        """Step the injector for this shard-group; worst event wins.
+
+        DELAY has already charged the fault clock inside ``step``;
+        DUPLICATE means the group would be evaluated twice — decisions
+        are read-only, so the second evaluation is the one we run.
+        """
+        if self.faults is None:
+            return None
+        events = self.faults.step(f"gateway:shard{shard}")
+        for kind in (FaultKind.CRASH, FaultKind.CORRUPT,
+                     FaultKind.STALE_READ, FaultKind.DROP,
+                     FaultKind.REORDER):
+            if any(event.kind is kind for event in events):
+                return _FAULT_ERRORS[kind](f"gateway:shard{shard}")
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._not_empty:
+                deadline: float | None = None
+                while True:
+                    if self._closing:
+                        if not self._queue:
+                            return
+                        break
+                    if len(self._queue) >= self.batch_size:
+                        break
+                    if self._queue:
+                        # Partial batch: linger briefly so it can fill.
+                        now = time.monotonic()
+                        if deadline is None:
+                            deadline = now + self.linger_s
+                        if now >= deadline:
+                            break
+                        self._not_empty.wait(timeout=deadline - now)
+                    else:
+                        deadline = None
+                        self._not_empty.wait(timeout=0.05)
+            batch = self._drain()
+            if batch:
+                self._evaluate(batch)
+
+    # -- synchronous mode (workers=0) --------------------------------------
+
+    def process_pending(self) -> int:
+        """Drain and evaluate everything queued, on this thread, in
+        submission order.  The deterministic path: same submissions +
+        same fault plan ⇒ same responses, every run."""
+        processed = 0
+        while True:
+            batch = self._drain()
+            if not batch:
+                return processed
+            self._evaluate(batch)
+            processed += len(batch)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting work; by default finish what was admitted."""
+        with self._mutex:
+            self._closing = True
+            self._not_empty.notify_all()
+        for thread in self._workers:
+            thread.join(timeout=5.0)
+        if drain:
+            self.process_pending()
+        else:
+            while True:
+                batch = self._drain()
+                if not batch:
+                    break
+                for _, future, _ in batch:
+                    future.set_exception(
+                        AdmissionRejected("gateway closed before evaluation"))
+
+    def __enter__(self) -> RequestGateway:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

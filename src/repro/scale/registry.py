@@ -1,0 +1,207 @@
+"""Hash-sharded UDDI registry.
+
+Each shard is a complete :class:`~repro.uddi.registry.UddiRegistry`.
+Routing keys: businesses by ``business_key``, tModels by
+``tmodel_key``, publisher assertions by their **fromKey** — the side
+whose ownership the filing check inspects, so the check still sees the
+owner record without any cross-shard lookup.
+
+Browse inquiries (find_xxx) scatter to every shard and gather with the
+same sort keys the monolithic registry uses (business_key /
+service_key / tmodel_key), so the merged rows equal the monolithic
+result.  ``find_related_businesses`` needs *mutual* assertions, and the
+two directions of a relationship live on (potentially) different
+shards — it gathers all shards' assertions first, then applies the
+monolithic mutuality rule to the union.
+
+``state_digest`` merges every shard's
+:meth:`~repro.uddi.registry.UddiRegistry.state_parts` under their
+canonical sort keys, producing a digest byte-identical to a monolithic
+registry holding the union — the convergence oracle the chaos suite
+compares across sharded and unsharded runs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.errors import RegistryError
+from repro.crypto.hashing import combine, sha256_hex
+from repro.scale.router import ConsistentHashRouter
+from repro.uddi.model import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    PublisherAssertion,
+    TModel,
+)
+from repro.uddi.registry import (
+    BusinessOverview,
+    ServiceOverview,
+    UddiRegistry,
+)
+
+
+class ShardedUddiRegistry:
+    """N UDDI registries behind the monolithic registry's surface."""
+
+    def __init__(self, shard_count: int = 4, name: str = "registry",
+                 executor: ThreadPoolExecutor | None = None) -> None:
+        self.name = name
+        self.shard_count = shard_count
+        self.router = ConsistentHashRouter(shard_count)
+        self._shards = tuple(UddiRegistry(f"{name}-s{index}")
+                             for index in range(shard_count))
+        self._executor = executor
+
+    # -- routing ----------------------------------------------------------
+
+    def shard_index(self, key: str) -> int:
+        return self.router.shard_for(key)
+
+    def shard(self, index: int) -> UddiRegistry:
+        return self._shards[index]
+
+    def shard_of(self, key: str) -> UddiRegistry:
+        return self._shards[self.shard_index(key)]
+
+    def _gather(self, job):
+        """Run *job* on every shard; results in shard-index order."""
+        if self._executor is not None and self.shard_count > 1:
+            return list(self._executor.map(job, self._shards))
+        return [job(shard) for shard in self._shards]
+
+    # -- publisher API ----------------------------------------------------
+
+    def save_business(self, entity: BusinessEntity, publisher: str,
+                      idempotency_key: str | None = None) -> BusinessEntity:
+        return self.shard_of(entity.business_key).save_business(
+            entity, publisher, idempotency_key)
+
+    def delete_business(self, business_key: str, publisher: str) -> None:
+        home = self.shard_index(business_key)
+        self._shards[home].delete_business(business_key, publisher)
+        # Assertions *about* this business filed by other owners live on
+        # the other owners' shards: purge them everywhere.
+        for index, shard in enumerate(self._shards):
+            if index != home:
+                shard.purge_assertions(business_key)
+
+    def save_tmodel(self, tmodel: TModel, publisher: str,
+                    idempotency_key: str | None = None) -> TModel:
+        return self.shard_of(tmodel.tmodel_key).save_tmodel(
+            tmodel, publisher, idempotency_key)
+
+    def add_assertion(self, assertion: PublisherAssertion,
+                      publisher: str,
+                      idempotency_key: str | None = None) -> None:
+        # Filed on the fromKey owner's shard — where the ownership
+        # record the filing check needs already lives.
+        self.shard_of(assertion.from_key).add_assertion(
+            assertion, publisher, idempotency_key)
+
+    def has_applied(self, idempotency_key: str) -> bool:
+        return any(shard.has_applied(idempotency_key)
+                   for shard in self._shards)
+
+    def owner_of(self, business_key: str) -> str:
+        return self.shard_of(business_key).owner_of(business_key)
+
+    # -- drill-down inquiries (get_xxx) -----------------------------------
+
+    def get_business_detail(self, business_key: str) -> BusinessEntity:
+        return self.shard_of(business_key).get_business_detail(business_key)
+
+    def get_tmodel_detail(self, tmodel_key: str) -> TModel:
+        return self.shard_of(tmodel_key).get_tmodel_detail(tmodel_key)
+
+    def get_service_detail(self, service_key: str) -> BusinessService:
+        # Services are nested inside businesses, which are routed by
+        # *business* key — a service key alone doesn't name a shard, so
+        # probe shards in index order (deterministic).
+        for shard in self._shards:
+            try:
+                return shard.get_service_detail(service_key)
+            except RegistryError:
+                continue
+        raise RegistryError(f"unknown service {service_key!r}")
+
+    def get_binding_detail(self, binding_key: str) -> BindingTemplate:
+        for shard in self._shards:
+            try:
+                return shard.get_binding_detail(binding_key)
+            except RegistryError:
+                continue
+        raise RegistryError(f"unknown binding {binding_key!r}")
+
+    # -- browse inquiries (find_xxx) --------------------------------------
+
+    def find_business(self, name_pattern: str = "*") -> list[BusinessOverview]:
+        chunks = self._gather(lambda s: s.find_business(name_pattern))
+        rows = [row for chunk in chunks for row in chunk]
+        return sorted(rows, key=lambda r: r.business_key)
+
+    def find_service(self, name_pattern: str = "*",
+                     category: str | None = None) -> list[ServiceOverview]:
+        chunks = self._gather(
+            lambda s: s.find_service(name_pattern, category))
+        rows = [row for chunk in chunks for row in chunk]
+        return sorted(rows, key=lambda r: r.service_key)
+
+    def find_tmodel(self, name_pattern: str = "*") -> list[TModel]:
+        chunks = self._gather(lambda s: s.find_tmodel(name_pattern))
+        rows = [row for chunk in chunks for row in chunk]
+        return sorted(rows, key=lambda t: t.tmodel_key)
+
+    def find_related_businesses(self, business_key: str) -> list[str]:
+        """Mutually asserted relationships, resolved over the union of
+        every shard's assertions (the two directions of one
+        relationship can live on two shards)."""
+        forward = {(a.from_key, a.to_key, a.relationship)
+                   for shard in self._shards
+                   for a in shard.assertions()}
+        related: set[str] = set()
+        for from_key, to_key, relationship in forward:
+            if (to_key, from_key, relationship) not in forward:
+                continue
+            if from_key == business_key:
+                related.add(to_key)
+            elif to_key == business_key:
+                related.add(from_key)
+        return sorted(related)
+
+    # -- state fingerprinting ---------------------------------------------
+
+    def state_digest(self) -> str:
+        """Digest over the union of all shards, byte-identical to a
+        monolithic registry holding the same content."""
+        parts = [pair for shard in self._shards
+                 for pair in shard.state_parts()]
+        parts.sort(key=lambda pair: pair[0])
+        ordered = [part for _, part in parts]
+        return combine(*ordered) if ordered else \
+            sha256_hex("empty-registry")
+
+    # -- enumeration / telemetry ------------------------------------------
+
+    def business_keys(self) -> list[str]:
+        keys = [key for shard in self._shards
+                for key in shard.business_keys()]
+        return sorted(keys)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    @property
+    def inquiry_count(self) -> int:
+        return sum(shard.inquiry_count for shard in self._shards)
+
+    @property
+    def publish_count(self) -> int:
+        return sum(shard.publish_count for shard in self._shards)
+
+    def spread(self) -> dict[int, int]:
+        """Businesses-per-shard histogram (balance diagnostics)."""
+        return {index: len(shard)
+                for index, shard in enumerate(self._shards)
+                if len(shard)}

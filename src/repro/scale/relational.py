@@ -1,0 +1,206 @@
+"""Hash-sharded relational store: N databases behind one facade.
+
+Tables are routed by name over the consistent-hash ring, so each shard
+is a complete :class:`~repro.relational.database.Database` — catalog,
+metadata, and its *own* System R authorization manager.  That last
+point is the scaling win beyond raw partitioning: each shard's grant
+graph has its own generation counter, so a GRANT/REVOKE on shard A's
+tables leaves every warm privilege/restriction cache entry on shard B
+valid (the shard-aware invalidation regression test pins this).
+
+Cross-shard work goes through :meth:`scatter`, which reuses the thread
+-pool pattern of the parallel dissemination packager: results come back
+in shard order regardless of completion order, so scatter-gather output
+is deterministic.  Locking for multi-shard transactions uses a
+:class:`~repro.relational.locks.StripedLockManager` with one stripe per
+shard — disjoint shards never contend on a global lock structure.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Mapping, Sequence, TypeVar
+
+from repro.core.errors import QueryError
+from repro.relational.authorization import (
+    AuthorizationManager,
+    Grant,
+    Privilege,
+)
+from repro.relational.database import Database, RowPredicate
+from repro.relational.locks import StripedLockManager
+from repro.relational.query import ResultSet, join as query_join
+from repro.relational.table import Table, TableSchema
+from repro.scale.router import ConsistentHashRouter
+
+T = TypeVar("T")
+
+
+class ShardedDatabase:
+    """A catalog of tables hash-partitioned across N databases."""
+
+    def __init__(self, shard_count: int = 4, name: str = "db",
+                 executor: ThreadPoolExecutor | None = None) -> None:
+        self.name = name
+        self.shard_count = shard_count
+        self.router = ConsistentHashRouter(shard_count)
+        self._shards = tuple(Database(f"{name}-s{index}")
+                             for index in range(shard_count))
+        # One lock stripe per shard: transactions on different shards
+        # take different stripes and never serialize on each other.
+        self.locks = StripedLockManager(stripes=shard_count)
+        # Not owned: callers share one pool across stores (the gateway
+        # passes its worker pool).  None means scatter runs serially.
+        self._executor = executor
+
+    # -- routing ----------------------------------------------------------
+
+    def shard_index(self, table: str) -> int:
+        return self.router.shard_for(table)
+
+    def shard(self, index: int) -> Database:
+        return self._shards[index]
+
+    def shard_of(self, table: str) -> Database:
+        return self._shards[self.shard_index(table)]
+
+    def authorization_for(self, table: str) -> AuthorizationManager:
+        """The (per-shard) grant graph governing *table*."""
+        return self.shard_of(table).authorization
+
+    # -- catalog ----------------------------------------------------------
+
+    def create_table(self, table_schema: TableSchema,
+                     owner: str) -> Table:
+        return self.shard_of(table_schema.name).create_table(
+            table_schema, owner)
+
+    def table(self, name: str) -> Table:
+        return self.shard_of(name).table(name)
+
+    def table_names(self) -> list[str]:
+        names: list[str] = []
+        for shard in self._shards:
+            names.extend(shard.table_names())
+        return sorted(names)
+
+    def set_metadata(self, table: str, key: str, value: object) -> None:
+        self.shard_of(table).set_metadata(table, key, value)
+
+    def get_metadata(self, table: str, key: str,
+                     default: object = None) -> object:
+        return self.shard_of(table).get_metadata(table, key, default)
+
+    # -- authorization administration ------------------------------------
+
+    def grant(self, grantor: str, grantee: str, table: str,
+              privilege: Privilege, with_grant_option: bool = False,
+              row_filter: RowPredicate | None = None,
+              column_mask: Sequence[str] = ()) -> Grant:
+        return self.authorization_for(table).grant(
+            grantor, grantee, table, privilege, with_grant_option,
+            row_filter, column_mask)
+
+    def revoke(self, revoker: str, grantee: str, table: str,
+               privilege: Privilege) -> list[Grant]:
+        return self.authorization_for(table).revoke(
+            revoker, grantee, table, privilege)
+
+    # -- secure data access ----------------------------------------------
+
+    def insert(self, user: str, table_name: str, **values: object) -> None:
+        self.shard_of(table_name).insert(user, table_name, **values)
+
+    def select(self, user: str, table_name: str,
+               columns: Sequence[str] | None = None,
+               where: RowPredicate | None = None,
+               order_by: str | None = None,
+               limit: int | None = None) -> ResultSet:
+        return self.shard_of(table_name).select(
+            user, table_name, columns, where, order_by, limit)
+
+    def update(self, user: str, table_name: str,
+               where: RowPredicate, changes: Mapping[str, object]) -> int:
+        return self.shard_of(table_name).update(user, table_name, where,
+                                                changes)
+
+    def delete(self, user: str, table_name: str,
+               where: RowPredicate) -> int:
+        return self.shard_of(table_name).delete(user, table_name, where)
+
+    def join(self, user: str, left_name: str, right_name: str,
+             on: tuple[str, str],
+             columns: Sequence[str] | None = None,
+             where: RowPredicate | None = None) -> ResultSet:
+        """Join across shards: each side's privileges and restrictions
+        are enforced by its own shard's grant graph."""
+        left_auth = self.authorization_for(left_name)
+        right_auth = self.authorization_for(right_name)
+        left_auth.enforce(user, left_name, Privilege.SELECT)
+        right_auth.enforce(user, right_name, Privilege.SELECT)
+        left_filter, _ = left_auth.restriction(user, left_name,
+                                               Privilege.SELECT)
+        right_filter, _ = right_auth.restriction(user, right_name,
+                                                 Privilege.SELECT)
+        return query_join(self.table(left_name), self.table(right_name),
+                          on, columns, where,
+                          left_filter=left_filter,
+                          right_filter=right_filter)
+
+    # -- scatter-gather ---------------------------------------------------
+
+    def scatter(self, job: Callable[[Database], T]) -> list[T]:
+        """Run *job* against every shard; results in shard order.
+
+        With an executor, shards run concurrently but the gather is
+        still ordered by shard index — completion order never leaks
+        into results.
+        """
+        if self._executor is not None and self.shard_count > 1:
+            return list(self._executor.map(job, self._shards))
+        return [job(shard) for shard in self._shards]
+
+    def select_many(self, user: str, table_names: Sequence[str],
+                    columns: Sequence[str] | None = None,
+                    where: RowPredicate | None = None
+                    ) -> list[tuple[str, ResultSet]]:
+        """SELECT over several tables, grouped by shard and gathered in
+        table-name order (deterministic regardless of executor timing)."""
+        for name in table_names:
+            # Enforce before any data moves: a denied table fails the
+            # whole request up front, never a partial gather.
+            self.authorization_for(name).enforce(user, name,
+                                                 Privilege.SELECT)
+        by_shard: dict[int, list[str]] = {}
+        for name in table_names:
+            by_shard.setdefault(self.shard_index(name), []).append(name)
+
+        def run(index: int) -> list[tuple[str, ResultSet]]:
+            shard = self._shards[index]
+            return [(name, shard.select(user, name, columns, where))
+                    for name in by_shard[index]]
+
+        shard_indices = sorted(by_shard)
+        if self._executor is not None and len(shard_indices) > 1:
+            chunks = list(self._executor.map(run, shard_indices))
+        else:
+            chunks = [run(index) for index in shard_indices]
+        gathered = [pair for chunk in chunks for pair in chunk]
+        return sorted(gathered, key=lambda pair: pair[0])
+
+    def total_rows(self) -> int:
+        return sum(len(shard.table(name))
+                   for shard in self._shards
+                   for name in shard.table_names())
+
+    def generation_stamps(self) -> tuple[int, ...]:
+        """Per-shard authorization generations — the shard-aware cache
+        stamp: a write to one shard changes exactly one entry."""
+        return tuple(shard.authorization.generation
+                     for shard in self._shards)
+
+    def require_table(self, name: str) -> Table:
+        table = self.table(name)
+        if table is None:  # pragma: no cover - Database.table raises
+            raise QueryError(f"no table {name!r}")
+        return table

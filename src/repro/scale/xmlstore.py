@@ -1,0 +1,175 @@
+"""Hash-sharded XML document store.
+
+Documents are routed by ``doc_id`` over the consistent-hash ring; each
+shard is a plain :class:`~repro.xmldb.database.Collection`, so insert,
+validation, and point lookups touch exactly one shard.  Queries compile
+the XPath **once** and scatter the compiled form to every shard
+(optionally on a thread pool), then gather with a stable merge:
+
+    unsharded ``Collection.query`` iterates documents in sorted-doc-id
+    order and, within a document, in evaluation order.  The sharded
+    gather therefore sorts the flattened per-shard results by doc id —
+    Python's sort is stable, so within one document the shard's own
+    evaluation order survives — and the merged list is **equal** to the
+    monolithic result.  That equality is the store's equivalence oracle
+    in the bench and the determinism suite.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator
+
+from repro.core.errors import ConfigurationError, QueryError
+from repro.scale.router import ConsistentHashRouter
+from repro.xmldb.database import Collection
+from repro.xmldb.dtd import Schema, Violation
+from repro.xmldb.model import Document, Element
+from repro.xmldb.xpath import XPath, compile_xpath
+
+
+class ShardedCollection:
+    """One logical collection, hash-partitioned by document id."""
+
+    def __init__(self, name: str, shard_count: int = 4,
+                 schema: Schema | None = None,
+                 executor: ThreadPoolExecutor | None = None) -> None:
+        self.name = name
+        self.shard_count = shard_count
+        self.router = ConsistentHashRouter(shard_count)
+        self._shards = tuple(Collection(f"{name}-s{index}", schema)
+                             for index in range(shard_count))
+        self._executor = executor
+
+    # -- routing ----------------------------------------------------------
+
+    def shard_index(self, doc_id: str) -> int:
+        return self.router.shard_for(doc_id)
+
+    def shard(self, index: int) -> Collection:
+        return self._shards[index]
+
+    def shard_of(self, doc_id: str) -> Collection:
+        return self._shards[self.shard_index(doc_id)]
+
+    # -- document lifecycle ------------------------------------------------
+
+    def insert(self, doc_id: str, document: Document | str) -> Document:
+        return self.shard_of(doc_id).insert(doc_id, document)
+
+    def get(self, doc_id: str) -> Document:
+        return self.shard_of(doc_id).get(doc_id)
+
+    def delete(self, doc_id: str) -> Document:
+        return self.shard_of(doc_id).delete(doc_id)
+
+    def replace(self, doc_id: str, document: Document | str) -> Document:
+        return self.shard_of(doc_id).replace(doc_id, document)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self.shard_of(doc_id)
+
+    def doc_ids(self) -> list[str]:
+        ids: list[str] = []
+        for shard in self._shards:
+            ids.extend(shard.doc_ids())
+        return sorted(ids)
+
+    def documents(self) -> Iterator[tuple[str, Document]]:
+        for doc_id in self.doc_ids():
+            yield doc_id, self.get(doc_id)
+
+    # -- query -------------------------------------------------------------
+
+    def query(self, xpath: XPath | str) -> list[tuple[str, Element | str]]:
+        """Evaluate *xpath* over every shard; merged, monolithic-equal.
+
+        Compiled once here, not once per shard — the scatter ships the
+        compiled object, so N shards cost one parse.
+        """
+        compiled = xpath if isinstance(xpath, XPath) else \
+            compile_xpath(xpath)
+        if self._executor is not None and self.shard_count > 1:
+            chunks = list(self._executor.map(
+                lambda shard: shard.query(compiled), self._shards))
+        else:
+            chunks = [shard.query(compiled) for shard in self._shards]
+        flattened = [pair for chunk in chunks for pair in chunk]
+        # Stable sort by doc id: per-document evaluation order (the
+        # shard's own ordering) survives, so the merge equals the
+        # unsharded Collection.query result exactly.
+        flattened.sort(key=lambda pair: pair[0])
+        return flattened
+
+    def validate_all(self) -> list[tuple[str, Violation]]:
+        failures: list[tuple[str, Violation]] = []
+        for shard in self._shards:
+            failures.extend(shard.validate_all())
+        return sorted(failures, key=lambda pair: pair[0])
+
+    def spread(self) -> dict[int, int]:
+        """Documents-per-shard histogram (balance diagnostics)."""
+        return {index: len(shard)
+                for index, shard in enumerate(self._shards)
+                if len(shard)}
+
+
+class ShardedXmlDatabase:
+    """Named sharded collections plus a metadata catalog.
+
+    Mirrors :class:`~repro.xmldb.database.XmlDatabase`'s surface so the
+    gateway and benchmarks can swap the two without touching call
+    sites; metadata stays un-sharded (it is catalog state, tiny and
+    mutated rarely).
+    """
+
+    def __init__(self, name: str = "xmldb", shard_count: int = 4,
+                 executor: ThreadPoolExecutor | None = None) -> None:
+        self.name = name
+        self.shard_count = shard_count
+        self._collections: dict[str, ShardedCollection] = {}
+        self._metadata: dict[str, dict[str, object]] = {}
+        self._executor = executor
+
+    def create_collection(self, name: str,
+                          schema: Schema | None = None) -> ShardedCollection:
+        if name in self._collections:
+            raise ConfigurationError(f"collection {name!r} already exists")
+        collection = ShardedCollection(name, self.shard_count, schema,
+                                       self._executor)
+        self._collections[name] = collection
+        self._metadata[name] = {}
+        return collection
+
+    def collection(self, name: str) -> ShardedCollection:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise QueryError(f"no collection {name!r}") from None
+
+    def drop_collection(self, name: str) -> None:
+        self.collection(name)
+        del self._collections[name]
+        del self._metadata[name]
+
+    def collection_names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def set_metadata(self, collection: str, key: str, value: object) -> None:
+        self.collection(collection)
+        self._metadata[collection][key] = value
+
+    def get_metadata(self, collection: str, key: str,
+                     default: object = None) -> object:
+        self.collection(collection)
+        return self._metadata[collection].get(key, default)
+
+    def query(self, collection: str,
+              xpath: XPath | str) -> list[tuple[str, Element | str]]:
+        return self.collection(collection).query(xpath)
+
+    def total_documents(self) -> int:
+        return sum(len(c) for c in self._collections.values())

@@ -50,6 +50,22 @@ class BusinessOverview:
     service_count: int
 
 
+def business_part(key: str, owner: str, entity: BusinessEntity) -> str:
+    """Canonical digest part for one business (shared with the sharded
+    registry so shard digests merge byte-identically)."""
+    return f"biz:{key}:{owner}:{sha256_hex(repr(entity))}"
+
+
+def tmodel_part(key: str, tmodel: TModel) -> str:
+    """Canonical digest part for one tModel."""
+    return f"tmodel:{key}:{sha256_hex(repr(tmodel))}"
+
+
+def assertion_part(assertion: PublisherAssertion) -> str:
+    """Canonical digest part for one publisher assertion."""
+    return f"assert:{sha256_hex(repr(assertion))}"
+
+
 class UddiRegistry:
     """An in-memory UDDI registry."""
 
@@ -97,9 +113,20 @@ class UddiRegistry:
                 f"business {business_key!r} belongs to {owner!r}")
         del self._businesses[business_key]
         del self._owners[business_key]
-        self._assertions = [
-            a for a in self._assertions
-            if business_key not in (a.from_key, a.to_key)]
+        self.purge_assertions(business_key)
+
+    def purge_assertions(self, business_key: str) -> int:
+        """Drop every assertion naming *business_key* on either side.
+
+        Public (rather than folded into delete_business) because in a
+        sharded registry the assertions referencing a deleted business
+        may live on *other* shards than the business itself.
+        """
+        kept = [a for a in self._assertions
+                if business_key not in (a.from_key, a.to_key)]
+        removed = len(self._assertions) - len(kept)
+        self._assertions = kept
+        return removed
 
     def save_tmodel(self, tmodel: TModel, publisher: str,
                     idempotency_key: str | None = None) -> TModel:
@@ -233,17 +260,28 @@ class UddiRegistry:
         Deliberately excludes the operation counters — *how many tries*
         it took is allowed to differ; *what the registry says* is not.
         """
-        parts: list[str] = []
-        for key in sorted(self._businesses):
-            entity = self._businesses[key]
-            parts.append(f"biz:{key}:{self._owners.get(key, '')}:"
-                         f"{sha256_hex(repr(entity))}")
-        for key in sorted(self._tmodels):
-            parts.append(f"tmodel:{key}:"
-                         f"{sha256_hex(repr(self._tmodels[key]))}")
-        for assertion in sorted(self._assertions, key=repr):
-            parts.append(f"assert:{sha256_hex(repr(assertion))}")
+        parts = [part for _, part in self.state_parts()]
         return combine(*parts) if parts else sha256_hex("empty-registry")
+
+    def state_parts(self) -> list[tuple[tuple, str]]:
+        """The digest parts with their canonical sort keys.
+
+        Each entry is ``(sort_key, part)``; sort keys order businesses
+        before tModels before assertions, then by key (or assertion
+        repr).  A sharded registry concatenates every shard's parts,
+        sorts by the same keys and combines — producing a digest
+        byte-identical to one monolithic registry holding the union.
+        """
+        parts: list[tuple[tuple, str]] = []
+        for key in sorted(self._businesses):
+            parts.append(((0, key), business_part(
+                key, self._owners.get(key, ""), self._businesses[key])))
+        for key in sorted(self._tmodels):
+            parts.append(((1, key), tmodel_part(key, self._tmodels[key])))
+        for assertion in sorted(self._assertions, key=repr):
+            parts.append(((2, repr(assertion)),
+                          assertion_part(assertion)))
+        return parts
 
     # -- enumeration -----------------------------------------------------------
 
@@ -253,6 +291,14 @@ class UddiRegistry:
     def businesses(self) -> Iterator[BusinessEntity]:
         for key in self.business_keys():
             yield self._businesses[key]
+
+    def tmodels(self) -> list[TModel]:
+        """Every stored tModel, sorted by key (a copy)."""
+        return [self._tmodels[key] for key in sorted(self._tmodels)]
+
+    def assertions(self) -> list[PublisherAssertion]:
+        """Every filed assertion in filing order (a copy)."""
+        return list(self._assertions)
 
     def __len__(self) -> int:
         return len(self._businesses)

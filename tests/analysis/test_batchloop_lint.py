@@ -1,0 +1,97 @@
+"""LINT-BATCHLOOP: per-item policy evaluation inside a loop."""
+
+from repro.analysis.codelint import lint_source
+
+
+def rule_ids(source):
+    return [f.rule_id for f in lint_source(source, "t.py")]
+
+
+class TestBatchLoopRule:
+    def test_flags_decide_in_for_loop(self):
+        src = (
+            "def f(evaluator, requests):\n"
+            "    for subject, action, path in requests:\n"
+            "        evaluator.decide(subject, action, path)\n")
+        assert "LINT-BATCHLOOP" in rule_ids(src)
+
+    def test_flags_check_in_while_loop(self):
+        src = (
+            "def f(engine, queue):\n"
+            "    while queue:\n"
+            "        s, a, p = queue.pop()\n"
+            "        engine.check(s, a, p)\n")
+        assert "LINT-BATCHLOOP" in rule_ids(src)
+
+    def test_ignores_calls_outside_loops(self):
+        src = (
+            "def f(evaluator, s, a, p):\n"
+            "    return evaluator.decide(s, a, p)\n")
+        assert "LINT-BATCHLOOP" not in rule_ids(src)
+
+    def test_ignores_single_argument_calls(self):
+        # One-argument .decide()/.check() are not the evaluator
+        # signature (e.g. a referee deciding a match) — leave them be.
+        src = (
+            "def f(referee, matches):\n"
+            "    for m in matches:\n"
+            "        referee.decide(m)\n")
+        assert "LINT-BATCHLOOP" not in rule_ids(src)
+
+    def test_ignores_bare_name_calls(self):
+        src = (
+            "def f(requests):\n"
+            "    for s, a, p in requests:\n"
+            "        decide(s, a, p)\n")
+        assert "LINT-BATCHLOOP" not in rule_ids(src)
+
+    def test_ignores_batched_evaluation(self):
+        src = (
+            "def f(engine, requests):\n"
+            "    triples = [(s, a, p) for s, a, p in requests]\n"
+            "    return engine.decide_batch(triples)\n")
+        assert "LINT-BATCHLOOP" not in rule_ids(src)
+
+    def test_nested_function_resets_loop_depth(self):
+        src = (
+            "def f(evaluator, requests):\n"
+            "    for r in requests:\n"
+            "        def probe(s, a, p):\n"
+            "            return evaluator.decide(s, a, p)\n"
+            "        probe(*r)\n")
+        assert "LINT-BATCHLOOP" not in rule_ids(src)
+
+    def test_allow_pragma_waives_the_named_rule(self):
+        src = (
+            "def f(evaluator, requests):\n"
+            "    for s, a, p in requests:\n"
+            "        evaluator.check(  # lint: allow=LINT-BATCHLOOP\n"
+            "            s, a, p)\n")
+        assert "LINT-BATCHLOOP" not in rule_ids(src)
+
+    def test_allow_pragma_is_rule_specific(self):
+        # Waiving a different rule on the line suppresses nothing.
+        src = (
+            "def f(evaluator, requests):\n"
+            "    for s, a, p in requests:\n"
+            "        evaluator.check(  # lint: allow=LINT-XPATHLOOP\n"
+            "            s, a, p)\n")
+        assert "LINT-BATCHLOOP" in rule_ids(src)
+
+    def test_allow_pragma_is_line_specific(self):
+        src = (
+            "def f(evaluator, requests):\n"
+            "    # lint: allow=LINT-BATCHLOOP\n"
+            "    for s, a, p in requests:\n"
+            "        evaluator.check(s, a, p)\n")
+        assert "LINT-BATCHLOOP" in rule_ids(src)
+
+    def test_fix_hint_points_at_batch_engine(self):
+        src = (
+            "def f(evaluator, requests):\n"
+            "    for s, a, p in requests:\n"
+            "        evaluator.decide(s, a, p)\n")
+        finding = [f for f in lint_source(src, "t.py")
+                   if f.rule_id == "LINT-BATCHLOOP"][0]
+        assert finding.severity.name == "WARNING"
+        assert "decide_batch" in finding.fix_hint

@@ -1,0 +1,135 @@
+"""RequestGateway: admission control, batching, ordering, lifecycle."""
+
+import random
+
+import pytest
+
+from repro.core.errors import AdmissionRejected
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.policy import PolicyBase
+from repro.scale.batch import BatchDecisionEngine
+from repro.scale.engine import ShardedPolicyEngine
+from repro.scale.gateway import Request, RequestGateway
+
+from tests.scale.workloads import random_policies, random_requests
+
+
+def build_engine(seed=5, shards=4):
+    rng = random.Random(seed)
+    policies = random_policies(rng, 30)
+    engine = ShardedPolicyEngine(shard_count=shards)
+    for policy in policies:
+        engine.add(policy)
+    return policies, engine
+
+
+class TestAdmission:
+    def test_queue_limit_sheds_load_with_typed_error(self):
+        _, engine = build_engine()
+        gateway = RequestGateway(engine, workers=0, queue_limit=5)
+        requests = random_requests(random.Random(1), 10)
+        admitted = 0
+        rejected = 0
+        for r in requests:
+            try:
+                gateway.submit(Request(*r))
+                admitted += 1
+            except AdmissionRejected:
+                rejected += 1
+        assert admitted == 5 and rejected == 5
+        stats = gateway.stats.snapshot()
+        assert stats["admitted"] == 5 and stats["rejected"] == 5
+        gateway.process_pending()
+
+    def test_rejected_request_was_never_evaluated(self):
+        _, engine = build_engine()
+        gateway = RequestGateway(engine, workers=0, queue_limit=1)
+        requests = random_requests(random.Random(2), 3)
+        gateway.submit(Request(*requests[0]))
+        with pytest.raises(AdmissionRejected):
+            gateway.submit(Request(*requests[1]))
+        gateway.process_pending()
+        assert gateway.stats.snapshot()["completed"] == 1
+
+    def test_submit_after_close_rejected(self):
+        _, engine = build_engine()
+        gateway = RequestGateway(engine, workers=0)
+        gateway.close()
+        with pytest.raises(AdmissionRejected):
+            gateway.submit(Request(*random_requests(
+                random.Random(3), 1)[0]))
+
+
+class TestSynchronousPipeline:
+    def test_results_match_serial_evaluation(self):
+        policies, engine = build_engine(seed=7)
+        mono = PolicyEvaluator(PolicyBase(policies))
+        requests = random_requests(random.Random(7), 60)
+        gateway = RequestGateway(engine, workers=0, batch_size=16)
+        futures = [gateway.submit(Request(*r)) for r in requests]
+        processed = gateway.process_pending()
+        assert processed == len(requests)
+        assert [f.result() for f in futures] == \
+            [mono.decide(*r) for r in requests]
+
+    def test_monolithic_batch_engine_works_too(self):
+        policies, _ = build_engine(seed=8)
+        mono = PolicyEvaluator(PolicyBase(policies))
+        batch = BatchDecisionEngine(PolicyEvaluator(PolicyBase(policies)))
+        requests = random_requests(random.Random(8), 30)
+        gateway = RequestGateway(batch, workers=0)
+        futures = [gateway.submit(Request(*r)) for r in requests]
+        gateway.process_pending()
+        assert [f.result() for f in futures] == \
+            [mono.decide(*r) for r in requests]
+
+    def test_stage_counters(self):
+        _, engine = build_engine(seed=9)
+        requests = random_requests(random.Random(9), 40)
+        gateway = RequestGateway(engine, workers=0, batch_size=8)
+        for r in requests:
+            gateway.submit(Request(*r))
+        gateway.process_pending()
+        stats = gateway.stats.snapshot()
+        assert stats["admitted"] == stats["completed"] == 40
+        assert stats["batches"] == 5
+        assert stats["failed"] == 0
+        assert stats["queue_wait_s"] >= 0
+        assert stats["evaluate_s"] > 0
+
+    def test_validation_of_parameters(self):
+        _, engine = build_engine()
+        with pytest.raises(ValueError):
+            RequestGateway(engine, workers=0, queue_limit=0)
+        with pytest.raises(ValueError):
+            RequestGateway(engine, workers=0, batch_size=0)
+
+
+class TestThreadedPipeline:
+    def test_workers_produce_serial_answers(self):
+        policies, engine = build_engine(seed=11, shards=8)
+        mono = PolicyEvaluator(PolicyBase(policies))
+        requests = random_requests(random.Random(11), 120)
+        with RequestGateway(engine, workers=4, batch_size=32) as gateway:
+            futures = [gateway.submit(Request(*r)) for r in requests]
+            results = [f.result(timeout=30) for f in futures]
+        assert results == [mono.decide(*r) for r in requests]
+
+    def test_close_drains_admitted_work(self):
+        _, engine = build_engine(seed=12)
+        gateway = RequestGateway(engine, workers=2, batch_size=8)
+        futures = [gateway.submit(Request(*r))
+                   for r in random_requests(random.Random(12), 30)]
+        gateway.close()
+        assert all(f.done() for f in futures)
+        assert gateway.stats.snapshot()["completed"] == 30
+
+    def test_close_without_drain_fails_pending(self):
+        _, engine = build_engine(seed=13)
+        gateway = RequestGateway(engine, workers=0)
+        futures = [gateway.submit(Request(*r))
+                   for r in random_requests(random.Random(13), 5)]
+        gateway.close(drain=False)
+        for future in futures:
+            with pytest.raises(AdmissionRejected):
+                future.result()

@@ -1,0 +1,59 @@
+"""Unit tests for the consistent-hash router."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.scale.router import ConsistentHashRouter
+
+
+class TestConsistentHashRouter:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRouter(0)
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRouter(4, replicas=0)
+
+    def test_routes_into_range(self):
+        router = ConsistentHashRouter(5)
+        for i in range(200):
+            assert 0 <= router.shard_for(f"key-{i}") < 5
+
+    def test_deterministic_across_instances(self):
+        a = ConsistentHashRouter(8)
+        b = ConsistentHashRouter(8)
+        keys = [f"table-{i}" for i in range(300)]
+        assert [a.shard_for(k) for k in keys] == \
+            [b.shard_for(k) for k in keys]
+
+    def test_single_shard_takes_everything(self):
+        router = ConsistentHashRouter(1)
+        assert {router.shard_for(f"k{i}") for i in range(50)} == {0}
+
+    def test_balance_is_reasonable(self):
+        router = ConsistentHashRouter(4, replicas=64)
+        counts = router.spread([f"doc-{i}" for i in range(4000)])
+        assert set(counts) == {0, 1, 2, 3}
+        # Consistent hashing is not perfectly uniform, but with 64
+        # virtual nodes no shard should be starved or hot by 3x.
+        assert min(counts.values()) > 1000 / 3
+        assert max(counts.values()) < 3000
+
+    def test_resharding_moves_a_minority_of_keys(self):
+        before = ConsistentHashRouter(8)
+        after = ConsistentHashRouter(9)
+        keys = [f"doc-{i}" for i in range(2000)]
+        moved = sum(before.shard_for(k) != after.shard_for(k)
+                    for k in keys)
+        # The consistent-hashing guarantee: ~1/9 of keys move, not all
+        # of them (hash(key) % n would move ~8/9).
+        assert moved < len(keys) / 3
+
+    def test_partition_keeps_input_order_per_shard(self):
+        router = ConsistentHashRouter(3)
+        keys = [f"k{i}" for i in range(60)]
+        grouped = router.partition(keys)
+        assert sorted(sum(grouped.values(), [])) == sorted(keys)
+        for shard, members in grouped.items():
+            assert members == [k for k in keys
+                               if router.shard_for(k) == shard]
+        assert list(grouped) == sorted(grouped)

@@ -1,0 +1,137 @@
+"""Shard-aware cache generation stamps.
+
+The regression this file pins down: with one global generation counter,
+a policy write anywhere stales every warm decision.  With
+:class:`ShardedGeneration`, a write to shard A bumps only shard A's
+stamp — shard B's warm cache entries keep hitting.
+"""
+
+import pytest
+
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.policy import Action, PolicyBase, grant
+from repro.datagen.population import generate_population
+from repro.perf.cache import ShardedGeneration
+from repro.relational.authorization import Privilege
+from repro.relational.table import Column, ColumnType, TableSchema
+from repro.scale.engine import ShardedPolicyEngine
+from repro.scale.relational import ShardedDatabase
+
+
+class TestShardedGenerationApi:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ShardedGeneration(0)
+
+    def test_bump_is_per_shard(self):
+        generations = ShardedGeneration(4)
+        assert generations.shard_count == 4
+        before = generations.stamps()
+        generations.bump(2)
+        after = generations.stamps()
+        assert after[2] != before[2]
+        assert all(after[i] == before[i] for i in (0, 1, 3))
+        assert generations.stamp(2) == after[2]
+
+    def test_hooks_fire_only_for_their_shard(self):
+        generations = ShardedGeneration(3)
+        fired: list[int] = []
+        for shard in range(3):
+            generations.add_hook(shard,
+                                 lambda shard=shard: fired.append(shard))
+        generations.bump(1)
+        generations.bump(1)
+        generations.bump(2)
+        assert fired == [1, 1, 2]
+
+
+def distinct_shard_heads(engine: ShardedPolicyEngine,
+                         count: int) -> list[tuple[int, str]]:
+    """(shard, head) pairs landing on *count* different shards."""
+    chosen: dict[int, str] = {}
+    i = 0
+    while len(chosen) < count:
+        head = f"zone{i}"
+        shard = engine.shard_for_path(f"{head}/x")
+        if shard not in chosen:
+            chosen[shard] = head
+        i += 1
+    return list(chosen.items())
+
+
+class TestWarmCacheSurvivesOtherShardWrites:
+    def test_engine_write_stales_only_its_own_shard(self):
+        engine = ShardedPolicyEngine(shard_count=4)
+        (shard_a, head_a), (shard_b, head_b) = \
+            distinct_shard_heads(engine, 2)
+        engine.add(grant(None, Action.READ, f"{head_a}/**"))
+        engine.add(grant(None, Action.READ, f"{head_b}/**"))
+        subject = generate_population(2, seed=0).get("user00000")
+        path_a, path_b = f"{head_a}/records/r1", f"{head_b}/records/r1"
+        warm_a = engine.decide(subject, Action.READ, path_a)
+        warm_b = engine.decide(subject, Action.READ, path_b)
+
+        stamps = engine.generations.stamps()
+        engine.add(grant(None, Action.WRITE, f"{head_a}/private/**"))
+        after = engine.generations.stamps()
+        assert after[shard_a] != stamps[shard_a]
+        assert after[shard_b] == stamps[shard_b]
+
+        # Shard B's warm entry survives the shard-A write ...
+        hits_b = engine.evaluator(shard_b).cache_stats["hits"]
+        assert engine.decide(subject, Action.READ, path_b) == warm_b
+        assert engine.evaluator(shard_b).cache_stats["hits"] == hits_b + 1
+        # ... while shard A's own entry was (correctly) staled.
+        hits_a = engine.evaluator(shard_a).cache_stats["hits"]
+        assert engine.decide(subject, Action.READ, path_a) == warm_a
+        assert engine.evaluator(shard_a).cache_stats["hits"] == hits_a
+
+    def test_monolithic_contrast_global_stamp_stales_everything(self):
+        subject = generate_population(2, seed=0).get("user00000")
+        base = PolicyBase([grant(None, Action.READ, "zone0/**"),
+                           grant(None, Action.READ, "zone1/**")])
+        evaluator = PolicyEvaluator(base)
+        warm = evaluator.decide(subject, Action.READ, "zone1/records/r1")
+        hits = evaluator.cache_stats["hits"]
+        # A write about zone0 — unrelated to the warm zone1 entry.
+        base.add(grant(None, Action.WRITE, "zone0/private/**"))
+        assert evaluator.decide(subject, Action.READ,
+                                "zone1/records/r1") == warm
+        assert evaluator.cache_stats["hits"] == hits  # staled: a miss
+
+    def test_broadcast_write_stales_every_shard(self):
+        engine = ShardedPolicyEngine(shard_count=4)
+        stamps = engine.generations.stamps()
+        engine.add(grant(None, Action.READ, "**"))
+        after = engine.generations.stamps()
+        assert all(after[i] != stamps[i] for i in range(4))
+
+
+class TestShardedDatabaseStamps:
+    def test_grant_bumps_only_owning_shard(self):
+        db = ShardedDatabase(shard_count=4)
+        for t in range(8):
+            db.create_table(
+                TableSchema(f"t{t}", (Column("id", ColumnType.INT),)),
+                owner="dba")
+        before = db.generation_stamps()
+        db.grant("dba", "reader", "t3", Privilege.SELECT)
+        after = db.generation_stamps()
+        shard = db.shard_index("t3")
+        assert after[shard] != before[shard]
+        assert all(after[i] == before[i]
+                   for i in range(len(before)) if i != shard)
+
+    def test_revoke_bumps_like_grant(self):
+        db = ShardedDatabase(shard_count=4)
+        db.create_table(
+            TableSchema("t0", (Column("id", ColumnType.INT),)),
+            owner="dba")
+        db.grant("dba", "reader", "t0", Privilege.SELECT)
+        before = db.generation_stamps()
+        db.revoke("dba", "reader", "t0", Privilege.SELECT)
+        after = db.generation_stamps()
+        shard = db.shard_index("t0")
+        assert after[shard] != before[shard]
+        assert all(after[i] == before[i]
+                   for i in range(len(before)) if i != shard)

@@ -1,0 +1,259 @@
+"""Sharded store equivalence: relational, XML, and UDDI wrappers answer
+exactly as their monolithic counterparts holding the same content."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.errors import AccessDenied, RegistryError
+from repro.relational.authorization import Privilege
+from repro.relational.database import Database
+from repro.relational.table import Column, ColumnType, TableSchema
+from repro.scale.registry import ShardedUddiRegistry
+from repro.scale.relational import ShardedDatabase
+from repro.scale.xmlstore import ShardedCollection, ShardedXmlDatabase
+from repro.uddi.model import (
+    BusinessEntity,
+    BusinessService,
+    PublisherAssertion,
+    TModel,
+)
+from repro.uddi.registry import UddiRegistry
+from repro.xmldb.database import Collection
+from repro.xmldb.parser import parse
+
+
+def schema(name: str) -> TableSchema:
+    return TableSchema(name, (Column("id", ColumnType.INT),
+                              Column("val", ColumnType.TEXT)))
+
+
+def build_databases(table_count=10, rows=15):
+    mono = Database("mono")
+    sharded = ShardedDatabase(shard_count=4)
+    for t in range(table_count):
+        name = f"t{t:02d}"
+        mono.create_table(schema(name), owner="dba")
+        sharded.create_table(schema(name), owner="dba")
+        mono.authorization.grant("dba", "reader", name,
+                                 Privilege.SELECT)
+        sharded.grant("dba", "reader", name, Privilege.SELECT)
+        for r in range(rows):
+            mono.insert("dba", name, id=r, val=f"v{t}-{r}")
+            sharded.insert("dba", name, id=r, val=f"v{t}-{r}")
+    return mono, sharded
+
+
+class TestShardedDatabase:
+    def test_selects_equal_monolithic(self):
+        mono, sharded = build_databases()
+        for name in mono.table_names():
+            assert sharded.select("reader", name, order_by="id").rows \
+                == mono.select("reader", name, order_by="id").rows
+
+    def test_table_names_sorted_union(self):
+        mono, sharded = build_databases()
+        assert sharded.table_names() == mono.table_names()
+
+    def test_enforcement_is_per_shard_but_complete(self):
+        _, sharded = build_databases(table_count=6)
+        # No grant for 'stranger' anywhere: every table denies.
+        for name in sharded.table_names():
+            with pytest.raises(AccessDenied):
+                sharded.select("stranger", name)
+
+    def test_cross_shard_join(self):
+        mono, sharded = build_databases(table_count=4, rows=8)
+        joined_sharded = sharded.join("reader", "t00", "t03",
+                                      on=("id", "id"))
+        joined_mono = mono.join("reader", "t00", "t03", on=("id", "id"))
+        assert joined_sharded.rows == joined_mono.rows
+
+    def test_select_many_deterministic_and_complete(self):
+        mono, sharded = build_databases(table_count=8, rows=5)
+        names = mono.table_names()
+        gathered = sharded.select_many("reader", names, columns=["id"])
+        assert [name for name, _ in gathered] == sorted(names)
+        for name, result in gathered:
+            assert result.rows == mono.select("reader", name,
+                                              columns=["id"]).rows
+
+    def test_select_many_parallel_equals_serial(self):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            mono, _ = build_databases(table_count=8, rows=5)
+            sharded = ShardedDatabase(shard_count=4, executor=pool)
+            for t in range(8):
+                name = f"t{t:02d}"
+                sharded.create_table(schema(name), owner="dba")
+                sharded.grant("dba", "reader", name, Privilege.SELECT)
+                for r in range(5):
+                    sharded.insert("dba", name, id=r, val=f"v{t}-{r}")
+            names = mono.table_names()
+            gathered = sharded.select_many("reader", names)
+            assert [(n, r.rows) for n, r in gathered] == \
+                [(n, mono.select("reader", n).rows) for n in sorted(names)]
+
+    def test_select_many_denied_table_fails_whole_request(self):
+        _, sharded = build_databases(table_count=4)
+        sharded.create_table(schema("secret"), owner="dba")
+        with pytest.raises(AccessDenied):
+            sharded.select_many("reader", ["t00", "secret"])
+
+    def test_per_shard_auth_generations(self):
+        _, sharded = build_databases(table_count=6)
+        before = sharded.generation_stamps()
+        target = "t00"
+        shard = sharded.shard_index(target)
+        sharded.grant("dba", "writer", target, Privilege.INSERT)
+        after = sharded.generation_stamps()
+        assert after[shard] != before[shard]
+        assert all(after[i] == before[i]
+                   for i in range(len(before)) if i != shard)
+
+
+class TestShardedXmlStore:
+    def make_pair(self, docs=30):
+        mono = Collection("c")
+        sharded = ShardedCollection("c", shard_count=4)
+        for i in range(docs):
+            document = parse(
+                f"<rec><id>{i}</id><name>n{i}</name>"
+                f"<dept>d{i % 5}</dept></rec>", name=f"doc{i:03d}")
+            mono.insert(f"doc{i:03d}", document)
+            sharded.insert(f"doc{i:03d}", document)
+        return mono, sharded
+
+    def test_query_equals_monolithic(self):
+        mono, sharded = self.make_pair()
+        for xpath in ("/rec/name", "/rec/name/text()",
+                      "//rec[dept='d2']/id", "/rec"):
+            assert sharded.query(xpath) == mono.query(xpath)
+
+    def test_parallel_query_equals_serial(self):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            mono = Collection("c")
+            parallel = ShardedCollection("c", shard_count=4,
+                                         executor=pool)
+            for i in range(30):
+                document = parse(f"<rec><id>{i}</id></rec>",
+                                 name=f"doc{i:03d}")
+                mono.insert(f"doc{i:03d}", document)
+                parallel.insert(f"doc{i:03d}", document)
+            assert parallel.query("/rec/id/text()") == \
+                mono.query("/rec/id/text()")
+
+    def test_lifecycle_and_doc_ids(self):
+        mono, sharded = self.make_pair(docs=12)
+        assert sharded.doc_ids() == mono.doc_ids()
+        assert len(sharded) == len(mono)
+        assert "doc003" in sharded
+        sharded.delete("doc003")
+        mono.delete("doc003")
+        assert sharded.doc_ids() == mono.doc_ids()
+        assert "doc003" not in sharded
+
+    def test_sharded_database_facade(self):
+        db = ShardedXmlDatabase(shard_count=3)
+        collection = db.create_collection("records")
+        collection.insert("d1", "<rec><id>1</id></rec>")
+        db.set_metadata("records", "policy", "closed")
+        assert db.get_metadata("records", "policy") == "closed"
+        assert db.collection_names() == ["records"]
+        assert db.total_documents() == 1
+        assert db.query("records", "/rec/id/text()") == [("d1", "1")]
+
+
+def make_registries(businesses=20):
+    mono = UddiRegistry("mono")
+    sharded = ShardedUddiRegistry(shard_count=4)
+    for i in range(businesses):
+        entity = BusinessEntity(
+            business_key=f"biz-{i:03d}", name=f"Corp {i}",
+            description=f"vendor {i}",
+            services=(BusinessService(
+                service_key=f"svc-{i:03d}", name=f"service {i}",
+                category="payments" if i % 2 else "logistics"),))
+        mono.save_business(entity, publisher=f"pub{i % 3}")
+        sharded.save_business(entity, publisher=f"pub{i % 3}")
+    return mono, sharded
+
+
+class TestShardedUddiRegistry:
+    def test_finds_equal_monolithic(self):
+        mono, sharded = make_registries()
+        assert sharded.find_business("*") == mono.find_business("*")
+        assert sharded.find_service("*") == mono.find_service("*")
+        assert sharded.find_service("*", category="payments") == \
+            mono.find_service("*", category="payments")
+
+    def test_state_digest_byte_identical(self):
+        mono, sharded = make_registries()
+        assert sharded.state_digest() == mono.state_digest()
+        tmodel = TModel(tmodel_key="tm-1", name="https-binding")
+        mono.save_tmodel(tmodel, publisher="pub0")
+        sharded.save_tmodel(tmodel, publisher="pub0")
+        assert sharded.state_digest() == mono.state_digest()
+
+    def test_drill_down_probes(self):
+        mono, sharded = make_registries()
+        assert sharded.get_business_detail("biz-004") == \
+            mono.get_business_detail("biz-004")
+        assert sharded.get_service_detail("svc-007") == \
+            mono.get_service_detail("svc-007")
+        with pytest.raises(RegistryError):
+            sharded.get_service_detail("svc-999")
+
+    def test_mutual_assertions_across_shards(self):
+        mono, sharded = make_registries(businesses=10)
+        pairs = [("biz-000", "biz-007"), ("biz-003", "biz-005")]
+        for left, right in pairs:
+            for registry in (mono, sharded):
+                registry.add_assertion(
+                    PublisherAssertion(left, right, "partner"),
+                    publisher=registry.owner_of(left))
+                registry.add_assertion(
+                    PublisherAssertion(right, left, "partner"),
+                    publisher=registry.owner_of(right))
+        # One-sided assertion: must stay invisible in both.
+        for registry in (mono, sharded):
+            registry.add_assertion(
+                PublisherAssertion("biz-001", "biz-002", "partner"),
+                publisher=registry.owner_of("biz-001"))
+        for key in [f"biz-{i:03d}" for i in range(10)]:
+            assert sharded.find_related_businesses(key) == \
+                mono.find_related_businesses(key)
+        assert sharded.state_digest() == mono.state_digest()
+
+    def test_delete_purges_assertions_on_other_shards(self):
+        mono, sharded = make_registries(businesses=8)
+        for registry in (mono, sharded):
+            registry.add_assertion(
+                PublisherAssertion("biz-000", "biz-001", "partner"),
+                publisher=registry.owner_of("biz-000"))
+            registry.add_assertion(
+                PublisherAssertion("biz-001", "biz-000", "partner"),
+                publisher=registry.owner_of("biz-001"))
+        owner = mono.owner_of("biz-001")
+        mono.delete_business("biz-001", owner)
+        sharded.delete_business("biz-001", owner)
+        assert sharded.find_related_businesses("biz-000") == \
+            mono.find_related_businesses("biz-000") == []
+        assert sharded.state_digest() == mono.state_digest()
+
+    def test_ownership_enforced_through_routing(self):
+        _, sharded = make_registries(businesses=6)
+        with pytest.raises(RegistryError):
+            sharded.delete_business("biz-000", "not-the-owner")
+        with pytest.raises(RegistryError):
+            sharded.add_assertion(
+                PublisherAssertion("biz-000", "biz-001", "partner"),
+                publisher="not-the-owner")
+
+    def test_idempotent_writes_replay_across_retries(self):
+        _, sharded = make_registries(businesses=4)
+        entity = BusinessEntity(business_key="biz-new", name="New Corp")
+        sharded.save_business(entity, "pub9", idempotency_key="op-1")
+        before = sharded.publish_count
+        sharded.save_business(entity, "pub9", idempotency_key="op-1")
+        assert sharded.publish_count == before
+        assert sharded.has_applied("op-1")

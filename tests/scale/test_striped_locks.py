@@ -1,0 +1,145 @@
+"""Striped lock manager: per-stripe independence plus cross-stripe
+deadlock detection over the merged wait-for graph."""
+
+import pytest
+
+from repro.core.errors import TransactionError
+from repro.relational.locks import (
+    AcquireResult,
+    LockManager,
+    LockMode,
+    StripedLockManager,
+)
+
+
+def resources_on_distinct_stripes(manager: StripedLockManager,
+                                  count: int) -> list[str]:
+    """Find resource names mapping to *count* distinct stripes."""
+    chosen: dict[int, str] = {}
+    i = 0
+    while len(chosen) < count:
+        name = f"res-{i}"
+        stripe = manager.stripe_of(name)
+        if stripe not in chosen:
+            chosen[stripe] = name
+        i += 1
+    return list(chosen.values())
+
+
+class TestStriping:
+    def test_stripe_routing_is_deterministic(self):
+        a = StripedLockManager(stripes=8)
+        b = StripedLockManager(stripes=8)
+        for i in range(100):
+            assert a.stripe_of(f"t{i}") == b.stripe_of(f"t{i}")
+            assert 0 <= a.stripe_of(f"t{i}") < 8
+
+    def test_rejects_zero_stripes(self):
+        with pytest.raises(TransactionError):
+            StripedLockManager(stripes=0)
+
+    def test_basic_grant_and_conflict(self):
+        locks = StripedLockManager(stripes=4)
+        assert locks.acquire("t1", "accounts", LockMode.EXCLUSIVE) is \
+            AcquireResult.GRANTED
+        assert locks.acquire("t2", "accounts", LockMode.SHARED) is \
+            AcquireResult.WOULD_WAIT
+        locks.release_all("t1")
+        assert locks.holders("accounts") == {"t2": LockMode.SHARED}
+
+    def test_disjoint_stripes_do_not_interact(self):
+        locks = StripedLockManager(stripes=4)
+        r1, r2 = resources_on_distinct_stripes(locks, 2)
+        assert locks.acquire("t1", r1, LockMode.EXCLUSIVE) is \
+            AcquireResult.GRANTED
+        assert locks.acquire("t2", r2, LockMode.EXCLUSIVE) is \
+            AcquireResult.GRANTED
+
+    def test_release_wakes_fifo_like_single_manager(self):
+        striped = StripedLockManager(stripes=4)
+        single = LockManager()
+        for locks in (striped, single):
+            locks.acquire("t1", "r", LockMode.EXCLUSIVE)
+            locks.acquire("t2", "r", LockMode.EXCLUSIVE)
+            locks.acquire("t3", "r", LockMode.EXCLUSIVE)
+        assert striped.release_all("t1") == single.release_all("t1")
+
+
+class TestCrossStripeDeadlock:
+    def test_intra_stripe_cycle_detected(self):
+        locks = StripedLockManager(stripes=1)
+        locks.acquire("t1", "a", LockMode.EXCLUSIVE)
+        locks.acquire("t2", "b", LockMode.EXCLUSIVE)
+        assert locks.acquire("t1", "b", LockMode.EXCLUSIVE) is \
+            AcquireResult.WOULD_WAIT
+        assert locks.acquire("t2", "a", LockMode.EXCLUSIVE) is \
+            AcquireResult.DEADLOCK
+        assert locks.deadlocks_detected == 1
+
+    def test_cycle_spanning_two_stripes_detected(self):
+        locks = StripedLockManager(stripes=4)
+        r1, r2 = resources_on_distinct_stripes(locks, 2)
+        assert locks.stripe_of(r1) != locks.stripe_of(r2)
+        locks.acquire("t1", r1, LockMode.EXCLUSIVE)
+        locks.acquire("t2", r2, LockMode.EXCLUSIVE)
+        # t1 queues on r2 (stripe B); no cycle within either stripe yet.
+        assert locks.acquire("t1", r2, LockMode.EXCLUSIVE) is \
+            AcquireResult.WOULD_WAIT
+        # t2 queuing on r1 (stripe A) closes t1 -> t2 -> t1 across
+        # stripes: only the merged wait graph can see it.
+        assert locks.acquire("t2", r1, LockMode.EXCLUSIVE) is \
+            AcquireResult.DEADLOCK
+        assert locks.deadlocks_detected == 1
+
+    def test_deadlocked_request_is_withdrawn(self):
+        locks = StripedLockManager(stripes=4)
+        r1, r2 = resources_on_distinct_stripes(locks, 2)
+        locks.acquire("t1", r1, LockMode.EXCLUSIVE)
+        locks.acquire("t2", r2, LockMode.EXCLUSIVE)
+        locks.acquire("t1", r2, LockMode.EXCLUSIVE)
+        locks.acquire("t2", r1, LockMode.EXCLUSIVE)  # DEADLOCK, t2 dies
+        locks.release_all("t2")
+        # t2's queued request was withdrawn with the abort, so t1 gets
+        # r2 the moment t2's holdings go away.
+        assert locks.holders(r2) == {"t1": LockMode.EXCLUSIVE}
+
+    def test_three_party_cycle_across_stripes(self):
+        locks = StripedLockManager(stripes=4)
+        r1, r2, r3 = resources_on_distinct_stripes(locks, 3)
+        locks.acquire("t1", r1, LockMode.EXCLUSIVE)
+        locks.acquire("t2", r2, LockMode.EXCLUSIVE)
+        locks.acquire("t3", r3, LockMode.EXCLUSIVE)
+        assert locks.acquire("t1", r2, LockMode.EXCLUSIVE) is \
+            AcquireResult.WOULD_WAIT
+        assert locks.acquire("t2", r3, LockMode.EXCLUSIVE) is \
+            AcquireResult.WOULD_WAIT
+        assert locks.acquire("t3", r1, LockMode.EXCLUSIVE) is \
+            AcquireResult.DEADLOCK
+
+    def test_acquire_or_raise_mirrors_single_manager(self):
+        locks = StripedLockManager(stripes=2)
+        locks.acquire("t1", "r", LockMode.EXCLUSIVE)
+        with pytest.raises(TransactionError):
+            locks.acquire_or_raise("t2", "r", LockMode.SHARED)
+
+
+class TestCancelWait:
+    def test_cancel_wait_recomputes_wait_set(self):
+        locks = LockManager()
+        locks.acquire("t1", "a", LockMode.EXCLUSIVE)
+        locks.acquire("t2", "b", LockMode.EXCLUSIVE)
+        locks.acquire("t3", "a", LockMode.EXCLUSIVE)
+        locks.acquire("t3", "b", LockMode.EXCLUSIVE)
+        assert locks.waiting_for("t3") == {"t1", "t2"}
+        locks.cancel_wait("t3", "a")
+        assert locks.waiting_for("t3") == {"t2"}
+        locks.cancel_wait("t3", "b")
+        assert locks.waiting_for("t3") == set()
+
+    def test_wait_graph_is_a_copy(self):
+        locks = LockManager()
+        locks.acquire("t1", "a", LockMode.EXCLUSIVE)
+        locks.acquire("t2", "a", LockMode.EXCLUSIVE)
+        graph = locks.wait_graph()
+        graph["t2"].add("poison")
+        assert locks.waiting_for("t2") == {"t1"}
