@@ -61,6 +61,8 @@ from repro.xmlsec.authorx import (  # noqa: E402
 from repro.xmlsec.dissemination import (  # noqa: E402
     Disseminator, FaultyChannel, ResilientSubscriber, open_packet)
 
+ROOT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
+               / "BENCH_faults.json")
 DEFAULT_OUTPUT = (pathlib.Path(__file__).parent / "results"
                   / "BENCH_faults.json")
 
@@ -340,10 +342,13 @@ def main(argv: list[str] | None = None) -> int:
               f"{at_accept.get('baseline_completion_rate')}, "
               f"{at_accept.get('mean_attempts')} attempts/call")
 
+    payload = json.dumps(report, indent=2) + "\n"
     args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=2) + "\n",
-                           encoding="utf-8")
+    args.output.write_text(payload, encoding="utf-8")
     print(f"wrote {args.output}")
+    if args.output.resolve() != ROOT_OUTPUT:
+        ROOT_OUTPUT.write_text(payload, encoding="utf-8")
+        print(f"wrote {ROOT_OUTPUT}")
     if failures:
         print(f"oracle divergence in: {', '.join(failures)}",
               file=sys.stderr)

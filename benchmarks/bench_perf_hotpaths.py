@@ -55,6 +55,8 @@ from repro.xmlsec.authorx import (  # noqa: E402
 from repro.xmlsec.dissemination import Disseminator  # noqa: E402
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_perf.json"
+ROOT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
+               / "BENCH_perf.json")
 
 
 def timed(fn):
@@ -282,10 +284,13 @@ def main(argv: list[str] | None = None) -> int:
                              "logarithmic_update_cost")}
         print(f"{name}: {'ok' if ok else 'ORACLE DIVERGED'} {headline}")
 
+    payload = json.dumps(report, indent=2) + "\n"
     args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=2) + "\n",
-                           encoding="utf-8")
+    args.output.write_text(payload, encoding="utf-8")
     print(f"wrote {args.output}")
+    if args.output.resolve() != ROOT_OUTPUT:
+        ROOT_OUTPUT.write_text(payload, encoding="utf-8")
+        print(f"wrote {ROOT_OUTPUT}")
     if failures:
         print(f"oracle divergence in: {', '.join(failures)}",
               file=sys.stderr)

@@ -61,6 +61,8 @@ from repro.xmldb.database import Collection  # noqa: E402
 from repro.xmldb.parser import parse  # noqa: E402
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_scale.json"
+ROOT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
+               / "BENCH_scale.json")
 
 #: Serial-vs-batched pipeline speedup the CI smoke job requires.
 QUICK_SPEEDUP_GATE = 2.0
@@ -347,10 +349,13 @@ def main(argv: list[str] | None = None) -> int:
                              "oracle_all_stores_equivalent")}
         print(f"{name}: {'ok' if ok else 'ORACLE/GATE FAILED'} {headline}")
 
+    payload = json.dumps(report, indent=2) + "\n"
     args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=2) + "\n",
-                           encoding="utf-8")
+    args.output.write_text(payload, encoding="utf-8")
     print(f"wrote {args.output}")
+    if args.output.resolve() != ROOT_OUTPUT:
+        ROOT_OUTPUT.write_text(payload, encoding="utf-8")
+        print(f"wrote {ROOT_OUTPUT}")
     if failures:
         print(f"oracle or gate failure in: {', '.join(failures)}",
               file=sys.stderr)

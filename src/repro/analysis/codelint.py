@@ -36,7 +36,15 @@ error-severity finding):
   candidate policies and re-qualifies credentials the batch engine
   (:class:`repro.scale.batch.BatchDecisionEngine`) would amortize
   across the whole loop — collect the triples and ``decide_batch``
-  them instead.
+  them instead;
+* ``LINT-HOTCOPY`` (warning) — whole-structure copying
+  (``copy.deepcopy``/``deep_copy()``/``clone()``) inside a loop, or
+  anywhere in a hot-path module (``perf``/``scale``/``snap``): a deep
+  copy is O(size of the structure) per call, exactly the cost the
+  copy-on-write snapshot layer (:mod:`repro.snap.frozen`) exists to
+  avoid — share the untouched subtrees and copy only the mutated
+  spine.  Copy routines may of course copy: calls inside a function
+  itself named ``deep_copy``/``clone`` are exempt.
 
 A line may carry ``# lint: allow=RULE-ID[,RULE-ID...]`` to suppress
 exactly those rules on that line — for the rare site where the flagged
@@ -89,6 +97,11 @@ REGISTRY.register(
     "re-qualifies credentials that decide_batch() amortizes once "
     "per batch")
 REGISTRY.register(
+    "LINT-HOTCOPY", Severity.WARNING, "lint",
+    "whole-structure deep copy in a loop or hot-path module",
+    "deep copies cost O(structure size) per call; on hot paths use "
+    "copy-on-write sharing (repro.snap.frozen) instead of cloning")
+REGISTRY.register(
     "LINT-SYNTAX", Severity.ERROR, "lint",
     "file does not parse",
     "unparseable code cannot be analyzed, let alone enforced")
@@ -98,6 +111,10 @@ _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict",
 _CHECK_PREFIXES = ("verify_", "check_")
 _XPATH_CALLS = {"compile_xpath", "evaluate", "select_elements"}
 _DECISION_CALLS = {"decide", "check"}
+_HOTCOPY_CALLS = {"deepcopy", "deep_copy", "clone"}
+#: Directory names whose modules are hot paths: a deep copy there is
+#: suspect even outside a loop (the module exists to serve reads fast).
+_HOT_PATH_PARTS = {"perf", "scale", "snap"}
 
 
 @dataclass(frozen=True)
@@ -147,6 +164,9 @@ class _Linter(ast.NodeVisitor):
         self._function_stack: list[str] = []
         self._local_checkers: dict[str, _FunctionFacts] = {}
         self._loop_depth = 0
+        self._hot_module = bool(
+            _HOT_PATH_PARTS.intersection(
+                pathlib.PurePath(path).parts[:-1]))
 
     def _emit(self, rule_id: str, node: ast.AST, message: str,
               fix_hint: str = "") -> None:
@@ -277,6 +297,19 @@ class _Linter(ast.NodeVisitor):
                 fix_hint="collect the (subject, action, path) triples "
                          "and evaluate them with "
                          "BatchDecisionEngine.decide_batch()")
+        if (callee in _HOTCOPY_CALLS
+                and (self._loop_depth > 0 or self._hot_module)
+                and not any(name in _HOTCOPY_CALLS
+                            for name in self._function_stack)):
+            where = ("inside a loop" if self._loop_depth > 0
+                     else "in a hot-path module")
+            self._emit(
+                "LINT-HOTCOPY", node,
+                f"{callee}() deep-copies a whole structure {where}; "
+                f"the cost is O(structure size) on every call",
+                fix_hint="share unchanged subtrees copy-on-write "
+                         "(repro.snap.frozen) or hoist one copy out "
+                         "of the loop")
         self.generic_visit(node)
 
     def visit_Expr(self, node: ast.Expr) -> None:

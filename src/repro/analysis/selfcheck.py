@@ -137,6 +137,14 @@ def audit_all(evaluator, requests):
     for subject, action, path in requests:
         granted.append(evaluator.decide(subject, action, path))
     return granted
+
+
+def broadcast_all(documents):
+    import copy
+    packets = []
+    for doc in documents:
+        packets.append(copy.deepcopy(doc))
+    return packets
 '''
 
 
@@ -163,6 +171,7 @@ EXPECTED_RULE_IDS = frozenset({
     "RDF-REIFY", "RDF-CONTAINER",
     "LINT-MUTDEF", "LINT-BAREEXC", "LINT-SWALLOW", "LINT-HASH",
     "LINT-CHECKRET", "LINT-XPATHLOOP", "LINT-BATCHLOOP",
+    "LINT-HOTCOPY",
 })
 
 

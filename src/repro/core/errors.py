@@ -178,3 +178,20 @@ class TamperedPackageError(IntegrityError):
 class IncompletePackageError(CompletenessError):
     """A disseminated package is missing blocks the manifest promises
     for keys the subscriber holds."""
+
+
+# ---------------------------------------------------------------------------
+# Snapshot branch (repro.snap): epoch-published copy-on-write snapshots.
+# ---------------------------------------------------------------------------
+
+
+class SnapshotError(ReproError):
+    """Misuse of the snapshot layer: mutating a frozen snapshot,
+    resolving a node path that does not exist in the frozen tree, or
+    publishing through a closed epoch manager."""
+
+
+class EpochRetired(SnapshotError):
+    """A released snapshot (or an epoch already reclaimed) was used
+    where a pinned one is required — e.g. releasing the same snapshot
+    twice, which would corrupt the reclamation refcounts."""

@@ -41,11 +41,22 @@ def content_hash(node: Element) -> str:
     return combine(_XML_CONTENT_PREFIX, attrs, node.text)
 
 
+def node_hash(tag: str, local_hash: str, child_hashes: list[str]) -> str:
+    """Compose one element's Merkle hash from already-computed parts.
+
+    The single place the Mh(e) recurrence is spelled out, shared by the
+    recursive :func:`merkle_hash`, the :class:`IncrementalXmlHasher`, and
+    the snapshot layer's cross-epoch subtree cache
+    (:class:`repro.snap.intern.InternPool`) — three caching strategies,
+    one hash definition, so their results are interchangeable.
+    """
+    return combine(_XML_NODE_PREFIX, tag, local_hash, *child_hashes)
+
+
 def merkle_hash(node: Element) -> str:
     """The Merkle hash of an element subtree."""
     child_hashes = [merkle_hash(child) for child in node.element_children]
-    return combine(_XML_NODE_PREFIX, node.tag, content_hash(node),
-                   *child_hashes)
+    return node_hash(node.tag, content_hash(node), child_hashes)
 
 
 def document_hash(document: Document) -> str:
@@ -96,8 +107,8 @@ class IncrementalXmlHasher:
             child_hashes = [self._merkle_hash(child)
                             for child in node.element_children]
             self.hash_operations += 1
-            cached = combine(_XML_NODE_PREFIX, node.tag,
-                             self._content_hash(node), *child_hashes)
+            cached = node_hash(node.tag, self._content_hash(node),
+                               child_hashes)
             self._merkle[node] = cached
         return cached
 

@@ -63,14 +63,15 @@ class FaultyAnswerChannel:
                 raise MessageDropped(
                     f"answer for {answer.doc_id!r} lost in transit")
             if event.kind is FaultKind.CORRUPT and view is not None:
-                view = view.deep_copy()
+                # Damage must not alias the publisher's pristine answer.
+                view = view.deep_copy()  # lint: allow=LINT-HOTCOPY
                 for node in view.root.iter():
                     if node.text and not is_pruned_marker(node):
                         node.set_text(self.faults.corrupt_text(
                             node.text, self.site))
                         break
             if event.kind is FaultKind.REORDER and view is not None:
-                view = view.deep_copy()
+                view = view.deep_copy()  # lint: allow=LINT-HOTCOPY
                 visible = [c for c in view.root.element_children
                            if not is_pruned_marker(c)]
                 if visible:

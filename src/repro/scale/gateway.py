@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import (
     AdmissionRejected,
+    ConfigurationError,
     CorruptMessage,
     MessageDropped,
     ReplicaUnavailable,
@@ -73,6 +74,9 @@ class GatewayStats:
     batches: int = 0
     queue_wait_s: float = 0.0
     evaluate_s: float = 0.0
+    snapshot_reads: int = 0
+    writes: int = 0
+    epochs_advanced: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
 
@@ -86,6 +90,9 @@ class GatewayStats:
                 "batches": self.batches,
                 "queue_wait_s": round(self.queue_wait_s, 6),
                 "evaluate_s": round(self.evaluate_s, 6),
+                "snapshot_reads": self.snapshot_reads,
+                "writes": self.writes,
+                "epochs_advanced": self.epochs_advanced,
             }
 
 
@@ -116,12 +123,25 @@ class RequestGateway:
     def __init__(self, engine, workers: int = 4,
                  queue_limit: int = 1024, batch_size: int = 32,
                  linger_s: float = 0.002,
-                 faults: FaultInjector | None = None) -> None:
+                 faults: FaultInjector | None = None,
+                 epochs=None, publisher=None) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.engine = engine
+        # Snapshot wiring (repro.snap): *epochs* is an EpochManager the
+        # read path pins; *publisher* is a writer-side store (needs
+        # ``publish()`` and optionally ``writer()``) the write path
+        # advances.  Both stay duck-typed so this module does not
+        # depend on repro.snap; an engine carrying its own manager
+        # (EpochalPolicyEngine) donates it when *epochs* is omitted.
+        if epochs is None:
+            epochs = getattr(publisher, "epochs", None)
+        if epochs is None:
+            epochs = getattr(engine, "epochs", None)
+        self.epochs = epochs
+        self.publisher = publisher
         self.queue_limit = queue_limit
         self.batch_size = batch_size
         # How long a worker holding a *partial* batch waits for it to
@@ -276,6 +296,50 @@ class RequestGateway:
                 return processed
             self._evaluate(batch)
             processed += len(batch)
+
+    # -- the snapshot read/write path (repro.snap) -------------------------
+
+    def read(self, fn):
+        """Run ``fn(snapshot)`` against the pinned current epoch.
+
+        Lock-free with respect to writers: the epoch pointer swap is
+        the only synchronization point, and the pinned snapshot cannot
+        be reclaimed until *fn* returns.
+        """
+        if self.epochs is None:
+            raise ConfigurationError(
+                "gateway has no epoch manager; pass epochs= or a "
+                "publisher/engine that carries one")
+        with self.epochs.reading() as snapshot:
+            result = fn(snapshot)
+        with self.stats._lock:
+            self.stats.snapshot_reads += 1
+        return result
+
+    def write(self, fn):
+        """Apply ``fn(publisher)`` as one write and advance the epoch.
+
+        When the publisher supports multi-operation atomicity
+        (``writer()``), every mutation *fn* makes lands in a single
+        published epoch; in-flight :meth:`read` calls keep their pinned
+        snapshot and the next read sees the new epoch.
+        """
+        if self.publisher is None:
+            raise ConfigurationError(
+                "gateway has no snapshot publisher; pass publisher=")
+        writer = getattr(self.publisher, "writer", None)
+        if writer is not None:
+            with writer():
+                result = fn(self.publisher)
+        else:
+            result = fn(self.publisher)
+            publish = getattr(self.publisher, "publish", None)
+            if publish is not None:
+                publish()
+        with self.stats._lock:
+            self.stats.writes += 1
+            self.stats.epochs_advanced += 1
+        return result
 
     # -- lifecycle ---------------------------------------------------------
 

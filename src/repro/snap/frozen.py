@@ -1,0 +1,287 @@
+"""Immutable XML trees with structural sharing (persistent-map style).
+
+A :class:`FrozenElement` is the snapshot layer's node type: tag,
+attribute dict (never mutated after construction) and a children tuple
+of ``FrozenElement | str``.  Two properties make it the right substrate
+for copy-on-write snapshots:
+
+* **no parent pointer** — a subtree can sit in any number of trees at
+  once, so an edit rebuilds only the root-to-target spine
+  (:func:`replace_spine`) and shares every untouched sibling subtree by
+  reference with the previous version;
+* **identity is history** — an unchanged subtree in the next epoch *is*
+  the same Python object, which is what lets the interning caches
+  (:mod:`repro.snap.intern`) reuse serialized bytes and Merkle hashes
+  across epochs with a plain identity-keyed lookup.
+
+Frozen nodes duck-type the read surface of
+:class:`~repro.xmldb.model.Element` (``tag`` / ``attributes`` /
+``children`` / ``element_children`` / ``text`` / ``iter`` / ``find`` /
+``find_all``), so the XPath evaluator and the canonical serializer work
+on them unmodified — byte-identical to the live mutable tree, which the
+snapshot equivalence oracles depend on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.core.errors import SnapshotError
+from repro.xmldb.model import Document, Element
+
+
+class FrozenElement:
+    """One immutable XML element; treat ``attributes`` as read-only."""
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(self, tag: str, attributes: dict[str, str] | None = None,
+                 children: tuple = ()) -> None:
+        self.tag = tag
+        self.attributes: dict[str, str] = attributes or {}
+        self.children: tuple = children
+
+    # -- Element-compatible read surface --------------------------------
+
+    @property
+    def element_children(self) -> list["FrozenElement"]:
+        return [c for c in self.children if not isinstance(c, str)]
+
+    @property
+    def text(self) -> str:
+        return "".join(c for c in self.children if isinstance(c, str))
+
+    def iter(self) -> Iterator["FrozenElement"]:
+        """Depth-first pre-order, iterative so depth is unbounded."""
+        stack: list[FrozenElement] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.element_children))
+
+    def find(self, tag: str) -> "FrozenElement | None":
+        for child in self.children:
+            if not isinstance(child, str) and child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> list["FrozenElement"]:
+        return [c for c in self.children
+                if not isinstance(c, str) and c.tag == tag]
+
+    def size(self) -> int:
+        return sum(1 for _ in self.iter())
+
+    def __repr__(self) -> str:
+        return (f"<FrozenElement {self.tag} attrs={len(self.attributes)} "
+                f"children={len(self.children)}>")
+
+
+class FrozenDocument:
+    """An immutable document: a name plus a frozen root.
+
+    ``version`` is constant (snapshots never mutate), so generation-
+    stamped caches treat any value computed from a frozen document as
+    permanently fresh — the coherence rule of :mod:`repro.perf.cache`
+    degenerates to identity.
+    """
+
+    __slots__ = ("root", "name")
+
+    def __init__(self, root: FrozenElement, name: str = "") -> None:
+        self.root = root
+        self.name = name
+
+    @property
+    def version(self) -> int:
+        return 0
+
+    def iter(self) -> Iterator[FrozenElement]:
+        return self.root.iter()
+
+    def size(self) -> int:
+        return self.root.size()
+
+    def __repr__(self) -> str:
+        return (f"FrozenDocument({self.name!r}, root=<{self.root.tag}>, "
+                f"{self.size()} elements)")
+
+
+# -- freezing and thawing ----------------------------------------------
+
+
+def freeze_element(node: Element) -> FrozenElement:
+    """One structural copy of a mutable tree into frozen form.
+
+    Paid once at store ingestion; every subsequent edit is a spine copy
+    and every ``freeze()`` of the store is O(1).
+    """
+    frozen_children = tuple(
+        child if isinstance(child, str) else freeze_element(child)
+        for child in node.children)
+    return FrozenElement(node.tag, dict(node.attributes), frozen_children)
+
+
+def freeze_document(document: Document) -> FrozenDocument:
+    return FrozenDocument(freeze_element(document.root), document.name)
+
+
+def thaw_element(node: FrozenElement) -> Element:
+    """Materialize a mutable :class:`Element` tree (parent pointers,
+    node paths) from a frozen one.  The result is structure-equal and
+    serializes byte-identically."""
+    thawed = Element(node.tag, dict(node.attributes))
+    for child in node.children:
+        thawed.append(child if isinstance(child, str)
+                      else thaw_element(child))
+    return thawed
+
+
+def thaw_document(document: FrozenDocument) -> Document:
+    return Document(thaw_element(document.root), document.name)
+
+
+# -- node addressing ----------------------------------------------------
+
+_SEGMENT = re.compile(r"^([^\[\]]+)(?:\[(\d+)\])?$")
+
+
+def _parse_path(path: str) -> list[tuple[str, int]]:
+    """``/a/b[2]/c`` → ``[("a", 1), ("b", 2), ("c", 1)]`` (1-based)."""
+    stripped = path.strip("/")
+    if not stripped:
+        raise SnapshotError(f"empty node path {path!r}")
+    segments: list[tuple[str, int]] = []
+    for raw in stripped.split("/"):
+        match = _SEGMENT.match(raw)
+        if match is None:
+            raise SnapshotError(f"bad node path segment {raw!r} in {path!r}")
+        segments.append((match.group(1), int(match.group(2) or 1)))
+    return segments
+
+
+def resolve_spine(root: FrozenElement, path: str
+                  ) -> list[tuple[FrozenElement, int]]:
+    """Walk *path* from *root*, returning the copy-on-write spine.
+
+    The result is ``[(parent, child_slot), ...]`` from the root down:
+    each entry names the position (in ``parent.children``) of the next
+    node on the path.  The addressed node itself is
+    ``spine[-1][0].children[spine[-1][1]]`` — or *root* when the path
+    has exactly one segment.
+    """
+    segments = _parse_path(path)
+    head_tag, head_index = segments[0]
+    if root.tag != head_tag or head_index != 1:
+        raise SnapshotError(
+            f"path {path!r} does not start at root <{root.tag}>")
+    spine: list[tuple[FrozenElement, int]] = []
+    node = root
+    for tag, index in segments[1:]:
+        seen = 0
+        for slot, child in enumerate(node.children):
+            if isinstance(child, str) or child.tag != tag:
+                continue
+            seen += 1
+            if seen == index:
+                spine.append((node, slot))
+                node = child
+                break
+        else:
+            raise SnapshotError(
+                f"no element {tag}[{index}] under <{node.tag}> "
+                f"for path {path!r}")
+    return spine
+
+
+def resolve(root: FrozenElement, path: str) -> FrozenElement:
+    """The frozen node addressed by a position-qualified *path*."""
+    spine = resolve_spine(root, path)
+    if not spine:
+        return root
+    parent, slot = spine[-1]
+    return parent.children[slot]  # type: ignore[return-value]
+
+
+def replace_spine(root: FrozenElement,
+                  spine: list[tuple[FrozenElement, int]],
+                  replacement: FrozenElement | None) -> FrozenElement:
+    """Rebuild the spine with *replacement* at the bottom.
+
+    ``replacement=None`` deletes the addressed node.  Every node not on
+    the spine is shared by reference with the previous version — the
+    copy-on-write step.
+    """
+    if not spine:
+        if replacement is None:
+            raise SnapshotError("cannot delete the document root")
+        return replacement
+    new_child: FrozenElement | None = replacement
+    for parent, slot in reversed(spine):
+        if new_child is None:
+            children = parent.children[:slot] + parent.children[slot + 1:]
+        else:
+            children = (parent.children[:slot] + (new_child,)
+                        + parent.children[slot + 1:])
+        new_child = FrozenElement(parent.tag, parent.attributes, children)
+    return new_child
+
+
+# -- copy-on-write point edits ------------------------------------------
+
+
+def with_text(root: FrozenElement, path: str, text: str) -> FrozenElement:
+    """New root where the node at *path* has its text replaced."""
+    spine = resolve_spine(root, path)
+    node = root if not spine else spine[-1][0].children[spine[-1][1]]
+    children = tuple(c for c in node.children if not isinstance(c, str))
+    if text:
+        children = (text,) + children
+    return replace_spine(root, spine,
+                         FrozenElement(node.tag, node.attributes, children))
+
+
+def with_attribute(root: FrozenElement, path: str,
+                   name: str, value: str) -> FrozenElement:
+    spine = resolve_spine(root, path)
+    node = root if not spine else spine[-1][0].children[spine[-1][1]]
+    attributes = dict(node.attributes)
+    attributes[name] = value
+    return replace_spine(root, spine,
+                         FrozenElement(node.tag, attributes, node.children))
+
+
+def without_attribute(root: FrozenElement, path: str,
+                      name: str) -> FrozenElement:
+    spine = resolve_spine(root, path)
+    node = root if not spine else spine[-1][0].children[spine[-1][1]]
+    if name not in node.attributes:
+        return root
+    attributes = dict(node.attributes)
+    del attributes[name]
+    return replace_spine(root, spine,
+                         FrozenElement(node.tag, attributes, node.children))
+
+
+def with_appended_child(root: FrozenElement, path: str,
+                        child: FrozenElement) -> FrozenElement:
+    spine = resolve_spine(root, path)
+    node = root if not spine else spine[-1][0].children[spine[-1][1]]
+    return replace_spine(
+        root, spine,
+        FrozenElement(node.tag, node.attributes, node.children + (child,)))
+
+
+def without_child(root: FrozenElement, path: str) -> FrozenElement:
+    """New root with the element at *path* removed (path names the
+    child itself, e.g. ``/doc[1]/item[2]``)."""
+    spine = resolve_spine(root, path)
+    return replace_spine(root, spine, None)
+
+
+def shared_nodes(old: FrozenElement, new: FrozenElement) -> int:
+    """How many of *new*'s elements are shared (by identity) with *old*
+    — the structural-sharing metric benchmarks and tests assert on."""
+    old_ids = {id(node) for node in old.iter()}
+    return sum(1 for node in new.iter() if id(node) in old_ids)

@@ -1,0 +1,160 @@
+"""Identity-keyed interning of derived artifacts (zero-copy reads).
+
+Because frozen subtrees are shared by reference across snapshots, the
+*object identity* of a :class:`~repro.snap.frozen.FrozenElement` is a
+perfect cache key: if two epochs contain the same node object, every
+artifact derived from that subtree — its canonical serialization, its
+Merkle hash, a thawed mutable copy — is identical too.  The
+:class:`InternPool` exploits this with three bounded caches keyed by the
+node objects themselves (which hash by identity; holding them as keys
+also pins them, so a collected node's recycled ``id()`` can never alias
+an entry):
+
+* **fragments** — canonical serialized bytes per subtree.  A repeat
+  read of an unchanged document is a single dict hit; after a point
+  edit only the copied spine is re-assembled, every shared subtree
+  contributes its cached bytes verbatim;
+* **merkle** — Merkle subtree hashes, composed with the same
+  :func:`repro.merkle.xml_merkle.node_hash` recurrence as the live
+  hashers, so snapshot root hashes are interchangeable with theirs;
+* **thawed** — mutable :class:`~repro.xmldb.model.Document` copies
+  keyed by frozen root, for consumers that need parent pointers and
+  node paths (view computation, dissemination).  Treat them as
+  read-only.
+
+The pool is shared across epochs on purpose — that is where the
+cross-epoch reuse the benchmarks measure comes from.  All three caches
+are plain :class:`~repro.perf.cache.LRUCache` instances (no generation
+stamps needed: frozen state never mutates, so an entry can never go
+stale, only cold).
+"""
+
+from __future__ import annotations
+
+from repro.merkle.xml_merkle import content_hash, node_hash
+from repro.perf.cache import LRUCache, MISS
+from repro.snap.frozen import FrozenDocument, FrozenElement, thaw_document
+from repro.xmldb.model import Document
+from repro.xmldb.serializer import escape_attribute, escape_text
+
+
+class InternPool:
+    """Shared caches of per-subtree artifacts, keyed by node identity."""
+
+    def __init__(self, fragment_capacity: int = 200_000,
+                 merkle_capacity: int = 200_000,
+                 thawed_capacity: int = 256) -> None:
+        self._fragments = LRUCache(maxsize=fragment_capacity)
+        self._merkle = LRUCache(maxsize=merkle_capacity)
+        self._thawed = LRUCache(maxsize=thawed_capacity)
+
+    # -- canonical serialization ----------------------------------------
+
+    def serialize(self, node: FrozenElement) -> str:
+        """Canonical serialization of *node*, reusing cached fragments
+        of every already-seen subtree (byte-identical to
+        :func:`repro.xmldb.serializer.serialize_element`)."""
+        cached = self._fragments.get(node)
+        if cached is not MISS:
+            return cached
+        memo: dict[int, str] = {}
+        stack: list[tuple[FrozenElement, bool]] = [(node, False)]
+        while stack:
+            current, ready = stack.pop()
+            if ready:
+                attrs = "".join(
+                    f' {name}="{escape_attribute(value)}"'
+                    for name, value in sorted(current.attributes.items()))
+                if not current.children:
+                    fragment = f"<{current.tag}{attrs}/>"
+                else:
+                    parts = [f"<{current.tag}{attrs}>"]
+                    for child in current.children:
+                        if isinstance(child, str):
+                            parts.append(escape_text(child))
+                        else:
+                            parts.append(memo[id(child)])
+                    parts.append(f"</{current.tag}>")
+                    fragment = "".join(parts)
+                memo[id(current)] = fragment
+                self._fragments.put(current, fragment)
+                continue
+            if id(current) in memo:
+                continue
+            if current is not node:
+                hit = self._fragments.get(current)
+                if hit is not MISS:
+                    memo[id(current)] = hit
+                    continue
+            stack.append((current, True))
+            for child in current.children:
+                if not isinstance(child, str):
+                    stack.append((child, False))
+        return memo[id(node)]
+
+    def serialize_document(self, document: FrozenDocument) -> str:
+        return self.serialize(document.root)
+
+    # -- Merkle hashing --------------------------------------------------
+
+    def merkle(self, node: FrozenElement) -> str:
+        """Merkle hash of *node*'s subtree, reusing hashes of shared
+        subtrees across requests and epochs."""
+        cached = self._merkle.get(node)
+        if cached is not MISS:
+            return cached
+        memo: dict[int, str] = {}
+        stack: list[tuple[FrozenElement, bool]] = [(node, False)]
+        while stack:
+            current, ready = stack.pop()
+            if ready:
+                child_hashes = [memo[id(child)]
+                                for child in current.element_children]
+                value = node_hash(current.tag, content_hash(current),
+                                  child_hashes)
+                memo[id(current)] = value
+                self._merkle.put(current, value)
+                continue
+            if id(current) in memo:
+                continue
+            if current is not node:
+                hit = self._merkle.get(current)
+                if hit is not MISS:
+                    memo[id(current)] = hit
+                    continue
+            stack.append((current, True))
+            for child in current.element_children:
+                stack.append((child, False))
+        return memo[id(node)]
+
+    def merkle_document(self, document: FrozenDocument) -> str:
+        return self.merkle(document.root)
+
+    # -- thawed documents ------------------------------------------------
+
+    def thawed(self, document: FrozenDocument) -> Document:
+        """A mutable copy of *document*, cached by frozen-root identity.
+
+        The same object is returned for every epoch that shares the
+        root, so downstream generation-stamped caches (views,
+        dissemination payloads) hit across epochs.  Callers must treat
+        the result as read-only.
+        """
+        cached = self._thawed.get(document.root)
+        if cached is not MISS:
+            return cached
+        thawed = thaw_document(document)
+        self._thawed.put(document.root, thawed)
+        return thawed
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict[str, dict[str, int | float]]:
+        return {"fragments": self._fragments.stats.snapshot(),
+                "merkle": self._merkle.stats.snapshot(),
+                "thawed": self._thawed.stats.snapshot()}
+
+    def clear(self) -> None:
+        self._fragments.clear()
+        self._merkle.clear()
+        self._thawed.clear()

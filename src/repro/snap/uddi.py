@@ -1,0 +1,342 @@
+"""Snapshot UDDI registry: persistent core structures, interned digests.
+
+The registry's five core data structures are already immutable
+dataclasses (:mod:`repro.uddi.model`), so the snapshot layer only has to
+make the *containers* persistent: businesses/owners/tModels become
+copy-on-write dicts and the assertion log a tuple.  A publisher-API
+write copies the one touched container; :meth:`SnapshotUddiRegistry.freeze`
+is O(1) and :class:`UddiSnapshot` serves every inquiry pattern of §2.2
+lock-free against that capture.
+
+Digest interning: the canonical state parts
+(:func:`~repro.uddi.registry.business_part` et al.) each hash an
+entity's ``repr`` — O(size of entity) work that is identical whenever
+the entity object is identical.  Since unchanged entities are shared by
+reference across epochs, a bounded cache keyed by the (hashable) entity
+objects makes :meth:`UddiSnapshot.state_parts` touch only changed
+entities after the first computation, and the fully-combined
+:meth:`~UddiSnapshot.state_digest` is memoized per snapshot.  Digests
+remain byte-identical to a live :class:`~repro.uddi.registry.UddiRegistry`
+holding equal state — the convergence-oracle contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from fnmatch import fnmatchcase
+
+from repro.core.errors import RegistryError
+from repro.crypto.hashing import combine, sha256_hex
+from repro.perf.cache import Generation, LRUCache, MISS
+from repro.snap.epoch import EpochManager
+from repro.uddi.model import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    PublisherAssertion,
+    TModel,
+)
+from repro.uddi.registry import (
+    BusinessOverview,
+    ServiceOverview,
+    assertion_part,
+    business_part,
+    tmodel_part,
+)
+
+
+class UddiSnapshot:
+    """One immutable epoch of the registry; every read is lock-free."""
+
+    def __init__(self, businesses: dict, owners: dict, tmodels: dict,
+                 assertions: tuple, generation: int,
+                 parts_cache: LRUCache) -> None:
+        self._businesses = businesses
+        self._owners = owners
+        self._tmodels = tmodels
+        self._assertions = assertions
+        self._generation = generation
+        self._parts_cache = parts_cache
+        self._digest: str | None = None
+        self.epoch: int | None = None
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def __len__(self) -> int:
+        return len(self._businesses)
+
+    # -- drill-down inquiries (get_xxx) ----------------------------------
+
+    def get_business_detail(self, business_key: str) -> BusinessEntity:
+        try:
+            return self._businesses[business_key]
+        except KeyError:
+            raise RegistryError(
+                f"unknown business {business_key!r}") from None
+
+    def get_service_detail(self, service_key: str) -> BusinessService:
+        for entity in self._businesses.values():
+            for service in entity.services:
+                if service.service_key == service_key:
+                    return service
+        raise RegistryError(f"unknown service {service_key!r}")
+
+    def get_binding_detail(self, binding_key: str) -> BindingTemplate:
+        for entity in self._businesses.values():
+            for service in entity.services:
+                for binding in service.bindings:
+                    if binding.binding_key == binding_key:
+                        return binding
+        raise RegistryError(f"unknown binding {binding_key!r}")
+
+    def get_tmodel_detail(self, tmodel_key: str) -> TModel:
+        try:
+            return self._tmodels[tmodel_key]
+        except KeyError:
+            raise RegistryError(
+                f"unknown tModel {tmodel_key!r}") from None
+
+    def owner_of(self, business_key: str) -> str:
+        try:
+            return self._owners[business_key]
+        except KeyError:
+            raise RegistryError(
+                f"unknown business {business_key!r}") from None
+
+    # -- browse inquiries (find_xxx) -------------------------------------
+
+    def find_business(self, name_pattern: str = "*"
+                      ) -> list[BusinessOverview]:
+        rows = [
+            BusinessOverview(e.business_key, e.name, e.description,
+                             len(e.services))
+            for e in self._businesses.values()
+            if fnmatchcase(e.name.lower(), name_pattern.lower())]
+        return sorted(rows, key=lambda r: r.business_key)
+
+    def find_service(self, name_pattern: str = "*",
+                     category: str | None = None) -> list[ServiceOverview]:
+        rows: list[ServiceOverview] = []
+        for entity in self._businesses.values():
+            for service in entity.services:
+                if not fnmatchcase(service.name.lower(),
+                                   name_pattern.lower()):
+                    continue
+                if category is not None and service.category != category:
+                    continue
+                rows.append(ServiceOverview(
+                    entity.business_key, entity.name,
+                    service.service_key, service.name, service.category))
+        return sorted(rows, key=lambda r: r.service_key)
+
+    def find_tmodel(self, name_pattern: str = "*") -> list[TModel]:
+        return sorted(
+            (t for t in self._tmodels.values()
+             if fnmatchcase(t.name.lower(), name_pattern.lower())),
+            key=lambda t: t.tmodel_key)
+
+    def find_related_businesses(self, business_key: str) -> list[str]:
+        forward = {(a.from_key, a.to_key, a.relationship)
+                   for a in self._assertions}
+        related: set[str] = set()
+        for from_key, to_key, relationship in forward:
+            if (to_key, from_key, relationship) not in forward:
+                continue
+            if from_key == business_key:
+                related.add(to_key)
+            elif to_key == business_key:
+                related.add(from_key)
+        return sorted(related)
+
+    # -- state fingerprinting --------------------------------------------
+
+    def _interned(self, key, compute) -> str:
+        cached = self._parts_cache.get(key)
+        if cached is not MISS:
+            return cached
+        part = compute()
+        self._parts_cache.put(key, part)
+        return part
+
+    def state_parts(self) -> list[tuple[tuple, str]]:
+        """Canonical digest parts, byte-identical to the live registry's
+        :meth:`~repro.uddi.registry.UddiRegistry.state_parts`; each
+        part is computed once per distinct entity across all epochs."""
+        parts: list[tuple[tuple, str]] = []
+        for key in sorted(self._businesses):
+            entity = self._businesses[key]
+            owner = self._owners.get(key, "")
+            parts.append(((0, key), self._interned(
+                ("biz", key, owner, entity),
+                lambda k=key, o=owner, e=entity: business_part(k, o, e))))
+        for key in sorted(self._tmodels):
+            tmodel = self._tmodels[key]
+            parts.append(((1, key), self._interned(
+                ("tmodel", key, tmodel),
+                lambda k=key, t=tmodel: tmodel_part(k, t))))
+        for assertion in sorted(self._assertions, key=repr):
+            parts.append(((2, repr(assertion)), self._interned(
+                ("assert", assertion),
+                lambda a=assertion: assertion_part(a))))
+        return parts
+
+    def state_digest(self) -> str:
+        """Digest over the whole observable state, memoized (a snapshot
+        can never change, so computing it twice is pure waste)."""
+        if self._digest is None:
+            parts = [part for _, part in self.state_parts()]
+            self._digest = (combine(*parts) if parts
+                            else sha256_hex("empty-registry"))
+        return self._digest
+
+    # -- enumeration -----------------------------------------------------
+
+    def business_keys(self) -> list[str]:
+        return sorted(self._businesses)
+
+    def assertions(self) -> list[PublisherAssertion]:
+        return list(self._assertions)
+
+    def __repr__(self) -> str:
+        return (f"<UddiSnapshot gen={self._generation} epoch={self.epoch} "
+                f"businesses={len(self._businesses)}>")
+
+
+class SnapshotUddiRegistry:
+    """Writer-side registry; the publisher API publishes epochs.
+
+    Ownership rules are exactly :class:`~repro.uddi.registry.UddiRegistry`'s;
+    only the storage discipline differs (copy-on-write containers,
+    publication through an :class:`~repro.snap.epoch.EpochManager`).
+    """
+
+    def __init__(self, name: str = "snapregistry",
+                 epochs: EpochManager | None = None,
+                 parts_cache_size: int = 100_000) -> None:
+        self.name = name
+        self.epochs = epochs if epochs is not None else EpochManager()
+        self._lock = threading.RLock()
+        self._businesses: dict[str, BusinessEntity] = {}
+        self._owners: dict[str, str] = {}
+        self._tmodels: dict[str, TModel] = {}
+        self._assertions: tuple[PublisherAssertion, ...] = ()
+        self._generation = Generation()
+        self._parts_cache = LRUCache(maxsize=parts_cache_size)
+        self._deferred = 0
+        self.publish_count = 0
+        self.publish()
+
+    @property
+    def generation(self) -> int:
+        return self._generation.value
+
+    @property
+    def parts_cache(self) -> LRUCache:
+        """The shared per-entity digest-part cache (for stats/benches)."""
+        return self._parts_cache
+
+    # -- publication -----------------------------------------------------
+
+    def freeze(self) -> UddiSnapshot:
+        with self._lock:
+            return UddiSnapshot(self._businesses, self._owners,
+                                self._tmodels, self._assertions,
+                                self._generation.value, self._parts_cache)
+
+    def publish(self) -> UddiSnapshot:
+        snapshot = self.freeze()
+        self.epochs.publish(snapshot)
+        return snapshot
+
+    def current(self) -> UddiSnapshot:
+        return self.epochs.current()
+
+    @contextmanager
+    def writer(self):
+        """Batch several publisher-API calls into one published epoch."""
+        with self._lock:
+            self._deferred += 1
+            try:
+                yield self
+            finally:
+                self._deferred -= 1
+                if self._deferred == 0:
+                    self.publish()
+
+    def _commit(self) -> None:
+        self._generation.bump()
+        self.publish_count += 1
+        if self._deferred == 0:
+            self.publish()
+
+    # -- publisher API ---------------------------------------------------
+
+    def save_business(self, entity: BusinessEntity,
+                      publisher: str) -> BusinessEntity:
+        with self._lock:
+            existing_owner = self._owners.get(entity.business_key)
+            if existing_owner is not None and existing_owner != publisher:
+                raise RegistryError(
+                    f"business {entity.business_key!r} belongs to "
+                    f"{existing_owner!r}, not {publisher!r}")
+            businesses = dict(self._businesses)
+            businesses[entity.business_key] = entity
+            owners = dict(self._owners)
+            owners[entity.business_key] = publisher
+            self._businesses = businesses
+            self._owners = owners
+            self._commit()
+        return entity
+
+    def delete_business(self, business_key: str, publisher: str) -> None:
+        with self._lock:
+            owner = self._owners.get(business_key)
+            if owner is None:
+                raise RegistryError(f"unknown business {business_key!r}")
+            if owner != publisher:
+                raise RegistryError(
+                    f"business {business_key!r} belongs to {owner!r}")
+            businesses = dict(self._businesses)
+            del businesses[business_key]
+            owners = dict(self._owners)
+            del owners[business_key]
+            assertions = tuple(
+                a for a in self._assertions
+                if business_key not in (a.from_key, a.to_key))
+            with self.writer():
+                self._businesses = businesses
+                self._owners = owners
+                self._assertions = assertions
+                self._commit()
+
+    def save_tmodel(self, tmodel: TModel, publisher: str) -> TModel:
+        with self._lock:
+            tmodels = dict(self._tmodels)
+            tmodels[tmodel.tmodel_key] = tmodel
+            self._tmodels = tmodels
+            self._commit()
+        return tmodel
+
+    def add_assertion(self, assertion: PublisherAssertion,
+                      publisher: str) -> None:
+        with self._lock:
+            if self._owners.get(assertion.from_key) != publisher:
+                raise RegistryError(
+                    "assertions must be filed by the owner of their "
+                    "fromKey")
+            self._assertions = self._assertions + (assertion,)
+            self._commit()
+
+    def owner_of(self, business_key: str) -> str:
+        with self._lock:
+            try:
+                return self._owners[business_key]
+            except KeyError:
+                raise RegistryError(
+                    f"unknown business {business_key!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._businesses)

@@ -1,0 +1,329 @@
+"""The snapshot XML database: COW collections, epoch-published reads.
+
+:class:`SnapshotXmlDatabase` is the snapshot-layer counterpart of
+:class:`~repro.xmldb.database.XmlDatabase`.  Its entire state is a
+persistent two-level map ``{collection: {doc_id: FrozenDocument}}``:
+
+* inserting/replacing/deleting a document copies the outer dict and the
+  one touched inner dict (every other collection map and every document
+  is shared by reference with all outstanding snapshots);
+* a node-level update (:meth:`set_text`, :meth:`append_child`, …)
+  additionally rebuilds the root-to-target spine of one frozen tree via
+  :mod:`repro.snap.frozen` — the rest of the document is shared.
+
+:meth:`freeze` therefore captures the current references in O(1), and
+:meth:`publish` pushes the capture through an
+:class:`~repro.snap.epoch.EpochManager` so readers on other threads see
+either the whole write or none of it.  Multi-operation writes wrap in
+:meth:`writer`, which defers publication to the end of the block —
+a reader can *freeze during a write* and still observe only the state
+as of the last publication (the atomicity half of the equivalence
+property test).
+
+Reads go through :class:`XmlSnapshot`, which serves canonical
+serialization and Merkle roots out of the shared
+:class:`~repro.snap.intern.InternPool` — repeat reads of unchanged
+documents are dictionary hits, across requests and across epochs.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.errors import ConfigurationError, QueryError
+from repro.perf.cache import Generation
+from repro.snap.epoch import EpochManager
+from repro.snap.frozen import (
+    FrozenDocument,
+    FrozenElement,
+    freeze_document,
+    freeze_element,
+    resolve,
+    with_appended_child,
+    with_attribute,
+    with_text,
+    without_attribute,
+    without_child,
+)
+from repro.snap.intern import InternPool
+from repro.xmldb.model import Document, Element
+from repro.xmldb.parser import parse
+from repro.xmldb.xpath import XPath, evaluate
+
+#: collection name -> doc_id -> FrozenDocument (treat as read-only).
+StoreState = dict
+
+
+class XmlSnapshot:
+    """One immutable epoch of the database.
+
+    All methods are lock-free: the state can never change, and the
+    intern pool does its own fine-grained synchronization.
+    """
+
+    def __init__(self, collections: StoreState, generation: int,
+                 pool: InternPool) -> None:
+        self._collections = collections
+        self._generation = generation
+        self._pool = pool
+        self.epoch: int | None = None
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    # -- navigation ------------------------------------------------------
+
+    def collection_names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def doc_ids(self, collection: str) -> list[str]:
+        return sorted(self._documents_of(collection))
+
+    def _documents_of(self, collection: str) -> dict:
+        try:
+            return self._collections[collection]
+        except KeyError:
+            raise QueryError(f"no collection {collection!r}") from None
+
+    def document(self, collection: str, doc_id: str) -> FrozenDocument:
+        documents = self._documents_of(collection)
+        try:
+            return documents[doc_id]
+        except KeyError:
+            raise QueryError(
+                f"no document {doc_id!r} in collection {collection!r}"
+            ) from None
+
+    def documents(self, collection: str
+                  ) -> Iterator[tuple[str, FrozenDocument]]:
+        documents = self._documents_of(collection)
+        for doc_id in sorted(documents):
+            yield doc_id, documents[doc_id]
+
+    def total_documents(self) -> int:
+        return sum(len(docs) for docs in self._collections.values())
+
+    # -- reads (interned) ------------------------------------------------
+
+    def serialize(self, collection: str, doc_id: str) -> str:
+        """Canonical bytes of one document (cached by subtree identity)."""
+        return self._pool.serialize_document(
+            self.document(collection, doc_id))
+
+    def merkle_root(self, collection: str, doc_id: str) -> str:
+        """The document's Merkle root hash (cached by subtree identity)."""
+        return self._pool.merkle_document(
+            self.document(collection, doc_id))
+
+    def query(self, collection: str, xpath: XPath | str
+              ) -> list[tuple[str, FrozenElement | str]]:
+        """XPath over every document of *collection*, lock-free.
+
+        The evaluator only walks the child axis, which frozen elements
+        expose, so results match the live database's query on equal
+        state (modulo node type: frozen elements come back).
+        """
+        results: list[tuple[str, FrozenElement | str]] = []
+        for doc_id, document in self.documents(collection):
+            for item in evaluate(xpath, document.root):
+                results.append((doc_id, item))
+        return results
+
+    def resolve(self, collection: str, doc_id: str,
+                path: str) -> FrozenElement:
+        return resolve(self.document(collection, doc_id).root, path)
+
+    def thawed(self, collection: str, doc_id: str) -> Document:
+        """A read-only mutable-model copy (for consumers needing parent
+        pointers/node paths), cached by frozen-root identity."""
+        return self._pool.thawed(self.document(collection, doc_id))
+
+    def __repr__(self) -> str:
+        return (f"<XmlSnapshot gen={self._generation} epoch={self.epoch} "
+                f"collections={len(self._collections)}>")
+
+
+class SnapshotXmlDatabase:
+    """Writer-side store; every mutation publishes a new epoch.
+
+    Single-writer semantics are enforced with an internal re-entrant
+    lock; readers never take it — they go through
+    :meth:`current`/:attr:`epochs`.
+    """
+
+    def __init__(self, name: str = "snapdb",
+                 pool: InternPool | None = None,
+                 epochs: EpochManager | None = None) -> None:
+        self.name = name
+        self.pool = pool if pool is not None else InternPool()
+        self.epochs = epochs if epochs is not None else EpochManager()
+        self._lock = threading.RLock()
+        self._collections: StoreState = {}
+        self._generation = Generation()
+        self._deferred = 0
+        self.publish()
+
+    @property
+    def generation(self) -> int:
+        return self._generation.value
+
+    # -- publication -----------------------------------------------------
+
+    def freeze(self) -> XmlSnapshot:
+        """Capture the current state — O(1), no tree copying."""
+        with self._lock:
+            return XmlSnapshot(self._collections, self._generation.value,
+                               self.pool)
+
+    def publish(self) -> XmlSnapshot:
+        snapshot = self.freeze()
+        self.epochs.publish(snapshot)
+        return snapshot
+
+    def current(self) -> XmlSnapshot:
+        return self.epochs.current()
+
+    @contextmanager
+    def writer(self):
+        """Group several mutations into one atomically-published epoch.
+
+        Readers pinning the current epoch during the block keep seeing
+        the pre-write state; the combined result becomes visible in a
+        single :meth:`publish` when the outermost block exits.
+        """
+        with self._lock:
+            self._deferred += 1
+            try:
+                yield self
+            finally:
+                self._deferred -= 1
+                if self._deferred == 0:
+                    self.publish()
+
+    def _commit(self, collections: StoreState) -> None:
+        """Swap in new state (caller holds the lock) and publish unless
+        inside a :meth:`writer` block."""
+        self._collections = collections
+        self._generation.bump()
+        if self._deferred == 0:
+            self.publish()
+
+    # -- collection / document mutations --------------------------------
+
+    def create_collection(self, name: str) -> None:
+        with self._lock:
+            if name in self._collections:
+                raise ConfigurationError(
+                    f"collection {name!r} already exists")
+            collections = dict(self._collections)
+            collections[name] = {}
+            self._commit(collections)
+
+    def drop_collection(self, name: str) -> None:
+        with self._lock:
+            if name not in self._collections:
+                raise QueryError(f"no collection {name!r}")
+            collections = dict(self._collections)
+            del collections[name]
+            self._commit(collections)
+
+    def insert(self, collection: str, doc_id: str,
+               document: Document | str) -> FrozenDocument:
+        if isinstance(document, str):
+            document = parse(document, name=doc_id)
+        frozen = freeze_document(document)
+        with self._lock:
+            documents = self._documents_of(collection)
+            if doc_id in documents:
+                raise ConfigurationError(
+                    f"document {doc_id!r} already in collection "
+                    f"{collection!r}")
+            self._commit(self._with_document(collection, doc_id, frozen))
+        return frozen
+
+    def delete(self, collection: str, doc_id: str) -> FrozenDocument:
+        with self._lock:
+            frozen = self._document(collection, doc_id)
+            collections = dict(self._collections)
+            documents = dict(collections[collection])
+            del documents[doc_id]
+            collections[collection] = documents
+            self._commit(collections)
+        return frozen
+
+    def replace(self, collection: str, doc_id: str,
+                document: Document | str) -> FrozenDocument:
+        if isinstance(document, str):
+            document = parse(document, name=doc_id)
+        frozen = freeze_document(document)
+        with self._lock:
+            self._document(collection, doc_id)  # must exist
+            self._commit(self._with_document(collection, doc_id, frozen))
+        return frozen
+
+    # -- node-level mutations (copy-on-write spine edits) ----------------
+
+    def set_text(self, collection: str, doc_id: str, path: str,
+                 text: str) -> None:
+        self._edit_root(collection, doc_id,
+                        lambda root: with_text(root, path, text))
+
+    def set_attribute(self, collection: str, doc_id: str, path: str,
+                      name: str, value: str) -> None:
+        self._edit_root(collection, doc_id,
+                        lambda root: with_attribute(root, path, name,
+                                                    value))
+
+    def remove_attribute(self, collection: str, doc_id: str, path: str,
+                         name: str) -> None:
+        self._edit_root(collection, doc_id,
+                        lambda root: without_attribute(root, path, name))
+
+    def append_child(self, collection: str, doc_id: str, parent_path: str,
+                     child: Element | FrozenElement) -> None:
+        if isinstance(child, Element):
+            child = freeze_element(child)
+        self._edit_root(
+            collection, doc_id,
+            lambda root: with_appended_child(root, parent_path, child))
+
+    def remove_child(self, collection: str, doc_id: str,
+                     path: str) -> None:
+        self._edit_root(collection, doc_id,
+                        lambda root: without_child(root, path))
+
+    # -- internals -------------------------------------------------------
+
+    def _documents_of(self, collection: str) -> dict:
+        try:
+            return self._collections[collection]
+        except KeyError:
+            raise QueryError(f"no collection {collection!r}") from None
+
+    def _document(self, collection: str, doc_id: str) -> FrozenDocument:
+        documents = self._documents_of(collection)
+        try:
+            return documents[doc_id]
+        except KeyError:
+            raise QueryError(
+                f"no document {doc_id!r} in collection {collection!r}"
+            ) from None
+
+    def _with_document(self, collection: str, doc_id: str,
+                       frozen: FrozenDocument) -> StoreState:
+        collections = dict(self._collections)
+        documents = dict(collections[collection])
+        documents[doc_id] = frozen
+        collections[collection] = documents
+        return collections
+
+    def _edit_root(self, collection: str, doc_id: str, edit) -> None:
+        with self._lock:
+            frozen = self._document(collection, doc_id)
+            new_root = edit(frozen.root)
+            self._commit(self._with_document(
+                collection, doc_id,
+                FrozenDocument(new_root, frozen.name)))

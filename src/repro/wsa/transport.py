@@ -124,7 +124,7 @@ class MessageBus:
                 # envelope will arrive out of order later.
                 self.stats.reordered += 1
                 self._deferred.setdefault(envelope.receiver, []).append(
-                    copy.deepcopy(envelope))
+                    copy.deepcopy(envelope))  # lint: allow=LINT-HOTCOPY
                 raise MessageDropped(
                     f"message {envelope.message_id} overtaken in transit")
             if event.kind is FaultKind.CORRUPT:

@@ -5,6 +5,21 @@ computed over a *unique* byte representation.  Our canonical form sorts
 attributes lexicographically, escapes the five predefined entities, and
 emits no insignificant whitespace — the same document always serializes to
 the same string, and parse(serialize(d)) round-trips.
+
+Emission is writer-style: tokens are appended to one flat list and joined
+once at the end.  The previous implementation concatenated each element's
+fully-serialized body into its parent's f-string, so a document of depth d
+re-copied every byte d times (O(n·d), quadratic on deep chain documents)
+and recursed once per level (RecursionError past ~1000 levels).  The
+explicit work stack keeps cost O(n) in total output bytes and handles
+arbitrarily deep documents; ``tests/xmldb/test_serializer_scaling.py``
+pins both properties.
+
+The serializer is structural: it reads only ``tag``, ``attributes`` and
+``children`` (text children are plain ``str``), so it accepts both the
+mutable :class:`~repro.xmldb.model.Element` and the immutable
+:class:`~repro.snap.frozen.FrozenElement` — the snapshot layer's interned
+serialization relies on the two producing identical bytes.
 """
 
 from __future__ import annotations
@@ -27,24 +42,46 @@ def escape_attribute(text: str) -> str:
     return text
 
 
-def serialize_element(node: Element) -> str:
+def write_element(node, out: list[str]) -> None:
+    """Append the canonical tokens of *node*'s subtree to *out*.
+
+    Iterative (explicit stack) so that depth is bounded by memory, not
+    the interpreter recursion limit, and each output byte is written
+    exactly once — join the list once at the end for O(n) total cost.
+    """
+    # Stack entries: an element still to open, or a literal closing tag /
+    # escaped text string ready for emission (marked by a None partner).
+    stack: list[tuple[object, bool]] = [(node, False)]
+    while stack:
+        item, literal = stack.pop()
+        if literal:
+            out.append(item)  # type: ignore[arg-type]
+            continue
+        element = item
+        attrs = "".join(
+            f' {name}="{escape_attribute(value)}"'
+            for name, value in sorted(element.attributes.items()))
+        children = element.children
+        if not children:
+            out.append(f"<{element.tag}{attrs}/>")
+            continue
+        out.append(f"<{element.tag}{attrs}>")
+        stack.append((f"</{element.tag}>", True))
+        for child in reversed(children):
+            if isinstance(child, str):
+                stack.append((escape_text(child), True))
+            else:
+                stack.append((child, False))
+
+
+def serialize_element(node) -> str:
     """Canonical single-line serialization of a subtree."""
-    attrs = "".join(
-        f' {name}="{escape_attribute(value)}"'
-        for name, value in sorted(node.attributes.items()))
-    parts: list[str] = []
-    for child in node.children:
-        if isinstance(child, Element):
-            parts.append(serialize_element(child))
-        else:
-            parts.append(escape_text(child))
-    body = "".join(parts)
-    if not body:
-        return f"<{node.tag}{attrs}/>"
-    return f"<{node.tag}{attrs}>{body}</{node.tag}>"
+    out: list[str] = []
+    write_element(node, out)
+    return "".join(out)
 
 
-def serialize(document: Document) -> str:
+def serialize(document) -> str:
     return serialize_element(document.root)
 
 

@@ -44,6 +44,7 @@ from repro.core.subjects import Subject
 from repro.crypto.hashing import sha256_hex
 from repro.crypto.keys import KeyDistributor, KeyStore
 from repro.crypto.symmetric import Ciphertext, encrypt as symmetric_encrypt
+from repro.perf.cache import MISS, GenerationalCache
 from repro.faults.clock import FaultClock
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind
@@ -218,13 +219,34 @@ def subject_can_unlock(policy_base: XmlPolicyBase, subject: Subject,
 
 
 class Disseminator:
-    """Owner-side machinery: label, group, encrypt, distribute keys."""
+    """Owner-side machinery: label, group, encrypt, distribute keys.
+
+    With ``intern=True`` the expensive, deterministic half of
+    :meth:`package` — labelling, configuration grouping and payload
+    serialization — is cached per ``(doc_id, document)``, stamped with
+    ``(policy generation, document version)`` so any policy or document
+    change invalidates it.  Re-packaging an unchanged document then
+    only re-encrypts (each packet still gets fresh nonces).  The cache
+    is keyed by the document *object* (identity), which is what lets
+    the snapshot layer share prep work across epochs: an unchanged
+    frozen document thaws to the same cached object every epoch.
+    """
 
     def __init__(self, policy_base: XmlPolicyBase,
-                 secret: str = "dissemination") -> None:
+                 secret: str = "dissemination",
+                 intern: bool = False) -> None:
         self.policy_base = policy_base
         self.key_store = KeyStore(secret)
         self._configurations: dict[str, Configuration] = {}
+        self._prep_cache: GenerationalCache | None = (
+            GenerationalCache(maxsize=256) if intern else None)
+
+    @property
+    def prep_stats(self) -> dict[str, int | float] | None:
+        """Packaging-prep cache counters (None unless interning)."""
+        if self._prep_cache is None:
+            return None
+        return self._prep_cache.stats.snapshot()
 
     def configurations_of(self, doc_id: str, document: Document
                           ) -> dict[int, Configuration]:
@@ -247,6 +269,36 @@ class Disseminator:
         Encryption is deterministic given (key, nonce), so the packet is
         byte-identical to the serial one.
         """
+        skeleton, payloads = self._prepare(doc_id, document)
+        jobs = []
+        for key_id, payload in payloads:
+            key = self.key_store.get_or_create(key_id)
+            jobs.append((key, payload, self.key_store.reserve_nonce(key_id)))
+        if workers is not None and workers > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                blocks = list(pool.map(
+                    lambda job: symmetric_encrypt(*job), jobs))
+        else:
+            blocks = [symmetric_encrypt(*job) for job in jobs]
+        manifest = tuple(sorted(
+            (block.key_id, block_digest(block)) for block in blocks))
+        return Packet(doc_id, tuple(blocks), dict(skeleton), manifest)
+
+    def _prepare(self, doc_id: str, document: Document
+                 ) -> tuple[dict[str, int],
+                            tuple[tuple[str, str], ...]]:
+        """The deterministic packaging prep: skeleton + per-key payloads.
+
+        Cached when interning is on (see class docstring); the returned
+        structures are treated as read-only by :meth:`package`.
+        """
+        cache_key = stamp = None
+        if self._prep_cache is not None:
+            cache_key = (doc_id, document)
+            stamp = (self.policy_base.generation, document.version)
+            prep = self._prep_cache.get(cache_key, stamp)
+            if prep is not MISS:
+                return prep
         configurations = self.configurations_of(doc_id, document)
         groups: dict[str, list[Fragment]] = {}
         skeleton: dict[str, int] = {}
@@ -263,22 +315,15 @@ class Disseminator:
             groups.setdefault(key_id, []).append(Fragment(
                 node.node_path(), node.tag,
                 tuple(sorted(node.attributes.items())), node.text))
-        jobs = []
-        for key_id in sorted(groups):
-            key = self.key_store.get_or_create(key_id)
-            # JSON framing: fragment text may contain any character, so
-            # a bare separator byte would be ambiguous.
-            payload = json.dumps([f.serialize() for f in groups[key_id]])
-            jobs.append((key, payload, self.key_store.reserve_nonce(key_id)))
-        if workers is not None and workers > 1 and len(jobs) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                blocks = list(pool.map(
-                    lambda job: symmetric_encrypt(*job), jobs))
-        else:
-            blocks = [symmetric_encrypt(*job) for job in jobs]
-        manifest = tuple(sorted(
-            (block.key_id, block_digest(block)) for block in blocks))
-        return Packet(doc_id, tuple(blocks), skeleton, manifest)
+        # JSON framing: fragment text may contain any character, so a
+        # bare separator byte would be ambiguous.
+        payloads = tuple(
+            (key_id, json.dumps([f.serialize() for f in groups[key_id]]))
+            for key_id in sorted(groups))
+        prep = (skeleton, payloads)
+        if self._prep_cache is not None:
+            self._prep_cache.put(cache_key, stamp, prep, pins=(document,))
+        return prep
 
     # -- key distribution -------------------------------------------------
 

@@ -1,0 +1,176 @@
+"""Epoch lifecycle: publication, pinning, retirement, reclamation.
+
+Satellite coverage for the lock-free read path's concurrency contract:
+freeze-during-write isolation, a reader holding a retired epoch across a
+writer burst (no reclamation until release), and double-release
+detection.
+"""
+
+import pytest
+
+from repro.core.errors import EpochRetired, SnapshotError
+from repro.snap.epoch import EpochManager
+from repro.snap.xmlstore import SnapshotXmlDatabase
+
+
+class FakeSnapshot:
+    def __init__(self, label):
+        self.label = label
+        self.epoch = None
+        self.closed = 0
+
+    def close(self):
+        self.closed += 1
+
+
+class TestPublication:
+    def test_epochs_are_monotonic(self):
+        manager = EpochManager()
+        first = manager.publish(FakeSnapshot("a"))
+        second = manager.publish(FakeSnapshot("b"))
+        assert (first.epoch, second.epoch) == (0, 1)
+        assert manager.current() is second
+        assert manager.current_epoch() == 1
+
+    def test_current_before_any_publish_raises(self):
+        manager = EpochManager()
+        with pytest.raises(SnapshotError):
+            manager.current()
+        with pytest.raises(SnapshotError):
+            manager.acquire()
+
+    def test_publishing_none_is_rejected(self):
+        with pytest.raises(SnapshotError):
+            EpochManager().publish(None)
+
+    def test_unpinned_superseded_epoch_reclaims_immediately(self):
+        manager = EpochManager()
+        old = manager.publish(FakeSnapshot("a"))
+        manager.publish(FakeSnapshot("b"))
+        assert manager.reclaimed_epochs() == [old.epoch]
+        assert manager.retired_epochs() == []
+        assert old.closed == 1
+
+
+class TestPinning:
+    def test_reader_holding_retired_epoch_across_writer_burst(self):
+        """The headline reclamation property: epoch N stays alive —
+        uncounted writer publications later — until its last reader
+        releases, and is reclaimed at exactly that moment."""
+        manager = EpochManager()
+        manager.publish(FakeSnapshot("a"))
+        pinned = manager.acquire()
+        for label in "bcdefg":  # a burst of 6 writer publications
+            manager.publish(FakeSnapshot(label))
+        assert manager.retired_epochs() == [pinned.epoch]
+        assert pinned.epoch not in manager.reclaimed_epochs()
+        assert pinned.closed == 0
+        assert manager.pins(pinned.epoch) == 1
+
+        manager.release(pinned)
+        assert pinned.epoch in manager.reclaimed_epochs()
+        assert manager.retired_epochs() == []
+        assert pinned.closed == 1
+        # Intermediate epochs b..f were never pinned: reclaimed at
+        # publication time, before a's release.
+        assert manager.reclaimed_epochs().index(pinned.epoch) == 5
+
+    def test_multiple_pins_require_all_releases(self):
+        manager = EpochManager()
+        manager.publish(FakeSnapshot("a"))
+        first = manager.acquire()
+        second = manager.acquire()
+        assert first is second
+        assert manager.pins(first.epoch) == 2
+        manager.publish(FakeSnapshot("b"))
+        manager.release(first)
+        assert first.closed == 0  # one pin still out
+        manager.release(second)
+        assert first.closed == 1
+
+    def test_releasing_current_epoch_does_not_reclaim_it(self):
+        manager = EpochManager()
+        manager.publish(FakeSnapshot("a"))
+        pinned = manager.acquire()
+        manager.release(pinned)
+        assert manager.reclaimed_epochs() == []
+        assert manager.current() is pinned
+
+    def test_double_release_raises(self):
+        manager = EpochManager()
+        manager.publish(FakeSnapshot("a"))
+        pinned = manager.acquire()
+        manager.release(pinned)
+        with pytest.raises(EpochRetired):
+            manager.release(pinned)
+
+    def test_reading_context_manager_pins_and_releases(self):
+        manager = EpochManager()
+        snap = manager.publish(FakeSnapshot("a"))
+        with manager.reading() as pinned:
+            assert pinned is snap
+            assert manager.pins(snap.epoch) == 1
+        assert manager.pins(snap.epoch) == 0
+        assert manager.stats.snapshot()["acquires"] == 1
+        assert manager.stats.snapshot()["releases"] == 1
+
+    def test_close_runs_exactly_once(self):
+        manager = EpochManager()
+        old = manager.publish(FakeSnapshot("a"))
+        pinned = manager.acquire()
+        manager.publish(FakeSnapshot("b"))
+        manager.release(pinned)
+        manager.publish(FakeSnapshot("c"))
+        assert old.closed == 1
+
+
+class TestFreezeDuringWrite:
+    """Readers against a SnapshotXmlDatabase mid-write see only the
+    last *published* epoch — a writer() block is atomic."""
+
+    def setup_method(self):
+        self.db = SnapshotXmlDatabase()
+        self.db.create_collection("c")
+        self.db.insert("c", "d1", "<doc><a>1</a><b>2</b></doc>")
+
+    def test_reader_inside_writer_block_sees_pre_write_state(self):
+        before = self.db.current().serialize("c", "d1")
+        with self.db.epochs.reading() as pinned:
+            with self.db.writer() as writer:
+                writer.set_text("c", "d1", "/doc/a", "99")
+                writer.set_text("c", "d1", "/doc/b", "98")
+                # Mid-write: the pinned snapshot AND the current epoch
+                # still serve the pre-write bytes.
+                assert pinned.serialize("c", "d1") == before
+                assert self.db.current().serialize("c", "d1") == before
+            # Block exited: one new epoch carries both edits.
+            assert pinned.serialize("c", "d1") == before
+            assert self.db.current().serialize(
+                "c", "d1") == "<doc><a>99</a><b>98</b></doc>"
+
+    def test_writer_block_publishes_exactly_one_epoch(self):
+        published = self.db.epochs.stats.published
+        with self.db.writer() as writer:
+            writer.set_text("c", "d1", "/doc/a", "x")
+            writer.set_attribute("c", "d1", "/doc", "v", "2")
+            writer.insert("c", "d2", "<doc2/>")
+        assert self.db.epochs.stats.published == published + 1
+
+    def test_nested_writer_blocks_defer_to_the_outermost(self):
+        published = self.db.epochs.stats.published
+        with self.db.writer() as writer:
+            writer.set_text("c", "d1", "/doc/a", "x")
+            with self.db.writer() as inner:
+                inner.set_text("c", "d1", "/doc/b", "y")
+            # Inner exit must not publish the half-done state.
+            assert self.db.epochs.stats.published == published
+        assert self.db.epochs.stats.published == published + 1
+        assert self.db.current().serialize(
+            "c", "d1") == "<doc><a>x</a><b>y</b></doc>"
+
+    def test_pinned_epoch_survives_document_deletion(self):
+        with self.db.epochs.reading() as pinned:
+            self.db.delete("c", "d1")
+            assert pinned.serialize(
+                "c", "d1") == "<doc><a>1</a><b>2</b></doc>"
+            assert self.db.current().doc_ids("c") == []

@@ -1,0 +1,125 @@
+"""Gateway over the snapshot layer: workers=0 deterministic pipeline."""
+
+import pytest
+
+from repro.core.credentials import anyone, has_role
+from repro.core.errors import ConfigurationError
+from repro.core.policy import Action, deny, grant
+from repro.core.subjects import Role, Subject
+from repro.scale.batch import BatchDecisionEngine
+from repro.scale.gateway import Request, RequestGateway
+from repro.snap.policy import EpochalPolicyEngine
+from repro.snap.xmlstore import SnapshotXmlDatabase
+
+DOCTOR = Subject("dr", roles={Role("doctor")})
+VISITOR = Subject("vis")
+
+POLICIES = [
+    grant(anyone(), Action.READ, "hospital/**"),
+    deny(anyone(), Action.READ, "hospital/records/ssn"),
+    grant(has_role("doctor"), Action.WRITE, "hospital/records/**"),
+]
+
+
+def make_gateway(**kwargs):
+    engine = EpochalPolicyEngine(POLICIES)
+    return engine, RequestGateway(engine, workers=0, **kwargs)
+
+
+class TestDeterministicDecisions:
+    def test_submissions_flow_through_the_epochal_engine(self):
+        _, gateway = make_gateway()
+        futures = [gateway.submit(Request(subject, action, path))
+                   for subject, action, path in [
+                       (DOCTOR, Action.READ, "hospital/lobby"),
+                       (VISITOR, Action.READ, "hospital/records/ssn"),
+                       (DOCTOR, Action.WRITE, "hospital/records/r1"),
+                       (VISITOR, Action.WRITE, "hospital/records/r1"),
+                   ]]
+        assert gateway.process_pending() == 4
+        assert [f.result().granted for f in futures] == [
+            True, False, True, False]
+        assert gateway.stats.snapshot()["completed"] == 4
+
+    def test_policy_write_between_batches_changes_later_decisions_only(self):
+        engine, gateway = make_gateway(batch_size=4)
+        request = Request(VISITOR, Action.READ, "hospital/lobby")
+        before = gateway.submit(request)
+        gateway.process_pending()
+        engine.add_policy(deny(anyone(), Action.READ, "hospital/lobby"))
+        after = gateway.submit(request)
+        gateway.process_pending()
+        assert before.result().granted
+        assert not after.result().granted
+
+    def test_identical_runs_are_identical(self):
+        requests = [(DOCTOR, Action.READ, "hospital/records/ssn"),
+                    (VISITOR, Action.READ, "hospital/x"),
+                    (DOCTOR, Action.WRITE, "hospital/records/r2")]
+        outcomes = []
+        for _ in range(2):
+            _, gateway = make_gateway()
+            futures = [gateway.submit(Request(*r)) for r in requests]
+            gateway.process_pending()
+            outcomes.append([f.result().granted for f in futures])
+        assert outcomes[0] == outcomes[1]
+
+
+class TestSnapshotReadWritePath:
+    def test_engine_donates_its_epoch_manager(self):
+        engine, gateway = make_gateway()
+        assert gateway.epochs is engine.epochs
+        generation = gateway.read(lambda snapshot: snapshot.generation)
+        assert generation == engine.current().generation
+        assert gateway.stats.snapshot()["snapshot_reads"] == 1
+
+    def test_reads_and_writes_against_a_snapshot_store(self):
+        db = SnapshotXmlDatabase()
+        db.create_collection("c")
+        db.insert("c", "d1", "<doc><a>1</a></doc>")
+        engine = BatchDecisionEngine(POLICIES)
+        gateway = RequestGateway(engine, workers=0, publisher=db)
+        assert gateway.epochs is db.epochs
+
+        before = gateway.read(lambda s: s.serialize("c", "d1"))
+        epoch_before = db.epochs.current_epoch()
+
+        def mutate(store):
+            store.set_text("c", "d1", "/doc/a", "2")
+            store.insert("c", "d2", "<doc2/>")
+
+        gateway.write(mutate)
+        # One write call, one published epoch, both edits visible.
+        assert db.epochs.current_epoch() == epoch_before + 1
+        assert gateway.read(
+            lambda s: s.serialize("c", "d1")) == "<doc><a>2</a></doc>"
+        assert before == "<doc><a>1</a></doc>"
+        stats = gateway.stats.snapshot()
+        assert stats["writes"] == 1
+        assert stats["epochs_advanced"] == 1
+        assert stats["snapshot_reads"] == 2
+
+    def test_read_during_write_sees_the_previous_epoch(self):
+        db = SnapshotXmlDatabase()
+        db.create_collection("c")
+        db.insert("c", "d1", "<doc><a>1</a></doc>")
+        gateway = RequestGateway(BatchDecisionEngine(POLICIES),
+                                 workers=0, publisher=db)
+
+        def mutate(store):
+            store.set_text("c", "d1", "/doc/a", "2")
+            # Mid-write, the read path still serves the old epoch.
+            assert gateway.read(
+                lambda s: s.serialize("c", "d1")) == "<doc><a>1</a></doc>"
+
+        gateway.write(mutate)
+        assert gateway.read(
+            lambda s: s.serialize("c", "d1")) == "<doc><a>2</a></doc>"
+
+    def test_unconfigured_gateway_raises_typed_errors(self):
+        gateway = RequestGateway(BatchDecisionEngine(POLICIES), workers=0)
+        assert gateway.epochs is None
+        with pytest.raises(ConfigurationError):
+            gateway.read(lambda snapshot: snapshot)
+        with pytest.raises(ConfigurationError):
+            gateway.write(lambda store: store)

@@ -1,0 +1,124 @@
+"""Packaging and views over snapshots match the live disseminator."""
+
+from repro.core.credentials import anyone, has_role
+from repro.core.subjects import Role, Subject
+from repro.crypto.keys import KeyStore
+from repro.snap.xmlstore import SnapshotXmlDatabase
+from repro.snap.dissemination import SnapshotDisseminator
+from repro.xmldb.parser import parse
+from repro.xmldb.serializer import serialize
+from repro.xmlsec.authorx import XmlPolicyBase, xml_deny, xml_grant
+from repro.xmlsec.dissemination import Disseminator, open_packet
+from repro.xmlsec.views import compute_view
+
+XML = ("<hospital>"
+       "<record id=\"r1\"><name>Alice</name><diagnosis>flu</diagnosis>"
+       "<ssn>123</ssn></record>"
+       "<record id=\"r2\"><name>Bob</name><diagnosis>cold</diagnosis>"
+       "<ssn>456</ssn></record>"
+       "</hospital>")
+
+DOCTOR = Subject("dr", roles={Role("doctor")})
+NURSE = Subject("nn", roles={Role("nurse")})
+SUBJECTS = {"dr": DOCTOR, "nn": NURSE}
+
+
+def make_base() -> XmlPolicyBase:
+    return XmlPolicyBase([
+        xml_grant(has_role("doctor"), "/hospital", document="records"),
+        xml_deny(anyone(), "//ssn", document="records"),
+        xml_grant(has_role("nurse"), "//record/name", document="records"),
+    ])
+
+
+def make_snapshot_disseminator():
+    store = SnapshotXmlDatabase()
+    store.create_collection("c")
+    store.insert("c", "records", XML)
+    return store, SnapshotDisseminator(store, make_base())
+
+
+def opened_text(disseminator, packet, who):
+    store = KeyStore(f"rx-{who}")
+    for key in disseminator.distributor(SUBJECTS).grant(who).keys:
+        store.import_key(key)
+    return serialize(open_packet(packet, store))
+
+
+class TestEquivalence:
+    def test_opened_views_match_the_live_disseminator(self):
+        live = Disseminator(make_base(), "dissemination")
+        live_packet = live.package("records", parse(XML, name="records"))
+        _, snap = make_snapshot_disseminator()
+        snap_packet = snap.package("c", "records")
+        for who in SUBJECTS:
+            assert (opened_text(snap, snap_packet, who)
+                    == opened_text(live, live_packet, who)), who
+
+    def test_views_match_the_uncached_view_builder(self):
+        store, snap = make_snapshot_disseminator()
+        document = store.current().thawed("c", "records")
+        for subject in SUBJECTS.values():
+            expected, _ = compute_view(snap.policy_base, subject,
+                                       "records", document)
+            got, _ = snap.view(subject, "c", "records")
+            assert serialize(got) == serialize(expected)
+
+    def test_doctor_view_excludes_denied_ssn(self):
+        _, snap = make_snapshot_disseminator()
+        packet = snap.package("c", "records")
+        text = opened_text(snap, packet, "dr")
+        assert "Alice" in text and "flu" in text
+        assert "123" not in text and "456" not in text
+
+
+class TestInterning:
+    def test_repeat_packaging_hits_the_prep_cache(self):
+        _, snap = make_snapshot_disseminator()
+        first = snap.package("c", "records")
+        assert snap.stats()["prep"]["hits"] == 0
+        second = snap.package("c", "records")
+        assert snap.stats()["prep"]["hits"] == 1
+        # Same skeleton object (zero-copy reuse); fresh nonces per packet.
+        assert second.skeleton == first.skeleton
+        assert second.blocks[0].nonce != first.blocks[0].nonce
+
+    def test_prep_cache_survives_writes_to_other_documents(self):
+        """Cross-epoch interning: a write elsewhere leaves this
+        document's frozen root — hence its thawed identity and its
+        prepared payloads — untouched."""
+        store, snap = make_snapshot_disseminator()
+        store.insert("c", "other", "<hospital><record id=\"r9\"/>"
+                                   "</hospital>")
+        snap.package("c", "records")
+        store.insert("c", "other2", "<hospital/>")  # advance the epoch
+        snap.package("c", "records")
+        assert snap.stats()["prep"]["hits"] == 1
+
+    def test_editing_the_document_invalidates_the_prep_cache(self):
+        store, snap = make_snapshot_disseminator()
+        snap.package("c", "records")
+        store.set_text("c", "records", "/hospital/record[1]/diagnosis",
+                       "cold")
+        packet = snap.package("c", "records")
+        assert snap.stats()["prep"]["hits"] == 0
+        assert "cold" in opened_text(snap, packet, "dr")
+
+    def test_repeat_views_return_the_cached_object(self):
+        _, snap = make_snapshot_disseminator()
+        first, _ = snap.view(NURSE, "c", "records")
+        second, _ = snap.view(NURSE, "c", "records")
+        assert second is first
+        assert snap.stats()["views"]["hits"] == 1
+
+    def test_policy_change_invalidates_prepared_payloads(self):
+        base = make_base()
+        store = SnapshotXmlDatabase()
+        store.create_collection("c")
+        store.insert("c", "records", XML)
+        snap = SnapshotDisseminator(store, base)
+        snap.package("c", "records")
+        base.add(xml_grant(has_role("auditor"), "//diagnosis",
+                           document="records"))
+        snap.package("c", "records")
+        assert snap.stats()["prep"]["hits"] == 0

@@ -1,0 +1,131 @@
+"""Snapshot UDDI registry: equivalence with the live registry."""
+
+import pytest
+
+from repro.core.errors import RegistryError
+from repro.snap.uddi import SnapshotUddiRegistry
+from repro.uddi.model import (
+    PublisherAssertion,
+    TModel,
+    fresh_key,
+    make_business,
+    make_service,
+)
+from repro.uddi.registry import UddiRegistry
+
+
+def seeded_pair():
+    """The same publishes applied to a live and a snapshot registry."""
+    acme = make_business("Acme", "widgets").with_service(
+        make_service("Catalog", category="retail",
+                     access_point="http://acme/cat"))
+    globex = make_business("Globex").with_service(
+        make_service("Catalog", category="wholesale"))
+    tmodel = TModel(fresh_key("tm"), "uddi-org:http", "HTTP transport")
+    assertion = PublisherAssertion(acme.business_key, globex.business_key,
+                                   "partner")
+    live = UddiRegistry()
+    snap = SnapshotUddiRegistry()
+    for registry in (live, snap):
+        registry.save_business(acme, "acme-inc")
+        registry.save_business(globex, "globex-corp")
+        registry.save_tmodel(tmodel, "acme-inc")
+        registry.add_assertion(assertion, "acme-inc")
+    return live, snap, acme, globex, tmodel
+
+
+class TestEquivalence:
+    def test_state_digest_matches_live_registry(self):
+        live, snap, *_ = seeded_pair()
+        assert snap.current().state_digest() == live.state_digest()
+
+    def test_state_parts_match_live_registry(self):
+        live, snap, *_ = seeded_pair()
+        assert snap.current().state_parts() == live.state_parts()
+
+    def test_empty_registries_agree(self):
+        assert (SnapshotUddiRegistry().current().state_digest()
+                == UddiRegistry().state_digest())
+
+    def test_inquiry_api_matches_live_registry(self):
+        live, snap, acme, globex, tmodel = seeded_pair()
+        view = snap.current()
+        assert view.find_business("*") == live.find_business("*")
+        assert view.find_business("Glo*") == live.find_business("Glo*")
+        assert (view.find_service("Catalog", category="retail")
+                == live.find_service("Catalog", category="retail"))
+        assert view.find_tmodel("uddi-org:*") == live.find_tmodel(
+            "uddi-org:*")
+        assert (view.find_related_businesses(acme.business_key)
+                == live.find_related_businesses(acme.business_key))
+        assert (view.get_business_detail(acme.business_key)
+                == live.get_business_detail(acme.business_key))
+        service = acme.services[0]
+        assert (view.get_service_detail(service.service_key)
+                == live.get_service_detail(service.service_key))
+        binding = service.bindings[0]
+        assert (view.get_binding_detail(binding.binding_key)
+                == live.get_binding_detail(binding.binding_key))
+        assert (view.get_tmodel_detail(tmodel.tmodel_key)
+                == live.get_tmodel_detail(tmodel.tmodel_key))
+        assert view.owner_of(acme.business_key) == "acme-inc"
+        assert view.business_keys() == live.business_keys()
+        assert view.assertions() == live.assertions()
+        assert len(view) == len(live)
+
+    def test_delete_business_purges_assertions_like_live(self):
+        live, snap, acme, *_ = seeded_pair()
+        live.delete_business(acme.business_key, "acme-inc")
+        snap.delete_business(acme.business_key, "acme-inc")
+        assert snap.current().state_digest() == live.state_digest()
+        assert snap.current().assertions() == []
+
+
+class TestOwnership:
+    def test_foreign_update_and_delete_are_rejected(self):
+        _, snap, acme, *_ = seeded_pair()
+        with pytest.raises(RegistryError):
+            snap.save_business(acme, "mallory-corp")
+        with pytest.raises(RegistryError):
+            snap.delete_business(acme.business_key, "mallory-corp")
+        with pytest.raises(RegistryError):
+            snap.delete_business("uddi:biz:unknown", "acme-inc")
+
+    def test_assertion_requires_an_owned_endpoint(self):
+        _, snap, acme, globex, _ = seeded_pair()
+        foreign = PublisherAssertion(globex.business_key,
+                                     acme.business_key, "rival")
+        with pytest.raises(RegistryError):
+            snap.add_assertion(foreign, "mallory-corp")
+
+
+class TestEpochsAndInterning:
+    def test_old_epoch_keeps_its_digest_after_writes(self):
+        _, snap, acme, *_ = seeded_pair()
+        with snap.epochs.reading() as pinned:
+            digest = pinned.state_digest()
+            snap.save_business(make_business("Initech"), "initech-llc")
+            assert pinned.state_digest() == digest
+            assert snap.current().state_digest() != digest
+
+    def test_unchanged_entity_parts_intern_across_epochs(self):
+        """A publish touching one business leaves every other entity's
+        digest part a cache hit in the next epoch."""
+        _, snap, *_ = seeded_pair()
+        snap.current().state_digest()  # warm the parts cache
+        snap.save_business(make_business("Initech"), "initech-llc")
+        stats_before = snap.parts_cache.stats.snapshot()
+        snap.current().state_digest()
+        stats_after = snap.parts_cache.stats.snapshot()
+        # Only the new business misses; acme/globex/tmodel/assertion hit.
+        assert stats_after["misses"] - stats_before["misses"] == 1
+        assert stats_after["hits"] - stats_before["hits"] >= 4
+
+    def test_writer_block_publishes_once(self):
+        _, snap, acme, globex, _ = seeded_pair()
+        published = snap.epochs.stats.published
+        with snap.writer() as writer:
+            writer.delete_business(acme.business_key, "acme-inc")
+            writer.delete_business(globex.business_key, "globex-corp")
+        assert snap.epochs.stats.published == published + 1
+        assert snap.current().business_keys() == []
