@@ -1,0 +1,57 @@
+"""A healthy deployment for the policy compiler to prove equivalent.
+
+Run ``PYTHONPATH=src python -m repro.analysis --compile-report
+examples/compile_fixture.py`` to compile both policy bases below into
+static decision artifacts and statically verify every compiled cell
+against the interpreter.  The bases are deliberately *clean* — the
+verification must end ``proved`` with zero unexplained cells — but
+they exercise the interesting compiler inputs: glob patterns, every
+propagation mode, a content-dependent (residual) condition and a
+predicate (dynamic) XPath target.
+"""
+
+from repro.core.credentials import anyone, has_role
+from repro.core.policy import Action, PolicyBase, deny, grant
+from repro.datagen.documents import hospital_schema
+from repro.datagen.population import named_cast
+from repro.xmlsec.authorx import (
+    XmlPropagation,
+    XmlPolicyBase,
+    xml_deny,
+    xml_grant,
+)
+
+SCHEMA = hospital_schema()
+_cast = named_cast()
+SUBJECTS = [_cast.doctor, _cast.nurse, _cast.researcher,
+            _cast.administrator, _cast.stranger]
+
+# -- core path-pattern policies -------------------------------------------
+
+POLICY_BASE = PolicyBase()
+POLICY_BASE.add(grant(has_role("doctor"), Action.READ, "records/**"))
+POLICY_BASE.add(deny(anyone(), Action.READ, "records/*/ssn"))
+POLICY_BASE.add(grant(has_role("nurse"), Action.READ,
+                      "records/r*/vitals"))
+POLICY_BASE.add(grant(has_role("doctor"), Action.WRITE, "records/*"))
+POLICY_BASE.add(grant(has_role("administrator"), Action.ADMIN,
+                      "archive/**"))
+# Residual: the payload condition is interpreted per request; the
+# compiled table carries its payload-free projection.
+POLICY_BASE.add(grant(has_role("researcher"), Action.READ, "notes/*",
+                      condition=lambda payload: payload is None
+                      or "deidentified" in str(payload)))
+
+# -- Author-X XML policies over the hospital DTD --------------------------
+
+XML_BASE = XmlPolicyBase()
+XML_BASE.add(xml_grant(has_role("doctor"), "//record"))
+XML_BASE.add(xml_deny(anyone(), "//record/ssn"))
+XML_BASE.add(xml_grant(has_role("nurse"), "/hospital/record/vitals",
+                       propagation=XmlPropagation.ONE_LEVEL))
+XML_BASE.add(xml_grant(has_role("administrator"), "/hospital/billing",
+                       propagation=XmlPropagation.LOCAL))
+# Dynamic: the predicate is projected away statically and re-checked
+# by the enforcement path per document.
+XML_BASE.add(xml_grant(has_role("researcher"),
+                       "//record[diagnosis='flu']/diagnosis"))

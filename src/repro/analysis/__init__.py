@@ -9,6 +9,12 @@ base analogue here that runs without executing a single query.  See
 
 from repro.analysis.channels import PrivacyAnalysis, analyze_privacy
 from repro.analysis.codelint import lint_paths, lint_source
+from repro.analysis.corepolicy import (
+    CorePolicyAnalysis,
+    analyze_core_policies,
+    dedupe_findings,
+    patterns_overlap,
+)
 from repro.analysis.findings import (
     Finding,
     REGISTRY,
@@ -35,11 +41,12 @@ from repro.analysis.xmlpolicy import (
 )
 
 __all__ = [
-    "DtdGraph", "Finding", "PrivacyAnalysis", "REGISTRY", "Report",
-    "Rule", "RuleRegistry", "Severity", "XmlPolicyAnalysis",
-    "analyze_grants", "analyze_privacy", "analyze_rdf",
-    "analyze_xml_policies", "attachment_tags", "default_probe_subjects",
+    "CorePolicyAnalysis", "DtdGraph", "Finding", "PrivacyAnalysis",
+    "REGISTRY", "Report", "Rule", "RuleRegistry", "Severity",
+    "XmlPolicyAnalysis", "analyze_core_policies", "analyze_grants",
+    "analyze_privacy", "analyze_rdf", "analyze_xml_policies",
+    "attachment_tags", "dedupe_findings", "default_probe_subjects",
     "escalation_paths", "grant_option_cycles", "lint_paths",
-    "lint_source", "probe_mask", "propagation_region", "run_self_check",
-    "unsupported_grants",
+    "lint_source", "patterns_overlap", "probe_mask",
+    "propagation_region", "run_self_check", "unsupported_grants",
 ]

@@ -11,6 +11,12 @@ Three modes:
   set or a :class:`PrivacyController`), a :class:`SecureRdfStore` —
   is analyzed by the matching rule domain;
 * ``--lint PATH``: run the AST code lint over a source tree;
+* ``--compile-report PATH``: compile every policy base bound in a
+  fixture module through :mod:`repro.compile`, run the static
+  equivalence verification, and print per-policy-set compilation
+  stats (path classes, DFA states, profile classes, table size,
+  verification verdict); exits non-zero on any unexplained
+  divergence;
 * ``--self-check``: prove every registered rule fires on its seeded
   defect fixture.
 
@@ -21,6 +27,8 @@ finding) is reported, which is what lets CI use this as a gate.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import pathlib
 import runpy
 import sys
@@ -32,6 +40,7 @@ from repro.analysis.grants import analyze_grants
 from repro.analysis.mlsrdf import analyze_rdf
 from repro.analysis.selfcheck import run_self_check
 from repro.analysis.xmlpolicy import analyze_xml_policies
+from repro.core.policy import PolicyBase
 from repro.privacy.constraints import PrivacyConstraintSet
 from repro.privacy.controller import PrivacyController
 from repro.rdfdb.security import SecureRdfStore
@@ -79,6 +88,101 @@ def analyze_fixture_paths(paths: list[str]) -> Report:
     return report
 
 
+def compile_report_for_globals(bindings: dict[str, object]
+                               ) -> list[dict]:
+    """Compile + verify every policy base in one module's globals."""
+    # Imported here so plain fixture analysis never pays for (or
+    # depends on) the compiler package.
+    from repro.compile import (
+        compile_policy_base,
+        compile_xml_policy_base,
+        verify_compiled,
+        verify_label_table,
+    )
+
+    entries: list[dict] = []
+    schemas = [v for v in bindings.values() if isinstance(v, Schema)]
+    subjects = bindings.get("SUBJECTS")
+    probes = subjects if isinstance(subjects, (list, tuple)) else None
+    for name, value in bindings.items():
+        if isinstance(value, PolicyBase):
+            artifact = compile_policy_base(value, probes=probes)
+            verification = verify_compiled(artifact, value,
+                                           probes=probes)
+            entries.append({
+                "artifact": name,
+                "kind": "core",
+                "digest": artifact.digest,
+                "stats": dataclasses.asdict(artifact.stats()),
+                "verification": verification.to_dict(),
+            })
+        elif isinstance(value, XmlPolicyBase) and schemas:
+            table = compile_xml_policy_base(value, schemas[0],
+                                            probes=probes)
+            verification = verify_label_table(table, value,
+                                              probes=probes)
+            entries.append({
+                "artifact": name,
+                "kind": "xml",
+                "digest": verification.digest,
+                "stats": dataclasses.asdict(table.stats()),
+                "verification": verification.to_dict(),
+            })
+    return entries
+
+
+def _render_compile_entry(entry: dict) -> str:
+    stats = entry["stats"]
+    verification = entry["verification"]
+    if entry["kind"] == "core":
+        shape = (f"{stats['path_classes']} path class(es), "
+                 f"{stats['dfa_states']} DFA state(s), "
+                 f"{stats['residual_policies']} residual")
+    else:
+        shape = (f"{stats['eager_states']} label state(s), "
+                 f"{stats['dynamic_policies']} dynamic, "
+                 f"doc {stats['doc_id']!r}")
+    return (f"{entry['artifact']} [{entry['kind']}]: "
+            f"{stats['policies']} policy(ies), {shape}, "
+            f"{verification['cells']} cell(s) checked, "
+            f"{verification['explained']} explained / "
+            f"{verification['unexplained']} unexplained -> "
+            f"{verification['verdict']} "
+            f"(digest {entry['digest'][:12]})")
+
+
+def _run_compile_report(paths: list[str], as_json: bool) -> int:
+    entries: list[dict] = []
+    for entry in paths:
+        path = pathlib.Path(entry)
+        if path.is_dir():
+            files = sorted(p for p in path.glob("*.py")
+                           if not p.name.startswith("_"))
+        else:
+            files = [path]
+        for file in files:
+            bindings = runpy.run_path(str(file))
+            entries.extend(compile_report_for_globals(bindings))
+    if as_json:
+        print(json.dumps(entries, indent=2))
+    else:
+        for item in entries:
+            print(_render_compile_entry(item))
+    unexplained = sum(e["verification"]["unexplained"]
+                      for e in entries)
+    if unexplained:
+        print(f"compile-report FAILED: {unexplained} unexplained "
+              f"divergence(s)", file=sys.stderr)
+        return 1
+    if not entries:
+        print("compile-report: no policy bases found", file=sys.stderr)
+        return 2
+    if not as_json:
+        print(f"compile-report OK: {len(entries)} artifact(s) "
+              f"verified")
+    return 0
+
+
 def _print_report(report: Report, as_json: bool) -> None:
     print(report.to_json() if as_json else report.render_text())
 
@@ -116,6 +220,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--lint", metavar="PATH", action="append",
                         default=[],
                         help="lint a source file or tree instead")
+    parser.add_argument("--compile-report", metavar="PATH",
+                        action="append", default=[],
+                        help="compile + statically verify the policy "
+                             "bases of a fixture module")
     parser.add_argument("--self-check", action="store_true",
                         help="verify every rule fires on seeded defects")
     parser.add_argument("--rules", action="store_true",
@@ -135,11 +243,14 @@ def main(argv: list[str] | None = None) -> int:
         return _run_self_check(args.json)
 
     # A typo'd path must not pass the gate as "no findings".
-    missing = [p for p in args.paths + args.lint
+    missing = [p for p in args.paths + args.lint + args.compile_report
                if not pathlib.Path(p).exists()]
     if missing:
         parser.error("no such file or directory: "
                      + ", ".join(missing))
+
+    if args.compile_report:
+        return _run_compile_report(args.compile_report, args.json)
 
     report = Report()
     if args.lint:

@@ -37,6 +37,17 @@ error-severity finding):
   (:class:`repro.scale.batch.BatchDecisionEngine`) would amortize
   across the whole loop — collect the triples and ``decide_batch``
   them instead;
+* ``LINT-STALECOMPILE`` (warning) — a compiled/derived artifact read
+  without consulting its generation stamp: an attribute whose name
+  contains ``compiled`` is loaded inside a function that nowhere
+  mentions a freshness token (``generation``, ``fresh``, ``stale``,
+  ``recompile``, ``invalidate``).  A compiled decision table is a pure
+  function of its source *at one generation*
+  (:class:`repro.perf.cache.DerivedArtifact`); reading it without an
+  ``ensure_fresh()``/``is_stale()``-style check serves decisions from
+  a policy base that may no longer exist.  Producer code is exempt by
+  name: functions containing ``compile`` or ``fresh`` in their own
+  name are the compiler/freshness machinery itself;
 * ``LINT-HOTCOPY`` (warning) — whole-structure copying
   (``copy.deepcopy``/``deep_copy()``/``clone()``) inside a loop, or
   anywhere in a hot-path module (``perf``/``scale``/``snap``): a deep
@@ -102,6 +113,12 @@ REGISTRY.register(
     "deep copies cost O(structure size) per call; on hot paths use "
     "copy-on-write sharing (repro.snap.frozen) instead of cloning")
 REGISTRY.register(
+    "LINT-STALECOMPILE", Severity.WARNING, "lint",
+    "compiled artifact read without a freshness check",
+    "a derived artifact is only valid at the source generation it was "
+    "compiled from; reading it without consulting the generation stamp "
+    "serves decisions from a policy base that may no longer exist")
+REGISTRY.register(
     "LINT-SYNTAX", Severity.ERROR, "lint",
     "file does not parse",
     "unparseable code cannot be analyzed, let alone enforced")
@@ -112,6 +129,12 @@ _CHECK_PREFIXES = ("verify_", "check_")
 _XPATH_CALLS = {"compile_xpath", "evaluate", "select_elements"}
 _DECISION_CALLS = {"decide", "check"}
 _HOTCOPY_CALLS = {"deepcopy", "deep_copy", "clone"}
+#: Identifier substring marking a derived-artifact read (case-sensitive
+#: on purpose: ``CompiledPolicy``, the class, is not a read).
+_COMPILED_MARKER = "compiled"
+#: Identifier substrings that count as consulting a generation stamp.
+_FRESHNESS_TOKENS = ("generation", "fresh", "stale", "recompile",
+                     "invalidate")
 #: Directory names whose modules are hot paths: a deep copy there is
 #: suspect even outside a loop (the module exists to serve reads fast).
 _HOT_PATH_PARTS = {"perf", "scale", "snap"}
@@ -157,6 +180,25 @@ def _function_facts(node: ast.FunctionDef | ast.AsyncFunctionDef
     return _FunctionFacts(returns_value, raises)
 
 
+def _mentions_freshness(node: ast.AST) -> bool:
+    """Does the subtree name any generation/staleness identifier?"""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            identifier = child.id
+        elif isinstance(child, ast.Attribute):
+            identifier = child.attr
+        else:
+            continue
+        if any(token in identifier for token in _FRESHNESS_TOKENS):
+            return True
+    return False
+
+
+def _is_compile_machinery(name: str) -> bool:
+    """Producer/freshness routines may of course touch the artifact."""
+    return "compile" in name or "fresh" in name
+
+
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str) -> None:
         self.path = path
@@ -164,6 +206,7 @@ class _Linter(ast.NodeVisitor):
         self._function_stack: list[str] = []
         self._local_checkers: dict[str, _FunctionFacts] = {}
         self._loop_depth = 0
+        self._fresh_context = False
         self._hot_module = bool(
             _HOT_PATH_PARTS.intersection(
                 pathlib.PurePath(path).parts[:-1]))
@@ -212,7 +255,14 @@ class _Linter(ast.NodeVisitor):
         # enclosing loop, so its loop depth starts fresh.
         outer_loop_depth = self._loop_depth
         self._loop_depth = 0
+        # Freshness context is inherited: an enclosing function that
+        # consults the generation stamp covers its closures.
+        outer_fresh = self._fresh_context
+        self._fresh_context = (outer_fresh
+                               or _is_compile_machinery(node.name)
+                               or _mentions_freshness(node))
         self.generic_visit(node)
+        self._fresh_context = outer_fresh
         self._loop_depth = outer_loop_depth
         self._function_stack.pop()
 
@@ -310,6 +360,21 @@ class _Linter(ast.NodeVisitor):
                 fix_hint="share unchanged subtrees copy-on-write "
                          "(repro.snap.frozen) or hoist one copy out "
                          "of the loop")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (isinstance(node.ctx, ast.Load)
+                and _COMPILED_MARKER in node.attr
+                and self._function_stack
+                and not self._fresh_context):
+            self._emit(
+                "LINT-STALECOMPILE", node,
+                f"compiled artifact {node.attr!r} is read without "
+                f"consulting its generation stamp anywhere in "
+                f"{self._function_stack[-1]!r}",
+                fix_hint="call the owning engine's ensure_fresh() (or "
+                         "compare DerivedArtifact.source_generation "
+                         "against the source) before reading")
         self.generic_visit(node)
 
     def visit_Expr(self, node: ast.Expr) -> None:

@@ -13,11 +13,13 @@ from dataclasses import dataclass
 
 from repro.analysis.channels import analyze_privacy
 from repro.analysis.codelint import lint_source
+from repro.analysis.corepolicy import analyze_core_policies
 from repro.analysis.findings import Report
 from repro.analysis.grants import analyze_grants
 from repro.analysis.mlsrdf import analyze_rdf
 from repro.analysis.xmlpolicy import analyze_xml_policies
 from repro.core.credentials import anyone, has_role
+from repro.core.policy import Action, PolicyBase, deny, grant
 from repro.core.mls import Label, Level
 from repro.datagen.documents import hospital_schema
 from repro.privacy.constraints import PrivacyConstraintSet, PrivacyLevel
@@ -42,6 +44,54 @@ def seeded_xml_policy_base() -> XmlPolicyBase:
     base.add(xml_deny(anyone(), "//billing/amount"))              # by this
     base.add(xml_grant(has_role("doctor"), "/hospital/record"))   # healthy
     return base
+
+
+def seeded_core_policy_base() -> PolicyBase:
+    """Conflict on records/ssn, a dead grant, a shadowed grant."""
+    base = PolicyBase()
+    base.add(grant(has_role("doctor"), Action.READ, "records/**"))
+    base.add(deny(anyone(), Action.READ, "records/ssn"))     # conflict
+    base.add(grant(has_role("ghost-role"), Action.WRITE,
+                   "labs/*"))                                # dead
+    base.add(grant(has_role("nurse"), Action.WRITE,
+                   "archive/old"))                           # shadowed
+    base.add(deny(anyone(), Action.WRITE, "archive/**"))     # by this
+    return base
+
+
+def seeded_compile_divergence() -> Report:
+    """A stale compiled table verified against its drifted base.
+
+    The artifact is compiled first, then the base gains a blanket deny:
+    the verification pass must refute equivalence with an unexplained
+    divergence (``COMPILE-DIVERGE``) and report the conditional policy
+    as a residual (``COMPILE-RESIDUAL``).
+    """
+    from repro.compile import compile_policy_base, verify_compiled
+
+    base = PolicyBase()
+    base.add(grant(has_role("doctor"), Action.READ, "records/**"))
+    base.add(grant(anyone(), Action.READ, "notes/*",
+                   condition=lambda payload: payload is None))
+    artifact = compile_policy_base(base)
+    base.add(deny(anyone(), Action.READ, "records/**"))      # drift
+    return Report(verify_compiled(artifact, base).findings())
+
+
+def seeded_xml_label_divergence() -> Report:
+    """A predicate policy surviving compilation only as its skeleton."""
+    from repro.compile import (
+        compile_xml_policy_base,
+        verify_label_table,
+    )
+    from repro.datagen.documents import hospital_schema
+
+    base = XmlPolicyBase()
+    base.add(xml_grant(has_role("doctor"), "/hospital/record"))
+    base.add(xml_grant(has_role("researcher"),
+                       "//record[diagnosis='flu']"))         # dynamic
+    table = compile_xml_policy_base(base, hospital_schema())
+    return Report(verify_label_table(table, base).findings())
 
 
 def seeded_grant_graph() -> AuthorizationManager:
@@ -145,6 +195,11 @@ def broadcast_all(documents):
     for doc in documents:
         packets.append(copy.deepcopy(doc))
     return packets
+
+
+def route_requests(engine, requests):
+    return [engine.compiled_table.decide(*request)
+            for request in requests]
 '''
 
 
@@ -166,12 +221,14 @@ class SelfCheckResult:
 #: Every rule id the seeded fixtures must trigger.
 EXPECTED_RULE_IDS = frozenset({
     "XML-CONFLICT", "XML-DEAD", "XML-SHADOWED",
+    "POL-CONFLICT", "POL-DEAD", "POL-SHADOW",
+    "COMPILE-DIVERGE", "COMPILE-RESIDUAL", "XML-DYNPRED",
     "REL-DANGLING", "REL-CYCLE", "REL-ESCALATION",
     "INF-CHANNEL", "INF-REDUNDANT",
     "RDF-REIFY", "RDF-CONTAINER",
     "LINT-MUTDEF", "LINT-BAREEXC", "LINT-SWALLOW", "LINT-HASH",
     "LINT-CHECKRET", "LINT-XPATHLOOP", "LINT-BATCHLOOP",
-    "LINT-HOTCOPY",
+    "LINT-HOTCOPY", "LINT-STALECOMPILE",
 })
 
 
@@ -179,6 +236,9 @@ def run_self_check() -> SelfCheckResult:
     report = Report()
     report.extend(analyze_xml_policies(seeded_xml_policy_base(),
                                        hospital_schema()))
+    report.extend(analyze_core_policies(seeded_core_policy_base()))
+    report.extend(seeded_compile_divergence())
+    report.extend(seeded_xml_label_divergence())
     report.extend(analyze_grants(seeded_grant_graph()))
     report.extend(analyze_privacy(seeded_privacy_constraints()))
     report.extend(analyze_rdf(seeded_rdf_store()))

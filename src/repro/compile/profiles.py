@@ -1,0 +1,73 @@
+"""Credential-profile classes: subjects collapsed to qualification masks.
+
+The second compiler axis.  A policy decision depends on the subject only
+through the vector of ``applies_to_subject`` answers over the policy
+base — two subjects with the same vector are indistinguishable to every
+policy.  :class:`CredentialProfileIndex` packs that vector into a
+bitmask over the id-sorted policy tuple (bit *i* ⇔ policy *i* qualifies
+the subject) and memoizes it per subject: credential expressions are
+evaluated once per subject per compiled artifact instead of once per
+request.
+
+Subjects hash by identity and the
+:class:`~repro.core.subjects.SubjectDirectory` replaces (never mutates)
+them on credential change, so a subject is a sound memo key for the
+artifact's lifetime; the memo is unbounded because the subject
+population is bounded by construction.  Unlike the analyzer's
+:func:`~repro.analysis.probes.probe_mask`, profile computation does
+*not* swallow exceptions — the interpreter would raise on the same
+hostile predicate, and the compiled engine must agree with the
+interpreter bit for bit, failures included.
+
+:meth:`profile_classes` quotients a finite probe universe by profile
+mask — the credential-profile classes of the compiled decision table,
+each carrying one witness subject for the verification pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.policy import Policy
+from repro.core.subjects import Subject
+
+
+@dataclass(frozen=True)
+class ProfileClass:
+    """One equivalence class of subjects under policy qualification."""
+
+    mask: int
+    witness: Subject
+    size: int
+
+
+class CredentialProfileIndex:
+    """Subject → qualification bitmask over an id-sorted policy tuple."""
+
+    def __init__(self, policies: Sequence[Policy]) -> None:
+        self.policies = tuple(policies)
+        self._masks: dict[Subject, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def profile(self, subject: Subject) -> int:
+        """Bit *i* set iff ``policies[i].applies_to_subject(subject)``."""
+        mask = self._masks.get(subject)
+        if mask is None:
+            mask = 0
+            for index, policy in enumerate(self.policies):
+                if policy.applies_to_subject(subject):
+                    mask |= 1 << index
+            self._masks[subject] = mask
+        return mask
+
+    def profile_classes(self, probes: Sequence[Subject]
+                        ) -> list[ProfileClass]:
+        """The distinct profiles of a probe universe, with witnesses."""
+        grouped: dict[int, list[Subject]] = {}
+        for subject in probes:
+            grouped.setdefault(self.profile(subject), []).append(subject)
+        return [ProfileClass(mask, members[0], len(members))
+                for mask, members in sorted(grouped.items())]

@@ -179,6 +179,28 @@ class ShardedGeneration:
         self._generations[shard].add_hook(hook)
 
 
+class DerivedArtifact:
+    """Base for artifacts compiled from a generation-stamped source.
+
+    A derived artifact (a compiled decision table, a path index, a
+    serialized snapshot) is a *pure function of its source at one
+    generation*.  Subclasses record the source generation at build time;
+    consumers compare it against the source's current counter before
+    every read — ``is_stale`` is the one-integer freshness check the
+    ``LINT-STALECOMPILE`` lint rule expects compiled-artifact call sites
+    to perform.  The class deliberately knows nothing about how to
+    rebuild: recompilation policy belongs to the engine owning the
+    artifact, staleness detection belongs here.
+    """
+
+    def __init__(self, source_generation: int) -> None:
+        self.source_generation = source_generation
+
+    def is_stale(self, current_generation: int) -> bool:
+        """True when the source has mutated since this was derived."""
+        return current_generation != self.source_generation
+
+
 @dataclass
 class _Stamped:
     stamp: Hashable

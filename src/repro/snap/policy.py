@@ -25,6 +25,13 @@ own evaluator + batch engine), and every read pins the current epoch
 for exactly one decision or batch.  It satisfies the gateway's engine
 contract (``decide_batch``), making the lock-free read path a drop-in
 for :class:`~repro.scale.gateway.RequestGateway`.
+
+With ``compile_policies=True`` each published snapshot carries a
+:class:`~repro.compile.engine.CompiledPolicyEngine` instead of the
+interpreting batch engine: the snapshot is immutable, so the compiled
+decision table is fresh for the epoch's whole lifetime and every read
+is an O(1) table lookup.  Recompilation piggybacks on publication —
+there is no drift to detect because a new epoch is a new artifact.
 """
 
 from __future__ import annotations
@@ -88,7 +95,9 @@ class PolicySnapshot:
         self._generation = generation
         self.epoch: int | None = None
         self.evaluator: PolicyEvaluator | None = None
-        self.engine: BatchDecisionEngine | None = None
+        #: BatchDecisionEngine, or a CompiledPolicyEngine when the
+        #: owning EpochalPolicyEngine compiles its snapshots.
+        self.engine: object | None = None
 
     @property
     def generation(self) -> int:
@@ -207,20 +216,32 @@ class EpochalPolicyEngine:
                  ConflictResolution.DENY_OVERRIDES,
                  default: DefaultDecision = DefaultDecision.CLOSED,
                  audit: AuditLog | None = None,
-                 epochs: EpochManager | None = None) -> None:
+                 epochs: EpochManager | None = None,
+                 compile_policies: bool = False) -> None:
         self.base = SnapshotPolicyBase(policies)
         self.resolution = resolution
         self.default = default
         self.audit = audit
         self.epochs = epochs if epochs is not None else EpochManager()
+        self.compile_policies = compile_policies
         self._publish()
 
     def _publish(self) -> PolicySnapshot:
         snapshot = self.base.freeze()
-        snapshot.evaluator = PolicyEvaluator(
-            snapshot, resolution=self.resolution, default=self.default,
-            audit=self.audit)
-        snapshot.engine = BatchDecisionEngine(snapshot.evaluator)
+        if self.compile_policies:
+            # The snapshot is immutable, so the compiled table stays
+            # fresh for the epoch's whole lifetime; publication *is*
+            # the recompilation hook.
+            from repro.compile.engine import CompiledPolicyEngine
+
+            snapshot.engine = CompiledPolicyEngine(
+                base=snapshot, resolution=self.resolution,
+                default=self.default, audit=self.audit)
+        else:
+            snapshot.evaluator = PolicyEvaluator(
+                snapshot, resolution=self.resolution,
+                default=self.default, audit=self.audit)
+            snapshot.engine = BatchDecisionEngine(snapshot.evaluator)
         self.epochs.publish(snapshot)
         return snapshot
 
@@ -244,8 +265,11 @@ class EpochalPolicyEngine:
                path: ResourcePath | str,
                payload: object = None) -> Decision:
         with self.epochs.reading() as snapshot:
-            return snapshot.evaluator.decide(subject, action, path,
-                                             payload)
+            if snapshot.evaluator is not None:
+                return snapshot.evaluator.decide(subject, action, path,
+                                                 payload)
+            return snapshot.engine.decide(subject, action, path,
+                                          payload)
 
     def decide_batch(self, requests: Sequence[tuple]) -> list[Decision]:
         with self.epochs.reading() as snapshot:

@@ -1,0 +1,72 @@
+"""LINT-STALECOMPILE: compiled-artifact reads without a freshness check."""
+
+from repro.analysis.codelint import lint_source
+
+
+def rule_ids(source, path="t.py"):
+    return [f.rule_id for f in lint_source(source, path)]
+
+
+class TestStaleCompileRule:
+    def test_flags_bare_compiled_read_in_function(self):
+        src = (
+            "def route(engine, request):\n"
+            "    return engine.compiled_table.decide(*request)\n")
+        assert "LINT-STALECOMPILE" in rule_ids(src)
+
+    def test_module_level_reads_are_exempt(self):
+        src = "TABLE = ENGINE.compiled_table\n"
+        assert "LINT-STALECOMPILE" not in rule_ids(src)
+
+    def test_generation_comparison_suppresses(self):
+        src = (
+            "def route(engine, base, request):\n"
+            "    if engine.compiled_table.source_generation != "
+            "base.generation:\n"
+            "        engine.recompile()\n"
+            "    return engine.compiled_table.decide(*request)\n")
+        assert "LINT-STALECOMPILE" not in rule_ids(src)
+
+    def test_ensure_fresh_call_suppresses(self):
+        src = (
+            "def route(engine, request):\n"
+            "    engine.ensure_fresh()\n"
+            "    return engine.compiled_table.decide(*request)\n")
+        assert "LINT-STALECOMPILE" not in rule_ids(src)
+
+    def test_compile_machinery_functions_are_exempt(self):
+        src = (
+            "def recompile_artifacts(engine):\n"
+            "    return engine.compiled_table\n")
+        assert "LINT-STALECOMPILE" not in rule_ids(src)
+
+    def test_pragma_waives_exactly_this_rule(self):
+        src = (
+            "def route(engine, request):\n"
+            "    table = engine.compiled_table"
+            "  # lint: allow=LINT-STALECOMPILE\n"
+            "    return table.decide(*request)\n")
+        assert "LINT-STALECOMPILE" not in rule_ids(src)
+
+    def test_write_targets_are_not_reads(self):
+        src = (
+            "def install(engine, table):\n"
+            "    engine.compiled_table = table\n")
+        assert "LINT-STALECOMPILE" not in rule_ids(src)
+
+    def test_nested_function_inherits_fresh_context(self):
+        src = (
+            "def serve(engine, requests):\n"
+            "    engine.ensure_fresh()\n"
+            "    def one(request):\n"
+            "        return engine.compiled_table.decide(*request)\n"
+            "    return [one(r) for r in requests]\n")
+        assert "LINT-STALECOMPILE" not in rule_ids(src)
+
+    def test_src_tree_is_clean(self):
+        import pathlib
+
+        from repro.analysis.codelint import lint_paths
+        src_root = pathlib.Path(__file__).resolve().parents[2] / "src"
+        report = lint_paths([src_root])
+        assert report.by_rule("LINT-STALECOMPILE") == []

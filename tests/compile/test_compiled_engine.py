@@ -1,0 +1,135 @@
+"""CompiledPolicyEngine: byte-identical decisions, fresh by generation."""
+
+from repro.core.audit import AuditLog
+from repro.core.credentials import anyone, has_role
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.policy import Action, PolicyBase, deny, grant
+from repro.analysis.probes import default_probe_subjects
+from repro.compile import (
+    CompiledPolicyEngine,
+    compile_policy_base,
+)
+
+
+def fixture_policies():
+    return [
+        grant(has_role("doctor"), Action.READ, "records/**"),
+        deny(anyone(), Action.READ, "records/billing/**"),
+        grant(has_role("nurse"), Action.READ, "records/r*/vitals"),
+        grant(has_role("doctor"), Action.WRITE, "records/*"),
+        grant(anyone(), Action.READ, "notes/*",
+              condition=lambda payload: payload is None
+              or payload == "public"),
+    ]
+
+
+def fixture_requests(subjects):
+    paths = ("records/r1", "records/billing/x", "records/r2/vitals",
+             "notes/a", "other")
+    return [(s, a, p, payload)
+            for s in subjects
+            for p in paths
+            for a in (Action.READ, Action.WRITE)
+            for payload in (None, "public", "secret")]
+
+
+def test_decisions_identical_to_interpreter():
+    policies = fixture_policies()
+    engine = CompiledPolicyEngine(policies)
+    oracle = PolicyEvaluator(PolicyBase(policies),
+                             cache_decisions=False)
+    for request in fixture_requests(default_probe_subjects()[:12]):
+        assert engine.decide(*request) == oracle.decide(*request)
+
+
+def test_decide_batch_matches_serial_and_audits_in_order():
+    policies = fixture_policies()
+    compiled_audit, serial_audit = AuditLog(), AuditLog()
+    engine = CompiledPolicyEngine(policies, audit=compiled_audit)
+    oracle = PolicyEvaluator(PolicyBase(policies), audit=serial_audit,
+                             cache_decisions=False)
+    requests = fixture_requests(default_probe_subjects()[:8])
+    assert engine.decide_batch(requests) == \
+        [oracle.decide(*r) for r in requests]
+    compiled_rows = [(r.subject, r.action, r.resource, r.granted,
+                      r.detail) for r in compiled_audit]
+    serial_rows = [(r.subject, r.action, r.resource, r.granted,
+                    r.detail) for r in serial_audit]
+    assert compiled_rows == serial_rows
+
+
+def test_recompiles_on_mutation_and_stays_correct():
+    engine = CompiledPolicyEngine(fixture_policies())
+    subject = default_probe_subjects()[0]
+    first = engine.current()
+    compilations = engine.stats.compilations
+    extra = deny(anyone(), Action.READ, "records/r1")
+    engine.add_policy(extra)
+    decision = engine.decide(subject, Action.READ, "records/r1")
+    assert engine.stats.compilations == compilations + 1
+    assert not decision.granted
+    assert engine.current() is not first
+    engine.remove_policy(extra)
+    oracle = PolicyEvaluator(engine.base, cache_decisions=False)
+    assert engine.decide(subject, Action.READ, "records/r1") == \
+        oracle.decide(subject, Action.READ, "records/r1")
+
+
+def test_artifact_dropped_eagerly_by_invalidation_hook():
+    engine = CompiledPolicyEngine(fixture_policies())
+    engine.ensure_fresh()
+    engine.base.add(deny(anyone(), Action.READ, "records/**"))
+    # The hook fires on mutation even when the change bypasses the
+    # engine's own writer API; current() must already recompile.
+    artifact = engine.current()
+    assert artifact.source_generation == engine.base.generation
+
+
+def test_digest_is_deterministic_and_generation_sensitive():
+    policies = fixture_policies()
+    first = compile_policy_base(PolicyBase(policies))
+    second = compile_policy_base(PolicyBase(policies))
+    assert first.digest == second.digest
+    base = PolicyBase(policies)
+    base.add(grant(anyone(), Action.READ, "public/**"))
+    assert compile_policy_base(base).digest != first.digest
+
+
+def test_conditional_cells_are_not_memoized_per_payload():
+    policies = fixture_policies()
+    artifact = compile_policy_base(PolicyBase(policies))
+    subject = default_probe_subjects()[0]
+    granted = artifact.decide(subject, Action.READ, "notes/a",
+                              "public")
+    denied = artifact.decide(subject, Action.READ, "notes/a",
+                             "secret")
+    assert granted.granted and not denied.granted
+    # Payload-free cell is memoized exactly once per (state, action,
+    # profile) triple.
+    cells = artifact.stats().cells_filled
+    artifact.decide(subject, Action.READ, "notes/a")
+    artifact.decide(subject, Action.READ, "notes/a")
+    assert artifact.stats().cells_filled == cells + 1
+
+
+def test_engine_duck_types_policy_base_surface():
+    policies = fixture_policies()
+    engine = CompiledPolicyEngine(policies)
+    assert len(engine) == len(policies)
+    assert sorted(p.policy_id for p in engine) == \
+        sorted(p.policy_id for p in policies)
+    base = PolicyBase(policies)
+    assert [p.policy_id
+            for p in engine.candidates(Action.READ, "records/r1")] == \
+        [p.policy_id for p in base.candidates(Action.READ,
+                                              "records/r1")]
+    assert engine.generation == engine.base.generation
+
+
+def test_stats_shape():
+    artifact = compile_policy_base(PolicyBase(fixture_policies()))
+    stats = artifact.stats()
+    assert stats.policies == 5
+    assert stats.residual_policies == 1
+    assert stats.path_classes > 0
+    assert stats.dfa_states >= stats.path_classes

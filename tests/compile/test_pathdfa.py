@@ -1,0 +1,114 @@
+"""The merged path DFA agrees with the interpreter bit for bit."""
+
+import random
+
+import pytest
+
+from repro.core.credentials import anyone
+from repro.core.errors import ConfigurationError
+from repro.core.policy import Action, Propagation, grant
+from repro.compile.pathdfa import (
+    MergedPathDfa,
+    OTHER_SEGMENT,
+    glob_witnesses,
+    nfa_for_policy,
+)
+
+from tests.scale.workloads import random_policies
+
+
+def policy_on(resource, propagation=Propagation.CASCADE):
+    return grant(anyone(), Action.READ, resource,
+                 propagation=propagation)
+
+
+# -- single-pattern NFAs --------------------------------------------------
+
+
+@pytest.mark.parametrize("propagation", list(Propagation))
+@pytest.mark.parametrize("resource", [
+    "records/r1", "records/*/vitals", "records/**", "r*/x",
+    "a/**/b", "**",
+])
+def test_nfa_matches_interpreter(resource, propagation):
+    policy = policy_on(resource, propagation)
+    nfa = nfa_for_policy(policy)
+    paths = ["records", "records/r1", "records/r1/vitals",
+             "records/r2/vitals", "records/r1/deep/deeper",
+             "r9/x", "r9/x/y", "a/b", "a/x/b", "a/x/y/b/c", "other",
+             "records/r1/vitals/bp"]
+    for path in paths:
+        mask = nfa.start_mask
+        for segment in path.split("/"):
+            mask = nfa.step(mask, segment)
+        assert nfa.accepts(mask) == policy.applies_to_resource(path), (
+            resource, propagation, path)
+
+
+def test_glob_witnesses_match_their_glob():
+    for segment in ("r*", "r?", "rec*ord", "[abc]x", "[!z]*"):
+        witnesses = glob_witnesses(segment)
+        assert witnesses, segment
+        for witness in witnesses:
+            from fnmatch import fnmatchcase
+            assert fnmatchcase(witness, segment)
+    assert glob_witnesses("*") == frozenset()
+    assert glob_witnesses("**") == frozenset()
+
+
+# -- merged DFA -----------------------------------------------------------
+
+
+def test_classify_mask_is_exact_on_random_bases():
+    rng = random.Random(20260807)
+    for _ in range(12):
+        policies = random_policies(rng, rng.randrange(2, 14))
+        dfa = MergedPathDfa(policies)
+        paths = ["hospital/records/r3", "hospital/records/r3/chart",
+                 "clinic", "archive/records", "lab/summary",
+                 "r1/records/r9/x", "other/place/entirely"]
+        for path in paths:
+            mask = dfa.applies_mask(dfa.classify(path))
+            for index, policy in enumerate(policies):
+                assert bool(mask >> index & 1) == \
+                    policy.applies_to_resource(path)
+
+
+def test_explored_witnesses_classify_back_to_their_state():
+    rng = random.Random(7)
+    policies = random_policies(rng, 10)
+    dfa = MergedPathDfa(policies)
+    dfa.explore()
+    assert dfa.eager_states > 1
+    for state in dfa.states():
+        if state.witness is None or not state.witness:
+            continue
+        path = "/".join(state.witness)
+        assert dfa.classify(path) == state.state_id
+        for index, policy in enumerate(policies):
+            assert bool(state.applies_mask >> index & 1) == \
+                policy.applies_to_resource(path)
+
+
+def test_state_alphabet_includes_other_segment():
+    dfa = MergedPathDfa([policy_on("records/r1")])
+    assert OTHER_SEGMENT in dfa.state_alphabet(dfa.start)
+
+
+def test_explore_covers_every_distinct_literal_class():
+    dfa = MergedPathDfa([policy_on("records/r1"),
+                         policy_on("records/r2/**")])
+    dfa.explore()
+    masks = {dfa.applies_mask(dfa.classify(p))
+             for p in ("records/r1", "records/r2", "records/r2/x",
+                       "records/other", "elsewhere")}
+    eager_masks = {s.applies_mask for s in dfa.states()
+                   if s.witness is not None}
+    assert masks <= eager_masks
+
+
+def test_max_states_guard_raises():
+    policies = [policy_on(f"a{i}/b{i}/c{i}") for i in range(8)]
+    with pytest.raises(ConfigurationError):
+        dfa = MergedPathDfa(policies, max_states=3)
+        dfa.explore()
