@@ -14,9 +14,13 @@ a number — a speedup that changes answers is a bug, not a result:
   equal rows, equal query results, byte-identical UDDI state digests;
 * ``closed_loop`` — the ``RequestGateway`` pipeline swept over
   workers × shards × batch size against a serial one-at-a-time
-  baseline.  Oracle: byte-identical serialized responses for every
-  configuration.  The headline number: requests/s at 8 workers ×
-  8 shards vs the serial baseline (target: ≥4x full, ≥2x --quick).
+  baseline.  Oracles: byte-identical serialized responses for every
+  configuration, and *no sweep point slower than serial* — batching
+  that loses to a one-at-a-time loop is a regression, asserted per
+  point (``oracle_no_slowdown``).  The headline number: requests/s at
+  8 workers × 8 shards vs serial (target: ≥4x full, ≥2x --quick).
+  Each point also reports p50/p99 request latency from the gateway's
+  shared histogram.
 
 ``--quick`` shrinks workloads for the CI perf-smoke job, which gates on
 the oracles plus a ≥2x batched-pipeline speedup; full runs establish
@@ -249,7 +253,7 @@ def _build_engine(base, shard_count: int) -> ShardedPolicyEngine:
 
 
 def _run_gateway(engine, triples, workers: int,
-                 batch_size: int) -> tuple[float, list[Decision]]:
+                 batch_size: int) -> tuple[float, list[Decision], dict]:
     gateway = RequestGateway(engine, workers=workers,
                              queue_limit=len(triples) + 1,
                              batch_size=batch_size)
@@ -259,8 +263,9 @@ def _run_gateway(engine, triples, workers: int,
         gateway.process_pending()
     decisions = [future.result(timeout=60) for future in futures]
     elapsed = time.perf_counter() - start
+    stats = gateway.stats.snapshot()
     gateway.close()
-    return elapsed, decisions
+    return elapsed, decisions, stats
 
 
 def bench_closed_loop(quick: bool) -> tuple[dict, bool]:
@@ -278,14 +283,17 @@ def bench_closed_loop(quick: bool) -> tuple[dict, bool]:
                 (8, 8, 64), (8, 8, 256), (8, 8, 512)])
     sweep = []
     ok = True
+    no_slowdown = True
     best_8x8 = 0.0
     for workers, shards, batch_size in configs:
         engine = _build_engine(base, shards)
-        elapsed, decisions = _run_gateway(engine, triples, workers,
-                                          batch_size)
+        elapsed, decisions, stats = _run_gateway(
+            engine, triples, workers, batch_size)
         identical = response_bytes(decisions) == baseline
         ok = ok and identical
         speedup = serial_s / elapsed
+        point_ok = speedup >= 1.0
+        no_slowdown = no_slowdown and point_ok
         if workers == 8 and shards == 8:
             best_8x8 = max(best_8x8, speedup)
         sweep.append({
@@ -295,12 +303,15 @@ def bench_closed_loop(quick: bool) -> tuple[dict, bool]:
             "elapsed_s": round(elapsed, 4),
             "requests_per_s": round(len(triples) / elapsed),
             "speedup_vs_serial": round(speedup, 1),
+            "latency_p50_s": stats["latency_p50_s"],
+            "latency_p99_s": stats["latency_p99_s"],
             "oracle_byte_identical": identical,
+            "oracle_no_slowdown": point_ok,
         })
 
     gate = QUICK_SPEEDUP_GATE if quick else FULL_SPEEDUP_TARGET
     target_met = best_8x8 >= gate
-    ok = ok and target_met
+    ok = ok and target_met and no_slowdown
     return {
         "requests": len(triples),
         "serial_s": round(serial_s, 4),
@@ -309,6 +320,7 @@ def bench_closed_loop(quick: bool) -> tuple[dict, bool]:
         "speedup_at_8w_8s": round(best_8x8, 1),
         "speedup_gate": gate,
         "oracle_speedup_target_met": target_met,
+        "oracle_no_sweep_point_slower_than_serial": no_slowdown,
         "oracle_responses_byte_identical": ok,
     }, ok
 

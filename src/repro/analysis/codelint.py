@@ -48,6 +48,13 @@ error-severity finding):
   a policy base that may no longer exist.  Producer code is exempt by
   name: functions containing ``compile`` or ``fresh`` in their own
   name are the compiler/freshness machinery itself;
+* ``LINT-BLOCKINGAWAIT`` (warning) — a blocking call inside an
+  ``async def``: ``time.sleep()``, a lock's un-awaited ``.acquire()``,
+  or synchronous file I/O via ``open()``.  A coroutine that blocks
+  stalls the *whole* event loop — every tenant of the async gateway,
+  not just the offending request.  Use ``await asyncio.sleep()``,
+  hold plain locks only for O(1) critical sections via ``with``, and
+  do file I/O outside the loop (or in a thread executor);
 * ``LINT-HOTCOPY`` (warning) — whole-structure copying
   (``copy.deepcopy``/``deep_copy()``/``clone()``) inside a loop, or
   anywhere in a hot-path module (``perf``/``scale``/``snap``): a deep
@@ -118,6 +125,12 @@ REGISTRY.register(
     "a derived artifact is only valid at the source generation it was "
     "compiled from; reading it without consulting the generation stamp "
     "serves decisions from a policy base that may no longer exist")
+REGISTRY.register(
+    "LINT-BLOCKINGAWAIT", Severity.WARNING, "lint",
+    "blocking call inside an async function",
+    "a coroutine that blocks (time.sleep, bare lock .acquire(), "
+    "synchronous open()) stalls the whole event loop and every tenant "
+    "being served on it")
 REGISTRY.register(
     "LINT-SYNTAX", Severity.ERROR, "lint",
     "file does not parse",
@@ -207,6 +220,13 @@ class _Linter(ast.NodeVisitor):
         self._local_checkers: dict[str, _FunctionFacts] = {}
         self._loop_depth = 0
         self._fresh_context = False
+        #: True while inside an ``async def`` *body proper* — a nested
+        #: sync ``def`` pushes False (its body is not necessarily run
+        #: on the loop).
+        self._async_stack: list[bool] = []
+        #: Call nodes that are the direct operand of an ``await``
+        #: (``await lock.acquire()`` is the async API, not a block).
+        self._awaited_calls: set[int] = set()
         self._hot_module = bool(
             _HOT_PATH_PARTS.intersection(
                 pathlib.PurePath(path).parts[:-1]))
@@ -251,6 +271,8 @@ class _Linter(ast.NodeVisitor):
                     fix_hint="return the check outcome or raise on "
                              "failure")
         self._function_stack.append(node.name)
+        self._async_stack.append(
+            isinstance(node, ast.AsyncFunctionDef))
         # A nested function's body does not run per iteration of an
         # enclosing loop, so its loop depth starts fresh.
         outer_loop_depth = self._loop_depth
@@ -264,6 +286,7 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
         self._fresh_context = outer_fresh
         self._loop_depth = outer_loop_depth
+        self._async_stack.pop()
         self._function_stack.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -314,6 +337,42 @@ class _Linter(ast.NodeVisitor):
     def visit_While(self, node: ast.While) -> None:
         self._visit_loop(node)
 
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self._awaited_calls.add(id(node.value))
+        self.generic_visit(node)
+
+    def _in_async_body(self) -> bool:
+        return bool(self._async_stack) and self._async_stack[-1]
+
+    def _check_blocking_in_async(self, node: ast.Call,
+                                 callee: str) -> None:
+        if not self._in_async_body() or id(node) in self._awaited_calls:
+            return
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"):
+            self._emit(
+                "LINT-BLOCKINGAWAIT", node,
+                "time.sleep() inside an async function blocks the "
+                "whole event loop",
+                fix_hint="await asyncio.sleep() instead")
+        elif isinstance(func, ast.Attribute) and callee == "acquire":
+            self._emit(
+                "LINT-BLOCKINGAWAIT", node,
+                "un-awaited .acquire() inside an async function can "
+                "block the event loop on lock contention",
+                fix_hint="await an asyncio lock, or guard an O(1) "
+                         "critical section with a plain 'with lock:'")
+        elif isinstance(func, ast.Name) and callee == "open":
+            self._emit(
+                "LINT-BLOCKINGAWAIT", node,
+                "synchronous open() inside an async function does "
+                "file I/O on the event loop",
+                fix_hint="do file I/O before entering the loop or in "
+                         "a thread executor (asyncio.to_thread)")
+
     def visit_Call(self, node: ast.Call) -> None:
         if (isinstance(node.func, ast.Name) and node.func.id == "hash"
                 and "__hash__" not in self._function_stack):
@@ -326,6 +385,7 @@ class _Linter(ast.NodeVisitor):
         func = node.func
         callee = func.id if isinstance(func, ast.Name) else (
             func.attr if isinstance(func, ast.Attribute) else "")
+        self._check_blocking_in_async(node, callee)
         if (callee in _XPATH_CALLS and self._loop_depth > 0
                 and node.args
                 and isinstance(node.args[0], ast.Constant)

@@ -200,6 +200,13 @@ def broadcast_all(documents):
 def route_requests(engine, requests):
     return [engine.compiled_table.decide(*request)
             for request in requests]
+
+
+async def serve_forever(queue):
+    import time
+    while True:
+        time.sleep(0.05)
+        queue.drain()
 '''
 
 
@@ -228,7 +235,7 @@ EXPECTED_RULE_IDS = frozenset({
     "RDF-REIFY", "RDF-CONTAINER",
     "LINT-MUTDEF", "LINT-BAREEXC", "LINT-SWALLOW", "LINT-HASH",
     "LINT-CHECKRET", "LINT-XPATHLOOP", "LINT-BATCHLOOP",
-    "LINT-HOTCOPY", "LINT-STALECOMPILE",
+    "LINT-HOTCOPY", "LINT-STALECOMPILE", "LINT-BLOCKINGAWAIT",
 })
 
 

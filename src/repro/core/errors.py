@@ -150,6 +150,32 @@ class AdmissionRejected(TransportError):
     resubmitting cannot double-apply anything."""
 
 
+class Overloaded(TransportError):
+    """A gateway shed this request under backpressure — the tenant's
+    token bucket is empty or a queue-depth watermark tripped for its
+    priority tier.  Unlike :class:`AdmissionRejected` (the hard bound),
+    an ``Overloaded`` response is *graceful degradation*: it carries a
+    ``retry_after`` hint (seconds) telling the client when capacity is
+    expected back, so well-behaved clients back off instead of
+    hammering a saturated loop.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested backoff in seconds before resubmitting.
+    reason:
+        Which mechanism shed the request (``"bucket"`` or
+        ``"watermark"``), for telemetry.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0,
+                 reason: str = "watermark") -> None:
+        self.retry_after = retry_after
+        self.reason = reason
+        super().__init__(
+            f"{message} (retry after {retry_after:.4f}s)")
+
+
 class RetryExhausted(TransportError):
     """A retried operation ran out of attempts.
 

@@ -1,0 +1,76 @@
+"""repro.gateway: the asyncio streaming gateway (A10).
+
+The serving tier rebuilt around an event loop: non-blocking
+multi-tenant admission (token buckets + deficit-round-robin fairness +
+queue-depth watermarks), per-tick batched authorization against
+compiled epoch snapshots, and chunked dissemination streams built from
+interned snapshot fragments.  The threaded
+:class:`~repro.scale.gateway.RequestGateway` remains as the
+compatibility shim; both record into the shared
+:class:`~repro.gateway.stats.GatewayStats`.
+
+Equivalence contracts carried over from the threaded gateway and
+re-asserted by the gateway bench oracles and chaos battery:
+
+* every decision equals the serial evaluator's (sharding + compilation
+  are answer-preserving);
+* every streamed document's chunk concatenation is byte-identical to
+  the serial serializer's output;
+* under injected faults every response is byte-identical to the
+  fault-free run or a *typed* transport error — never a silently
+  wrong grant, never garbled bytes.
+"""
+
+# Import order is load-bearing: ``stats`` must load before ``core`` —
+# repro.scale.gateway imports it from here while this package is still
+# initializing whenever repro.scale (or repro.snap, via scale.batch)
+# is the import entry point.
+from repro.gateway.stats import GatewayStats, LatencyHistogram
+from repro.gateway.admission import (
+    AdmissionController,
+    DeficitRoundRobin,
+    ManualClock,
+    TenantConfig,
+    TokenBucket,
+)
+from repro.gateway.engine import EpochalShardRouter
+from repro.gateway.streaming import (
+    DEFAULT_CHUNK_SIZE,
+    collect,
+    serialize_pieces,
+    stream_document,
+    stream_element,
+)
+from repro.gateway.core import AsyncRequestGateway
+from repro.gateway.resilience import call_with_deadline, retry_async
+
+__all__ = [
+    "AdmissionController",
+    "AsyncRequestGateway",
+    "DEFAULT_CHUNK_SIZE",
+    "DeficitRoundRobin",
+    "EpochalShardRouter",
+    "GatewayStats",
+    "LatencyHistogram",
+    "ManualClock",
+    "Request",
+    "TenantConfig",
+    "TokenBucket",
+    "call_with_deadline",
+    "collect",
+    "retry_async",
+    "serialize_pieces",
+    "stream_document",
+    "stream_element",
+]
+
+
+def __getattr__(name: str):
+    # ``Request`` still lives in repro.scale.gateway (its historical
+    # home; the async gateway duck-types it).  Re-exported lazily —
+    # a module-level import would cycle whenever repro.scale is the
+    # import entry point.
+    if name == "Request":
+        from repro.scale.gateway import Request
+        return Request
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

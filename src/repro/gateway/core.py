@@ -1,0 +1,433 @@
+"""The asyncio serving loop: admission → tick batches → streaming.
+
+:class:`AsyncRequestGateway` is the event-loop successor to the
+threaded :class:`~repro.scale.gateway.RequestGateway`, keeping its
+contracts while removing its blocking:
+
+* **admission is non-blocking** — :meth:`submit_nowait` either enqueues
+  and returns an :class:`asyncio.Future`, or raises a typed refusal:
+  :class:`~repro.core.errors.Overloaded` (token bucket empty or a
+  queue-depth watermark shed this priority tier; carries Retry-After)
+  below the hard limit, :class:`~repro.core.errors.AdmissionRejected`
+  at it.  Nothing ever waits for queue space;
+* **authorization is batched per tick** — a dispatcher task wakes when
+  work arrives, yields once so every submitter racing this tick lands
+  in the same batch, dequeues fairly across tenants (deficit round
+  robin), groups by shard and resolves each group through the engine's
+  ``decide_batch`` — against compiled epoch snapshots when the engine
+  is an :class:`~repro.gateway.engine.EpochalShardRouter`.  Groups are
+  separated by ``await asyncio.sleep(0)`` so a large batch never
+  monopolizes the loop;
+* **dissemination streams** — :meth:`stream` pins the store epoch *at
+  admission* and serves chunked canonical bytes from interned snapshot
+  fragments; writers publish freely between chunks and the pinned
+  snapshot stays alive until the stream finishes (released in a
+  ``finally``, so cancelled consumers release too).
+
+Fault semantics extend the threaded gateway's fail-closed contract:
+the injector is stepped per shard-group at ``agateway:shard<i>`` and
+per stream chunk at ``agateway:stream``; a fault turns the whole
+group/stream into one typed :class:`~repro.core.errors.TransportError`
+— never an altered decision, never corrupted bytes.  DELAY charges the
+fault clock, DUPLICATE is harmless (decisions are read-only; a
+duplicated chunk is deduplicated by any sane transport, so we send
+once).
+
+Determinism: construct with ``auto_dispatch=False`` and drive
+:meth:`process_pending` yourself — the asyncio analog of the threaded
+gateway's ``workers=0`` mode, and what the chaos battery runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import AsyncIterator, Callable
+
+from repro.core.errors import (
+    AdmissionRejected,
+    ConfigurationError,
+    CorruptMessage,
+    MessageDropped,
+    Overloaded,
+    ReplicaUnavailable,
+    StaleRead,
+)
+from repro.core.evaluator import Decision
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
+from repro.gateway.admission import (
+    AdmissionController,
+    Clock,
+    DeficitRoundRobin,
+    TenantConfig,
+)
+from repro.gateway.stats import GatewayStats
+from repro.gateway.streaming import DEFAULT_CHUNK_SIZE, stream_element
+
+#: FaultKind → the typed TransportError the shard-group or stream
+#: fails with (same mapping as the threaded gateway).
+_FAULT_ERRORS = {
+    FaultKind.CRASH: lambda site: ReplicaUnavailable(
+        f"shard behind {site} is down"),
+    FaultKind.DROP: lambda site: MessageDropped(
+        f"batch to {site} lost in transit"),
+    FaultKind.REORDER: lambda site: MessageDropped(
+        f"batch to {site} arrived out of order and was discarded"),
+    FaultKind.CORRUPT: lambda site: CorruptMessage(
+        f"batch to {site} failed its frame checksum"),
+    FaultKind.STALE_READ: lambda site: StaleRead(
+        f"shard behind {site} served a lagging snapshot"),
+}
+
+#: Precedence when one step yields several fault events.
+_FAULT_ORDER = (FaultKind.CRASH, FaultKind.CORRUPT, FaultKind.STALE_READ,
+                FaultKind.DROP, FaultKind.REORDER)
+
+
+class AsyncRequestGateway:
+    """Multi-tenant asyncio gateway over a batched decision engine.
+
+    *engine* needs ``decide_batch(triples)`` and optionally
+    ``shard_for_path(path)`` (absent → one shard-0 group); *store* is
+    an optional snapshot store (``epochs`` + ``pool``, e.g.
+    :class:`~repro.snap.xmlstore.SnapshotXmlDatabase`) that enables
+    :meth:`stream` / :meth:`stream_document` and :meth:`write`.
+
+    Requests are duck-typed: anything with ``triple()`` and ``path``
+    (the threaded gateway's :class:`~repro.scale.gateway.Request`
+    works unchanged).
+    """
+
+    def __init__(self, engine, store=None, *,
+                 queue_limit: int = 4096,
+                 high_watermark: int | None = None,
+                 low_watermark: int | None = None,
+                 batch_size: int = 64,
+                 default_tenant: TenantConfig | None = TenantConfig(),
+                 clock: Clock = time.perf_counter,
+                 faults: FaultInjector | None = None,
+                 fault_site: str = "agateway",
+                 auto_dispatch: bool = True) -> None:
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        self.engine = engine
+        self.store = store
+        self.batch_size = batch_size
+        self.default_tenant = default_tenant
+        self.clock = clock
+        self.faults = faults
+        self.fault_site = fault_site
+        self.auto_dispatch = auto_dispatch
+        self.admission = AdmissionController(
+            clock, queue_limit=queue_limit,
+            high_watermark=high_watermark, low_watermark=low_watermark)
+        self._known_tenants: set[str] = set()
+        self.stats = GatewayStats()
+        self._drr = DeficitRoundRobin()
+        self._wake = asyncio.Event()
+        self._dispatcher: asyncio.Task | None = None
+        self._closing = False
+        self._started_at = clock()
+        self._pool = getattr(store, "pool", None)
+        self._stream_epochs = getattr(store, "epochs", None)
+        # Routers exposing per-shard engines (EpochalShardRouter) let
+        # the already-grouped batch skip the router's own re-partition
+        # — decide_batch goes straight to the shard's engine.
+        self._shard_engine = (
+            engine.engine
+            if hasattr(engine, "shard_for_path")
+            and callable(getattr(engine, "engine", None)) else None)
+
+    # -- tenants -----------------------------------------------------------
+
+    def register(self, tenant: str,
+                 config: TenantConfig | None = None) -> TenantConfig:
+        """Register *tenant* (or re-register with a new contract)."""
+        config = config if config is not None else self.default_tenant
+        if config is None:
+            raise ConfigurationError(
+                f"no config for tenant {tenant!r} and no default")
+        self.admission.register(tenant, config)
+        self._drr.register(tenant, config.quantum)
+        self._known_tenants.add(tenant)
+        return config
+
+    def _ensure_tenant(self, tenant: str) -> None:
+        if tenant not in self._known_tenants:
+            self.register(tenant)
+
+    # -- admission (never blocks) ------------------------------------------
+
+    def submit_nowait(self, tenant: str, request) -> asyncio.Future:
+        """Admit *request* for *tenant* or raise the typed refusal.
+
+        Returns a future resolving to the :class:`Decision` (or the
+        typed transport error a fault converted its batch into).
+        """
+        if self._closing:
+            raise AdmissionRejected("gateway is shutting down")
+        self._ensure_tenant(tenant)
+        try:
+            self.admission.admit(tenant, self._drr.pending(),
+                                 self._drain_rate())
+        except Overloaded:
+            with self.stats._lock:
+                self.stats.shed += 1
+            raise
+        except AdmissionRejected:
+            with self.stats._lock:
+                self.stats.rejected += 1
+            raise
+        future = asyncio.get_running_loop().create_future()
+        self._drr.push(tenant, (request, future, self.clock()))
+        with self.stats._lock:
+            self.stats.admitted += 1
+        self._wake.set()
+        if self.auto_dispatch and self._dispatcher is None:
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop(), name="gateway-dispatcher")
+        return future
+
+    async def submit(self, tenant: str, request) -> Decision:
+        """Admit and await the decision in one call."""
+        return await self.submit_nowait(tenant, request)
+
+    def pending(self) -> int:
+        return self._drr.pending()
+
+    def _drain_rate(self) -> float:
+        """Requests/s served since construction — the denominator of
+        the watermark Retry-After hint.  Cumulative on purpose: it is
+        deterministic under a manual clock and smooth under a real one.
+        """
+        elapsed = max(self.clock() - self._started_at, 1e-3)
+        return self.stats.completed / elapsed
+
+    # -- the dispatcher ----------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            if self._drr.pending() == 0:
+                if self._closing:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            # One yield per tick: every submitter already scheduled on
+            # this loop iteration enqueues before we cut the batch.
+            await asyncio.sleep(0)
+            batch = self._drr.take(self.batch_size)
+            if batch:
+                await self._evaluate(batch)
+
+    def _shard_of(self, request) -> int:
+        shard_for_path = getattr(self.engine, "shard_for_path", None)
+        if shard_for_path is None:
+            return 0
+        return shard_for_path(request.path)
+
+    async def _evaluate(self, batch: list) -> None:
+        """Group one dequeued batch by shard; decide each group."""
+        dequeued_at = self.clock()
+        with self.stats._lock:
+            self.stats.batches += 1
+            for _, _, submitted_at in batch:
+                self.stats.queue_wait_s += dequeued_at - submitted_at
+
+        groups: dict[int, list] = {}
+        for request, future, submitted_at in batch:
+            groups.setdefault(self._shard_of(request), []).append(
+                (request, future, submitted_at))
+
+        for shard in sorted(groups):
+            group = groups[shard]
+            error = self._fault_for(f"{self.fault_site}:shard{shard}")
+            if error is None:
+                started = self.clock()
+                decide_batch = (
+                    self._shard_engine(shard).decide_batch
+                    if self._shard_engine is not None
+                    else self.engine.decide_batch)
+                try:
+                    decisions = decide_batch(
+                        [request.triple() for request, _, _ in group])
+                except Exception as exc:
+                    error = exc
+                else:
+                    finished = self.clock()
+                    with self.stats._lock:
+                        self.stats.evaluate_s += finished - started
+                        self.stats.completed += len(group)
+                        for _, _, submitted_at in group:
+                            self.stats.latency.record(
+                                finished - submitted_at)
+                    for (_, future, _), decision in zip(group, decisions):
+                        if not future.done():
+                            future.set_result(decision)
+            if error is not None:
+                with self.stats._lock:
+                    self.stats.failed += len(group)
+                for _, future, _ in group:
+                    if not future.done():
+                        future.set_exception(error)
+            # Hand the loop back between shard groups: submitters and
+            # stream consumers interleave with a long batch.
+            await asyncio.sleep(0)
+
+    def _fault_for(self, site: str) -> Exception | None:
+        """Step the injector at *site*; worst event wins.  DELAY has
+        already charged the fault clock inside ``step``; DUPLICATE is
+        harmless for read-only work."""
+        if self.faults is None:
+            return None
+        events = self.faults.step(site)
+        for kind in _FAULT_ORDER:
+            if any(event.kind is kind for event in events):
+                return _FAULT_ERRORS[kind](site)
+        return None
+
+    # -- deterministic mode ------------------------------------------------
+
+    async def process_pending(self) -> int:
+        """Drain and evaluate everything queued, in DRR order, on the
+        caller's task — the deterministic path (``auto_dispatch=False``):
+        same submissions + same fault plan ⇒ same responses."""
+        processed = 0
+        while self._drr.pending():
+            batch = self._drr.take(self.batch_size)
+            if not batch:
+                break
+            await self._evaluate(batch)
+            processed += len(batch)
+        return processed
+
+    # -- streaming dissemination -------------------------------------------
+
+    def stream(self, tenant: str, resolve: Callable,
+               chunk_size: int = DEFAULT_CHUNK_SIZE) -> AsyncIterator[str]:
+        """Open a chunked stream of ``resolve(snapshot)``'s bytes.
+
+        Admission is charged and the store epoch pinned *here*, before
+        the first chunk is awaited — a stream observes exactly the
+        snapshot that was current when it was admitted, no matter how
+        many epochs writers publish while it drains.  *resolve* maps
+        the pinned snapshot to a frozen document or element.
+        """
+        if self._stream_epochs is None:
+            raise ConfigurationError(
+                "gateway has no snapshot store; pass store= to stream")
+        if self._closing:
+            raise AdmissionRejected("gateway is shutting down")
+        self._ensure_tenant(tenant)
+        try:
+            self.admission.admit(tenant, self._drr.pending(),
+                                 self._drain_rate())
+        except Overloaded:
+            with self.stats._lock:
+                self.stats.shed += 1
+            raise
+        except AdmissionRejected:
+            with self.stats._lock:
+                self.stats.rejected += 1
+            raise
+        snapshot = self._stream_epochs.acquire()
+        try:
+            node = resolve(snapshot)
+            root = getattr(node, "root", node)
+        except BaseException:
+            self._stream_epochs.release(snapshot)
+            raise
+        with self.stats._lock:
+            self.stats.admitted += 1
+            self.stats.streams += 1
+            self.stats.snapshot_reads += 1
+        return self._stream_chunks(snapshot, root, chunk_size)
+
+    def stream_document(self, tenant: str, collection: str, doc_id: str,
+                        chunk_size: int = DEFAULT_CHUNK_SIZE
+                        ) -> AsyncIterator[str]:
+        """Stream one stored document's canonical serialization."""
+        return self.stream(
+            tenant, lambda snapshot: snapshot.document(collection, doc_id),
+            chunk_size=chunk_size)
+
+    async def _stream_chunks(self, snapshot, root,
+                             chunk_size: int) -> AsyncIterator[str]:
+        try:
+            async for chunk in stream_element(root, self._pool,
+                                              chunk_size=chunk_size):
+                error = self._fault_for(f"{self.fault_site}:stream")
+                if error is not None:
+                    # Fail closed: a typed error, never garbled bytes.
+                    raise error
+                with self.stats._lock:
+                    self.stats.stream_chunks += 1
+                yield chunk
+            with self.stats._lock:
+                self.stats.completed += 1
+        except BaseException:
+            with self.stats._lock:
+                self.stats.failed += 1
+            raise
+        finally:
+            self._stream_epochs.release(snapshot)
+
+    # -- snapshot read/write (store side) ----------------------------------
+
+    def read(self, fn):
+        """Run ``fn(snapshot)`` against the pinned current store epoch."""
+        if self._stream_epochs is None:
+            raise ConfigurationError(
+                "gateway has no snapshot store; pass store=")
+        with self._stream_epochs.reading() as snapshot:
+            result = fn(snapshot)
+        with self.stats._lock:
+            self.stats.snapshot_reads += 1
+        return result
+
+    def write(self, fn):
+        """Apply ``fn(store)`` as one write and publish a new epoch.
+
+        Streams opened before this call keep their pinned snapshot;
+        streams opened after it see the new epoch.
+        """
+        if self.store is None:
+            raise ConfigurationError(
+                "gateway has no snapshot store; pass store=")
+        writer = getattr(self.store, "writer", None)
+        if writer is not None:
+            with writer():
+                result = fn(self.store)
+        else:
+            result = fn(self.store)
+            publish = getattr(self.store, "publish", None)
+            if publish is not None:
+                publish()
+        with self.stats._lock:
+            self.stats.writes += 1
+            self.stats.epochs_advanced += 1
+        return result
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop admitting; by default finish what was admitted."""
+        self._closing = True
+        self._wake.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        if drain:
+            await self.process_pending()
+        else:
+            for request, future, _ in self._drr.drain_all():
+                if not future.done():
+                    future.set_exception(AdmissionRejected(
+                        "gateway closed before evaluation"))
+
+    async def __aenter__(self) -> "AsyncRequestGateway":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

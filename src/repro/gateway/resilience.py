@@ -1,0 +1,75 @@
+"""Async resilience: retry and deadlines that never block the loop.
+
+The sync toolkit in :mod:`repro.faults.resilience` "sleeps" by charging
+the :class:`~repro.faults.clock.FaultClock` — logical ticks, no wall
+time.  These wrappers keep that determinism on an event loop: a backoff
+charges the same seed-jittered ticks as the sync version *and* yields
+control (``await asyncio.sleep(0)``), so concurrent tenants interleave
+at exactly the points a real server would context-switch, while a chaos
+run with the same seed still produces the same tick sequence on any
+machine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, TypeVar
+
+from repro.core.errors import CallTimeout, RetryExhausted, TransportError
+from repro.faults.clock import FaultClock
+from repro.faults.resilience import RetryPolicy, RetryTelemetry
+
+T = TypeVar("T")
+
+
+async def retry_async(operation: Callable[[], Awaitable[T]],
+                      policy: RetryPolicy, clock: FaultClock,
+                      key: str = "",
+                      retry_on: tuple[type[BaseException], ...]
+                      = (TransportError,),
+                      telemetry: RetryTelemetry | None = None) -> T:
+    """Async :func:`~repro.faults.resilience.retry_with_backoff`.
+
+    Identical semantics — non-retryable errors propagate immediately,
+    exhaustion raises :class:`~repro.core.errors.RetryExhausted`
+    wrapping the last error — but each backoff charges the fault clock
+    and yields the loop instead of blocking a thread.
+    """
+    last_error: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        if telemetry is not None:
+            telemetry.attempts = attempt
+        try:
+            return await operation()
+        except retry_on as exc:
+            last_error = exc
+            if telemetry is not None:
+                telemetry.errors.append(f"{type(exc).__name__}: {exc}")
+            if attempt == policy.max_attempts:
+                break
+            pause = policy.delay_before(attempt, key)
+            clock.sleep(pause)
+            if telemetry is not None:
+                telemetry.backoff_ticks += pause
+            await asyncio.sleep(0)
+    assert last_error is not None
+    raise RetryExhausted(policy.max_attempts, last_error)
+
+
+async def call_with_deadline(operation: Callable[[], Awaitable[T]],
+                             clock: FaultClock, timeout_ticks: int,
+                             what: str = "call") -> T:
+    """Run *operation* under a fault-clock deadline.
+
+    Delay faults charge the clock while the awaitable runs; if they
+    charged more than *timeout_ticks*, the (already computed) late
+    result is discarded and :class:`~repro.core.errors.CallTimeout`
+    raised — fail closed, deterministically.
+    """
+    deadline = clock.deadline(timeout_ticks)
+    result = await operation()
+    if deadline.expired():
+        raise CallTimeout(
+            f"{what} exceeded {timeout_ticks} ticks "
+            f"(overran by {clock.now() - deadline.expires_at})")
+    return result

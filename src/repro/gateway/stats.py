@@ -1,0 +1,142 @@
+"""Shared gateway telemetry: stage counters + latency percentiles.
+
+Both serving front ends — the threaded
+:class:`~repro.scale.gateway.RequestGateway` and the asyncio
+:class:`~repro.gateway.core.AsyncRequestGateway` — record into the same
+:class:`GatewayStats`, so BENCH_scale and BENCH_gateway report the same
+shape: per-stage counters plus a :class:`LatencyHistogram` giving
+p50/p99/p999 end-to-end request latency, not just throughput.
+
+The histogram is log-bucketed (powers of ~2 from 1µs up): recording is
+O(1) with no allocation, percentiles are read by walking the cumulative
+counts and reporting the bucket's upper bound — a deliberate
+overestimate, so a reported p99 is a bound the real p99 respects.  That
+makes it safe to share between worker threads under the stats lock and
+cheap enough to charge on *every* request.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+#: Smallest resolvable latency (seconds): one microsecond.
+_FLOOR_S = 1e-6
+#: Each bucket doubles the previous one's upper bound; 36 doublings
+#: from 1µs tops out above an hour, which no sane request survives.
+_BUCKETS = 36
+#: Upper bounds per bucket (power-of-two scaling is exact in floats,
+#: so these equal the doubling loop's values bit for bit).
+_BOUNDS = tuple(_FLOOR_S * 2.0 ** i for i in range(_BUCKETS))
+
+
+class LatencyHistogram:
+    """Fixed-size log2 histogram of latencies in seconds.
+
+    Bucket *i* covers ``(2**(i-1)µs, 2**i µs]``; values below the floor
+    land in bucket 0, values beyond the last bucket saturate into it.
+    Percentile reads return the covering bucket's upper bound, so the
+    estimate errs high (a conservative SLO check), never low.
+    """
+
+    __slots__ = ("_counts", "_count", "_sum")
+
+    def __init__(self) -> None:
+        self._counts = [0] * _BUCKETS
+        self._count = 0
+        self._sum = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0.0:
+            seconds = 0.0
+        index = min(bisect_left(_BOUNDS, seconds), _BUCKETS - 1)
+        self._counts[index] += 1
+        self._count += 1
+        self._sum += seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the *q*-quantile (q in
+        [0, 1]); 0.0 when nothing was recorded."""
+        if not self._count:
+            return 0.0
+        target = q * self._count
+        seen = 0
+        bound = _FLOOR_S
+        for index in range(_BUCKETS):
+            seen += self._counts[index]
+            if seen >= target:
+                return bound
+            bound *= 2.0
+        return bound
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for index in range(_BUCKETS):
+            self._counts[index] += other._counts[index]
+        self._count += other._count
+        self._sum += other._sum
+
+    def snapshot(self) -> dict[str, float | int]:
+        return {
+            "count": self._count,
+            "mean_s": round(self.mean(), 6),
+            "p50_s": round(self.percentile(0.50), 6),
+            "p99_s": round(self.percentile(0.99), 6),
+            "p999_s": round(self.percentile(0.999), 6),
+        }
+
+
+@dataclass
+class GatewayStats:
+    """Per-stage counters + latency percentiles; ``snapshot()`` is what
+    the benches record.  Shared by the threaded and asyncio gateways."""
+
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    queue_wait_s: float = 0.0
+    evaluate_s: float = 0.0
+    snapshot_reads: int = 0
+    writes: int = 0
+    epochs_advanced: int = 0
+    streams: int = 0
+    stream_chunks: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram,
+                                      repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self.latency.record(seconds)
+
+    def snapshot(self) -> dict[str, int | float]:
+        with self._lock:
+            out: dict[str, int | float] = {
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "completed": self.completed,
+                "failed": self.failed,
+                "batches": self.batches,
+                "queue_wait_s": round(self.queue_wait_s, 6),
+                "evaluate_s": round(self.evaluate_s, 6),
+                "snapshot_reads": self.snapshot_reads,
+                "writes": self.writes,
+                "epochs_advanced": self.epochs_advanced,
+                "streams": self.streams,
+                "stream_chunks": self.stream_chunks,
+            }
+            out.update({f"latency_{k}": v
+                        for k, v in self.latency.snapshot().items()})
+            return out

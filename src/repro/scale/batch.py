@@ -7,9 +7,11 @@ the same few resources, and one subject's credential either satisfies a
 policy's expression or it doesn't, regardless of which request is
 asking.  :class:`BatchDecisionEngine` exploits both redundancies:
 
-* requests are grouped by ``(action, path)``; candidate lookup and
-  resource-pattern matching run **once per group** instead of once per
-  request;
+* requests are grouped by ``(action, path)``; candidate lookup runs
+  **once per group** instead of once per request, and resource-pattern
+  matches are memoized per ``(policy, path)`` **across batches** —
+  policies are immutable, so a pattern either matches a path or it
+  never will;
 * credential qualification (``policy.applies_to_subject``) is memoized
   per ``(policy, subject)`` pair **across the whole batch** — the
   amortization the related work on scalable policy evaluation calls
@@ -37,7 +39,7 @@ from repro.core.evaluator import Decision, PolicyEvaluator
 from repro.core.objects import ResourcePath
 from repro.core.policy import Action
 from repro.core.subjects import Subject
-from repro.perf.cache import MISS
+from repro.perf.cache import LRUCache, MISS
 
 #: A request triple, optionally carrying a content payload.
 BatchRequest = tuple  # (subject, action, path[, payload])
@@ -51,6 +53,7 @@ class BatchStats:
     groups: int = 0
     cache_hits: int = 0
     resource_checks: int = 0
+    resource_reuses: int = 0
     subject_checks: int = 0
     subject_reuses: int = 0
 
@@ -60,6 +63,7 @@ class BatchStats:
             "groups": self.groups,
             "cache_hits": self.cache_hits,
             "resource_checks": self.resource_checks,
+            "resource_reuses": self.resource_reuses,
             "subject_checks": self.subject_checks,
             "subject_reuses": self.subject_reuses,
         }
@@ -89,6 +93,14 @@ class BatchDecisionEngine:
     def __init__(self, evaluator: PolicyEvaluator) -> None:
         self.evaluator = evaluator
         self.stats = BatchStats()
+        # (policy_id, path_text) -> did the policy's resource pattern
+        # match — persistent across batches.  Safe because policies are
+        # immutable and policy_ids never recycled, so an entry can go
+        # cold but never stale.  This is where small-batch closed loops
+        # win: profiles showed glob/ancestor matching dominating when
+        # every batch re-checked the same few paths against the same
+        # candidates.
+        self._resource_applies: LRUCache = LRUCache(maxsize=65536)
 
     def decide_batch(self, requests: Sequence[BatchRequest]
                      ) -> list[Decision]:
@@ -128,9 +140,18 @@ class BatchDecisionEngine:
             group = groups[(action, path_text)]
             path = group.path
             candidates = base.candidates(action, path)
-            self.stats.resource_checks += len(candidates)
-            on_target = [policy for policy in candidates
-                         if policy.applies_to_resource(path)]
+            on_target = []
+            for policy in candidates:
+                key = (policy.policy_id, path_text)
+                matched = self._resource_applies.get(key)
+                if matched is MISS:
+                    matched = policy.applies_to_resource(path)
+                    self._resource_applies.put(key, matched)
+                    self.stats.resource_checks += 1
+                else:
+                    self.stats.resource_reuses += 1
+                if matched:
+                    on_target.append(policy)
             self.stats.groups += 1
             for index in group.indices:
                 subject, _, _, payload = normalized[index]

@@ -32,7 +32,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import (
     AdmissionRejected,
@@ -48,6 +48,14 @@ from repro.core.policy import Action
 from repro.core.subjects import Subject
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind
+# Telemetry is shared with the asyncio gateway (repro.gateway.stats
+# loads before anything else in that package, so this import is safe
+# from every entry point); GatewayStats/LatencyHistogram stay
+# re-exported here for existing callers.
+from repro.gateway.stats import GatewayStats, LatencyHistogram
+
+__all__ = ["GatewayStats", "LatencyHistogram", "Request",
+           "RequestGateway"]
 
 
 @dataclass(frozen=True)
@@ -61,39 +69,6 @@ class Request:
 
     def triple(self) -> tuple:
         return (self.subject, self.action, self.path, self.payload)
-
-
-@dataclass
-class GatewayStats:
-    """Per-stage counters; snapshot() is what the bench records."""
-
-    admitted: int = 0
-    rejected: int = 0
-    completed: int = 0
-    failed: int = 0
-    batches: int = 0
-    queue_wait_s: float = 0.0
-    evaluate_s: float = 0.0
-    snapshot_reads: int = 0
-    writes: int = 0
-    epochs_advanced: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock,
-                                  repr=False)
-
-    def snapshot(self) -> dict[str, int | float]:
-        with self._lock:
-            return {
-                "admitted": self.admitted,
-                "rejected": self.rejected,
-                "completed": self.completed,
-                "failed": self.failed,
-                "batches": self.batches,
-                "queue_wait_s": round(self.queue_wait_s, 6),
-                "evaluate_s": round(self.evaluate_s, 6),
-                "snapshot_reads": self.snapshot_reads,
-                "writes": self.writes,
-                "epochs_advanced": self.epochs_advanced,
-            }
 
 
 #: FaultKind → the typed TransportError the whole shard-group fails with.
@@ -122,7 +97,7 @@ class RequestGateway:
 
     def __init__(self, engine, workers: int = 4,
                  queue_limit: int = 1024, batch_size: int = 32,
-                 linger_s: float = 0.002,
+                 linger_s: float = 0.0,
                  faults: FaultInjector | None = None,
                  epochs=None, publisher=None) -> None:
         if queue_limit < 1:
@@ -144,10 +119,12 @@ class RequestGateway:
         self.publisher = publisher
         self.queue_limit = queue_limit
         self.batch_size = batch_size
-        # How long a worker holding a *partial* batch waits for it to
-        # fill before evaluating anyway.  Without it, workers racing
-        # the submitter drain one-request batches and the group
-        # amortization decide_batch exists for never materializes.
+        # Optional: how long a worker holding a *partial* batch waits
+        # for it to fill before evaluating anyway.  Off by default —
+        # under a closed loop the linger only added idle waits (the
+        # submitter is blocked on our futures, so the batch can never
+        # fill), which showed up as sub-serial sweep points.  Open-loop
+        # callers who want deeper batches can opt back in.
         self.linger_s = linger_s
         self.faults = faults
         self.stats = GatewayStats()
@@ -210,16 +187,16 @@ class RequestGateway:
             for _, _, submitted_at in batch:
                 self.stats.queue_wait_s += dequeued_at - submitted_at
 
-        groups: dict[int, list[tuple[Request, Future]]] = {}
-        for request, future, _ in batch:
+        groups: dict[int, list[tuple[Request, Future, float]]] = {}
+        for request, future, submitted_at in batch:
             groups.setdefault(self._shard_of(request), []).append(
-                (request, future))
+                (request, future, submitted_at))
 
         for shard in sorted(groups):
             group = groups[shard]
             error = self._fault_for(shard)
             if error is not None:
-                for _, future in group:
+                for _, future, _ in group:
                     future.set_exception(error)
                 with self.stats._lock:
                     self.stats.failed += len(group)
@@ -227,17 +204,20 @@ class RequestGateway:
             started = time.perf_counter()
             try:
                 decisions: list[Decision] = self.engine.decide_batch(
-                    [request.triple() for request, _ in group])
+                    [request.triple() for request, _, _ in group])
             except Exception as exc:  # typed errors flow to the caller
-                for _, future in group:
+                for _, future, _ in group:
                     future.set_exception(exc)
                 with self.stats._lock:
                     self.stats.failed += len(group)
                 continue
+            finished = time.perf_counter()
             with self.stats._lock:
-                self.stats.evaluate_s += time.perf_counter() - started
+                self.stats.evaluate_s += finished - started
                 self.stats.completed += len(group)
-            for (_, future), decision in zip(group, decisions):
+                for _, _, submitted_at in group:
+                    self.stats.latency.record(finished - submitted_at)
+            for (_, future, _), decision in zip(group, decisions):
                 future.set_result(decision)
 
     def _fault_for(self, shard: int) -> Exception | None:
@@ -260,25 +240,24 @@ class RequestGateway:
     def _worker_loop(self) -> None:
         while True:
             with self._not_empty:
-                deadline: float | None = None
-                while True:
-                    if self._closing:
-                        if not self._queue:
-                            return
-                        break
-                    if len(self._queue) >= self.batch_size:
-                        break
-                    if self._queue:
-                        # Partial batch: linger briefly so it can fill.
-                        now = time.monotonic()
-                        if deadline is None:
-                            deadline = now + self.linger_s
-                        if now >= deadline:
+                # Park until there is work (or shutdown) — a pure
+                # condition wait, no poll timeout: every submit and
+                # close notifies, so a missed-wakeup backstop would
+                # only add idle latency.
+                while not self._queue and not self._closing:
+                    self._not_empty.wait()
+                if self._closing and not self._queue:
+                    return
+                if self.linger_s > 0:
+                    # Opt-in linger: give a partial batch a bounded
+                    # chance to fill before evaluating it.
+                    deadline = time.monotonic() + self.linger_s
+                    while (len(self._queue) < self.batch_size
+                            and not self._closing):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
                             break
-                        self._not_empty.wait(timeout=deadline - now)
-                    else:
-                        deadline = None
-                        self._not_empty.wait(timeout=0.05)
+                        self._not_empty.wait(timeout=remaining)
             batch = self._drain()
             if batch:
                 self._evaluate(batch)

@@ -95,6 +95,15 @@ class InternPool:
     def serialize_document(self, document: FrozenDocument) -> str:
         return self.serialize(document.root)
 
+    def cached_fragment(self, node: FrozenElement) -> str | None:
+        """The interned serialization of *node* if present, else
+        ``None`` — a read-only probe that never computes.  The
+        streaming serializer uses this to emit already-interned
+        subtrees verbatim without forcing a full serialization on the
+        event loop."""
+        hit = self._fragments.get(node)
+        return None if hit is MISS else hit
+
     # -- Merkle hashing --------------------------------------------------
 
     def merkle(self, node: FrozenElement) -> str:

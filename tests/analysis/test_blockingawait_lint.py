@@ -1,0 +1,106 @@
+"""LINT-BLOCKINGAWAIT: blocking calls inside ``async def`` bodies."""
+
+from repro.analysis.codelint import lint_source
+from repro.analysis.findings import Severity
+
+
+def rule_ids(source, path="t.py"):
+    return [f.rule_id for f in lint_source(source, path)]
+
+
+def blocking_findings(source):
+    return [f for f in lint_source(source, "t.py")
+            if f.rule_id == "LINT-BLOCKINGAWAIT"]
+
+
+class TestBlockingAwaitRule:
+    def test_flags_time_sleep_in_async_def(self):
+        src = (
+            "import time\n"
+            "async def serve():\n"
+            "    time.sleep(0.1)\n")
+        assert rule_ids(src) == ["LINT-BLOCKINGAWAIT"]
+
+    def test_flags_unawaited_acquire_in_async_def(self):
+        src = (
+            "async def serve(lock):\n"
+            "    lock.acquire()\n")
+        assert "LINT-BLOCKINGAWAIT" in rule_ids(src)
+
+    def test_flags_sync_open_in_async_def(self):
+        src = (
+            "async def serve(path):\n"
+            "    with open(path) as handle:\n"
+            "        return handle.read()\n")
+        assert "LINT-BLOCKINGAWAIT" in rule_ids(src)
+
+    def test_awaited_acquire_is_the_async_api(self):
+        src = (
+            "async def serve(lock):\n"
+            "    await lock.acquire()\n")
+        assert "LINT-BLOCKINGAWAIT" not in rule_ids(src)
+
+    def test_asyncio_sleep_is_fine(self):
+        src = (
+            "import asyncio\n"
+            "async def serve():\n"
+            "    await asyncio.sleep(0.1)\n")
+        assert "LINT-BLOCKINGAWAIT" not in rule_ids(src)
+
+    def test_with_lock_guard_is_fine(self):
+        src = (
+            "async def serve(lock, stats):\n"
+            "    with lock:\n"
+            "        stats.completed += 1\n")
+        assert "LINT-BLOCKINGAWAIT" not in rule_ids(src)
+
+    def test_sync_function_unaffected(self):
+        src = (
+            "import time\n"
+            "def serve(lock, path):\n"
+            "    time.sleep(0.1)\n"
+            "    lock.acquire()\n"
+            "    open(path)\n")
+        assert "LINT-BLOCKINGAWAIT" not in rule_ids(src)
+
+    def test_nested_sync_def_inside_async_not_flagged(self):
+        """A sync closure's body is not necessarily run on the loop."""
+        src = (
+            "import time\n"
+            "async def serve():\n"
+            "    def backoff():\n"
+            "        time.sleep(0.1)\n"
+            "    return backoff\n")
+        assert "LINT-BLOCKINGAWAIT" not in rule_ids(src)
+
+    def test_async_def_nested_in_sync_def_is_flagged(self):
+        src = (
+            "import time\n"
+            "def factory():\n"
+            "    async def serve():\n"
+            "        time.sleep(0.1)\n"
+            "    return serve\n")
+        assert "LINT-BLOCKINGAWAIT" in rule_ids(src)
+
+    def test_pragma_waives_the_rule(self):
+        src = (
+            "import time\n"
+            "async def bench_worst_case():\n"
+            "    time.sleep(0.1)  # lint: allow=LINT-BLOCKINGAWAIT\n")
+        assert "LINT-BLOCKINGAWAIT" not in rule_ids(src)
+
+    def test_severity_is_warning(self):
+        src = (
+            "import time\n"
+            "async def serve():\n"
+            "    time.sleep(0.1)\n")
+        (finding,) = blocking_findings(src)
+        assert finding.severity is Severity.WARNING
+
+    def test_clock_dot_sleep_is_not_time_sleep(self):
+        """Logical clocks (FaultClock.sleep) charge ticks, not wall
+        time — only the ``time`` module's sleep blocks."""
+        src = (
+            "async def serve(clock):\n"
+            "    clock.sleep(3)\n")
+        assert "LINT-BLOCKINGAWAIT" not in rule_ids(src)

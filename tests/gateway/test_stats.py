@@ -1,0 +1,99 @@
+"""Shared gateway telemetry: histogram math + both gateways record it."""
+
+import pytest
+
+from repro.gateway.stats import GatewayStats, LatencyHistogram
+
+
+class TestLatencyHistogram:
+    def test_empty_reads_zero(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean() == 0.0
+        assert histogram.percentile(0.99) == 0.0
+
+    def test_percentile_is_an_upper_bound(self):
+        histogram = LatencyHistogram()
+        samples = [0.0001, 0.0002, 0.0004, 0.01, 0.5]
+        for sample in samples:
+            histogram.record(sample)
+        for q in (0.5, 0.99, 0.999):
+            index = min(int(q * len(samples)), len(samples) - 1)
+            assert histogram.percentile(q) >= sorted(samples)[index]
+
+    def test_percentiles_are_monotone_in_q(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 1000):
+            histogram.record(i * 1e-5)
+        p50 = histogram.percentile(0.50)
+        p99 = histogram.percentile(0.99)
+        p999 = histogram.percentile(0.999)
+        assert p50 <= p99 <= p999
+        assert p99 < histogram.percentile(1.0) * 4  # same decade
+
+    def test_bucket_bound_within_2x_of_sample(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.003)
+        bound = histogram.percentile(0.5)
+        assert 0.003 <= bound <= 0.006   # log2 buckets: ≤ 2x over
+
+    def test_negative_and_huge_samples_saturate(self):
+        histogram = LatencyHistogram()
+        histogram.record(-1.0)
+        histogram.record(1e9)
+        assert histogram.count == 2
+        assert histogram.percentile(0.999) > 0
+
+    def test_merge_sums_counts_and_mass(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(0.001)
+        b.record(0.004)
+        b.record(0.004)
+        a.merge(b)
+        assert a.count == 3
+        assert a.mean() == pytest.approx(0.003)
+
+    def test_snapshot_keys(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.002)
+        snap = histogram.snapshot()
+        assert set(snap) == {"count", "mean_s", "p50_s", "p99_s",
+                             "p999_s"}
+        assert snap["count"] == 1
+
+
+class TestGatewayStats:
+    def test_snapshot_carries_latency_percentiles(self):
+        stats = GatewayStats()
+        stats.record_latency(0.002)
+        snap = stats.snapshot()
+        for key in ("latency_count", "latency_p50_s", "latency_p99_s",
+                    "latency_p999_s", "streams", "stream_chunks",
+                    "shed"):
+            assert key in snap
+        assert snap["latency_count"] == 1
+        assert snap["latency_p50_s"] > 0
+
+
+class TestThreadGatewayRecordsLatency:
+    def test_threaded_gateway_shares_the_histogram(self):
+        from repro.core.policy import PolicyBase
+        from repro.core.evaluator import PolicyEvaluator
+        from repro.scale.batch import BatchDecisionEngine
+        from repro.scale.gateway import (GatewayStats as ReExported,
+                                         Request, RequestGateway)
+        from tests.scale.workloads import random_policies, random_requests
+        import random
+
+        assert ReExported is GatewayStats   # one shared class
+        rng = random.Random(3)
+        engine = BatchDecisionEngine(
+            PolicyEvaluator(PolicyBase(random_policies(rng, 10))))
+        gateway = RequestGateway(engine, workers=0)
+        futures = [gateway.submit(Request(*r))
+                   for r in random_requests(rng, 20)]
+        gateway.process_pending()
+        assert all(f.exception() is None for f in futures)
+        snap = gateway.stats.snapshot()
+        assert snap["latency_count"] == 20
+        assert snap["latency_p99_s"] >= snap["latency_p50_s"] > 0

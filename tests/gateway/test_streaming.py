@@ -1,0 +1,182 @@
+"""Streaming dissemination: byte-identity, interning, epoch pinning."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.gateway import collect, serialize_pieces, stream_element
+from repro.gateway.core import AsyncRequestGateway
+from repro.snap.frozen import freeze_document
+from repro.snap.intern import InternPool
+from repro.snap.xmlstore import SnapshotXmlDatabase
+from repro.xmldb.parser import parse
+from repro.xmldb.serializer import serialize_element
+
+DOCS = [
+    "<doc/>",
+    "<doc>text</doc>",
+    "<doc><a x=\"1\" b=\"2\">hi</a><b/><a x=\"1\" b=\"2\">hi</a></doc>",
+    "<r><v>a&amp;b</v><v>&lt;tag&gt;</v><v attr=\"a&quot;b\"/></r>",
+    "<deep><a><b><c><d>x</d></c></b></a></deep>",
+]
+
+
+def random_xml(rng: random.Random, depth: int = 4) -> str:
+    def element(level: int) -> str:
+        tag = rng.choice("abcde")
+        attrs = "".join(f' k{i}="{rng.randrange(10)}"'
+                        for i in range(rng.randrange(3)))
+        if level == 0 or rng.random() < 0.3:
+            return (f"<{tag}{attrs}/>" if rng.random() < 0.5
+                    else f"<{tag}{attrs}>t{rng.randrange(100)}</{tag}>")
+        children = "".join(element(level - 1)
+                           for _ in range(rng.randrange(1, 4)))
+        return f"<{tag}{attrs}>{children}</{tag}>"
+    return f"<root>{element(depth)}</root>"
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("xml", DOCS)
+    def test_pieces_concatenate_to_serial_serialization(self, xml):
+        frozen = freeze_document(parse(xml, "d"))
+        assert "".join(serialize_pieces(frozen.root)) == \
+            serialize_element(parse(xml, "d").root)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 4096])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_chunks_concatenate_identically_any_chunk_size(
+            self, seed, chunk_size):
+        xml = random_xml(random.Random(seed))
+        frozen = freeze_document(parse(xml, "d"))
+        pool = InternPool()
+        expected = pool.serialize(frozen.root)
+
+        async def scenario():
+            return await collect(stream_element(
+                frozen.root, pool, chunk_size=chunk_size))
+
+        assert asyncio.run(scenario()) == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stream_without_pool_matches_stream_with_pool(self, seed):
+        xml = random_xml(random.Random(100 + seed))
+        frozen = freeze_document(parse(xml, "d"))
+        pool = InternPool()
+        pool.serialize(frozen.root)     # warm every fragment
+
+        async def scenario():
+            bare = await collect(stream_element(frozen.root, None))
+            warmed = await collect(stream_element(frozen.root, pool))
+            return bare, warmed
+
+        bare, warmed = asyncio.run(scenario())
+        assert bare == warmed == pool.serialize(frozen.root)
+
+
+class TestInternReuse:
+    def test_cached_fragment_probe_is_read_only(self):
+        frozen = freeze_document(parse("<doc><a>x</a></doc>", "d"))
+        pool = InternPool()
+        assert pool.cached_fragment(frozen.root) is None
+        pool.serialize(frozen.root)
+        assert pool.cached_fragment(frozen.root) == \
+            pool.serialize(frozen.root)
+
+    def test_warm_pool_streams_from_interned_fragments(self):
+        """After a serial serialization, the stream of the same tree is
+        a single cached-fragment emission — no re-walk."""
+        xml = random_xml(random.Random(42))
+        frozen = freeze_document(parse(xml, "d"))
+        pool = InternPool()
+        pool.serialize(frozen.root)
+        pieces = list(serialize_pieces(frozen.root, pool))
+        assert pieces == [pool.serialize(frozen.root)]
+
+
+class TestGatewayStreaming:
+    def make_db(self):
+        db = SnapshotXmlDatabase()
+        db.create_collection("c")
+        db.insert("c", "d1",
+                  "<doc><a x=\"1\">hello &amp; bye</a><b/></doc>")
+        db.publish()
+        return db
+
+    def test_stream_document_matches_snapshot_serializer(self):
+        db = self.make_db()
+        router_free_engine = _tiny_engine()
+
+        async def scenario():
+            gateway = AsyncRequestGateway(router_free_engine, store=db,
+                                          auto_dispatch=False)
+            text = await collect(gateway.stream_document(
+                "t", "c", "d1", chunk_size=8))
+            return text, gateway.stats.snapshot()
+
+        text, stats = asyncio.run(scenario())
+        assert text == db.pool.serialize_document(
+            db.current().document("c", "d1"))
+        assert stats["streams"] == 1
+        assert stats["stream_chunks"] >= 2
+        assert stats["completed"] == 1
+
+    def test_stream_sees_admission_epoch_despite_writes(self):
+        db = self.make_db()
+        # Expected bytes via a *separate* pool, so the gateway's pool
+        # stays cold and the stream yields several real chunks.
+        before = InternPool().serialize_document(
+            db.current().document("c", "d1"))
+
+        async def scenario():
+            gateway = AsyncRequestGateway(_tiny_engine(), store=db,
+                                          auto_dispatch=False)
+            chunks = []
+            stream = gateway.stream_document("t", "c", "d1",
+                                             chunk_size=4)
+            async for chunk in stream:
+                chunks.append(chunk)
+                # A writer publishes a new epoch between every chunk.
+                gateway.write(lambda store: store.set_text(
+                    "c", "d1", "/doc/a", f"edit{len(chunks)}"))
+            return "".join(chunks), gateway.stats.snapshot()
+
+        text, stats = asyncio.run(scenario())
+        assert text == before               # pinned epoch, old bytes
+        assert stats["epochs_advanced"] >= 2
+        after = db.pool.serialize_document(
+            db.current().document("c", "d1"))
+        assert after != before
+
+    def test_stream_releases_pin_on_consumer_abandon(self):
+        db = self.make_db()
+
+        async def scenario():
+            gateway = AsyncRequestGateway(_tiny_engine(), store=db,
+                                          auto_dispatch=False)
+            stream = gateway.stream_document("t", "c", "d1",
+                                             chunk_size=2)
+            await stream.__anext__()
+            await stream.aclose()           # consumer walks away
+            epoch = db.epochs.current_epoch()
+            assert db.epochs.pins(epoch) == 0
+
+        asyncio.run(scenario())
+
+    def test_stream_without_store_is_a_configuration_error(self):
+        from repro.core.errors import ConfigurationError
+
+        async def scenario():
+            gateway = AsyncRequestGateway(_tiny_engine(),
+                                          auto_dispatch=False)
+            with pytest.raises(ConfigurationError):
+                gateway.stream("t", lambda snapshot: snapshot)
+
+        asyncio.run(scenario())
+
+
+def _tiny_engine():
+    from repro.core.evaluator import PolicyEvaluator
+    from repro.core.policy import PolicyBase
+    from repro.scale.batch import BatchDecisionEngine
+    return BatchDecisionEngine(PolicyEvaluator(PolicyBase()))
