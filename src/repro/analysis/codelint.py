@@ -55,6 +55,16 @@ error-severity finding):
   not just the offending request.  Use ``await asyncio.sleep()``,
   hold plain locks only for O(1) critical sections via ``with``, and
   do file I/O outside the loop (or in a thread executor);
+* ``LINT-REPLICAREAD`` (warning) — a read-verb call (``get``/``read``/
+  ``inquiry``/``serve_read``/``lookup``/``fetch``) on a receiver whose
+  name mentions ``replica``, inside a function that nowhere consults a
+  staleness guard (``watermark``, ``session``, ``caught_up``,
+  ``stale``, ``fresh``).  A replica is *allowed* to lag — that is the
+  deal replication makes — so a read that never checks how far behind
+  its copy is can silently serve deleted registrations or stale
+  policies.  Route replica reads through a
+  :class:`repro.replica.router.ReplicaSession` (read-your-writes
+  floors) or check the served watermark explicitly;
 * ``LINT-HOTCOPY`` (warning) — whole-structure copying
   (``copy.deepcopy``/``deep_copy()``/``clone()``) inside a loop, or
   anywhere in a hot-path module (``perf``/``scale``/``snap``): a deep
@@ -132,6 +142,12 @@ REGISTRY.register(
     "synchronous open()) stalls the whole event loop and every tenant "
     "being served on it")
 REGISTRY.register(
+    "LINT-REPLICAREAD", Severity.WARNING, "lint",
+    "replica read without a staleness guard",
+    "a replica may lawfully lag its primary; reading one without a "
+    "watermark/session check can silently serve deleted registrations "
+    "or stale policy state")
+REGISTRY.register(
     "LINT-SYNTAX", Severity.ERROR, "lint",
     "file does not parse",
     "unparseable code cannot be analyzed, let alone enforced")
@@ -151,6 +167,15 @@ _FRESHNESS_TOKENS = ("generation", "fresh", "stale", "recompile",
 #: Directory names whose modules are hot paths: a deep copy there is
 #: suspect even outside a loop (the module exists to serve reads fast).
 _HOT_PATH_PARTS = {"perf", "scale", "snap"}
+#: Read verbs that, called on a replica-named receiver, count as a
+#: replica read.
+_REPLICA_READ_CALLS = {"get", "read", "inquiry", "serve_read",
+                       "lookup", "fetch"}
+#: Receiver-name substring marking a replica (case-insensitive).
+_REPLICA_MARKER = "replica"
+#: Identifier substrings that count as guarding replica staleness.
+_REPLICA_GUARD_TOKENS = ("watermark", "session", "caught_up", "stale",
+                         "fresh")
 
 
 @dataclass(frozen=True)
@@ -193,16 +218,49 @@ def _function_facts(node: ast.FunctionDef | ast.AsyncFunctionDef
     return _FunctionFacts(returns_value, raises)
 
 
+def _mentions_tokens(node: ast.AST, tokens: tuple[str, ...]) -> bool:
+    """Does the subtree name an identifier containing any token?
+
+    Identifiers are Name ids, Attribute attrs, argument names, and
+    keyword-argument names — a function whose *parameter* is
+    ``min_watermark``, or that passes ``min_watermark=``, consults the
+    watermark as much as one reading ``self.watermark``.
+    """
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            identifier = child.id
+        elif isinstance(child, ast.Attribute):
+            identifier = child.attr
+        elif isinstance(child, ast.arg):
+            identifier = child.arg
+        elif isinstance(child, ast.keyword) and child.arg is not None:
+            identifier = child.arg
+        else:
+            continue
+        if any(token in identifier for token in tokens):
+            return True
+    return False
+
+
 def _mentions_freshness(node: ast.AST) -> bool:
     """Does the subtree name any generation/staleness identifier?"""
-    for child in ast.walk(node):
+    return _mentions_tokens(node, _FRESHNESS_TOKENS)
+
+
+def _receiver_mentions_replica(receiver: ast.expr) -> bool:
+    """Does the call receiver's identifier chain name a replica?
+
+    Walks the whole receiver expression so chains and subscripts
+    (``self.replicas[i]``, ``pool.replica_for(key)``) count too.
+    """
+    for child in ast.walk(receiver):
         if isinstance(child, ast.Name):
             identifier = child.id
         elif isinstance(child, ast.Attribute):
             identifier = child.attr
         else:
             continue
-        if any(token in identifier for token in _FRESHNESS_TOKENS):
+        if _REPLICA_MARKER in identifier.lower():
             return True
     return False
 
@@ -220,6 +278,7 @@ class _Linter(ast.NodeVisitor):
         self._local_checkers: dict[str, _FunctionFacts] = {}
         self._loop_depth = 0
         self._fresh_context = False
+        self._replica_guard_context = False
         #: True while inside an ``async def`` *body proper* — a nested
         #: sync ``def`` pushes False (its body is not necessarily run
         #: on the loop).
@@ -283,7 +342,14 @@ class _Linter(ast.NodeVisitor):
         self._fresh_context = (outer_fresh
                                or _is_compile_machinery(node.name)
                                or _mentions_freshness(node))
+        # Same inheritance for the replica-staleness guard: a function
+        # that consults a watermark/session covers its closures.
+        outer_guard = self._replica_guard_context
+        self._replica_guard_context = (
+            outer_guard
+            or _mentions_tokens(node, _REPLICA_GUARD_TOKENS))
         self.generic_visit(node)
+        self._replica_guard_context = outer_guard
         self._fresh_context = outer_fresh
         self._loop_depth = outer_loop_depth
         self._async_stack.pop()
@@ -407,6 +473,21 @@ class _Linter(ast.NodeVisitor):
                 fix_hint="collect the (subject, action, path) triples "
                          "and evaluate them with "
                          "BatchDecisionEngine.decide_batch()")
+        if (callee in _REPLICA_READ_CALLS
+                and isinstance(func, ast.Attribute)
+                and self._function_stack
+                and not self._replica_guard_context
+                and _receiver_mentions_replica(func.value)):
+            self._emit(
+                "LINT-REPLICAREAD", node,
+                f".{callee}() reads a replica but "
+                f"{self._function_stack[-1]!r} never consults a "
+                f"staleness guard; a lagging copy can silently serve "
+                f"stale state",
+                fix_hint="route the read through a ReplicaSession "
+                         "(read-your-writes watermark floors) or "
+                         "check the served watermark against the "
+                         "caller's floor")
         if (callee in _HOTCOPY_CALLS
                 and (self._loop_depth > 0 or self._hot_module)
                 and not any(name in _HOTCOPY_CALLS

@@ -207,6 +207,10 @@ async def serve_forever(queue):
     while True:
         time.sleep(0.05)
         queue.drain()
+
+
+def mirror_lookup(replica_pool, key):
+    return replica_pool.get(key)
 '''
 
 
@@ -236,6 +240,7 @@ EXPECTED_RULE_IDS = frozenset({
     "LINT-MUTDEF", "LINT-BAREEXC", "LINT-SWALLOW", "LINT-HASH",
     "LINT-CHECKRET", "LINT-XPATHLOOP", "LINT-BATCHLOOP",
     "LINT-HOTCOPY", "LINT-STALECOMPILE", "LINT-BLOCKINGAWAIT",
+    "LINT-REPLICAREAD",
 })
 
 

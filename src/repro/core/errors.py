@@ -139,6 +139,14 @@ class StaleRead(TransportError):
     detected (e.g. a read-your-writes watermark check failed)."""
 
 
+class ReplicaDiverged(TransportError):
+    """A replica refused a non-contiguous replication delta: accepting
+    a delta whose version is not exactly ``watermark + 1`` would leave
+    a hole in its history, so the replica falls behind instead and
+    waits for anti-entropy repair.  Retryable from the primary's point
+    of view — the gap is a transport condition, not corruption."""
+
+
 class CircuitOpen(TransportError):
     """A circuit breaker is open; the call was not attempted."""
 

@@ -53,6 +53,8 @@ __all__ = [
     "GatewayStats",
     "LatencyHistogram",
     "ManualClock",
+    "ReplicaRouter",
+    "ReplicaSession",
     "Request",
     "TenantConfig",
     "TokenBucket",
@@ -73,4 +75,11 @@ def __getattr__(name: str):
     if name == "Request":
         from repro.scale.gateway import Request
         return Request
+    # The replica router lives in repro.replica; lazily re-exported so
+    # importing the gateway package does not pull the replication
+    # stack (and its faults/scale dependencies) until it is used.
+    if name in ("ReplicaRouter", "ReplicaSession"):
+        from repro.replica.router import ReplicaRouter, ReplicaSession
+        return {"ReplicaRouter": ReplicaRouter,
+                "ReplicaSession": ReplicaSession}[name]
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

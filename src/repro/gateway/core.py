@@ -108,7 +108,8 @@ class AsyncRequestGateway:
                  clock: Clock = time.perf_counter,
                  faults: FaultInjector | None = None,
                  fault_site: str = "agateway",
-                 auto_dispatch: bool = True) -> None:
+                 auto_dispatch: bool = True,
+                 replicas=None) -> None:
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
         self.engine = engine
@@ -131,6 +132,12 @@ class AsyncRequestGateway:
         self._started_at = clock()
         self._pool = getattr(store, "pool", None)
         self._stream_epochs = getattr(store, "epochs", None)
+        # Replication wiring (repro.replica): a ReplicaRouter
+        # (duck-typed ``get``/``put``/``session``) behind the
+        # replica_read/replica_write key-value path.  The router's
+        # calls are synchronous and bounded, so they run inline on the
+        # loop like the snapshot read/write path does.
+        self.replicas = replicas
         # Routers exposing per-shard engines (EpochalShardRouter) let
         # the already-grouped batch skip the router's own re-partition
         # — decide_batch goes straight to the shard's engine.
@@ -408,6 +415,37 @@ class AsyncRequestGateway:
             self.stats.writes += 1
             self.stats.epochs_advanced += 1
         return result
+
+    # -- the replicated key-value path (repro.replica) ---------------------
+
+    def replica_session(self):
+        """A read-your-writes session over the replica router."""
+        if self.replicas is None:
+            raise ConfigurationError(
+                "gateway has no replica router; pass replicas=")
+        return self.replicas.session()
+
+    def replica_read(self, key: str, session=None):
+        """Read *key* from any caught-up replica at or above the
+        session's watermark floor (read-your-writes)."""
+        if self.replicas is None:
+            raise ConfigurationError(
+                "gateway has no replica router; pass replicas=")
+        value = self.replicas.get(key, session=session)
+        with self.stats._lock:
+            self.stats.replica_reads += 1
+        return value
+
+    def replica_write(self, key: str, value: str, session=None) -> int:
+        """Write through the shard primary (acknowledged at ≥1 read
+        replica); returns the version and raises the session floor."""
+        if self.replicas is None:
+            raise ConfigurationError(
+                "gateway has no replica router; pass replicas=")
+        version = self.replicas.put(key, value, session=session)
+        with self.stats._lock:
+            self.stats.replica_writes += 1
+        return version
 
     # -- lifecycle ---------------------------------------------------------
 

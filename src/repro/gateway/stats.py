@@ -111,6 +111,8 @@ class GatewayStats:
     epochs_advanced: int = 0
     streams: int = 0
     stream_chunks: int = 0
+    replica_reads: int = 0
+    replica_writes: int = 0
     latency: LatencyHistogram = field(default_factory=LatencyHistogram,
                                       repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock,
@@ -136,6 +138,8 @@ class GatewayStats:
                 "epochs_advanced": self.epochs_advanced,
                 "streams": self.streams,
                 "stream_chunks": self.stream_chunks,
+                "replica_reads": self.replica_reads,
+                "replica_writes": self.replica_writes,
             }
             out.update({f"latency_{k}": v
                         for k, v in self.latency.snapshot().items()})

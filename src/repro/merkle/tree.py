@@ -159,6 +159,55 @@ class MerkleTree:
     def verify_leaf(self, index: int, data: bytes | str) -> bool:
         return self.proof(index).verify(data, self.root)
 
+    # -- aligned node access (anti-entropy diffing) ----------------------
+    #
+    # Two trees built over the same number of leaves have *identical*
+    # shapes (the promotion rule is a function of level width alone), so
+    # a replica can walk both trees top-down in lockstep and descend
+    # only into subtrees whose node hashes differ — the O(log n)-per-
+    # discrepancy divergence search of repro.replica.antientropy.
+
+    @property
+    def level_count(self) -> int:
+        """Number of levels, leaves (level 0) through root."""
+        return len(self._levels)
+
+    def level_width(self, level: int) -> int:
+        return len(self._levels[level])
+
+    def node_hash(self, level: int, index: int) -> str:
+        """Hash of node *index* at *level* (0 = leaves)."""
+        if not 0 <= level < len(self._levels):
+            raise ConfigurationError(
+                f"level {level} out of range 0..{len(self._levels) - 1}")
+        nodes = self._levels[level]
+        if not 0 <= index < len(nodes):
+            raise ConfigurationError(
+                f"node index {index} out of range 0..{len(nodes) - 1} "
+                f"at level {level}")
+        return nodes[index]
+
+    def children_of(self, level: int, index: int) -> tuple[int, ...]:
+        """Indices at ``level - 1`` feeding node ``(level, index)``.
+
+        A promoted odd node has exactly one child (itself, one level
+        down); every other node has the usual pair.  Because the shape
+        depends only on the leaf count, these indices line up between
+        any two trees with equal ``leaf_count`` — the property the
+        lockstep diff relies on.
+        """
+        if not 1 <= level < len(self._levels):
+            raise ConfigurationError(
+                f"level {level} has no children "
+                f"(valid: 1..{len(self._levels) - 1})")
+        if not 0 <= index < len(self._levels[level]):
+            raise ConfigurationError(
+                f"node index {index} out of range at level {level}")
+        below = len(self._levels[level - 1])
+        if below % 2 == 1 and index == below // 2:
+            return (below - 1,)
+        return (2 * index, 2 * index + 1)
+
 
 def verify_subset(root: str, leaves: Iterable[tuple[int, bytes | str]],
                   proofs: Iterable[MerkleProof]) -> bool:

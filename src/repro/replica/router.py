@@ -1,0 +1,202 @@
+"""Replication-aware routing: consistent-hash shards × replica groups.
+
+:class:`ReplicaRouter` sits beside
+:class:`~repro.gateway.engine.EpochalShardRouter` in the serving tier:
+keys hash onto shards through the same
+:class:`~repro.scale.router.ConsistentHashRouter` ring, but each shard
+is now a :class:`~repro.replica.group.ReplicaGroup` — writes go to the
+shard's primary (with retry + failover on a crashed primary), reads
+fan out to any caught-up replica.
+
+Read-your-writes and monotonic reads are carried by
+:class:`ReplicaSession`, the generalization of the UDDI write-version
+watermark from :mod:`repro.uddi.resilient`: the session keeps one
+watermark floor per shard; every acknowledged write raises the floor,
+every read demands a replica at or above it (lagging replicas answer
+with a typed :class:`~repro.core.errors.StaleRead` and the router
+tries the next copy).  A successful read can therefore never observe a
+watermark below the session's floor — the invariant the property
+battery drives through random interleavings and failovers.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import (
+    ConfigurationError,
+    IntegrityError,
+    ReplicaUnavailable,
+    RetryExhausted,
+    TransportError,
+)
+from repro.faults.clock import FaultClock
+from repro.faults.injector import FaultInjector
+from repro.faults.resilience import RetryPolicy
+from repro.replica.group import ReplicaGroup
+from repro.scale.router import ConsistentHashRouter
+
+
+class ReplicaSession:
+    """Per-shard watermark floors: read-your-writes + monotonic reads."""
+
+    def __init__(self) -> None:
+        self._floors: dict[int, int] = {}
+
+    def floor(self, shard: int) -> int:
+        return self._floors.get(shard, 0)
+
+    def advance(self, shard: int, watermark: int) -> None:
+        """Raise the floor (acknowledged write): floors never go down."""
+        if watermark > self._floors.get(shard, 0):
+            self._floors[shard] = watermark
+
+    def observed(self, shard: int, watermark: int) -> None:
+        """Record a read's watermark; regression is a broken contract.
+
+        The router only calls this with watermarks the replica proved
+        at-or-above the floor, so a raise here is a *bug*, not a
+        transport condition — hence :class:`IntegrityError`, which the
+        property battery asserts never fires.
+        """
+        floor = self._floors.get(shard, 0)
+        if watermark < floor:
+            raise IntegrityError(
+                f"session watermark regressed on shard {shard}: "
+                f"observed {watermark} after floor {floor}")
+        self._floors[shard] = watermark
+
+    def snapshot(self) -> dict[int, int]:
+        return dict(self._floors)
+
+
+class ReplicaRouter:
+    """Shard ring over replica groups: primary writes, fanned reads."""
+
+    def __init__(self, shard_count: int = 4, replica_count: int = 3,
+                 bucket_count: int = 64,
+                 faults: FaultInjector | None = None,
+                 retry: RetryPolicy | None = None,
+                 clock: FaultClock | None = None) -> None:
+        if shard_count < 1:
+            raise ConfigurationError(
+                f"shard_count must be >= 1, got {shard_count}")
+        self.ring = ConsistentHashRouter(shard_count)
+        self.shard_count = shard_count
+        self.replica_count = replica_count
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=8, max_delay=8)
+        if clock is None:
+            clock = faults.clock if faults is not None else FaultClock()
+        self.clock = clock
+        self.groups = [
+            ReplicaGroup(shard=str(index), replica_count=replica_count,
+                         bucket_count=bucket_count, faults=faults)
+            for index in range(shard_count)]
+        self.reads = 0
+        self.writes = 0
+
+    # -- placement ---------------------------------------------------------
+
+    def shard_for_key(self, key: str) -> int:
+        return self.ring.shard_for(key)
+
+    def group_for_key(self, key: str) -> ReplicaGroup:
+        return self.groups[self.shard_for_key(key)]
+
+    def session(self) -> ReplicaSession:
+        return ReplicaSession()
+
+    # -- writes (primary, with retry + failover) ---------------------------
+
+    def put(self, key: str, value: str,
+            session: ReplicaSession | None = None) -> int:
+        return self._write(key, (("put", key, value),), session)
+
+    def delete(self, key: str,
+               session: ReplicaSession | None = None) -> int:
+        return self._write(key, (("del", key),), session)
+
+    def _write(self, key: str, ops: tuple,
+               session: ReplicaSession | None) -> int:
+        shard = self.shard_for_key(key)
+        group = self.groups[shard]
+        last_error: TransportError | None = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                version = group.write(ops)
+            except ReplicaUnavailable as exc:
+                last_error = exc
+                try:
+                    group.failover()
+                except TransportError:
+                    pass  # nobody promotable right now; back off
+                self.clock.sleep(self.retry.delay_before(attempt, key))
+                continue
+            except TransportError as exc:
+                last_error = exc
+                # An unacknowledged write usually means the read
+                # replicas have delta gaps (ReplicaDiverged on every
+                # ship); one background repair round closes them so
+                # the retry can be acknowledged.
+                group.anti_entropy_round()
+                self.clock.sleep(self.retry.delay_before(attempt, key))
+                continue
+            self.writes += 1
+            if session is not None:
+                session.advance(shard, version)
+            return version
+        assert last_error is not None
+        raise RetryExhausted(self.retry.max_attempts, last_error)
+
+    # -- reads (any caught-up replica) -------------------------------------
+
+    def get(self, key: str,
+            session: ReplicaSession | None = None) -> str | None:
+        """Read *key* from any replica at or above the session floor."""
+        shard = self.shard_for_key(key)
+        group = self.groups[shard]
+        floor = session.floor(shard) if session is not None else 0
+        last_error: TransportError | None = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                value, watermark, _ = group.read(key, min_watermark=floor)
+            except TransportError as exc:
+                last_error = exc
+                self.clock.sleep(self.retry.delay_before(attempt, key))
+                continue
+            self.reads += 1
+            if session is not None:
+                session.observed(shard, watermark)
+            return value
+        assert last_error is not None
+        raise RetryExhausted(self.retry.max_attempts, last_error)
+
+    # -- maintenance -------------------------------------------------------
+
+    def anti_entropy(self, max_rounds: int = 8) -> int:
+        """Repair rounds until every group converges; rounds used."""
+        for rounds in range(1, max_rounds + 1):
+            for group in self.groups:
+                if not group.converged():
+                    group.anti_entropy_round()
+            if self.converged():
+                return rounds
+        return max_rounds
+
+    def converged(self) -> bool:
+        return all(group.converged() for group in self.groups)
+
+    def state_digest(self) -> str:
+        """Digest over all shards' primary roots (byte-identity oracle)."""
+        from repro.crypto.hashing import combine
+        return combine(*[group.state_digest() for group in self.groups])
+
+    @property
+    def failovers(self) -> int:
+        return sum(group.failovers for group in self.groups)
+
+    def reads_by_replica(self) -> dict[str, int]:
+        """``site -> reads served``: the read-scaling bench's evidence
+        that load spreads across replicas instead of piling on one."""
+        return {replica.site: replica.reads_served
+                for group in self.groups for replica in group.replicas}

@@ -99,7 +99,7 @@ class RequestGateway:
                  queue_limit: int = 1024, batch_size: int = 32,
                  linger_s: float = 0.0,
                  faults: FaultInjector | None = None,
-                 epochs=None, publisher=None) -> None:
+                 epochs=None, publisher=None, replicas=None) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         if batch_size < 1:
@@ -117,6 +117,11 @@ class RequestGateway:
             epochs = getattr(engine, "epochs", None)
         self.epochs = epochs
         self.publisher = publisher
+        # Replication wiring (repro.replica): *replicas* is a
+        # ReplicaRouter (duck-typed: ``get``/``put``/``session``) the
+        # key-value read/write path routes through — reads fan to any
+        # caught-up replica, writes go to the shard primary.
+        self.replicas = replicas
         self.queue_limit = queue_limit
         self.batch_size = batch_size
         # Optional: how long a worker holding a *partial* batch waits
@@ -319,6 +324,42 @@ class RequestGateway:
             self.stats.writes += 1
             self.stats.epochs_advanced += 1
         return result
+
+    # -- the replicated key-value path (repro.replica) ---------------------
+
+    def replica_session(self):
+        """A read-your-writes session over the replica router."""
+        if self.replicas is None:
+            raise ConfigurationError(
+                "gateway has no replica router; pass replicas=")
+        return self.replicas.session()
+
+    def replica_read(self, key: str, session=None):
+        """Read *key* from any caught-up replica of its shard.
+
+        With a *session*, the read is served at or above the session's
+        watermark floor (read-your-writes); lagging replicas answer
+        with a typed StaleRead and the router probes the next copy.
+        """
+        if self.replicas is None:
+            raise ConfigurationError(
+                "gateway has no replica router; pass replicas=")
+        value = self.replicas.get(key, session=session)
+        with self.stats._lock:
+            self.stats.replica_reads += 1
+        return value
+
+    def replica_write(self, key: str, value: str, session=None) -> int:
+        """Write through the shard primary; acknowledged only when at
+        least one read replica holds the delta.  Returns the version,
+        which also raises the session's watermark floor."""
+        if self.replicas is None:
+            raise ConfigurationError(
+                "gateway has no replica router; pass replicas=")
+        version = self.replicas.put(key, value, session=session)
+        with self.stats._lock:
+            self.stats.replica_writes += 1
+        return version
 
     # -- lifecycle ---------------------------------------------------------
 

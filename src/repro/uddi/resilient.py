@@ -203,7 +203,11 @@ class FederatedRegistry:
         last_error: TransportError | None = None
         for replica in self.replicas:
             try:
-                return replica.inquiry(method, *args)
+                # Staleness is the *caller's* contract here: the
+                # federation returns (result, write_version) and
+                # ResilientUddiClient._read checks that watermark
+                # against its read-your-writes floor before accepting.
+                return replica.inquiry(method, *args)  # lint: allow=LINT-REPLICAREAD
             except TransportError as exc:
                 last_error = exc
         assert last_error is not None

@@ -1,0 +1,91 @@
+"""LINT-REPLICAREAD: replica reads without a staleness guard."""
+
+from repro.analysis.codelint import lint_source
+
+
+def rule_ids(source, path="t.py"):
+    return [f.rule_id for f in lint_source(source, path)]
+
+
+class TestReplicaReadRule:
+    def test_flags_bare_replica_get_in_function(self):
+        src = (
+            "def lookup(replica_pool, key):\n"
+            "    return replica_pool.get(key)\n")
+        assert "LINT-REPLICAREAD" in rule_ids(src)
+
+    def test_flags_attribute_chain_receivers(self):
+        src = (
+            "def lookup(router, key):\n"
+            "    return router.replicas[0].serve_read(key)\n")
+        assert "LINT-REPLICAREAD" in rule_ids(src)
+
+    def test_non_replica_receivers_are_exempt(self):
+        src = (
+            "def lookup(store, key):\n"
+            "    return store.get(key)\n")
+        assert "LINT-REPLICAREAD" not in rule_ids(src)
+
+    def test_non_read_verbs_are_exempt(self):
+        src = (
+            "def push(replica, delta):\n"
+            "    return replica.receive(delta)\n")
+        assert "LINT-REPLICAREAD" not in rule_ids(src)
+
+    def test_module_level_reads_are_exempt(self):
+        src = "VALUE = REPLICA.get('k')\n"
+        assert "LINT-REPLICAREAD" not in rule_ids(src)
+
+    def test_watermark_guard_suppresses(self):
+        src = (
+            "def lookup(replica, key, floor):\n"
+            "    if replica.watermark < floor:\n"
+            "        raise StaleRead(key)\n"
+            "    return replica.get(key)\n")
+        assert "LINT-REPLICAREAD" not in rule_ids(src)
+
+    def test_session_parameter_suppresses(self):
+        # A function that *takes* a session is staleness-aware: the
+        # ast.arg name itself counts as a guard token.
+        src = (
+            "def lookup(replica, key, session):\n"
+            "    return replica.get(key)\n")
+        assert "LINT-REPLICAREAD" not in rule_ids(src)
+
+    def test_min_watermark_keyword_suppresses(self):
+        src = (
+            "def lookup(replica, key, floor):\n"
+            "    return replica.serve_read(key, min_watermark=floor)\n")
+        assert "LINT-REPLICAREAD" not in rule_ids(src)
+
+    def test_nested_function_inherits_guard_context(self):
+        src = (
+            "def serve(replica, keys, session):\n"
+            "    def one(key):\n"
+            "        return replica.get(key)\n"
+            "    return [one(k) for k in keys]\n")
+        assert "LINT-REPLICAREAD" not in rule_ids(src)
+
+    def test_pragma_waives_exactly_this_rule(self):
+        src = (
+            "def lookup(replica_pool, key):\n"
+            "    return replica_pool.get(key)"
+            "  # lint: allow=LINT-REPLICAREAD\n")
+        assert "LINT-REPLICAREAD" not in rule_ids(src)
+
+    def test_severity_is_warning(self):
+        src = (
+            "def lookup(replica_pool, key):\n"
+            "    return replica_pool.get(key)\n")
+        findings = [f for f in lint_source(src, "t.py")
+                    if f.rule_id == "LINT-REPLICAREAD"]
+        assert len(findings) == 1
+        assert findings[0].severity.name == "WARNING"
+
+    def test_src_tree_is_clean(self):
+        import pathlib
+
+        from repro.analysis.codelint import lint_paths
+        src_root = pathlib.Path(__file__).resolve().parents[2] / "src"
+        report = lint_paths([src_root])
+        assert report.by_rule("LINT-REPLICAREAD") == []

@@ -1,0 +1,112 @@
+"""Regression pins for GatewayStats/LatencyHistogram edge cases.
+
+``test_stats.py`` checks the behavioral contracts (upper bound,
+monotonicity, merge); this file pins *exact values* at the edges —
+empty histogram, single sample, bucket floor, saturating last bucket —
+so a refactor of the bucket math cannot silently shift them.  Both
+front ends (threaded ``repro.scale.gateway`` and asyncio
+``repro.gateway.core``) share the one class, which is also pinned.
+"""
+
+import pytest
+
+from repro.gateway.stats import GatewayStats, LatencyHistogram
+from repro.gateway.stats import _BOUNDS, _BUCKETS, _FLOOR_S
+
+
+class TestEmptyHistogram:
+    def test_every_percentile_is_exactly_zero(self):
+        histogram = LatencyHistogram()
+        for q in (0.0, 0.25, 0.5, 0.99, 0.999, 1.0):
+            assert histogram.percentile(q) == 0.0
+        assert histogram.mean() == 0.0
+        assert histogram.count == 0
+
+    def test_empty_snapshot_is_all_zeros(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap == {"count": 0, "mean_s": 0.0, "p50_s": 0.0,
+                        "p99_s": 0.0, "p999_s": 0.0}
+
+
+class TestSingleSample:
+    def test_all_quantiles_collapse_to_the_covering_bound(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.003)  # bucket bound: 2**12 µs = 0.004096s
+        expected = _FLOOR_S * 2.0 ** 12
+        for q in (0.25, 0.5, 0.99, 0.999, 1.0):
+            assert histogram.percentile(q) == expected
+
+    def test_quantile_zero_reads_the_floor(self):
+        # target = 0 is met before any count accumulates: q=0 reports
+        # the histogram floor, not the sample's bucket.
+        histogram = LatencyHistogram()
+        histogram.record(0.003)
+        assert histogram.percentile(0.0) == _FLOOR_S
+
+    def test_sub_floor_sample_lands_in_the_first_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.record(1e-9)   # below the 1µs floor
+        assert histogram.percentile(1.0) == _FLOOR_S
+
+    def test_negative_sample_clamps_to_zero_not_underflow(self):
+        histogram = LatencyHistogram()
+        histogram.record(-5.0)
+        assert histogram.count == 1
+        assert histogram.percentile(1.0) == _FLOOR_S
+        assert histogram.mean() == 0.0
+
+
+class TestSaturatingBucket:
+    def test_huge_sample_saturates_into_the_last_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.record(1e12)   # way past the ~hour ceiling
+        assert histogram.percentile(1.0) == _BOUNDS[-1]
+        assert histogram.percentile(0.5) == _BOUNDS[-1]
+
+    def test_last_bound_value_is_pinned(self):
+        # 1µs doubled 35 times: ~9.5 hours.  A change to _BUCKETS or
+        # _FLOOR_S shows up here first.
+        assert _BUCKETS == 36
+        assert _BOUNDS[-1] == pytest.approx(_FLOOR_S * 2.0 ** 35)
+        assert _BOUNDS[-1] > 3600.0  # beyond any sane request
+
+    def test_saturated_and_normal_samples_order_correctly(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.record(0.001)
+        histogram.record(1e12)
+        assert histogram.percentile(0.5) < _BOUNDS[-1]
+        assert histogram.percentile(0.999) == _BOUNDS[-1]
+
+
+class TestSharedAcrossFrontEnds:
+    def test_both_gateways_expose_the_same_stats_class(self):
+        from repro.gateway.core import AsyncRequestGateway
+        from repro.scale.gateway import RequestGateway
+        import inspect
+        # Both constructors default their stats to this one class.
+        assert "GatewayStats" in inspect.getsource(RequestGateway.__init__)
+        assert "GatewayStats" in inspect.getsource(
+            AsyncRequestGateway.__init__)
+
+    def test_snapshot_key_set_is_pinned(self):
+        snap = GatewayStats().snapshot()
+        assert set(snap) == {
+            "admitted", "rejected", "shed", "completed", "failed",
+            "batches", "queue_wait_s", "evaluate_s", "snapshot_reads",
+            "writes", "epochs_advanced", "streams", "stream_chunks",
+            "replica_reads", "replica_writes",
+            "latency_count", "latency_mean_s", "latency_p50_s",
+            "latency_p99_s", "latency_p999_s",
+        }
+
+    def test_replica_counters_start_zero_and_survive_snapshot(self):
+        stats = GatewayStats()
+        snap = stats.snapshot()
+        assert snap["replica_reads"] == 0
+        assert snap["replica_writes"] == 0
+        stats.replica_reads += 3
+        stats.replica_writes += 2
+        snap = stats.snapshot()
+        assert snap["replica_reads"] == 3
+        assert snap["replica_writes"] == 2

@@ -1,0 +1,142 @@
+"""BucketedMerkleStore: canonical digests + incremental summaries."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.merkle.tree import MerkleTree
+from repro.replica.store import BucketedMerkleStore, bucket_payload
+
+
+def test_roundtrip_put_get_delete():
+    store = BucketedMerkleStore(16)
+    store.put("alpha", "1")
+    store.put("beta", "2")
+    assert store.get("alpha") == "1"
+    assert store.get("beta") == "2"
+    assert "alpha" in store and len(store) == 2
+    store.delete("alpha")
+    assert store.get("alpha") is None
+    assert len(store) == 1
+
+
+def test_digest_is_content_addressed_not_history_addressed():
+    """Same final state ⇒ same root, whatever the write order was."""
+    a = BucketedMerkleStore(16)
+    b = BucketedMerkleStore(16)
+    for i in range(50):
+        a.put(f"k{i}", f"v{i}")
+    for i in reversed(range(50)):
+        b.put(f"k{i}", f"v{i}")
+    a.put("k7", "rewritten")
+    a.put("k7", "v7")          # overwrite back
+    b.put("extra", "x")
+    b.delete("extra")          # add then remove
+    assert a.root == b.root
+
+
+def test_incremental_root_equals_full_rebuild():
+    store = BucketedMerkleStore(16)
+    for i in range(40):
+        store.put(f"k{i}", f"v{i}")
+    rebuilt = BucketedMerkleStore(16)
+    rebuilt.load(dict(store.items()))
+    assert store.root == rebuilt.root
+
+
+def test_load_equals_puts():
+    entries = {f"key-{i}": f"val-{i}" for i in range(30)}
+    loaded = BucketedMerkleStore(8)
+    loaded.load(entries)
+    written = BucketedMerkleStore(8)
+    for key, value in entries.items():
+        written.put(key, value)
+    assert loaded.root == written.root
+    assert dict(loaded.items()) == dict(written.items())
+
+
+def test_hash_ops_stay_logarithmic():
+    """One put rehashes a root path, not the whole tree."""
+    store = BucketedMerkleStore(256)
+    store.load({f"k{i}": "v" for i in range(1000)})
+    before = store.hash_ops
+    store.put("k1", "changed")
+    spent = store.hash_ops - before
+    # Root path of a 256-leaf tree: 8 internal levels + 1 leaf hash.
+    assert spent <= 10
+
+
+def test_noop_put_and_delete_leave_root_unchanged():
+    store = BucketedMerkleStore(8)
+    store.put("a", "1")
+    root = store.root
+    store.put("a", "1")          # same value
+    store.delete("missing")      # absent key
+    assert store.root == root
+
+
+def test_bucket_transfer_roundtrip():
+    source = BucketedMerkleStore(8)
+    source.load({f"k{i}": f"v{i}" for i in range(20)})
+    target = BucketedMerkleStore(8)
+    for index in range(8):
+        target.replace_bucket(index, source.bucket_entries(index))
+        assert target.payload(index) == source.payload(index)
+    assert target.root == source.root
+
+
+def test_payload_is_injective_ordering():
+    assert bucket_payload({"b": "2", "a": "1"}) == \
+        bucket_payload({"a": "1", "b": "2"})
+    assert bucket_payload({"a": "1"}) != bucket_payload({"a": "2"})
+
+
+def test_bucket_count_validation():
+    with pytest.raises(ConfigurationError):
+        BucketedMerkleStore(0)
+
+
+def test_cow_buckets_keep_published_views_immutable():
+    store = BucketedMerkleStore(4)
+    store.put("a", "1")
+    view = store.buckets_view()
+    frozen = {k: dict(b) for k, b in enumerate(view)}
+    store.put("a", "2")
+    store.put("b", "3")
+    assert {k: dict(b) for k, b in enumerate(view)} == frozen
+
+
+class TestAlignedNodeAccess:
+    """MerkleTree.children_of spans every shape the store produces."""
+
+    @pytest.mark.parametrize("leaf_count", list(range(1, 18)))
+    def test_children_partition_each_level(self, leaf_count):
+        tree = MerkleTree([f"leaf{i}" for i in range(leaf_count)])
+        for level in range(1, tree.level_count):
+            seen = []
+            for index in range(tree.level_width(level)):
+                seen.extend(tree.children_of(level, index))
+            assert sorted(seen) == list(range(tree.level_width(level - 1)))
+
+    @pytest.mark.parametrize("leaf_count", [1, 2, 5, 9, 16])
+    def test_node_hash_matches_recomputation(self, leaf_count):
+        from repro.merkle.tree import hash_children
+        tree = MerkleTree([f"leaf{i}" for i in range(leaf_count)])
+        for level in range(1, tree.level_count):
+            for index in range(tree.level_width(level)):
+                children = tree.children_of(level, index)
+                if len(children) == 1:
+                    expected = tree.node_hash(level - 1, children[0])
+                else:
+                    expected = hash_children(
+                        tree.node_hash(level - 1, children[0]),
+                        tree.node_hash(level - 1, children[1]))
+                assert tree.node_hash(level, index) == expected
+
+    def test_bounds_checked(self):
+        tree = MerkleTree(["a", "b", "c"])
+        with pytest.raises(ConfigurationError):
+            tree.children_of(0, 0)
+        with pytest.raises(ConfigurationError):
+            tree.children_of(tree.level_count, 0)
+        with pytest.raises(ConfigurationError):
+            tree.node_hash(0, 99)
