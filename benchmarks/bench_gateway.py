@@ -84,6 +84,14 @@ def scale_best_rps() -> float | None:
         return None
 
 
+def stage_percentiles(stats: dict) -> dict:
+    """Per-stage latency keys from a stats snapshot — where each
+    request's time went (queue wait vs evaluation), not just the total."""
+    return {key: value for key, value in sorted(stats.items())
+            if key.startswith("stage_")
+            and key.endswith(("_count", "_mean_s", "_p50_s", "_p99_s"))}
+
+
 # -- 1. closed loop ------------------------------------------------------
 
 def _run_async_gateway(router, requests, batch_size: int):
@@ -148,6 +156,7 @@ def bench_closed_loop(quick: bool) -> tuple[dict, bool]:
             "latency_p50_s": stats["latency_p50_s"],
             "latency_p99_s": stats["latency_p99_s"],
             "latency_p999_s": stats["latency_p999_s"],
+            "stage_percentiles": stage_percentiles(stats),
             "oracle_byte_identical": identical,
         })
 
@@ -344,6 +353,7 @@ def bench_streaming(quick: bool) -> tuple[dict, bool]:
         "warm_over_cold": round(cold_s / warm_s, 1),
         "streams": stats["streams"],
         "stream_chunks": stats["stream_chunks"],
+        "stage_percentiles": stage_percentiles(stats),
         "oracle_byte_identical": ok,
     }, ok
 

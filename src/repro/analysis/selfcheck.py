@@ -211,6 +211,16 @@ async def serve_forever(queue):
 
 def mirror_lookup(replica_pool, key):
     return replica_pool.get(key)
+
+
+import threading
+
+DISPATCH_LOCK = threading.Lock()
+DECISION_CACHE = {}
+
+
+def spawn_worker_processes(launch, count):
+    return [launch(index) for index in range(count)]
 '''
 
 
@@ -240,7 +250,7 @@ EXPECTED_RULE_IDS = frozenset({
     "LINT-MUTDEF", "LINT-BAREEXC", "LINT-SWALLOW", "LINT-HASH",
     "LINT-CHECKRET", "LINT-XPATHLOOP", "LINT-BATCHLOOP",
     "LINT-HOTCOPY", "LINT-STALECOMPILE", "LINT-BLOCKINGAWAIT",
-    "LINT-REPLICAREAD",
+    "LINT-REPLICAREAD", "LINT-FORKSTATE",
 })
 
 

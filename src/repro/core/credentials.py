@@ -101,12 +101,22 @@ class CredentialExpression:
     are built from the factory functions below.  ``evaluate(subject)``
     returns a bool; expressions never raise on missing attributes — a
     comparison against an absent attribute is simply false.
+
+    Expressions built from the factories below carry a *recipe* — the
+    factory name plus its arguments — which makes them picklable even
+    though the predicate itself is a closure: pickling ships the recipe
+    and unpickling re-runs the factory.  The multicore serving tier
+    relies on this to ship policy deltas across process boundaries.
+    Hand-rolled expressions (a raw predicate with no recipe) still work
+    everywhere in-process but refuse to pickle, with a typed error.
     """
 
     def __init__(self, predicate: Callable[["Subject"], bool],
-                 description: str) -> None:
+                 description: str,
+                 recipe: tuple | None = None) -> None:
         self._predicate = predicate
         self.description = description
+        self.recipe = recipe
 
     def evaluate(self, subject: "Subject") -> bool:
         return bool(self._predicate(subject))
@@ -115,52 +125,88 @@ class CredentialExpression:
         return self.evaluate(subject)
 
     def __and__(self, other: "CredentialExpression") -> "CredentialExpression":
+        recipe = None
+        if self.recipe is not None and other.recipe is not None:
+            recipe = ("and", self.recipe, other.recipe)
         return CredentialExpression(
             lambda s: self.evaluate(s) and other.evaluate(s),
-            f"({self.description} AND {other.description})")
+            f"({self.description} AND {other.description})", recipe)
 
     def __or__(self, other: "CredentialExpression") -> "CredentialExpression":
+        recipe = None
+        if self.recipe is not None and other.recipe is not None:
+            recipe = ("or", self.recipe, other.recipe)
         return CredentialExpression(
             lambda s: self.evaluate(s) or other.evaluate(s),
-            f"({self.description} OR {other.description})")
+            f"({self.description} OR {other.description})", recipe)
 
     def __invert__(self) -> "CredentialExpression":
+        recipe = None
+        if self.recipe is not None:
+            recipe = ("not", self.recipe)
         return CredentialExpression(
             lambda s: not self.evaluate(s),
-            f"(NOT {self.description})")
+            f"(NOT {self.description})", recipe)
+
+    def __reduce__(self):
+        if self.recipe is None:
+            import pickle
+            raise pickle.PicklingError(
+                f"CredentialExpression({self.description}) has no recipe: "
+                "only expressions built from the repro.core.credentials "
+                "factories (anyone, has_role, attribute_at_least, ...) and "
+                "their &/|/~ combinations can cross process boundaries")
+        return (_from_recipe, (self.recipe,))
 
     def __repr__(self) -> str:
         return f"CredentialExpression({self.description})"
 
 
+def _from_recipe(recipe: tuple) -> CredentialExpression:
+    """Rebuild a factory-made expression from its recipe (unpickle path)."""
+    head = recipe[0]
+    if head == "and":
+        return _from_recipe(recipe[1]) & _from_recipe(recipe[2])
+    if head == "or":
+        return _from_recipe(recipe[1]) | _from_recipe(recipe[2])
+    if head == "not":
+        return ~_from_recipe(recipe[1])
+    factory = _RECIPE_FACTORIES.get(head)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown credential-expression recipe {head!r}")
+    return factory(*recipe[1:])
+
+
 def anyone() -> CredentialExpression:
     """Matches every subject (the open-world 'public' qualifier)."""
-    return CredentialExpression(lambda s: True, "anyone")
+    return CredentialExpression(lambda s: True, "anyone", ("anyone",))
 
 
 def nobody() -> CredentialExpression:
     """Matches no subject; useful as an explicit lock."""
-    return CredentialExpression(lambda s: False, "nobody")
+    return CredentialExpression(lambda s: False, "nobody", ("nobody",))
 
 
 def is_identity(name: str) -> CredentialExpression:
     """Matches the single subject whose identity is *name*."""
     return CredentialExpression(
-        lambda s: s.identity.name == name, f"identity={name}")
+        lambda s: s.identity.name == name, f"identity={name}",
+        ("is_identity", name))
 
 
 def has_role(role_name: str) -> CredentialExpression:
     """Matches subjects holding a role named *role_name* (no hierarchy)."""
     return CredentialExpression(
         lambda s: any(r.name == role_name for r in s.roles),
-        f"role={role_name}")
+        f"role={role_name}", ("has_role", role_name))
 
 
 def has_credential(type_name: str) -> CredentialExpression:
     """Matches subjects holding any credential of the given type."""
     return CredentialExpression(
         lambda s: s.credential_of_type(type_name) is not None,
-        f"credential={type_name}")
+        f"credential={type_name}", ("has_credential", type_name))
 
 
 def issued_by(type_name: str, issuer: str) -> CredentialExpression:
@@ -168,7 +214,8 @@ def issued_by(type_name: str, issuer: str) -> CredentialExpression:
     return CredentialExpression(
         lambda s: any(c.type_name == type_name and c.issuer == issuer
                       for c in s.credentials),
-        f"credential={type_name} issuer={issuer}")
+        f"credential={type_name} issuer={issuer}",
+        ("issued_by", type_name, issuer))
 
 
 def attribute_equals(type_name: str, attribute: str,
@@ -176,7 +223,8 @@ def attribute_equals(type_name: str, attribute: str,
     """Matches subjects whose credential attribute equals *value*."""
     return CredentialExpression(
         lambda s: s.attribute(type_name, attribute) == value,
-        f"{type_name}.{attribute}=={value!r}")
+        f"{type_name}.{attribute}=={value!r}",
+        ("attribute_equals", type_name, attribute, value))
 
 
 def attribute_at_least(type_name: str, attribute: str,
@@ -188,7 +236,8 @@ def attribute_at_least(type_name: str, attribute: str,
         return isinstance(value, (int, float)) and value >= threshold
 
     return CredentialExpression(
-        check, f"{type_name}.{attribute}>={threshold}")
+        check, f"{type_name}.{attribute}>={threshold}",
+        ("attribute_at_least", type_name, attribute, threshold))
 
 
 def attribute_in(type_name: str, attribute: str,
@@ -197,4 +246,21 @@ def attribute_in(type_name: str, attribute: str,
     allowed = frozenset(values)
     return CredentialExpression(
         lambda s: s.attribute(type_name, attribute) in allowed,
-        f"{type_name}.{attribute} in {sorted(map(repr, allowed))}")
+        f"{type_name}.{attribute} in {sorted(map(repr, allowed))}",
+        ("attribute_in", type_name, attribute, tuple(sorted(
+            allowed, key=repr))))
+
+
+#: Recipe head → factory; combinators ("and"/"or"/"not") are handled
+#: structurally in :func:`_from_recipe`.
+_RECIPE_FACTORIES: dict[str, Callable[..., CredentialExpression]] = {
+    "anyone": anyone,
+    "nobody": nobody,
+    "is_identity": is_identity,
+    "has_role": has_role,
+    "has_credential": has_credential,
+    "issued_by": issued_by,
+    "attribute_equals": attribute_equals,
+    "attribute_at_least": attribute_at_least,
+    "attribute_in": attribute_in,
+}

@@ -147,6 +147,15 @@ class ReplicaDiverged(TransportError):
     of view — the gap is a transport condition, not corruption."""
 
 
+class WorkerDiverged(TransportError):
+    """A multicore shard worker refused a non-contiguous policy delta
+    (version ≠ watermark + 1) and took itself out of service: serving
+    from a policy set with a hole would be *stale authorization*, so
+    the worker fails every subsequent evaluation typed instead.  The
+    dispatcher's remedy is a reseed, mirroring how a
+    :class:`ReplicaDiverged` replica waits for anti-entropy repair."""
+
+
 class CircuitOpen(TransportError):
     """A circuit breaker is open; the call was not attempted."""
 
@@ -212,6 +221,13 @@ class TamperedPackageError(IntegrityError):
 class IncompletePackageError(CompletenessError):
     """A disseminated package is missing blocks the manifest promises
     for keys the subscriber holds."""
+
+
+class SeedMismatch(IntegrityError):
+    """A multicore worker's recompiled policy digest disagreed with the
+    dispatcher's seed image at handshake time.  The worker never enters
+    service: evaluating against an unverified table would silently
+    bypass the trust boundary, so seeding fails closed instead."""
 
 
 # ---------------------------------------------------------------------------

@@ -259,10 +259,13 @@ class AdmissionController:
         return (self._max_priority + 1) * (depth - floor) / span
 
     def admit(self, tenant: str, depth: int,
-              drain_rate: float = 0.0) -> None:
+              drain_rate: float = 0.0, amount: float = 1.0) -> None:
         """Admit one request for *tenant* given *depth* pending, or
         raise the typed refusal.  ``drain_rate`` (requests/s served
-        recently) scales the watermark Retry-After hint."""
+        recently) scales the watermark Retry-After hint; ``amount``
+        charges several bucket tokens in one decision (batch
+        admission — the multicore dispatcher admits a closed-loop
+        batch as a unit instead of paying the bucket per request)."""
         config = self.config(tenant)
         if depth >= self.queue_limit:
             raise AdmissionRejected(
@@ -281,7 +284,7 @@ class AdmissionController:
                 f"{config.priority} (< {required:.2f}) for tenant "
                 f"{tenant!r}", retry_after=min(retry_after, 5.0),
                 reason="watermark")
-        wait = self._buckets[tenant].try_take()
+        wait = self._buckets[tenant].try_take(amount)
         if wait is not None:
             raise Overloaded(
                 f"tenant {tenant!r} exceeded its admission rate "

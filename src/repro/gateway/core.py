@@ -239,8 +239,11 @@ class AsyncRequestGateway:
         dequeued_at = self.clock()
         with self.stats._lock:
             self.stats.batches += 1
+            queue_wait = self.stats.stage("queue_wait")
             for _, _, submitted_at in batch:
-                self.stats.queue_wait_s += dequeued_at - submitted_at
+                wait = dequeued_at - submitted_at
+                self.stats.queue_wait_s += wait
+                queue_wait.record(wait)
 
         groups: dict[int, list] = {}
         for request, future, submitted_at in batch:
@@ -266,6 +269,8 @@ class AsyncRequestGateway:
                     with self.stats._lock:
                         self.stats.evaluate_s += finished - started
                         self.stats.completed += len(group)
+                        self.stats.stage("evaluate").record(
+                            finished - started)
                         for _, _, submitted_at in group:
                             self.stats.latency.record(
                                 finished - submitted_at)
@@ -349,7 +354,8 @@ class AsyncRequestGateway:
             self.stats.admitted += 1
             self.stats.streams += 1
             self.stats.snapshot_reads += 1
-        return self._stream_chunks(snapshot, root, chunk_size)
+        return self._stream_chunks(snapshot, root, chunk_size,
+                                   self.clock())
 
     def stream_document(self, tenant: str, collection: str, doc_id: str,
                         chunk_size: int = DEFAULT_CHUNK_SIZE
@@ -359,8 +365,8 @@ class AsyncRequestGateway:
             tenant, lambda snapshot: snapshot.document(collection, doc_id),
             chunk_size=chunk_size)
 
-    async def _stream_chunks(self, snapshot, root,
-                             chunk_size: int) -> AsyncIterator[str]:
+    async def _stream_chunks(self, snapshot, root, chunk_size: int,
+                             admitted_at: float) -> AsyncIterator[str]:
         try:
             async for chunk in stream_element(root, self._pool,
                                               chunk_size=chunk_size):
@@ -373,6 +379,8 @@ class AsyncRequestGateway:
                 yield chunk
             with self.stats._lock:
                 self.stats.completed += 1
+                self.stats.stage("stream").record(
+                    self.clock() - admitted_at)
         except BaseException:
             with self.stats._lock:
                 self.stats.failed += 1

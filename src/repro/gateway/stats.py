@@ -1,18 +1,24 @@
 """Shared gateway telemetry: stage counters + latency percentiles.
 
-Both serving front ends — the threaded
-:class:`~repro.scale.gateway.RequestGateway` and the asyncio
-:class:`~repro.gateway.core.AsyncRequestGateway` — record into the same
-:class:`GatewayStats`, so BENCH_scale and BENCH_gateway report the same
-shape: per-stage counters plus a :class:`LatencyHistogram` giving
-p50/p99/p999 end-to-end request latency, not just throughput.
+All serving front ends — the threaded
+:class:`~repro.scale.gateway.RequestGateway`, the asyncio
+:class:`~repro.gateway.core.AsyncRequestGateway`, and the multi-process
+:class:`~repro.multicore.dispatcher.MulticoreGateway` — record into the
+same :class:`GatewayStats`, so BENCH_scale, BENCH_gateway and
+BENCH_multicore report the same shape: per-stage counters plus
+:class:`LatencyHistogram` percentiles (p50/p99/p999), not just
+throughput.
 
-The histogram is log-bucketed (powers of ~2 from 1µs up): recording is
-O(1) with no allocation, percentiles are read by walking the cumulative
-counts and reporting the bucket's upper bound — a deliberate
-overestimate, so a reported p99 is a bound the real p99 respects.  That
-makes it safe to share between worker threads under the stats lock and
-cheap enough to charge on *every* request.
+The histogram is two-tier log-linear: each power-of-two octave from the
+1µs floor is split into 16 linear sub-buckets, so relative error is
+bounded at ~6% everywhere instead of the 2x a pure log2 scheme gives.
+Sub-millisecond latencies — where the async gateway actually lives —
+resolve into distinct buckets rather than collapsing into one.
+Recording is O(log buckets) with no allocation; percentile reads walk
+the cumulative counts and report the bucket's upper bound — a
+deliberate overestimate, so a reported p99 is a bound the real p99
+respects.  That makes it safe to share between worker threads under the
+stats lock and cheap enough to charge on *every* request.
 """
 
 from __future__ import annotations
@@ -23,21 +29,32 @@ from dataclasses import dataclass, field
 
 #: Smallest resolvable latency (seconds): one microsecond.
 _FLOOR_S = 1e-6
-#: Each bucket doubles the previous one's upper bound; 36 doublings
-#: from 1µs tops out above an hour, which no sane request survives.
-_BUCKETS = 36
-#: Upper bounds per bucket (power-of-two scaling is exact in floats,
-#: so these equal the doubling loop's values bit for bit).
-_BOUNDS = tuple(_FLOOR_S * 2.0 ** i for i in range(_BUCKETS))
+#: Linear sub-buckets per power-of-two octave.  16 keeps the worst-case
+#: relative overestimate at 1/16 ≈ 6.25% of the value.
+_SUBDIV = 16
+#: Octaves of doubling above the floor; 35 doublings from 1µs tops out
+#: above an hour, which no sane request survives.
+_OCTAVES = 35
+#: One floor bucket plus 16 sub-buckets per octave.
+_BUCKETS = 1 + _OCTAVES * _SUBDIV
+#: Upper bounds per bucket.  Bucket 0 is the floor itself; octave *o*
+#: sub-bucket *s* tops out at ``floor * 2**o * (1 + (s+1)/16)``.  The
+#: final bound is exactly ``floor * 2**35`` (the s=15 term doubles the
+#: octave base, and power-of-two scaling is exact in floats).
+_BOUNDS = tuple([_FLOOR_S] + [
+    _FLOOR_S * 2.0 ** octave * (1.0 + (sub + 1) / _SUBDIV)
+    for octave in range(_OCTAVES) for sub in range(_SUBDIV)])
 
 
 class LatencyHistogram:
-    """Fixed-size log2 histogram of latencies in seconds.
+    """Fixed-size log-linear histogram of latencies in seconds.
 
-    Bucket *i* covers ``(2**(i-1)µs, 2**i µs]``; values below the floor
-    land in bucket 0, values beyond the last bucket saturate into it.
-    Percentile reads return the covering bucket's upper bound, so the
-    estimate errs high (a conservative SLO check), never low.
+    Two tiers: the octave (power of two above the 1µs floor) picks the
+    coarse range, 16 linear sub-buckets inside each octave give ~6%
+    resolution.  Values below the floor land in bucket 0, values beyond
+    the last bucket saturate into it.  Percentile reads return the
+    covering bucket's upper bound, so the estimate errs high (a
+    conservative SLO check), never low.
     """
 
     __slots__ = ("_counts", "_count", "_sum")
@@ -69,13 +86,11 @@ class LatencyHistogram:
             return 0.0
         target = q * self._count
         seen = 0
-        bound = _FLOOR_S
         for index in range(_BUCKETS):
             seen += self._counts[index]
             if seen >= target:
-                return bound
-            bound *= 2.0
-        return bound
+                return _BOUNDS[index]
+        return _BOUNDS[-1]
 
     def merge(self, other: "LatencyHistogram") -> None:
         for index in range(_BUCKETS):
@@ -96,7 +111,7 @@ class LatencyHistogram:
 @dataclass
 class GatewayStats:
     """Per-stage counters + latency percentiles; ``snapshot()`` is what
-    the benches record.  Shared by the threaded and asyncio gateways."""
+    the benches record.  Shared by every serving front end."""
 
     admitted: int = 0
     rejected: int = 0
@@ -115,12 +130,27 @@ class GatewayStats:
     replica_writes: int = 0
     latency: LatencyHistogram = field(default_factory=LatencyHistogram,
                                       repr=False)
+    stages: dict[str, LatencyHistogram] = field(default_factory=dict,
+                                                repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
 
     def record_latency(self, seconds: float) -> None:
         with self._lock:
             self.latency.record(seconds)
+
+    def stage(self, name: str) -> LatencyHistogram:
+        """Histogram for a named pipeline stage, created on first use.
+        Not locked — callers already inside ``with stats._lock`` blocks
+        use this directly; external callers use :meth:`record_stage`."""
+        histogram = self.stages.get(name)
+        if histogram is None:
+            histogram = self.stages[name] = LatencyHistogram()
+        return histogram
+
+    def record_stage(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self.stage(name).record(seconds)
 
     def snapshot(self) -> dict[str, int | float]:
         with self._lock:
@@ -143,4 +173,9 @@ class GatewayStats:
             }
             out.update({f"latency_{k}": v
                         for k, v in self.latency.snapshot().items()})
+            # Stage keys appear only once a stage has recorded, so a
+            # fresh snapshot's key set stays pinned.
+            for name in sorted(self.stages):
+                out.update({f"stage_{name}_{k}": v
+                            for k, v in self.stages[name].snapshot().items()})
             return out

@@ -1,0 +1,52 @@
+"""Multi-core serving: per-core event-loop shard workers, zero-copy IPC.
+
+The GIL bounds one process; the hardware does not.  This package puts
+the serving tier on every core: a dispatcher process owns admission and
+the authoritative compiled policy router, N forked workers each run
+their own asyncio loop over their shard subset, and everything crossing
+a process boundary is a pickle-5 frame with out-of-band payload
+buffers.  Workers prove they share the dispatcher's policy state by
+compiled-table digest at seed time and stay current through contiguous
+versioned deltas — or fail typed, never stale.
+"""
+
+from repro.multicore.dispatcher import (
+    MulticoreGateway,
+    RemoteDecision,
+    decision_from_wire,
+)
+from repro.multicore.frames import (
+    decode_frame,
+    encode_frame,
+    read_frame,
+    read_frame_async,
+    roundtrip,
+    write_frame,
+    write_frame_async,
+)
+from repro.multicore.image import (
+    PolicyDelta,
+    PolicyImage,
+    router_digests,
+    shard_digest,
+)
+from repro.multicore.worker import ShardWorker, wire_decision
+
+__all__ = [
+    "MulticoreGateway",
+    "PolicyDelta",
+    "PolicyImage",
+    "RemoteDecision",
+    "ShardWorker",
+    "decision_from_wire",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "read_frame_async",
+    "roundtrip",
+    "router_digests",
+    "shard_digest",
+    "wire_decision",
+    "write_frame",
+    "write_frame_async",
+]

@@ -1,0 +1,230 @@
+"""The shard worker: one process, one asyncio loop, one shard set.
+
+A :class:`ShardWorker` owns the shards ``{s : s % workers == id}`` of a
+fork-inherited :class:`~repro.gateway.engine.EpochalShardRouter` and
+answers dispatcher frames:
+
+* ``seed`` — verify the inherited compiled tables against the
+  dispatcher's :class:`~repro.multicore.image.PolicyImage` digest by
+  digest; any disagreement refuses service (the worker never enters
+  the serving state, mirroring :class:`~repro.core.errors.SeedMismatch`
+  on the dispatcher side);
+* ``delta`` — apply one :class:`~repro.multicore.image.PolicyDelta` if
+  and only if it is contiguous (``version == watermark + 1``); a gap
+  marks the worker *diverged* and every later evaluation fails typed
+  instead of serving stale policy;
+* ``eval`` — decide a batch against the owned shards' compiled epoch
+  snapshots, replying with compact wire decisions (ids, not objects)
+  plus the measured evaluate time so the dispatcher can split IPC from
+  evaluation in its stage histograms;
+* ``stream`` — serialize a stored document into canonical chunks.
+  Encoded chunk bytes are cached per (collection, doc, chunk size) and
+  ride out of band as :class:`pickle.PickleBuffer` parts, so a hot
+  document's bytes are pickled by reference, never re-copied per
+  request.
+
+Subjects are interned per connection: the first eval batch mentioning a
+subject carries it inline; later batches reference its integer key.
+All worker state lives on the instance — module-level mutable state in
+post-fork code is exactly what ``LINT-FORKSTATE`` exists to flag.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import time
+
+from repro.gateway.streaming import DEFAULT_CHUNK_SIZE, stream_element
+from repro.multicore.frames import read_frame_async, write_frame_async
+from repro.multicore.image import PolicyDelta, PolicyImage, router_digests
+
+#: Wire decision: (granted, determining_id, applicable_ids, reason).
+WireDecision = tuple
+
+
+def wire_decision(decision) -> WireDecision:
+    return (decision.granted,
+            decision.determining.policy_id
+            if decision.determining is not None else None,
+            tuple(p.policy_id for p in decision.applicable),
+            decision.reason)
+
+
+class ShardWorker:
+    """Frame handler for one worker's shard set.
+
+    Constructed in the dispatcher process and carried into the child by
+    ``fork`` — the router (with its compiled epoch snapshots) and the
+    optional snapshot store are inherited, never pickled.  The same
+    object also runs in-process for ``workers=0`` deterministic mode.
+    """
+
+    def __init__(self, worker_id: int, router, owned_shards,
+                 store=None) -> None:
+        self.worker_id = worker_id
+        self.router = router
+        self.owned_shards = tuple(sorted(owned_shards))
+        self.store = store
+        self.watermark = 0
+        self.seeded = False
+        self.diverged = False
+        self._subjects: dict[int, object] = {}
+        self._chunk_cache: dict[tuple, tuple[bytes, ...]] = {}
+
+    # -- message dispatch ---------------------------------------------------
+
+    async def handle(self, message: tuple) -> tuple:
+        tag = message[0]
+        if tag == "eval":
+            return self._handle_eval(message)
+        if tag == "stream":
+            return await self._handle_stream(message)
+        if tag == "seed":
+            return self._handle_seed(message)
+        if tag == "delta":
+            return self._handle_delta(message)
+        if tag == "stop":
+            return ("stopped", self.worker_id)
+        return ("error", self.worker_id, f"unknown frame tag {tag!r}")
+
+    # -- seeding + deltas ---------------------------------------------------
+
+    def _digests(self) -> dict[int, str]:
+        return router_digests(self.router, self.owned_shards)
+
+    def _handle_seed(self, message: tuple) -> tuple:
+        image: PolicyImage = message[1]
+        actual = self._digests()
+        mismatches = image.mismatches(actual)
+        if mismatches:
+            return ("seed-err", self.worker_id, mismatches)
+        self.seeded = True
+        self.watermark = image.version
+        return ("seed-ok", self.worker_id, actual)
+
+    def _handle_delta(self, message: tuple) -> tuple:
+        delta: PolicyDelta = message[1]
+        if self.diverged or delta.version != self.watermark + 1:
+            # A hole in the history; refuse this and everything after.
+            self.diverged = True
+            return ("delta-gap", self.worker_id, delta.version,
+                    self.watermark)
+        self._apply_delta(delta)
+        self.watermark = delta.version
+        return ("delta-ok", self.worker_id, delta.version, self._digests())
+
+    def _apply_delta(self, delta: PolicyDelta) -> None:
+        owned = set(self.owned_shards)
+        # Removes first, adds second — the dispatcher applies its local
+        # copy in the same order, so the per-shard digests re-converge.
+        if delta.removes:
+            wanted = set(delta.removes)
+            for shard in self.owned_shards:
+                engine = self.router.engine(shard)
+                doomed = [p for p in engine.base
+                          if p.policy_id in wanted]
+                for policy in doomed:
+                    engine.remove_policy(policy)
+        adds_by_shard: dict[int, list] = {}
+        for policy in delta.adds:
+            for shard in self.router.shards_for_policy(policy):
+                if shard in owned:
+                    adds_by_shard.setdefault(shard, []).append(policy)
+        for shard, batch in adds_by_shard.items():
+            # Bulk add: one publish (and one recompile) per shard.
+            self.router.engine(shard).add_policies(batch)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _handle_eval(self, message: tuple) -> tuple:
+        _, batch_id, entries, new_subjects = message
+        if not self.seeded:
+            return ("eval-err", self.worker_id, batch_id, "unseeded")
+        if self.diverged:
+            return ("eval-err", self.worker_id, batch_id, "diverged")
+        self._subjects.update(new_subjects)
+        started = time.perf_counter()
+        by_shard: dict[int, list[int]] = {}
+        for index, entry in enumerate(entries):
+            by_shard.setdefault(entry[0], []).append(index)
+        results: list[WireDecision | None] = [None] * len(entries)
+        subjects = self._subjects
+        for shard in sorted(by_shard):
+            indices = by_shard[shard]
+            triples = [(subjects[entries[i][1]], entries[i][2],
+                        entries[i][3], entries[i][4]) for i in indices]
+            decisions = self.router.engine(shard).decide_batch(triples)
+            for index, decision in zip(indices, decisions):
+                results[index] = wire_decision(decision)
+        eval_s = time.perf_counter() - started
+        return ("eval-ok", self.worker_id, batch_id, tuple(results),
+                eval_s)
+
+    # -- streaming ----------------------------------------------------------
+
+    async def _handle_stream(self, message: tuple) -> tuple:
+        _, stream_id, collection, doc_id, chunk_size = message
+        if not self.seeded:
+            return ("stream-err", self.worker_id, stream_id, "unseeded")
+        if self.store is None:
+            return ("stream-err", self.worker_id, stream_id, "no store")
+        key = (collection, doc_id, chunk_size)
+        chunks = self._chunk_cache.get(key)
+        if chunks is None:
+            try:
+                chunks = await self._encode_chunks(collection, doc_id,
+                                                   chunk_size)
+            except Exception as exc:
+                return ("stream-err", self.worker_id, stream_id,
+                        f"{type(exc).__name__}: {exc}")
+            self._chunk_cache[key] = chunks
+        # PickleBuffer wrappers put the cached bytes out of band: the
+        # frame references them, the socket gathers them, and no copy
+        # of the payload is ever made inside this process.
+        return ("stream-ok", self.worker_id, stream_id,
+                tuple(pickle.PickleBuffer(chunk) for chunk in chunks))
+
+    async def _encode_chunks(self, collection: str, doc_id: str,
+                             chunk_size: int) -> tuple[bytes, ...]:
+        pool = getattr(self.store, "pool", None)
+        with self.store.epochs.reading() as snapshot:
+            node = snapshot.document(collection, doc_id)
+            root = getattr(node, "root", node)
+            return tuple([chunk.encode()
+                          async for chunk in stream_element(
+                              root, pool, chunk_size=chunk_size)])
+
+
+async def serve(sock, worker: ShardWorker) -> None:
+    """The worker's event loop: read a frame, handle it, reply."""
+    reader, writer = await asyncio.open_connection(sock=sock)
+    try:
+        while True:
+            try:
+                message = await read_frame_async(reader)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # dispatcher went away; nothing to serve
+            reply = await worker.handle(message)
+            await write_frame_async(writer, reply)
+            if message[0] == "stop":
+                return
+    finally:
+        writer.close()
+
+
+def worker_process_main(sock, worker: ShardWorker) -> None:
+    """Child-process entry point (``fork`` start method).
+
+    The fork happens while the dispatcher's event loop is running, so
+    this thread inherits a thread-state that claims a loop is already
+    active; clear it before standing up this process's own fresh loop.
+    """
+    asyncio.events._set_running_loop(None)
+    asyncio.set_event_loop(None)
+    try:
+        asyncio.run(serve(sock, worker))
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    finally:
+        sock.close()

@@ -189,8 +189,11 @@ class RequestGateway:
         dequeued_at = time.perf_counter()
         with self.stats._lock:
             self.stats.batches += 1
+            queue_wait = self.stats.stage("queue_wait")
             for _, _, submitted_at in batch:
-                self.stats.queue_wait_s += dequeued_at - submitted_at
+                wait = dequeued_at - submitted_at
+                self.stats.queue_wait_s += wait
+                queue_wait.record(wait)
 
         groups: dict[int, list[tuple[Request, Future, float]]] = {}
         for request, future, submitted_at in batch:
@@ -220,6 +223,7 @@ class RequestGateway:
             with self.stats._lock:
                 self.stats.evaluate_s += finished - started
                 self.stats.completed += len(group)
+                self.stats.stage("evaluate").record(finished - started)
                 for _, _, submitted_at in group:
                     self.stats.latency.record(finished - submitted_at)
             for (_, future, _), decision in zip(group, decisions):

@@ -1,0 +1,105 @@
+"""LINT-FORKSTATE: module-level mutable state in forking modules."""
+
+from repro.analysis.codelint import lint_source
+
+
+def rule_ids(source, path="t.py"):
+    return [f.rule_id for f in lint_source(source, path)]
+
+
+FORKING_PREAMBLE = (
+    "import multiprocessing\n"
+    "import threading\n"
+    "CTX = multiprocessing.get_context('fork')\n")
+
+
+class TestForkStateRule:
+    def test_flags_module_level_lock_in_forking_module(self):
+        src = FORKING_PREAMBLE + "SEND_LOCK = threading.Lock()\n"
+        assert "LINT-FORKSTATE" in rule_ids(src)
+
+    def test_flags_module_level_queue(self):
+        src = FORKING_PREAMBLE + "REPLIES = CTX.Queue()\n"
+        assert "LINT-FORKSTATE" in rule_ids(src)
+
+    def test_flags_mutable_cache_by_target_name(self):
+        src = FORKING_PREAMBLE + "DECISION_CACHE = {}\n"
+        assert "LINT-FORKSTATE" in rule_ids(src)
+
+    def test_spawn_string_marks_the_module(self):
+        src = (
+            "import multiprocessing\n"
+            "import threading\n"
+            "CTX = multiprocessing.get_context('spawn')\n"
+            "SEND_LOCK = threading.Lock()\n")
+        assert "LINT-FORKSTATE" in rule_ids(src)
+
+    def test_annotated_assignment_counts(self):
+        src = FORKING_PREAMBLE + (
+            "import queue\n"
+            "BACKLOG: queue.Queue = queue.Queue()\n")
+        assert "LINT-FORKSTATE" in rule_ids(src)
+
+    def test_non_forking_module_is_exempt(self):
+        src = (
+            "import threading\n"
+            "SEND_LOCK = threading.Lock()\n")
+        assert "LINT-FORKSTATE" not in rule_ids(src)
+
+    def test_plain_mutable_binding_without_cache_name_is_exempt(self):
+        # An ordinary module-level dict (a registry populated at import
+        # time, say) is not flagged — only locks/channels by
+        # constructor and caches by name.
+        src = FORKING_PREAMBLE + "HANDLERS = {}\n"
+        assert "LINT-FORKSTATE" not in rule_ids(src)
+
+    def test_immutable_module_constants_are_exempt(self):
+        src = FORKING_PREAMBLE + (
+            "import struct\n"
+            "HEADER = struct.Struct('!I')\n"
+            "LIMIT = 4096\n")
+        assert "LINT-FORKSTATE" not in rule_ids(src)
+
+    def test_reinitialized_binding_is_exempt(self):
+        # The post-fork re-init discipline: a function re-assigns the
+        # module global, so each child can rebuild its own copy.
+        src = FORKING_PREAMBLE + (
+            "SEND_LOCK = threading.Lock()\n"
+            "def reset_after_fork():\n"
+            "    global SEND_LOCK\n"
+            "    SEND_LOCK = threading.Lock()\n")
+        assert "LINT-FORKSTATE" not in rule_ids(src)
+
+    def test_function_local_state_is_exempt(self):
+        src = FORKING_PREAMBLE + (
+            "def make_channel():\n"
+            "    lock = threading.Lock()\n"
+            "    return lock\n")
+        assert "LINT-FORKSTATE" not in rule_ids(src)
+
+    def test_pragma_waives_exactly_this_rule(self):
+        src = FORKING_PREAMBLE + (
+            "SEND_LOCK = threading.Lock()"
+            "  # lint: allow=LINT-FORKSTATE\n")
+        assert "LINT-FORKSTATE" not in rule_ids(src)
+
+    def test_severity_is_warning(self):
+        src = FORKING_PREAMBLE + "SEND_LOCK = threading.Lock()\n"
+        findings = [f for f in lint_source(src, "t.py")
+                    if f.rule_id == "LINT-FORKSTATE"]
+        assert len(findings) == 1
+        assert findings[0].severity.name == "WARNING"
+
+    def test_src_tree_is_clean(self):
+        import pathlib
+
+        from repro.analysis.codelint import lint_paths
+        src_root = pathlib.Path(__file__).resolve().parents[2] / "src"
+        report = lint_paths([src_root])
+        assert report.by_rule("LINT-FORKSTATE") == []
+
+    def test_selfcheck_fixture_fires_it(self):
+        from repro.analysis.selfcheck import run_self_check
+        result = run_self_check()
+        assert "LINT-FORKSTATE" in result.fired
+        assert result.ok

@@ -1,0 +1,202 @@
+"""Chaos battery for the multicore dispatcher.
+
+The same fail-closed contract every serving tier in this repo honors,
+now across process-shaped failure: under a bounded fault plan at the
+``mcore:worker<i>`` sites — and under the kill-a-worker overlay — every
+response is either byte-identical to the fault-free oracle's response
+for the same request, or a *typed* :class:`TransportError`.  Never a
+silently wrong grant, never stale policy.
+
+Runs in ``workers=0`` deterministic mode: the worker code and the frame
+codec are fully exercised on the caller's task, so identical
+(seed, plan) pairs produce identical outcome traces — the property the
+``test_same_seed_same_outcomes`` cases pin directly.
+"""
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.core.errors import ReplicaUnavailable, TransportError
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.gateway import TenantConfig
+from repro.multicore import MulticoreGateway
+from repro.scale.gateway import Request
+
+from tests.scale.workloads import random_policies, random_requests
+
+WORKERS = 4
+SHARDS = 8
+SITES = tuple(f"mcore:worker{i}" for i in range(WORKERS))
+SEEDS = range(60)
+TENANTS = ("alpha", "beta", "gamma")
+WIDE_OPEN = TenantConfig(rate=1e9, burst=1e9)
+
+
+def workload(seed: int):
+    policies = random_policies(random.Random(seed), 25)
+    requests = random_requests(random.Random(seed + 9000), 40)
+    return policies, requests
+
+
+def decision_bytes(decision) -> bytes:
+    return json.dumps({
+        "granted": decision.granted,
+        "determining": decision.determining.policy_id
+        if decision.determining is not None else None,
+        "applicable": [p.policy_id for p in decision.applicable],
+        "reason": decision.reason,
+    }, sort_keys=True).encode()
+
+
+def run(policies, requests, faults=None, kill_after=None,
+        kill_worker=None):
+    """One deterministic multicore run → per-request outcome list.
+
+    ``kill_after``/``kill_worker`` drive the kill-a-worker overlay:
+    the first *kill_after* requests are submitted and fully drained,
+    the worker dies, and the rest of the workload runs degraded.
+    """
+
+    async def scenario():
+        gateway = MulticoreGateway(
+            policies, workers=0, logical_workers=WORKERS,
+            shard_count=SHARDS, batch_size=8, faults=faults,
+            auto_dispatch=False, default_tenant=WIDE_OPEN)
+        await gateway.start()
+        futures = []
+
+        def submit(batch):
+            for index, request in enumerate(batch, start=len(futures)):
+                futures.append(gateway.submit_nowait(
+                    TENANTS[index % len(TENANTS)], Request(*request)))
+
+        if kill_after is None:
+            submit(requests)
+            await gateway.process_pending()
+        else:
+            submit(requests[:kill_after])
+            await gateway.process_pending()
+            gateway.kill_worker(kill_worker)
+            submit(requests[kill_after:])
+            await gateway.process_pending()
+        outcomes = []
+        for future in futures:
+            error = future.exception()
+            if error is None:
+                outcomes.append(("ok", decision_bytes(future.result())))
+            else:
+                outcomes.append(("err", type(error).__name__))
+        await gateway.close()
+        return outcomes
+
+    return asyncio.run(scenario())
+
+
+def assert_fail_closed(chaotic, oracle):
+    for (kind, value), (_, expected) in zip(chaotic, oracle):
+        if kind == "ok":
+            assert value == expected
+        else:
+            error_type = getattr(
+                __import__("repro.core.errors", fromlist=[value]),
+                value)
+            assert issubclass(error_type, TransportError)
+
+
+class TestKillAWorker:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_byte_identical_or_typed_error(self, seed):
+        """The ≥60-seed battery: kill one seeded-choice worker partway
+        through; every response is oracle-identical or typed."""
+        policies, requests = workload(seed)
+        oracle = run(policies, requests)
+        assert all(kind == "ok" for kind, _ in oracle)
+        rng = random.Random(seed + 500)
+        chaotic = run(policies, requests,
+                      kill_after=rng.randrange(5, 30),
+                      kill_worker=rng.randrange(WORKERS))
+        assert_fail_closed(chaotic, oracle)
+
+    @pytest.mark.parametrize("seed", [2, 17, 33, 58])
+    def test_victims_requests_fail_replica_unavailable(self, seed):
+        policies, requests = workload(seed)
+        kill_after, victim = 10, seed % WORKERS
+        chaotic = run(policies, requests, kill_after=kill_after,
+                      kill_worker=victim)
+        gateway = MulticoreGateway(
+            policies, workers=0, logical_workers=WORKERS,
+            shard_count=SHARDS, default_tenant=WIDE_OPEN)
+        owners = [gateway.worker_for_shard(
+            gateway.router.shard_for_path(r[2])) for r in requests]
+        for index in range(kill_after, len(requests)):
+            kind, value = chaotic[index]
+            if owners[index] == victim:
+                assert (kind, value) == ("err", "ReplicaUnavailable")
+            else:
+                assert kind == "ok"
+
+    @pytest.mark.parametrize("seed", [0, 13, 29, 47])
+    def test_same_seed_same_outcomes(self, seed):
+        policies, requests = workload(seed)
+        kwargs = dict(kill_after=12, kill_worker=seed % WORKERS)
+        assert (run(policies, requests, **kwargs)
+                == run(policies, requests, **kwargs))
+
+
+class TestFaultPlans:
+    @pytest.mark.parametrize("seed", range(0, 60, 3))
+    def test_byte_identical_or_typed_error_under_random_plan(self, seed):
+        policies, requests = workload(seed)
+        oracle = run(policies, requests)
+        plan = FaultPlan.random(seed, sites=SITES, rate=0.3, horizon=50)
+        chaotic = run(policies, requests, faults=FaultInjector(plan))
+        assert_fail_closed(chaotic, oracle)
+
+    @pytest.mark.parametrize("seed", [5, 21, 44])
+    def test_same_plan_same_outcomes(self, seed):
+        policies, requests = workload(seed)
+
+        def chaotic_run():
+            plan = FaultPlan.random(seed, sites=SITES, rate=0.4,
+                                    horizon=50)
+            return run(policies, requests, faults=FaultInjector(plan))
+
+        assert chaotic_run() == chaotic_run()
+
+    def test_crash_retires_the_worker_permanently(self):
+        policies, requests = workload(9)
+        plan = FaultPlan()
+        plan.add("mcore:worker0", 0, FaultKind.CRASH)
+        chaotic = run(policies, requests, faults=FaultInjector(plan))
+        gateway = MulticoreGateway(
+            policies, workers=0, logical_workers=WORKERS,
+            shard_count=SHARDS, default_tenant=WIDE_OPEN)
+        owners = [gateway.worker_for_shard(
+            gateway.router.shard_for_path(r[2])) for r in requests]
+        victims = [i for i, owner in enumerate(owners) if owner == 0]
+        assert victims, "some requests must land on worker 0"
+        for index in victims:
+            assert chaotic[index] == ("err", "ReplicaUnavailable")
+
+    def test_drop_is_typed_not_silent(self):
+        policies, requests = workload(12)
+        plan = FaultPlan()
+        plan.add("mcore:worker1", 0, FaultKind.DROP)
+        chaotic = run(policies, requests, faults=FaultInjector(plan))
+        dropped = {value for kind, value in chaotic if kind == "err"}
+        assert dropped == {"MessageDropped"}
+
+    def test_faults_never_flip_a_decision(self):
+        seed = 19
+        policies, requests = workload(seed)
+        oracle = run(policies, requests)
+        plan = FaultPlan.random(seed, sites=SITES, rate=0.6, horizon=50)
+        chaotic = run(policies, requests, faults=FaultInjector(plan))
+        survivors = [i for i, (kind, _) in enumerate(chaotic)
+                     if kind == "ok"]
+        assert survivors, "rate 0.6 should still let some through"
+        for index in survivors:
+            assert chaotic[index] == oracle[index]

@@ -1,0 +1,174 @@
+"""The zero-copy frame codec: pickle-5 + out-of-band buffers."""
+
+import asyncio
+import pickle
+import socket
+import struct
+
+import pytest
+
+from repro.core.errors import CorruptMessage
+from repro.multicore.frames import (
+    MAX_FRAME_PARTS,
+    decode_frame,
+    encode_frame,
+    frame_header,
+    read_frame,
+    read_frame_async,
+    roundtrip,
+    write_frame,
+    write_frame_async,
+)
+
+
+class TestCodec:
+    def test_roundtrip_control_message(self):
+        message = ("eval", 7, ((0, 1, "READ", "a/b", None),), {})
+        assert roundtrip(message) == message
+
+    def test_control_messages_are_single_part(self):
+        parts = encode_frame(("seed", {"v": 1}))
+        assert len(parts) == 1
+
+    def test_picklebuffer_payload_rides_out_of_band(self):
+        chunk = b"<rec>payload bytes</rec>" * 64
+        parts = encode_frame(("stream-ok", 0, 1,
+                              (pickle.PickleBuffer(chunk),)))
+        assert len(parts) == 2
+        # The out-of-band part is a view over the *original* bytes —
+        # zero copies made by the encoder.
+        assert parts[1].obj is chunk
+
+    def test_out_of_band_payload_decodes_byte_identical(self):
+        chunks = tuple(f"chunk {i}".encode() * 10 for i in range(5))
+        message = ("stream-ok", 0, 1,
+                   tuple(pickle.PickleBuffer(c) for c in chunks))
+        decoded = decode_frame(encode_frame(message))
+        assert tuple(bytes(c) for c in decoded[3]) == chunks
+
+    def test_garbage_pickle_is_typed_corrupt(self):
+        with pytest.raises(CorruptMessage):
+            decode_frame([b"this is not a pickle"])
+
+    def test_missing_oob_buffer_is_typed_corrupt(self):
+        parts = encode_frame(("x", pickle.PickleBuffer(b"payload")))
+        with pytest.raises(CorruptMessage):
+            decode_frame(parts[:1])  # stream references a lost part
+
+    def test_header_layout(self):
+        parts = [b"abc", b"defgh"]
+        header = frame_header(parts)
+        count = struct.unpack_from("!I", header)[0]
+        sizes = struct.unpack_from("!QQ", header, 4)
+        assert count == 2 and sizes == (3, 5)
+
+    def test_too_many_parts_refused(self):
+        parts = [b"x"] * (MAX_FRAME_PARTS + 1)
+        with pytest.raises(CorruptMessage):
+            frame_header(parts)
+
+
+class TestSyncTransport:
+    def test_write_read_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            message = ("delta-ok", 3, 2, {0: "ab", 4: "cd"})
+            write_frame(left, message)
+            assert read_frame(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_oob_chunks_survive_the_socket(self):
+        left, right = socket.socketpair()
+        try:
+            chunks = tuple(bytes([i]) * 4096 for i in range(8))
+            write_frame(left, ("stream-ok", 0, 1, tuple(
+                pickle.PickleBuffer(c) for c in chunks)))
+            reply = read_frame(right)
+            assert tuple(bytes(c) for c in reply[3]) == chunks
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_close_between_frames_is_eof(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(EOFError):
+                read_frame(right)
+        finally:
+            right.close()
+
+    def test_corrupt_part_count_is_typed(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("!I", 0))
+            with pytest.raises(CorruptMessage):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_frame_is_refused_not_allocated(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("!I", 1)
+                         + struct.pack("!Q", 1 << 60))
+            with pytest.raises(CorruptMessage):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestAsyncTransport:
+    def run_async(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_async_write_read(self):
+        async def scenario():
+            left, right = socket.socketpair()
+            _, writer = await asyncio.open_connection(sock=left)
+            reader, peer_writer = await asyncio.open_connection(
+                sock=right)
+            try:
+                message = ("eval-ok", 1, 9, ((True, 3, (3,), "ok"),),
+                           0.001)
+                await write_frame_async(writer, message)
+                assert await read_frame_async(reader) == message
+            finally:
+                writer.close()
+                peer_writer.close()
+
+        self.run_async(scenario())
+
+    def test_async_reader_sees_peer_close(self):
+        async def scenario():
+            left, right = socket.socketpair()
+            _, writer = await asyncio.open_connection(sock=left)
+            reader, peer_writer = await asyncio.open_connection(
+                sock=right)
+            writer.close()
+            try:
+                with pytest.raises(asyncio.IncompleteReadError):
+                    await read_frame_async(reader)
+            finally:
+                peer_writer.close()
+
+        self.run_async(scenario())
+
+    def test_sync_write_async_read_interoperate(self):
+        async def scenario():
+            left, right = socket.socketpair()
+            write_frame(left, ("seed-ok", 0, {0: "d" * 64}))
+            reader, peer_writer = await asyncio.open_connection(
+                sock=right)
+            try:
+                reply = await read_frame_async(reader)
+                assert reply == ("seed-ok", 0, {0: "d" * 64})
+            finally:
+                left.close()
+                peer_writer.close()
+
+        self.run_async(scenario())
