@@ -26,7 +26,6 @@ closed on either oracle or gate.  Writes ``BENCH_compile.json`` to
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import platform
 import random
@@ -40,6 +39,10 @@ TESTS = pathlib.Path(__file__).resolve().parent.parent
 if str(TESTS) not in sys.path:
     sys.path.insert(0, str(TESTS))
 
+from repro.bench.output import (  # noqa: E402
+    default_output,
+    write_bench_json,
+)
 from repro.compile import (  # noqa: E402
     CompiledPolicyEngine,
     compile_policy_base,
@@ -57,10 +60,7 @@ from repro.xmlsec.authorx import XmlPolicyBase  # noqa: E402
 
 from tests.scale.workloads import HEADS, random_policies  # noqa: E402
 
-RESULTS_OUTPUT = (pathlib.Path(__file__).parent / "results"
-                  / "BENCH_compile.json")
-ROOT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
-               / "BENCH_compile.json")
+RESULTS_OUTPUT = default_output("compile")
 
 THROUGHPUT_GATES = {"quick": 3.0, "full": 10.0}
 VERIFY_SEED_COUNTS = {"quick": 25, "full": 120}
@@ -297,13 +297,9 @@ def main(argv: list[str] | None = None) -> int:
                     if k in ("speedup", "speedup_gate", "unexplained")}
         print(f"{name}: {'ok' if ok else 'ORACLE/GATE FAILED'} {headline}")
 
-    payload = json.dumps(report, indent=2) + "\n"
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(payload, encoding="utf-8")
-    print(f"wrote {args.output}")
-    if args.output.resolve() != ROOT_OUTPUT:
-        ROOT_OUTPUT.write_text(payload, encoding="utf-8")
-        print(f"wrote {ROOT_OUTPUT}")
+    for written in write_bench_json("compile", report,
+                                    output=args.output):
+        print(f"wrote {written}")
     if failures:
         print(f"oracle or gate failure in: {', '.join(failures)}",
               file=sys.stderr)

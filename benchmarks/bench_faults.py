@@ -40,6 +40,10 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.bench.output import (  # noqa: E402
+    default_output,
+    write_bench_json,
+)
 from repro.core.credentials import anyone, has_role  # noqa: E402
 from repro.core.errors import (  # noqa: E402
     CompletenessError, SecurityError, TransportError)
@@ -61,10 +65,7 @@ from repro.xmlsec.authorx import (  # noqa: E402
 from repro.xmlsec.dissemination import (  # noqa: E402
     Disseminator, FaultyChannel, ResilientSubscriber, open_packet)
 
-ROOT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
-               / "BENCH_faults.json")
-DEFAULT_OUTPUT = (pathlib.Path(__file__).parent / "results"
-                  / "BENCH_faults.json")
+DEFAULT_OUTPUT = default_output("faults")
 
 FAULT_RATES = (0.0, 0.05, 0.1, 0.2, 0.3)
 ACCEPT_RATE = 0.1       # the acceptance-criterion sweep point ...
@@ -342,13 +343,9 @@ def main(argv: list[str] | None = None) -> int:
               f"{at_accept.get('baseline_completion_rate')}, "
               f"{at_accept.get('mean_attempts')} attempts/call")
 
-    payload = json.dumps(report, indent=2) + "\n"
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(payload, encoding="utf-8")
-    print(f"wrote {args.output}")
-    if args.output.resolve() != ROOT_OUTPUT:
-        ROOT_OUTPUT.write_text(payload, encoding="utf-8")
-        print(f"wrote {ROOT_OUTPUT}")
+    for written in write_bench_json("faults", report,
+                                    output=args.output):
+        print(f"wrote {written}")
     if failures:
         print(f"oracle divergence in: {', '.join(failures)}",
               file=sys.stderr)

@@ -44,6 +44,10 @@ from bench_scale import (  # noqa: E402
     response_bytes,
     timed,
 )
+from repro.bench.output import (  # noqa: E402
+    default_output,
+    write_bench_json,
+)
 from repro.core.errors import Overloaded  # noqa: E402
 from repro.core.evaluator import PolicyEvaluator  # noqa: E402
 from repro.gateway import (  # noqa: E402
@@ -56,10 +60,7 @@ from repro.scale.gateway import Request  # noqa: E402
 from repro.snap.intern import InternPool  # noqa: E402
 from repro.snap.xmlstore import SnapshotXmlDatabase  # noqa: E402
 
-DEFAULT_OUTPUT = (pathlib.Path(__file__).parent / "results"
-                  / "BENCH_gateway.json")
-ROOT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
-               / "BENCH_gateway.json")
+DEFAULT_OUTPUT = default_output("gateway")
 SCALE_RESULTS = (pathlib.Path(__file__).resolve().parent.parent
                  / "BENCH_scale.json")
 
@@ -395,13 +396,9 @@ def main(argv: list[str] | None = None) -> int:
                              "p99_ratio", "warm_mb_per_s")}
         print(f"{name}: {'ok' if ok else 'ORACLE/GATE FAILED'} {headline}")
 
-    payload = json.dumps(report, indent=2) + "\n"
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(payload, encoding="utf-8")
-    print(f"wrote {args.output}")
-    if args.output.resolve() != ROOT_OUTPUT:
-        ROOT_OUTPUT.write_text(payload, encoding="utf-8")
-        print(f"wrote {ROOT_OUTPUT}")
+    for written in write_bench_json("gateway", report,
+                                    output=args.output):
+        print(f"wrote {written}")
     if failures:
         print(f"oracle or gate failure in: {', '.join(failures)}",
               file=sys.stderr)

@@ -49,7 +49,6 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import multiprocessing
 import os
 import pathlib
@@ -63,6 +62,10 @@ if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
 from bench_scale import response_bytes, timed  # noqa: E402
+from repro.bench.output import (  # noqa: E402
+    default_output,
+    write_bench_json,
+)
 from repro.core.credentials import has_role  # noqa: E402
 from repro.core.errors import ParseError, ReplicaUnavailable  # noqa: E402
 from repro.core.policy import Action, deny, grant  # noqa: E402
@@ -78,10 +81,7 @@ from repro.scale.gateway import Request  # noqa: E402
 from repro.xmldb.parser import parse as parse_xml  # noqa: E402
 from repro.xmldb.xpath import select_elements  # noqa: E402
 
-DEFAULT_OUTPUT = (pathlib.Path(__file__).parent / "results"
-                  / "BENCH_multicore.json")
-ROOT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
-               / "BENCH_multicore.json")
+DEFAULT_OUTPUT = default_output("multicore")
 
 #: On >= 4 cores the multicore tier must reach this multiple of the
 #: single-process async gateway's best throughput.
@@ -512,13 +512,9 @@ def main(argv: list[str] | None = None) -> int:
                              "speedup_over_async", "served_fraction")}
         print(f"{name}: {'ok' if ok else 'ORACLE/GATE FAILED'} {headline}")
 
-    payload = json.dumps(report, indent=2) + "\n"
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(payload, encoding="utf-8")
-    print(f"wrote {args.output}")
-    if args.output.resolve() != ROOT_OUTPUT:
-        ROOT_OUTPUT.write_text(payload, encoding="utf-8")
-        print(f"wrote {ROOT_OUTPUT}")
+    for written in write_bench_json("multicore", report,
+                                    output=args.output):
+        print(f"wrote {written}")
     if failures:
         print(f"oracle or gate failure in: {', '.join(failures)}",
               file=sys.stderr)

@@ -27,7 +27,6 @@ baseline numbers EXPERIMENTS.md records.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import pathlib
 import platform
@@ -39,6 +38,10 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.bench.output import (  # noqa: E402
+    default_output,
+    write_bench_json,
+)
 from repro.core.credentials import anyone, has_role  # noqa: E402
 from repro.core.evaluator import PolicyEvaluator  # noqa: E402
 from repro.core.policy import Action  # noqa: E402
@@ -54,9 +57,7 @@ from repro.xmlsec.authorx import (  # noqa: E402
     XmlPolicyBase, XmlPropagation, xml_deny, xml_grant)
 from repro.xmlsec.dissemination import Disseminator  # noqa: E402
 
-DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_perf.json"
-ROOT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
-               / "BENCH_perf.json")
+DEFAULT_OUTPUT = default_output("perf")
 
 
 def timed(fn):
@@ -284,13 +285,9 @@ def main(argv: list[str] | None = None) -> int:
                              "logarithmic_update_cost")}
         print(f"{name}: {'ok' if ok else 'ORACLE DIVERGED'} {headline}")
 
-    payload = json.dumps(report, indent=2) + "\n"
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(payload, encoding="utf-8")
-    print(f"wrote {args.output}")
-    if args.output.resolve() != ROOT_OUTPUT:
-        ROOT_OUTPUT.write_text(payload, encoding="utf-8")
-        print(f"wrote {ROOT_OUTPUT}")
+    for written in write_bench_json("perf", report,
+                                    output=args.output):
+        print(f"wrote {written}")
     if failures:
         print(f"oracle divergence in: {', '.join(failures)}",
               file=sys.stderr)

@@ -29,7 +29,6 @@ structural, not constant-factor).  Writes ``BENCH_replica.json``.
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import platform
 import sys
@@ -39,6 +38,10 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.bench.output import (  # noqa: E402
+    default_output,
+    write_bench_json,
+)
 from repro.replica import (  # noqa: E402
     BucketedMerkleStore,
     ReplicaRouter,
@@ -48,10 +51,7 @@ from repro.replica import (  # noqa: E402
     run_chaos,
 )
 
-DEFAULT_OUTPUT = (pathlib.Path(__file__).parent / "results"
-                  / "BENCH_replica.json")
-ROOT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
-               / "BENCH_replica.json")
+DEFAULT_OUTPUT = default_output("replica")
 
 #: Anti-entropy must beat a full resync by this factor in bytes
 #: shipped AND wall time at 1% divergence (the ISSUE's acceptance
@@ -235,13 +235,9 @@ def main(argv: list[str] | None = None) -> int:
                              "converged", "seeds")}
         print(f"{name}: {'ok' if ok else 'ORACLE/GATE FAILED'} {headline}")
 
-    payload = json.dumps(report, indent=2) + "\n"
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(payload, encoding="utf-8")
-    print(f"wrote {args.output}")
-    if args.output.resolve() != ROOT_OUTPUT:
-        ROOT_OUTPUT.write_text(payload, encoding="utf-8")
-        print(f"wrote {ROOT_OUTPUT}")
+    for written in write_bench_json("replica", report,
+                                    output=args.output):
+        print(f"wrote {written}")
     if failures:
         print(f"oracle or gate failure in: {', '.join(failures)}",
               file=sys.stderr)

@@ -41,6 +41,10 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.bench.output import (  # noqa: E402
+    default_output,
+    write_bench_json,
+)
 from repro.core.evaluator import Decision, PolicyEvaluator  # noqa: E402
 from repro.core.policy import Action  # noqa: E402
 from repro.datagen.population import generate_population  # noqa: E402
@@ -64,9 +68,7 @@ from repro.uddi.registry import UddiRegistry  # noqa: E402
 from repro.xmldb.database import Collection  # noqa: E402
 from repro.xmldb.parser import parse  # noqa: E402
 
-DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_scale.json"
-ROOT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
-               / "BENCH_scale.json")
+DEFAULT_OUTPUT = default_output("scale")
 
 #: Serial-vs-batched pipeline speedup the CI smoke job requires.
 QUICK_SPEEDUP_GATE = 2.0
@@ -361,13 +363,9 @@ def main(argv: list[str] | None = None) -> int:
                              "oracle_all_stores_equivalent")}
         print(f"{name}: {'ok' if ok else 'ORACLE/GATE FAILED'} {headline}")
 
-    payload = json.dumps(report, indent=2) + "\n"
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(payload, encoding="utf-8")
-    print(f"wrote {args.output}")
-    if args.output.resolve() != ROOT_OUTPUT:
-        ROOT_OUTPUT.write_text(payload, encoding="utf-8")
-        print(f"wrote {ROOT_OUTPUT}")
+    for written in write_bench_json("scale", report,
+                                    output=args.output):
+        print(f"wrote {written}")
     if failures:
         print(f"oracle or gate failure in: {', '.join(failures)}",
               file=sys.stderr)

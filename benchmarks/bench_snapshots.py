@@ -29,7 +29,6 @@ closed on either oracle or gate.  Writes ``BENCH_snapshots.json`` to
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import platform
 import random
@@ -41,6 +40,10 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.bench.output import (  # noqa: E402
+    default_output,
+    write_bench_json,
+)
 from repro.core.credentials import anyone, has_role  # noqa: E402
 from repro.core.subjects import Role, Subject  # noqa: E402
 from repro.crypto.keys import KeyStore  # noqa: E402
@@ -54,10 +57,7 @@ from repro.xmlsec.authorx import (  # noqa: E402
 from repro.xmlsec.dissemination import (  # noqa: E402
     Disseminator, open_packet)
 
-RESULTS_OUTPUT = (pathlib.Path(__file__).parent / "results"
-                  / "BENCH_snapshots.json")
-ROOT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
-               / "BENCH_snapshots.json")
+RESULTS_OUTPUT = default_output("snapshots")
 
 WORKERS = 8
 READ_GATES = {"quick": 2.0, "full": 5.0}
@@ -290,13 +290,9 @@ def main(argv: list[str] | None = None) -> int:
                     if k in ("speedup", "speedup_gate")}
         print(f"{name}: {'ok' if ok else 'ORACLE/GATE FAILED'} {headline}")
 
-    payload = json.dumps(report, indent=2) + "\n"
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(payload, encoding="utf-8")
-    print(f"wrote {args.output}")
-    if args.output.resolve() != ROOT_OUTPUT:
-        ROOT_OUTPUT.write_text(payload, encoding="utf-8")
-        print(f"wrote {ROOT_OUTPUT}")
+    for written in write_bench_json("snapshots", report,
+                                    output=args.output):
+        print(f"wrote {written}")
     if failures:
         print(f"oracle or gate failure in: {', '.join(failures)}",
               file=sys.stderr)

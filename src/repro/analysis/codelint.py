@@ -83,7 +83,15 @@ error-severity finding):
   copy-on-write snapshot layer (:mod:`repro.snap.frozen`) exists to
   avoid — share the untouched subtrees and copy only the mutated
   spine.  Copy routines may of course copy: calls inside a function
-  itself named ``deep_copy``/``clone`` are exempt.
+  itself named ``deep_copy``/``clone`` are exempt;
+* ``LINT-UNFSYNCED`` — an ``open(..., "w"/"wb"/...)`` in a
+  durability-adjacent scope (a module under ``wal/``, or a function
+  whose enclosing names mention ``wal``/``checkpoint``/``durable``)
+  with no ``fsync``/``fdatasync`` anywhere in the enclosing function:
+  a flushed-but-unsynced write sits in the page cache and evaporates
+  on power loss *after* the caller was told it was durable.  Writers
+  that sync through another layer (:mod:`repro.wal.vfs`) waive the
+  site with the pragma.
 
 A line may carry ``# lint: allow=RULE-ID[,RULE-ID...]`` to suppress
 exactly those rules on that line — for the rare site where the flagged
@@ -166,6 +174,12 @@ REGISTRY.register(
     "are shared by accident, caches diverge silently; re-initialize "
     "the state per process after fork/spawn")
 REGISTRY.register(
+    "LINT-UNFSYNCED", Severity.ERROR, "lint",
+    "durability-adjacent write without an fsync",
+    "a write that is flushed but never fsynced sits in the page cache; "
+    "after a crash the 'durable' checkpoint or log record silently "
+    "vanishes — exactly the loss the WAL exists to make impossible")
+REGISTRY.register(
     "LINT-SYNTAX", Severity.ERROR, "lint",
     "file does not parse",
     "unparseable code cannot be analyzed, let alone enforced")
@@ -210,6 +224,15 @@ _FORK_CACHE_MARKER = "cache"
 #: names the start method as a string) marking a module as one that
 #: creates worker processes.
 _FORK_TOKENS = ("fork", "spawn")
+#: Directory names whose modules are durability-critical: every file
+#: opened for writing there must reach the platter before it counts.
+_DURABLE_PATH_PARTS = {"wal"}
+#: Function/class-name substrings marking a durability-adjacent scope
+#: outside those directories (the snap checkpoint paths, durable
+#: wrappers).
+_DURABLE_NAME_TOKENS = ("wal", "checkpoint", "durable")
+#: Identifier substrings that count as reaching the platter.
+_FSYNC_TOKENS = ("fsync", "fdatasync")
 
 
 @dataclass(frozen=True)
@@ -304,6 +327,19 @@ def _is_compile_machinery(name: str) -> bool:
     return "compile" in name or "fresh" in name
 
 
+def _open_write_mode(node: ast.Call) -> str | None:
+    """The literal mode string of an ``open()`` call, if it writes."""
+    mode: ast.expr | None = node.args[1] if len(node.args) >= 2 else None
+    if mode is None:
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+    if not (isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)):
+        return None
+    return mode.value if any(ch in mode.value for ch in "wax+") else None
+
+
 def _callee_name(node: ast.Call) -> str:
     func = node.func
     return func.id if isinstance(func, ast.Name) else (
@@ -373,6 +409,10 @@ class _Linter(ast.NodeVisitor):
         self._hot_module = bool(
             _HOT_PATH_PARTS.intersection(
                 pathlib.PurePath(path).parts[:-1]))
+        self._durable_module = bool(
+            _DURABLE_PATH_PARTS.intersection(
+                pathlib.PurePath(path).parts[:-1]))
+        self._fsync_context = False
 
     def _emit(self, rule_id: str, node: ast.AST, message: str,
               fix_hint: str = "") -> None:
@@ -467,7 +507,15 @@ class _Linter(ast.NodeVisitor):
         self._replica_guard_context = (
             outer_guard
             or _mentions_tokens(node, _REPLICA_GUARD_TOKENS))
+        # Fsync context is scoped to the function: a write helper that
+        # never names fsync/fdatasync anywhere in its body cannot be
+        # making its writes durable (inherited so closures are covered,
+        # like the freshness context).
+        outer_fsync = self._fsync_context
+        self._fsync_context = (outer_fsync
+                               or _mentions_tokens(node, _FSYNC_TOKENS))
         self.generic_visit(node)
+        self._fsync_context = outer_fsync
         self._replica_guard_context = outer_guard
         self._fresh_context = outer_fresh
         self._loop_depth = outer_loop_depth
@@ -620,6 +668,26 @@ class _Linter(ast.NodeVisitor):
                 fix_hint="share unchanged subtrees copy-on-write "
                          "(repro.snap.frozen) or hoist one copy out "
                          "of the loop")
+        if (callee == "open" and isinstance(func, ast.Name)
+                and not self._fsync_context
+                and (self._durable_module
+                     or any(token in name.lower()
+                            for name in self._function_stack
+                            for token in _DURABLE_NAME_TOKENS))):
+            mode = _open_write_mode(node)
+            if mode is not None:
+                where = (self._function_stack[-1]
+                         if self._function_stack else "module scope")
+                self._emit(
+                    "LINT-UNFSYNCED", node,
+                    f"open(..., {mode!r}) in durability-adjacent "
+                    f"{where!r} writes without fsync/fdatasync "
+                    f"anywhere in scope; a crash loses the write "
+                    f"after it was reported durable",
+                    fix_hint="flush() then os.fsync(handle.fileno()) "
+                             "before close, or route the write "
+                             "through repro.wal.vfs (OsVfs syncs "
+                             "data and directory entries)")
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:

@@ -221,6 +221,11 @@ DECISION_CACHE = {}
 
 def spawn_worker_processes(launch, count):
     return [launch(index) for index in range(count)]
+
+
+def write_checkpoint(path, payload):
+    with open(path, "wb") as handle:
+        handle.write(payload)
 '''
 
 
@@ -250,7 +255,7 @@ EXPECTED_RULE_IDS = frozenset({
     "LINT-MUTDEF", "LINT-BAREEXC", "LINT-SWALLOW", "LINT-HASH",
     "LINT-CHECKRET", "LINT-XPATHLOOP", "LINT-BATCHLOOP",
     "LINT-HOTCOPY", "LINT-STALECOMPILE", "LINT-BLOCKINGAWAIT",
-    "LINT-REPLICAREAD", "LINT-FORKSTATE",
+    "LINT-REPLICAREAD", "LINT-FORKSTATE", "LINT-UNFSYNCED",
 })
 
 

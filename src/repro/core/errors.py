@@ -245,3 +245,70 @@ class EpochRetired(SnapshotError):
     """A released snapshot (or an epoch already reclaimed) was used
     where a pinned one is required — e.g. releasing the same snapshot
     twice, which would corrupt the reclamation refcounts."""
+
+
+# ---------------------------------------------------------------------------
+# Durability branch (repro.wal): group-commit write-ahead logging,
+# checkpointing, and crash recovery under the sharded stores.
+# ---------------------------------------------------------------------------
+
+
+class WalError(ReproError):
+    """Base class for write-ahead-log failures (append refused, a
+    recovery that cannot proceed, a checkpoint that cannot be read)."""
+
+
+class WalCorrupt(WalError, IntegrityError):
+    """The log or a checkpoint failed an integrity check that cannot be
+    explained as a torn tail: a frame CRC mismatch *followed by* valid
+    frames, a segment missing from the middle of the sequence, LSNs
+    running backwards, or a checkpoint whose checksum does not cover
+    its payload.  Recovery fails closed — silently skipping committed
+    records would be silent data loss, the one outcome a durability
+    layer exists to prevent.  (A torn *tail* — a partial frame at the
+    very end of the last segment with nothing valid after it — is the
+    expected artifact of a crash between write and fsync, and is
+    truncated at the last valid frame instead of raising.)
+
+    Attributes
+    ----------
+    shard, segment, offset:
+        Where the damage was found (``segment``/``offset`` are ``None``
+        for structural problems such as a missing segment).
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None,
+                 segment: str | None = None,
+                 offset: int | None = None) -> None:
+        self.shard = shard
+        self.segment = segment
+        self.offset = offset
+        where = ""
+        if segment is not None:
+            where = f" [{segment}" + (
+                f"@{offset}]" if offset is not None else "]")
+        super().__init__(f"{message}{where}")
+
+
+class DurabilityLagExceeded(TransportError):
+    """An ``ack=enqueue`` writer ran too far ahead of the flusher: the
+    gap between the last enqueued record and the last fsynced record
+    crossed the configured bound.  Typed backpressure, not an error in
+    the data path — the writer should drain (wait for a sync) and
+    retry, exactly like a client receiving :class:`Overloaded` backs
+    off the admission queue.
+
+    Attributes
+    ----------
+    lag:
+        Unsynced records outstanding when the append was refused.
+    limit:
+        The configured bound the lag crossed.
+    """
+
+    def __init__(self, lag: int, limit: int) -> None:
+        self.lag = lag
+        self.limit = limit
+        super().__init__(
+            f"durability lag of {lag} unsynced records exceeds the "
+            f"configured bound of {limit}; wait for a sync and retry")

@@ -99,7 +99,8 @@ class RequestGateway:
                  queue_limit: int = 1024, batch_size: int = 32,
                  linger_s: float = 0.0,
                  faults: FaultInjector | None = None,
-                 epochs=None, publisher=None, replicas=None) -> None:
+                 epochs=None, publisher=None, replicas=None,
+                 durability: str | None = None) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         if batch_size < 1:
@@ -122,6 +123,22 @@ class RequestGateway:
         # key-value read/write path routes through — reads fan to any
         # caught-up replica, writes go to the shard primary.
         self.replicas = replicas
+        # Durability wiring (repro.wal): *durability* selects the ack
+        # contract of :meth:`write` when *publisher* is a durable store
+        # (duck-typed: exposes ``wal_sync()``).  ``"fsync"`` — write()
+        # returns only after every record it produced is fsynced;
+        # ``"enqueue"`` — write() returns at enqueue and the store's
+        # bounded lag (typed DurabilityLagExceeded) is the only brake.
+        if durability is not None:
+            if durability not in ("fsync", "enqueue"):
+                raise ConfigurationError(
+                    f"unknown durability mode {durability!r}; expected "
+                    f"'fsync' or 'enqueue'")
+            if not hasattr(publisher, "wal_sync"):
+                raise ConfigurationError(
+                    "durability= needs a durable publisher (one with "
+                    "wal_sync()); wrap the store in repro.wal.durable")
+        self.durability = durability
         self.queue_limit = queue_limit
         self.batch_size = batch_size
         # Optional: how long a worker holding a *partial* batch waits
@@ -324,6 +341,11 @@ class RequestGateway:
             publish = getattr(self.publisher, "publish", None)
             if publish is not None:
                 publish()
+        if self.durability == "fsync":
+            # Settle every record *fn* produced before acknowledging;
+            # a sealed pipeline's typed WalError propagates to the
+            # caller instead of a false ack.
+            self.publisher.wal_sync()
         with self.stats._lock:
             self.stats.writes += 1
             self.stats.epochs_advanced += 1

@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.core.errors import EpochRetired, SnapshotError
 
@@ -63,6 +63,9 @@ class EpochManager:
         # epoch -> snapshot, for snapshots superseded but still pinned.
         self._retired: dict[int, object] = {}
         self._reclaimed: list[int] = []
+        # durability key (checkpoint LSN or digest) -> epoch held by a
+        # retain_until pin that has not been released yet.
+        self._durable_pins: dict[object, int] = {}
         self.stats = EpochStats()
 
     # -- publication (writer side) --------------------------------------
@@ -134,6 +137,50 @@ class EpochManager:
             if (count - 1 == 0
                     and snapshot.epoch in self._retired):
                 self._reclaim_locked(self._retired[snapshot.epoch])
+
+    def retain_until(self, snapshot, key) -> "Callable[[], None]":
+        """Pin *snapshot*'s epoch for durability work keyed by *key*
+        (a checkpoint LSN or digest); returns the release callable.
+
+        Checkpointing serializes a snapshot while writers keep
+        publishing: without this pin, the epoch being serialized could
+        be retired *and reclaimed* mid-serialization (its ``close()``
+        hook dropping caches out from under the serializer).  The pin
+        holds exactly like a reader's, and the returned callable — to
+        be invoked once the checkpoint file is fsynced — releases it
+        idempotently.
+
+        Pinning an already-reclaimed epoch raises
+        :class:`~repro.core.errors.EpochRetired`: the caller's snapshot
+        reference is stale and serializing it would checkpoint a state
+        that reclamation has already dismantled.
+        """
+        with self._mutex:
+            epoch = getattr(snapshot, "epoch", None)
+            if epoch is None or epoch not in self._refs:
+                raise EpochRetired(
+                    f"epoch {epoch} is already reclaimed; cannot "
+                    f"retain it for durability key {key!r}")
+            self._refs[epoch] = self._refs[epoch] + 1
+            self._durable_pins[key] = epoch
+            self.stats.acquires += 1
+
+        released = threading.Event()
+
+        def release() -> None:
+            if released.is_set():
+                return
+            released.set()
+            with self._mutex:
+                self._durable_pins.pop(key, None)
+            self.release(snapshot)
+
+        return release
+
+    def durable_pins(self) -> dict[object, int]:
+        """key -> epoch for every outstanding retain_until pin."""
+        with self._mutex:
+            return dict(self._durable_pins)
 
     @contextmanager
     def reading(self) -> Iterator[object]:

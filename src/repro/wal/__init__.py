@@ -1,0 +1,54 @@
+"""Durable write path: group-commit WAL, checkpoints, parallel replay.
+
+Layering, bottom up:
+
+* :mod:`repro.wal.checksum` — frame checksums (CRC-32 / CRC-32C),
+  algorithm-agile behind an id byte in each segment header.
+* :mod:`repro.wal.vfs` — the file substrate: real files with directory
+  fsyncs (:class:`OsVfs`) and the in-memory power-loss model the chaos
+  battery crashes (:class:`MemVfs`).
+* :mod:`repro.wal.format` — segment/frame layout and the scanner that
+  separates torn tails from corruption.
+* :mod:`repro.wal.log` — per-shard segment chains over one global LSN
+  space, rotation, checkpoint-driven truncation.
+* :mod:`repro.wal.pipeline` — group commit: one buffered write + one
+  fsync per batch, adaptive linger, ``wal:{shard}`` fault sites.
+* :mod:`repro.wal.checkpoint` — atomic, digest-keyed checkpoint files.
+* :mod:`repro.wal.replay` — parallel shard scans merged into one
+  LSN-ordered history.
+* :mod:`repro.wal.durable` — the wrappers stores and gateways use.
+"""
+
+from repro.wal.checkpoint import CheckpointStore
+from repro.wal.durable import (
+    DurablePolicyStore,
+    DurableRelationalStore,
+    DurableStore,
+    DurableUddiRegistry,
+    DurableXmlStore,
+    RecoveryReport,
+)
+from repro.wal.log import LsnAllocator, ShardedWal, WriteAheadLog
+from repro.wal.pipeline import CommitPipeline, CommitTicket
+from repro.wal.replay import RecoveryResult, recover, scan_shard
+from repro.wal.vfs import MemVfs, OsVfs
+
+__all__ = [
+    "CheckpointStore",
+    "CommitPipeline",
+    "CommitTicket",
+    "DurablePolicyStore",
+    "DurableRelationalStore",
+    "DurableStore",
+    "DurableUddiRegistry",
+    "DurableXmlStore",
+    "LsnAllocator",
+    "MemVfs",
+    "OsVfs",
+    "RecoveryReport",
+    "RecoveryResult",
+    "ShardedWal",
+    "WriteAheadLog",
+    "recover",
+    "scan_shard",
+]

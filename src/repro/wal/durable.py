@@ -1,0 +1,577 @@
+"""Durable wrappers: WAL + checkpoints under the existing stores.
+
+Each wrapper keeps the inner store's read surface intact (attribute
+delegation) and intercepts its mutators: an op is **applied first**
+under one store-wide mutex — so a rejected op (authorization failure,
+missing document) raises before anything is logged — then its pickled
+``(op, args, kwargs)`` record is submitted to the owning shard's
+commit pipeline *inside the same critical section*, which makes apply
+order, LSN order, and log order one and the same.  The durability wait
+happens **outside** the mutex, which is what lets concurrent writers
+pile into one fsync batch (group commit) instead of serializing on the
+device.
+
+Two acknowledgement modes:
+
+* ``durability="fsync"`` — every op blocks until the fsync covering
+  its record returns; an acknowledged op is durable, full stop.
+* ``durability="enqueue"`` — ops return at enqueue; durability
+  trails by at most ``max_lag`` records, enforced with a typed
+  :class:`~repro.core.errors.DurabilityLagExceeded` at submit (bounded
+  staleness, never silent unbounded loss), and :meth:`wal_sync` is the
+  barrier callers (the gateways' write path) use to settle.
+
+Logged arguments must be picklable — module-level predicates, entity
+dataclasses, strings.  A lambda row-filter is rejected with a typed
+:class:`~repro.core.errors.WalError` *before* the op applies, so the
+store never diverges from its log.
+
+Recovery (``<class>.recover(vfs, ...)``) loads the newest checkpoint,
+replays the merged log suffix in LSN order (segment scanning fans out
+over worker processes on a real directory), and returns the rebuilt
+store plus a :class:`RecoveryReport`.  Replaying an op that fails is
+:class:`~repro.core.errors.WalCorrupt`: only *successful* ops are ever
+logged, so a replay failure means the log and checkpoint disagree.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError, WalCorrupt, WalError
+from repro.core.policy import PolicyBase
+from repro.crypto.hashing import combine, sha256_hex, sha256_int
+from repro.scale.registry import ShardedUddiRegistry
+from repro.scale.relational import ShardedDatabase
+from repro.snap.xmlstore import SnapshotXmlDatabase
+from repro.wal.checkpoint import CheckpointStore
+from repro.wal.log import ShardedWal
+from repro.wal.pipeline import CommitPipeline
+from repro.wal.replay import recover as replay_recover
+from repro.xmldb.parser import parse_element
+from repro.xmldb.serializer import serialize, serialize_element
+
+DURABILITY_MODES = ("fsync", "enqueue")
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery run did — the bench and chaos oracles read it."""
+
+    checkpoint_lsn: int = 0
+    checkpoint_digest: str | None = None
+    records_replayed: int = 0
+    last_lsn: int = 0
+    segments_scanned: int = 0
+    bytes_scanned: int = 0
+    truncated: list[tuple[str, int]] = field(default_factory=list)
+    parallel: bool = False
+
+
+class DurableStore:
+    """Common WAL/checkpoint machinery; subclasses own op dispatch."""
+
+    #: Subclasses without a picklable full-state snapshot (the
+    #: relational store's lock striping) run WAL-only.
+    SUPPORTS_CHECKPOINT = True
+
+    def __init__(self, inner, vfs, *, shards: int = 4,
+                 durability: str = "fsync",
+                 max_batch: int = 256, max_lag: int = 4096,
+                 segment_bytes: int = 4 * 1024 * 1024,
+                 auto_flush: bool = True,
+                 injector=None, start_lsn: int = 0) -> None:
+        if durability not in DURABILITY_MODES:
+            raise WalError(
+                f"unknown durability mode {durability!r}; expected one "
+                f"of {DURABILITY_MODES}")
+        self.inner = inner
+        self.vfs = vfs
+        self.durability = durability
+        self.wal = ShardedWal(vfs, shards, segment_bytes=segment_bytes,
+                              start_lsn=start_lsn)
+        self.pipelines = tuple(
+            CommitPipeline(log, max_batch=max_batch, max_lag=max_lag,
+                           auto_flush=auto_flush, injector=injector,
+                           vfs=vfs)
+            for log in self.wal.logs)
+        self.checkpoints = CheckpointStore(vfs)
+        self._auto_flush = auto_flush
+        self._mutex = threading.Lock()
+        self._pending: list = []
+        self._group_depth = 0
+
+    # -- delegation --------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    # -- the durable op path ----------------------------------------------
+
+    def _shard_for(self, key: str) -> int:
+        return sha256_int(f"walshard:{key}") % self.wal.shard_count
+
+    def _encode(self, op: str, args: tuple, kwargs: dict) -> bytes:
+        try:
+            return pickle.dumps((op, args, kwargs), protocol=5)
+        except Exception as exc:
+            raise WalError(
+                f"op {op!r} has unpicklable arguments and cannot be "
+                f"made durable: {exc}") from exc
+
+    def _apply(self, op: str, args: tuple, kwargs: dict):
+        return getattr(self.inner, op)(*args, **kwargs)
+
+    def _durable_op(self, shard: int, op: str, *args, **kwargs):
+        payload = self._encode(op, args, kwargs)  # refuse *before* apply
+        with self._mutex:
+            result = self._apply(op, args, kwargs)
+            ticket = self.pipelines[shard].submit(payload)
+            deferred = self._group_depth > 0
+            if deferred or self.durability == "enqueue":
+                self._pending.append(ticket)
+        if not deferred and self.durability == "fsync":
+            if not self._auto_flush:
+                self.pipelines[shard].flush()
+            ticket.wait()
+        return result
+
+    @contextmanager
+    def group(self):
+        """Defer durability waits across a block of ops, settling them
+        against one (or few) fsync batches at exit — the multi-op
+        analogue of group commit for a single writer."""
+        with self._mutex:
+            self._group_depth += 1
+        try:
+            yield self
+        finally:
+            with self._mutex:
+                self._group_depth -= 1
+                settle = self._group_depth == 0
+            if settle and self.durability == "fsync":
+                self.wal_sync()
+
+    def wal_sync(self) -> int:
+        """Barrier: flush every pipeline and wait out every pending
+        ticket; returns how many tickets were settled.  Typed errors
+        from sealed pipelines propagate — never swallowed."""
+        with self._mutex:
+            pending, self._pending = self._pending, []
+        if not self._auto_flush:
+            for pipeline in self.pipelines:
+                while pipeline.flush():
+                    pass
+        first_error: WalError | None = None
+        for ticket in pending:
+            try:
+                ticket.wait()
+            except WalError as exc:
+                first_error = first_error or exc
+        if first_error is not None:
+            raise first_error
+        return len(pending)
+
+    @property
+    def durability_lag(self) -> int:
+        return sum(pipeline.lag for pipeline in self.pipelines)
+
+    def close(self) -> None:
+        for pipeline in self.pipelines:
+            pipeline.close()
+        self.wal.close()
+
+    def wal_stats(self) -> dict[str, object]:
+        return {
+            "log": self.wal.stats_snapshot(),
+            "pipelines": [p.stats_snapshot() for p in self.pipelines],
+            "checkpoints": {"written": self.checkpoints.written,
+                            "skipped": self.checkpoints.skipped},
+            "durability": self.durability,
+            "lag": self.durability_lag,
+        }
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _checkpoint_payload(self) -> bytes:
+        raise NotImplementedError
+
+    def state_digest(self) -> str:
+        raise NotImplementedError
+
+    def checkpoint(self) -> bool:
+        """Write an incremental checkpoint and truncate the covered log
+        prefix; returns False when skipped (digest unchanged)."""
+        if not self.SUPPORTS_CHECKPOINT:
+            raise WalError(
+                f"{type(self).__name__} has no picklable full-state "
+                f"snapshot; it runs WAL-only")
+        with self._mutex:
+            # Under the op mutex the allocator's last LSN is exactly
+            # the last *applied* op, so the serialized state covers
+            # every record at or below it.
+            lsn = self.wal.allocator.last
+            payload, digest, release = self._capture()
+        try:
+            written = self.checkpoints.write(lsn, digest, payload)
+        finally:
+            release()
+        if written:
+            self.wal.truncate_until(lsn)
+        return written
+
+    def _capture(self):
+        """(payload, digest, release) — release undoes any epoch pin.
+        Called under the op mutex; default has nothing to pin."""
+        return self._checkpoint_payload(), self.state_digest(), _noop
+
+    # -- recovery ----------------------------------------------------------
+
+    @classmethod
+    def _fresh_inner(cls, **inner_kwargs):
+        raise NotImplementedError
+
+    @classmethod
+    def _restore_inner(cls, payload: bytes, **inner_kwargs):
+        raise NotImplementedError
+
+    @classmethod
+    def recover(cls, vfs, *, shards: int = 4, workers: int | None = None,
+                inner_kwargs: dict | None = None,
+                **store_kwargs) -> tuple["DurableStore", RecoveryReport]:
+        """Rebuild the store from its directory: newest checkpoint plus
+        the merged log suffix, applied strictly in LSN order."""
+        inner_kwargs = inner_kwargs or {}
+        report = RecoveryReport()
+        checkpoint = (CheckpointStore(vfs).latest()
+                      if cls.SUPPORTS_CHECKPOINT else None)
+        if checkpoint is not None:
+            lsn, digest, payload = checkpoint
+            inner = cls._restore_inner(payload, **inner_kwargs)
+            report.checkpoint_lsn = lsn
+            report.checkpoint_digest = digest
+        else:
+            inner = cls._fresh_inner(**inner_kwargs)
+        scan = replay_recover(vfs, shards,
+                              from_lsn=report.checkpoint_lsn,
+                              workers=workers)
+        report.records_replayed = len(scan.records)
+        report.last_lsn = max(scan.last_lsn, report.checkpoint_lsn)
+        report.segments_scanned = scan.segments
+        report.bytes_scanned = scan.bytes_scanned
+        report.truncated = scan.truncated
+        report.parallel = scan.parallel
+        store = cls(inner, vfs, shards=shards,
+                    start_lsn=report.last_lsn, **store_kwargs)
+        for lsn, payload in scan.records:
+            op, args, kwargs = pickle.loads(payload)
+            try:
+                store._apply(op, args, kwargs)
+            except ReproError as exc:
+                raise WalCorrupt(
+                    f"replaying LSN {lsn} op {op!r} failed ({exc}); "
+                    f"only successful ops are logged, so the log and "
+                    f"checkpoint disagree") from exc
+        return store, report
+
+
+def _noop() -> None:
+    return None
+
+
+# -- XML snapshot store ----------------------------------------------------
+
+
+class DurableXmlStore(DurableStore):
+    """WAL + epoch-snapshot checkpoints under SnapshotXmlDatabase.
+
+    Documents travel through the log and checkpoints as canonical XML
+    strings (the store's own serializer), so records are picklable and
+    replay re-interns through the live :class:`InternPool`.  While a
+    checkpoint serializes, the captured epoch is pinned via
+    :meth:`EpochManager.retain_until` so reclamation can never race the
+    serialization.
+    """
+
+    _MUTATORS = frozenset({
+        "create_collection", "drop_collection", "insert", "delete",
+        "replace", "set_text", "set_attribute", "remove_attribute",
+        "append_child", "remove_child"})
+
+    def _op_shard(self, collection: str) -> int:
+        return self._shard_for(collection)
+
+    def create_collection(self, name: str) -> None:
+        return self._durable_op(self._op_shard(name),
+                                "create_collection", name)
+
+    def drop_collection(self, name: str) -> None:
+        return self._durable_op(self._op_shard(name),
+                                "drop_collection", name)
+
+    def insert(self, collection: str, doc_id: str, document):
+        if not isinstance(document, str):
+            document = serialize(document)
+        return self._durable_op(self._op_shard(collection), "insert",
+                                collection, doc_id, document)
+
+    def delete(self, collection: str, doc_id: str):
+        return self._durable_op(self._op_shard(collection), "delete",
+                                collection, doc_id)
+
+    def replace(self, collection: str, doc_id: str, document):
+        if not isinstance(document, str):
+            document = serialize(document)
+        return self._durable_op(self._op_shard(collection), "replace",
+                                collection, doc_id, document)
+
+    def set_text(self, collection: str, doc_id: str, path: str,
+                 text: str) -> None:
+        return self._durable_op(self._op_shard(collection), "set_text",
+                                collection, doc_id, path, text)
+
+    def set_attribute(self, collection: str, doc_id: str, path: str,
+                      name: str, value: str) -> None:
+        return self._durable_op(self._op_shard(collection),
+                                "set_attribute", collection, doc_id,
+                                path, name, value)
+
+    def remove_attribute(self, collection: str, doc_id: str, path: str,
+                         name: str) -> None:
+        return self._durable_op(self._op_shard(collection),
+                                "remove_attribute", collection, doc_id,
+                                path, name)
+
+    def append_child(self, collection: str, doc_id: str,
+                     parent_path: str, child) -> None:
+        if not isinstance(child, str):
+            child = serialize_element(child)
+        return self._durable_op(self._op_shard(collection),
+                                "append_child", collection, doc_id,
+                                parent_path, child)
+
+    def remove_child(self, collection: str, doc_id: str,
+                     path: str) -> None:
+        return self._durable_op(self._op_shard(collection),
+                                "remove_child", collection, doc_id, path)
+
+    def writer(self):
+        """Atomic multi-op epoch (inner) + one durability settle."""
+        @contextmanager
+        def _writer():
+            with self.group():
+                with self.inner.writer():
+                    yield self
+        return _writer()
+
+    def _apply(self, op: str, args: tuple, kwargs: dict):
+        if op == "append_child" and isinstance(args[3], str):
+            args = (*args[:3], parse_element(args[3]))
+        return getattr(self.inner, op)(*args, **kwargs)
+
+    def state_digest(self) -> str:
+        return self._digest_of(self.inner.freeze())
+
+    def _capture(self):
+        snapshot = self.inner.freeze()
+        digest = self._digest_of(snapshot)
+        release = self.inner.epochs.retain_until(
+            self.inner.current(), digest)
+        state = {
+            collection: {doc_id: snapshot.serialize(collection, doc_id)
+                         for doc_id in snapshot.doc_ids(collection)}
+            for collection in snapshot.collection_names()}
+        return pickle.dumps(state, protocol=5), digest, release
+
+    @staticmethod
+    def _digest_of(snapshot) -> str:
+        parts = []
+        for collection in sorted(snapshot.collection_names()):
+            parts.append(sha256_hex(f"collection:{collection}"))
+            for doc_id in sorted(snapshot.doc_ids(collection)):
+                parts.append(sha256_hex(
+                    f"{collection}/{doc_id}:"
+                    + snapshot.merkle_root(collection, doc_id)))
+        return combine(*parts) if parts else sha256_hex("empty-xmlstore")
+
+    @classmethod
+    def _fresh_inner(cls, **inner_kwargs):
+        return SnapshotXmlDatabase(**inner_kwargs)
+
+    @classmethod
+    def _restore_inner(cls, payload: bytes, **inner_kwargs):
+        inner = SnapshotXmlDatabase(**inner_kwargs)
+        state = pickle.loads(payload)
+        with inner.writer():
+            for collection in sorted(state):
+                inner.create_collection(collection)
+                for doc_id in sorted(state[collection]):
+                    inner.insert(collection, doc_id,
+                                 state[collection][doc_id])
+        return inner
+
+
+# -- UDDI registry ---------------------------------------------------------
+
+
+class DurableUddiRegistry(DurableStore):
+    """WAL + whole-registry pickle checkpoints under the sharded UDDI
+    registry.  WAL shards follow the registry's own consistent-hash
+    routing, so a shard's log holds exactly its registry shard's home
+    writes (cross-shard purges replay in LSN order)."""
+
+    def save_business(self, entity, publisher: str,
+                      idempotency_key: str | None = None):
+        return self._durable_op(
+            self.inner.shard_index(entity.business_key)
+            % self.wal.shard_count,
+            "save_business", entity, publisher, idempotency_key)
+
+    def delete_business(self, business_key: str, publisher: str) -> None:
+        return self._durable_op(
+            self.inner.shard_index(business_key) % self.wal.shard_count,
+            "delete_business", business_key, publisher)
+
+    def save_tmodel(self, tmodel, publisher: str,
+                    idempotency_key: str | None = None):
+        return self._durable_op(
+            self.inner.shard_index(tmodel.tmodel_key)
+            % self.wal.shard_count,
+            "save_tmodel", tmodel, publisher, idempotency_key)
+
+    def add_assertion(self, assertion, publisher: str,
+                      idempotency_key: str | None = None) -> None:
+        return self._durable_op(
+            self.inner.shard_index(assertion.from_key)
+            % self.wal.shard_count,
+            "add_assertion", assertion, publisher, idempotency_key)
+
+    def state_digest(self) -> str:
+        return self.inner.state_digest()
+
+    def _checkpoint_payload(self) -> bytes:
+        return pickle.dumps(self.inner, protocol=5)
+
+    @classmethod
+    def _fresh_inner(cls, **inner_kwargs):
+        return ShardedUddiRegistry(**inner_kwargs)
+
+    @classmethod
+    def _restore_inner(cls, payload: bytes, **inner_kwargs):
+        return pickle.loads(payload)
+
+
+# -- relational store ------------------------------------------------------
+
+
+class DurableRelationalStore(DurableStore):
+    """WAL-only durability under ShardedDatabase (its striped lock
+    manager is not picklable, so there is no full-state checkpoint;
+    recovery replays the log from LSN 0).  Predicates and row filters
+    logged through here must be module-level functions."""
+
+    SUPPORTS_CHECKPOINT = False
+
+    def _table_shard(self, table: str) -> int:
+        return self.inner.shard_index(table) % self.wal.shard_count
+
+    def create_table(self, table_schema, owner: str):
+        return self._durable_op(self._table_shard(table_schema.name),
+                                "create_table", table_schema, owner)
+
+    def grant(self, grantor: str, grantee: str, table: str, privilege,
+              with_grant_option: bool = False, row_filter=None,
+              column_mask=()):
+        return self._durable_op(
+            self._table_shard(table), "grant", grantor, grantee, table,
+            privilege, with_grant_option, row_filter, tuple(column_mask))
+
+    def revoke(self, revoker: str, grantee: str, table: str, privilege):
+        return self._durable_op(self._table_shard(table), "revoke",
+                                revoker, grantee, table, privilege)
+
+    def insert(self, user: str, table_name: str, **values):
+        return self._durable_op(self._table_shard(table_name), "insert",
+                                user, table_name, **values)
+
+    def update(self, user: str, table_name: str, where, changes):
+        return self._durable_op(self._table_shard(table_name), "update",
+                                user, table_name, where, dict(changes))
+
+    def delete(self, user: str, table_name: str, where):
+        return self._durable_op(self._table_shard(table_name), "delete",
+                                user, table_name, where)
+
+    def set_metadata(self, table: str, key: str, value) -> None:
+        return self._durable_op(self._table_shard(table),
+                                "set_metadata", table, key, value)
+
+    def state_digest(self) -> str:
+        parts = []
+        for name in self.inner.table_names():
+            table = self.inner.table(name)
+            rows = sorted(repr(sorted(row.items()))
+                          for row in table.rows_as_dicts())
+            parts.append(sha256_hex(
+                f"table:{name}:" + "|".join(rows)))
+            auth = self.inner.authorization_for(name)
+            grants = sorted(
+                f"{g.grantor}>{g.grantee}:{g.table}:{g.privilege.value}"
+                f":{g.with_grant_option}"
+                for g in auth.all_grants() if g.table == name)
+            parts.append(sha256_hex(f"grants:{name}:" + "|".join(grants)))
+        return combine(*parts) if parts else sha256_hex("empty-reldb")
+
+    @classmethod
+    def _fresh_inner(cls, **inner_kwargs):
+        return ShardedDatabase(**inner_kwargs)
+
+
+# -- policy store ----------------------------------------------------------
+
+
+class DurablePolicyStore(DurableStore):
+    """WAL + pickled-policy checkpoints under a :class:`PolicyBase`.
+
+    Removals are logged by ``policy_id`` rather than by value: two
+    unpicklings of one policy need not compare equal (subject
+    expressions may compare by identity), but ids are stable across
+    the pickle round trip.
+    """
+
+    def add(self, policy):
+        return self._durable_op(
+            self._shard_for(f"policy:{policy.policy_id}"), "add", policy)
+
+    def remove(self, policy) -> None:
+        self._durable_op(
+            self._shard_for(f"policy:{policy.policy_id}"), "remove_id",
+            policy.policy_id)
+
+    def _apply(self, op: str, args: tuple, kwargs: dict):
+        if op == "remove_id":
+            (policy_id,) = args
+            for policy in list(self.inner):
+                if policy.policy_id == policy_id:
+                    return self.inner.remove(policy)
+            raise WalError(f"no policy with id {policy_id} to remove")
+        return getattr(self.inner, op)(*args, **kwargs)
+
+    def state_digest(self) -> str:
+        parts = sorted(repr(policy) for policy in self.inner)
+        return (combine(*(sha256_hex(p) for p in parts)) if parts
+                else sha256_hex("empty-policybase"))
+
+    def _checkpoint_payload(self) -> bytes:
+        return pickle.dumps(list(self.inner), protocol=5)
+
+    @classmethod
+    def _fresh_inner(cls, **inner_kwargs):
+        return PolicyBase(**inner_kwargs)
+
+    @classmethod
+    def _restore_inner(cls, payload: bytes, **inner_kwargs):
+        return PolicyBase(pickle.loads(payload))

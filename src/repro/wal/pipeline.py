@@ -1,0 +1,279 @@
+"""Group commit: many writers, one buffered write + one fsync per batch.
+
+Naive durability syncs once per record; at ~6k fsyncs/s that caps the
+whole store at ~6k writes/s regardless of CPU.  The pipeline instead
+has writers *enqueue* framed records and either return immediately
+(``ack-on-enqueue``) or block on a ticket (``ack-on-fsync``) while a
+single flusher drains the queue: every drain is one ``write()`` of the
+concatenated frames and one ``sync()``, so the fsync cost is shared by
+every record in the batch.  The flusher lingers briefly when a batch is
+small — adaptive, a fraction of the *measured* sync cost, mirroring the
+gateway's partial-batch linger — trading that bounded latency for
+batch depth.
+
+LSNs are allocated at submit time, under the queue mutex, so queue
+order, LSN order, and file order all agree per shard.
+
+Fault site ``wal:{shard}`` (one step per batch sync):
+
+* CRASH / DROP — the device refused the batch.  Every ticket in it
+  fails with a typed :class:`~repro.core.errors.WalError`; the records
+  are *not* acknowledged and the pipeline seals itself, because a log
+  whose tail failed mid-write must not accept later appends (ack-then
+  -loss is the one unforgivable durability sin).
+* CORRUPT — the batch "succeeds" but its bytes rot on the platter
+  (deterministic single-byte damage), to be discovered by recovery.
+* DELAY — charged to the shared fault clock, modelling a stalled
+  device.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.errors import DurabilityLagExceeded, WalError
+from repro.faults.plan import FaultKind
+from repro.wal.format import encode_frame
+from repro.wal.log import WriteAheadLog
+
+#: Upper bound on the adaptive linger; the EMA usually keeps it far
+#: lower (a fraction of one measured sync).
+MAX_LINGER_SECONDS = 0.002
+#: Linger as a fraction of the measured sync cost: waiting ~half an
+#: fsync for more company is at worst a 1.5x latency hit for an up-to
+#: -batch-size throughput win.
+LINGER_FRACTION = 0.5
+
+
+@dataclass
+class PipelineStats:
+    submitted: int = 0
+    batches: int = 0
+    records_flushed: int = 0
+    bytes_flushed: int = 0
+    syncs: int = 0
+    max_batch: int = 0
+    faults_injected: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        stats = dict(self.__dict__)
+        stats["mean_batch"] = (self.records_flushed / self.batches
+                               if self.batches else 0.0)
+        return stats
+
+
+class CommitTicket:
+    """One writer's claim on a batch: wait() blocks until the fsync
+    that covers this record has happened (or failed, typed)."""
+
+    __slots__ = ("lsn", "_event", "_error")
+
+    def __init__(self, lsn: int) -> None:
+        self.lsn = lsn
+        self._event = threading.Event()
+        self._error: WalError | None = None
+
+    def _resolve(self, error: WalError | None = None) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def synced(self) -> bool:
+        return self._event.is_set() and self._error is None
+
+    def wait(self, timeout: float | None = None) -> int:
+        if not self._event.wait(timeout):
+            raise WalError(f"timed out waiting for LSN {self.lsn} "
+                           f"to become durable")
+        if self._error is not None:
+            raise self._error
+        return self.lsn
+
+
+class CommitPipeline:
+    """One shard's group-commit queue + flusher.
+
+    ``auto_flush=True`` (the default) runs a daemon flusher thread;
+    ``auto_flush=False`` leaves draining to explicit :meth:`flush`
+    calls, which is what deterministic tests and the chaos battery use
+    — same code path, no wall-clock dependence.
+    """
+
+    def __init__(self, log: WriteAheadLog, *,
+                 max_batch: int = 256,
+                 max_lag: int = 4096,
+                 auto_flush: bool = True,
+                 injector=None,
+                 vfs=None) -> None:
+        self.log = log
+        self.max_batch = max_batch
+        self.max_lag = max_lag
+        self.injector = injector
+        self.vfs = vfs
+        self.stats = PipelineStats()
+        self._site = f"wal:{log.shard}"
+        self._mutex = threading.Lock()
+        self._wakeup = threading.Condition(self._mutex)
+        self._queue: list[tuple[CommitTicket, bytes]] = []
+        self._sealed: WalError | None = None
+        self._closed = False
+        self._sync_cost_ema = 0.0
+        self._flusher = None
+        if auto_flush:
+            self._flusher = threading.Thread(
+                target=self._flush_loop,
+                name=f"wal-flusher-{log.shard}", daemon=True)
+            self._flusher.start()
+
+    # -- writer side -------------------------------------------------------
+
+    def submit(self, payload: bytes) -> CommitTicket:
+        """Frame and enqueue one record; returns its ticket.
+
+        ``ack-on-fsync`` callers ``ticket.wait()``; ``ack-on-enqueue``
+        callers return immediately but are thrown
+        :class:`DurabilityLagExceeded` here, at submit, once more than
+        ``max_lag`` records are waiting on the device — unbounded
+        not-yet-durable acknowledgement is how a "fast" log quietly
+        stops being a log.
+        """
+        with self._mutex:
+            if self._sealed is not None:
+                raise WalError(
+                    f"commit pipeline for shard {self.log.shard} is "
+                    f"sealed after a write fault: {self._sealed}")
+            if self._closed:
+                raise WalError("commit pipeline is closed")
+            if len(self._queue) >= self.max_lag:
+                raise DurabilityLagExceeded(len(self._queue),
+                                            self.max_lag)
+            lsn = self.log.allocator.allocate()
+            ticket = CommitTicket(lsn)
+            self._queue.append(
+                (ticket, encode_frame(lsn, payload, self.log._alg_id)))
+            self.stats.submitted += 1
+            self._wakeup.notify()
+            return ticket
+
+    @property
+    def lag(self) -> int:
+        with self._mutex:
+            return len(self._queue)
+
+    # -- flusher side ------------------------------------------------------
+
+    def _take_batch(self) -> list[tuple[CommitTicket, bytes]]:
+        with self._mutex:
+            batch = self._queue[:self.max_batch]
+            del self._queue[:len(batch)]
+            return batch
+
+    def flush(self) -> int:
+        """Drain one batch through write+sync; returns records flushed.
+
+        Called by the flusher thread, or directly in ``auto_flush=
+        False`` mode.  Safe to call concurrently with submits.
+        """
+        batch = self._take_batch()
+        if not batch:
+            return 0
+        error: WalError | None = None
+        corrupt_after = False
+        if self.injector is not None:
+            for event in self.injector.step(self._site):
+                self.stats.faults_injected += 1
+                if event.kind in (FaultKind.CRASH, FaultKind.DROP):
+                    error = WalError(
+                        f"wal device fault ({event.kind.value}) on "
+                        f"shard {self.log.shard}: batch of "
+                        f"{len(batch)} records not durable")
+                elif event.kind is FaultKind.CORRUPT:
+                    corrupt_after = True
+                # DELAY is charged by injector.step via the fault clock
+        if error is not None:
+            with self._mutex:
+                self._sealed = error
+            for ticket, _ in batch:
+                ticket._resolve(error)
+            return 0
+        data = b"".join(frame for _, frame in batch)
+        started = time.perf_counter()
+        self.log.append_encoded(data, batch[-1][0].lsn, len(batch))
+        self.log.sync()
+        elapsed = time.perf_counter() - started
+        self._sync_cost_ema = (elapsed if self._sync_cost_ema == 0.0
+                               else 0.8 * self._sync_cost_ema
+                               + 0.2 * elapsed)
+        if corrupt_after and self.vfs is not None:
+            self._corrupt_tail(len(data))
+        for ticket, _ in batch:
+            ticket._resolve()
+        self.stats.batches += 1
+        self.stats.records_flushed += len(batch)
+        self.stats.bytes_flushed += len(data)
+        self.stats.syncs += 1
+        self.stats.max_batch = max(self.stats.max_batch, len(batch))
+        return len(batch)
+
+    def _corrupt_tail(self, batch_bytes: int) -> None:
+        """CORRUPT overlay: rot one byte of the just-synced batch in
+        the durable image (MemVfs only — the power-loss model)."""
+        from repro.wal.format import segment_name
+        name = segment_name(self.log.shard, self.log._index)
+        if not self.vfs.exists(name):  # batch sealed into previous file
+            names = [n for n in self.vfs.listdir()
+                     if n.startswith(f"seg-{self.log.shard:03d}-")]
+            if not names:
+                return
+            name = names[-1]
+        size = self.vfs.durable_size(name)
+        damaged = self.injector.corrupt_bytes(b"\x00" * batch_bytes,
+                                              self._site)
+        offset = next(i for i, b in enumerate(damaged) if b != 0)
+        # Clamp into this file in case the batch spanned a rotation.
+        self.vfs.corrupt_byte(
+            name, max(0, min(size - 1, size - batch_bytes + offset)))
+
+    def _linger(self) -> float:
+        return min(MAX_LINGER_SECONDS,
+                   self._sync_cost_ema * LINGER_FRACTION) or 0.0001
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._mutex:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait()
+                if self._closed and not self._queue:
+                    return
+                depth = len(self._queue)
+            if 0 < depth < self.max_batch:
+                # Partial batch: linger a fraction of one sync cost to
+                # let concurrent writers pile in, then take whatever
+                # arrived.
+                time.sleep(self._linger())
+            try:
+                self.flush()
+            except WalError as exc:
+                with self._mutex:
+                    self._sealed = self._sealed or exc
+                    drained = self._queue[:]
+                    self._queue.clear()
+                for ticket, _ in drained:
+                    ticket._resolve(self._sealed)
+
+    def close(self) -> None:
+        with self._mutex:
+            self._closed = True
+            self._wakeup.notify_all()
+        if self._flusher is not None:
+            self._flusher.join(timeout=5.0)
+        while self.flush():
+            pass
+
+    def stats_snapshot(self) -> dict[str, float]:
+        snap = self.stats.snapshot()
+        snap["lag"] = self.lag
+        snap["sealed"] = self._sealed is not None
+        return snap

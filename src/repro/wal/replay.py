@@ -1,0 +1,162 @@
+"""Recovery: scan shard logs in parallel, replay one merged history.
+
+The expensive part of recovery — mapping segments, verifying every
+frame checksum, decoding bodies — is embarrassingly parallel across
+shards, so :func:`recover` fans shard scans out over worker processes
+(same discipline as ``repro.multicore``: a module-level worker function
+re-opening the store root by path, results shipped back as picklable
+tuples).  The *application* of recovered records stays strictly
+sequential in LSN order: shards share one LSN space precisely so that
+cross-shard operations (a registry delete purging assertions on other
+shards) replay in the order writers produced them.
+
+Per-shard invariants enforced while scanning:
+
+* segment indices are contiguous — checkpoint truncation removes a
+  prefix, so a gap in the middle means a *missing segment* and raises
+  :class:`~repro.core.errors.WalCorrupt`;
+* only the final segment may be torn; a torn tail there is truncated
+  at the last valid frame (fail closed — those bytes were never
+  acknowledged), while torn earlier segments are corruption;
+* LSNs increase strictly across the whole shard chain.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from dataclasses import dataclass, field
+
+from repro.core.errors import WalCorrupt
+from repro.wal.format import HEADER_SIZE, parse_segment_name, scan_segment
+from repro.wal.vfs import OsVfs
+
+
+@dataclass
+class ShardScan:
+    """One shard's recovered records plus the scan's side findings."""
+
+    shard: int
+    records: list[tuple[int, bytes]]          # (lsn, payload), ordered
+    truncate: tuple[str, int] | None = None   # torn tail to cut
+    segments: int = 0
+    bytes_scanned: int = 0
+
+
+def scan_shard(vfs, shard: int) -> ShardScan:
+    """Scan one shard's full segment chain (no side effects)."""
+    found = sorted(
+        (parsed[1], name) for name in vfs.listdir()
+        if (parsed := parse_segment_name(name)) is not None
+        and parsed[0] == shard)
+    scan = ShardScan(shard, [])
+    last_lsn = -1
+    for position, (index, name) in enumerate(found):
+        if position > 0 and index != found[position - 1][0] + 1:
+            raise WalCorrupt(
+                f"shard {shard} segment chain jumps from index "
+                f"{found[position - 1][0]} to {index}: missing segment",
+                shard=shard, segment=name)
+        if vfs.size(name) < HEADER_SIZE:
+            # A crash can tear a freshly-rotated segment mid-header
+            # (header and first batch fsync together): lawful only at
+            # the very end of the chain, where nothing in it was ever
+            # acknowledged.
+            if position != len(found) - 1:
+                raise WalCorrupt(
+                    f"non-final segment {name} shorter than its header",
+                    shard=shard, segment=name, offset=0)
+            scan.truncate = (name, 0)
+            scan.segments += 1
+            scan.bytes_scanned += vfs.size(name)
+            continue
+        with vfs.open_map(name) as mapped:
+            result = scan_segment(mapped.view, name, expect_shard=shard)
+        if result.torn:
+            if position != len(found) - 1:
+                raise WalCorrupt(
+                    f"non-final segment {name} has a torn tail — "
+                    f"damage to possibly-acknowledged data",
+                    shard=shard, segment=name, offset=result.valid_end)
+            scan.truncate = (name, result.valid_end)
+        for frame in result.frames:
+            if frame.lsn <= last_lsn:
+                raise WalCorrupt(
+                    f"shard {shard} LSN {frame.lsn} in {name} not "
+                    f"above predecessor {last_lsn}",
+                    shard=shard, segment=name)
+            last_lsn = frame.lsn
+            scan.records.append((frame.lsn, frame.payload))
+        scan.segments += 1
+        scan.bytes_scanned += result.total
+    return scan
+
+
+def _scan_shard_by_path(root: str, shard: int) -> ShardScan:
+    """Worker-process entry point: reopen the store by path and scan."""
+    return scan_shard(OsVfs(root), shard)
+
+
+@dataclass
+class RecoveryResult:
+    """Everything :func:`recover` learned, ready to apply in order."""
+
+    records: list[tuple[int, bytes]]   # merged, strictly LSN-ascending
+    last_lsn: int = 0
+    truncated: list[tuple[str, int]] = field(default_factory=list)
+    segments: int = 0
+    bytes_scanned: int = 0
+    parallel: bool = False
+
+
+def _merge(scans: list[ShardScan], from_lsn: int) -> RecoveryResult:
+    merged: list[tuple[int, bytes]] = []
+    for scan in scans:
+        merged.extend(r for r in scan.records if r[0] > from_lsn)
+    merged.sort(key=lambda record: record[0])
+    for i in range(1, len(merged)):
+        if merged[i][0] == merged[i - 1][0]:
+            raise WalCorrupt(
+                f"LSN {merged[i][0]} appears on two shards — the log's "
+                f"global sequence is damaged")
+    result = RecoveryResult(merged)
+    result.last_lsn = merged[-1][0] if merged else from_lsn
+    for scan in scans:
+        if scan.truncate is not None:
+            result.truncated.append(scan.truncate)
+        result.segments += scan.segments
+        result.bytes_scanned += scan.bytes_scanned
+    return result
+
+
+def recover(vfs, shards: int, *, from_lsn: int = 0,
+            workers: int | None = None,
+            apply_truncation: bool = True) -> RecoveryResult:
+    """Scan every shard (in parallel where the vfs allows it), merge by
+    LSN, and optionally apply fail-closed torn-tail truncation.
+
+    *workers* > 1 fans shard scans out over processes; it requires a
+    real :class:`OsVfs` (workers reopen the directory by path) and the
+    ``fork`` start method.  Anything else scans sequentially — same
+    code, same result, one process.
+    """
+    can_fork = "fork" in multiprocessing.get_all_start_methods()
+    use_processes = (workers is not None and workers > 1
+                     and isinstance(vfs, OsVfs) and can_fork
+                     and shards > 1)
+    if use_processes:
+        context = multiprocessing.get_context("fork")
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, shards),
+                mp_context=context) as pool:
+            scans = list(pool.map(_scan_shard_by_path,
+                                  [str(vfs.root)] * shards,
+                                  range(shards)))
+    else:
+        scans = [scan_shard(vfs, shard) for shard in range(shards)]
+    result = _merge(scans, from_lsn)
+    result.parallel = use_processes
+    if apply_truncation:
+        for name, offset in result.truncated:
+            vfs.truncate(name, offset)
+    return result

@@ -174,3 +174,75 @@ class TestFreezeDuringWrite:
             assert pinned.serialize(
                 "c", "d1") == "<doc><a>1</a><b>2</b></doc>"
             assert self.db.current().doc_ids("c") == []
+
+
+class TestRetainUntil:
+    """Durability pins: checkpoint serialization vs reclamation."""
+
+    def test_pin_keeps_epoch_alive_across_writer_burst(self):
+        manager = EpochManager()
+        pinned = manager.publish(FakeSnapshot("ckpt"))
+        release = manager.retain_until(pinned, "digest-1")
+        for n in range(5):
+            manager.publish(FakeSnapshot(f"later-{n}"))
+        # The pinned epoch is retired but NOT reclaimed: its close()
+        # hook must not fire while a checkpoint serializes it.
+        assert pinned.closed == 0
+        assert manager.durable_pins() == {"digest-1": pinned.epoch}
+        release()
+        assert pinned.closed == 1
+        assert manager.durable_pins() == {}
+
+    def test_release_is_idempotent(self):
+        manager = EpochManager()
+        pinned = manager.publish(FakeSnapshot("ckpt"))
+        release = manager.retain_until(pinned, "digest-1")
+        manager.publish(FakeSnapshot("later"))
+        release()
+        release()  # the double release is absorbed, not miscounted
+        assert pinned.closed == 1
+
+    def test_pinning_a_reclaimed_epoch_raises(self):
+        manager = EpochManager()
+        stale = manager.publish(FakeSnapshot("stale"))
+        manager.publish(FakeSnapshot("later"))  # stale reclaims now
+        with pytest.raises(EpochRetired):
+            manager.retain_until(stale, "digest-1")
+
+    def test_pin_stacks_with_reader_pins(self):
+        manager = EpochManager()
+        pinned = manager.publish(FakeSnapshot("ckpt"))
+        reader = manager.acquire()
+        release = manager.retain_until(pinned, "digest-1")
+        manager.publish(FakeSnapshot("later"))
+        release()
+        assert pinned.closed == 0  # the reader still holds it
+        manager.release(reader)
+        assert pinned.closed == 1
+
+    def test_release_of_current_epoch_does_not_close_it(self):
+        manager = EpochManager()
+        current = manager.publish(FakeSnapshot("current"))
+        release = manager.retain_until(current, "digest-1")
+        release()
+        assert current.closed == 0
+        assert manager.current() is current
+
+    def test_checkpoint_under_writer_churn_keeps_digest(self):
+        # End to end: the DurableXmlStore checkpoint pins its captured
+        # epoch, so concurrent publishes never dismantle it mid-pickle.
+        from repro.wal.durable import DurableXmlStore
+        from repro.wal.vfs import MemVfs
+        vfs = MemVfs()
+        store = DurableXmlStore(SnapshotXmlDatabase(), vfs, shards=1,
+                                auto_flush=False)
+        store.create_collection("c")
+        store.insert("c", "d1", "<doc><a>1</a></doc>")
+        assert store.checkpoint() is True
+        assert store.inner.epochs.durable_pins() == {}  # pin released
+        store.insert("c", "d2", "<doc><a>2</a></doc>")
+        digest = store.state_digest()
+        store.close()
+        recovered, _ = DurableXmlStore.recover(vfs, shards=1,
+                                               auto_flush=False)
+        assert recovered.state_digest() == digest

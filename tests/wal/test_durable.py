@@ -1,0 +1,201 @@
+"""Durable wrappers: log-then-ack, checkpoints, recovery digests."""
+
+import pytest
+
+from repro.core.credentials import anyone
+from repro.core.errors import (
+    DurabilityLagExceeded,
+    WalCorrupt,
+    WalError,
+)
+from repro.core.policy import Action, PolicyBase, grant
+from repro.relational.authorization import Privilege
+from repro.relational.table import Column, ColumnType, TableSchema
+from repro.scale.registry import ShardedUddiRegistry
+from repro.scale.relational import ShardedDatabase
+from repro.snap.xmlstore import SnapshotXmlDatabase
+from repro.uddi.model import BusinessEntity
+from repro.wal.durable import (
+    DurablePolicyStore,
+    DurableRelationalStore,
+    DurableUddiRegistry,
+    DurableXmlStore,
+)
+from repro.wal.vfs import MemVfs
+
+
+def xml_store(vfs, **kwargs):
+    kwargs.setdefault("auto_flush", False)
+    return DurableXmlStore(SnapshotXmlDatabase(), vfs, shards=2, **kwargs)
+
+
+def seed_xml(store):
+    store.create_collection("orders")
+    store.insert("orders", "o1", "<order id=\"1\"><total>9</total></order>")
+    store.insert("orders", "o2", "<order id=\"2\"><total>7</total></order>")
+    store.replace("orders", "o1",
+                  "<order id=\"1\"><total>12</total></order>")
+
+
+class TestXmlStore:
+    def test_recovery_is_byte_identical(self):
+        vfs = MemVfs()
+        store = xml_store(vfs)
+        seed_xml(store)
+        digest = store.state_digest()
+        store.close()
+        recovered, report = DurableXmlStore.recover(
+            vfs, shards=2, auto_flush=False)
+        assert recovered.state_digest() == digest
+        assert report.records_replayed == 4
+        assert "total>12" in recovered.current().serialize("orders", "o1")
+
+    def test_checkpoint_bounds_replay(self):
+        vfs = MemVfs()
+        store = xml_store(vfs)
+        seed_xml(store)
+        assert store.checkpoint() is True
+        store.delete("orders", "o2")
+        digest = store.state_digest()
+        store.close()
+        recovered, report = DurableXmlStore.recover(
+            vfs, shards=2, auto_flush=False)
+        assert recovered.state_digest() == digest
+        assert report.checkpoint_lsn == 4
+        assert report.records_replayed == 1  # just the delete
+
+    def test_unchanged_digest_skips_the_checkpoint(self):
+        store = xml_store(MemVfs())
+        seed_xml(store)
+        assert store.checkpoint() is True
+        assert store.checkpoint() is False
+
+    def test_rejected_op_is_never_logged(self):
+        vfs = MemVfs()
+        store = xml_store(vfs)
+        seed_xml(store)
+        before = store.wal.last_appended
+        with pytest.raises(Exception):
+            store.insert("nowhere", "d1", "<x/>")
+        assert store.wal.last_appended == before
+
+    def test_group_settles_in_one_sync_per_shard(self):
+        store = xml_store(MemVfs())
+        with store.group():
+            seed_xml(store)
+        stats = store.wal_stats()
+        assert stats["lag"] == 0
+        assert stats["log"]["syncs"] <= 2  # at most one per shard
+
+    def test_enqueue_mode_bounds_the_lag_typed(self):
+        store = xml_store(MemVfs(), durability="enqueue", max_lag=3)
+        store.create_collection("c")
+        shard = store._shard_for("c")
+        for n in range(3 - store.pipelines[shard].lag):
+            store.insert("c", f"d{n}", "<x/>")
+        with pytest.raises(DurabilityLagExceeded):
+            store.insert("c", "overflow", "<x/>")
+        store.wal_sync()
+        store.insert("c", "fits", "<x/>")
+
+    def test_corrupt_log_recovers_typed(self):
+        vfs = MemVfs()
+        store = xml_store(vfs)
+        seed_xml(store)
+        store.close()
+        segments = [n for n in vfs.listdir() if n.endswith(".wal")
+                    and vfs.durable_size(n) > 40]
+        vfs.corrupt_byte(segments[0], 30)
+        with pytest.raises(WalCorrupt):
+            DurableXmlStore.recover(vfs, shards=2, auto_flush=False)
+
+    def test_writer_block_is_one_durable_group(self):
+        vfs = MemVfs()
+        store = xml_store(vfs)
+        with store.writer():
+            store.create_collection("batch")
+            store.insert("batch", "d1", "<x/>")
+        assert store.durability_lag == 0
+        digest = store.state_digest()
+        store.close()
+        recovered, _ = DurableXmlStore.recover(
+            vfs, shards=2, auto_flush=False)
+        assert recovered.state_digest() == digest
+
+
+class TestUddiRegistry:
+    def test_cross_shard_delete_replays_in_order(self):
+        vfs = MemVfs()
+        registry = DurableUddiRegistry(
+            ShardedUddiRegistry(shard_count=4), vfs, shards=2,
+            auto_flush=False)
+        registry.save_business(
+            BusinessEntity(business_key="biz-001", name="Acme"), "alice")
+        registry.save_business(
+            BusinessEntity(business_key="biz-002", name="Globex"),
+            "alice")
+        registry.delete_business("biz-001", "alice")
+        digest = registry.state_digest()
+        registry.close()
+        recovered, report = DurableUddiRegistry.recover(
+            vfs, shards=2, auto_flush=False,
+            inner_kwargs={"shard_count": 4})
+        assert recovered.state_digest() == digest
+        assert report.records_replayed == 3
+
+
+class TestRelationalStore:
+    def test_wal_only_replay_rebuilds_rows_and_grants(self):
+        vfs = MemVfs()
+        db = DurableRelationalStore(
+            ShardedDatabase(), vfs, shards=2, auto_flush=False)
+        schema = TableSchema("patients", (
+            Column("id", ColumnType.INT),
+            Column("name", ColumnType.TEXT)), primary_key="id")
+        db.create_table(schema, "root")
+        db.insert("root", "patients", id=1, name="Ada")
+        db.insert("root", "patients", id=2, name="Grace")
+        digest = db.state_digest()
+        db.close()
+        recovered, report = DurableRelationalStore.recover(
+            vfs, shards=2, auto_flush=False)
+        assert recovered.state_digest() == digest
+        assert report.checkpoint_lsn == 0  # WAL-only: no checkpoint
+        assert report.records_replayed == 3
+
+    def test_checkpoint_is_refused_typed(self):
+        db = DurableRelationalStore(
+            ShardedDatabase(), MemVfs(), shards=2, auto_flush=False)
+        with pytest.raises(WalError):
+            db.checkpoint()
+
+    def test_unpicklable_args_are_refused_before_apply(self):
+        db = DurableRelationalStore(
+            ShardedDatabase(), MemVfs(), shards=2, auto_flush=False)
+        schema = TableSchema("t", (Column("id", ColumnType.INT),),
+                             primary_key="id")
+        db.create_table(schema, "root")
+        before = (db.state_digest(), db.wal.last_appended)
+        with pytest.raises(WalError) as excinfo:
+            db.grant("root", "bob", "t", Privilege.SELECT,
+                     row_filter=lambda row: True)
+        assert "unpicklable" in str(excinfo.value)
+        # The refused grant neither applied nor logged.
+        assert (db.state_digest(), db.wal.last_appended) == before
+
+
+class TestPolicyStore:
+    def test_remove_by_id_survives_pickle_round_trip(self):
+        vfs = MemVfs()
+        store = DurablePolicyStore(PolicyBase(), vfs, shards=1,
+                                   auto_flush=False)
+        store.add(grant(anyone(), Action.READ, "/a"))
+        dropped = store.add(grant(anyone(), Action.READ, "/b"))
+        store.remove(dropped)
+        digest = store.state_digest()
+        store.checkpoint()
+        store.close()
+        recovered, report = DurablePolicyStore.recover(
+            vfs, shards=1, auto_flush=False)
+        assert recovered.state_digest() == digest
+        assert report.records_replayed == 0  # checkpoint covers all
