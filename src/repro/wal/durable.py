@@ -494,8 +494,11 @@ class DurableRelationalStore(DurableStore):
                                 revoker, grantee, table, privilege)
 
     def insert(self, user: str, table_name: str, **values):
+        # Values travel as one positional dict: re-splatting them into
+        # _durable_op's signature would make a column named "op" or
+        # "shard" a TypeError instead of data.
         return self._durable_op(self._table_shard(table_name), "insert",
-                                user, table_name, **values)
+                                user, table_name, dict(values))
 
     def update(self, user: str, table_name: str, where, changes):
         return self._durable_op(self._table_shard(table_name), "update",
@@ -508,6 +511,12 @@ class DurableRelationalStore(DurableStore):
     def set_metadata(self, table: str, key: str, value) -> None:
         return self._durable_op(self._table_shard(table),
                                 "set_metadata", table, key, value)
+
+    def _apply(self, op: str, args: tuple, kwargs: dict):
+        if op == "insert":
+            user, table_name, values = args
+            return self.inner.insert(user, table_name, **values)
+        return super()._apply(op, args, kwargs)
 
     def state_digest(self) -> str:
         parts = []

@@ -21,13 +21,15 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-from repro.core.errors import WalError
+from repro.core.errors import WalCorrupt, WalError
 from repro.wal.checksum import DEFAULT_ALGORITHM, algorithm_id
 from repro.wal.format import (
+    HEADER_SIZE,
     RECORD,
     encode_frame,
     encode_segment_header,
     parse_segment_name,
+    scan_segment,
     segment_name,
 )
 
@@ -91,11 +93,35 @@ class WriteAheadLog:
         # Never append to a pre-existing segment: recovery may have
         # truncated a torn tail, and an old file's unsynced page-cache
         # state is unknowable.  Start a fresh segment after the highest
-        # existing index.
-        existing = [parsed[1] for name in vfs.listdir()
-                    if (parsed := parse_segment_name(name)) is not None
-                    and parsed[0] == shard]
-        self._index = (max(existing) + 1) if existing else 0
+        # existing index — and register every pre-existing segment as
+        # sealed, so a later checkpoint's truncate_until() reclaims the
+        # true prefix of the chain.  Skipping them would leave the old
+        # files behind forever and, worse, delete only newly-sealed
+        # higher-index segments around them, punching an index gap the
+        # next recovery reads as a missing segment.
+        existing = sorted(
+            (parsed[1], name) for name in vfs.listdir()
+            if (parsed := parse_segment_name(name)) is not None
+            and parsed[0] == shard)
+        self._index = (existing[-1][0] + 1) if existing else 0
+        last_lsn = 0
+        for index, name in existing:
+            if vfs.size(name) >= HEADER_SIZE:
+                try:
+                    with vfs.open_map(name) as mapped:
+                        result = scan_segment(mapped.view, name,
+                                              expect_shard=shard)
+                except WalCorrupt:
+                    # Un-recovered damage: stop registering here so no
+                    # segment at or past it is ever deleted — recovery
+                    # is the layer that rules on what the damage means.
+                    break
+                if result.frames:
+                    last_lsn = result.frames[-1].lsn
+            # A header-only (or empty) segment carries its
+            # predecessor's LSN: it holds no records, so it may go
+            # whenever the segment before it goes.
+            self._sealed.append(_Sealed(index, name, last_lsn))
         self._segment = None
         self._segment_size = 0
 

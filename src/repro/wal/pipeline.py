@@ -115,6 +115,11 @@ class CommitPipeline:
         self.stats = PipelineStats()
         self._site = f"wal:{log.shard}"
         self._mutex = threading.Lock()
+        # Serializes take-batch + write + sync: concurrent flush()
+        # callers would otherwise take disjoint batches and race to
+        # append them, and a later-LSN batch landing first makes the
+        # earlier append a WalError — applied-but-unlogged records.
+        self._flush_mutex = threading.Lock()
         self._wakeup = threading.Condition(self._mutex)
         self._queue: list[tuple[CommitTicket, bytes]] = []
         self._sealed: WalError | None = None
@@ -174,11 +179,35 @@ class CommitPipeline:
         """Drain one batch through write+sync; returns records flushed.
 
         Called by the flusher thread, or directly in ``auto_flush=
-        False`` mode.  Safe to call concurrently with submits.
+        False`` mode.  Safe to call concurrently with submits *and*
+        with other flush() calls — batches are taken and written under
+        one flush mutex, so batch order stays LSN order.
         """
-        batch = self._take_batch()
-        if not batch:
-            return 0
+        with self._flush_mutex:
+            batch = self._take_batch()
+            if not batch:
+                return 0
+            try:
+                return self._flush_batch(batch)
+            except WalError as exc:
+                self._fail_batch(batch, exc)
+                raise
+            except Exception as exc:
+                error = WalError(f"wal flush failed on shard "
+                                 f"{self.log.shard}: {exc}")
+                self._fail_batch(batch, error)
+                raise error from exc
+
+    def _fail_batch(self, batch: list[tuple[CommitTicket, bytes]],
+                    error: WalError) -> None:
+        """Seal the pipeline and fail every ticket of a taken batch —
+        a taken-but-unresolved ticket strands its waiter forever."""
+        with self._mutex:
+            self._sealed = self._sealed or error
+        for ticket, _ in batch:
+            ticket._resolve(error)
+
+    def _flush_batch(self, batch: list[tuple[CommitTicket, bytes]]) -> int:
         error: WalError | None = None
         corrupt_after = False
         if self.injector is not None:
@@ -193,10 +222,7 @@ class CommitPipeline:
                     corrupt_after = True
                 # DELAY is charged by injector.step via the fault clock
         if error is not None:
-            with self._mutex:
-                self._sealed = error
-            for ticket, _ in batch:
-                ticket._resolve(error)
+            self._fail_batch(batch, error)
             return 0
         data = b"".join(frame for _, frame in batch)
         started = time.perf_counter()

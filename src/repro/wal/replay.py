@@ -158,5 +158,13 @@ def recover(vfs, shards: int, *, from_lsn: int = 0,
     result.parallel = use_processes
     if apply_truncation:
         for name, offset in result.truncated:
-            vfs.truncate(name, offset)
+            if offset < HEADER_SIZE:
+                # A tail torn mid-header holds nothing; truncating it
+                # to zero would leave an empty file that sits mid-chain
+                # once the recovered store appends higher-index
+                # segments, failing every later recovery's
+                # shorter-than-header check.  Delete it instead.
+                vfs.delete(name)
+            else:
+                vfs.truncate(name, offset)
     return result

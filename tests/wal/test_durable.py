@@ -109,6 +109,31 @@ class TestXmlStore:
         with pytest.raises(WalCorrupt):
             DurableXmlStore.recover(vfs, shards=2, auto_flush=False)
 
+    def test_restart_checkpoint_restart_cycle_stays_recoverable(self):
+        # Pre-recovery segments must register as sealed on reopen:
+        # otherwise a checkpoint deletes only newly-sealed higher
+        # -index segments around them, punching an index gap the next
+        # recovery reads as a missing segment — an ordinary restart +
+        # checkpoint + restart cycle would brick the store.
+        vfs = MemVfs()
+        store = xml_store(vfs, segment_bytes=192)
+        seed_xml(store)
+        store.close()
+        first, _ = DurableXmlStore.recover(
+            vfs, shards=2, auto_flush=False, segment_bytes=192)
+        inherited = [n for n in vfs.listdir() if n.endswith(".wal")]
+        for n in range(8):
+            first.insert("orders", f"n{n}", f"<order id=\"{n}\"/>")
+        assert first.checkpoint() is True
+        digest = first.state_digest()
+        first.close()
+        # The checkpoint reclaimed the pre-recovery chain prefix...
+        assert not any(vfs.exists(name) for name in inherited)
+        # ...and what remains is a recoverable contiguous chain.
+        second, _ = DurableXmlStore.recover(
+            vfs, shards=2, auto_flush=False, segment_bytes=192)
+        assert second.state_digest() == digest
+
     def test_writer_block_is_one_durable_group(self):
         vfs = MemVfs()
         store = xml_store(vfs)
@@ -162,6 +187,26 @@ class TestRelationalStore:
         assert recovered.state_digest() == digest
         assert report.checkpoint_lsn == 0  # WAL-only: no checkpoint
         assert report.records_replayed == 3
+
+    def test_columns_named_like_wrapper_params_are_data(self):
+        # Column values travel as a positional dict: a column named
+        # "op" or "shard" must insert and replay as data, not collide
+        # with _durable_op's own parameters.
+        vfs = MemVfs()
+        db = DurableRelationalStore(
+            ShardedDatabase(), vfs, shards=2, auto_flush=False)
+        schema = TableSchema("audit", (
+            Column("id", ColumnType.INT),
+            Column("op", ColumnType.TEXT),
+            Column("shard", ColumnType.INT)), primary_key="id")
+        db.create_table(schema, "root")
+        db.insert("root", "audit", id=1, op="grant", shard=3)
+        digest = db.state_digest()
+        db.close()
+        recovered, report = DurableRelationalStore.recover(
+            vfs, shards=2, auto_flush=False)
+        assert recovered.state_digest() == digest
+        assert report.records_replayed == 2
 
     def test_checkpoint_is_refused_typed(self):
         db = DurableRelationalStore(

@@ -151,6 +151,48 @@ class TestGroupCommit:
         pipeline.flush()
         assert ticket.synced
 
+    def test_concurrent_flushes_never_drop_a_batch(self):
+        # Unserialized flushers take disjoint batches and race to
+        # append them; a later-LSN batch landing first turns the
+        # earlier one into applied-but-unlogged records and strands
+        # its tickets.
+        vfs, log = make_log()
+        pipeline = CommitPipeline(log, auto_flush=False, max_batch=4)
+        tickets = [pipeline.submit(f"op-{n}".encode()) for n in range(64)]
+        errors = []
+
+        def drain():
+            try:
+                while pipeline.flush():
+                    pass
+            except WalError as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=drain) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        for ticket in tickets:
+            ticket.wait(timeout=5)
+        assert [lsn for lsn, _ in scan_shard(vfs, 0).records] == [
+            ticket.lsn for ticket in tickets]
+
+    def test_failed_flush_resolves_its_taken_batch_typed(self):
+        # A flush that dies after taking its batch must fail those
+        # tickets — leaving them unresolved hangs their waiters.
+        _, log = make_log()
+        pipeline = CommitPipeline(log, auto_flush=False)
+        ticket = pipeline.submit(b"x")
+        log.append(b"interloper", lsn=ticket.lsn + 100)
+        with pytest.raises(WalError):
+            pipeline.flush()
+        with pytest.raises(WalError) as excinfo:
+            ticket.wait(timeout=1)
+        assert "timed out" not in str(excinfo.value)
+        assert pipeline.stats_snapshot()["sealed"] is True
+
 
 class TestShardedWal:
     def test_shards_share_one_lsn_space(self):

@@ -81,6 +81,25 @@ class TestDamage:
         assert [lsn for lsn, _ in result.records] == lsns
         assert result.truncated == [(tail, 0)]
 
+    def test_torn_header_tail_is_deleted_not_left_empty(self):
+        # Truncating the mid-header tail to zero bytes would leave an
+        # empty file that sits mid-chain once post-recovery segments
+        # append behind it, failing every later recovery.
+        vfs = MemVfs()
+        _, lsns = build_wal(vfs, shards=1, records=4,
+                            segment_bytes=1 << 20)
+        tail = segment_name(0, 1)
+        handle = vfs.create(tail)
+        handle.write(b"RWAL\x00")
+        handle.close()
+        result = recover(vfs, 1)
+        assert not vfs.exists(tail)
+        wal = ShardedWal(vfs, 1, start_lsn=result.last_lsn)
+        extra = wal.logs[0].append(b"post-recovery")
+        wal.close()
+        assert [lsn for lsn, _ in recover(vfs, 1).records] == (
+            lsns + [extra])
+
     def test_short_interior_segment_is_corrupt(self):
         vfs = MemVfs()
         build_wal(vfs, shards=1, records=4, segment_bytes=1 << 20)
